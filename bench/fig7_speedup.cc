@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Experiment F7 — reproduces Figure 7: machine speedups with a
+ * 1 texel/pixel external bus.
+ */
+
+#include "fig7_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace texdist;
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    runFig7(1.0, opts);
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the simulator's hot paths:
+ * rasterization, trilinear address generation, cache lookups and the
+ * event kernel. These guard the simulator's own throughput (frames
+ * are hundreds of millions of texel accesses), not the paper's
+ * results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "core/machine.hh"
+#include "geom/rng.hh"
+#include "raster/raster.hh"
+#include "scene/builder.hh"
+#include "sim/eventq.hh"
+#include "texture/sampler.hh"
+
+namespace texdist
+{
+namespace
+{
+
+void
+BM_RasterizeTriangle(benchmark::State &state)
+{
+    const float size = float(state.range(0));
+    TexTriangle tri;
+    tri.v[0] = {0, 0, 1.0f, 0.0f, 0.0f};
+    tri.v[1] = {size, 0, 1.0f, 1.0f, 0.0f};
+    tri.v[2] = {0, size, 1.0f, 0.0f, 1.0f};
+    Rect screen(0, 0, 2048, 2048);
+    int64_t frags = 0;
+    for (auto _ : state) {
+        TriangleRaster raster(tri, 256, 256);
+        raster.rasterize(screen, [&](const Fragment &f) {
+            benchmark::DoNotOptimize(f.u);
+            ++frags;
+        });
+    }
+    state.SetItemsProcessed(frags);
+}
+BENCHMARK(BM_RasterizeTriangle)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_TrilinearAddressGen(benchmark::State &state)
+{
+    Texture tex(0, 0, 256, 256);
+    TexelRefs refs;
+    Rng rng(1);
+    std::vector<float> us, vs, lods;
+    for (int i = 0; i < 1024; ++i) {
+        us.push_back(float(rng.uniform()));
+        vs.push_back(float(rng.uniform()));
+        lods.push_back(float(rng.uniform(0.0, 6.0)));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        TrilinearSampler::generate(tex, us[i & 1023], vs[i & 1023],
+                                   lods[i & 1023], refs);
+        benchmark::DoNotOptimize(refs[0]);
+        ++i;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 8);
+}
+BENCHMARK(BM_TrilinearAddressGen);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    SetAssocCache cache(CacheGeometry{});
+    Rng rng(2);
+    std::vector<uint64_t> addrs;
+    for (int i = 0; i < 4096; ++i) {
+        uint64_t a = uint64_t(rng.uniformInt(0, 1 << 18));
+        if (rng.chance(0.8))
+            a &= 0x7fff; // mostly-hitting stream
+        addrs.push_back(a);
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i & 4095]));
+        ++i;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_EventQueueSchedule(benchmark::State &state)
+{
+    EventQueue eq;
+    LambdaEvent tick([] {});
+    Tick t = 1;
+    for (auto _ : state) {
+        eq.schedule(&tick, t++);
+        eq.step();
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void
+BM_FullFrameSimulation(benchmark::State &state)
+{
+    SceneBuilder b("bench", 256, 256, 3);
+    auto pool = b.makeTexturePool(8, 32, 64);
+    b.addBackgroundLayer(pool, 32, 32, 1.0);
+    b.addBackgroundLayer(pool, 32, 32, 1.0);
+    Scene scene = b.take();
+
+    MachineConfig cfg;
+    cfg.numProcs = uint32_t(state.range(0));
+    cfg.tileParam = 16;
+    cfg.busTexelsPerCycle = 1.0;
+
+    uint64_t frags = 0;
+    for (auto _ : state) {
+        FrameResult r = runFrame(scene, cfg);
+        benchmark::DoNotOptimize(r.frameTime);
+        frags += r.totalPixels;
+    }
+    state.SetItemsProcessed(int64_t(frags));
+}
+BENCHMARK(BM_FullFrameSimulation)->Arg(1)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace texdist
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Animated demo: a camera panning across a game frame, simulated as
+ * a timed multi-frame sequence with per-node L1+L2 texture caches.
+ * Shows the paper's closing intuition live: with one processor the
+ * L2 makes every frame after the first nearly free; with 16
+ * processors the faster the pan, the more of the inter-frame reuse
+ * is lost to the tile distribution.
+ *
+ * Usage: pan_demo [--scale=f] [--pan=px/frame] [--frames=n]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/interframe.hh"
+#include "core/sequence.hh"
+#include "core/experiments.hh"
+#include "scene/benchmarks.hh"
+
+using namespace texdist;
+
+int
+main(int argc, char **argv)
+{
+    double scale = 0.5;
+    float pan = 16.0f;
+    int frames = 8;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--scale=", 0) == 0)
+            scale = std::atof(arg.c_str() + 8);
+        else if (arg.rfind("--pan=", 0) == 0)
+            pan = float(std::atof(arg.c_str() + 6));
+        else if (arg.rfind("--frames=", 0) == 0)
+            frames = std::atoi(arg.c_str() + 9);
+        else
+            warn("ignoring unknown option: ", arg);
+    }
+
+    Scene base = makeBenchmark("quake", scale);
+    std::cout << "panning " << base.name << " by " << pan
+              << " px/frame for " << frames << " frames\n";
+
+    for (uint32_t procs : {1u, 16u}) {
+        MachineConfig cfg;
+        cfg.numProcs = procs;
+        cfg.tileParam = 16;
+        cfg.cacheKind = CacheKind::SetAssoc;
+        cfg.hasL2 = true;
+        cfg.busTexelsPerCycle = 1.0;
+
+        std::cout << "\n== " << procs << " processor"
+                  << (procs > 1 ? "s" : "") << ", block 16, 16KB L1 "
+                  << "+ 2MB L2 per node, 1x bus ==\n";
+        TablePrinter table(std::cout,
+                           {"frame", "cycles", "texels", "t/f",
+                            "bus util"},
+                           11);
+        table.printHeader();
+
+        SequenceMachine machine(base, cfg);
+        for (int f = 0; f < frames; ++f) {
+            Scene frame = translateScene(base, pan * float(f), 0.0f);
+            FrameResult r = machine.runFrame(frame);
+            table.cell(uint64_t(f));
+            table.cell(uint64_t(r.frameTime));
+            table.cell(r.totalTexelsFetched);
+            table.cell(r.texelToFragmentRatio, 3);
+            table.cell(r.meanBusUtilization, 2);
+            table.endRow();
+        }
+    }
+
+    std::cout << "\n(after frame 0, a single processor's L2 keeps "
+                 "the ratio near zero;\nat 16 processors the pan "
+                 "hands each node pixels whose texels sit in a\n"
+                 "*different* node's L2, so the steady-state ratio "
+                 "stays high.)\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: build a small scene, run it on two machine
+ * configurations (block vs. SLI distribution) and print the frame
+ * measurements — the five-minute tour of the public API.
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+#include "core/machine.hh"
+#include "scene/builder.hh"
+#include "scene/stats.hh"
+
+using namespace texdist;
+
+int
+main()
+{
+    // 1. Build a frame: a textured background plus two clusters of
+    //    small triangles (the "characters" that create the uneven
+    //    depth complexity the paper studies).
+    SceneBuilder builder("quickstart", 640, 480, /*seed=*/42);
+    std::vector<TextureId> pool = builder.makeTexturePool(
+        /*count=*/8, /*min_size=*/32, /*max_size=*/128);
+    builder.addBackgroundLayer(pool, 80.0f, 80.0f,
+                               /*texel_density=*/1.0);
+    builder.addCluster(200.0f, 180.0f, 40.0f, /*num_tris=*/600,
+                       /*mean_area=*/40.0, pool[0],
+                       /*texel_density=*/1.0);
+    builder.addCluster(430.0f, 300.0f, 50.0f, 800, 40.0, pool[1],
+                       1.0);
+    Scene scene = builder.take();
+
+    // 2. Characterize it (Table 1 columns).
+    SceneStats stats = measureScene(scene);
+    printSceneStatsHeader(std::cout);
+    printSceneStatsRow(std::cout, stats);
+    std::cout << "\n";
+
+    // 3. Simulate the paper's machine: 16 processors, 16 KB 4-way
+    //    texture caches, a bus limited to 1 texel per fragment-cycle.
+    MachineConfig config;
+    config.numProcs = 16;
+    config.cacheKind = CacheKind::SetAssoc;
+    config.busTexelsPerCycle = 1.0;
+
+    FrameLab lab(scene);
+
+    config.dist = DistKind::Block;
+    config.tileParam = 16; // 16x16 pixel blocks
+    auto block = lab.runWithSpeedup(config);
+    std::cout << "block 16x16:  frame " << block.frame.frameTime
+              << " cycles, speedup " << block.speedup << "\n";
+    block.frame.print(std::cout);
+    std::cout << "\n";
+
+    config.dist = DistKind::SLI;
+    config.tileParam = 4; // groups of 4 scan lines
+    auto sli = lab.runWithSpeedup(config);
+    std::cout << "SLI 4-line:   frame " << sli.frame.frameTime
+              << " cycles, speedup " << sli.speedup << "\n";
+    sli.frame.print(std::cout);
+
+    return 0;
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Plot the figure-series CSV files the bench harnesses emit.
+
+Usage:
+    # 1. regenerate the data
+    mkdir -p out
+    for b in build/bench/fig*; do "$b" --csv=out > /dev/null; done
+    # 2. plot everything found
+    python3 scripts/plot_figures.py out
+
+Each CSV is one figure panel: the first column is the x axis (or a
+categorical label), every other column is a series. Output PNGs land
+next to the CSVs. Requires matplotlib; the C++ side never does.
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    header, body = rows[0], rows[1:]
+    return header, body
+
+
+def is_number(s):
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def plot_file(path, plt):
+    header, body = load(path)
+    if not body:
+        return False
+    numeric_x = all(is_number(r[0]) for r in body)
+
+    fig, ax = plt.subplots(figsize=(6.5, 4.0))
+    xs = [float(r[0]) if numeric_x else i for i, r in enumerate(body)]
+
+    ncols = min(len(h) for h in ([header] + body))
+    for col in range(1, ncols):
+        ys = []
+        ok = True
+        for r in body:
+            if not is_number(r[col]):
+                ok = False
+                break
+            ys.append(float(r[col]))
+        if not ok:
+            continue  # e.g. the "best" label column of fig7
+        ax.plot(xs, ys, marker="o", markersize=3, label=header[col])
+
+    if not numeric_x:
+        ax.set_xticks(xs)
+        ax.set_xticklabels([r[0] for r in body], rotation=30,
+                           ha="right", fontsize=7)
+    elif max(xs) / max(min(xs), 1e-9) > 20:
+        ax.set_xscale("log", base=2)
+    ax.set_xlabel(header[0])
+    ax.set_title(path.stem)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7, ncol=2)
+    fig.tight_layout()
+    out = path.with_suffix(".png")
+    fig.savefig(out, dpi=130)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return True
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        return 1
+
+    directory = pathlib.Path(sys.argv[1])
+    count = 0
+    for path in sorted(directory.glob("*.csv")):
+        count += plot_file(path, plt)
+    print(f"plotted {count} panels")
+    return 0 if count else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

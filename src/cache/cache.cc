@@ -1,0 +1,151 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+CacheKind
+cacheKindFromString(const std::string &s)
+{
+    if (s == "setassoc")
+        return CacheKind::SetAssoc;
+    if (s == "perfect")
+        return CacheKind::Perfect;
+    if (s == "infinite")
+        return CacheKind::Infinite;
+    if (s == "none")
+        return CacheKind::None;
+    texdist_fatal("unknown cache kind: ", s);
+}
+
+const char *
+to_string(CacheKind kind)
+{
+    switch (kind) {
+      case CacheKind::SetAssoc: return "setassoc";
+      case CacheKind::Perfect: return "perfect";
+      case CacheKind::Infinite: return "infinite";
+      case CacheKind::None: return "none";
+    }
+    return "?";
+}
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geometry)
+    : geom(geometry)
+{
+    if (geom.lineBytes == 0 || !std::has_single_bit(geom.lineBytes))
+        texdist_fatal("line size must be a power of two");
+    if (geom.ways == 0)
+        texdist_fatal("associativity must be positive");
+    if (geom.sizeBytes % (geom.ways * geom.lineBytes) != 0)
+        texdist_fatal("cache size must be a multiple of way size");
+
+    sets = geom.numSets();
+    if (sets == 0 || !std::has_single_bit(sets))
+        texdist_fatal("number of sets must be a power of two, got ",
+                      sets);
+    lineShift = std::countr_zero(geom.lineBytes);
+    tags.assign(size_t(sets) * geom.ways, invalidTag);
+    lruStamp.assign(size_t(sets) * geom.ways, 0);
+}
+
+bool
+SetAssocCache::access(uint64_t addr)
+{
+    ++_accesses;
+    uint64_t line = addr >> lineShift;
+    uint32_t set = uint32_t(line & (sets - 1));
+    uint64_t tag = line >> std::countr_zero(sets);
+
+    uint64_t *set_tags = &tags[size_t(set) * geom.ways];
+    uint64_t *set_lru = &lruStamp[size_t(set) * geom.ways];
+
+    uint32_t victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (uint32_t w = 0; w < geom.ways; ++w) {
+        if (set_tags[w] == tag) {
+            set_lru[w] = ++stampCounter;
+            return true;
+        }
+        if (set_lru[w] < oldest) {
+            oldest = set_lru[w];
+            victim = w;
+        }
+    }
+
+    ++_misses;
+    set_tags[victim] = tag;
+    set_lru[victim] = ++stampCounter;
+    return false;
+}
+
+void
+SetAssocCache::reset()
+{
+    std::fill(tags.begin(), tags.end(), invalidTag);
+    std::fill(lruStamp.begin(), lruStamp.end(), 0);
+    stampCounter = 0;
+    _accesses = 0;
+    _misses = 0;
+}
+
+bool
+SetAssocCache::probe(uint64_t line_addr) const
+{
+    uint64_t line = line_addr >> lineShift;
+    uint32_t set = uint32_t(line & (sets - 1));
+    uint64_t tag = line >> std::countr_zero(sets);
+    const uint64_t *set_tags = &tags[size_t(set) * geom.ways];
+    for (uint32_t w = 0; w < geom.ways; ++w)
+        if (set_tags[w] == tag)
+            return true;
+    return false;
+}
+
+InfiniteCache::InfiniteCache(uint32_t line_bytes)
+{
+    if (line_bytes == 0 || !std::has_single_bit(line_bytes))
+        texdist_fatal("line size must be a power of two");
+    lineShift = std::countr_zero(line_bytes);
+}
+
+bool
+InfiniteCache::access(uint64_t addr)
+{
+    ++_accesses;
+    uint64_t line = addr >> lineShift;
+    if (seen.insert(line).second) {
+        ++_misses;
+        return false;
+    }
+    return true;
+}
+
+void
+InfiniteCache::reset()
+{
+    seen.clear();
+    _accesses = 0;
+    _misses = 0;
+}
+
+std::unique_ptr<TextureCache>
+makeCache(CacheKind kind, const CacheGeometry &geometry)
+{
+    switch (kind) {
+      case CacheKind::SetAssoc:
+        return std::make_unique<SetAssocCache>(geometry);
+      case CacheKind::Perfect:
+        return std::make_unique<PerfectCache>();
+      case CacheKind::Infinite:
+        return std::make_unique<InfiniteCache>(geometry.lineBytes);
+      case CacheKind::None:
+        return std::make_unique<NoCache>();
+    }
+    texdist_panic("unreachable cache kind");
+}
+
+} // namespace texdist

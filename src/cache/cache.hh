@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Texture cache models.
+ *
+ * The paper's node cache (from Hakura & Gupta): 16 KB, 4-way set
+ * associative, 64-byte lines, LRU, one 4x4 texel block per line.
+ * Besides the real cache the experiments use a *perfect* cache
+ * ("a cache that always hits; we do not take into account the
+ * compulsory misses") for the load-balancing study, an *infinite*
+ * cache (compulsory misses only) for ideal-locality measurements,
+ * and a cacheless model (every access misses) as the 8-texels-per-
+ * fragment reference point.
+ */
+
+#ifndef TEXDIST_CACHE_CACHE_HH
+#define TEXDIST_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace texdist
+{
+
+/** Geometry of a set-associative cache. */
+struct CacheGeometry
+{
+    uint32_t sizeBytes = 16 * 1024; ///< total capacity
+    uint32_t ways = 4;              ///< associativity
+    uint32_t lineBytes = 64;        ///< line size (one texel block)
+
+    uint32_t
+    numSets() const
+    {
+        return sizeBytes / (ways * lineBytes);
+    }
+
+    bool operator==(const CacheGeometry &) const = default;
+};
+
+/** Which cache model to instantiate. */
+enum class CacheKind
+{
+    SetAssoc, ///< real LRU set-associative cache
+    Perfect,  ///< always hits (paper's "perfect cache")
+    Infinite, ///< compulsory misses only
+    None,     ///< every access misses (cacheless machine)
+};
+
+/** Parse "setassoc" / "perfect" / "infinite" / "none". */
+CacheKind cacheKindFromString(const std::string &s);
+
+/** Printable name of a cache kind. */
+const char *to_string(CacheKind kind);
+
+/**
+ * Abstract texel cache. Accesses are per *texel address*; fills and
+ * miss accounting are per *line*. A miss implies one line fetched
+ * from the external texture memory.
+ */
+class TextureCache
+{
+  public:
+    virtual ~TextureCache() = default;
+
+    /**
+     * Look up one texel address.
+     * @return true on hit; false on miss (the line is filled)
+     */
+    virtual bool access(uint64_t addr) = 0;
+
+    /** Drop all cached state and statistics. */
+    virtual void reset() = 0;
+
+    /** Model name for reports. */
+    virtual CacheKind kind() const = 0;
+
+    uint64_t accesses() const { return _accesses; }
+    uint64_t misses() const { return _misses; }
+    uint64_t hits() const { return _accesses - _misses; }
+
+    /** Lines fetched from memory — equals misses. */
+    uint64_t linesFetched() const { return _misses; }
+
+    /**
+     * Texels transferred over the external bus per miss: a full
+     * 16-texel line for line-based caches, a single texel for the
+     * cacheless machine (whose texel-to-fragment ratio the paper
+     * quotes as 8), zero for the perfect cache.
+     */
+    virtual uint32_t texelsPerFill() const = 0;
+
+    /** Total texels fetched from external memory. */
+    uint64_t
+    texelsFetched() const
+    {
+        return _misses * texelsPerFill();
+    }
+
+    double
+    missRate() const
+    {
+        return _accesses ? double(_misses) / double(_accesses) : 0.0;
+    }
+
+  protected:
+    uint64_t _accesses = 0;
+    uint64_t _misses = 0;
+};
+
+/**
+ * LRU set-associative cache over line addresses.
+ */
+class SetAssocCache : public TextureCache
+{
+  public:
+    explicit SetAssocCache(const CacheGeometry &geometry);
+
+    bool access(uint64_t addr) override;
+    void reset() override;
+    CacheKind kind() const override { return CacheKind::SetAssoc; }
+
+    uint32_t
+    texelsPerFill() const override
+    {
+        return geom.lineBytes / 4;
+    }
+
+    const CacheGeometry &geometry() const { return geom; }
+
+    /** True when the given line currently resides in the cache. */
+    bool probe(uint64_t line_addr) const;
+
+  private:
+    static constexpr uint64_t invalidTag = UINT64_MAX;
+
+    CacheGeometry geom;
+    uint32_t sets;
+    uint32_t lineShift;
+    // tags[set * ways + way]; lruStamp parallel array. A global
+    // monotonic counter implements true LRU.
+    std::vector<uint64_t> tags;
+    std::vector<uint64_t> lruStamp;
+    uint64_t stampCounter = 0;
+};
+
+/** Cache that always hits. */
+class PerfectCache : public TextureCache
+{
+  public:
+    bool
+    access(uint64_t) override
+    {
+        ++_accesses;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        _accesses = 0;
+        _misses = 0;
+    }
+
+    CacheKind kind() const override { return CacheKind::Perfect; }
+    uint32_t texelsPerFill() const override { return 0; }
+};
+
+/** Cache with infinite capacity: only compulsory misses. */
+class InfiniteCache : public TextureCache
+{
+  public:
+    explicit InfiniteCache(uint32_t line_bytes = 64);
+
+    bool access(uint64_t addr) override;
+    void reset() override;
+    CacheKind kind() const override { return CacheKind::Infinite; }
+
+    uint32_t
+    texelsPerFill() const override
+    {
+        return (1u << lineShift) / 4;
+    }
+
+    /** Number of distinct lines ever touched. */
+    uint64_t uniqueLines() const { return seen.size(); }
+
+  private:
+    uint32_t lineShift;
+    std::unordered_set<uint64_t> seen;
+};
+
+/** No cache: every access goes to memory. */
+class NoCache : public TextureCache
+{
+  public:
+    bool
+    access(uint64_t) override
+    {
+        ++_accesses;
+        ++_misses;
+        return false;
+    }
+
+    void
+    reset() override
+    {
+        _accesses = 0;
+        _misses = 0;
+    }
+
+    CacheKind kind() const override { return CacheKind::None; }
+    uint32_t texelsPerFill() const override { return 1; }
+};
+
+/** Factory over CacheKind. */
+std::unique_ptr<TextureCache> makeCache(CacheKind kind,
+                                        const CacheGeometry &geometry);
+
+} // namespace texdist
+
+#endif // TEXDIST_CACHE_CACHE_HH

@@ -1,0 +1,34 @@
+#include "cache/two_level.hh"
+
+namespace texdist
+{
+
+TwoLevelCache::TwoLevelCache(const CacheGeometry &l1,
+                             const CacheGeometry &l2)
+    : l2Geom(l2), l1Cache(l1), l2Cache(l2)
+{
+}
+
+bool
+TwoLevelCache::access(uint64_t addr)
+{
+    ++_accesses;
+    if (l1Cache.access(addr))
+        return true;
+    ++_l1Misses;
+    if (!l2Cache.access(addr))
+        ++_misses; // external fetch
+    return false;
+}
+
+void
+TwoLevelCache::reset()
+{
+    l1Cache.reset();
+    l2Cache.reset();
+    _accesses = 0;
+    _misses = 0;
+    _l1Misses = 0;
+}
+
+} // namespace texdist

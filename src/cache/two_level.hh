@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Two-level texture cache — the paper's Section 9 future-work item.
+ *
+ * Cox et al. showed a large L2 (the graphics card memory used as a
+ * cache, 2-8 MB) captures *inter-frame* locality: most texels a
+ * frame needs were already used by the previous frame. The paper
+ * closes by asking what happens to that L2 in a multiprocessor
+ * machine, where each node only ever sees its own tiles: if the
+ * viewpoint translates by more than a tile between frames, a node's
+ * L2 holds the texels of pixels that now belong to *another* node.
+ * bench/ablate_l2_interframe runs that experiment with this model.
+ *
+ * The model is a conventional inclusive-fill two-level hierarchy:
+ * L1 miss probes L2; L2 miss fetches from memory and fills both.
+ * Statistics inherited from TextureCache describe the *external*
+ * (L2-to-memory) traffic, which is what the inter-frame question is
+ * about; L1-level traffic is exposed separately.
+ */
+
+#ifndef TEXDIST_CACHE_TWO_LEVEL_HH
+#define TEXDIST_CACHE_TWO_LEVEL_HH
+
+#include "cache/cache.hh"
+
+namespace texdist
+{
+
+/** L1 + L2 texture cache hierarchy. */
+class TwoLevelCache : public TextureCache
+{
+  public:
+    /**
+     * @param l1 geometry of the on-chip cache (paper: 16 KB 4-way)
+     * @param l2 geometry of the board-level cache (Cox: 2-8 MB)
+     */
+    TwoLevelCache(const CacheGeometry &l1, const CacheGeometry &l2);
+
+    /**
+     * Access one texel. TextureCache::misses() counts L2 misses
+     * (lines fetched over the external bus).
+     *
+     * @return true when the L1 hits (no on-board traffic at all)
+     */
+    bool access(uint64_t addr) override;
+
+    void reset() override;
+    CacheKind kind() const override { return CacheKind::SetAssoc; }
+
+    uint32_t
+    texelsPerFill() const override
+    {
+        return l2Geom.lineBytes / 4;
+    }
+
+    /** L1-level statistics (on-chip). */
+    uint64_t l1Misses() const { return _l1Misses; }
+    double
+    l1MissRate() const
+    {
+        return accesses() ? double(_l1Misses) / double(accesses())
+                          : 0.0;
+    }
+
+    /** Lines that missed L1 but hit the on-board L2. */
+    uint64_t l2Hits() const { return _l1Misses - _misses; }
+
+    const SetAssocCache &l1() const { return l1Cache; }
+    const SetAssocCache &l2() const { return l2Cache; }
+
+  private:
+    CacheGeometry l2Geom;
+    SetAssocCache l1Cache;
+    SetAssocCache l2Cache;
+    uint64_t _l1Misses = 0;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_CACHE_TWO_LEVEL_HH

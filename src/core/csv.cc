@@ -1,0 +1,70 @@
+#include "core/csv.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+CsvWriter::CsvWriter(const std::string &dir, const std::string &name)
+{
+    if (dir.empty())
+        return;
+    std::string path = dir + "/" + name + ".csv";
+    os.open(path);
+    if (!os)
+        texdist_fatal("cannot open CSV output: ", path);
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    if (!os.is_open())
+        return;
+    for (size_t i = 0; i < columns.size(); ++i)
+        os << (i ? "," : "") << columns[i];
+    os << "\n";
+}
+
+void
+CsvWriter::beginRow(const std::string &x)
+{
+    if (!os.is_open())
+        return;
+    os << x;
+}
+
+void
+CsvWriter::beginRow(double x)
+{
+    std::ostringstream tmp;
+    tmp << x;
+    beginRow(tmp.str());
+}
+
+void
+CsvWriter::value(double v)
+{
+    if (!os.is_open())
+        return;
+    os << "," << v;
+}
+
+void
+CsvWriter::value(const std::string &v)
+{
+    if (!os.is_open())
+        return;
+    os << "," << v;
+}
+
+void
+CsvWriter::endRow()
+{
+    if (!os.is_open())
+        return;
+    os << "\n";
+}
+
+} // namespace texdist

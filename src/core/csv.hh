@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CSV series output for the figure harnesses, so the paper's graphs
+ * can be re-plotted from the regenerated data
+ * (scripts/plot_figures.py consumes these files). One file per
+ * figure panel: a header row, then one row per x value with one
+ * column per series.
+ */
+
+#ifndef TEXDIST_CORE_CSV_HH
+#define TEXDIST_CORE_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace texdist
+{
+
+/** Writes one CSV table (a figure panel). */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p dir/@p name.csv for writing; fatal on error. An empty
+     * @p dir disables the writer (all calls become no-ops), so
+     * harnesses can call unconditionally.
+     */
+    CsvWriter(const std::string &dir, const std::string &name);
+
+    /** True when a file is actually being written. */
+    bool enabled() const { return os.is_open(); }
+
+    /** Write the header row. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Start a row with its x value. */
+    void beginRow(const std::string &x);
+    void beginRow(double x);
+
+    /** Append one value to the current row. */
+    void value(double v);
+    void value(const std::string &v);
+
+    /** Finish the current row. */
+    void endRow();
+
+  private:
+    std::ofstream os;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_CSV_HH

@@ -1,0 +1,208 @@
+#include "core/distribution.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+const char *
+to_string(DistKind kind)
+{
+    switch (kind) {
+      case DistKind::Block: return "block";
+      case DistKind::SLI: return "sli";
+      case DistKind::Contiguous: return "contiguous";
+    }
+    return "?";
+}
+
+const char *
+to_string(InterleaveOrder order)
+{
+    return order == InterleaveOrder::Raster ? "raster" : "diagonal";
+}
+
+Distribution::Distribution(uint32_t screen_w, uint32_t screen_h,
+                           uint32_t num_procs)
+    : screenW(screen_w), screenH(screen_h), procs(num_procs)
+{
+    if (screen_w == 0 || screen_h == 0)
+        texdist_fatal("empty screen");
+    if (num_procs == 0 || num_procs > UINT16_MAX)
+        texdist_fatal("processor count out of range: ", num_procs);
+}
+
+void
+Distribution::buildMap()
+{
+    map.resize(size_t(screenW) * screenH);
+    for (uint32_t y = 0; y < screenH; ++y)
+        for (uint32_t x = 0; x < screenW; ++x)
+            map[size_t(y) * screenW + x] = computeOwner(x, y);
+}
+
+void
+Distribution::overlappingProcs(const Rect &rect,
+                               OverlapScratch &scratch,
+                               std::vector<uint32_t> &out) const
+{
+    Rect r = rect.intersect(
+        Rect(0, 0, int32_t(screenW), int32_t(screenH)));
+    if (r.empty())
+        return;
+
+    if (scratch.mark.size() < procs)
+        scratch.mark.assign(procs, 0);
+
+    size_t out_base = out.size();
+    uint32_t tw = tileWidth();
+    uint32_t th = tileHeight();
+    uint32_t tx0 = uint32_t(r.x0) / tw;
+    uint32_t tx1 = uint32_t(r.x1 - 1) / tw;
+    uint32_t ty0 = uint32_t(r.y0) / th;
+    uint32_t ty1 = uint32_t(r.y1 - 1) / th;
+
+    uint32_t found = 0;
+    for (uint32_t ty = ty0; ty <= ty1 && found < procs; ++ty) {
+        for (uint32_t tx = tx0; tx <= tx1 && found < procs; ++tx) {
+            uint16_t p = computeOwner(tx * tw, ty * th);
+            if (!scratch.mark[p]) {
+                scratch.mark[p] = 1;
+                out.push_back(p);
+                ++found;
+            }
+        }
+    }
+
+    // Reset marks and deliver owners in ascending order for
+    // determinism independent of tile iteration order.
+    std::sort(out.begin() + out_base, out.end());
+    for (size_t i = out_base; i < out.size(); ++i)
+        scratch.mark[out[i]] = 0;
+}
+
+std::vector<uint64_t>
+Distribution::ownedPixels() const
+{
+    std::vector<uint64_t> counts(procs, 0);
+    for (uint16_t p : map)
+        ++counts[p];
+    return counts;
+}
+
+std::unique_ptr<Distribution>
+Distribution::make(DistKind kind, uint32_t screen_w, uint32_t screen_h,
+                   uint32_t num_procs, uint32_t param,
+                   InterleaveOrder order)
+{
+    if (kind == DistKind::Block)
+        return std::make_unique<BlockDistribution>(
+            screen_w, screen_h, num_procs, param, order);
+    if (order != InterleaveOrder::Raster)
+        texdist_fatal("only block distributions support non-raster "
+                      "interleave");
+    if (kind == DistKind::Contiguous)
+        return std::make_unique<ContiguousDistribution>(
+            screen_w, screen_h, num_procs);
+    return std::make_unique<SliDistribution>(screen_w, screen_h,
+                                             num_procs, param);
+}
+
+BlockDistribution::BlockDistribution(uint32_t screen_w,
+                                     uint32_t screen_h,
+                                     uint32_t num_procs,
+                                     uint32_t block_width,
+                                     InterleaveOrder order_)
+    : Distribution(screen_w, screen_h, num_procs),
+      blockWidth(block_width), order(order_)
+{
+    if (block_width == 0)
+        texdist_fatal("block width must be positive");
+    tilesX = (screen_w + block_width - 1) / block_width;
+    buildMap();
+}
+
+uint16_t
+BlockDistribution::computeOwner(uint32_t x, uint32_t y) const
+{
+    uint32_t bx = x / blockWidth;
+    uint32_t by = y / blockWidth;
+    if (order == InterleaveOrder::Raster)
+        return uint16_t((uint64_t(by) * tilesX + bx) % procs);
+    return uint16_t((bx + by) % procs);
+}
+
+std::string
+BlockDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "block(w=" << blockWidth << ", procs=" << procs << ", "
+       << to_string(order) << ")";
+    return os.str();
+}
+
+ContiguousDistribution::ContiguousDistribution(uint32_t screen_w,
+                                               uint32_t screen_h,
+                                               uint32_t num_procs)
+    : Distribution(screen_w, screen_h, num_procs)
+{
+    // Near-square grid with exactly numProcs regions: gridX is the
+    // largest divisor candidate <= sqrt(P) that keeps gridX * gridY
+    // >= P; owners beyond P-1 are clamped into the last region so
+    // non-rectangular processor counts still work.
+    gridX = 1;
+    while ((gridX + 1) * (gridX + 1) <= num_procs)
+        ++gridX;
+    gridY = (num_procs + gridX - 1) / gridX;
+    regionW = (screen_w + gridX - 1) / gridX;
+    regionH = (screen_h + gridY - 1) / gridY;
+    buildMap();
+}
+
+uint16_t
+ContiguousDistribution::computeOwner(uint32_t x, uint32_t y) const
+{
+    uint32_t rx = std::min(x / regionW, gridX - 1);
+    uint32_t ry = std::min(y / regionH, gridY - 1);
+    uint32_t id = ry * gridX + rx;
+    return uint16_t(std::min(id, procs - 1));
+}
+
+std::string
+ContiguousDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "contiguous(" << gridX << "x" << gridY << ", procs="
+       << procs << ")";
+    return os.str();
+}
+
+SliDistribution::SliDistribution(uint32_t screen_w, uint32_t screen_h,
+                                 uint32_t num_procs,
+                                 uint32_t group_lines)
+    : Distribution(screen_w, screen_h, num_procs),
+      groupLines(group_lines)
+{
+    if (group_lines == 0)
+        texdist_fatal("SLI group height must be positive");
+    buildMap();
+}
+
+uint16_t
+SliDistribution::computeOwner(uint32_t, uint32_t y) const
+{
+    return uint16_t((y / groupLines) % procs);
+}
+
+std::string
+SliDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "sli(lines=" << groupLines << ", procs=" << procs << ")";
+    return os.str();
+}
+
+} // namespace texdist

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Static image distributions — the design choice the paper is about.
+ *
+ * The screen is cut into fixed-size tiles distributed to the P
+ * texture-mapping processors by interleaving:
+ *
+ *  - Block: square tiles of width W ("block distribution"); the best
+ *    W is the paper's headline question.
+ *  - SLI: groups of L adjacent scan lines (3dfx Voodoo2 SLI uses
+ *    L = 1 per card; 3DLabs JetStream uses L = 4).
+ *
+ * The distribution is static and hard-coded in the chip: processors
+ * clip while drawing, so a processor spends pixel cycles only on
+ * pixels it owns, but it still receives (and pays triangle setup
+ * for) every triangle whose bounding box overlaps its region.
+ */
+
+#ifndef TEXDIST_CORE_DISTRIBUTION_HH
+#define TEXDIST_CORE_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/rect.hh"
+
+namespace texdist
+{
+
+/** Tile shape. */
+enum class DistKind
+{
+    Block,      ///< interleaved square tiles
+    SLI,        ///< interleaved scan-line groups
+    Contiguous, ///< one contiguous rectangle per processor
+};
+
+/** How interleaved tiles map to processors. */
+enum class InterleaveOrder
+{
+    Raster,   ///< tile index in raster order, modulo P
+    Diagonal, ///< (tile_x + tile_y) modulo P (skewed; ablation A1)
+};
+
+const char *to_string(DistKind kind);
+const char *to_string(InterleaveOrder order);
+
+/** Scratch storage for overlappingProcs (owned by the caller). */
+struct OverlapScratch
+{
+    std::vector<uint8_t> mark; ///< per-processor seen flags
+};
+
+/**
+ * Abstract static screen distribution. The owner map is fully
+ * precomputed: owner lookup is one load, which the per-fragment
+ * dispatch path depends on.
+ */
+class Distribution
+{
+  public:
+    Distribution(uint32_t screen_w, uint32_t screen_h,
+                 uint32_t num_procs);
+    virtual ~Distribution() = default;
+
+    Distribution(const Distribution &) = delete;
+    Distribution &operator=(const Distribution &) = delete;
+
+    uint32_t screenWidth() const { return screenW; }
+    uint32_t screenHeight() const { return screenH; }
+    uint32_t numProcs() const { return procs; }
+
+    /** Owner of pixel (x, y); must be inside the screen. */
+    uint16_t
+    owner(int32_t x, int32_t y) const
+    {
+        return map[size_t(y) * screenW + size_t(x)];
+    }
+
+    /** Row-major owner map (screenWidth * screenHeight entries). */
+    const std::vector<uint16_t> &ownerMap() const { return map; }
+
+    /**
+     * Append (in ascending order) every processor whose region
+     * overlaps @p rect (clipped to the screen) to @p out. This is the
+     * sort-middle binning step: these are the processors a triangle
+     * with that bounding box is sent to.
+     */
+    void overlappingProcs(const Rect &rect, OverlapScratch &scratch,
+                          std::vector<uint32_t> &out) const;
+
+    /** Total pixels owned by each processor (area fairness). */
+    std::vector<uint64_t> ownedPixels() const;
+
+    virtual DistKind kind() const = 0;
+
+    /** Block width (Block) or lines per group (SLI). */
+    virtual uint32_t param() const = 0;
+
+    virtual std::string describe() const = 0;
+
+    /**
+     * Factory. @p param is the block width / group height; ignored
+     * for the contiguous distribution.
+     */
+    static std::unique_ptr<Distribution>
+    make(DistKind kind, uint32_t screen_w, uint32_t screen_h,
+         uint32_t num_procs, uint32_t param,
+         InterleaveOrder order = InterleaveOrder::Raster);
+
+  protected:
+    /** Owner of one pixel; used once to fill the map. */
+    virtual uint16_t computeOwner(uint32_t x, uint32_t y) const = 0;
+
+    /**
+     * Tile grid geometry for overlap iteration: tile size in x/y.
+     * SLI tiles are screen-wide.
+     */
+    virtual uint32_t tileWidth() const = 0;
+    virtual uint32_t tileHeight() const = 0;
+
+    /** Derived constructors must call this once fully initialized. */
+    void buildMap();
+
+    uint32_t screenW;
+    uint32_t screenH;
+    uint32_t procs;
+
+  private:
+    std::vector<uint16_t> map;
+};
+
+/** Square-block interleaved distribution. */
+class BlockDistribution : public Distribution
+{
+  public:
+    BlockDistribution(uint32_t screen_w, uint32_t screen_h,
+                      uint32_t num_procs, uint32_t block_width,
+                      InterleaveOrder order);
+
+    DistKind kind() const override { return DistKind::Block; }
+    uint32_t param() const override { return blockWidth; }
+    std::string describe() const override;
+
+  protected:
+    uint16_t computeOwner(uint32_t x, uint32_t y) const override;
+    uint32_t tileWidth() const override { return blockWidth; }
+    uint32_t tileHeight() const override { return blockWidth; }
+
+  private:
+    uint32_t blockWidth;
+    uint32_t tilesX;
+    InterleaveOrder order;
+};
+
+/**
+ * Contiguous distribution: the screen is cut into one large
+ * rectangle per processor (a near-square grid), with no
+ * interleaving — the "Big Tiles" case of the paper's Figure 1 and
+ * the image partition a sort-first machine would use. Texture
+ * locality is as good as it gets; load balance is at the mercy of
+ * where the scene's hot spots sit.
+ */
+class ContiguousDistribution : public Distribution
+{
+  public:
+    ContiguousDistribution(uint32_t screen_w, uint32_t screen_h,
+                           uint32_t num_procs);
+
+    DistKind kind() const override { return DistKind::Contiguous; }
+    uint32_t param() const override { return 0; }
+    std::string describe() const override;
+
+    uint32_t gridCols() const { return gridX; }
+    uint32_t gridRows() const { return gridY; }
+
+  protected:
+    uint16_t computeOwner(uint32_t x, uint32_t y) const override;
+    uint32_t tileWidth() const override { return regionW; }
+    uint32_t tileHeight() const override { return regionH; }
+
+  private:
+    uint32_t gridX;
+    uint32_t gridY;
+    uint32_t regionW;
+    uint32_t regionH;
+};
+
+/** Scan-line-interleaved distribution (groups of adjacent lines). */
+class SliDistribution : public Distribution
+{
+  public:
+    SliDistribution(uint32_t screen_w, uint32_t screen_h,
+                    uint32_t num_procs, uint32_t group_lines);
+
+    DistKind kind() const override { return DistKind::SLI; }
+    uint32_t param() const override { return groupLines; }
+    std::string describe() const override;
+
+  protected:
+    uint16_t computeOwner(uint32_t x, uint32_t y) const override;
+    uint32_t tileWidth() const override { return screenW; }
+    uint32_t tileHeight() const override { return groupLines; }
+
+  private:
+    uint32_t groupLines;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_DISTRIBUTION_HH

@@ -1,0 +1,171 @@
+#include "core/experiments.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "raster/raster.hh"
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+std::vector<uint64_t>
+pixelWorkPerProc(const Scene &scene, const Distribution &dist)
+{
+    std::vector<uint64_t> work(dist.numProcs(), 0);
+    const std::vector<uint16_t> &owners = dist.ownerMap();
+    uint32_t screen_w = dist.screenWidth();
+    Rect screen = scene.screenRect();
+
+    for (const TexTriangle &tri : scene.triangles) {
+        const Texture &tex = scene.textures.get(tri.tex);
+        TriangleRaster raster(tri, tex.width(), tex.height());
+        if (raster.degenerate())
+            continue;
+        raster.rasterize(screen, [&](const Fragment &frag) {
+            ++work[owners[size_t(frag.y) * screen_w +
+                          size_t(frag.x)]];
+        });
+    }
+    return work;
+}
+
+double
+imbalancePercent(const std::vector<uint64_t> &work)
+{
+    if (work.empty())
+        return 0.0;
+    uint64_t max = 0;
+    uint64_t sum = 0;
+    for (uint64_t w : work) {
+        max = std::max(max, w);
+        sum += w;
+    }
+    double mean = double(sum) / double(work.size());
+    return mean > 0.0 ? (double(max) - mean) / mean * 100.0 : 0.0;
+}
+
+FrameResult
+FrameLab::run(const MachineConfig &config) const
+{
+    return runFrame(scene, config);
+}
+
+Tick
+FrameLab::baseline(const MachineConfig &config)
+{
+    MachineConfig base = config;
+    base.numProcs = 1;
+    base.dist = DistKind::Block;
+    // One processor owns the whole screen whatever the tile size;
+    // use one screen-sized tile so triangle binning is trivial.
+    base.tileParam =
+        std::max(scene.screenWidth, scene.screenHeight);
+    base.interleave = InterleaveOrder::Raster;
+    // Speedups are measured against a single-processor machine with
+    // an ideal buffer (buffer size cannot starve a lone node anyway).
+    base.triangleBufferSize = 10000;
+
+    std::string key = base.describe();
+    auto it = baselines.find(key);
+    if (it != baselines.end())
+        return it->second;
+
+    Tick t1 = runFrame(scene, base).frameTime;
+    baselines.emplace(key, t1);
+    return t1;
+}
+
+FrameLab::SpeedupResult
+FrameLab::runWithSpeedup(const MachineConfig &config)
+{
+    SpeedupResult out;
+    out.baselineTime = baseline(config);
+    out.frame = run(config);
+    out.speedup = out.frame.frameTime
+                      ? double(out.baselineTime) /
+                            double(out.frame.frameTime)
+                      : 0.0;
+    return out;
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    if (const char *env = std::getenv("TEXDIST_SCALE"))
+        opts.scale = std::atof(env);
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--full") {
+            opts.scale = 1.0;
+        } else if (arg == "--quick") {
+            opts.scale = 0.25;
+        } else if (arg.rfind("--scale=", 0) == 0) {
+            opts.scale = std::atof(arg.c_str() + 8);
+        } else if (arg.rfind("--csv=", 0) == 0) {
+            opts.csvDir = arg.substr(6);
+        } else if (arg == "--help" || arg == "-h") {
+            inform("options: --scale=<f> | --full | --quick | "
+                   "--csv=<dir> (or env TEXDIST_SCALE)");
+        } else {
+            warn("ignoring unknown option: ", arg);
+        }
+    }
+    if (opts.scale <= 0.0 || opts.scale > 4.0)
+        texdist_fatal("scene scale out of range: ", opts.scale);
+    return opts;
+}
+
+TablePrinter::TablePrinter(std::ostream &os,
+                           std::vector<std::string> headers_,
+                           int width_)
+    : os(os), headers(std::move(headers_)), width(width_)
+{
+}
+
+void
+TablePrinter::printHeader()
+{
+    for (size_t i = 0; i < headers.size(); ++i)
+        os << std::setw(i == 0 ? width + 6 : width) << headers[i];
+    os << "\n";
+    os << std::string((headers.size() - 1) * size_t(width) +
+                          size_t(width) + 6,
+                      '-')
+       << "\n";
+}
+
+void
+TablePrinter::cell(const std::string &value)
+{
+    os << std::setw(column == 0 ? width + 6 : width) << value;
+    ++column;
+}
+
+void
+TablePrinter::cell(double value, int precision)
+{
+    std::ostringstream tmp;
+    tmp << std::fixed << std::setprecision(precision) << value;
+    cell(tmp.str());
+}
+
+void
+TablePrinter::cell(uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TablePrinter::endRow()
+{
+    os << "\n";
+    column = 0;
+}
+
+} // namespace texdist

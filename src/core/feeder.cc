@@ -1,0 +1,170 @@
+#include "core/feeder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "raster/raster.hh"
+
+namespace texdist
+{
+
+GeometryFeeder::GeometryFeeder(
+    const Scene &scene_, const Distribution &dist_,
+    std::vector<std::unique_ptr<TextureNode>> &nodes_, EventQueue &eq,
+    const MachineConfig &config)
+    : SimObject("feeder", eq), scene(scene_), dist(dist_),
+      nodes(nodes_), rate(config.geometryTrianglesPerCycle),
+      geomProcs(config.geometryProcs),
+      geomCycles(config.geometryCyclesPerTriangle),
+      dispatchEvent(*this)
+{
+    if (geomProcs > 0)
+        geomEngineFree.assign(geomProcs, 0);
+    buckets.resize(dist.numProcs());
+    _stats.addStat("dispatched", "triangles dispatched", _dispatched);
+    _stats.addStat("degenerate", "zero-area triangles skipped",
+                   _degenerate);
+    _stats.addStat("culled", "off-screen triangles skipped", _culled);
+    _stats.addStat("blocked_cycles", "cycles blocked on full FIFOs",
+                   _blockedCycles);
+    _stats.addStat("fifo_occupancy",
+                   "destination FIFO occupancy at dispatch",
+                   fifoOccupancy);
+}
+
+void
+GeometryFeeder::start(Tick when)
+{
+    lastRateTick = when;
+    if (geomProcs > 0)
+        std::fill(geomEngineFree.begin(), geomEngineFree.end(),
+                  when);
+    if (!done())
+        eventq().schedule(&dispatchEvent, when);
+}
+
+void
+GeometryFeeder::notifySpaceFreed()
+{
+    if (waiting && !dispatchEvent.scheduled()) {
+        waiting = false;
+        _blockedCycles += curTick() - blockedSince;
+        eventq().schedule(&dispatchEvent, curTick());
+    }
+}
+
+bool
+GeometryFeeder::tryDispatchOne()
+{
+    const TexTriangle &tri = scene.triangles[nextTriangle];
+    const Texture &tex = scene.textures.get(tri.tex);
+    TriangleRaster raster(tri, tex.width(), tex.height());
+
+    if (raster.degenerate()) {
+        ++_degenerate;
+        ++nextTriangle;
+        return true;
+    }
+
+    Rect screen = scene.screenRect();
+    Rect bbox = raster.bbox().intersect(screen);
+    targets.clear();
+    dist.overlappingProcs(bbox, scratch, targets);
+    if (targets.empty()) {
+        ++_culled;
+        ++nextTriangle;
+        return true;
+    }
+
+    // Strict ordering: the triangle goes to all its targets or to
+    // none; a single full FIFO stalls the whole geometry stream.
+    for (uint32_t t : targets) {
+        if (!nodes[t]->fifoHasSpace())
+            return false;
+    }
+
+    // Rasterize once and bucket the fragments by owning processor —
+    // this *is* the "clipping while drawing": a node is only charged
+    // for pixels inside its own tiles.
+    const std::vector<uint16_t> &owners = dist.ownerMap();
+    uint32_t screen_w = dist.screenWidth();
+    raster.rasterize(screen, [&](const Fragment &frag) {
+        uint16_t p =
+            owners[size_t(frag.y) * screen_w + size_t(frag.x)];
+        buckets[p].push_back(NodeFragment{
+            uint16_t(frag.x), uint16_t(frag.y), frag.u, frag.v,
+            frag.lod});
+    });
+
+    for (uint32_t t : targets) {
+        fifoOccupancy.add(double(nodes[t]->fifoOccupancy()));
+        TriangleWork work;
+        work.tex = tri.tex;
+        work.frags = std::move(buckets[t]);
+        buckets[t].clear();
+        nodes[t]->enqueue(std::move(work));
+    }
+
+    ++_dispatched;
+    ++nextTriangle;
+    return true;
+}
+
+Tick
+GeometryFeeder::computeArrival()
+{
+    if (geomProcs == 0)
+        return 0;
+    // Round-robin over the geometry engines; each triangle occupies
+    // its engine for geomCycles. The sort network re-merges the
+    // streams in submission order, so arrivals are monotone: a slow
+    // engine holds back everything behind it.
+    Tick &engine = geomEngineFree[nextGeomEngine];
+    engine += geomCycles;
+    nextGeomEngine = (nextGeomEngine + 1) % geomProcs;
+    nextArrival = std::max(nextArrival, engine);
+    return nextArrival;
+}
+
+void
+GeometryFeeder::dispatchLoop()
+{
+    if (rate > 0.0) {
+        // Finite aggregate rate: accumulate dispatch credit over the
+        // cycles elapsed since the last dispatch event.
+        Tick now = curTick();
+        rateCredit += rate * double(now - lastRateTick);
+        rateCredit = std::min(rateCredit, std::max(1.0, rate));
+        lastRateTick = now;
+    }
+
+    while (!done()) {
+        if (!arrivalValid) {
+            nextArrival = computeArrival();
+            arrivalValid = true;
+        }
+        if (geomProcs > 0 && curTick() < nextArrival) {
+            // The triangle is still in the geometry stage.
+            eventq().schedule(&dispatchEvent, nextArrival);
+            return;
+        }
+        if (rate > 0.0 && rateCredit < 1.0) {
+            // Out of credit: try again next cycle.
+            eventq().schedule(&dispatchEvent, curTick() + 1);
+            return;
+        }
+        size_t index = nextTriangle;
+        if (!tryDispatchOne()) {
+            waiting = true;
+            blockedSince = curTick();
+            return;
+        }
+        if (nextTriangle != index)
+            arrivalValid = false;
+        if (rate > 0.0)
+            rateCredit -= 1.0;
+    }
+    _finishTime = curTick();
+}
+
+} // namespace texdist

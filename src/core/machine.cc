@@ -1,0 +1,186 @@
+#include "core/machine.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+namespace
+{
+
+/** (max - mean) / mean in percent; 0 for empty or all-zero input. */
+template <typename T>
+double
+imbalancePct(const std::vector<T> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    double max = 0.0;
+    for (T v : values) {
+        sum += double(v);
+        max = std::max(max, double(v));
+    }
+    double mean = sum / double(values.size());
+    return mean > 0.0 ? (max - mean) / mean * 100.0 : 0.0;
+}
+
+} // namespace
+
+ParallelMachine::ParallelMachine(const Scene &scene_,
+                                 const MachineConfig &config)
+    : ParallelMachine(scene_, config,
+                      Distribution::make(
+                          config.dist, scene_.screenWidth,
+                          scene_.screenHeight, config.numProcs,
+                          config.tileParam, config.interleave))
+{
+}
+
+ParallelMachine::ParallelMachine(
+    const Scene &scene_, const MachineConfig &config,
+    std::unique_ptr<Distribution> distribution)
+    : scene(scene_), cfg(config), dist(std::move(distribution))
+{
+    if (dist->numProcs() != cfg.numProcs ||
+        dist->screenWidth() != scene.screenWidth ||
+        dist->screenHeight() != scene.screenHeight)
+        texdist_fatal("distribution does not match scene/config: ",
+                      dist->describe());
+    nodes.reserve(cfg.numProcs);
+    for (uint32_t i = 0; i < cfg.numProcs; ++i)
+        nodes.push_back(std::make_unique<TextureNode>(
+            i, cfg, scene.textures, eq));
+    feeder_ = std::make_unique<GeometryFeeder>(scene, *dist, nodes,
+                                               eq, cfg);
+    for (auto &node : nodes)
+        node->setFeeder(feeder_.get());
+}
+
+FrameResult
+ParallelMachine::run()
+{
+    if (ran)
+        texdist_panic("ParallelMachine::run() called twice");
+    ran = true;
+
+    feeder_->start();
+    eq.run();
+
+    if (!feeder_->done())
+        texdist_panic("event queue drained with triangles pending");
+
+    FrameResult out;
+    out.nodes.reserve(nodes.size());
+    out.trianglesDispatched = feeder_->trianglesDispatched();
+
+    std::vector<uint64_t> pixel_counts;
+    std::vector<Tick> finish_times;
+    double bus_util_sum = 0.0;
+
+    Tick frame_time = 0;
+    for (const auto &node : nodes)
+        frame_time = std::max(frame_time, node->finishTime());
+    out.frameTime = frame_time;
+
+    for (const auto &node : nodes) {
+        NodeResult nr;
+        nr.pixels = node->pixelsDrawn();
+        nr.triangles = node->trianglesReceived();
+        nr.finishTime = node->finishTime();
+        nr.cacheAccesses = node->cache().accesses();
+        nr.cacheMisses = node->cache().misses();
+        nr.texelsFetched = node->cache().texelsFetched();
+        nr.stallCycles = node->stallCycles();
+        nr.idleCycles = node->idleCycles();
+        nr.setupBoundTriangles = node->setupBoundTriangles();
+        nr.setupWaitCycles = node->setupWaitCycles();
+        nr.fifoMaxOccupancy = node->fifoMaxOccupancy();
+        if (node->bus())
+            nr.busUtilization =
+                node->bus()->utilization(frame_time);
+
+        out.totalPixels += nr.pixels;
+        out.totalTexelsFetched += nr.texelsFetched;
+        out.fifoMaxOccupancy =
+            std::max(out.fifoMaxOccupancy, nr.fifoMaxOccupancy);
+        bus_util_sum += nr.busUtilization;
+
+        pixel_counts.push_back(nr.pixels);
+        finish_times.push_back(nr.finishTime);
+        out.nodes.push_back(nr);
+    }
+
+    out.texelToFragmentRatio =
+        out.totalPixels ? double(out.totalTexelsFetched) /
+                              double(out.totalPixels)
+                        : 0.0;
+    out.pixelImbalancePercent = imbalancePct(pixel_counts);
+    out.timeImbalancePercent = imbalancePct(finish_times);
+    out.meanBusUtilization = bus_util_sum / double(nodes.size());
+    return out;
+}
+
+void
+ParallelMachine::dumpStats(std::ostream &os) const
+{
+    feeder_->dumpStats(os);
+    for (const auto &node : nodes)
+        node->dumpStats(os);
+}
+
+FrameResult
+runFrame(const Scene &scene, const MachineConfig &config)
+{
+    ParallelMachine machine(scene, config);
+    return machine.run();
+}
+
+void
+FrameResult::print(std::ostream &os) const
+{
+    os << "frame time:        " << frameTime << " cycles\n"
+       << "fragments drawn:   " << totalPixels << "\n"
+       << "triangles:         " << trianglesDispatched << "\n"
+       << "texels fetched:    " << totalTexelsFetched << "\n"
+       << std::fixed << std::setprecision(3)
+       << "texel/fragment:    " << texelToFragmentRatio << "\n"
+       << std::setprecision(1)
+       << "pixel imbalance:   " << pixelImbalancePercent << " %\n"
+       << "time imbalance:    " << timeImbalancePercent << " %\n"
+       << std::setprecision(2)
+       << "mean bus util:     " << meanBusUtilization << "\n"
+       << "fifo high water:   " << fifoMaxOccupancy << "\n";
+}
+
+std::string
+MachineConfig::describe() const
+{
+    std::ostringstream os;
+    os << "procs=" << numProcs << " dist=" << to_string(dist) << "/"
+       << tileParam << " interleave=" << to_string(interleave)
+       << " cache=" << to_string(cacheKind);
+    if (cacheKind == CacheKind::SetAssoc)
+        os << "(" << cacheGeom.sizeBytes / 1024 << "KB,"
+           << cacheGeom.ways << "w," << cacheGeom.lineBytes << "B)";
+    if (hasL2)
+        os << "+L2(" << l2Geom.sizeBytes / 1024 << "KB)";
+    if (infiniteBus)
+        os << " bus=inf";
+    else
+        os << " bus=" << busTexelsPerCycle;
+    os << " buffer=" << triangleBufferSize << " setup="
+       << setupCyclesPerTriangle << " prefetch=" << prefetchQueueDepth;
+    if (geometryTrianglesPerCycle > 0)
+        os << " geom=" << geometryTrianglesPerCycle;
+    if (geometryProcs > 0)
+        os << " geomprocs=" << geometryProcs << "x"
+           << geometryCyclesPerTriangle;
+    return os.str();
+}
+
+} // namespace texdist

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The parallel sort-middle machine of Figure 4: a distribution, P
+ * texture-mapping nodes with private caches and texture memories,
+ * and the idealized geometry feeder, all on one event queue. Running
+ * a frame produces the measurements the paper's figures are built
+ * from.
+ */
+
+#ifndef TEXDIST_CORE_MACHINE_HH
+#define TEXDIST_CORE_MACHINE_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/feeder.hh"
+#include "core/node.hh"
+#include "scene/scene.hh"
+
+namespace texdist
+{
+
+/** Per-node measurements of one frame. */
+struct NodeResult
+{
+    uint64_t pixels = 0;
+    uint64_t triangles = 0;
+    Tick finishTime = 0;
+    uint64_t cacheAccesses = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t texelsFetched = 0;
+    uint64_t stallCycles = 0;
+    uint64_t idleCycles = 0;
+    uint64_t setupBoundTriangles = 0;
+    uint64_t setupWaitCycles = 0;
+    size_t fifoMaxOccupancy = 0;
+    double busUtilization = 0.0;
+};
+
+/** Whole-frame measurements. */
+struct FrameResult
+{
+    Tick frameTime = 0; ///< cycles until the last node finished
+    std::vector<NodeResult> nodes;
+
+    uint64_t totalPixels = 0;       ///< fragments drawn (all nodes)
+    uint64_t totalTexelsFetched = 0;
+    uint64_t trianglesDispatched = 0;
+
+    /**
+     * Texels fetched from the external memories per fragment drawn —
+     * the paper's texel-to-fragment ratio (Figure 6).
+     */
+    double texelToFragmentRatio = 0.0;
+
+    /**
+     * Percent extra work on the busiest node:
+     * (max - mean) / mean * 100 over per-node pixel counts — the
+     * measure of Figure 5's top graphs.
+     */
+    double pixelImbalancePercent = 0.0;
+
+    /** Same measure over node finish times. */
+    double timeImbalancePercent = 0.0;
+
+    /** Longest FIFO occupancy across nodes. */
+    size_t fifoMaxOccupancy = 0;
+
+    /** Mean bus utilization across nodes (0 without a bus). */
+    double meanBusUtilization = 0.0;
+
+    /** Human-readable dump. */
+    void print(std::ostream &os) const;
+};
+
+/**
+ * One machine instance bound to one scene. Build, run() once, read
+ * the result (the machine is single-shot; build a new one per
+ * configuration, they are cheap relative to a frame).
+ */
+class ParallelMachine
+{
+  public:
+    ParallelMachine(const Scene &scene, const MachineConfig &config);
+
+    /**
+     * Build around an externally constructed distribution (e.g. a
+     * MappedBlockDistribution from the oracle balancer). The
+     * distribution's screen size and processor count must match the
+     * scene and config.
+     */
+    ParallelMachine(const Scene &scene, const MachineConfig &config,
+                    std::unique_ptr<Distribution> distribution);
+
+    /** Simulate the frame to completion. */
+    FrameResult run();
+
+    const Distribution &distribution() const { return *dist; }
+    const MachineConfig &config() const { return cfg; }
+
+    /** Per-node access for tests and detailed reports. */
+    const TextureNode &node(uint32_t i) const { return *nodes[i]; }
+    const GeometryFeeder &feeder() const { return *feeder_; }
+
+    /** Dump every component's statistics (gem5-style lines). */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    const Scene &scene;
+    MachineConfig cfg;
+    EventQueue eq;
+    std::unique_ptr<Distribution> dist;
+    std::vector<std::unique_ptr<TextureNode>> nodes;
+    std::unique_ptr<GeometryFeeder> feeder_;
+    bool ran = false;
+};
+
+/** Convenience: build and run one configuration. */
+FrameResult runFrame(const Scene &scene, const MachineConfig &config);
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_MACHINE_HH

@@ -1,0 +1,96 @@
+#include "core/mapped.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "raster/raster.hh"
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+MappedBlockDistribution::MappedBlockDistribution(
+    uint32_t screen_w, uint32_t screen_h, uint32_t num_procs,
+    uint32_t block_width, std::vector<uint16_t> tile_owners)
+    : Distribution(screen_w, screen_h, num_procs),
+      blockWidth(block_width), owners(std::move(tile_owners))
+{
+    if (block_width == 0)
+        texdist_fatal("block width must be positive");
+    tilesX = (screen_w + block_width - 1) / block_width;
+    uint32_t tiles_y = (screen_h + block_width - 1) / block_width;
+    if (owners.size() != size_t(tilesX) * tiles_y)
+        texdist_fatal("tile map size ", owners.size(),
+                      " does not match grid ", tilesX, "x", tiles_y);
+    for (uint16_t owner : owners)
+        if (owner >= num_procs)
+            texdist_fatal("tile owner ", owner, " out of range");
+    buildMap();
+}
+
+uint16_t
+MappedBlockDistribution::computeOwner(uint32_t x, uint32_t y) const
+{
+    uint32_t bx = x / blockWidth;
+    uint32_t by = y / blockWidth;
+    return owners[size_t(by) * tilesX + bx];
+}
+
+std::string
+MappedBlockDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "mapped-block(w=" << blockWidth << ", procs=" << procs
+       << ")";
+    return os.str();
+}
+
+std::vector<uint64_t>
+tileWork(const Scene &scene, uint32_t block_width)
+{
+    uint32_t tiles_x =
+        (scene.screenWidth + block_width - 1) / block_width;
+    uint32_t tiles_y =
+        (scene.screenHeight + block_width - 1) / block_width;
+    std::vector<uint64_t> work(size_t(tiles_x) * tiles_y, 0);
+
+    Rect screen = scene.screenRect();
+    for (const TexTriangle &tri : scene.triangles) {
+        const Texture &tex = scene.textures.get(tri.tex);
+        TriangleRaster raster(tri, tex.width(), tex.height());
+        if (raster.degenerate())
+            continue;
+        raster.rasterize(screen, [&](const Fragment &frag) {
+            ++work[size_t(uint32_t(frag.y) / block_width) * tiles_x +
+                   uint32_t(frag.x) / block_width];
+        });
+    }
+    return work;
+}
+
+std::vector<uint16_t>
+balanceTilesGreedy(const std::vector<uint64_t> &tile_work,
+                   uint32_t num_procs)
+{
+    std::vector<size_t> order(tile_work.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return tile_work[a] > tile_work[b];
+                     });
+
+    std::vector<uint64_t> load(num_procs, 0);
+    std::vector<uint16_t> owners(tile_work.size(), 0);
+    for (size_t tile : order) {
+        uint32_t best = 0;
+        for (uint32_t p = 1; p < num_procs; ++p)
+            if (load[p] < load[best])
+                best = p;
+        owners[tile] = uint16_t(best);
+        load[best] += tile_work[tile];
+    }
+    return owners;
+}
+
+} // namespace texdist

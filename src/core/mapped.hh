@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Explicitly mapped block distribution + an oracle tile balancer —
+ * the paper's other future-work item ("impact of dynamic load
+ * balancing on such a cache").
+ *
+ * A real dynamic machine would assign tiles to processors as the
+ * frame's load is discovered. Simulating the *limit* of any such
+ * scheme only needs an oracle: measure each tile's work, assign
+ * tiles to processors with a greedy longest-processing-time pass,
+ * and run the otherwise unchanged static machine on that map. The
+ * comparison against interleaving (bench/ablate_dynamic_balance)
+ * bounds what dynamic assignment could buy — and shows what it
+ * costs in texture locality, since an LPT map has no reason to keep
+ * a processor's tiles spatially coherent.
+ */
+
+#ifndef TEXDIST_CORE_MAPPED_HH
+#define TEXDIST_CORE_MAPPED_HH
+
+#include <vector>
+
+#include "core/distribution.hh"
+#include "scene/scene.hh"
+
+namespace texdist
+{
+
+/**
+ * Block distribution with an arbitrary tile-to-processor map
+ * (raster-order tile indexing).
+ */
+class MappedBlockDistribution : public Distribution
+{
+  public:
+    /**
+     * @param tile_owners one owner per tile, raster order, size
+     *        ceil(w / block) * ceil(h / block); entries < num_procs
+     */
+    MappedBlockDistribution(uint32_t screen_w, uint32_t screen_h,
+                            uint32_t num_procs, uint32_t block_width,
+                            std::vector<uint16_t> tile_owners);
+
+    DistKind kind() const override { return DistKind::Block; }
+    uint32_t param() const override { return blockWidth; }
+    std::string describe() const override;
+
+  protected:
+    uint16_t computeOwner(uint32_t x, uint32_t y) const override;
+    uint32_t tileWidth() const override { return blockWidth; }
+    uint32_t tileHeight() const override { return blockWidth; }
+
+  private:
+    uint32_t blockWidth;
+    uint32_t tilesX;
+    std::vector<uint16_t> owners;
+};
+
+/**
+ * Fragments per block-grid tile for a scene (raster tile order) —
+ * the oracle's load measurement.
+ */
+std::vector<uint64_t> tileWork(const Scene &scene,
+                               uint32_t block_width);
+
+/**
+ * Greedy longest-processing-time assignment: tiles sorted by
+ * descending work, each placed on the least-loaded processor.
+ * Near-optimal makespan; the upper bound for dynamic balancing.
+ */
+std::vector<uint16_t> balanceTilesGreedy(
+    const std::vector<uint64_t> &tile_work, uint32_t num_procs);
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_MAPPED_HH

@@ -1,0 +1,140 @@
+#include "core/node.hh"
+
+#include <algorithm>
+
+#include "cache/two_level.hh"
+#include "core/feeder.hh"
+#include "texture/sampler.hh"
+
+namespace texdist
+{
+
+namespace
+{
+
+std::string
+nodeName(uint32_t id)
+{
+    return "node" + std::to_string(id);
+}
+
+} // namespace
+
+TextureNode::TextureNode(uint32_t id, const MachineConfig &config,
+                         const TextureManager &textures_,
+                         EventQueue &eq)
+    : SimObject(nodeName(id), eq), nodeId(id), cfg(config),
+      textures(textures_),
+      cache_(config.hasL2 && config.cacheKind == CacheKind::SetAssoc
+                 ? std::make_unique<TwoLevelCache>(config.cacheGeom,
+                                                   config.l2Geom)
+                 : makeCache(config.cacheKind, config.cacheGeom)),
+      fifo(config.triangleBufferSize), workEvent(*this)
+{
+    if (!cfg.infiniteBus)
+        bus_ = std::make_unique<TextureBus>(cfg.busTexelsPerCycle);
+    retireRing.assign(std::max(1u, cfg.prefetchQueueDepth), 0);
+
+    _stats.addStat("pixels", "fragments drawn", _pixelsDrawn);
+    _stats.addStat("triangles", "triangles received",
+                   _trianglesReceived);
+    _stats.addStat("setup_bound", "setup-engine-bound triangles",
+                   _setupBound);
+    _stats.addStat("stall_cycles", "prefetch-queue stall cycles",
+                   _stallCycles);
+    _stats.addStat("idle_cycles", "cycles starved for triangles",
+                   _idleCycles);
+    _stats.addStat("triangle_pixels",
+                   "pixels per received triangle", trianglePixels);
+}
+
+void
+TextureNode::enqueue(TriangleWork &&work)
+{
+    fifo.push(std::move(work));
+    if (!workEvent.scheduled()) {
+        // The node was idle: it can start this triangle as soon as
+        // its scan engine is free (which may be in the past).
+        eventq().schedule(&workEvent, std::max(curTick(), cpuTime));
+    }
+}
+
+Tick
+TextureNode::scanFragments(const TriangleWork &work, Tick start)
+{
+    Tick cpu = start;
+
+    if (cfg.cacheKind == CacheKind::Perfect) {
+        // Perfect cache, no memory traffic: the scan proceeds at one
+        // pixel per cycle with nothing to wait for.
+        cpu += work.frags.size();
+        lastRetire = std::max(lastRetire, cpu);
+        return cpu;
+    }
+
+    const Texture &tex = textures.get(work.tex);
+    const size_t depth = retireRing.size();
+    TexelRefs refs;
+
+    for (const NodeFragment &frag : work.frags) {
+        // Wait for a prefetch-queue slot: the fragment issued
+        // `depth` fragments ago must have retired.
+        Tick issue = std::max(cpu, retireRing[ringHead]);
+        _stallCycles += issue - cpu;
+
+        TrilinearSampler::generate(tex, frag.u, frag.v, frag.lod,
+                                   refs);
+        Tick retire = issue + 1;
+        for (uint64_t addr : refs) {
+            if (!cache_->access(addr) && bus_) {
+                Tick arrival =
+                    bus_->transfer(issue, cache_->texelsPerFill());
+                retire = std::max(retire, arrival);
+            }
+        }
+
+        retireRing[ringHead] = retire;
+        ringHead = (ringHead + 1) % depth;
+        lastRetire = std::max(lastRetire, retire);
+        cpu = issue + 1;
+    }
+    return cpu;
+}
+
+void
+TextureNode::processNext()
+{
+    Tick start = curTick();
+    _idleCycles += start > cpuTime ? start - cpuTime : 0;
+
+    TriangleWork work = fifo.pop();
+    if (feeder)
+        feeder->notifySpaceFreed();
+
+    ++_trianglesReceived;
+    _pixelsDrawn += work.frags.size();
+    trianglePixels.add(double(work.frags.size()));
+
+    Tick scan_end = scanFragments(work, start);
+    Tick setup_end = start + cfg.setupCyclesPerTriangle;
+    if (scan_end < setup_end) {
+        // Fewer pixels than the setup engine needs cycles: the
+        // triangle is setup-bound (the paper's small-tile penalty).
+        ++_setupBound;
+        _setupWaitCycles += setup_end - scan_end;
+        cpuTime = setup_end;
+    } else {
+        cpuTime = scan_end;
+    }
+
+    if (!fifo.empty())
+        eventq().schedule(&workEvent, cpuTime);
+}
+
+Tick
+TextureNode::finishTime() const
+{
+    return std::max(cpuTime, lastRetire);
+}
+
+} // namespace texdist

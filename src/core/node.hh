@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The texture-mapping node of Figure 3: triangle FIFO, setup engine
+ * (one triangle per 25 cycles), pixel scan (one pixel per cycle), an
+ * on-chip texture cache, a fragment prefetch queue, and the
+ * bandwidth-limited bus to the node's private texture memory.
+ *
+ * Timing model:
+ *  - A triangle occupies the node for max(setupCycles, scan time):
+ *    a triangle with a small intersection with the node's region is
+ *    setup-bound — the paper's small-tile overhead.
+ *  - The scan issues one fragment per cycle. Each fragment makes 8
+ *    texel references; missed lines are transferred in request order
+ *    over the bus at R texels/cycle. Memory latency is hidden by the
+ *    prefetch queue (Igehy et al.): a fragment only *retires* when
+ *    its texels have arrived, and the scan stalls when the queue of
+ *    unretired fragments reaches its depth. Sustained misses beyond
+ *    the bus bandwidth therefore throttle the scan; short bursts are
+ *    absorbed by the queue.
+ */
+
+#ifndef TEXDIST_CORE_NODE_HH
+#define TEXDIST_CORE_NODE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/config.hh"
+#include "mem/bus.hh"
+#include "sim/fifo.hh"
+#include "sim/sim_object.hh"
+#include "texture/manager.hh"
+
+namespace texdist
+{
+
+class GeometryFeeder;
+
+/** One fragment as dispatched to a node. */
+struct NodeFragment
+{
+    uint16_t x;
+    uint16_t y;
+    float u;
+    float v;
+    float lod;
+};
+
+/** One triangle FIFO entry: the node's share of a triangle. */
+struct TriangleWork
+{
+    TextureId tex = 0;
+    std::vector<NodeFragment> frags;
+};
+
+/** A texture-mapping engine plus its cache, bus and triangle FIFO. */
+class TextureNode : public SimObject
+{
+  public:
+    TextureNode(uint32_t id, const MachineConfig &config,
+                const TextureManager &textures, EventQueue &eq);
+
+    /** The feeder to notify when FIFO space frees. */
+    void setFeeder(GeometryFeeder *f) { feeder = f; }
+
+    uint32_t id() const { return nodeId; }
+
+    /** Free entries in the triangle FIFO. */
+    bool fifoHasSpace() const { return !fifo.full(); }
+
+    /** Current triangle FIFO occupancy. */
+    size_t fifoOccupancy() const { return fifo.size(); }
+
+    /**
+     * Push one triangle's work (called by the feeder at the current
+     * tick). The caller must have checked fifoHasSpace().
+     */
+    void enqueue(TriangleWork &&work);
+
+    /** Tick at which this node has fully finished (idle + retired). */
+    Tick finishTime() const;
+
+    // --- results -------------------------------------------------------
+
+    uint64_t pixelsDrawn() const { return _pixelsDrawn; }
+    uint64_t trianglesReceived() const { return _trianglesReceived; }
+
+    /** Triangles whose node time was bound by the setup engine. */
+    uint64_t setupBoundTriangles() const { return _setupBound; }
+
+    /** Cycles the scan stalled on the full prefetch queue. */
+    uint64_t stallCycles() const { return _stallCycles; }
+
+    /** Cycles the node spent idle waiting for triangles. */
+    uint64_t idleCycles() const { return _idleCycles; }
+
+    /** Cycles added waiting for the setup engine (small triangles). */
+    uint64_t setupWaitCycles() const { return _setupWaitCycles; }
+
+    const TextureCache &cache() const { return *cache_; }
+
+    /** Null when the configuration uses an infinite bus. */
+    const TextureBus *bus() const { return bus_.get(); }
+
+    size_t fifoMaxOccupancy() const { return fifo.maxOccupancy(); }
+
+    /** Distribution of per-triangle pixel counts on this node. */
+    const Histogram &trianglePixelsHistogram() const
+    { return trianglePixels; }
+
+  private:
+    /** Event: start processing the FIFO head. */
+    class WorkEvent : public Event
+    {
+      public:
+        explicit WorkEvent(TextureNode &node) : node(node) {}
+        void process() override { node.processNext(); }
+        const char *description() const override
+        { return "node work"; }
+
+      private:
+        TextureNode &node;
+    };
+
+    void processNext();
+
+    /** Scan one triangle's fragments starting at @p start. */
+    Tick scanFragments(const TriangleWork &work, Tick start);
+
+    uint32_t nodeId;
+    MachineConfig cfg;
+    const TextureManager &textures;
+    GeometryFeeder *feeder = nullptr;
+
+    std::unique_ptr<TextureCache> cache_;
+    std::unique_ptr<TextureBus> bus_;
+    BoundedFifo<TriangleWork> fifo;
+    WorkEvent workEvent;
+
+    /** When the scan engine is next free. */
+    Tick cpuTime = 0;
+
+    /**
+     * Retire times of the last prefetchQueueDepth fragments; the scan
+     * may not run more than the queue depth ahead of retirement.
+     */
+    std::vector<Tick> retireRing;
+    size_t ringHead = 0;
+    Tick lastRetire = 0;
+
+    Histogram trianglePixels{4.0, 64};
+    uint64_t _pixelsDrawn = 0;
+    uint64_t _trianglesReceived = 0;
+    uint64_t _setupBound = 0;
+    uint64_t _stallCycles = 0;
+    uint64_t _idleCycles = 0;
+    uint64_t _setupWaitCycles = 0;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_NODE_HH

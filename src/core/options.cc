@@ -1,0 +1,182 @@
+#include "core/options.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+namespace
+{
+
+/** If @p arg is "--<key>=...", return the value part. */
+bool
+match(const std::string &arg, const char *key, std::string &value)
+{
+    std::string prefix = std::string("--") + key + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    value = arg.substr(prefix.size());
+    return true;
+}
+
+uint32_t
+parseU32(const std::string &value, const char *key)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        texdist_fatal("--", key, " expects an integer, got '", value,
+                      "'");
+    return uint32_t(v);
+}
+
+double
+parseF64(const std::string &value, const char *key)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        texdist_fatal("--", key, " expects a number, got '", value,
+                      "'");
+    return v;
+}
+
+} // namespace
+
+std::string
+SimOptions::usage()
+{
+    return
+        "texdist_sim - parallel sort-middle texture-mapping "
+        "simulator\n"
+        "\n"
+        "workload:\n"
+        "  --scene=<name>        benchmark frame "
+        "(default 32massive11255)\n"
+        "  --scale=<f>           benchmark scale (default 0.5)\n"
+        "  --trace=<path>        replay a binary triangle trace\n"
+        "  --list-benchmarks     print available scenes and exit\n"
+        "\n"
+        "machine (paper defaults unless noted):\n"
+        "  --procs=<n>           texture-mapping processors "
+        "(default 1)\n"
+        "  --dist=block|sli|contiguous\n"
+        "                        image distribution (default block)\n"
+        "  --param=<n>           block width / SLI group lines "
+        "(default 16)\n"
+        "  --interleave=raster|diagonal\n"
+        "  --cache=setassoc|perfect|infinite|none\n"
+        "  --cache-kb=<n>        cache size in KB (default 16)\n"
+        "  --cache-ways=<n>      associativity (default 4)\n"
+        "  --l2-kb=<n>           add a per-node L2 of n KB "
+        "(0 = none)\n"
+        "  --bus=<texels/cycle>  0 = infinite (default 1)\n"
+        "  --buffer=<entries>    triangle FIFO (default 10000)\n"
+        "  --setup=<cycles>      setup cycles/triangle (default 25)\n"
+        "  --prefetch=<frags>    prefetch queue depth (default 64)\n"
+        "  --geometry=<tri/cyc>  geometry rate, 0 = ideal\n"
+        "  --geom-procs=<n>      geometry engines, 0 = ideal\n"
+        "  --geom-cycles=<n>     cycles/triangle per engine "
+        "(default 100)\n"
+        "\n"
+        "output:\n"
+        "  --stats-file=<path>   write per-component statistics\n"
+        "  --help                this text\n";
+}
+
+SimOptions
+SimOptions::parse(int argc, char **argv)
+{
+    SimOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string v;
+        if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else if (arg == "--list-benchmarks") {
+            opts.listBenchmarks = true;
+        } else if (match(arg, "scene", v)) {
+            opts.scene = v;
+        } else if (match(arg, "scale", v)) {
+            opts.scale = parseF64(v, "scale");
+            if (opts.scale <= 0.0 || opts.scale > 4.0)
+                texdist_fatal("--scale out of range: ", opts.scale);
+        } else if (match(arg, "trace", v)) {
+            opts.tracePath = v;
+        } else if (match(arg, "procs", v)) {
+            opts.machine.numProcs = parseU32(v, "procs");
+            if (opts.machine.numProcs == 0)
+                texdist_fatal("--procs must be positive");
+        } else if (match(arg, "dist", v)) {
+            if (v == "block")
+                opts.machine.dist = DistKind::Block;
+            else if (v == "sli")
+                opts.machine.dist = DistKind::SLI;
+            else if (v == "contiguous")
+                opts.machine.dist = DistKind::Contiguous;
+            else
+                texdist_fatal("--dist must be block, sli or "
+                              "contiguous, got '", v, "'");
+        } else if (match(arg, "param", v)) {
+            opts.machine.tileParam = parseU32(v, "param");
+        } else if (match(arg, "interleave", v)) {
+            if (v == "raster")
+                opts.machine.interleave = InterleaveOrder::Raster;
+            else if (v == "diagonal")
+                opts.machine.interleave = InterleaveOrder::Diagonal;
+            else
+                texdist_fatal("--interleave must be raster or "
+                              "diagonal, got '", v, "'");
+        } else if (match(arg, "cache", v)) {
+            opts.machine.cacheKind = cacheKindFromString(v);
+        } else if (match(arg, "cache-kb", v)) {
+            opts.machine.cacheGeom.sizeBytes =
+                parseU32(v, "cache-kb") * 1024;
+        } else if (match(arg, "cache-ways", v)) {
+            opts.machine.cacheGeom.ways = parseU32(v, "cache-ways");
+        } else if (match(arg, "l2-kb", v)) {
+            uint32_t kb = parseU32(v, "l2-kb");
+            opts.machine.hasL2 = kb > 0;
+            if (kb > 0)
+                opts.machine.l2Geom.sizeBytes = kb * 1024;
+        } else if (match(arg, "bus", v)) {
+            double bus = parseF64(v, "bus");
+            opts.machine.infiniteBus = bus <= 0.0;
+            if (!opts.machine.infiniteBus)
+                opts.machine.busTexelsPerCycle = bus;
+        } else if (match(arg, "buffer", v)) {
+            opts.machine.triangleBufferSize = parseU32(v, "buffer");
+            if (opts.machine.triangleBufferSize == 0)
+                texdist_fatal("--buffer must be positive");
+        } else if (match(arg, "setup", v)) {
+            opts.machine.setupCyclesPerTriangle =
+                parseU32(v, "setup");
+        } else if (match(arg, "prefetch", v)) {
+            opts.machine.prefetchQueueDepth =
+                parseU32(v, "prefetch");
+            if (opts.machine.prefetchQueueDepth == 0)
+                texdist_fatal("--prefetch must be positive");
+        } else if (match(arg, "geometry", v)) {
+            opts.machine.geometryTrianglesPerCycle =
+                parseF64(v, "geometry");
+        } else if (match(arg, "geom-procs", v)) {
+            opts.machine.geometryProcs = parseU32(v, "geom-procs");
+        } else if (match(arg, "geom-cycles", v)) {
+            opts.machine.geometryCyclesPerTriangle =
+                parseU32(v, "geom-cycles");
+            if (opts.machine.geometryCyclesPerTriangle == 0)
+                texdist_fatal("--geom-cycles must be positive");
+        } else if (match(arg, "stats-file", v)) {
+            opts.statsFile = v;
+        } else {
+            texdist_fatal("unknown option '", arg, "'\n\n",
+                          usage());
+        }
+    }
+    return opts;
+}
+
+} // namespace texdist

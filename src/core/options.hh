@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Command-line configuration shared by the simulator driver and any
+ * tool that wants "the whole machine on one command line": parses
+ * `--key=value` options into a MachineConfig plus workload selection
+ * (named benchmark or trace file), with gem5-style fatal diagnostics
+ * on bad input.
+ */
+
+#ifndef TEXDIST_CORE_OPTIONS_HH
+#define TEXDIST_CORE_OPTIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace texdist
+{
+
+/** Parsed options of the texdist_sim driver. */
+struct SimOptions
+{
+    MachineConfig machine;
+
+    /** Named benchmark to run (ignored when tracePath is set). */
+    std::string scene = "32massive11255";
+
+    /** Linear scene scale for named benchmarks. */
+    double scale = 0.5;
+
+    /** Binary triangle trace to replay instead of a benchmark. */
+    std::string tracePath;
+
+    /** Where to write the detailed per-component statistics. */
+    std::string statsFile;
+
+    /** Print the available benchmarks and exit. */
+    bool listBenchmarks = false;
+
+    /** Print usage and exit. */
+    bool help = false;
+
+    /**
+     * Parse argv. Unknown options are fatal (a simulator run with a
+     * misspelled parameter must not silently run the default).
+     */
+    static SimOptions parse(int argc, char **argv);
+
+    /** Usage text. */
+    static std::string usage();
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_OPTIONS_HH

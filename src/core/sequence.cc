@@ -1,0 +1,141 @@
+#include "core/sequence.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+namespace
+{
+
+template <typename T>
+double
+imbalancePct(const std::vector<T> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    double max = 0.0;
+    for (T v : values) {
+        sum += double(v);
+        max = std::max(max, double(v));
+    }
+    double mean = sum / double(values.size());
+    return mean > 0.0 ? (max - mean) / mean * 100.0 : 0.0;
+}
+
+} // namespace
+
+SequenceMachine::SequenceMachine(const Scene &first_frame,
+                                 const MachineConfig &config)
+    : cfg(config)
+{
+    dist = Distribution::make(cfg.dist, first_frame.screenWidth,
+                              first_frame.screenHeight, cfg.numProcs,
+                              cfg.tileParam, cfg.interleave);
+    for (uint32_t i = 0; i < cfg.numProcs; ++i)
+        nodes.push_back(std::make_unique<TextureNode>(
+            i, cfg, first_frame.textures, eq));
+    snapshots.resize(cfg.numProcs);
+}
+
+FrameResult
+SequenceMachine::runFrame(const Scene &scene)
+{
+    if (scene.screenWidth != dist->screenWidth() ||
+        scene.screenHeight != dist->screenHeight())
+        texdist_fatal("frame ", scene.name,
+                      " does not match the sequence screen size");
+
+    GeometryFeeder feeder(scene, *dist, nodes, eq, cfg);
+    for (auto &node : nodes)
+        node->setFeeder(&feeder);
+    feeder.start(frameStart);
+    eq.run();
+    for (auto &node : nodes)
+        node->setFeeder(nullptr);
+    if (!feeder.done())
+        texdist_panic("sequence frame drained with triangles "
+                      "pending");
+
+    Tick frame_end = frameStart;
+    for (const auto &node : nodes)
+        frame_end = std::max(frame_end, node->finishTime());
+
+    FrameResult out;
+    out.frameTime = frame_end - frameStart;
+    out.trianglesDispatched = feeder.trianglesDispatched();
+
+    std::vector<uint64_t> pixel_counts;
+    double bus_util_sum = 0.0;
+    for (uint32_t i = 0; i < cfg.numProcs; ++i) {
+        const TextureNode &node = *nodes[i];
+        NodeSnapshot &snap = snapshots[i];
+        NodeResult nr;
+        nr.pixels = node.pixelsDrawn() - snap.pixels;
+        nr.triangles = node.trianglesReceived() - snap.triangles;
+        nr.finishTime = node.finishTime();
+        nr.cacheAccesses = node.cache().accesses() - snap.accesses;
+        nr.cacheMisses = node.cache().misses() - snap.misses;
+        nr.texelsFetched =
+            node.cache().texelsFetched() - snap.texelsFetched;
+        nr.stallCycles = node.stallCycles() - snap.stallCycles;
+        nr.idleCycles = node.idleCycles() - snap.idleCycles;
+        nr.setupBoundTriangles =
+            node.setupBoundTriangles() - snap.setupBound;
+        nr.setupWaitCycles =
+            node.setupWaitCycles() - snap.setupWait;
+        nr.fifoMaxOccupancy = node.fifoMaxOccupancy();
+        if (node.bus() && out.frameTime > 0) {
+            // Utilization over the whole run so far is the best the
+            // bus model exposes; report it against total time.
+            nr.busUtilization = node.bus()->utilization(frame_end);
+        }
+
+        snap.pixels = node.pixelsDrawn();
+        snap.triangles = node.trianglesReceived();
+        snap.accesses = node.cache().accesses();
+        snap.misses = node.cache().misses();
+        snap.texelsFetched = node.cache().texelsFetched();
+        snap.stallCycles = node.stallCycles();
+        snap.idleCycles = node.idleCycles();
+        snap.setupBound = node.setupBoundTriangles();
+        snap.setupWait = node.setupWaitCycles();
+
+        out.totalPixels += nr.pixels;
+        out.totalTexelsFetched += nr.texelsFetched;
+        out.fifoMaxOccupancy =
+            std::max(out.fifoMaxOccupancy, nr.fifoMaxOccupancy);
+        bus_util_sum += nr.busUtilization;
+        pixel_counts.push_back(nr.pixels);
+        out.nodes.push_back(nr);
+    }
+
+    out.texelToFragmentRatio =
+        out.totalPixels ? double(out.totalTexelsFetched) /
+                              double(out.totalPixels)
+                        : 0.0;
+    out.pixelImbalancePercent = imbalancePct(pixel_counts);
+    out.meanBusUtilization = bus_util_sum / double(nodes.size());
+
+    frameStart = frame_end;
+    return out;
+}
+
+SequenceResult
+runFrameSequence(const std::vector<Scene> &frames,
+                 const MachineConfig &config)
+{
+    if (frames.empty())
+        texdist_fatal("empty frame sequence");
+    SequenceMachine machine(frames.front(), config);
+    SequenceResult out;
+    for (const Scene &frame : frames)
+        out.frames.push_back(machine.runFrame(frame));
+    out.totalTime = machine.currentTime();
+    return out;
+}
+
+} // namespace texdist

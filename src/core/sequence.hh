@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multi-frame simulation. The single-frame studies (like the
+ * paper's) start every cache cold; an animated demo re-renders
+ * nearly the same frame 60 times a second, so caches — especially
+ * board-level L2s — start each frame warm. This machine runs a
+ * sequence of frames back to back on persistent nodes: caches and
+ * buses carry over, frame N+1's geometry stream starts when frame N
+ * has fully retired (double-buffered rendering), and each frame gets
+ * its own FrameResult with delta statistics.
+ *
+ * All frames must share the screen size and a texture address space
+ * laid out identically to the first frame's (translateScene and
+ * TextureManager::clone guarantee this).
+ */
+
+#ifndef TEXDIST_CORE_SEQUENCE_HH
+#define TEXDIST_CORE_SEQUENCE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace texdist
+{
+
+/** Results of a frame sequence. */
+struct SequenceResult
+{
+    std::vector<FrameResult> frames; ///< per-frame deltas
+    Tick totalTime = 0;              ///< end of the last frame
+};
+
+/**
+ * A persistent machine that renders frames one after another.
+ * Construct with the machine configuration and the *first* frame
+ * (whose texture manager the nodes bind to), then call runFrame for
+ * each frame in order.
+ */
+class SequenceMachine
+{
+  public:
+    SequenceMachine(const Scene &first_frame,
+                    const MachineConfig &config);
+
+    /**
+     * Simulate one frame; caches stay warm from previous frames.
+     * The scene must match the screen size and texture layout of
+     * the first frame.
+     */
+    FrameResult runFrame(const Scene &scene);
+
+    /** End of the last simulated frame. */
+    Tick currentTime() const { return frameStart; }
+
+  private:
+    /** Per-node counter snapshot for delta accounting. */
+    struct NodeSnapshot
+    {
+        uint64_t pixels = 0;
+        uint64_t triangles = 0;
+        uint64_t accesses = 0;
+        uint64_t misses = 0;
+        uint64_t texelsFetched = 0;
+        uint64_t stallCycles = 0;
+        uint64_t idleCycles = 0;
+        uint64_t setupBound = 0;
+        uint64_t setupWait = 0;
+    };
+
+    MachineConfig cfg;
+    EventQueue eq;
+    std::unique_ptr<Distribution> dist;
+    std::vector<std::unique_ptr<TextureNode>> nodes;
+    std::vector<NodeSnapshot> snapshots;
+    Tick frameStart = 0;
+};
+
+/** Convenience: run a whole sequence. */
+SequenceResult runFrameSequence(const std::vector<Scene> &frames,
+                                const MachineConfig &config);
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_SEQUENCE_HH

@@ -1,0 +1,175 @@
+#include "geom/mat.hh"
+
+#include <cmath>
+
+namespace texdist
+{
+
+Mat4::Mat4()
+{
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            m[r][c] = r == c ? 1.0f : 0.0f;
+}
+
+Mat4
+Mat4::operator*(const Mat4 &o) const
+{
+    Mat4 out;
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            float acc = 0.0f;
+            for (int k = 0; k < 4; ++k)
+                acc += m[r][k] * o.m[k][c];
+            out.m[r][c] = acc;
+        }
+    }
+    return out;
+}
+
+Vec4
+Mat4::operator*(const Vec4 &v) const
+{
+    return {
+        m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w,
+        m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w,
+        m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w,
+        m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w,
+    };
+}
+
+Vec3
+Mat4::transformPoint(const Vec3 &p) const
+{
+    Vec4 v = *this * Vec4(p, 1.0f);
+    return v.project();
+}
+
+Vec3
+Mat4::transformDir(const Vec3 &d) const
+{
+    Vec4 v = *this * Vec4(d, 0.0f);
+    return v.xyz();
+}
+
+Mat4
+Mat4::identity()
+{
+    return Mat4();
+}
+
+Mat4
+Mat4::translate(const Vec3 &t)
+{
+    Mat4 out;
+    out(0, 3) = t.x;
+    out(1, 3) = t.y;
+    out(2, 3) = t.z;
+    return out;
+}
+
+Mat4
+Mat4::scale(const Vec3 &s)
+{
+    Mat4 out;
+    out(0, 0) = s.x;
+    out(1, 1) = s.y;
+    out(2, 2) = s.z;
+    return out;
+}
+
+Mat4
+Mat4::rotate(const Vec3 &axis, float radians)
+{
+    Vec3 a = axis.normalized();
+    float c = std::cos(radians);
+    float s = std::sin(radians);
+    float t = 1.0f - c;
+
+    Mat4 out;
+    out(0, 0) = t * a.x * a.x + c;
+    out(0, 1) = t * a.x * a.y - s * a.z;
+    out(0, 2) = t * a.x * a.z + s * a.y;
+    out(1, 0) = t * a.x * a.y + s * a.z;
+    out(1, 1) = t * a.y * a.y + c;
+    out(1, 2) = t * a.y * a.z - s * a.x;
+    out(2, 0) = t * a.x * a.z - s * a.y;
+    out(2, 1) = t * a.y * a.z + s * a.x;
+    out(2, 2) = t * a.z * a.z + c;
+    return out;
+}
+
+Mat4
+Mat4::lookAt(const Vec3 &eye, const Vec3 &center, const Vec3 &up)
+{
+    Vec3 f = (center - eye).normalized();
+    Vec3 s = f.cross(up).normalized();
+    Vec3 u = s.cross(f);
+
+    Mat4 out;
+    out(0, 0) = s.x;  out(0, 1) = s.y;  out(0, 2) = s.z;
+    out(1, 0) = u.x;  out(1, 1) = u.y;  out(1, 2) = u.z;
+    out(2, 0) = -f.x; out(2, 1) = -f.y; out(2, 2) = -f.z;
+    out(0, 3) = -s.dot(eye);
+    out(1, 3) = -u.dot(eye);
+    out(2, 3) = f.dot(eye);
+    return out;
+}
+
+Mat4
+Mat4::perspective(float fovy_radians, float aspect, float z_near,
+                  float z_far)
+{
+    float f = 1.0f / std::tan(fovy_radians / 2.0f);
+
+    Mat4 out;
+    out(0, 0) = f / aspect;
+    out(1, 1) = f;
+    out(2, 2) = (z_far + z_near) / (z_near - z_far);
+    out(2, 3) = 2.0f * z_far * z_near / (z_near - z_far);
+    out(3, 2) = -1.0f;
+    out(3, 3) = 0.0f;
+    return out;
+}
+
+Mat4
+Mat4::ortho(float left, float right, float bottom, float top,
+            float z_near, float z_far)
+{
+    Mat4 out;
+    out(0, 0) = 2.0f / (right - left);
+    out(1, 1) = 2.0f / (top - bottom);
+    out(2, 2) = -2.0f / (z_far - z_near);
+    out(0, 3) = -(right + left) / (right - left);
+    out(1, 3) = -(top + bottom) / (top - bottom);
+    out(2, 3) = -(z_far + z_near) / (z_far - z_near);
+    return out;
+}
+
+Mat4
+Mat4::viewport(float x, float y, float w, float h)
+{
+    // NDC y points up, pixel y points down, hence the -h/2 scale.
+    Mat4 out;
+    out(0, 0) = w / 2.0f;
+    out(1, 1) = -h / 2.0f;
+    out(0, 3) = x + w / 2.0f;
+    out(1, 3) = y + h / 2.0f;
+    out(2, 2) = 0.5f;
+    out(2, 3) = 0.5f;
+    return out;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Mat4 &m)
+{
+    for (int r = 0; r < 4; ++r) {
+        os << "[";
+        for (int c = 0; c < 4; ++c)
+            os << m(r, c) << (c == 3 ? "]" : ", ");
+        os << (r == 3 ? "" : "\n");
+    }
+    return os;
+}
+
+} // namespace texdist

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * 4x4 matrix used by the geometry stage of the software renderer:
+ * model/view transforms, perspective projection and the viewport
+ * mapping that produces the screen-space triangles the texture
+ * mapping simulator consumes.
+ */
+
+#ifndef TEXDIST_GEOM_MAT_HH
+#define TEXDIST_GEOM_MAT_HH
+
+#include <array>
+#include <ostream>
+
+#include "geom/vec.hh"
+
+namespace texdist
+{
+
+/**
+ * Row-major 4x4 matrix. m[r][c] addresses row r, column c; vectors
+ * are treated as columns (v' = M * v), matching the OpenGL fixed
+ * function conventions the paper's Mesa-based tracer used.
+ */
+class Mat4
+{
+  public:
+    /** Constructs the identity matrix. */
+    Mat4();
+
+    /** Element access, row then column. */
+    float &operator()(int r, int c) { return m[r][c]; }
+    float operator()(int r, int c) const { return m[r][c]; }
+
+    Mat4 operator*(const Mat4 &o) const;
+    Vec4 operator*(const Vec4 &v) const;
+
+    bool operator==(const Mat4 &o) const = default;
+
+    /** Transform a point (w = 1 implied), with perspective divide. */
+    Vec3 transformPoint(const Vec3 &p) const;
+
+    /** Transform a direction (w = 0 implied, no divide). */
+    Vec3 transformDir(const Vec3 &d) const;
+
+    static Mat4 identity();
+    static Mat4 translate(const Vec3 &t);
+    static Mat4 scale(const Vec3 &s);
+
+    /** Rotation about an arbitrary axis; angle in radians. */
+    static Mat4 rotate(const Vec3 &axis, float radians);
+
+    /** Right-handed look-at view matrix (OpenGL gluLookAt). */
+    static Mat4 lookAt(const Vec3 &eye, const Vec3 &center,
+                       const Vec3 &up);
+
+    /**
+     * OpenGL-style perspective projection.
+     *
+     * @param fovy_radians vertical field of view
+     * @param aspect width / height
+     * @param z_near near plane distance (> 0)
+     * @param z_far far plane distance (> z_near)
+     */
+    static Mat4 perspective(float fovy_radians, float aspect,
+                            float z_near, float z_far);
+
+    /** Orthographic projection (glOrtho). */
+    static Mat4 ortho(float left, float right, float bottom, float top,
+                      float z_near, float z_far);
+
+    /**
+     * Viewport transform mapping NDC [-1,1]^2 to pixel coordinates
+     * [x, x+w) x [y, y+h), with NDC y up and pixel y down (screen
+     * convention used by the rasterizer).
+     */
+    static Mat4 viewport(float x, float y, float w, float h);
+
+  private:
+    std::array<std::array<float, 4>, 4> m;
+};
+
+std::ostream &operator<<(std::ostream &os, const Mat4 &m);
+
+} // namespace texdist
+
+#endif // TEXDIST_GEOM_MAT_HH

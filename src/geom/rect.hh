@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Integer pixel rectangles. Used for screen bounds, triangle bounding
+ * boxes and the tile regions of the image distributions. The
+ * half-open convention [x0, x1) x [y0, y1) is used everywhere so that
+ * adjacent rectangles tile the screen without overlap.
+ */
+
+#ifndef TEXDIST_GEOM_RECT_HH
+#define TEXDIST_GEOM_RECT_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+
+namespace texdist
+{
+
+/** Half-open integer rectangle [x0, x1) x [y0, y1). */
+struct Rect
+{
+    int32_t x0 = 0;
+    int32_t y0 = 0;
+    int32_t x1 = 0;
+    int32_t y1 = 0;
+
+    constexpr Rect() = default;
+    constexpr Rect(int32_t x0_, int32_t y0_, int32_t x1_, int32_t y1_)
+        : x0(x0_), y0(y0_), x1(x1_), y1(y1_)
+    {}
+
+    constexpr bool operator==(const Rect &o) const = default;
+
+    constexpr int32_t width() const { return x1 - x0; }
+    constexpr int32_t height() const { return y1 - y0; }
+    constexpr int64_t area() const
+    { return int64_t(width()) * int64_t(height()); }
+
+    /** True when the rectangle contains no pixels. */
+    constexpr bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+    /** True when pixel (x, y) lies inside. */
+    constexpr bool
+    contains(int32_t x, int32_t y) const
+    {
+        return x >= x0 && x < x1 && y >= y0 && y < y1;
+    }
+
+    /** True when this and @p o share at least one pixel. */
+    constexpr bool
+    overlaps(const Rect &o) const
+    {
+        return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+    }
+
+    /** Intersection; empty() when disjoint. */
+    constexpr Rect
+    intersect(const Rect &o) const
+    {
+        return {std::max(x0, o.x0), std::max(y0, o.y0),
+                std::min(x1, o.x1), std::min(y1, o.y1)};
+    }
+
+    /** Smallest rectangle containing both. */
+    constexpr Rect
+    unite(const Rect &o) const
+    {
+        if (empty())
+            return o;
+        if (o.empty())
+            return *this;
+        return {std::min(x0, o.x0), std::min(y0, o.y0),
+                std::max(x1, o.x1), std::max(y1, o.y1)};
+    }
+
+    /** Grow the rectangle to include pixel (x, y). */
+    void
+    extend(int32_t x, int32_t y)
+    {
+        if (empty()) {
+            x0 = x;
+            y0 = y;
+            x1 = x + 1;
+            y1 = y + 1;
+            return;
+        }
+        x0 = std::min(x0, x);
+        y0 = std::min(y0, y);
+        x1 = std::max(x1, x + 1);
+        y1 = std::max(y1, y + 1);
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Rect &r)
+{
+    return os << "[" << r.x0 << "," << r.x1 << ")x[" << r.y0 << ","
+              << r.y1 << ")";
+}
+
+} // namespace texdist
+
+#endif // TEXDIST_GEOM_RECT_HH

@@ -1,0 +1,132 @@
+#include "geom/rng.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace texdist
+{
+
+namespace
+{
+
+/** SplitMix64 step, used for seeding and stream splitting. */
+uint64_t
+splitMix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    assert(lo <= hi);
+    uint64_t span = uint64_t(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return int64_t(next());
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + int64_t(v % span);
+}
+
+double
+Rng::normal()
+{
+    if (haveSpareNormal) {
+        haveSpareNormal = false;
+        return spareNormal;
+    }
+    double u, v, r2;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        r2 = u * u + v * v;
+    } while (r2 >= 1.0 || r2 == 0.0);
+    double scale = std::sqrt(-2.0 * std::log(r2) / r2);
+    spareNormal = v * scale;
+    haveSpareNormal = true;
+    return u * scale;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double mean)
+{
+    assert(mean > 0.0);
+    double u;
+    do {
+        u = uniform();
+    } while (u == 0.0);
+    return -mean * std::log(u);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::split(uint64_t tag)
+{
+    uint64_t seed_state = s[0] ^ rotl(tag, 13) ^ (s[2] + tag);
+    return Rng(splitMix64(seed_state));
+}
+
+} // namespace texdist

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Small fixed-size vector types used throughout the renderer and the
+ * simulator. Only the operations the rasterizer and the scene
+ * generators actually need are provided; this is not a general linear
+ * algebra package.
+ */
+
+#ifndef TEXDIST_GEOM_VEC_HH
+#define TEXDIST_GEOM_VEC_HH
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace texdist
+{
+
+/** A 2-component float vector (texture coordinates, screen points). */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(float x_, float y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(const Vec2 &o) const
+    { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const
+    { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(float s) const { return {x / s, y / s}; }
+
+    Vec2 &operator+=(const Vec2 &o) { x += o.x; y += o.y; return *this; }
+    Vec2 &operator-=(const Vec2 &o) { x -= o.x; y -= o.y; return *this; }
+    Vec2 &operator*=(float s) { x *= s; y *= s; return *this; }
+
+    constexpr bool operator==(const Vec2 &o) const = default;
+
+    /** Dot product. */
+    constexpr float dot(const Vec2 &o) const { return x * o.x + y * o.y; }
+
+    /** Z component of the 2D cross product (signed parallelogram area). */
+    constexpr float cross(const Vec2 &o) const { return x * o.y - y * o.x; }
+
+    /** Euclidean length. */
+    float length() const { return std::sqrt(dot(*this)); }
+};
+
+constexpr Vec2
+operator*(float s, const Vec2 &v)
+{
+    return v * s;
+}
+
+/** A 3-component float vector (positions, normals). */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(float s) const
+    { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const
+    { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    { x += o.x; y += o.y; z += o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o)
+    { x -= o.x; y -= o.y; z -= o.z; return *this; }
+
+    constexpr bool operator==(const Vec3 &o) const = default;
+
+    constexpr float
+    dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    constexpr Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y,
+                z * o.x - x * o.z,
+                x * o.y - y * o.x};
+    }
+
+    float length() const { return std::sqrt(dot(*this)); }
+
+    /** Unit-length copy; returns the zero vector unchanged. */
+    Vec3
+    normalized() const
+    {
+        float len = length();
+        return len > 0.0f ? *this / len : *this;
+    }
+};
+
+constexpr Vec3
+operator*(float s, const Vec3 &v)
+{
+    return v * s;
+}
+
+/** A 4-component float vector (homogeneous clip coordinates). */
+struct Vec4
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    constexpr Vec4() = default;
+    constexpr Vec4(float x_, float y_, float z_, float w_)
+        : x(x_), y(y_), z(z_), w(w_)
+    {}
+    constexpr Vec4(const Vec3 &v, float w_) : x(v.x), y(v.y), z(v.z), w(w_)
+    {}
+
+    constexpr Vec4 operator+(const Vec4 &o) const
+    { return {x + o.x, y + o.y, z + o.z, w + o.w}; }
+    constexpr Vec4 operator-(const Vec4 &o) const
+    { return {x - o.x, y - o.y, z - o.z, w - o.w}; }
+    constexpr Vec4 operator*(float s) const
+    { return {x * s, y * s, z * s, w * s}; }
+
+    constexpr bool operator==(const Vec4 &o) const = default;
+
+    constexpr float
+    dot(const Vec4 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z + w * o.w;
+    }
+
+    /** Drop the w component. */
+    constexpr Vec3 xyz() const { return {x, y, z}; }
+
+    /** Perspective divide; the caller must ensure w != 0. */
+    constexpr Vec3 project() const { return {x / w, y / w, z / w}; }
+};
+
+std::ostream &operator<<(std::ostream &os, const Vec2 &v);
+std::ostream &operator<<(std::ostream &os, const Vec3 &v);
+std::ostream &operator<<(std::ostream &os, const Vec4 &v);
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec2 &v)
+{
+    return os << "(" << v.x << ", " << v.y << ")";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec3 &v)
+{
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec4 &v)
+{
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ", " << v.w
+              << ")";
+}
+
+} // namespace texdist
+
+#endif // TEXDIST_GEOM_VEC_HH

@@ -1,0 +1,46 @@
+#include "mem/bus.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+TextureBus::TextureBus(double texels_per_cycle)
+    : texelsPerCycle(texels_per_cycle)
+{
+    if (texels_per_cycle <= 0.0)
+        texdist_fatal("bus bandwidth must be positive, got ",
+                      texels_per_cycle);
+}
+
+Tick
+TextureBus::transfer(Tick issue_tick, uint32_t texels)
+{
+    double start = std::max(double(issue_tick), freeTime);
+    double duration = double(texels) / texelsPerCycle;
+    freeTime = start + duration;
+    _busyCycles += duration;
+    _texelsTransferred += texels;
+    ++_transfers;
+    return Tick(std::ceil(freeTime));
+}
+
+Tick
+TextureBus::freeAt() const
+{
+    return Tick(std::ceil(freeTime));
+}
+
+void
+TextureBus::reset()
+{
+    freeTime = 0.0;
+    _busyCycles = 0.0;
+    _texelsTransferred = 0;
+    _transfers = 0;
+}
+
+} // namespace texdist

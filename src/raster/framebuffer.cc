@@ -1,0 +1,42 @@
+#include "raster/framebuffer.hh"
+
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+Framebuffer::Framebuffer(uint32_t width, uint32_t height)
+    : w(width), h(height)
+{
+    if (width == 0 || height == 0)
+        texdist_fatal("empty framebuffer");
+    color.resize(size_t(w) * h);
+    depth.resize(size_t(w) * h);
+    clear();
+}
+
+void
+Framebuffer::clear(const Rgba8 &c)
+{
+    std::fill(color.begin(), color.end(), c);
+    std::fill(depth.begin(), depth.end(), 0.0f);
+}
+
+void
+Framebuffer::writePpm(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        texdist_fatal("cannot open image for writing: ", path);
+    os << "P6\n" << w << " " << h << "\n255\n";
+    for (const Rgba8 &c : color) {
+        char rgb[3] = {char(c.r), char(c.g), char(c.b)};
+        os.write(rgb, 3);
+    }
+    if (!os)
+        texdist_fatal("error writing image: ", path);
+}
+
+} // namespace texdist

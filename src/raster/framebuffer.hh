@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Colour + depth framebuffer for the image-producing side of the
+ * library. The simulator itself never touches a framebuffer (the
+ * paper excludes it: "Neither the frame buffer nor the Z-buffer are
+ * simulated here because our multiprocessor configuration has no
+ * impact on their performance"), but the Figure 9 renderer and the
+ * examples need real hidden-surface removal to produce sensible
+ * images of the synthetic frames.
+ *
+ * Depth is stored as 1/w: larger means nearer, and the >= test
+ * resolves ties (all-affine content with 1/w == 1 everywhere) in
+ * favour of the later triangle, i.e. strict submission order —
+ * matching OpenGL painter behaviour for coplanar 2D layers.
+ */
+
+#ifndef TEXDIST_RASTER_FRAMEBUFFER_HH
+#define TEXDIST_RASTER_FRAMEBUFFER_HH
+
+#include <string>
+#include <vector>
+
+#include "texture/filter.hh"
+
+namespace texdist
+{
+
+/** A simple RGBA8 + inverse-w depth framebuffer. */
+class Framebuffer
+{
+  public:
+    Framebuffer(uint32_t width, uint32_t height);
+
+    uint32_t width() const { return w; }
+    uint32_t height() const { return h; }
+
+    /** Fill colour and reset depth (to "infinitely far", 1/w = 0). */
+    void clear(const Rgba8 &color = Rgba8{8, 8, 16, 255});
+
+    /**
+     * Depth test with the >= / nearer-wins rule described above.
+     * @return true when the fragment passes (depth updated)
+     */
+    bool
+    depthTest(uint32_t x, uint32_t y, float inv_w)
+    {
+        float &d = depth[size_t(y) * w + x];
+        if (inv_w >= d) {
+            d = inv_w;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    setPixel(uint32_t x, uint32_t y, const Rgba8 &c)
+    {
+        color[size_t(y) * w + x] = c;
+    }
+
+    const Rgba8 &
+    pixel(uint32_t x, uint32_t y) const
+    {
+        return color[size_t(y) * w + x];
+    }
+
+    float
+    depthAt(uint32_t x, uint32_t y) const
+    {
+        return depth[size_t(y) * w + x];
+    }
+
+    /** Write a binary PPM (P6) file; fatal on I/O error. */
+    void writePpm(const std::string &path) const;
+
+  private:
+    uint32_t w;
+    uint32_t h;
+    std::vector<Rgba8> color;
+    std::vector<float> depth;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_RASTER_FRAMEBUFFER_HH

@@ -1,0 +1,140 @@
+#include "raster/pipeline.hh"
+
+#include <array>
+#include <cassert>
+
+namespace texdist
+{
+
+namespace
+{
+
+/**
+ * Clip planes: the six frustum half-spaces plus a positive-w guard
+ * so the perspective divide is always safe.
+ */
+constexpr int numClipPlanes = 7;
+constexpr float minW = 1e-5f;
+
+} // namespace
+
+GeometryPipeline::GeometryPipeline(const Mat4 &mvp_, float viewport_x,
+                                   float viewport_y, float viewport_w,
+                                   float viewport_h)
+    : mvp(mvp_), vpX(viewport_x), vpY(viewport_y), vpW(viewport_w),
+      vpH(viewport_h)
+{
+}
+
+float
+GeometryPipeline::planeDist(const ClipVertex &v, int plane)
+{
+    const Vec4 &c = v.clip;
+    switch (plane) {
+      case 0: return c.w - minW; // w guard
+      case 1: return c.w + c.x;  // left
+      case 2: return c.w - c.x;  // right
+      case 3: return c.w + c.y;  // bottom
+      case 4: return c.w - c.y;  // top
+      case 5: return c.w + c.z;  // near
+      case 6: return c.w - c.z;  // far
+      default: assert(false); return 0.0f;
+    }
+}
+
+GeometryPipeline::ClipVertex
+GeometryPipeline::lerp(const ClipVertex &a, const ClipVertex &b,
+                       float t)
+{
+    ClipVertex out;
+    out.clip = a.clip + (b.clip - a.clip) * t;
+    out.uv = a.uv + (b.uv - a.uv) * t;
+    return out;
+}
+
+TexVertex
+GeometryPipeline::toScreen(const ClipVertex &v) const
+{
+    float inv_w = 1.0f / v.clip.w;
+    TexVertex out;
+    // NDC x right, y up; pixels x right, y down.
+    out.x = vpX + (v.clip.x * inv_w * 0.5f + 0.5f) * vpW;
+    out.y = vpY + (0.5f - v.clip.y * inv_w * 0.5f) * vpH;
+    out.invW = inv_w;
+    out.u = v.uv.x;
+    out.v = v.uv.y;
+    return out;
+}
+
+int
+GeometryPipeline::processTriangle(const MeshVertex &a,
+                                  const MeshVertex &b,
+                                  const MeshVertex &c, TextureId tex,
+                                  std::vector<TexTriangle> &out) const
+{
+    // Clipping against 7 planes can add at most one vertex each.
+    constexpr size_t maxVerts = 3 + numClipPlanes;
+    std::array<ClipVertex, maxVerts> poly;
+    std::array<ClipVertex, maxVerts> next;
+
+    poly[0] = {mvp * Vec4(a.pos, 1.0f), a.uv};
+    poly[1] = {mvp * Vec4(b.pos, 1.0f), b.uv};
+    poly[2] = {mvp * Vec4(c.pos, 1.0f), c.uv};
+    size_t count = 3;
+
+    for (int plane = 0; plane < numClipPlanes && count != 0; ++plane) {
+        size_t next_count = 0;
+        for (size_t i = 0; i < count; ++i) {
+            const ClipVertex &cur = poly[i];
+            const ClipVertex &prev = poly[(i + count - 1) % count];
+            float d_cur = planeDist(cur, plane);
+            float d_prev = planeDist(prev, plane);
+            bool in_cur = d_cur >= 0.0f;
+            bool in_prev = d_prev >= 0.0f;
+            if (in_cur != in_prev) {
+                float t = d_prev / (d_prev - d_cur);
+                next[next_count++] = lerp(prev, cur, t);
+            }
+            if (in_cur)
+                next[next_count++] = cur;
+        }
+        std::copy(next.begin(), next.begin() + next_count,
+                  poly.begin());
+        count = next_count;
+    }
+
+    if (count < 3)
+        return 0;
+
+    // Fan-triangulate the clipped polygon.
+    TexVertex first = toScreen(poly[0]);
+    TexVertex prev = toScreen(poly[1]);
+    int emitted = 0;
+    for (size_t i = 2; i < count; ++i) {
+        TexVertex cur = toScreen(poly[i]);
+        TexTriangle tri;
+        tri.v[0] = first;
+        tri.v[1] = prev;
+        tri.v[2] = cur;
+        tri.tex = tex;
+        out.push_back(tri);
+        prev = cur;
+        ++emitted;
+    }
+    return emitted;
+}
+
+void
+GeometryPipeline::processMesh(const Mesh &mesh,
+                              std::vector<TexTriangle> &out) const
+{
+    assert(mesh.indices.size() % 3 == 0);
+    for (size_t i = 0; i + 2 < mesh.indices.size(); i += 3) {
+        processTriangle(mesh.vertices[mesh.indices[i]],
+                        mesh.vertices[mesh.indices[i + 1]],
+                        mesh.vertices[mesh.indices[i + 2]], mesh.tex,
+                        out);
+    }
+}
+
+} // namespace texdist

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Geometry-stage pipeline: transforms textured 3D meshes into the
+ * screen-space triangles the texture-mapping simulator consumes.
+ *
+ * The paper treats the geometry processors as ideal and studies only
+ * the texture-mapping stage; we still need a real geometry stage to
+ * *produce* frames (our stand-in for the instrumented Mesa renders of
+ * the original benchmarks). The pipeline does model-view-projection,
+ * Sutherland-Hodgman clipping in homogeneous clip space, perspective
+ * divide and the viewport mapping.
+ */
+
+#ifndef TEXDIST_RASTER_PIPELINE_HH
+#define TEXDIST_RASTER_PIPELINE_HH
+
+#include <vector>
+
+#include "geom/mat.hh"
+#include "geom/vec.hh"
+#include "raster/triangle.hh"
+
+namespace texdist
+{
+
+/** A 3D mesh vertex with texture coordinates. */
+struct MeshVertex
+{
+    Vec3 pos;
+    Vec2 uv;
+};
+
+/** An indexed textured triangle mesh. */
+struct Mesh
+{
+    std::vector<MeshVertex> vertices;
+    std::vector<uint32_t> indices; ///< triples, one per triangle
+    TextureId tex = 0;
+
+    size_t triangleCount() const { return indices.size() / 3; }
+};
+
+/**
+ * Fixed-function geometry pipeline. Configure the combined
+ * model-view-projection matrix and the viewport, then feed meshes or
+ * single triangles through it.
+ */
+class GeometryPipeline
+{
+  public:
+    /**
+     * @param mvp combined model-view-projection matrix
+     * @param viewport_x, viewport_y top-left corner in pixels
+     * @param viewport_w, viewport_h size in pixels
+     */
+    GeometryPipeline(const Mat4 &mvp, float viewport_x,
+                     float viewport_y, float viewport_w,
+                     float viewport_h);
+
+    /**
+     * Transform, clip and project one triangle. Clipping can split a
+     * triangle into a fan of up to 7 triangles, appended to @p out.
+     *
+     * @return number of triangles appended
+     */
+    int processTriangle(const MeshVertex &a, const MeshVertex &b,
+                        const MeshVertex &c, TextureId tex,
+                        std::vector<TexTriangle> &out) const;
+
+    /** Run a whole mesh through processTriangle(). */
+    void processMesh(const Mesh &mesh,
+                     std::vector<TexTriangle> &out) const;
+
+  private:
+    /** A clip-space vertex with its interpolated attributes. */
+    struct ClipVertex
+    {
+        Vec4 clip;
+        Vec2 uv;
+    };
+
+    /** Signed distance of @p v to clip plane @p plane (>= 0 inside). */
+    static float planeDist(const ClipVertex &v, int plane);
+
+    /** Linear interpolation in clip space. */
+    static ClipVertex lerp(const ClipVertex &a, const ClipVertex &b,
+                           float t);
+
+    /** Map a clip-space vertex to a screen-space TexVertex. */
+    TexVertex toScreen(const ClipVertex &v) const;
+
+    Mat4 mvp;
+    float vpX, vpY, vpW, vpH;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_RASTER_PIPELINE_HH

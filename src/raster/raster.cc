@@ -1,0 +1,181 @@
+#include "raster/raster.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "texture/sampler.hh"
+
+namespace texdist
+{
+
+namespace
+{
+
+/** Snap a floating-point pixel coordinate to the subpixel grid. */
+int64_t
+snap(float coord)
+{
+    return int64_t(std::lround(double(coord) * subpixelOne));
+}
+
+/** Floor division by the subpixel grid size. */
+int32_t
+subFloor(int64_t v)
+{
+    // Arithmetic shift implements floor division for negatives.
+    return int32_t(v >> subpixelBits);
+}
+
+} // namespace
+
+TriangleRaster::TriangleRaster(const TexTriangle &tri, uint32_t tex_w,
+                               uint32_t tex_h)
+    : texW(float(tex_w)), texH(float(tex_h))
+{
+    // Snapped vertex positions in subpixel units.
+    int64_t xs[3], ys[3];
+    int perm[3] = {0, 1, 2};
+    for (int i = 0; i < 3; ++i) {
+        xs[i] = snap(tri.v[i].x);
+        ys[i] = snap(tri.v[i].y);
+    }
+
+    int64_t area2 = (xs[1] - xs[0]) * (ys[2] - ys[0]) -
+                    (xs[2] - xs[0]) * (ys[1] - ys[0]);
+    if (area2 == 0) {
+        _degenerate = true;
+        return;
+    }
+    if (area2 < 0) {
+        // Normalize orientation so the interior is positive for all
+        // three edge functions.
+        std::swap(perm[1], perm[2]);
+        std::swap(xs[1], xs[2]);
+        std::swap(ys[1], ys[2]);
+        area2 = -area2;
+    }
+    _degenerate = false;
+    _areaPixels =
+        double(area2) / (2.0 * subpixelOne * subpixelOne);
+
+    // Edge i runs from vertex i to vertex (i + 1) % 3.
+    for (int e = 0; e < 3; ++e) {
+        int a = e;
+        int b = (e + 1) % 3;
+        int64_t dx = xs[b] - xs[a];
+        int64_t dy = ys[b] - ys[a];
+        edgeA[e] = -dy;
+        edgeB[e] = dx;
+        edgeC[e] = dy * xs[a] - dx * ys[a];
+        stepX[e] = edgeA[e] * subpixelOne;
+        // Tie-break rule for pixels exactly on an edge: accept on one
+        // side only. rule(d) != rule(-d) for every nonzero direction,
+        // which makes triangles sharing an edge watertight.
+        edgeAcceptsZero[e] = dy < 0 || (dy == 0 && dx > 0);
+    }
+
+    // Conservative pixel bounding box of the snapped triangle.
+    int64_t min_x = std::min({xs[0], xs[1], xs[2]});
+    int64_t max_x = std::max({xs[0], xs[1], xs[2]});
+    int64_t min_y = std::min({ys[0], ys[1], ys[2]});
+    int64_t max_y = std::max({ys[0], ys[1], ys[2]});
+    int32_t half = subpixelOne / 2;
+    _bbox = Rect(subFloor(min_x - half), subFloor(min_y - half),
+                 subFloor(max_x - half) + 2, subFloor(max_y - half) + 2);
+
+    // Interpolation planes over u/w, v/w and 1/w, in pixel units,
+    // evaluated from the snapped positions so that interpolation and
+    // coverage agree.
+    double px[3], py[3], uw[3], vw[3], w[3];
+    for (int i = 0; i < 3; ++i) {
+        const TexVertex &vert = tri.v[perm[i]];
+        px[i] = double(xs[i]) / subpixelOne;
+        py[i] = double(ys[i]) / subpixelOne;
+        w[i] = vert.invW;
+        uw[i] = double(vert.u) * vert.invW;
+        vw[i] = double(vert.v) * vert.invW;
+    }
+    double area_px = (px[1] - px[0]) * (py[2] - py[0]) -
+                     (px[2] - px[0]) * (py[1] - py[0]);
+    auto plane = [&](const double f[3], double &base, double &ddx,
+                     double &ddy) {
+        ddx = ((f[1] - f[0]) * (py[2] - py[0]) -
+               (f[2] - f[0]) * (py[1] - py[0])) /
+              area_px;
+        ddy = ((f[2] - f[0]) * (px[1] - px[0]) -
+               (f[1] - f[0]) * (px[2] - px[0])) /
+              area_px;
+        base = f[0] - ddx * px[0] - ddy * py[0];
+    };
+    plane(uw, uwBase, uwDx, uwDy);
+    plane(vw, vwBase, vwDx, vwDy);
+    plane(w, wBase, wDx, wDy);
+}
+
+void
+TriangleRaster::interpolate(int32_t x, int32_t y, Fragment &frag) const
+{
+    double px = x + 0.5;
+    double py = y + 0.5;
+
+    double cur_uw = uwBase + uwDx * px + uwDy * py;
+    double cur_vw = vwBase + vwDx * px + vwDy * py;
+    double cur_w = wBase + wDx * px + wDy * py;
+
+    if (cur_w <= 1e-12) {
+        // Should not happen for properly clipped input; degrade
+        // gracefully rather than emit NaNs.
+        frag.u = 0.0f;
+        frag.v = 0.0f;
+        frag.lod = 0.0f;
+        frag.invW = 0.0f;
+        return;
+    }
+
+    frag.invW = float(cur_w);
+    double inv = 1.0 / cur_w;
+    frag.u = float(cur_uw * inv);
+    frag.v = float(cur_vw * inv);
+
+    // Analytic screen-space derivatives of u and v via the quotient
+    // rule: d(U/W) = (U' W - U W') / W^2.
+    double inv2 = inv * inv;
+    float dudx = float((uwDx * cur_w - cur_uw * wDx) * inv2);
+    float dvdx = float((vwDx * cur_w - cur_vw * wDx) * inv2);
+    float dudy = float((uwDy * cur_w - cur_uw * wDy) * inv2);
+    float dvdy = float((vwDy * cur_w - cur_vw * wDy) * inv2);
+
+    float sx = dudx * texW;
+    float tx = dvdx * texH;
+    float sy = dudy * texW;
+    float ty = dvdy * texH;
+    float rho2 = std::max(sx * sx + tx * tx, sy * sy + ty * ty);
+    frag.lod = rho2 > 0.0f ? 0.5f * std::log2(rho2) : -126.0f;
+}
+
+int64_t
+TriangleRaster::countPixels(const Rect &scissor) const
+{
+    if (_degenerate)
+        return 0;
+    Rect r = _bbox.intersect(scissor);
+    if (r.empty())
+        return 0;
+
+    int64_t count = 0;
+    for (int32_t y = r.y0; y < r.y1; ++y) {
+        int64_t e0 = edgeAt(0, r.x0, y);
+        int64_t e1 = edgeAt(1, r.x0, y);
+        int64_t e2 = edgeAt(2, r.x0, y);
+        for (int32_t x = r.x0; x < r.x1; ++x) {
+            if (inside(0, e0) && inside(1, e1) && inside(2, e2))
+                ++count;
+            e0 += stepX[0];
+            e1 += stepX[1];
+            e2 += stepX[2];
+        }
+    }
+    return count;
+}
+
+} // namespace texdist

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Screen-space textured triangles — the unit of work that flows from
+ * the geometry stage to the texture mapping stage in the paper's
+ * sort-middle machine, and the record type of our triangle traces
+ * (the analogue of the traces the authors extracted from Mesa).
+ */
+
+#ifndef TEXDIST_RASTER_TRIANGLE_HH
+#define TEXDIST_RASTER_TRIANGLE_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "geom/rect.hh"
+#include "texture/texture.hh"
+
+namespace texdist
+{
+
+/**
+ * A post-transform vertex: screen position in pixels, the reciprocal
+ * homogeneous w for perspective-correct interpolation (1.0 for
+ * affine/2D content), and normalized texture coordinates.
+ */
+struct TexVertex
+{
+    float x = 0.0f;    ///< pixel x (floating point, subpixel precise)
+    float y = 0.0f;    ///< pixel y, increasing downwards
+    float invW = 1.0f; ///< 1 / clip-space w
+    float u = 0.0f;    ///< texture s coordinate (normalized)
+    float v = 0.0f;    ///< texture t coordinate (normalized)
+
+    bool operator==(const TexVertex &) const = default;
+};
+
+/** A textured screen-space triangle. */
+struct TexTriangle
+{
+    TexVertex v[3];
+    TextureId tex = 0;
+
+    bool operator==(const TexTriangle &) const = default;
+
+    /**
+     * Conservative pixel bounding box (half-open). Pixels are sampled
+     * at their centres, so the box covers every pixel whose centre
+     * could lie inside the triangle.
+     */
+    Rect
+    pixelBBox() const
+    {
+        auto lo = [](float a, float b, float c) {
+            float m = a < b ? a : b;
+            return m < c ? m : c;
+        };
+        auto hi = [](float a, float b, float c) {
+            float m = a > b ? a : b;
+            return m > c ? m : c;
+        };
+        float x_min = lo(v[0].x, v[1].x, v[2].x);
+        float x_max = hi(v[0].x, v[1].x, v[2].x);
+        float y_min = lo(v[0].y, v[1].y, v[2].y);
+        float y_max = hi(v[0].y, v[1].y, v[2].y);
+        // Pixel centre (x + 0.5) in [min, max) <=> x in
+        // [ceil(min - 0.5), ceil(max - 0.5)).
+        auto lo_px = [](float f) {
+            return int32_t(std::ceil(f - 0.5f));
+        };
+        return Rect(lo_px(x_min), lo_px(y_min), lo_px(x_max),
+                    lo_px(y_max));
+    }
+};
+
+/**
+ * One rasterized fragment: the pixel plus everything the texture
+ * unit needs to generate its eight texel addresses, and the
+ * interpolated 1/w the image renderer uses for depth testing.
+ */
+struct Fragment
+{
+    int32_t x = 0;
+    int32_t y = 0;
+    float u = 0.0f;    ///< perspective-correct normalized s
+    float v = 0.0f;    ///< perspective-correct normalized t
+    float lod = 0.0f;  ///< mip level of detail (may be negative)
+    float invW = 1.0f; ///< interpolated 1/w (depth; larger = nearer)
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_RASTER_TRIANGLE_HH

@@ -1,0 +1,361 @@
+#include "scene/benchmarks.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/mat.hh"
+#include "scene/builder.hh"
+#include "scene/parametric.hh"
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+namespace
+{
+
+/** One background layer of a game frame. */
+struct LayerKnobs
+{
+    double quadSize;  ///< quad edge length in pixels
+    double density;   ///< texels per pixel per axis
+    double coverage;  ///< fraction of the screen height covered
+};
+
+/** Tunable parameters of the generic game-frame generator. */
+struct GameKnobs
+{
+    uint64_t seed;
+    int numTextures;
+    uint32_t texMin; ///< full-scale level-0 size range
+    uint32_t texMax;
+    std::vector<LayerKnobs> layers;
+    int numClusters;      ///< full-scale count (scales with area)
+    int trisPerCluster;
+    double clusterRadius; ///< pixels (absolute, not scaled)
+    double clusterMeanArea;
+    double clusterDensity;
+    /**
+     * Give every cluster triangle its own random texture (decals /
+     * particles, e.g. blowout775's 1778 textures over 5947
+     * triangles) instead of one skin texture per cluster.
+     */
+    bool clusterPerTriangleTexture = false;
+};
+
+uint32_t
+scalePow2(uint32_t size, double scale, uint32_t min_size)
+{
+    double target = size * scale;
+    uint32_t p = min_size;
+    while (p * 2 <= target && p < (1u << 15))
+        p *= 2;
+    return p;
+}
+
+uint32_t
+scaleDim(uint32_t dim, double scale)
+{
+    return std::max(64u, uint32_t(std::lround(dim * scale)));
+}
+
+Scene
+buildGameScene(const BenchmarkSpec &spec, const GameKnobs &knobs,
+               double scale)
+{
+    uint32_t w = scaleDim(spec.screenWidth, scale);
+    uint32_t h = scaleDim(spec.screenHeight, scale);
+    SceneBuilder builder(spec.name, w, h, knobs.seed);
+
+    // The texture pool scales in *count* (with screen area), not in
+    // texture size: texel densities, per-texture windows and the
+    // unique-texel-per-pixel ratio then stay scale-invariant, which
+    // is what the cache studies care about.
+    int tex_count = std::max(
+        4, int(std::lround(knobs.numTextures * scale * scale)));
+    // When the count floors out (small pools like room3's 24
+    // textures at small scales), shrink texture sizes instead so the
+    // pool's texel capacity still scales with screen area and the
+    // unique-texel ratio stays scale-invariant.
+    double residual =
+        knobs.numTextures * scale * scale / double(tex_count);
+    double size_scale = std::sqrt(std::min(1.0, residual));
+    auto scale_size = [&](uint32_t size) {
+        double target = size * size_scale;
+        uint32_t p = 8;
+        // Round to the nearest power of two (grow while the doubled
+        // size is still closer to the target).
+        while (p * 2 <= target * 1.4142 && p < (1u << 15))
+            p *= 2;
+        return p;
+    };
+    uint32_t tex_min = scale_size(knobs.texMin);
+    uint32_t tex_max = std::max(tex_min, scale_size(knobs.texMax));
+    std::vector<TextureId> pool =
+        builder.makeTexturePool(tex_count, tex_min, tex_max);
+
+    // Background: walls and floors. Partial layers cover a band at
+    // the bottom of the screen (floors in game frames), which also
+    // skews the vertical load distribution like real frames do.
+    for (const LayerKnobs &layer : knobs.layers) {
+        if (layer.coverage >= 0.999) {
+            builder.addBackgroundLayer(pool, float(layer.quadSize),
+                                       float(layer.quadSize),
+                                       layer.density);
+        } else {
+            int band_h = int(h * layer.coverage);
+            if (band_h <= 0)
+                continue;
+            int nx = std::max(
+                1, int(std::ceil(w / layer.quadSize)));
+            int ny = std::max(
+                1, int(std::ceil(band_h / layer.quadSize)));
+            float sx = float(w) / nx;
+            float sy = float(band_h) / ny;
+            float y_top = float(h - band_h);
+            Rng &rng = builder.rng();
+            for (int j = 0; j < ny; ++j) {
+                for (int i = 0; i < nx; ++i) {
+                    TextureId tex = pool[size_t(
+                        rng.uniformInt(0, pool.size() - 1))];
+                    builder.addQuad(i * sx, y_top + j * sy,
+                                    (i + 1) * sx, y_top + (j + 1) * sy,
+                                    tex, layer.density);
+                }
+            }
+        }
+    }
+
+    // Characters / detailed objects: clusters of small triangles,
+    // themselves grouped so depth complexity forms spatial hot spots.
+    int clusters =
+        std::max(1, int(std::lround(knobs.numClusters * scale *
+                                    scale)));
+    Rng cluster_rng = builder.rng().split(0xc1a5);
+    int groups = std::max(1, clusters / 8);
+    std::vector<Vec2> group_centers;
+    for (int g = 0; g < groups; ++g) {
+        group_centers.push_back(
+            Vec2(float(cluster_rng.uniform(0.1 * w, 0.9 * w)),
+                 float(cluster_rng.uniform(0.1 * h, 0.9 * h))));
+    }
+    double group_spread = std::min(w, h) / 10.0;
+    for (int c = 0; c < clusters; ++c) {
+        const Vec2 &g = group_centers[size_t(
+            cluster_rng.uniformInt(0, groups - 1))];
+        float cx = g.x + float(cluster_rng.normal(0.0, group_spread));
+        float cy = g.y + float(cluster_rng.normal(0.0, group_spread));
+        if (knobs.clusterPerTriangleTexture) {
+            for (int t = 0; t < knobs.trisPerCluster; ++t) {
+                TextureId tex = pool[size_t(
+                    cluster_rng.uniformInt(0, pool.size() - 1))];
+                builder.addCluster(
+                    cx + float(cluster_rng.normal(
+                             0.0, knobs.clusterRadius)),
+                    cy + float(cluster_rng.normal(
+                             0.0, knobs.clusterRadius)),
+                    float(knobs.clusterRadius) * 0.3f, 1,
+                    knobs.clusterMeanArea, tex,
+                    knobs.clusterDensity);
+            }
+        } else {
+            TextureId tex = pool[size_t(
+                cluster_rng.uniformInt(0, pool.size() - 1))];
+            builder.addCluster(cx, cy, float(knobs.clusterRadius),
+                               knobs.trisPerCluster,
+                               knobs.clusterMeanArea, tex,
+                               knobs.clusterDensity);
+        }
+    }
+
+    return builder.take();
+}
+
+Scene
+buildTeapot(const BenchmarkSpec &spec, double scale)
+{
+    uint32_t w = scaleDim(spec.screenWidth, scale);
+    uint32_t h = scaleDim(spec.screenHeight, scale);
+    SceneBuilder builder(spec.name, w, h, 0x7ea907);
+
+    uint32_t tex_w = scalePow2(2048, scale, 16);
+    uint32_t tex_h = scalePow2(1024, scale, 16);
+    TextureId tex = builder.makeTexture(tex_w, tex_h);
+
+    int slices = std::max(8, int(std::lround(72 * scale)));
+    int stacks = std::max(4, int(std::lround(35 * scale)));
+    Mesh pot = makePot(slices, stacks, tex);
+
+    // makePot uses a 4x2 uv wrap; rescale so the level-0 texel
+    // density on screen is ~1.2 (the "full" texture of teapot.full:
+    // barely minified, nearly every fragment touches fresh texels).
+    for (MeshVertex &v : pot.vertices) {
+        v.uv.x *= 0.95f / 4.0f;
+        v.uv.y *= 1.3f / 2.0f;
+    }
+
+    Mat4 proj = Mat4::perspective(1.25f, float(w) / float(h), 0.1f,
+                                  10.0f);
+    // Close enough that the pot overfills the screen slightly:
+    // teapot.full's 2.8M fragments need ~2.1x overdraw everywhere
+    // (front and back faces, no culling).
+    Mat4 view = Mat4::lookAt(Vec3(0.0f, 0.35f, 1.35f),
+                             Vec3(0.0f, 0.0f, 0.0f),
+                             Vec3(0.0f, 1.0f, 0.0f));
+    // No back-face culling (the paper's engine draws both sides of
+    // the unclosed surface), so each surface contributes ~2x
+    // overdraw; the inner lining below doubles it again, standing in
+    // for the real teapot's overlapping lid/handle/spout geometry
+    // and matching the frame's 2.1 mean depth complexity.
+    builder.addMesh(pot, proj * view);
+    Mesh lining = pot;
+    for (MeshVertex &v : lining.vertices) {
+        v.pos.x *= 0.985f;
+        v.pos.z *= 0.985f;
+    }
+    builder.addMesh(lining, proj * view);
+
+    return builder.take();
+}
+
+const std::vector<BenchmarkSpec> &
+specs()
+{
+    static const std::vector<BenchmarkSpec> table = {
+        {"room3", 1280, 1024, 13.0, 9.9, 163000, 24, 1.5, 0.28},
+        {"teapot.full", 1280, 1024, 2.8, 2.1, 10000, 1, 6.0, 1.13},
+        {"quake", 1152, 870, 2.0, 1.9, 7400, 954, 5.2, 1.3},
+        {"massive11255", 1600, 1200, 8.0, 4.1, 13000, 1055, 1.0,
+         0.13},
+        {"32massive11255", 1600, 1200, 8.0, 4.1, 13000, 1055, 3.4,
+         0.42},
+        {"blowout775", 1600, 1200, 5.9, 3.0, 5947, 1778, 0.8, 0.1},
+        {"truc640", 1600, 1200, 8.3, 4.3, 12195, 1530, 1.2, 0.15},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const BenchmarkSpec &s : specs())
+            out.push_back(s.name);
+        return out;
+    }();
+    return names;
+}
+
+const BenchmarkSpec &
+benchmarkSpec(const std::string &name)
+{
+    for (const BenchmarkSpec &s : specs())
+        if (s.name == name)
+            return s;
+    texdist_fatal("unknown benchmark: ", name);
+}
+
+Scene
+makeBenchmark(const std::string &name, double scale)
+{
+    const BenchmarkSpec &spec = benchmarkSpec(name);
+
+    if (name == "room3") {
+        GameKnobs knobs;
+        knobs.seed = 0x300313;
+        knobs.numTextures = 24;
+        knobs.texMin = 128;
+        knobs.texMax = 128;
+        knobs.layers.assign(6, {40.0, 0.3, 1.0});
+        knobs.numClusters = 80;
+        knobs.trisPerCluster = 1900;
+        knobs.clusterRadius = 60.0;
+        knobs.clusterMeanArea = 34.0;
+        knobs.clusterDensity = 0.65;
+        return buildGameScene(spec, knobs, scale);
+    }
+    if (name == "teapot.full")
+        return buildTeapot(spec, scale);
+    if (name == "quake") {
+        GameKnobs knobs;
+        knobs.seed = 0x9a4e;
+        knobs.numTextures = 954;
+        knobs.texMin = 32;
+        knobs.texMax = 64;
+        // Small wall quads so the frame touches most of the 954
+        // textures, as the original does.
+        knobs.layers = {{60.0, 1.2, 1.0}, {60.0, 1.2, 0.5}};
+        knobs.numClusters = 14;
+        knobs.trisPerCluster = 400;
+        knobs.clusterRadius = 90.0;
+        knobs.clusterMeanArea = 70.0;
+        knobs.clusterDensity = 1.2;
+        return buildGameScene(spec, knobs, scale);
+    }
+    if (name == "massive11255") {
+        GameKnobs knobs;
+        knobs.seed = 0x3a551e;
+        knobs.numTextures = 1055;
+        knobs.texMin = 16;
+        knobs.texMax = 64;
+        knobs.layers.assign(3, {250.0, 0.28, 1.0});
+        knobs.numClusters = 32;
+        knobs.trisPerCluster = 400;
+        knobs.clusterRadius = 80.0;
+        knobs.clusterMeanArea = 164.0;
+        knobs.clusterDensity = 0.35;
+        return buildGameScene(spec, knobs, scale);
+    }
+    if (name == "32massive11255") {
+        GameKnobs knobs;
+        knobs.seed = 0x3a551e; // same demo frame, re-sized textures
+        knobs.numTextures = 1055;
+        knobs.texMin = 32;
+        knobs.texMax = 128;
+        knobs.layers.assign(3, {300.0, 0.5, 1.0});
+        knobs.numClusters = 32;
+        knobs.trisPerCluster = 400;
+        knobs.clusterRadius = 80.0;
+        knobs.clusterMeanArea = 164.0;
+        knobs.clusterDensity = 0.65;
+        return buildGameScene(spec, knobs, scale);
+    }
+    if (name == "blowout775") {
+        GameKnobs knobs;
+        knobs.seed = 0xb10775;
+        knobs.numTextures = 1778;
+        knobs.texMin = 8;
+        knobs.texMax = 8;
+        knobs.layers = {{150.0, 0.55, 1.0}, {150.0, 0.55, 1.0}};
+        knobs.numClusters = 16;
+        knobs.trisPerCluster = 360;
+        knobs.clusterRadius = 140.0;
+        knobs.clusterMeanArea = 360.0;
+        knobs.clusterDensity = 0.55;
+        knobs.clusterPerTriangleTexture = true;
+        return buildGameScene(spec, knobs, scale);
+    }
+    if (name == "truc640") {
+        GameKnobs knobs;
+        knobs.seed = 0x640640;
+        knobs.numTextures = 1530;
+        knobs.texMin = 16;
+        knobs.texMax = 64;
+        knobs.layers = {{230.0, 0.55, 1.0},
+                        {230.0, 0.55, 1.0},
+                        {230.0, 0.55, 1.0},
+                        {230.0, 0.55, 0.3}};
+        knobs.numClusters = 30;
+        knobs.trisPerCluster = 400;
+        knobs.clusterRadius = 70.0;
+        knobs.clusterMeanArea = 160.0;
+        knobs.clusterDensity = 0.6;
+        return buildGameScene(spec, knobs, scale);
+    }
+    texdist_fatal("unknown benchmark: ", name);
+}
+
+} // namespace texdist

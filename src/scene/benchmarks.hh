@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The seven benchmark frames of the paper's Table 1, rebuilt as
+ * synthetic scenes.
+ *
+ * The originals were single frames of recorded game demos (Quake,
+ * Quake 2 "massive1" frame 1255, Half-Life "blowout"/"truc") and two
+ * microbenchmarks (room3, teapot.full), rendered through an
+ * instrumented Mesa. The demos and the instrumented renderer are not
+ * recoverable, so each generator here is tuned to match the published
+ * frame characteristics: screen size, rendered pixels (depth
+ * complexity), triangle count, texture count, texture bytes touched
+ * and the unique texel-to-fragment ratio, while preserving the
+ * *spatial* structure that drives the paper's phenomena — big
+ * coherent background surfaces, clustered high-overdraw characters,
+ * and the paper's texture-magnification correction (Section 4.2)
+ * expressed as per-layer texel densities.
+ *
+ * Every scene is deterministic for a given (name, scale).
+ */
+
+#ifndef TEXDIST_SCENE_BENCHMARKS_HH
+#define TEXDIST_SCENE_BENCHMARKS_HH
+
+#include <string>
+#include <vector>
+
+#include "scene/scene.hh"
+
+namespace texdist
+{
+
+/** Table 1 reference values for one benchmark. */
+struct BenchmarkSpec
+{
+    std::string name;
+    uint32_t screenWidth;
+    uint32_t screenHeight;
+    double paperMPixels;      ///< rendered pixels, millions
+    double paperDepth;        ///< mean depth complexity
+    uint32_t paperTriangles;
+    uint32_t paperTextures;
+    double paperTextureMB;    ///< texture bytes touched
+    double paperUniqueTF;     ///< unique texels / screen pixels
+};
+
+/** Names of the seven benchmarks, in Table 1 order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** Table 1 reference data; fatal on unknown name. */
+const BenchmarkSpec &benchmarkSpec(const std::string &name);
+
+/**
+ * Build a benchmark scene.
+ *
+ * @param name one of benchmarkNames()
+ * @param scale linear scale factor: screen dimensions and texture
+ *        sizes scale by @p scale, triangle counts by @p scale^2;
+ *        triangle pixel sizes, cluster radii and texel densities are
+ *        preserved so setup-overhead and cache-line-sharing behaviour
+ *        match the full-size frame. 1.0 reproduces the paper's frame
+ *        sizes.
+ */
+Scene makeBenchmark(const std::string &name, double scale = 1.0);
+
+} // namespace texdist
+
+#endif // TEXDIST_SCENE_BENCHMARKS_HH

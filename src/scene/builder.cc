@@ -1,0 +1,184 @@
+#include "scene/builder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "raster/pipeline.hh"
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+namespace
+{
+
+/** Round up to the next power of two, clamped to [1, 2^20]. */
+uint32_t
+ceilPow2(double v)
+{
+    uint32_t p = 1;
+    while (p < v && p < (1u << 20))
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+SceneBuilder::SceneBuilder(std::string name, uint32_t screen_w,
+                           uint32_t screen_h, uint64_t seed)
+    : _rng(seed)
+{
+    scene.name = std::move(name);
+    scene.screenWidth = screen_w;
+    scene.screenHeight = screen_h;
+}
+
+Scene
+SceneBuilder::take()
+{
+    if (taken)
+        texdist_panic("SceneBuilder::take() called twice");
+    taken = true;
+    return std::move(scene);
+}
+
+TextureId
+SceneBuilder::makeTexture(uint32_t w, uint32_t h, WrapMode wrap)
+{
+    return scene.textures.create(w, h, wrap);
+}
+
+std::vector<TextureId>
+SceneBuilder::makeTexturePool(int count, uint32_t min_size,
+                              uint32_t max_size)
+{
+    if (!isPow2(min_size) || !isPow2(max_size) || min_size > max_size)
+        texdist_fatal("bad texture pool size range [", min_size, ", ",
+                      max_size, "]");
+    std::vector<TextureId> pool;
+    pool.reserve(count);
+    double lo = std::log2(double(min_size));
+    double hi = std::log2(double(max_size));
+    for (int i = 0; i < count; ++i) {
+        // Round the log-uniform draw to the *nearest* power of two so
+        // the pool mixes sizes instead of collapsing to max_size.
+        uint32_t size =
+            ceilPow2(std::exp2(_rng.uniform(lo, hi)) / std::sqrt(2.0));
+        size = std::clamp(size, min_size, max_size);
+        pool.push_back(makeTexture(size, size));
+    }
+    return pool;
+}
+
+void
+SceneBuilder::addTriangle(const TexTriangle &tri)
+{
+    scene.triangles.push_back(tri);
+}
+
+void
+SceneBuilder::addQuad(float x0, float y0, float x1, float y1,
+                      TextureId tex, double texel_density)
+{
+    const Texture &t = scene.textures.get(tex);
+    float du_dx = float(texel_density / t.width());
+    float dv_dy = float(texel_density / t.height());
+
+    // Random texel-space origin so quads don't all hammer the same
+    // texture corner.
+    float u0 = float(_rng.uniform());
+    float v0 = float(_rng.uniform());
+    float u1 = u0 + (x1 - x0) * du_dx;
+    float v1 = v0 + (y1 - y0) * dv_dy;
+
+    TexVertex a{x0, y0, 1.0f, u0, v0};
+    TexVertex b{x1, y0, 1.0f, u1, v0};
+    TexVertex c{x1, y1, 1.0f, u1, v1};
+    TexVertex d{x0, y1, 1.0f, u0, v1};
+
+    scene.triangles.push_back({{a, b, c}, tex});
+    scene.triangles.push_back({{a, c, d}, tex});
+}
+
+int
+SceneBuilder::addBackgroundLayer(const std::vector<TextureId> &pool,
+                                 float quad_w, float quad_h,
+                                 double texel_density)
+{
+    if (pool.empty())
+        texdist_fatal("background layer needs a non-empty pool");
+
+    int nx = std::max(1, int(std::ceil(scene.screenWidth / quad_w)));
+    int ny = std::max(1, int(std::ceil(scene.screenHeight / quad_h)));
+    float step_x = float(scene.screenWidth) / nx;
+    float step_y = float(scene.screenHeight) / ny;
+
+    int added = 0;
+    for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+            TextureId tex =
+                pool[size_t(_rng.uniformInt(0, pool.size() - 1))];
+            addQuad(i * step_x, j * step_y, (i + 1) * step_x,
+                    (j + 1) * step_y, tex, texel_density);
+            added += 2;
+        }
+    }
+    return added;
+}
+
+int
+SceneBuilder::addCluster(float cx, float cy, float radius,
+                         int num_tris, double mean_area,
+                         TextureId tex, double texel_density)
+{
+    const Texture &t = scene.textures.get(tex);
+    float du_dx = float(texel_density / t.width());
+    float dv_dy = float(texel_density / t.height());
+
+    // The cluster samples one coherent window of its texture (a
+    // character's skin): texel position follows screen position.
+    float u_base = float(_rng.uniform());
+    float v_base = float(_rng.uniform());
+
+    int added = 0;
+    for (int n = 0; n < num_tris; ++n) {
+        float tx = cx + float(_rng.normal(0.0, radius));
+        float ty = cy + float(_rng.normal(0.0, radius));
+
+        // Roughly equilateral triangle with jittered vertices whose
+        // expected area is mean_area.
+        double area = std::max(1.0, _rng.exponential(mean_area));
+        float edge = float(std::sqrt(4.0 * area / std::sqrt(3.0)));
+        float theta = float(_rng.uniform(0.0, 2.0 * 3.14159265358979));
+
+        TexTriangle tri;
+        tri.tex = tex;
+        for (int k = 0; k < 3; ++k) {
+            float ang = theta + float(k) * 2.0944f; // 2*pi/3
+            float jitter = float(_rng.uniform(0.8, 1.2));
+            float r = edge * 0.5774f * jitter; // circumradius
+            float vx = tx + r * std::cos(ang);
+            float vy = ty + r * std::sin(ang);
+            tri.v[k].x = vx;
+            tri.v[k].y = vy;
+            tri.v[k].invW = 1.0f;
+            tri.v[k].u = u_base + (vx - cx) * du_dx;
+            tri.v[k].v = v_base + (vy - cy) * dv_dy;
+        }
+        scene.triangles.push_back(tri);
+        ++added;
+    }
+    return added;
+}
+
+int
+SceneBuilder::addMesh(const Mesh &mesh, const Mat4 &mvp)
+{
+    GeometryPipeline pipe(mvp, 0.0f, 0.0f, float(scene.screenWidth),
+                          float(scene.screenHeight));
+    size_t before = scene.triangles.size();
+    pipe.processMesh(mesh, scene.triangles);
+    return int(scene.triangles.size() - before);
+}
+
+} // namespace texdist

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic scene construction kit used by the synthetic
+ * benchmark generators and the examples. Provides the building
+ * blocks the paper's frames are made of: large textured background
+ * surfaces (walls/floors), clusters of small triangles (characters,
+ * detailed objects — the source of the spatially clustered depth
+ * complexity Section 2.3 emphasizes) and full 3D meshes pushed
+ * through the geometry pipeline.
+ */
+
+#ifndef TEXDIST_SCENE_BUILDER_HH
+#define TEXDIST_SCENE_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "geom/mat.hh"
+#include "geom/rng.hh"
+#include "raster/pipeline.hh"
+#include "scene/scene.hh"
+
+namespace texdist
+{
+
+/**
+ * Builds a Scene incrementally. All randomness flows from the seed
+ * given at construction; identical seeds and call sequences produce
+ * identical scenes on every platform.
+ */
+class SceneBuilder
+{
+  public:
+    SceneBuilder(std::string name, uint32_t screen_w, uint32_t screen_h,
+                 uint64_t seed);
+
+    /** Finish and move the scene out; the builder must not be reused. */
+    Scene take();
+
+    /** The deterministic generator (use split() for sub-streams). */
+    Rng &rng() { return _rng; }
+
+    size_t triangleCount() const { return scene.triangles.size(); }
+
+    // --- textures -----------------------------------------------------
+
+    /** Create one texture of the given power-of-two dimensions. */
+    TextureId makeTexture(uint32_t w, uint32_t h,
+                          WrapMode wrap = WrapMode::Repeat);
+
+    /**
+     * Create @p count textures with square power-of-two sizes drawn
+     * log-uniformly from [min_size, max_size].
+     */
+    std::vector<TextureId> makeTexturePool(int count, uint32_t min_size,
+                                           uint32_t max_size);
+
+    // --- screen-space primitives ---------------------------------------
+
+    void addTriangle(const TexTriangle &tri);
+
+    /**
+     * Axis-aligned textured quad (two triangles) covering
+     * [x0, x1) x [y0, y1) in pixels, with texture coordinates chosen
+     * so the texel density (level-0 texels per pixel, per axis) is
+     * @p texel_density, starting from a random texture offset.
+     */
+    void addQuad(float x0, float y0, float x1, float y1,
+                 TextureId tex, double texel_density);
+
+    /**
+     * A layer of quads covering the whole screen in a grid with cells
+     * of roughly quad_w x quad_h pixels (each randomly textured from
+     * @p pool). This is the "walls and floors" content of the game
+     * frames: big triangles, coherent texture access.
+     *
+     * @return number of triangles added
+     */
+    int addBackgroundLayer(const std::vector<TextureId> &pool,
+                           float quad_w, float quad_h,
+                           double texel_density);
+
+    /**
+     * A cluster of small triangles around (cx, cy) — a character or
+     * detailed object. Triangle centres are normally distributed with
+     * the given radius; each triangle is roughly equilateral with the
+     * given mean pixel area, and samples a coherent window of the
+     * cluster's texture at the given texel density.
+     *
+     * @return number of triangles added
+     */
+    int addCluster(float cx, float cy, float radius, int num_tris,
+                   double mean_area, TextureId tex,
+                   double texel_density);
+
+    // --- 3D content ----------------------------------------------------
+
+    /**
+     * Transform a mesh by @p mvp and append the resulting (clipped)
+     * screen triangles. The viewport is the full screen.
+     *
+     * @return number of triangles added
+     */
+    int addMesh(const Mesh &mesh, const Mat4 &mvp);
+
+    /** Access the texture manager (e.g. for density computations). */
+    const TextureManager &textures() const { return scene.textures; }
+
+  private:
+    Scene scene;
+    Rng _rng;
+    bool taken = false;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_SCENE_BUILDER_HH

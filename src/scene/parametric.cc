@@ -1,0 +1,147 @@
+#include "scene/parametric.hh"
+
+#include <cmath>
+
+namespace texdist
+{
+
+namespace
+{
+
+constexpr float pi = 3.14159265358979323846f;
+
+/** Append the two triangles of a quad given four vertex indices. */
+void
+addQuad(Mesh &mesh, uint32_t a, uint32_t b, uint32_t c, uint32_t d)
+{
+    mesh.indices.insert(mesh.indices.end(), {a, b, c});
+    mesh.indices.insert(mesh.indices.end(), {a, c, d});
+}
+
+} // namespace
+
+Mesh
+makePlane(int nx, int ny, float sx, float sy, float u_rep, float v_rep,
+          TextureId tex)
+{
+    Mesh mesh;
+    mesh.tex = tex;
+    for (int j = 0; j <= ny; ++j) {
+        for (int i = 0; i <= nx; ++i) {
+            float fx = float(i) / nx;
+            float fy = float(j) / ny;
+            MeshVertex v;
+            v.pos = Vec3((fx - 0.5f) * sx, (fy - 0.5f) * sy, 0.0f);
+            v.uv = Vec2(fx * u_rep, fy * v_rep);
+            mesh.vertices.push_back(v);
+        }
+    }
+    auto idx = [nx](int i, int j) {
+        return uint32_t(j * (nx + 1) + i);
+    };
+    for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i)
+            addQuad(mesh, idx(i, j), idx(i + 1, j), idx(i + 1, j + 1),
+                    idx(i, j + 1));
+    return mesh;
+}
+
+Mesh
+makeSphere(int slices, int stacks, TextureId tex)
+{
+    Mesh mesh;
+    mesh.tex = tex;
+    for (int j = 0; j <= stacks; ++j) {
+        float v = float(j) / stacks;
+        float phi = v * pi; // 0 at north pole
+        for (int i = 0; i <= slices; ++i) {
+            float u = float(i) / slices;
+            float theta = u * 2.0f * pi;
+            MeshVertex vert;
+            vert.pos = Vec3(std::sin(phi) * std::cos(theta),
+                            std::cos(phi),
+                            std::sin(phi) * std::sin(theta));
+            vert.uv = Vec2(u, v);
+            mesh.vertices.push_back(vert);
+        }
+    }
+    auto idx = [slices](int i, int j) {
+        return uint32_t(j * (slices + 1) + i);
+    };
+    for (int j = 0; j < stacks; ++j)
+        for (int i = 0; i < slices; ++i)
+            addQuad(mesh, idx(i, j), idx(i + 1, j), idx(i + 1, j + 1),
+                    idx(i, j + 1));
+    return mesh;
+}
+
+Mesh
+makeBox(float hx, float hy, float hz, TextureId tex)
+{
+    Mesh mesh;
+    mesh.tex = tex;
+    struct Face
+    {
+        Vec3 origin, du, dv;
+    };
+    const Face faces[6] = {
+        {{-hx, -hy, +hz}, {2 * hx, 0, 0}, {0, 2 * hy, 0}}, // front
+        {{+hx, -hy, -hz}, {-2 * hx, 0, 0}, {0, 2 * hy, 0}}, // back
+        {{+hx, -hy, +hz}, {0, 0, -2 * hz}, {0, 2 * hy, 0}}, // right
+        {{-hx, -hy, -hz}, {0, 0, 2 * hz}, {0, 2 * hy, 0}},  // left
+        {{-hx, +hy, +hz}, {2 * hx, 0, 0}, {0, 0, -2 * hz}}, // top
+        {{-hx, -hy, -hz}, {2 * hx, 0, 0}, {0, 0, 2 * hz}},  // bottom
+    };
+    for (const Face &f : faces) {
+        uint32_t base = uint32_t(mesh.vertices.size());
+        const Vec2 uvs[4] = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+        const Vec3 pos[4] = {f.origin, f.origin + f.du,
+                             f.origin + f.du + f.dv, f.origin + f.dv};
+        for (int k = 0; k < 4; ++k)
+            mesh.vertices.push_back({pos[k], uvs[k]});
+        addQuad(mesh, base, base + 1, base + 2, base + 3);
+    }
+    return mesh;
+}
+
+Mesh
+makePot(int slices, int stacks, TextureId tex)
+{
+    Mesh mesh;
+    mesh.tex = tex;
+
+    // Profile: radius as a function of height t in [0, 1]; a squat
+    // body with a shoulder, a narrow neck and a lid knob.
+    auto profile = [](float t) {
+        float base = 0.25f + 0.75f * std::sin(pi * std::min(t * 1.2f,
+                                                            1.0f));
+        float neck = t > 0.8f ? 0.35f + 0.25f * std::cos((t - 0.8f) *
+                                                         5.0f * pi)
+                              : 1.0f;
+        return 0.9f * base * std::min(neck, 1.0f) + 0.05f;
+    };
+
+    for (int j = 0; j <= stacks; ++j) {
+        float t = float(j) / stacks;
+        float r = profile(t);
+        float y = t * 1.4f - 0.7f;
+        for (int i = 0; i <= slices; ++i) {
+            float u = float(i) / slices;
+            float theta = u * 2.0f * pi;
+            MeshVertex v;
+            v.pos = Vec3(r * std::cos(theta), y, r * std::sin(theta));
+            v.uv = Vec2(u * 4.0f, t * 2.0f); // wraps like a real scan
+            mesh.vertices.push_back(v);
+        }
+    }
+    auto idx = [slices](int i, int j) {
+        return uint32_t(j * (slices + 1) + i);
+    };
+    for (int j = 0; j < stacks; ++j)
+        for (int i = 0; i < slices; ++i)
+            addQuad(mesh, idx(i, j), idx(i + 1, j), idx(i + 1, j + 1),
+                    idx(i, j + 1));
+    return mesh;
+}
+
+} // namespace texdist

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Parametric mesh generators for the 3D benchmark objects and the
+ * example programs: tessellated planes, spheres, boxes, and a
+ * surface-of-revolution "pot" standing in for the classic teapot of
+ * the paper's teapot.full microbenchmark.
+ */
+
+#ifndef TEXDIST_SCENE_PARAMETRIC_HH
+#define TEXDIST_SCENE_PARAMETRIC_HH
+
+#include <cstdint>
+
+#include "raster/pipeline.hh"
+
+namespace texdist
+{
+
+/**
+ * A z = 0 plane of @p nx by @p ny quads spanning [-sx/2, sx/2] x
+ * [-sy/2, sy/2], with texture coordinates covering [0, u_rep] x
+ * [0, v_rep].
+ */
+Mesh makePlane(int nx, int ny, float sx, float sy, float u_rep,
+               float v_rep, TextureId tex);
+
+/** A unit-radius UV sphere with the given tessellation. */
+Mesh makeSphere(int slices, int stacks, TextureId tex);
+
+/** An axis-aligned box of the given half-extents, uv per face. */
+Mesh makeBox(float hx, float hy, float hz, TextureId tex);
+
+/**
+ * A surface of revolution approximating a teapot-like body: a
+ * profile curve (base, belly, neck, lid knob) revolved around the y
+ * axis. @p slices segments around, @p stacks along the profile.
+ * Texture u wraps around the revolution, v runs along the profile.
+ */
+Mesh makePot(int slices, int stacks, TextureId tex);
+
+} // namespace texdist
+
+#endif // TEXDIST_SCENE_PARAMETRIC_HH

@@ -1,0 +1,46 @@
+#include "scene/render.hh"
+
+#include "raster/raster.hh"
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+void
+renderSceneImage(const Scene &scene, const TexelSource &texels,
+                 Framebuffer &fb)
+{
+    if (fb.width() != scene.screenWidth ||
+        fb.height() != scene.screenHeight)
+        texdist_fatal("framebuffer ", fb.width(), "x", fb.height(),
+                      " does not match scene ", scene.screenWidth,
+                      "x", scene.screenHeight);
+
+    Rect screen = scene.screenRect();
+    for (const TexTriangle &tri : scene.triangles) {
+        const Texture &tex = scene.textures.get(tri.tex);
+        TriangleRaster raster(tri, tex.width(), tex.height());
+        if (raster.degenerate())
+            continue;
+        raster.rasterize(screen, [&](const Fragment &frag) {
+            uint32_t x = uint32_t(frag.x);
+            uint32_t y = uint32_t(frag.y);
+            if (!fb.depthTest(x, y, frag.invW))
+                return;
+            fb.setPixel(x, y,
+                        sampleTrilinear(tex, texels, frag.u, frag.v,
+                                        frag.lod));
+        });
+    }
+}
+
+void
+renderSceneToPpm(const Scene &scene, const std::string &path)
+{
+    Framebuffer fb(scene.screenWidth, scene.screenHeight);
+    ProceduralTexels texels;
+    renderSceneImage(scene, texels, fb);
+    fb.writePpm(path);
+}
+
+} // namespace texdist

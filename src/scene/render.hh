@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reference software renderer: a whole scene through the same
+ * rasterizer and sampling machinery the simulator uses, but
+ * producing an image — depth-tested (1/w) and trilinearly filtered
+ * from a procedural texel source. This is the Figure 9 path and the
+ * ground truth the examples show.
+ */
+
+#ifndef TEXDIST_SCENE_RENDER_HH
+#define TEXDIST_SCENE_RENDER_HH
+
+#include "raster/framebuffer.hh"
+#include "scene/scene.hh"
+
+namespace texdist
+{
+
+/**
+ * Render @p scene into @p fb (which must match the scene's screen
+ * size) with depth testing and trilinear filtering.
+ */
+void renderSceneImage(const Scene &scene, const TexelSource &texels,
+                      Framebuffer &fb);
+
+/**
+ * Convenience: render and write a PPM in one call.
+ */
+void renderSceneToPpm(const Scene &scene, const std::string &path);
+
+} // namespace texdist
+
+#endif // TEXDIST_SCENE_RENDER_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A renderable frame: screen-space textured triangles in submission
+ * order plus the texture set they reference. This is what the
+ * paper's instrumented Mesa produced for one frame of each benchmark
+ * demo; our scenes are generated synthetically (see benchmarks.hh)
+ * but play the identical role.
+ */
+
+#ifndef TEXDIST_SCENE_SCENE_HH
+#define TEXDIST_SCENE_SCENE_HH
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.hh"
+#include "raster/triangle.hh"
+#include "texture/manager.hh"
+
+namespace texdist
+{
+
+/** One frame of work for the texture-mapping stage. */
+struct Scene
+{
+    std::string name;
+    uint32_t screenWidth = 0;
+    uint32_t screenHeight = 0;
+
+    /** Triangles in strict OpenGL submission order. */
+    std::vector<TexTriangle> triangles;
+
+    /** All textures referenced by the triangles. */
+    TextureManager textures;
+
+    /** The full screen as a pixel rectangle. */
+    Rect
+    screenRect() const
+    {
+        return Rect(0, 0, int32_t(screenWidth), int32_t(screenHeight));
+    }
+
+    /** Screen area in pixels. */
+    uint64_t
+    screenArea() const
+    {
+        return uint64_t(screenWidth) * screenHeight;
+    }
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_SCENE_SCENE_HH

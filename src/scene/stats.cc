@@ -1,0 +1,130 @@
+#include "scene/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "raster/raster.hh"
+#include "texture/sampler.hh"
+
+namespace texdist
+{
+
+SceneStats
+measureScene(const Scene &scene)
+{
+    SceneStats out;
+    out.name = scene.name;
+    out.screenWidth = scene.screenWidth;
+    out.screenHeight = scene.screenHeight;
+    out.numTriangles = scene.triangles.size();
+    out.numTextures = scene.textures.count();
+    out.textureBytesAllocated = scene.textures.totalBytes();
+
+    // Bitmaps over the texture address space: one bit per texel and
+    // one per 64-byte line.
+    uint64_t total_texels = scene.textures.totalBytes() / texelBytes;
+    uint64_t total_lines = scene.textures.totalBytes() / lineBytes;
+    std::vector<bool> texel_seen(total_texels, false);
+    std::vector<bool> line_seen(total_lines, false);
+
+    // Coarse 16x16-pixel tile load map for the clustering measure.
+    constexpr uint32_t tileShift = 4;
+    uint32_t tiles_x = (scene.screenWidth + 15) / 16;
+    uint32_t tiles_y = (scene.screenHeight + 15) / 16;
+    std::vector<uint64_t> tile_load(size_t(tiles_x) * tiles_y, 0);
+
+    Rect screen = scene.screenRect();
+    uint64_t small_triangles = 0;
+
+    for (const TexTriangle &tri : scene.triangles) {
+        const Texture &tex = scene.textures.get(tri.tex);
+        TriangleRaster raster(tri, tex.width(), tex.height());
+        if (raster.degenerate())
+            continue;
+
+        uint64_t frags_before = out.pixelsRendered;
+        TexelRefs refs;
+        raster.rasterize(screen, [&](const Fragment &frag) {
+            ++out.pixelsRendered;
+            tile_load[size_t(frag.y >> tileShift) * tiles_x +
+                      size_t(frag.x >> tileShift)]++;
+            TrilinearSampler::generate(tex, frag.u, frag.v, frag.lod,
+                                       refs);
+            for (uint64_t addr : refs) {
+                texel_seen[addr / texelBytes] = true;
+                line_seen[addr / lineBytes] = true;
+            }
+        });
+        if (out.pixelsRendered - frags_before < 25)
+            ++small_triangles;
+    }
+
+    out.uniqueTexels = uint64_t(
+        std::count(texel_seen.begin(), texel_seen.end(), true));
+    out.uniqueLines = uint64_t(
+        std::count(line_seen.begin(), line_seen.end(), true));
+    out.textureBytesTouched = out.uniqueTexels * texelBytes;
+
+    double area = double(scene.screenArea());
+    out.depthComplexity = area > 0 ? out.pixelsRendered / area : 0.0;
+    out.uniqueTexelPerScreenPixel =
+        area > 0 ? out.uniqueTexels / area : 0.0;
+    out.uniqueTexelPerFragment =
+        out.pixelsRendered
+            ? double(out.uniqueTexels) / double(out.pixelsRendered)
+            : 0.0;
+    out.meanTrianglePixels =
+        out.numTriangles
+            ? double(out.pixelsRendered) / double(out.numTriangles)
+            : 0.0;
+    out.smallTriangleFraction =
+        out.numTriangles
+            ? double(small_triangles) / double(out.numTriangles)
+            : 0.0;
+
+    // Tile clustering: compare the busiest tiles to the average.
+    if (!tile_load.empty() && out.pixelsRendered > 0) {
+        std::vector<uint64_t> sorted = tile_load;
+        std::sort(sorted.begin(), sorted.end());
+        double mean =
+            double(out.pixelsRendered) / double(sorted.size());
+        uint64_t max = sorted.back();
+        uint64_t p95 = sorted[size_t(0.95 * (sorted.size() - 1))];
+        out.tileLoadMaxOverMean = mean > 0 ? max / mean : 0.0;
+        out.tileLoadP95OverMean = mean > 0 ? p95 / mean : 0.0;
+    }
+
+    return out;
+}
+
+void
+printSceneStatsHeader(std::ostream &os)
+{
+    os << std::left << std::setw(16) << "scene" << std::right
+       << std::setw(11) << "screen" << std::setw(10) << "Mpix"
+       << std::setw(7) << "depth" << std::setw(9) << "tris"
+       << std::setw(7) << "texs" << std::setw(9) << "texMB"
+       << std::setw(10) << "uniq t/f" << std::setw(10) << "px/tri"
+       << "\n";
+}
+
+void
+printSceneStatsRow(std::ostream &os, const SceneStats &s)
+{
+    std::ostringstream screen;
+    screen << s.screenWidth << "x" << s.screenHeight;
+    os << std::left << std::setw(16) << s.name << std::right
+       << std::setw(11) << screen.str() << std::setw(10)
+       << std::fixed << std::setprecision(2)
+       << s.pixelsRendered / 1e6 << std::setw(7)
+       << std::setprecision(1) << s.depthComplexity << std::setw(9)
+       << s.numTriangles << std::setw(7) << s.numTextures
+       << std::setw(9) << std::setprecision(2)
+       << s.textureBytesTouched / (1024.0 * 1024.0) << std::setw(10)
+       << s.uniqueTexelPerScreenPixel << std::setw(10)
+       << std::setprecision(0) << s.meanTrianglePixels << "\n";
+}
+
+} // namespace texdist

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Frame characterization — reproduces the columns of the paper's
+ * Table 1 for any scene: rendered pixels, depth complexity, triangle
+ * and texture counts, the texture bytes actually touched, and the
+ * unique texel-to-fragment ratio, plus a coarse map of how depth
+ * complexity clusters on the screen (the property that drives load
+ * imbalance).
+ */
+
+#ifndef TEXDIST_SCENE_STATS_HH
+#define TEXDIST_SCENE_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "scene/scene.hh"
+
+namespace texdist
+{
+
+/** Measured characteristics of one scene. */
+struct SceneStats
+{
+    std::string name;
+    uint32_t screenWidth = 0;
+    uint32_t screenHeight = 0;
+
+    uint64_t pixelsRendered = 0; ///< fragments inside the screen
+    uint64_t numTriangles = 0;
+    uint64_t numTextures = 0;
+
+    /**
+     * Mean depth complexity: fragments per screen pixel (this matches
+     * Table 1: e.g. room3's 13M pixels over 1280x1024 give 9.9).
+     */
+    double depthComplexity = 0.0;
+
+    /** Total texture memory allocated (the scene's texture set). */
+    uint64_t textureBytesAllocated = 0;
+
+    /**
+     * Texture bytes actually referenced by the frame (unique texels
+     * times 4). Table 1's "Texture Used (MB)" column matches this:
+     * for every benchmark it equals the unique-texel count times
+     * 4 bytes.
+     */
+    uint64_t textureBytesTouched = 0;
+
+    uint64_t uniqueTexels = 0;
+    uint64_t uniqueLines = 0; ///< distinct 64-byte texture lines
+
+    /**
+     * Unique texels per *screen* pixel. Table 1's "Unique
+     * texel/fragment" column is unique texels divided by the screen
+     * area (the published values check out against the "Texture
+     * Used" column under that reading, not against the overdrawn
+     * fragment count).
+     */
+    double uniqueTexelPerScreenPixel = 0.0;
+
+    /** Unique texels per rendered fragment (the stricter reading). */
+    double uniqueTexelPerFragment = 0.0;
+
+    double meanTrianglePixels = 0.0;
+
+    /**
+     * Fraction of triangles covering fewer than 25 pixels, i.e.
+     * bounded by the setup engine even on a single processor.
+     */
+    double smallTriangleFraction = 0.0;
+
+    /**
+     * Depth-complexity clustering over 16x16 pixel tiles: max and
+     * 95th-percentile tile load divided by the mean tile load. 1.0
+     * means perfectly even; large values mean hot spots.
+     */
+    double tileLoadMaxOverMean = 0.0;
+    double tileLoadP95OverMean = 0.0;
+};
+
+/**
+ * Rasterize the whole scene once and measure it.
+ *
+ * Unique texels are tracked with a bitmap over the texture address
+ * space, so the pass is linear in fragments.
+ */
+SceneStats measureScene(const Scene &scene);
+
+/** Print a Table 1 style row header / row. */
+void printSceneStatsHeader(std::ostream &os);
+void printSceneStatsRow(std::ostream &os, const SceneStats &s);
+
+} // namespace texdist
+
+#endif // TEXDIST_SCENE_STATS_HH

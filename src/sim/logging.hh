@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 convention:
+ * panic() for simulator bugs (aborts), fatal() for user errors
+ * (clean exit), warn()/inform() for status messages.
+ */
+
+#ifndef TEXDIST_SIM_LOGGING_HH
+#define TEXDIST_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace texdist
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate any streamable arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort with a message: something happened that should never happen
+ * regardless of user input (a simulator bug).
+ */
+#define texdist_panic(...)                                            \
+    ::texdist::detail::panicImpl(__FILE__, __LINE__,                  \
+                                 ::texdist::detail::concat(__VA_ARGS__))
+
+/**
+ * Exit with a message: the simulation cannot continue because of a
+ * user error (bad configuration, invalid arguments).
+ */
+#define texdist_fatal(...)                                            \
+    ::texdist::detail::fatalImpl(__FILE__, __LINE__,                  \
+                                 ::texdist::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational status message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace texdist
+
+#endif // TEXDIST_SIM_LOGGING_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Base class for named simulation components (nodes, buses, feeders)
+ * that live on an event queue and expose statistics.
+ */
+
+#ifndef TEXDIST_SIM_SIM_OBJECT_HH
+#define TEXDIST_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace texdist
+{
+
+/**
+ * A named component attached to an event queue. Subclasses register
+ * their statistics with the embedded StatGroup and schedule events on
+ * the shared queue.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : _stats(name), _name(std::move(name)), eq(eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    EventQueue &eventq() { return eq; }
+    Tick curTick() const { return eq.curTick(); }
+
+    /** Statistics registered by this object. */
+    const StatGroup &stats() const { return _stats; }
+
+    /** Dump this object's statistics. */
+    void dumpStats(std::ostream &os) const { _stats.dump(os); }
+
+  protected:
+    StatGroup _stats;
+
+  private:
+    std::string _name;
+    EventQueue &eq;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_SIM_SIM_OBJECT_HH

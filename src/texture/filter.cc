@@ -1,0 +1,114 @@
+#include "texture/filter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace texdist
+{
+
+namespace
+{
+
+/**
+ * The four bilinear taps of one level; mirrors
+ * TrilinearSampler::bilinearQuad, additionally returning the
+ * wrapped coordinates and the interpolation fractions.
+ */
+void
+levelTaps(const Texture &tex, uint32_t level, float u, float v,
+          TexelTaps &out, int base, float level_weight)
+{
+    const MipLevel &lvl = tex.level(level);
+    float tu = u * lvl.width - 0.5f;
+    float tv = v * lvl.height - 0.5f;
+    int32_t x_lo = int32_t(std::floor(tu));
+    int32_t y_lo = int32_t(std::floor(tv));
+    float fx = tu - float(x_lo);
+    float fy = tv - float(y_lo);
+
+    const int32_t xs[2] = {tex.wrapCoord(x_lo, lvl.width),
+                           tex.wrapCoord(x_lo + 1, lvl.width)};
+    const int32_t ys[2] = {tex.wrapCoord(y_lo, lvl.height),
+                           tex.wrapCoord(y_lo + 1, lvl.height)};
+    const float wx[2] = {1.0f - fx, fx};
+    const float wy[2] = {1.0f - fy, fy};
+
+    for (int j = 0; j < 2; ++j) {
+        for (int i = 0; i < 2; ++i) {
+            TexelTap &tap = out[base + j * 2 + i];
+            tap.level = level;
+            tap.x = uint32_t(xs[i]);
+            tap.y = uint32_t(ys[j]);
+            tap.addr = tex.texelAddress(level, tap.x, tap.y);
+            tap.weight = level_weight * wx[i] * wy[j];
+        }
+    }
+}
+
+} // namespace
+
+void
+trilinearTaps(const Texture &tex, float u, float v, float lod,
+              TexelTaps &out)
+{
+    float clamped = std::clamp(lod, 0.0f, float(tex.maxLevel()));
+    uint32_t l0 = uint32_t(clamped);
+    uint32_t l1 = std::min(l0 + 1, tex.maxLevel());
+    float fl = clamped - float(l0);
+
+    levelTaps(tex, l0, u, v, out, 0, 1.0f - fl);
+    levelTaps(tex, l1, u, v, out, 4, fl);
+}
+
+Rgba8
+ProceduralTexels::texel(const Texture &tex, uint32_t level,
+                        uint32_t x, uint32_t y) const
+{
+    // Base hue from the texture id.
+    uint32_t h = (tex.id() + 1) * 2654435761u;
+    int r = 80 + int(h & 0x7f);
+    int g = 80 + int((h >> 8) & 0x7f);
+    int b = 80 + int((h >> 16) & 0x7f);
+
+    // 4x4 checker (scaled so the pattern matches across mip levels).
+    uint32_t cx = (x << level) / 4;
+    uint32_t cy = (y << level) / 4;
+    float shade = ((cx + cy) & 1) ? 1.0f : 0.7f;
+
+    // Per-texel sparkle.
+    uint32_t t = (x * 73856093u) ^ (y * 19349663u) ^
+                 (level * 83492791u);
+    float sparkle = 0.9f + 0.1f * float(t & 0xff) / 255.0f;
+
+    auto clamp8 = [](float v) {
+        return uint8_t(std::clamp(v, 0.0f, 255.0f));
+    };
+    return Rgba8{clamp8(float(r) * shade * sparkle),
+                 clamp8(float(g) * shade * sparkle),
+                 clamp8(float(b) * shade * sparkle), 255};
+}
+
+Rgba8
+sampleTrilinear(const Texture &tex, const TexelSource &source,
+                float u, float v, float lod)
+{
+    TexelTaps taps;
+    trilinearTaps(tex, u, v, lod, taps);
+
+    float r = 0.0f, g = 0.0f, b = 0.0f, a = 0.0f;
+    for (const TexelTap &tap : taps) {
+        if (tap.weight == 0.0f)
+            continue;
+        Rgba8 c = source.texel(tex, tap.level, tap.x, tap.y);
+        r += tap.weight * float(c.r);
+        g += tap.weight * float(c.g);
+        b += tap.weight * float(c.b);
+        a += tap.weight * float(c.a);
+    }
+    auto round8 = [](float v) {
+        return uint8_t(std::clamp(v + 0.5f, 0.0f, 255.0f));
+    };
+    return Rgba8{round8(r), round8(g), round8(b), round8(a)};
+}
+
+} // namespace texdist

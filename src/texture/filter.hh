@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Trilinear filtering arithmetic. The cache studies only need texel
+ * *addresses* (see sampler.hh); the image-producing side of the
+ * library — the Figure 9 renderer and anything that wants to *see*
+ * a frame — also needs the tap weights and actual texel colours.
+ * Textures remain pure address spaces, so colour comes from a
+ * procedural texel source (deterministic per texture/level/texel),
+ * which is enough to visualize texture variety, mip selection and
+ * filtering quality.
+ */
+
+#ifndef TEXDIST_TEXTURE_FILTER_HH
+#define TEXDIST_TEXTURE_FILTER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "texture/sampler.hh"
+#include "texture/texture.hh"
+
+namespace texdist
+{
+
+/** An 8-bit RGBA colour. */
+struct Rgba8
+{
+    uint8_t r = 0;
+    uint8_t g = 0;
+    uint8_t b = 0;
+    uint8_t a = 255;
+
+    bool operator==(const Rgba8 &) const = default;
+};
+
+/** One trilinear tap: where it reads and how much it contributes. */
+struct TexelTap
+{
+    uint32_t level = 0;
+    uint32_t x = 0;
+    uint32_t y = 0;
+    uint64_t addr = 0;
+    float weight = 0.0f;
+};
+
+/** The eight taps of one trilinearly filtered sample. */
+using TexelTaps = std::array<TexelTap, texelsPerFragment>;
+
+/**
+ * Compute the eight taps with their bilinear x mip-blend weights.
+ * Tap order and addresses match TrilinearSampler::generate exactly
+ * (taps 0-3 in level floor(lod), 4-7 in the next level). Weights
+ * are non-negative and sum to 1.
+ */
+void trilinearTaps(const Texture &tex, float u, float v, float lod,
+                   TexelTaps &out);
+
+/**
+ * Source of texel colours. The default implementation is procedural:
+ * a per-texture hue with a texel checker pattern, stable across runs.
+ */
+class TexelSource
+{
+  public:
+    virtual ~TexelSource() = default;
+
+    /** Colour of one texel. */
+    virtual Rgba8 texel(const Texture &tex, uint32_t level,
+                        uint32_t x, uint32_t y) const = 0;
+};
+
+/**
+ * Deterministic procedural texels: hue from the texture id, a 4x4
+ * checker for structure, and a per-texel hash sparkle so filtering
+ * is visible.
+ */
+class ProceduralTexels : public TexelSource
+{
+  public:
+    Rgba8 texel(const Texture &tex, uint32_t level, uint32_t x,
+                uint32_t y) const override;
+};
+
+/**
+ * Fully filtered trilinear sample: weighted sum of the eight taps'
+ * colours. The result is a convex combination (each channel lies
+ * within the taps' min/max).
+ */
+Rgba8 sampleTrilinear(const Texture &tex, const TexelSource &source,
+                      float u, float v, float lod);
+
+} // namespace texdist
+
+#endif // TEXDIST_TEXTURE_FILTER_HH

@@ -1,0 +1,41 @@
+#include "texture/manager.hh"
+
+namespace texdist
+{
+
+TextureId
+TextureManager::create(uint32_t width, uint32_t height, WrapMode wrap,
+                       TexLayout layout)
+{
+    TextureId id = TextureId(textures.size());
+    textures.push_back(std::make_unique<Texture>(
+        id, nextAddr, width, height, wrap, layout));
+    nextAddr += textures.back()->byteSize();
+    // Keep every texture line-aligned (byteSize is already a multiple
+    // of the line size, but be defensive against future formats).
+    if (nextAddr % lineBytes != 0)
+        nextAddr += lineBytes - nextAddr % lineBytes;
+    return id;
+}
+
+TextureManager
+TextureManager::clone() const
+{
+    TextureManager out;
+    for (const auto &tex : textures)
+        out.create(tex->width(), tex->height(), tex->wrapMode(),
+                   tex->layout());
+    return out;
+}
+
+TextureManager
+TextureManager::clone(TexLayout layout) const
+{
+    TextureManager out;
+    for (const auto &tex : textures)
+        out.create(tex->width(), tex->height(), tex->wrapMode(),
+                   layout);
+    return out;
+}
+
+} // namespace texdist

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Texture memory allocator and registry. Each node of the paper's
+ * machine has a private texture memory holding *all* textures of the
+ * scene (textures are replicated, not distributed, in the
+ * architecture of Section 3), so a single shared address space
+ * suffices: every node's cache indexes the same addresses.
+ */
+
+#ifndef TEXDIST_TEXTURE_MANAGER_HH
+#define TEXDIST_TEXTURE_MANAGER_HH
+
+#include <memory>
+#include <vector>
+
+#include "texture/texture.hh"
+
+namespace texdist
+{
+
+/**
+ * Owns all textures of a scene and assigns them disjoint,
+ * line-aligned regions of the texture address space.
+ */
+class TextureManager
+{
+  public:
+    TextureManager() = default;
+
+    TextureManager(const TextureManager &) = delete;
+    TextureManager &operator=(const TextureManager &) = delete;
+    TextureManager(TextureManager &&) = default;
+    TextureManager &operator=(TextureManager &&) = default;
+
+    /**
+     * Create a texture; returns its id. Dimensions must be powers of
+     * two.
+     */
+    TextureId create(uint32_t width, uint32_t height,
+                     WrapMode wrap = WrapMode::Repeat,
+                     TexLayout layout = TexLayout::Blocked);
+
+    /** Number of textures created. */
+    size_t count() const { return textures.size(); }
+
+    /** Look up a texture by id. */
+    const Texture &
+    get(TextureId id) const
+    {
+        return *textures[id];
+    }
+
+    /**
+     * Total bytes allocated, i.e. the scene's texture footprint
+     * (Table 1 "Texture Used" column).
+     */
+    uint64_t totalBytes() const { return nextAddr; }
+
+    /**
+     * An independent manager with the identical texture set at the
+     * identical addresses (textures are immutable, so re-creating
+     * them in order reproduces the address space exactly). Used to
+     * derive one frame from another, e.g. for the inter-frame
+     * locality experiments.
+     */
+    TextureManager clone() const;
+
+    /**
+     * Clone with every texture re-laid-out (blocked vs linear);
+     * sizes and ids are preserved, addresses change with the
+     * layout's padding. Used by the texture-layout ablation.
+     */
+    TextureManager clone(TexLayout layout) const;
+
+  private:
+    std::vector<std::unique_ptr<Texture>> textures;
+    uint64_t nextAddr = 0;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_TEXTURE_MANAGER_HH

@@ -1,0 +1,66 @@
+#include "texture/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace texdist
+{
+
+float
+computeLod(float dudx, float dvdx, float dudy, float dvdy,
+           uint32_t tex_w, uint32_t tex_h)
+{
+    // Scale normalized-coordinate derivatives to texel units.
+    float sx = dudx * tex_w;
+    float tx = dvdx * tex_h;
+    float sy = dudy * tex_w;
+    float ty = dvdy * tex_h;
+
+    float rho2 = std::max(sx * sx + tx * tx, sy * sy + ty * ty);
+    if (rho2 <= 0.0f)
+        return -126.0f; // fully magnified / degenerate footprint
+    // log2(sqrt(rho2)) == 0.5 * log2(rho2)
+    return 0.5f * std::log2(rho2);
+}
+
+void
+TrilinearSampler::bilinearQuad(const Texture &tex, uint32_t level,
+                               float u, float v, TexelRefs &out,
+                               int base)
+{
+    const MipLevel &lvl = tex.level(level);
+
+    // Texel-space sample point; the -0.5 centres the 2x2 footprint
+    // on the sample as in the OpenGL specification.
+    float tu = u * lvl.width - 0.5f;
+    float tv = v * lvl.height - 0.5f;
+
+    int32_t x_lo = int32_t(std::floor(tu));
+    int32_t y_lo = int32_t(std::floor(tv));
+
+    int32_t xs[2] = {tex.wrapCoord(x_lo, lvl.width),
+                     tex.wrapCoord(x_lo + 1, lvl.width)};
+    int32_t ys[2] = {tex.wrapCoord(y_lo, lvl.height),
+                     tex.wrapCoord(y_lo + 1, lvl.height)};
+
+    out[base + 0] = tex.texelAddress(level, xs[0], ys[0]);
+    out[base + 1] = tex.texelAddress(level, xs[1], ys[0]);
+    out[base + 2] = tex.texelAddress(level, xs[0], ys[1]);
+    out[base + 3] = tex.texelAddress(level, xs[1], ys[1]);
+}
+
+void
+TrilinearSampler::generate(const Texture &tex, float u, float v,
+                           float lod, TexelRefs &out)
+{
+    float max_level = float(tex.maxLevel());
+    float clamped = std::clamp(lod, 0.0f, max_level);
+
+    uint32_t l0 = uint32_t(clamped);
+    uint32_t l1 = std::min(l0 + 1, tex.maxLevel());
+
+    bilinearQuad(tex, l0, u, v, out, 0);
+    bilinearQuad(tex, l1, u, v, out, 4);
+}
+
+} // namespace texdist

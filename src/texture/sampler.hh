@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trilinear texel address generation. "To draw one pixel of a
+ * triangle with trilinear filtering, eight texels are needed": a
+ * 2x2 bilinear footprint in each of the two mip levels bracketing the
+ * fragment's level of detail. The simulator only needs the eight
+ * byte addresses; the filtering arithmetic itself has no effect on
+ * cache behaviour.
+ */
+
+#ifndef TEXDIST_TEXTURE_SAMPLER_HH
+#define TEXDIST_TEXTURE_SAMPLER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "texture/texture.hh"
+
+namespace texdist
+{
+
+/** Number of texel references per trilinearly filtered fragment. */
+constexpr int texelsPerFragment = 8;
+
+/** The eight texel addresses touched by one fragment. */
+using TexelRefs = std::array<uint64_t, texelsPerFragment>;
+
+/**
+ * Compute the mip level of detail from screen-space derivatives of
+ * the *normalized* texture coordinates. This is the standard OpenGL
+ * rho: the longer of the two pixel-footprint axes, measured in
+ * level-0 texels.
+ *
+ * @param dudx, dvdx derivative of (u, v) w.r.t. screen x
+ * @param dudy, dvdy derivative of (u, v) w.r.t. screen y
+ * @param tex_w, tex_h level-0 dimensions in texels
+ * @return lambda = log2(rho); negative means magnification
+ */
+float computeLod(float dudx, float dvdx, float dudy, float dvdy,
+                 uint32_t tex_w, uint32_t tex_h);
+
+/**
+ * Stateless trilinear address generator.
+ */
+class TrilinearSampler
+{
+  public:
+    /**
+     * Generate the eight texel addresses for a fragment.
+     *
+     * @param tex texture being sampled
+     * @param u, v normalized texture coordinates (wrap per texture)
+     * @param lod level of detail; clamped to [0, maxLevel]
+     * @param out the eight addresses: four in level floor(lod), four
+     *        in level min(floor(lod)+1, maxLevel). With a clamped or
+     *        magnified lod both quads come from the same level (the
+     *        hardware still makes eight references; duplicates simply
+     *        hit in the cache).
+     */
+    static void generate(const Texture &tex, float u, float v,
+                         float lod, TexelRefs &out);
+
+    /**
+     * Generate the four bilinear addresses of one level into
+     * out[base..base+3].
+     */
+    static void bilinearQuad(const Texture &tex, uint32_t level,
+                             float u, float v, TexelRefs &out,
+                             int base);
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_TEXTURE_SAMPLER_HH

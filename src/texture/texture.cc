@@ -1,0 +1,82 @@
+#include "texture/texture.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace texdist
+{
+
+Texture::Texture(TextureId id, uint64_t base_addr, uint32_t width,
+                 uint32_t height, WrapMode wrap_mode,
+                 TexLayout layout)
+    : _id(id), _baseAddr(base_addr), wrap(wrap_mode), _layout(layout)
+{
+    assert(isPow2(width) && isPow2(height));
+    assert(base_addr % lineBytes == 0);
+
+    uint64_t offset = 0;
+    uint32_t w = width;
+    uint32_t h = height;
+    while (true) {
+        MipLevel lvl;
+        lvl.width = w;
+        lvl.height = h;
+        if (_layout == TexLayout::Blocked) {
+            lvl.blocksPerRow = (w + blockDim - 1) / blockDim;
+            lvl.blockRows = (h + blockDim - 1) / blockDim;
+        } else {
+            // Linear: whole texel rows, padded to full lines; reuse
+            // the block fields as lines-per-row x rows so that
+            // byteSize() stays uniform.
+            lvl.blocksPerRow =
+                (w * texelBytes + lineBytes - 1) / lineBytes;
+            lvl.blockRows = h;
+        }
+        lvl.byteOffset = offset;
+        offset += lvl.byteSize();
+        levels.push_back(lvl);
+        if (w == 1 && h == 1)
+            break;
+        w = std::max(1u, w / 2);
+        h = std::max(1u, h / 2);
+    }
+    _byteSize = offset;
+}
+
+uint64_t
+Texture::texelAddress(uint32_t l, uint32_t x, uint32_t y) const
+{
+    const MipLevel &lvl = levels[l];
+    assert(x < lvl.width && y < lvl.height);
+
+    if (_layout == TexLayout::Linear) {
+        uint64_t row_bytes = uint64_t(lvl.blocksPerRow) * lineBytes;
+        return _baseAddr + lvl.byteOffset + uint64_t(y) * row_bytes +
+               uint64_t(x) * texelBytes;
+    }
+
+    uint32_t block_x = x / blockDim;
+    uint32_t block_y = y / blockDim;
+    uint32_t in_x = x % blockDim;
+    uint32_t in_y = y % blockDim;
+
+    uint64_t block_index =
+        uint64_t(block_y) * lvl.blocksPerRow + block_x;
+    uint64_t in_block = (uint64_t(in_y) * blockDim + in_x) * texelBytes;
+
+    return _baseAddr + lvl.byteOffset + block_index * lineBytes +
+           in_block;
+}
+
+int32_t
+Texture::wrapCoord(int32_t c, uint32_t size) const
+{
+    if (wrap == WrapMode::Repeat) {
+        // size is a power of two; masking implements modulo for
+        // negative coordinates too.
+        return c & int32_t(size - 1);
+    }
+    return std::clamp(c, 0, int32_t(size) - 1);
+}
+
+} // namespace texdist

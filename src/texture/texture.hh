@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Mip-mapped textures laid out with texture blocking, exactly as in
+ * the cache architecture the paper adopts from Hakura & Gupta: texels
+ * are 4 bytes, textures are stored as 4x4-texel blocks, and one block
+ * is one 64-byte cache line. Textures here are pure address spaces —
+ * the simulator only needs texel *addresses*; colour data for the
+ * image-rendering example is generated procedurally from addresses.
+ */
+
+#ifndef TEXDIST_TEXTURE_TEXTURE_HH
+#define TEXDIST_TEXTURE_TEXTURE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace texdist
+{
+
+/** Identifies a texture within a TextureManager. */
+using TextureId = uint32_t;
+
+/** Bytes per texel (32-bit RGBA, fixed by the paper). */
+constexpr uint32_t texelBytes = 4;
+
+/** Texel block width/height in texels (texture blocking). */
+constexpr uint32_t blockDim = 4;
+
+/** Cache line size in bytes; one 4x4 texel block. */
+constexpr uint32_t lineBytes = blockDim * blockDim * texelBytes;
+
+/** Texels per cache line. */
+constexpr uint32_t texelsPerLine = blockDim * blockDim;
+
+static_assert(lineBytes == 64, "paper fixes 64-byte lines");
+
+/** How texture coordinates outside [0, 1) are handled. */
+enum class WrapMode { Repeat, Clamp };
+
+/**
+ * Memory layout of the texels. The paper's cache uses texture
+ * blocking (4x4-texel tiles, one per 64-byte line) after Hakura &
+ * Gupta, who showed it beats the raster (linear) layout because a
+ * bilinear footprint then straddles at most 4 lines instead of
+ * spreading a vertical pair across distant addresses. The linear
+ * layout exists for the ablation that re-validates that choice
+ * inside the parallel machine (bench/ablate_texture_layout).
+ */
+enum class TexLayout
+{
+    Blocked, ///< 4x4-texel blocks, one block per 64-byte line
+    Linear,  ///< raster order, rows padded to whole lines
+};
+
+/**
+ * One mip level of a texture: dimensions plus the precomputed blocked
+ * layout geometry needed to turn (x, y) texel coordinates into byte
+ * offsets.
+ */
+struct MipLevel
+{
+    uint32_t width = 0;        ///< texels
+    uint32_t height = 0;       ///< texels
+    uint32_t blocksPerRow = 0; ///< 4x4 blocks per block row
+    uint32_t blockRows = 0;    ///< number of block rows
+    uint64_t byteOffset = 0;   ///< offset of this level from tex base
+
+    /** Storage footprint of the level, including block padding. */
+    uint64_t
+    byteSize() const
+    {
+        return uint64_t(blocksPerRow) * blockRows * lineBytes;
+    }
+};
+
+/**
+ * An immutable mip-mapped texture. Width and height must be powers of
+ * two (as required by OpenGL 1.x and by the Repeat wrap mode's masking
+ * arithmetic). The full mip pyramid down to 1x1 is always present.
+ */
+class Texture
+{
+  public:
+    /**
+     * @param id manager-assigned identifier
+     * @param base_addr byte address of level 0 in texture memory;
+     *        must be line-aligned
+     * @param width level-0 width in texels (power of two)
+     * @param height level-0 height in texels (power of two)
+     * @param wrap coordinate wrap mode
+     * @param layout texel memory layout (blocked by default)
+     */
+    Texture(TextureId id, uint64_t base_addr, uint32_t width,
+            uint32_t height, WrapMode wrap = WrapMode::Repeat,
+            TexLayout layout = TexLayout::Blocked);
+
+    TextureId id() const { return _id; }
+    uint64_t baseAddr() const { return _baseAddr; }
+    uint32_t width() const { return levels.front().width; }
+    uint32_t height() const { return levels.front().height; }
+    WrapMode wrapMode() const { return wrap; }
+    TexLayout layout() const { return _layout; }
+
+    /** Number of mip levels (log2(max dim) + 1). */
+    uint32_t numLevels() const { return uint32_t(levels.size()); }
+
+    /** Coarsest mip level index. */
+    uint32_t maxLevel() const { return numLevels() - 1; }
+
+    /** Total byte footprint of the whole pyramid (block padded). */
+    uint64_t byteSize() const { return _byteSize; }
+
+    /** Geometry of one level. */
+    const MipLevel &level(uint32_t l) const { return levels[l]; }
+
+    /**
+     * Byte address of a texel in the blocked layout.
+     *
+     * @param l mip level
+     * @param x texel column, already wrapped into [0, level width)
+     * @param y texel row, already wrapped into [0, level height)
+     */
+    uint64_t texelAddress(uint32_t l, uint32_t x, uint32_t y) const;
+
+    /**
+     * Wrap a possibly-negative texel coordinate into [0, size) per
+     * the texture's wrap mode. @p size must be a power of two.
+     */
+    int32_t wrapCoord(int32_t c, uint32_t size) const;
+
+  private:
+    TextureId _id;
+    uint64_t _baseAddr;
+    WrapMode wrap;
+    TexLayout _layout;
+    uint64_t _byteSize;
+    std::vector<MipLevel> levels;
+};
+
+/** True when v is a nonzero power of two. */
+constexpr bool
+isPow2(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace texdist
+
+#endif // TEXDIST_TEXTURE_TEXTURE_HH

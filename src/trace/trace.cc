@@ -1,0 +1,188 @@
+#include "trace/trace.hh"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+namespace
+{
+
+static_assert(std::endian::native == std::endian::little,
+              "trace I/O assumes a little-endian host");
+
+template <typename T>
+void
+put(std::ostream &os, T value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+get(std::istream &is)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!is)
+        texdist_fatal("truncated trace");
+    return value;
+}
+
+void
+putString(std::ostream &os, const std::string &s)
+{
+    put<uint32_t>(os, uint32_t(s.size()));
+    os.write(s.data(), std::streamsize(s.size()));
+}
+
+std::string
+getString(std::istream &is)
+{
+    uint32_t len = get<uint32_t>(is);
+    if (len > (1u << 20))
+        texdist_fatal("implausible string length in trace: ", len);
+    std::string s(len, '\0');
+    is.read(s.data(), std::streamsize(len));
+    if (!is)
+        texdist_fatal("truncated trace string");
+    return s;
+}
+
+} // namespace
+
+void
+writeTrace(const Scene &scene, std::ostream &os)
+{
+    put<uint32_t>(os, traceMagic);
+    put<uint32_t>(os, traceVersion);
+    putString(os, scene.name);
+    put<uint32_t>(os, scene.screenWidth);
+    put<uint32_t>(os, scene.screenHeight);
+
+    put<uint32_t>(os, uint32_t(scene.textures.count()));
+    for (uint32_t i = 0; i < scene.textures.count(); ++i) {
+        const Texture &tex = scene.textures.get(i);
+        put<uint32_t>(os, tex.width());
+        put<uint32_t>(os, tex.height());
+        put<uint8_t>(os, tex.wrapMode() == WrapMode::Repeat ? 1 : 0);
+        put<uint8_t>(os,
+                     tex.layout() == TexLayout::Blocked ? 0 : 1);
+    }
+
+    put<uint64_t>(os, scene.triangles.size());
+    for (const TexTriangle &tri : scene.triangles) {
+        put<uint32_t>(os, tri.tex);
+        for (const TexVertex &v : tri.v) {
+            put<float>(os, v.x);
+            put<float>(os, v.y);
+            put<float>(os, v.invW);
+            put<float>(os, v.u);
+            put<float>(os, v.v);
+        }
+    }
+}
+
+Scene
+readTrace(std::istream &is)
+{
+    if (get<uint32_t>(is) != traceMagic)
+        texdist_fatal("not a texdist trace (bad magic)");
+    uint32_t version = get<uint32_t>(is);
+    if (version != traceVersion)
+        texdist_fatal("unsupported trace version ", version);
+
+    Scene scene;
+    scene.name = getString(is);
+    scene.screenWidth = get<uint32_t>(is);
+    scene.screenHeight = get<uint32_t>(is);
+
+    uint32_t num_textures = get<uint32_t>(is);
+    for (uint32_t i = 0; i < num_textures; ++i) {
+        uint32_t w = get<uint32_t>(is);
+        uint32_t h = get<uint32_t>(is);
+        uint8_t wrap = get<uint8_t>(is);
+        uint8_t layout = get<uint8_t>(is);
+        if (!isPow2(w) || !isPow2(h))
+            texdist_fatal("non power-of-two texture in trace: ", w,
+                          "x", h);
+        if (layout > 1)
+            texdist_fatal("bad texture layout in trace: ",
+                          int(layout));
+        scene.textures.create(w, h,
+                              wrap ? WrapMode::Repeat
+                                   : WrapMode::Clamp,
+                              layout ? TexLayout::Linear
+                                     : TexLayout::Blocked);
+    }
+
+    uint64_t num_triangles = get<uint64_t>(is);
+    scene.triangles.reserve(num_triangles);
+    for (uint64_t t = 0; t < num_triangles; ++t) {
+        TexTriangle tri;
+        tri.tex = get<uint32_t>(is);
+        if (tri.tex >= num_textures)
+            texdist_fatal("triangle references texture ", tri.tex,
+                          " of ", num_textures);
+        for (TexVertex &v : tri.v) {
+            v.x = get<float>(is);
+            v.y = get<float>(is);
+            v.invW = get<float>(is);
+            v.u = get<float>(is);
+            v.v = get<float>(is);
+        }
+        scene.triangles.push_back(tri);
+    }
+    return scene;
+}
+
+void
+writeTraceFile(const Scene &scene, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        texdist_fatal("cannot open trace file for writing: ", path);
+    writeTrace(scene, os);
+    if (!os)
+        texdist_fatal("error writing trace file: ", path);
+}
+
+Scene
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        texdist_fatal("cannot open trace file: ", path);
+    return readTrace(is);
+}
+
+void
+writeTraceText(const Scene &scene, std::ostream &os)
+{
+    os << "# texdist trace: " << scene.name << " "
+       << scene.screenWidth << "x" << scene.screenHeight << "\n";
+    os << "# textures: " << scene.textures.count() << "\n";
+    for (uint32_t i = 0; i < scene.textures.count(); ++i) {
+        const Texture &tex = scene.textures.get(i);
+        os << "tex " << i << " " << tex.width() << "x" << tex.height()
+           << " base=" << tex.baseAddr() << "\n";
+    }
+    os << "# triangles: " << scene.triangles.size() << "\n";
+    for (const TexTriangle &tri : scene.triangles) {
+        os << "tri tex=" << tri.tex;
+        for (const TexVertex &v : tri.v) {
+            os << "  (" << v.x << "," << v.y << " w'=" << v.invW
+               << " uv=" << v.u << "," << v.v << ")";
+        }
+        os << "\n";
+    }
+}
+
+} // namespace texdist

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Triangle trace capture and replay.
+ *
+ * The paper's methodology is trace-driven: an instrumented Mesa dumps
+ * the post-geometry triangle stream of one frame, and the
+ * cycle-accurate simulator replays it. This module is that trace
+ * format: it serializes a Scene (texture table + ordered triangle
+ * stream) to a compact binary file or a human-readable text form, and
+ * reconstructs an identical Scene on load — identical including
+ * texture base addresses, so cache behaviour is bit-for-bit
+ * reproducible across capture and replay.
+ */
+
+#ifndef TEXDIST_TRACE_TRACE_HH
+#define TEXDIST_TRACE_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "scene/scene.hh"
+
+namespace texdist
+{
+
+/** Magic bytes at the start of a binary trace. */
+constexpr uint32_t traceMagic = 0x54445854; // "TXDT"
+
+/** Current binary trace format version (2 added texture layout). */
+constexpr uint32_t traceVersion = 2;
+
+/** Serialize a scene as a binary trace. */
+void writeTrace(const Scene &scene, std::ostream &os);
+
+/** Write a binary trace file; fatal on I/O error. */
+void writeTraceFile(const Scene &scene, const std::string &path);
+
+/**
+ * Reconstruct a scene from a binary trace.
+ * Fatal on malformed input.
+ */
+Scene readTrace(std::istream &is);
+
+/** Read a binary trace file; fatal on I/O error. */
+Scene readTraceFile(const std::string &path);
+
+/**
+ * Human-readable text dump (one line per triangle); for debugging
+ * and diffing, not for replay.
+ */
+void writeTraceText(const Scene &scene, std::ostream &os);
+
+} // namespace texdist
+
+#endif // TEXDIST_TRACE_TRACE_HH

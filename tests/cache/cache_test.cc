@@ -1,0 +1,287 @@
+/** @file Unit and property tests for the texture cache models. */
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "geom/rng.hh"
+
+namespace texdist
+{
+namespace
+{
+
+/**
+ * Reference model: a trivially correct LRU set-associative cache
+ * built on std::list, checked against the fast implementation.
+ */
+class ReferenceLru
+{
+  public:
+    ReferenceLru(uint32_t size, uint32_t ways, uint32_t line)
+        : ways(ways), line(line),
+          sets(size / (ways * line))
+    {
+        lists.resize(sets);
+    }
+
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t ln = addr / line;
+        uint64_t set = ln % sets;
+        uint64_t tag = ln / sets;
+        auto &l = lists[set];
+        for (auto it = l.begin(); it != l.end(); ++it) {
+            if (*it == tag) {
+                l.erase(it);
+                l.push_front(tag);
+                return true;
+            }
+        }
+        l.push_front(tag);
+        if (l.size() > ways)
+            l.pop_back();
+        return false;
+    }
+
+  private:
+    uint32_t ways, line;
+    uint64_t sets;
+    std::vector<std::list<uint64_t>> lists;
+};
+
+TEST(CacheKind, StringRoundTrip)
+{
+    EXPECT_EQ(cacheKindFromString("setassoc"), CacheKind::SetAssoc);
+    EXPECT_EQ(cacheKindFromString("perfect"), CacheKind::Perfect);
+    EXPECT_EQ(cacheKindFromString("infinite"), CacheKind::Infinite);
+    EXPECT_EQ(cacheKindFromString("none"), CacheKind::None);
+    EXPECT_STREQ(to_string(CacheKind::SetAssoc), "setassoc");
+    EXPECT_STREQ(to_string(CacheKind::None), "none");
+}
+
+TEST(CacheGeometry, PaperDefault)
+{
+    CacheGeometry g;
+    EXPECT_EQ(g.sizeBytes, 16u * 1024);
+    EXPECT_EQ(g.ways, 4u);
+    EXPECT_EQ(g.lineBytes, 64u);
+    EXPECT_EQ(g.numSets(), 64u);
+}
+
+TEST(SetAssocCache, ColdMissThenHit)
+{
+    SetAssocCache cache(CacheGeometry{});
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    // Same line, different texel.
+    EXPECT_TRUE(cache.access(0x103c));
+    // Different line.
+    EXPECT_FALSE(cache.access(0x1040));
+    EXPECT_EQ(cache.accesses(), 4u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet)
+{
+    // 4-way, 64 sets: addresses with identical set index differ by
+    // sets * lineBytes = 4096.
+    SetAssocCache cache(CacheGeometry{});
+    constexpr uint64_t stride = 64 * 64;
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_FALSE(cache.access(i * stride));
+    // All four resident.
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(cache.access(i * stride));
+    // A fifth way evicts the LRU (way 0).
+    EXPECT_FALSE(cache.access(4 * stride));
+    EXPECT_FALSE(cache.access(0 * stride));  // evicted
+    EXPECT_TRUE(cache.access(2 * stride));   // still resident
+}
+
+TEST(SetAssocCache, ProbeDoesNotDisturbState)
+{
+    SetAssocCache cache(CacheGeometry{});
+    cache.access(0x40);
+    EXPECT_TRUE(cache.probe(0x40));
+    EXPECT_TRUE(cache.probe(0x7f)); // same line
+    EXPECT_FALSE(cache.probe(0x80));
+    EXPECT_EQ(cache.accesses(), 1u);
+}
+
+TEST(SetAssocCache, ResetClears)
+{
+    SetAssocCache cache(CacheGeometry{});
+    cache.access(0x40);
+    cache.reset();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_FALSE(cache.access(0x40)); // cold again
+}
+
+TEST(SetAssocCache, MatchesReferenceModel)
+{
+    CacheGeometry g{4096, 2, 64};
+    SetAssocCache cache(g);
+    ReferenceLru ref(4096, 2, 64);
+    Rng rng(2024);
+    for (int i = 0; i < 100000; ++i) {
+        // Skewed address stream with reuse.
+        uint64_t addr = uint64_t(rng.uniformInt(0, 16383)) * 4;
+        if (rng.chance(0.5))
+            addr &= 0xfff; // hot region
+        ASSERT_EQ(cache.access(addr), ref.access(addr))
+            << "diverged at access " << i;
+    }
+}
+
+TEST(SetAssocCache, MatchesReferenceModelPaperGeometry)
+{
+    CacheGeometry g{};
+    SetAssocCache cache(g);
+    ReferenceLru ref(g.sizeBytes, g.ways, g.lineBytes);
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        uint64_t addr = uint64_t(rng.uniformInt(0, 1 << 20));
+        ASSERT_EQ(cache.access(addr), ref.access(addr))
+            << "diverged at access " << i;
+    }
+}
+
+/**
+ * LRU inclusion property: with the same number of sets, a cache with
+ * more ways never misses more (per-set LRU stack inclusion).
+ */
+class LruInclusion : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(LruInclusion, MoreWaysNeverMissMore)
+{
+    // Same sets (16), increasing ways.
+    CacheGeometry g1{16 * 1 * 64, 1, 64};
+    CacheGeometry g2{16 * 2 * 64, 2, 64};
+    CacheGeometry g4{16 * 4 * 64, 4, 64};
+    SetAssocCache c1(g1), c2(g2), c4(g4);
+    Rng rng(GetParam());
+    for (int i = 0; i < 50000; ++i) {
+        uint64_t addr = uint64_t(rng.uniformInt(0, 1 << 16));
+        if (rng.chance(0.6))
+            addr &= 0x3fff;
+        c1.access(addr);
+        c2.access(addr);
+        c4.access(addr);
+    }
+    EXPECT_LE(c2.misses(), c1.misses());
+    EXPECT_LE(c4.misses(), c2.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruInclusion,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(SetAssocCache, NeverFewerMissesThanInfinite)
+{
+    SetAssocCache cache(CacheGeometry{});
+    InfiniteCache inf(64);
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i) {
+        uint64_t addr = uint64_t(rng.uniformInt(0, 1 << 18));
+        cache.access(addr);
+        inf.access(addr);
+    }
+    EXPECT_GE(cache.misses(), inf.misses());
+}
+
+TEST(PerfectCache, AlwaysHits)
+{
+    PerfectCache cache;
+    for (uint64_t a = 0; a < 1000; a += 7)
+        EXPECT_TRUE(cache.access(a));
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.accesses(), 143u);
+    EXPECT_EQ(cache.texelsFetched(), 0u);
+}
+
+TEST(InfiniteCache, CompulsoryMissesOnly)
+{
+    InfiniteCache cache(64);
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(4));   // same line
+    EXPECT_FALSE(cache.access(64)); // new line
+    EXPECT_TRUE(cache.access(0));   // never evicted
+    EXPECT_EQ(cache.uniqueLines(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(NoCache, AlwaysMisses)
+{
+    NoCache cache;
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_EQ(cache.misses(), 2u);
+    // Cacheless fetches exactly the texel: 1 texel per miss, giving
+    // the paper's ratio of 8 texels per fragment.
+    EXPECT_EQ(cache.texelsPerFill(), 1u);
+    EXPECT_EQ(cache.texelsFetched(), 2u);
+}
+
+TEST(Caches, TexelsPerFill)
+{
+    CacheGeometry g{};
+    EXPECT_EQ(SetAssocCache(g).texelsPerFill(), 16u);
+    EXPECT_EQ(InfiniteCache(64).texelsPerFill(), 16u);
+    EXPECT_EQ(PerfectCache().texelsPerFill(), 0u);
+}
+
+TEST(Caches, FactoryCreatesRightKinds)
+{
+    CacheGeometry g{};
+    EXPECT_EQ(makeCache(CacheKind::SetAssoc, g)->kind(),
+              CacheKind::SetAssoc);
+    EXPECT_EQ(makeCache(CacheKind::Perfect, g)->kind(),
+              CacheKind::Perfect);
+    EXPECT_EQ(makeCache(CacheKind::Infinite, g)->kind(),
+              CacheKind::Infinite);
+    EXPECT_EQ(makeCache(CacheKind::None, g)->kind(), CacheKind::None);
+}
+
+TEST(CacheGeometryDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(SetAssocCache(CacheGeometry{16384, 0, 64}),
+                ::testing::ExitedWithCode(1), "associativity");
+    EXPECT_EXIT(SetAssocCache(CacheGeometry{16384, 4, 48}),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(SetAssocCache(CacheGeometry{1000, 4, 64}),
+                ::testing::ExitedWithCode(1), "multiple");
+}
+
+TEST(SetAssocCache, SequentialWalkCapacityBehaviour)
+{
+    // Walking more lines than fit evicts everything: a second
+    // identical walk hits 0% (classic LRU worst case), unlike the
+    // infinite cache.
+    CacheGeometry g{1024, 2, 64}; // 16 lines total
+    SetAssocCache cache(g);
+    for (int walk = 0; walk < 2; ++walk)
+        for (uint64_t line = 0; line < 32; ++line)
+            cache.access(line * 64);
+    EXPECT_EQ(cache.misses(), 64u);
+}
+
+TEST(SetAssocCache, WorkingSetThatFitsHasOnlyColdMisses)
+{
+    CacheGeometry g{};
+    SetAssocCache cache(g);
+    // 16KB cache, walk an 8KB region repeatedly.
+    for (int walk = 0; walk < 10; ++walk)
+        for (uint64_t a = 0; a < 8192; a += 64)
+            cache.access(a);
+    EXPECT_EQ(cache.misses(), 128u); // compulsory only
+}
+
+} // namespace
+} // namespace texdist

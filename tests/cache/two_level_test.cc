@@ -1,0 +1,98 @@
+/** @file Unit tests for the two-level texture cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/two_level.hh"
+#include "geom/rng.hh"
+
+namespace texdist
+{
+namespace
+{
+
+CacheGeometry
+l1Geom()
+{
+    return CacheGeometry{16 * 1024, 4, 64};
+}
+
+CacheGeometry
+l2Geom()
+{
+    return CacheGeometry{256 * 1024, 8, 64};
+}
+
+TEST(TwoLevelCache, ColdMissFillsBothLevels)
+{
+    TwoLevelCache cache(l1Geom(), l2Geom());
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_EQ(cache.misses(), 1u);   // external
+    EXPECT_EQ(cache.l1Misses(), 1u);
+    EXPECT_TRUE(cache.access(0x1000)); // L1 hit
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.accesses(), 2u);
+}
+
+TEST(TwoLevelCache, L2CatchesL1CapacityMisses)
+{
+    TwoLevelCache cache(l1Geom(), l2Geom());
+    // Walk 64KB (4x the L1, well within the L2) twice.
+    for (int walk = 0; walk < 2; ++walk)
+        for (uint64_t a = 0; a < 64 * 1024; a += 64)
+            cache.access(a);
+    // Second walk misses L1 but hits L2: external misses stay at
+    // the compulsory 1024.
+    EXPECT_EQ(cache.misses(), 1024u);
+    EXPECT_EQ(cache.l1Misses(), 2048u);
+    EXPECT_EQ(cache.l2Hits(), 1024u);
+}
+
+TEST(TwoLevelCache, ExternalTrafficNeverExceedsSingleLevel)
+{
+    TwoLevelCache two(l1Geom(), l2Geom());
+    SetAssocCache one(l1Geom());
+    Rng rng(31);
+    for (int i = 0; i < 100000; ++i) {
+        uint64_t addr = uint64_t(rng.uniformInt(0, 1 << 19));
+        two.access(addr);
+        one.access(addr);
+    }
+    EXPECT_LE(two.misses(), one.misses());
+    // And L1 behaviour is identical to the standalone L1.
+    EXPECT_EQ(two.l1Misses(), one.misses());
+}
+
+TEST(TwoLevelCache, InterFrameReuseSurvivesL1Eviction)
+{
+    // A 128KB working set streamed twice: frame 2 is almost free at
+    // the external interface.
+    TwoLevelCache cache(l1Geom(), l2Geom());
+    for (uint64_t a = 0; a < 128 * 1024; a += 4)
+        cache.access(a);
+    uint64_t frame1 = cache.misses();
+    for (uint64_t a = 0; a < 128 * 1024; a += 4)
+        cache.access(a);
+    EXPECT_EQ(cache.misses(), frame1); // all L2 hits
+}
+
+TEST(TwoLevelCache, ResetClearsBothLevels)
+{
+    TwoLevelCache cache(l1Geom(), l2Geom());
+    cache.access(0x40);
+    cache.reset();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_EQ(cache.l1Misses(), 0u);
+    EXPECT_FALSE(cache.access(0x40));
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(TwoLevelCache, TexelsPerFillFromL2Line)
+{
+    TwoLevelCache cache(l1Geom(), l2Geom());
+    EXPECT_EQ(cache.texelsPerFill(), 16u);
+    cache.access(0);
+    EXPECT_EQ(cache.texelsFetched(), 16u);
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,61 @@
+/** @file Tests for the CSV series writer. */
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/csv.hh"
+
+namespace texdist
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(CsvWriter, WritesHeaderAndRows)
+{
+    std::string dir = ::testing::TempDir();
+    {
+        CsvWriter csv(dir, "texdist_csv_test");
+        EXPECT_TRUE(csv.enabled());
+        csv.header({"x", "a", "b"});
+        csv.beginRow(1.0);
+        csv.value(2.5);
+        csv.value(std::string("w16"));
+        csv.endRow();
+        csv.beginRow(std::string("quake"));
+        csv.value(3.0);
+        csv.endRow();
+    }
+    std::string out = slurp(dir + "/texdist_csv_test.csv");
+    EXPECT_EQ(out, "x,a,b\n1,2.5,w16\nquake,3\n");
+}
+
+TEST(CsvWriter, EmptyDirDisables)
+{
+    CsvWriter csv("", "anything");
+    EXPECT_FALSE(csv.enabled());
+    // All calls are safe no-ops.
+    csv.header({"x"});
+    csv.beginRow(1.0);
+    csv.value(2.0);
+    csv.endRow();
+}
+
+TEST(CsvWriterDeath, BadDirectoryFatal)
+{
+    EXPECT_EXIT(CsvWriter("/nonexistent-dir-texdist", "f"),
+                ::testing::ExitedWithCode(1), "cannot open CSV");
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,119 @@
+/** @file Tests for the simulator driver's option parser. */
+
+#include <gtest/gtest.h>
+
+#include "core/options.hh"
+
+namespace texdist
+{
+namespace
+{
+
+SimOptions
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<char *> argv = {const_cast<char *>("texdist_sim")};
+    for (const char *a : args)
+        argv.push_back(const_cast<char *>(a));
+    return SimOptions::parse(int(argv.size()), argv.data());
+}
+
+TEST(SimOptions, Defaults)
+{
+    SimOptions o = parse({});
+    EXPECT_EQ(o.scene, "32massive11255");
+    EXPECT_DOUBLE_EQ(o.scale, 0.5);
+    EXPECT_EQ(o.machine.numProcs, 1u);
+    EXPECT_EQ(o.machine.dist, DistKind::Block);
+    EXPECT_EQ(o.machine.tileParam, 16u);
+    EXPECT_EQ(o.machine.cacheKind, CacheKind::SetAssoc);
+    EXPECT_FALSE(o.machine.infiniteBus);
+    EXPECT_FALSE(o.help);
+}
+
+TEST(SimOptions, FullMachineLine)
+{
+    SimOptions o = parse({"--scene=quake", "--scale=0.25",
+                          "--procs=64", "--dist=sli", "--param=4",
+                          "--interleave=diagonal",
+                          "--cache=perfect", "--cache-kb=32",
+                          "--cache-ways=8", "--bus=2", "--buffer=50",
+                          "--setup=30", "--prefetch=128",
+                          "--geometry=1.5", "--geom-procs=4",
+                          "--geom-cycles=120",
+                          "--stats-file=/tmp/s.txt"});
+    EXPECT_EQ(o.scene, "quake");
+    EXPECT_DOUBLE_EQ(o.scale, 0.25);
+    EXPECT_EQ(o.machine.numProcs, 64u);
+    EXPECT_EQ(o.machine.dist, DistKind::SLI);
+    EXPECT_EQ(o.machine.tileParam, 4u);
+    EXPECT_EQ(o.machine.interleave, InterleaveOrder::Diagonal);
+    EXPECT_EQ(o.machine.cacheKind, CacheKind::Perfect);
+    EXPECT_EQ(o.machine.cacheGeom.sizeBytes, 32u * 1024);
+    EXPECT_EQ(o.machine.cacheGeom.ways, 8u);
+    EXPECT_DOUBLE_EQ(o.machine.busTexelsPerCycle, 2.0);
+    EXPECT_EQ(o.machine.triangleBufferSize, 50u);
+    EXPECT_EQ(o.machine.setupCyclesPerTriangle, 30u);
+    EXPECT_EQ(o.machine.prefetchQueueDepth, 128u);
+    EXPECT_DOUBLE_EQ(o.machine.geometryTrianglesPerCycle, 1.5);
+    EXPECT_EQ(o.machine.geometryProcs, 4u);
+    EXPECT_EQ(o.machine.geometryCyclesPerTriangle, 120u);
+    EXPECT_EQ(o.statsFile, "/tmp/s.txt");
+}
+
+TEST(SimOptions, ContiguousDistribution)
+{
+    SimOptions o = parse({"--dist=contiguous"});
+    EXPECT_EQ(o.machine.dist, DistKind::Contiguous);
+}
+
+TEST(SimOptions, BusZeroMeansInfinite)
+{
+    SimOptions o = parse({"--bus=0"});
+    EXPECT_TRUE(o.machine.infiniteBus);
+}
+
+TEST(SimOptions, TraceAndFlags)
+{
+    SimOptions o = parse({"--trace=/tmp/f.trace"});
+    EXPECT_EQ(o.tracePath, "/tmp/f.trace");
+    EXPECT_TRUE(parse({"--help"}).help);
+    EXPECT_TRUE(parse({"--list-benchmarks"}).listBenchmarks);
+}
+
+TEST(SimOptions, UsageMentionsEveryOption)
+{
+    std::string u = SimOptions::usage();
+    for (const char *key :
+         {"--scene", "--scale", "--trace", "--procs", "--dist",
+          "--param", "--interleave", "--cache", "--cache-kb",
+          "--cache-ways", "--bus", "--buffer", "--setup",
+          "--prefetch", "--geometry", "--geom-procs",
+          "--geom-cycles", "--stats-file"})
+        EXPECT_NE(u.find(key), std::string::npos) << key;
+}
+
+TEST(SimOptionsDeath, UnknownOptionFatal)
+{
+    EXPECT_EXIT(parse({"--bogus=1"}), ::testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(SimOptionsDeath, BadValuesFatal)
+{
+    EXPECT_EXIT(parse({"--procs=banana"}),
+                ::testing::ExitedWithCode(1), "integer");
+    EXPECT_EXIT(parse({"--procs=0"}), ::testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_EXIT(parse({"--dist=middle"}),
+                ::testing::ExitedWithCode(1), "block, sli or");
+    EXPECT_EXIT(parse({"--scale=-1"}), ::testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(parse({"--cache=l3"}), ::testing::ExitedWithCode(1),
+                "unknown cache kind");
+    EXPECT_EXIT(parse({"--buffer=0"}), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,178 @@
+/** @file
+ * End-to-end "shape" tests: the qualitative phenomena the paper
+ * reports must emerge from the simulator on small frames. These are
+ * the cheapest possible versions of the Figure 5-8 claims; the bench
+ * harnesses reproduce the full figures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hh"
+#include "scene/benchmarks.hh"
+#include "scene/builder.hh"
+
+namespace texdist
+{
+namespace
+{
+
+/** One shared small frame per suite run (building is the slow part). */
+class Phenomena : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        scene = new Scene(makeBenchmark("32massive11255", 0.15));
+        lab = new FrameLab(*scene);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete lab;
+        delete scene;
+        lab = nullptr;
+        scene = nullptr;
+    }
+
+    static MachineConfig
+    base(uint32_t procs, DistKind kind, uint32_t param)
+    {
+        MachineConfig cfg;
+        cfg.numProcs = procs;
+        cfg.dist = kind;
+        cfg.tileParam = param;
+        cfg.cacheKind = CacheKind::SetAssoc;
+        cfg.busTexelsPerCycle = 1.0;
+        return cfg;
+    }
+
+    static Scene *scene;
+    static FrameLab *lab;
+};
+
+Scene *Phenomena::scene = nullptr;
+FrameLab *Phenomena::lab = nullptr;
+
+TEST_F(Phenomena, LocalityLossGrowsWithProcessors)
+{
+    // Figure 6: with fixed tile size, the texel-to-fragment ratio
+    // rises as the frame is split across more private caches.
+    MachineConfig cfg = base(1, DistKind::Block, 16);
+    cfg.infiniteBus = true;
+    double r1 = lab->run(cfg).texelToFragmentRatio;
+    cfg.numProcs = 16;
+    double r16 = lab->run(cfg).texelToFragmentRatio;
+    EXPECT_GT(r16, r1 * 1.05);
+}
+
+TEST_F(Phenomena, SmallerTilesLoseMoreLocality)
+{
+    // Figure 6: at fixed P, smaller blocks share more cache lines
+    // between processors.
+    MachineConfig cfg = base(16, DistKind::Block, 4);
+    cfg.infiniteBus = true;
+    double small = lab->run(cfg).texelToFragmentRatio;
+    cfg.tileParam = 64;
+    double big = lab->run(cfg).texelToFragmentRatio;
+    EXPECT_GT(small, big);
+}
+
+TEST_F(Phenomena, SliLosesInterLineLocality)
+{
+    // Section 6: SLI with 2-line groups has a worse ratio than
+    // square 16-pixel blocks at the same processor count.
+    MachineConfig blk = base(16, DistKind::Block, 16);
+    blk.infiniteBus = true;
+    MachineConfig sli = base(16, DistKind::SLI, 2);
+    sli.infiniteBus = true;
+    EXPECT_GT(lab->run(sli).texelToFragmentRatio,
+              lab->run(blk).texelToFragmentRatio);
+}
+
+TEST_F(Phenomena, TinyBlocksSetupBound)
+{
+    // Figure 5 bottom: block widths below ~8 lose speedup to the
+    // 25-cycle setup engine. Clean synthetic frame: medium
+    // triangles scattered uniformly, so imbalance is negligible and
+    // the setup effect dominates.
+    SceneBuilder b("setup", 512, 512, 19);
+    TextureId tex = b.makeTexture(64, 64);
+    for (int i = 0; i < 32; ++i)
+        b.addCluster(float(32 + 64 * (i % 8)),
+                     float(48 + 64 * (i / 8) * 2), 28.0f, 60, 60.0,
+                     tex, 1.0);
+    Scene scene2 = b.take();
+    FrameLab lab2(scene2);
+
+    MachineConfig tiny = base(8, DistKind::Block, 2);
+    tiny.cacheKind = CacheKind::Perfect;
+    tiny.infiniteBus = true;
+    MachineConfig good = tiny;
+    good.tileParam = 32;
+    auto tiny_r = lab2.runWithSpeedup(tiny);
+    auto good_r = lab2.runWithSpeedup(good);
+    EXPECT_LT(tiny_r.speedup, good_r.speedup * 0.8);
+
+    // The mechanism: with 2-pixel blocks nearly every received
+    // triangle is setup-engine bound.
+    uint64_t setup_bound = 0, received = 0;
+    for (const NodeResult &n : tiny_r.frame.nodes) {
+        setup_bound += n.setupBoundTriangles;
+        received += n.triangles;
+    }
+    EXPECT_GT(double(setup_bound), 0.9 * double(received));
+}
+
+TEST_F(Phenomena, HugeBlocksLoadImbalanced)
+{
+    // Figure 5 top: imbalance grows with block size.
+    auto imb = [&](uint32_t width) {
+        auto dist = Distribution::make(DistKind::Block,
+                                       scene->screenWidth,
+                                       scene->screenHeight, 16,
+                                       width);
+        return imbalancePercent(pixelWorkPerProc(*scene, *dist));
+    };
+    EXPECT_GT(imb(128), imb(8));
+}
+
+TEST_F(Phenomena, BestOfBothBeatsExtremes)
+{
+    // Figure 7: a moderate block width beats both extremes under a
+    // real cache and bus.
+    auto speedup = [&](uint32_t width) {
+        return lab->runWithSpeedup(base(16, DistKind::Block, width))
+            .speedup;
+    };
+    double mid = speedup(16);
+    EXPECT_GT(mid, speedup(2));
+    EXPECT_GT(mid, speedup(128));
+}
+
+TEST_F(Phenomena, SmallBufferHurtsMoreWithRealCache)
+{
+    // Section 8: the buffer matters more with a real cache than with
+    // a perfect one (bursty stalls propagate through the feeder).
+    auto ratio_for = [&](CacheKind kind) {
+        MachineConfig cfg = base(8, DistKind::Block, 16);
+        cfg.cacheKind = kind;
+        if (kind == CacheKind::Perfect)
+            cfg.infiniteBus = true;
+        cfg.triangleBufferSize = 4;
+        Tick small = lab->run(cfg).frameTime;
+        cfg.triangleBufferSize = 10000;
+        Tick big = lab->run(cfg).frameTime;
+        return double(small) / double(big);
+    };
+    // Both machines lose performance with a 4-entry buffer. (The
+    // paper's stronger claim — the loss is *bigger* with a real
+    // cache — shows at 64 processors on full frames; bench/fig8
+    // reproduces it.)
+    EXPECT_GT(ratio_for(CacheKind::Perfect), 1.0);
+    EXPECT_GT(ratio_for(CacheKind::SetAssoc), 1.0);
+}
+
+} // namespace
+} // namespace texdist

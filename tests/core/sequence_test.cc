@@ -1,0 +1,159 @@
+/** @file Tests for multi-frame sequence simulation. */
+
+#include <gtest/gtest.h>
+
+#include "core/interframe.hh"
+#include "core/sequence.hh"
+#include "scene/builder.hh"
+
+namespace texdist
+{
+namespace
+{
+
+Scene
+wallScene(uint32_t screen = 128)
+{
+    SceneBuilder b("wall", screen, screen, 51);
+    auto pool = b.makeTexturePool(6, 32, 64);
+    b.addBackgroundLayer(pool, 32, 32, 1.0);
+    b.addBackgroundLayer(pool, 32, 32, 1.0);
+    return b.take();
+}
+
+MachineConfig
+l2Config(uint32_t procs)
+{
+    MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.tileParam = 16;
+    cfg.cacheKind = CacheKind::SetAssoc;
+    cfg.hasL2 = true;
+    cfg.l2Geom = CacheGeometry{1024 * 1024, 8, 64};
+    cfg.busTexelsPerCycle = 1.0;
+    return cfg;
+}
+
+TEST(Sequence, SingleFrameMatchesParallelMachine)
+{
+    Scene scene = wallScene();
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    cfg.tileParam = 16;
+    cfg.busTexelsPerCycle = 1.0;
+
+    FrameResult one = runFrame(scene, cfg);
+    std::vector<Scene> frames;
+    frames.push_back(translateScene(scene, 0.0f, 0.0f));
+    SequenceResult seq = runFrameSequence(frames, cfg);
+    ASSERT_EQ(seq.frames.size(), 1u);
+    EXPECT_EQ(seq.frames[0].frameTime, one.frameTime);
+    EXPECT_EQ(seq.frames[0].totalPixels, one.totalPixels);
+    EXPECT_EQ(seq.frames[0].totalTexelsFetched,
+              one.totalTexelsFetched);
+}
+
+TEST(Sequence, WarmCachesMakeSecondFrameCheaper)
+{
+    Scene scene = wallScene();
+    std::vector<Scene> frames;
+    frames.push_back(translateScene(scene, 0.0f, 0.0f));
+    frames.push_back(translateScene(scene, 0.0f, 0.0f));
+    SequenceResult seq =
+        runFrameSequence(frames, l2Config(4));
+    ASSERT_EQ(seq.frames.size(), 2u);
+    EXPECT_EQ(seq.frames[0].totalPixels,
+              seq.frames[1].totalPixels);
+    // Identical second frame: the L2 eats all external traffic.
+    EXPECT_EQ(seq.frames[1].totalTexelsFetched, 0u);
+    EXPECT_LE(seq.frames[1].frameTime, seq.frames[0].frameTime);
+}
+
+TEST(Sequence, DeltasSumToTotals)
+{
+    Scene scene = wallScene();
+    std::vector<Scene> frames;
+    for (int i = 0; i < 3; ++i)
+        frames.push_back(
+            translateScene(scene, float(8 * i), 0.0f));
+    MachineConfig cfg = l2Config(4);
+    SequenceResult seq = runFrameSequence(frames, cfg);
+
+    Tick sum = 0;
+    for (const FrameResult &f : seq.frames)
+        sum += f.frameTime;
+    EXPECT_EQ(sum, seq.totalTime);
+}
+
+TEST(Sequence, PanCostsScaleWithDistanceUnderMultiprocessing)
+{
+    Scene scene = wallScene();
+    auto frame2_traffic = [&](float pan) {
+        std::vector<Scene> frames;
+        frames.push_back(translateScene(scene, 0.0f, 0.0f));
+        frames.push_back(translateScene(scene, pan, 0.0f));
+        SequenceResult seq =
+            runFrameSequence(frames, l2Config(16));
+        return seq.frames[1].totalTexelsFetched;
+    };
+    EXPECT_LT(frame2_traffic(4.0f), frame2_traffic(48.0f));
+}
+
+TEST(Sequence, FramesSerializeInTime)
+{
+    Scene scene = wallScene();
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    cfg.dist = DistKind::SLI;
+    cfg.tileParam = 32;
+    cfg.cacheKind = CacheKind::Perfect;
+    cfg.infiniteBus = true;
+
+    SequenceMachine machine(scene, cfg);
+    FrameResult f1 = machine.runFrame(scene);
+    Tick after1 = machine.currentTime();
+    EXPECT_EQ(after1, f1.frameTime);
+    FrameResult f2 = machine.runFrame(scene);
+    EXPECT_EQ(machine.currentTime(), after1 + f2.frameTime);
+}
+
+TEST(SequenceDeath, MismatchedFrameFatal)
+{
+    Scene scene = wallScene(128);
+    Scene small = wallScene(64);
+    MachineConfig cfg;
+    SequenceMachine machine(scene, cfg);
+    EXPECT_EXIT(machine.runFrame(small),
+                ::testing::ExitedWithCode(1),
+                "does not match the sequence");
+}
+
+TEST(SequenceDeath, EmptySequenceFatal)
+{
+    MachineConfig cfg;
+    std::vector<Scene> no_frames;
+    EXPECT_EXIT(runFrameSequence(no_frames, cfg),
+                ::testing::ExitedWithCode(1), "empty frame");
+}
+
+TEST(Sequence, L2ConfigFlowsIntoNodes)
+{
+    // With hasL2 the external traffic of a rerendered frame drops;
+    // without it the 16KB L1 cannot hold the frame.
+    Scene scene = wallScene();
+    std::vector<Scene> frames;
+    frames.push_back(translateScene(scene, 0.0f, 0.0f));
+    frames.push_back(translateScene(scene, 0.0f, 0.0f));
+    MachineConfig with = l2Config(4);
+    MachineConfig without = with;
+    without.hasL2 = false;
+    uint64_t l2_frame2 =
+        runFrameSequence(frames, with).frames[1].totalTexelsFetched;
+    uint64_t l1_frame2 = runFrameSequence(frames, without)
+                             .frames[1]
+                             .totalTexelsFetched;
+    EXPECT_LT(l2_frame2, l1_frame2 / 4);
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,170 @@
+/** @file Tests for the sort-last comparator machine. */
+
+#include <gtest/gtest.h>
+
+#include "core/sortlast.hh"
+#include "scene/builder.hh"
+
+namespace texdist
+{
+namespace
+{
+
+Scene
+gridScene(int quads, uint32_t screen = 128)
+{
+    SceneBuilder b("grid", screen, screen, 11);
+    TextureId tex = b.makeTexture(64, 64);
+    int per_row = 8;
+    float cell = float(screen) / per_row;
+    for (int i = 0; i < quads; ++i) {
+        float x = (i % per_row) * cell;
+        float y = ((i / per_row) % per_row) * cell;
+        b.addQuad(x, y, x + cell, y + cell, tex, 1.0);
+    }
+    return b.take();
+}
+
+SortLastConfig
+baseConfig(uint32_t procs, CacheKind cache = CacheKind::Perfect)
+{
+    SortLastConfig cfg;
+    cfg.node.numProcs = procs;
+    cfg.node.cacheKind = cache;
+    cfg.node.infiniteBus = true;
+    return cfg;
+}
+
+TEST(SortLast, AllFragmentsRendered)
+{
+    Scene scene = gridScene(64);
+    SortLastResult r = runSortLastFrame(scene, baseConfig(4));
+    EXPECT_EQ(r.totalPixels, 128u * 128u);
+    uint64_t tris = 0;
+    for (const NodeResult &n : r.nodes)
+        tris += n.triangles;
+    EXPECT_EQ(tris, 128u); // 64 quads, each node gets its own only
+}
+
+TEST(SortLast, NoTriangleDuplication)
+{
+    // Unlike sort-middle, a triangle lives on exactly one node:
+    // total setup work is independent of P.
+    Scene scene = gridScene(64);
+    for (uint32_t procs : {1u, 4u, 16u}) {
+        SortLastResult r =
+            runSortLastFrame(scene, baseConfig(procs));
+        uint64_t tris = 0;
+        for (const NodeResult &n : r.nodes)
+            tris += n.triangles;
+        EXPECT_EQ(tris, 128u) << procs << " procs";
+    }
+}
+
+TEST(SortLast, RoundRobinBalances)
+{
+    Scene scene = gridScene(64);
+    // Use 3 nodes so the two (unequal) halves of each quad don't
+    // correlate with the round-robin stride.
+    SortLastResult r = runSortLastFrame(scene, baseConfig(3));
+    EXPECT_LT(r.pixelImbalancePercent, 2.0);
+}
+
+TEST(SortLast, SpeedupNearLinearOnUniformWork)
+{
+    Scene scene = gridScene(64, 256);
+    Tick t1 = runSortLastFrame(scene, baseConfig(1)).frameTime;
+    Tick t8 = runSortLastFrame(scene, baseConfig(8)).frameTime;
+    double speedup = double(t1) / double(t8);
+    EXPECT_GT(speedup, 6.5);
+    EXPECT_LE(speedup, 8.001);
+}
+
+TEST(SortLast, ChunkedAssignmentKeepsRunsTogether)
+{
+    Scene scene = gridScene(64);
+    SortLastConfig cfg = baseConfig(4);
+    cfg.assign = SortLastAssign::Chunked;
+    cfg.chunkSize = 16;
+    SortLastResult r = runSortLastFrame(scene, cfg);
+    // 128 triangles in 8 chunks of 16 over 4 nodes: 2 chunks each.
+    for (const NodeResult &n : r.nodes)
+        EXPECT_EQ(n.triangles, 32u);
+}
+
+TEST(SortLast, RoundRobinScattersTextureLocality)
+{
+    // Consecutive triangles walk a texture coherently; round-robin
+    // destroys that per-node coherence, chunked keeps it.
+    SceneBuilder b("walk", 256, 256, 9);
+    TextureId tex = b.makeTexture(256, 256);
+    // A strip of quads advancing through the texture.
+    for (int i = 0; i < 16; ++i)
+        b.addQuad(float(i * 16), 0, float(i * 16 + 16), 256, tex,
+                  1.0);
+    Scene scene = b.take();
+
+    SortLastConfig cfg = baseConfig(8, CacheKind::SetAssoc);
+    cfg.assign = SortLastAssign::RoundRobin;
+    double rr = runSortLastFrame(scene, cfg).texelToFragmentRatio;
+    cfg.assign = SortLastAssign::Chunked;
+    cfg.chunkSize = 4;
+    double ch = runSortLastFrame(scene, cfg).texelToFragmentRatio;
+    EXPECT_LE(ch, rr + 1e-9);
+}
+
+TEST(SortLast, CompositionCostAdds)
+{
+    Scene scene = gridScene(64);
+    SortLastConfig cfg = baseConfig(4);
+    cfg.compositePixelsPerCycle = 8.0;
+    SortLastResult r = runSortLastFrame(scene, cfg);
+    // ceil(log2 4) = 2 stages x 16384 px / 8 px/cycle = 4096.
+    EXPECT_EQ(r.compositionCycles, 4096u);
+    EXPECT_EQ(r.frameTime, r.renderTime + 4096u);
+
+    SortLastConfig free_cfg = baseConfig(4);
+    SortLastResult free_r = runSortLastFrame(scene, free_cfg);
+    EXPECT_EQ(free_r.compositionCycles, 0u);
+    EXPECT_EQ(free_r.frameTime, free_r.renderTime);
+}
+
+TEST(SortLast, SingleNodeMatchesSortMiddleBaseline)
+{
+    // With one node, sort-last and sort-middle are the same machine
+    // (all triangles, whole screen): frame times agree.
+    Scene scene = gridScene(64);
+    SortLastResult sl = runSortLastFrame(scene, baseConfig(1));
+
+    MachineConfig sm;
+    sm.numProcs = 1;
+    sm.tileParam = 128;
+    sm.cacheKind = CacheKind::Perfect;
+    sm.infiniteBus = true;
+    FrameResult smr = runFrame(scene, sm);
+    EXPECT_EQ(sl.frameTime, smr.frameTime);
+    EXPECT_EQ(sl.totalPixels, smr.totalPixels);
+}
+
+TEST(SortLastDeath, BadConfig)
+{
+    Scene scene = gridScene(4);
+    SortLastConfig cfg = baseConfig(0);
+    EXPECT_EXIT(runSortLastFrame(scene, cfg),
+                ::testing::ExitedWithCode(1), "at least one");
+    cfg = baseConfig(2);
+    cfg.assign = SortLastAssign::Chunked;
+    cfg.chunkSize = 0;
+    EXPECT_EXIT(runSortLastFrame(scene, cfg),
+                ::testing::ExitedWithCode(1), "chunk size");
+}
+
+TEST(SortLast, AssignToString)
+{
+    EXPECT_STREQ(to_string(SortLastAssign::RoundRobin),
+                 "round-robin");
+    EXPECT_STREQ(to_string(SortLastAssign::Chunked), "chunked");
+}
+
+} // namespace
+} // namespace texdist

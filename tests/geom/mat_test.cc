@@ -1,0 +1,156 @@
+/** @file Unit tests for the 4x4 matrix. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geom/mat.hh"
+
+namespace texdist
+{
+namespace
+{
+
+constexpr float pi = 3.14159265358979f;
+
+void
+expectVecNear(const Vec3 &a, const Vec3 &b, float tol = 1e-5f)
+{
+    EXPECT_NEAR(a.x, b.x, tol);
+    EXPECT_NEAR(a.y, b.y, tol);
+    EXPECT_NEAR(a.z, b.z, tol);
+}
+
+TEST(Mat4, DefaultIsIdentity)
+{
+    Mat4 m;
+    Vec4 v(1.0f, 2.0f, 3.0f, 4.0f);
+    EXPECT_EQ(m * v, v);
+    EXPECT_EQ(m, Mat4::identity());
+}
+
+TEST(Mat4, MultiplyByIdentity)
+{
+    Mat4 m = Mat4::translate(Vec3(1, 2, 3)) *
+             Mat4::scale(Vec3(2, 2, 2));
+    EXPECT_EQ(m * Mat4::identity(), m);
+    EXPECT_EQ(Mat4::identity() * m, m);
+}
+
+TEST(Mat4, TranslatePoint)
+{
+    Mat4 t = Mat4::translate(Vec3(10, -5, 2));
+    expectVecNear(t.transformPoint(Vec3(1, 1, 1)), Vec3(11, -4, 3));
+    // Directions are unaffected by translation.
+    expectVecNear(t.transformDir(Vec3(1, 1, 1)), Vec3(1, 1, 1));
+}
+
+TEST(Mat4, ScalePoint)
+{
+    Mat4 s = Mat4::scale(Vec3(2, 3, 4));
+    expectVecNear(s.transformPoint(Vec3(1, 1, 1)), Vec3(2, 3, 4));
+}
+
+TEST(Mat4, ComposeOrder)
+{
+    // M = T * S applies the scale first (column vectors).
+    Mat4 m = Mat4::translate(Vec3(1, 0, 0)) *
+             Mat4::scale(Vec3(2, 2, 2));
+    expectVecNear(m.transformPoint(Vec3(1, 0, 0)), Vec3(3, 0, 0));
+}
+
+TEST(Mat4, RotateQuarterTurnAboutZ)
+{
+    Mat4 r = Mat4::rotate(Vec3(0, 0, 1), pi / 2.0f);
+    expectVecNear(r.transformPoint(Vec3(1, 0, 0)), Vec3(0, 1, 0));
+    expectVecNear(r.transformPoint(Vec3(0, 1, 0)), Vec3(-1, 0, 0));
+}
+
+TEST(Mat4, RotatePreservesLength)
+{
+    Mat4 r = Mat4::rotate(Vec3(1, 2, 3), 0.7f);
+    Vec3 v(3, -1, 2);
+    EXPECT_NEAR(r.transformDir(v).length(), v.length(), 1e-5f);
+}
+
+TEST(Mat4, RotateAboutAxisFixesAxis)
+{
+    Vec3 axis = Vec3(1, 1, 1).normalized();
+    Mat4 r = Mat4::rotate(axis, 1.23f);
+    expectVecNear(r.transformDir(axis), axis);
+}
+
+TEST(Mat4, LookAtMapsEyeToOrigin)
+{
+    Vec3 eye(5, 3, 8);
+    Mat4 v = Mat4::lookAt(eye, Vec3(0, 0, 0), Vec3(0, 1, 0));
+    expectVecNear(v.transformPoint(eye), Vec3(0, 0, 0), 1e-4f);
+}
+
+TEST(Mat4, LookAtLooksDownNegativeZ)
+{
+    Mat4 v =
+        Mat4::lookAt(Vec3(0, 0, 5), Vec3(0, 0, 0), Vec3(0, 1, 0));
+    // The look target is in front of the camera: negative z.
+    Vec3 target = v.transformPoint(Vec3(0, 0, 0));
+    EXPECT_LT(target.z, 0.0f);
+    EXPECT_NEAR(target.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(target.y, 0.0f, 1e-5f);
+}
+
+TEST(Mat4, PerspectiveMapsNearAndFarPlanes)
+{
+    float z_near = 1.0f, z_far = 10.0f;
+    Mat4 p = Mat4::perspective(pi / 2.0f, 1.0f, z_near, z_far);
+    // Points on the near/far planes map to NDC z = -1 / +1.
+    Vec3 near_pt = (p * Vec4(0, 0, -z_near, 1)).project();
+    Vec3 far_pt = (p * Vec4(0, 0, -z_far, 1)).project();
+    EXPECT_NEAR(near_pt.z, -1.0f, 1e-5f);
+    EXPECT_NEAR(far_pt.z, 1.0f, 1e-4f);
+}
+
+TEST(Mat4, PerspectiveFrustumEdges)
+{
+    // 90 degree vertical fov, square aspect: at z = -d the frustum
+    // half-height is d.
+    Mat4 p = Mat4::perspective(pi / 2.0f, 1.0f, 1.0f, 10.0f);
+    Vec3 top = (p * Vec4(0, 5, -5, 1)).project();
+    EXPECT_NEAR(top.y, 1.0f, 1e-5f);
+    Vec3 right = (p * Vec4(5, 0, -5, 1)).project();
+    EXPECT_NEAR(right.x, 1.0f, 1e-5f);
+}
+
+TEST(Mat4, OrthoMapsBoxToNdc)
+{
+    Mat4 o = Mat4::ortho(0, 100, 0, 50, -1, 1);
+    expectVecNear(o.transformPoint(Vec3(0, 0, 0)), Vec3(-1, -1, 0));
+    expectVecNear(o.transformPoint(Vec3(100, 50, 0)), Vec3(1, 1, 0));
+    expectVecNear(o.transformPoint(Vec3(50, 25, 0)), Vec3(0, 0, 0));
+}
+
+TEST(Mat4, ViewportFlipsY)
+{
+    Mat4 vp = Mat4::viewport(0, 0, 640, 480);
+    // NDC (-1, +1) is the top-left pixel corner.
+    expectVecNear(vp.transformPoint(Vec3(-1, 1, 0)), Vec3(0, 0, 0.5f));
+    // NDC (+1, -1) is the bottom-right corner.
+    expectVecNear(vp.transformPoint(Vec3(1, -1, 0)),
+                  Vec3(640, 480, 0.5f));
+    // Centre.
+    expectVecNear(vp.transformPoint(Vec3(0, 0, 0)),
+                  Vec3(320, 240, 0.5f));
+}
+
+TEST(Mat4, AssociativityOnPoints)
+{
+    Mat4 a = Mat4::rotate(Vec3(0, 1, 0), 0.3f);
+    Mat4 b = Mat4::translate(Vec3(1, 2, 3));
+    Mat4 c = Mat4::scale(Vec3(2, 1, 0.5f));
+    Vec3 p(0.3f, -0.7f, 1.1f);
+    Vec3 left = ((a * b) * c).transformPoint(p);
+    Vec3 right = (a * (b * c)).transformPoint(p);
+    expectVecNear(left, right, 1e-5f);
+}
+
+} // namespace
+} // namespace texdist

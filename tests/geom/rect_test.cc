@@ -1,0 +1,114 @@
+/** @file Unit tests for the half-open integer rectangle. */
+
+#include <gtest/gtest.h>
+
+#include "geom/rect.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(Rect, DefaultIsEmpty)
+{
+    Rect r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.area(), 0);
+}
+
+TEST(Rect, BasicGeometry)
+{
+    Rect r(2, 3, 10, 7);
+    EXPECT_EQ(r.width(), 8);
+    EXPECT_EQ(r.height(), 4);
+    EXPECT_EQ(r.area(), 32);
+    EXPECT_FALSE(r.empty());
+}
+
+TEST(Rect, ContainsIsHalfOpen)
+{
+    Rect r(0, 0, 4, 4);
+    EXPECT_TRUE(r.contains(0, 0));
+    EXPECT_TRUE(r.contains(3, 3));
+    EXPECT_FALSE(r.contains(4, 3));
+    EXPECT_FALSE(r.contains(3, 4));
+    EXPECT_FALSE(r.contains(-1, 0));
+}
+
+TEST(Rect, AdjacentRectanglesDoNotOverlap)
+{
+    Rect a(0, 0, 4, 4);
+    Rect b(4, 0, 8, 4); // shares the x = 4 edge
+    EXPECT_FALSE(a.overlaps(b));
+    EXPECT_FALSE(b.overlaps(a));
+    Rect c(3, 0, 8, 4);
+    EXPECT_TRUE(a.overlaps(c));
+}
+
+TEST(Rect, IntersectCommutes)
+{
+    Rect a(0, 0, 10, 10);
+    Rect b(5, 5, 15, 15);
+    EXPECT_EQ(a.intersect(b), Rect(5, 5, 10, 10));
+    EXPECT_EQ(b.intersect(a), Rect(5, 5, 10, 10));
+}
+
+TEST(Rect, IntersectDisjointIsEmpty)
+{
+    Rect a(0, 0, 4, 4);
+    Rect b(10, 10, 14, 14);
+    EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Rect, UniteCoversBoth)
+{
+    Rect a(0, 0, 2, 2);
+    Rect b(5, 5, 7, 9);
+    Rect u = a.unite(b);
+    EXPECT_EQ(u, Rect(0, 0, 7, 9));
+    // Uniting with an empty rect returns the other.
+    EXPECT_EQ(Rect().unite(a), a);
+    EXPECT_EQ(a.unite(Rect()), a);
+}
+
+TEST(Rect, ExtendGrowsToIncludePixel)
+{
+    Rect r;
+    r.extend(5, 7);
+    EXPECT_EQ(r, Rect(5, 7, 6, 8));
+    r.extend(2, 9);
+    EXPECT_TRUE(r.contains(5, 7));
+    EXPECT_TRUE(r.contains(2, 9));
+    EXPECT_EQ(r, Rect(2, 7, 6, 10));
+}
+
+TEST(Rect, NegativeCoordinates)
+{
+    Rect r(-5, -5, 5, 5);
+    EXPECT_EQ(r.area(), 100);
+    EXPECT_TRUE(r.contains(-5, -5));
+    EXPECT_FALSE(r.contains(5, 5));
+    EXPECT_EQ(r.intersect(Rect(0, 0, 10, 10)), Rect(0, 0, 5, 5));
+}
+
+TEST(Rect, IntersectionIsSubsetProperty)
+{
+    // Property over a small grid of rectangle pairs.
+    for (int ax = -2; ax < 2; ++ax) {
+        for (int bx = -2; bx < 2; ++bx) {
+            Rect a(ax, 0, ax + 3, 3);
+            Rect b(bx, 1, bx + 2, 5);
+            Rect i = a.intersect(b);
+            for (int x = -4; x < 8; ++x) {
+                for (int y = -2; y < 8; ++y) {
+                    EXPECT_EQ(i.contains(x, y),
+                              a.contains(x, y) && b.contains(x, y))
+                        << "at (" << x << "," << y << ")";
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,118 @@
+/** @file Unit tests for the vector types. */
+
+#include <gtest/gtest.h>
+
+#include "geom/vec.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(Vec2, DefaultIsZero)
+{
+    Vec2 v;
+    EXPECT_EQ(v.x, 0.0f);
+    EXPECT_EQ(v.y, 0.0f);
+}
+
+TEST(Vec2, Arithmetic)
+{
+    Vec2 a(1.0f, 2.0f);
+    Vec2 b(3.0f, -4.0f);
+    EXPECT_EQ(a + b, Vec2(4.0f, -2.0f));
+    EXPECT_EQ(a - b, Vec2(-2.0f, 6.0f));
+    EXPECT_EQ(a * 2.0f, Vec2(2.0f, 4.0f));
+    EXPECT_EQ(2.0f * a, Vec2(2.0f, 4.0f));
+    EXPECT_EQ(b / 2.0f, Vec2(1.5f, -2.0f));
+}
+
+TEST(Vec2, CompoundAssignment)
+{
+    Vec2 v(1.0f, 1.0f);
+    v += Vec2(2.0f, 3.0f);
+    EXPECT_EQ(v, Vec2(3.0f, 4.0f));
+    v -= Vec2(1.0f, 1.0f);
+    EXPECT_EQ(v, Vec2(2.0f, 3.0f));
+    v *= 2.0f;
+    EXPECT_EQ(v, Vec2(4.0f, 6.0f));
+}
+
+TEST(Vec2, DotAndCross)
+{
+    Vec2 a(3.0f, 4.0f);
+    Vec2 b(-4.0f, 3.0f);
+    EXPECT_FLOAT_EQ(a.dot(b), 0.0f);
+    EXPECT_FLOAT_EQ(a.dot(a), 25.0f);
+    // cross > 0: b is counter-clockwise from a
+    EXPECT_FLOAT_EQ(a.cross(b), 25.0f);
+    EXPECT_FLOAT_EQ(b.cross(a), -25.0f);
+}
+
+TEST(Vec2, Length)
+{
+    EXPECT_FLOAT_EQ(Vec2(3.0f, 4.0f).length(), 5.0f);
+    EXPECT_FLOAT_EQ(Vec2().length(), 0.0f);
+}
+
+TEST(Vec3, Arithmetic)
+{
+    Vec3 a(1.0f, 2.0f, 3.0f);
+    Vec3 b(4.0f, 5.0f, 6.0f);
+    EXPECT_EQ(a + b, Vec3(5.0f, 7.0f, 9.0f));
+    EXPECT_EQ(b - a, Vec3(3.0f, 3.0f, 3.0f));
+    EXPECT_EQ(a * 3.0f, Vec3(3.0f, 6.0f, 9.0f));
+    EXPECT_EQ(-a, Vec3(-1.0f, -2.0f, -3.0f));
+}
+
+TEST(Vec3, CrossIsOrthogonal)
+{
+    Vec3 a(1.0f, 2.0f, 3.0f);
+    Vec3 b(-2.0f, 0.5f, 4.0f);
+    Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0f, 1e-5f);
+    EXPECT_NEAR(c.dot(b), 0.0f, 1e-5f);
+}
+
+TEST(Vec3, CrossBasis)
+{
+    Vec3 x(1, 0, 0), y(0, 1, 0), z(0, 0, 1);
+    EXPECT_EQ(x.cross(y), z);
+    EXPECT_EQ(y.cross(z), x);
+    EXPECT_EQ(z.cross(x), y);
+}
+
+TEST(Vec3, Normalized)
+{
+    Vec3 v(0.0f, 3.0f, 4.0f);
+    Vec3 n = v.normalized();
+    EXPECT_FLOAT_EQ(n.length(), 1.0f);
+    EXPECT_FLOAT_EQ(n.y, 0.6f);
+    EXPECT_FLOAT_EQ(n.z, 0.8f);
+    // Zero vector: unchanged, no NaNs.
+    Vec3 zero;
+    EXPECT_EQ(zero.normalized(), zero);
+}
+
+TEST(Vec4, ProjectDividesByW)
+{
+    Vec4 v(2.0f, 4.0f, 6.0f, 2.0f);
+    EXPECT_EQ(v.project(), Vec3(1.0f, 2.0f, 3.0f));
+    EXPECT_EQ(v.xyz(), Vec3(2.0f, 4.0f, 6.0f));
+}
+
+TEST(Vec4, FromVec3)
+{
+    Vec4 v(Vec3(1.0f, 2.0f, 3.0f), 4.0f);
+    EXPECT_EQ(v, Vec4(1.0f, 2.0f, 3.0f, 4.0f));
+}
+
+TEST(Vec4, Dot)
+{
+    Vec4 a(1, 2, 3, 4);
+    Vec4 b(5, 6, 7, 8);
+    EXPECT_FLOAT_EQ(a.dot(b), 70.0f);
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,96 @@
+/** @file Unit tests for the texture bus model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(TextureBus, SingleTransferDuration)
+{
+    TextureBus bus(1.0); // 1 texel/cycle
+    // A 16-texel line takes 16 cycles.
+    EXPECT_EQ(bus.transfer(0, 16), 16u);
+    EXPECT_EQ(bus.freeAt(), 16u);
+    EXPECT_EQ(bus.texelsTransferred(), 16u);
+    EXPECT_EQ(bus.transfers(), 1u);
+    EXPECT_DOUBLE_EQ(bus.busyCycles(), 16.0);
+}
+
+TEST(TextureBus, DoubleBandwidthHalvesTime)
+{
+    TextureBus bus(2.0);
+    EXPECT_EQ(bus.transfer(0, 16), 8u);
+}
+
+TEST(TextureBus, BackToBackTransfersSerialize)
+{
+    TextureBus bus(1.0);
+    EXPECT_EQ(bus.transfer(0, 16), 16u);
+    // Issued at tick 4 while busy: starts at 16.
+    EXPECT_EQ(bus.transfer(4, 16), 32u);
+    EXPECT_DOUBLE_EQ(bus.busyCycles(), 32.0);
+}
+
+TEST(TextureBus, IdleGapNotCountedBusy)
+{
+    TextureBus bus(1.0);
+    bus.transfer(0, 16);
+    // Next request long after the bus drained.
+    EXPECT_EQ(bus.transfer(100, 16), 116u);
+    EXPECT_DOUBLE_EQ(bus.busyCycles(), 32.0);
+    EXPECT_NEAR(bus.utilization(116), 32.0 / 116.0, 1e-9);
+}
+
+TEST(TextureBus, FractionalBandwidthAccumulates)
+{
+    TextureBus bus(1.5);
+    // 16 texels at 1.5/cycle = 10.67 cycles; two back to back end at
+    // 21.33 -> tick 22, not 2 * ceil(10.67) = 22... check no drift
+    // over many transfers: 30 lines = 480 texels = 320 cycles.
+    Tick end = 0;
+    for (int i = 0; i < 30; ++i)
+        end = bus.transfer(0, 16);
+    EXPECT_EQ(end, 320u);
+}
+
+TEST(TextureBus, SaturationUtilizationIsOne)
+{
+    TextureBus bus(2.0);
+    Tick end = 0;
+    for (int i = 0; i < 100; ++i)
+        end = bus.transfer(0, 16);
+    EXPECT_NEAR(bus.utilization(end), 1.0, 1e-9);
+}
+
+TEST(TextureBus, ResetClears)
+{
+    TextureBus bus(1.0);
+    bus.transfer(0, 16);
+    bus.reset();
+    EXPECT_EQ(bus.freeAt(), 0u);
+    EXPECT_EQ(bus.texelsTransferred(), 0u);
+    EXPECT_EQ(bus.transfer(0, 16), 16u);
+}
+
+TEST(TextureBus, SingleTexelTransfer)
+{
+    // Cacheless machines fetch single texels.
+    TextureBus bus(1.0);
+    EXPECT_EQ(bus.transfer(0, 1), 1u);
+    EXPECT_EQ(bus.transfer(0, 1), 2u);
+}
+
+TEST(TextureBusDeath, RejectsNonPositiveBandwidth)
+{
+    EXPECT_EXIT(TextureBus(0.0), ::testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_EXIT(TextureBus(-1.0), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace texdist

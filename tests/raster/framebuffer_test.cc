@@ -1,0 +1,163 @@
+/** @file Unit tests for the framebuffer and the reference renderer. */
+
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "raster/framebuffer.hh"
+#include "scene/builder.hh"
+#include "scene/render.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(Framebuffer, ClearSetsColorAndDepth)
+{
+    Framebuffer fb(8, 4);
+    fb.clear(Rgba8{1, 2, 3, 255});
+    EXPECT_EQ(fb.pixel(0, 0), (Rgba8{1, 2, 3, 255}));
+    EXPECT_EQ(fb.pixel(7, 3), (Rgba8{1, 2, 3, 255}));
+    EXPECT_EQ(fb.depthAt(4, 2), 0.0f);
+}
+
+TEST(Framebuffer, DepthTestNearerWins)
+{
+    Framebuffer fb(2, 2);
+    EXPECT_TRUE(fb.depthTest(0, 0, 0.5f));
+    EXPECT_FALSE(fb.depthTest(0, 0, 0.25f)); // farther: rejected
+    EXPECT_TRUE(fb.depthTest(0, 0, 0.75f));  // nearer: passes
+}
+
+TEST(Framebuffer, DepthTiesGoToLaterFragment)
+{
+    // Coplanar 2D content (invW == 1): strict submission order.
+    Framebuffer fb(2, 2);
+    EXPECT_TRUE(fb.depthTest(1, 1, 1.0f));
+    EXPECT_TRUE(fb.depthTest(1, 1, 1.0f));
+}
+
+TEST(FramebufferDeath, EmptyFatal)
+{
+    EXPECT_EXIT(Framebuffer(0, 4), ::testing::ExitedWithCode(1),
+                "empty");
+}
+
+TEST(RenderScene, LaterLayerWinsFor2dContent)
+{
+    SceneBuilder b("layers", 16, 16, 1);
+    TextureId t0 = b.makeTexture(16, 16);
+    TextureId t1 = b.makeTexture(16, 16);
+    b.addQuad(0, 0, 16, 16, t0, 1.0);
+    b.addQuad(0, 0, 16, 16, t1, 1.0);
+    Scene scene = b.take();
+
+    Framebuffer fb(16, 16);
+    ProceduralTexels texels;
+    renderSceneImage(scene, texels, fb);
+
+    // Rendering only the top layer (the exact same two triangles)
+    // must give an identical image: the bottom layer is fully
+    // occluded by submission order.
+    Scene top;
+    top.name = "top";
+    top.screenWidth = 16;
+    top.screenHeight = 16;
+    top.textures = scene.textures.clone();
+    top.triangles = {scene.triangles[2], scene.triangles[3]};
+    Framebuffer only_top(16, 16);
+    renderSceneImage(top, texels, only_top);
+    for (uint32_t y = 0; y < 16; ++y)
+        for (uint32_t x = 0; x < 16; ++x)
+            ASSERT_EQ(fb.pixel(x, y), only_top.pixel(x, y))
+                << "(" << x << "," << y << ")";
+}
+
+TEST(RenderScene, NearerTriangleOccludes)
+{
+    // Two perspective triangles covering the same pixels; the one
+    // with larger invW (nearer) must win regardless of order.
+    SceneBuilder b("z", 32, 32, 1);
+    TextureId t0 = b.makeTexture(16, 16);
+    TextureId t1 = b.makeTexture(16, 16);
+    TexTriangle near_tri, far_tri;
+    for (int k = 0; k < 3; ++k) {
+        near_tri.v[k].invW = 2.0f;
+        far_tri.v[k].invW = 0.5f;
+    }
+    auto setpos = [](TexTriangle &tri) {
+        tri.v[0].x = 0;
+        tri.v[0].y = 0;
+        tri.v[1].x = 32;
+        tri.v[1].y = 0;
+        tri.v[2].x = 0;
+        tri.v[2].y = 32;
+    };
+    setpos(near_tri);
+    setpos(far_tri);
+    near_tri.tex = t0;
+    far_tri.tex = t1;
+    // Near drawn FIRST; far must not overwrite it.
+    b.addTriangle(near_tri);
+    b.addTriangle(far_tri);
+    Scene scene = b.take();
+
+    Framebuffer fb(32, 32);
+    ProceduralTexels texels;
+    renderSceneImage(scene, texels, fb);
+    // Pixel (1,1) was covered by both; depth must be the near one.
+    EXPECT_FLOAT_EQ(fb.depthAt(1, 1), 2.0f);
+}
+
+TEST(RenderScene, BackgroundWhereNothingDrawn)
+{
+    SceneBuilder b("bg", 8, 8, 1);
+    TextureId tex = b.makeTexture(8, 8);
+    b.addQuad(0, 0, 4, 8, tex, 1.0); // left half only
+    Scene scene = b.take();
+    Framebuffer fb(8, 8);
+    fb.clear(Rgba8{9, 9, 9, 255});
+    ProceduralTexels texels;
+    renderSceneImage(scene, texels, fb);
+    EXPECT_EQ(fb.pixel(6, 4), (Rgba8{9, 9, 9, 255}));
+    EXPECT_NE(fb.pixel(1, 4), (Rgba8{9, 9, 9, 255}));
+}
+
+TEST(RenderScene, PpmRoundTripHeader)
+{
+    SceneBuilder b("ppm", 8, 8, 1);
+    TextureId tex = b.makeTexture(8, 8);
+    b.addQuad(0, 0, 8, 8, tex, 1.0);
+    Scene scene = b.take();
+    std::string path = ::testing::TempDir() + "/texdist_render.ppm";
+    renderSceneToPpm(scene, path);
+
+    std::ifstream is(path, std::ios::binary);
+    ASSERT_TRUE(is.good());
+    std::string magic;
+    int w = 0, h = 0, maxv = 0;
+    is >> magic >> w >> h >> maxv;
+    EXPECT_EQ(magic, "P6");
+    EXPECT_EQ(w, 8);
+    EXPECT_EQ(h, 8);
+    EXPECT_EQ(maxv, 255);
+    is.get(); // single whitespace
+    std::vector<char> data(8 * 8 * 3);
+    is.read(data.data(), std::streamsize(data.size()));
+    EXPECT_TRUE(is.good());
+}
+
+TEST(RenderSceneDeath, SizeMismatchFatal)
+{
+    SceneBuilder b("mm", 8, 8, 1);
+    Scene scene = b.take();
+    Framebuffer fb(4, 4);
+    ProceduralTexels texels;
+    EXPECT_EXIT(renderSceneImage(scene, texels, fb),
+                ::testing::ExitedWithCode(1), "does not match");
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,178 @@
+/** @file Unit tests for the geometry pipeline (transform + clip). */
+
+#include <gtest/gtest.h>
+
+#include "raster/pipeline.hh"
+#include "raster/raster.hh"
+#include "scene/parametric.hh"
+
+namespace texdist
+{
+namespace
+{
+
+constexpr float pi = 3.14159265358979f;
+
+GeometryPipeline
+orthoPipe(float w = 100.0f, float h = 100.0f)
+{
+    // Identity MVP maps NDC straight through.
+    return GeometryPipeline(Mat4::identity(), 0, 0, w, h);
+}
+
+MeshVertex
+mv(float x, float y, float z, float u = 0, float v = 0)
+{
+    return {Vec3(x, y, z), Vec2(u, v)};
+}
+
+TEST(Pipeline, FullyVisibleTrianglePassesThrough)
+{
+    std::vector<TexTriangle> out;
+    GeometryPipeline pipe = orthoPipe();
+    int n = pipe.processTriangle(mv(-0.5f, -0.5f, 0), mv(0.5f, -0.5f, 0),
+                                 mv(0, 0.5f, 0), 3, out);
+    EXPECT_EQ(n, 1);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].tex, 3u);
+    // NDC (-0.5, -0.5) -> pixel (25, 75) (y flip).
+    EXPECT_NEAR(out[0].v[0].x, 25.0f, 1e-3f);
+    EXPECT_NEAR(out[0].v[0].y, 75.0f, 1e-3f);
+}
+
+TEST(Pipeline, FullyOutsideIsCulled)
+{
+    std::vector<TexTriangle> out;
+    GeometryPipeline pipe = orthoPipe();
+    int n = pipe.processTriangle(mv(2, 2, 0), mv(3, 2, 0),
+                                 mv(2, 3, 0), 0, out);
+    EXPECT_EQ(n, 0);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Pipeline, PartialClipProducesFan)
+{
+    // A triangle poking out of the right plane: clipping the corner
+    // yields a quad = two triangles.
+    std::vector<TexTriangle> out;
+    GeometryPipeline pipe = orthoPipe();
+    int n = pipe.processTriangle(mv(0, -0.5f, 0), mv(2.0f, 0, 0),
+                                 mv(0, 0.5f, 0), 0, out);
+    EXPECT_EQ(n, 2);
+    // All emitted vertices lie inside the viewport.
+    for (const TexTriangle &tri : out) {
+        for (const TexVertex &v : tri.v) {
+            EXPECT_GE(v.x, -1e-3f);
+            EXPECT_LE(v.x, 100.0f + 1e-3f);
+        }
+    }
+}
+
+TEST(Pipeline, ClipPreservesArea)
+{
+    // Screen-space area of the clipped pieces equals the area of the
+    // visible part of the original triangle (here exactly half).
+    std::vector<TexTriangle> out;
+    GeometryPipeline pipe = orthoPipe(100, 100);
+    // Rectangle-ish right triangle symmetric about x = 1.
+    pipe.processTriangle(mv(0, -1, 0), mv(2, -1, 0), mv(0, 1, 0), 0,
+                         out);
+    double area = 0.0;
+    for (const TexTriangle &tri : out) {
+        TriangleRaster raster(tri, 64, 64);
+        if (!raster.degenerate())
+            area += raster.areaPixels();
+    }
+    // Original spans NDC x in [0,2]; half is visible. The full
+    // triangle has NDC area 2 -> pixels: 2 * (50*50) = 5000; visible
+    // 3/4 of it... compute directly: visible region is the triangle
+    // intersected with x <= 1: area = 2 - 0.5 = 1.5 NDC^2 = 3750 px.
+    EXPECT_NEAR(area, 3750.0, 10.0);
+}
+
+TEST(Pipeline, ClipInterpolatesAttributes)
+{
+    // Clip at x = +1 (NDC): the new vertex's u must be linearly
+    // interpolated in clip space.
+    std::vector<TexTriangle> out;
+    GeometryPipeline pipe = orthoPipe();
+    pipe.processTriangle(mv(0, 0, 0, 0.0f, 0.0f),
+                         mv(2, 0, 0, 1.0f, 0.0f),
+                         mv(0, 0.5f, 0, 0.0f, 1.0f), 0, out);
+    ASSERT_FALSE(out.empty());
+    // Find the clipped vertex at screen x = 100 (NDC x = 1) on the
+    // bottom edge (v = 0): u should be 0.5.
+    bool found = false;
+    for (const TexTriangle &tri : out) {
+        for (const TexVertex &v : tri.v) {
+            if (std::abs(v.x - 100.0f) < 1e-3f &&
+                std::abs(v.v) < 1e-4f) {
+                EXPECT_NEAR(v.u, 0.5f, 1e-4f);
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Pipeline, BehindCameraClipped)
+{
+    // Perspective projection; one vertex behind the eye. Without
+    // w-clipping this produces garbage; with it, valid triangles.
+    Mat4 proj = Mat4::perspective(pi / 2, 1.0f, 0.1f, 100.0f);
+    GeometryPipeline pipe(proj, 0, 0, 100, 100);
+    std::vector<TexTriangle> out;
+    pipe.processTriangle(mv(0, 0, -5), mv(1, 0, -5), mv(0, 0, 5), 0,
+                         out);
+    for (const TexTriangle &tri : out) {
+        for (const TexVertex &v : tri.v) {
+            EXPECT_TRUE(std::isfinite(v.x));
+            EXPECT_TRUE(std::isfinite(v.y));
+            EXPECT_GT(v.invW, 0.0f);
+        }
+    }
+}
+
+TEST(Pipeline, ProcessMeshCountsTriangles)
+{
+    Mesh plane = makePlane(4, 3, 1.0f, 1.0f, 1.0f, 1.0f, 0);
+    EXPECT_EQ(plane.triangleCount(), 24u);
+
+    GeometryPipeline pipe = orthoPipe();
+    std::vector<TexTriangle> out;
+    pipe.processMesh(plane, out);
+    // The plane spans [-0.5, 0.5]^2 in NDC: fully visible.
+    EXPECT_EQ(out.size(), 24u);
+}
+
+TEST(Pipeline, PerspectiveDivideSetsInvW)
+{
+    Mat4 proj = Mat4::perspective(pi / 2, 1.0f, 1.0f, 100.0f);
+    GeometryPipeline pipe(proj, 0, 0, 100, 100);
+    std::vector<TexTriangle> out;
+    pipe.processTriangle(mv(0, 0, -2), mv(1, 0, -2), mv(0, 1, -4), 0,
+                         out);
+    ASSERT_EQ(out.size(), 1u);
+    // For the OpenGL perspective matrix, clip w = -z_eye.
+    EXPECT_NEAR(out[0].v[0].invW, 0.5f, 1e-5f);
+    EXPECT_NEAR(out[0].v[2].invW, 0.25f, 1e-5f);
+}
+
+TEST(Pipeline, ViewportMapsCorners)
+{
+    GeometryPipeline pipe(Mat4::identity(), 10, 20, 200, 100);
+    std::vector<TexTriangle> out;
+    pipe.processTriangle(mv(-1, 1, 0), mv(1, 1, 0), mv(-1, -1, 0), 0,
+                         out);
+    ASSERT_EQ(out.size(), 1u);
+    // NDC (-1, +1) is the viewport's top-left corner.
+    EXPECT_NEAR(out[0].v[0].x, 10.0f, 1e-3f);
+    EXPECT_NEAR(out[0].v[0].y, 20.0f, 1e-3f);
+    // NDC (1, 1) top-right.
+    EXPECT_NEAR(out[0].v[1].x, 210.0f, 1e-3f);
+    // NDC (-1, -1) bottom-left.
+    EXPECT_NEAR(out[0].v[2].y, 120.0f, 1e-3f);
+}
+
+} // namespace
+} // namespace texdist

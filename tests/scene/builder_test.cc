@@ -1,0 +1,172 @@
+/** @file Unit tests for the scene construction kit. */
+
+#include <gtest/gtest.h>
+
+#include "geom/mat.hh"
+#include "scene/builder.hh"
+#include "scene/parametric.hh"
+#include "scene/stats.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(SceneBuilder, EmptyScene)
+{
+    SceneBuilder builder("empty", 100, 80, 1);
+    Scene scene = builder.take();
+    EXPECT_EQ(scene.name, "empty");
+    EXPECT_EQ(scene.screenWidth, 100u);
+    EXPECT_EQ(scene.screenHeight, 80u);
+    EXPECT_TRUE(scene.triangles.empty());
+    EXPECT_EQ(scene.screenArea(), 8000u);
+    EXPECT_EQ(scene.screenRect(), Rect(0, 0, 100, 80));
+}
+
+TEST(SceneBuilder, Deterministic)
+{
+    auto build = [] {
+        SceneBuilder b("d", 200, 200, 99);
+        auto pool = b.makeTexturePool(4, 16, 64);
+        b.addBackgroundLayer(pool, 50, 50, 1.0);
+        b.addCluster(100, 100, 20, 50, 30.0, pool[0], 1.0);
+        return b.take();
+    };
+    Scene a = build();
+    Scene b = build();
+    ASSERT_EQ(a.triangles.size(), b.triangles.size());
+    for (size_t i = 0; i < a.triangles.size(); ++i)
+        EXPECT_EQ(a.triangles[i], b.triangles[i]) << "triangle " << i;
+    EXPECT_EQ(a.textures.totalBytes(), b.textures.totalBytes());
+}
+
+TEST(SceneBuilder, SeedChangesScene)
+{
+    auto build = [](uint64_t seed) {
+        SceneBuilder b("d", 200, 200, seed);
+        auto pool = b.makeTexturePool(4, 16, 64);
+        b.addCluster(100, 100, 20, 50, 30.0, pool[0], 1.0);
+        return b.take();
+    };
+    Scene a = build(1);
+    Scene b = build(2);
+    ASSERT_EQ(a.triangles.size(), b.triangles.size());
+    bool any_diff = false;
+    for (size_t i = 0; i < a.triangles.size(); ++i)
+        any_diff |= !(a.triangles[i] == b.triangles[i]);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(SceneBuilder, TexturePoolSizesInRange)
+{
+    SceneBuilder b("p", 100, 100, 5);
+    auto pool = b.makeTexturePool(50, 16, 128);
+    EXPECT_EQ(pool.size(), 50u);
+    for (TextureId id : pool) {
+        const Texture &t = b.textures().get(id);
+        EXPECT_GE(t.width(), 16u);
+        EXPECT_LE(t.width(), 128u);
+        EXPECT_TRUE(isPow2(t.width()));
+        EXPECT_EQ(t.width(), t.height());
+    }
+}
+
+TEST(SceneBuilder, QuadCoversExactPixels)
+{
+    SceneBuilder b("q", 100, 100, 1);
+    TextureId tex = b.makeTexture(64, 64);
+    b.addQuad(10, 20, 50, 60, tex, 1.0);
+    Scene scene = b.take();
+    ASSERT_EQ(scene.triangles.size(), 2u);
+    SceneStats stats = measureScene(scene);
+    EXPECT_EQ(stats.pixelsRendered, 40u * 40u);
+}
+
+TEST(SceneBuilder, QuadTexelDensityHonored)
+{
+    // A 64px quad at density 0.5 spans 32 texels of a 64-texel
+    // texture: uv delta = 0.5.
+    SceneBuilder b("q", 100, 100, 1);
+    TextureId tex = b.makeTexture(64, 64);
+    b.addQuad(0, 0, 64, 64, tex, 0.5);
+    Scene scene = b.take();
+    const TexTriangle &t0 = scene.triangles[0];
+    float du = t0.v[1].u - t0.v[0].u;
+    EXPECT_NEAR(du, 0.5f, 1e-5f);
+}
+
+TEST(SceneBuilder, BackgroundLayerCoversScreenOnce)
+{
+    SceneBuilder b("bg", 160, 120, 3);
+    auto pool = b.makeTexturePool(4, 16, 32);
+    int added = b.addBackgroundLayer(pool, 40, 40, 1.0);
+    Scene scene = b.take();
+    EXPECT_EQ(size_t(added), scene.triangles.size());
+    SceneStats stats = measureScene(scene);
+    // Exactly one fragment per screen pixel.
+    EXPECT_EQ(stats.pixelsRendered, scene.screenArea());
+    EXPECT_DOUBLE_EQ(stats.depthComplexity, 1.0);
+}
+
+TEST(SceneBuilder, ClusterTriangleCountAndLocation)
+{
+    SceneBuilder b("c", 400, 400, 7);
+    TextureId tex = b.makeTexture(64, 64);
+    int added = b.addCluster(200, 200, 30, 120, 50.0, tex, 1.0);
+    EXPECT_EQ(added, 120);
+    Scene scene = b.take();
+    EXPECT_EQ(scene.triangles.size(), 120u);
+    // Triangle centroids concentrate near the cluster centre.
+    int near = 0;
+    for (const TexTriangle &tri : scene.triangles) {
+        float cx =
+            (tri.v[0].x + tri.v[1].x + tri.v[2].x) / 3.0f;
+        float cy =
+            (tri.v[0].y + tri.v[1].y + tri.v[2].y) / 3.0f;
+        float dx = cx - 200, dy = cy - 200;
+        if (dx * dx + dy * dy < 90.0f * 90.0f)
+            ++near;
+    }
+    EXPECT_GT(near, 110); // 3 sigma
+}
+
+TEST(SceneBuilder, ClusterMeanAreaApprox)
+{
+    SceneBuilder b("c", 2000, 2000, 11);
+    TextureId tex = b.makeTexture(64, 64);
+    b.addCluster(1000, 1000, 100, 2000, 40.0, tex, 1.0);
+    Scene scene = b.take();
+    SceneStats stats = measureScene(scene);
+    // Mean triangle pixel count tracks the requested mean area
+    // (loosely: snapping, exponential sampling, overlap-free count).
+    EXPECT_NEAR(stats.meanTrianglePixels, 40.0, 10.0);
+}
+
+TEST(SceneBuilder, AddMeshProjectsIntoScreen)
+{
+    SceneBuilder b("m", 200, 200, 13);
+    TextureId tex = b.makeTexture(64, 64);
+    Mesh plane = makePlane(2, 2, 1.0f, 1.0f, 1.0f, 1.0f, tex);
+    int added = b.addMesh(plane, Mat4::identity());
+    EXPECT_EQ(added, 8);
+    Scene scene = b.take();
+    for (const TexTriangle &tri : scene.triangles) {
+        for (const TexVertex &v : tri.v) {
+            EXPECT_GE(v.x, 0.0f);
+            EXPECT_LE(v.x, 200.0f);
+            EXPECT_GE(v.y, 0.0f);
+            EXPECT_LE(v.y, 200.0f);
+        }
+    }
+}
+
+TEST(SceneBuilderDeath, TakeTwicePanics)
+{
+    SceneBuilder b("t", 10, 10, 1);
+    (void)b.take();
+    EXPECT_DEATH((void)b.take(), "twice");
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,115 @@
+/** @file Unit tests for the parametric mesh generators. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "scene/parametric.hh"
+
+namespace texdist
+{
+namespace
+{
+
+void
+checkIndicesValid(const Mesh &mesh)
+{
+    ASSERT_EQ(mesh.indices.size() % 3, 0u);
+    for (uint32_t idx : mesh.indices)
+        ASSERT_LT(idx, mesh.vertices.size());
+}
+
+TEST(Parametric, PlaneCounts)
+{
+    Mesh m = makePlane(4, 3, 2.0f, 1.5f, 1.0f, 1.0f, 7);
+    EXPECT_EQ(m.vertices.size(), 5u * 4u);
+    EXPECT_EQ(m.triangleCount(), 24u);
+    EXPECT_EQ(m.tex, 7u);
+    checkIndicesValid(m);
+}
+
+TEST(Parametric, PlaneSpansExtents)
+{
+    Mesh m = makePlane(2, 2, 4.0f, 6.0f, 3.0f, 2.0f, 0);
+    float min_x = 1e9f, max_x = -1e9f, max_u = -1e9f;
+    for (const MeshVertex &v : m.vertices) {
+        min_x = std::min(min_x, v.pos.x);
+        max_x = std::max(max_x, v.pos.x);
+        max_u = std::max(max_u, v.uv.x);
+    }
+    EXPECT_FLOAT_EQ(min_x, -2.0f);
+    EXPECT_FLOAT_EQ(max_x, 2.0f);
+    EXPECT_FLOAT_EQ(max_u, 3.0f);
+}
+
+TEST(Parametric, SphereOnUnitRadius)
+{
+    Mesh m = makeSphere(16, 8, 0);
+    EXPECT_EQ(m.triangleCount(), 2u * 16 * 8);
+    checkIndicesValid(m);
+    for (const MeshVertex &v : m.vertices)
+        EXPECT_NEAR(v.pos.length(), 1.0f, 1e-5f);
+}
+
+TEST(Parametric, BoxHasSixFaces)
+{
+    Mesh m = makeBox(1.0f, 2.0f, 3.0f, 0);
+    EXPECT_EQ(m.vertices.size(), 24u);
+    EXPECT_EQ(m.triangleCount(), 12u);
+    checkIndicesValid(m);
+    // All vertices on the box surface.
+    for (const MeshVertex &v : m.vertices) {
+        bool on_face = std::abs(std::abs(v.pos.x) - 1.0f) < 1e-6f ||
+                       std::abs(std::abs(v.pos.y) - 2.0f) < 1e-6f ||
+                       std::abs(std::abs(v.pos.z) - 3.0f) < 1e-6f;
+        EXPECT_TRUE(on_face);
+    }
+}
+
+TEST(Parametric, PotGeometry)
+{
+    Mesh m = makePot(32, 16, 2);
+    EXPECT_EQ(m.triangleCount(), 2u * 32 * 16);
+    EXPECT_EQ(m.tex, 2u);
+    checkIndicesValid(m);
+    // Radius positive everywhere, profile stays bounded.
+    for (const MeshVertex &v : m.vertices) {
+        float r = std::sqrt(v.pos.x * v.pos.x + v.pos.z * v.pos.z);
+        EXPECT_GT(r, 0.0f);
+        EXPECT_LT(r, 1.2f);
+        EXPECT_GE(v.pos.y, -0.71f);
+        EXPECT_LE(v.pos.y, 0.71f);
+    }
+}
+
+TEST(Parametric, PotIsRotationallySymmetric)
+{
+    Mesh m = makePot(8, 4, 0);
+    // Vertices in the same stack share the same radius and height.
+    for (int j = 0; j <= 4; ++j) {
+        const MeshVertex &first = m.vertices[size_t(j) * 9];
+        float r0 = std::sqrt(first.pos.x * first.pos.x +
+                             first.pos.z * first.pos.z);
+        for (int i = 0; i <= 8; ++i) {
+            const MeshVertex &v = m.vertices[size_t(j) * 9 + i];
+            float r = std::sqrt(v.pos.x * v.pos.x +
+                                v.pos.z * v.pos.z);
+            EXPECT_NEAR(r, r0, 1e-5f);
+            EXPECT_FLOAT_EQ(v.pos.y, first.pos.y);
+        }
+    }
+}
+
+TEST(Parametric, UvWithinDeclaredRanges)
+{
+    Mesh pot = makePot(16, 8, 0);
+    for (const MeshVertex &v : pot.vertices) {
+        EXPECT_GE(v.uv.x, 0.0f);
+        EXPECT_LE(v.uv.x, 4.0f);
+        EXPECT_GE(v.uv.y, 0.0f);
+        EXPECT_LE(v.uv.y, 2.0f);
+    }
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,130 @@
+/** @file Unit tests for scene measurement (Table 1 machinery). */
+
+#include <gtest/gtest.h>
+
+#include "scene/builder.hh"
+#include "scene/stats.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(SceneStats, EmptySceneZeros)
+{
+    SceneBuilder b("e", 64, 64, 1);
+    Scene scene = b.take();
+    SceneStats s = measureScene(scene);
+    EXPECT_EQ(s.pixelsRendered, 0u);
+    EXPECT_EQ(s.uniqueTexels, 0u);
+    EXPECT_EQ(s.depthComplexity, 0.0);
+    EXPECT_EQ(s.numTriangles, 0u);
+}
+
+TEST(SceneStats, SingleFullScreenQuad)
+{
+    SceneBuilder b("one", 128, 128, 1);
+    TextureId tex = b.makeTexture(128, 128);
+    b.addQuad(0, 0, 128, 128, tex, 1.0);
+    Scene scene = b.take();
+    SceneStats s = measureScene(scene);
+    EXPECT_EQ(s.pixelsRendered, 128u * 128u);
+    EXPECT_DOUBLE_EQ(s.depthComplexity, 1.0);
+    EXPECT_EQ(s.numTriangles, 2u);
+    EXPECT_EQ(s.numTextures, 1u);
+    // Density 1: roughly one unique texel per pixel (footprint
+    // spillover and level-1 samples add some).
+    EXPECT_GT(s.uniqueTexelPerFragment, 0.6);
+    EXPECT_LT(s.uniqueTexelPerFragment, 1.6);
+    EXPECT_EQ(s.textureBytesTouched, s.uniqueTexels * 4);
+}
+
+TEST(SceneStats, OverdrawCountsAllLayers)
+{
+    SceneBuilder b("two", 64, 64, 1);
+    TextureId tex = b.makeTexture(64, 64);
+    b.addQuad(0, 0, 64, 64, tex, 1.0);
+    b.addQuad(0, 0, 64, 64, tex, 1.0);
+    b.addQuad(0, 0, 64, 64, tex, 1.0);
+    Scene scene = b.take();
+    SceneStats s = measureScene(scene);
+    EXPECT_DOUBLE_EQ(s.depthComplexity, 3.0);
+    EXPECT_EQ(s.pixelsRendered, 3u * 64 * 64);
+}
+
+TEST(SceneStats, RepeatedTextureReducesUnique)
+{
+    // Two quads with the same texture at the same density: unique
+    // texels grow far less than fragments.
+    SceneBuilder b1("a", 64, 64, 5);
+    TextureId t1 = b1.makeTexture(32, 32);
+    b1.addQuad(0, 0, 64, 64, t1, 1.0);
+    Scene one = b1.take();
+
+    SceneBuilder b2("b", 64, 64, 5);
+    TextureId t2 = b2.makeTexture(32, 32);
+    b2.addQuad(0, 0, 64, 64, t2, 1.0);
+    b2.addQuad(0, 0, 64, 64, t2, 1.0);
+    Scene two = b2.take();
+
+    SceneStats s1 = measureScene(one);
+    SceneStats s2 = measureScene(two);
+    EXPECT_EQ(s2.pixelsRendered, 2 * s1.pixelsRendered);
+    // A 64px quad at density 1 wraps a 32-texel texture twice: the
+    // texture saturates, so the second quad adds almost nothing.
+    EXPECT_LT(s2.uniqueTexels, uint64_t(1.2 * s1.uniqueTexels));
+}
+
+TEST(SceneStats, SmallTriangleFraction)
+{
+    SceneBuilder b("small", 256, 256, 9);
+    TextureId tex = b.makeTexture(64, 64);
+    // 3x3-pixel triangles: all below the 25-pixel setup threshold.
+    b.addCluster(128, 128, 40, 200, 6.0, tex, 1.0);
+    Scene scene = b.take();
+    SceneStats s = measureScene(scene);
+    EXPECT_GT(s.smallTriangleFraction, 0.95);
+}
+
+TEST(SceneStats, TileClusteringDetectsHotspots)
+{
+    // Uniform background vs background + hot cluster.
+    SceneBuilder b1("flat", 256, 256, 3);
+    auto p1 = b1.makeTexturePool(2, 32, 32);
+    b1.addBackgroundLayer(p1, 64, 64, 1.0);
+    SceneStats flat = measureScene(b1.take());
+
+    SceneBuilder b2("hot", 256, 256, 3);
+    auto p2 = b2.makeTexturePool(2, 32, 32);
+    b2.addBackgroundLayer(p2, 64, 64, 1.0);
+    b2.addCluster(64, 64, 12, 400, 30.0, p2[0], 1.0);
+    SceneStats hot = measureScene(b2.take());
+
+    EXPECT_NEAR(flat.tileLoadMaxOverMean, 1.0, 0.05);
+    EXPECT_GT(hot.tileLoadMaxOverMean, 3.0);
+    EXPECT_GT(hot.tileLoadP95OverMean, flat.tileLoadP95OverMean);
+}
+
+TEST(SceneStats, UniqueLinesConsistentWithTexels)
+{
+    SceneBuilder b("lines", 128, 128, 17);
+    TextureId tex = b.makeTexture(64, 64);
+    b.addQuad(0, 0, 128, 128, tex, 0.9);
+    SceneStats s = measureScene(b.take());
+    // 16 texels per line: unique lines within [texels/16, texels].
+    EXPECT_GE(s.uniqueLines, s.uniqueTexels / 16);
+    EXPECT_LE(s.uniqueLines, s.uniqueTexels);
+}
+
+TEST(SceneStats, OffscreenContentNotCounted)
+{
+    SceneBuilder b("off", 64, 64, 1);
+    TextureId tex = b.makeTexture(32, 32);
+    b.addQuad(100, 100, 200, 200, tex, 1.0); // fully offscreen
+    b.addQuad(32, 32, 96, 96, tex, 1.0);     // half visible
+    SceneStats s = measureScene(b.take());
+    EXPECT_EQ(s.pixelsRendered, 32u * 32u);
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,119 @@
+/** @file Unit tests for the bounded FIFO. */
+
+#include <gtest/gtest.h>
+
+#include "sim/fifo.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(BoundedFifo, StartsEmpty)
+{
+    BoundedFifo<int> fifo(4);
+    EXPECT_TRUE(fifo.empty());
+    EXPECT_FALSE(fifo.full());
+    EXPECT_EQ(fifo.size(), 0u);
+    EXPECT_EQ(fifo.capacity(), 4u);
+    EXPECT_EQ(fifo.space(), 4u);
+}
+
+TEST(BoundedFifo, FifoOrder)
+{
+    BoundedFifo<int> fifo(8);
+    for (int i = 0; i < 5; ++i)
+        fifo.push(i);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(fifo.front(), i);
+        EXPECT_EQ(fifo.pop(), i);
+    }
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(BoundedFifo, FullAtCapacity)
+{
+    BoundedFifo<int> fifo(3);
+    fifo.push(1);
+    fifo.push(2);
+    EXPECT_FALSE(fifo.full());
+    fifo.push(3);
+    EXPECT_TRUE(fifo.full());
+    EXPECT_EQ(fifo.space(), 0u);
+    fifo.pop();
+    EXPECT_FALSE(fifo.full());
+}
+
+TEST(BoundedFifo, CapacityOne)
+{
+    BoundedFifo<int> fifo(1);
+    fifo.push(42);
+    EXPECT_TRUE(fifo.full());
+    EXPECT_EQ(fifo.pop(), 42);
+    EXPECT_TRUE(fifo.empty());
+    fifo.push(43);
+    EXPECT_EQ(fifo.pop(), 43);
+}
+
+TEST(BoundedFifo, MaxOccupancyHighWaterMark)
+{
+    BoundedFifo<int> fifo(10);
+    fifo.push(1);
+    fifo.push(2);
+    fifo.push(3);
+    fifo.pop();
+    fifo.pop();
+    fifo.push(4);
+    EXPECT_EQ(fifo.maxOccupancy(), 3u);
+    fifo.push(5);
+    fifo.push(6);
+    EXPECT_EQ(fifo.maxOccupancy(), 4u);
+}
+
+TEST(BoundedFifo, ClearResets)
+{
+    BoundedFifo<int> fifo(4);
+    fifo.push(1);
+    fifo.push(2);
+    fifo.clear();
+    EXPECT_TRUE(fifo.empty());
+    EXPECT_EQ(fifo.maxOccupancy(), 0u);
+}
+
+TEST(BoundedFifo, MoveOnlyFriendlyValueSemantics)
+{
+    // TriangleWork-like payloads carry vectors; check they move
+    // through intact.
+    struct Payload
+    {
+        std::vector<int> data;
+    };
+    BoundedFifo<Payload> fifo(2);
+    Payload p;
+    p.data = {1, 2, 3};
+    fifo.push(p);
+    Payload out = fifo.pop();
+    EXPECT_EQ(out.data, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BoundedFifoDeath, PushToFullPanics)
+{
+    BoundedFifo<int> fifo(1);
+    fifo.push(1);
+    EXPECT_DEATH(fifo.push(2), "full FIFO");
+}
+
+TEST(BoundedFifoDeath, PopFromEmptyPanics)
+{
+    BoundedFifo<int> fifo(1);
+    EXPECT_DEATH(fifo.pop(), "empty FIFO");
+}
+
+TEST(BoundedFifoDeath, ZeroCapacityFatal)
+{
+    EXPECT_EXIT(BoundedFifo<int>(0), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,146 @@
+/** @file Unit and property tests for trilinear filtering. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hh"
+#include "texture/filter.hh"
+
+namespace texdist
+{
+namespace
+{
+
+class FilterTest : public ::testing::Test
+{
+  protected:
+    FilterTest() : tex(3, 0, 64, 64) {}
+    Texture tex;
+    TexelTaps taps;
+};
+
+TEST_F(FilterTest, WeightsArePartitionOfUnity)
+{
+    Rng rng(17);
+    for (int i = 0; i < 500; ++i) {
+        float u = float(rng.uniform(-1.0, 2.0));
+        float v = float(rng.uniform(-1.0, 2.0));
+        float lod = float(rng.uniform(-2.0, 9.0));
+        trilinearTaps(tex, u, v, lod, taps);
+        float sum = 0.0f;
+        for (const TexelTap &tap : taps) {
+            ASSERT_GE(tap.weight, 0.0f);
+            ASSERT_LE(tap.weight, 1.0f + 1e-6f);
+            sum += tap.weight;
+        }
+        ASSERT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST_F(FilterTest, TapsMatchSamplerAddresses)
+{
+    Rng rng(23);
+    TexelRefs refs;
+    for (int i = 0; i < 200; ++i) {
+        float u = float(rng.uniform(0.0, 1.0));
+        float v = float(rng.uniform(0.0, 1.0));
+        float lod = float(rng.uniform(-1.0, 7.0));
+        trilinearTaps(tex, u, v, lod, taps);
+        TrilinearSampler::generate(tex, u, v, lod, refs);
+        for (int k = 0; k < texelsPerFragment; ++k)
+            ASSERT_EQ(taps[k].addr, refs[k])
+                << "tap " << k << " at uv " << u << "," << v;
+    }
+}
+
+TEST_F(FilterTest, TexelCentreIsSingleTap)
+{
+    // Sampling exactly at a texel centre with integral lod puts all
+    // weight on that texel (within its level).
+    float u = (10.0f + 0.5f) / 64.0f;
+    float v = (20.0f + 0.5f) / 64.0f;
+    trilinearTaps(tex, u, v, 0.0f, taps);
+    // Level 0 has weight 1 (fl = 0); within it, tap 0 is the centre.
+    EXPECT_NEAR(taps[0].weight, 1.0f, 1e-5f);
+    EXPECT_EQ(taps[0].x, 10u);
+    EXPECT_EQ(taps[0].y, 20u);
+    for (int k = 1; k < 8; ++k)
+        EXPECT_NEAR(taps[k].weight, 0.0f, 1e-5f);
+}
+
+TEST_F(FilterTest, MidTexelIsEqualBlend)
+{
+    // Halfway between four texels: the four level-0 taps share the
+    // weight equally.
+    float u = 11.0f / 64.0f;
+    float v = 21.0f / 64.0f;
+    trilinearTaps(tex, u, v, 0.0f, taps);
+    for (int k = 0; k < 4; ++k)
+        EXPECT_NEAR(taps[k].weight, 0.25f, 1e-5f);
+}
+
+TEST_F(FilterTest, LodFractionBlendsLevels)
+{
+    trilinearTaps(tex, 0.3f, 0.7f, 1.25f, taps);
+    float l0 = 0.0f, l1 = 0.0f;
+    for (int k = 0; k < 4; ++k)
+        l0 += taps[k].weight;
+    for (int k = 4; k < 8; ++k)
+        l1 += taps[k].weight;
+    EXPECT_NEAR(l0, 0.75f, 1e-5f);
+    EXPECT_NEAR(l1, 0.25f, 1e-5f);
+    EXPECT_EQ(taps[0].level, 1u);
+    EXPECT_EQ(taps[4].level, 2u);
+}
+
+TEST_F(FilterTest, FilterContinuityAcrossTexelBoundary)
+{
+    // The filtered colour is continuous in u: values just left and
+    // right of a texel boundary are close.
+    ProceduralTexels texels;
+    float v = 0.4f;
+    float u0 = (15.0f - 1e-4f) / 64.0f;
+    float u1 = (15.0f + 1e-4f) / 64.0f;
+    Rgba8 a = sampleTrilinear(tex, texels, u0, v, 0.0f);
+    Rgba8 b = sampleTrilinear(tex, texels, u1, v, 0.0f);
+    EXPECT_NEAR(a.r, b.r, 2);
+    EXPECT_NEAR(a.g, b.g, 2);
+    EXPECT_NEAR(a.b, b.b, 2);
+}
+
+TEST_F(FilterTest, SampleIsConvexCombination)
+{
+    ProceduralTexels texels;
+    Rng rng(29);
+    for (int i = 0; i < 200; ++i) {
+        float u = float(rng.uniform());
+        float v = float(rng.uniform());
+        float lod = float(rng.uniform(0.0, 6.0));
+        trilinearTaps(tex, u, v, lod, taps);
+        int min_r = 255, max_r = 0;
+        for (const TexelTap &tap : taps) {
+            if (tap.weight <= 0.0f)
+                continue;
+            Rgba8 c = texels.texel(tex, tap.level, tap.x, tap.y);
+            min_r = std::min(min_r, int(c.r));
+            max_r = std::max(max_r, int(c.r));
+        }
+        Rgba8 s = sampleTrilinear(tex, texels, u, v, lod);
+        ASSERT_GE(int(s.r), min_r - 1);
+        ASSERT_LE(int(s.r), max_r + 1);
+    }
+}
+
+TEST(ProceduralTexels, DeterministicAndTextureDependent)
+{
+    Texture a(0, 0, 32, 32), b(1, 4096, 32, 32);
+    ProceduralTexels texels;
+    EXPECT_EQ(texels.texel(a, 0, 3, 5), texels.texel(a, 0, 3, 5));
+    // Different textures get different hues (with overwhelming
+    // probability for these ids).
+    EXPECT_NE(texels.texel(a, 0, 3, 5), texels.texel(b, 0, 3, 5));
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,67 @@
+/** @file Unit tests for the texture manager / address allocator. */
+
+#include <gtest/gtest.h>
+
+#include "texture/manager.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(TextureManager, SequentialIds)
+{
+    TextureManager mgr;
+    EXPECT_EQ(mgr.create(16, 16), 0u);
+    EXPECT_EQ(mgr.create(32, 32), 1u);
+    EXPECT_EQ(mgr.create(16, 64), 2u);
+    EXPECT_EQ(mgr.count(), 3u);
+}
+
+TEST(TextureManager, DisjointLineAlignedRegions)
+{
+    TextureManager mgr;
+    for (int i = 0; i < 10; ++i)
+        mgr.create(16 << (i % 3), 16);
+
+    uint64_t prev_end = 0;
+    for (uint32_t i = 0; i < mgr.count(); ++i) {
+        const Texture &t = mgr.get(i);
+        EXPECT_EQ(t.baseAddr() % lineBytes, 0u);
+        EXPECT_GE(t.baseAddr(), prev_end);
+        prev_end = t.baseAddr() + t.byteSize();
+    }
+    EXPECT_EQ(mgr.totalBytes(), prev_end);
+}
+
+TEST(TextureManager, TotalBytesMatchesSum)
+{
+    TextureManager mgr;
+    mgr.create(64, 64);
+    mgr.create(128, 32);
+    uint64_t expected =
+        mgr.get(0).byteSize() + mgr.get(1).byteSize();
+    EXPECT_EQ(mgr.totalBytes(), expected);
+}
+
+TEST(TextureManager, MoveTransfersOwnership)
+{
+    TextureManager a;
+    a.create(16, 16);
+    a.create(32, 32);
+    TextureManager b = std::move(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.get(1).width(), 32u);
+}
+
+TEST(TextureManager, WrapModePropagates)
+{
+    TextureManager mgr;
+    TextureId r = mgr.create(16, 16, WrapMode::Repeat);
+    TextureId c = mgr.create(16, 16, WrapMode::Clamp);
+    EXPECT_EQ(mgr.get(r).wrapMode(), WrapMode::Repeat);
+    EXPECT_EQ(mgr.get(c).wrapMode(), WrapMode::Clamp);
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,180 @@
+/** @file Unit tests for trilinear texel address generation and LOD. */
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "texture/manager.hh"
+#include "texture/sampler.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(ComputeLod, UnityDensityIsLodZero)
+{
+    // One texel per pixel: du/dx = 1/width.
+    float lod = computeLod(1.0f / 64.0f, 0.0f, 0.0f, 1.0f / 64.0f,
+                           64, 64);
+    EXPECT_NEAR(lod, 0.0f, 1e-5f);
+}
+
+TEST(ComputeLod, MinificationByTwoIsLodOne)
+{
+    float lod = computeLod(2.0f / 64.0f, 0.0f, 0.0f, 2.0f / 64.0f,
+                           64, 64);
+    EXPECT_NEAR(lod, 1.0f, 1e-5f);
+}
+
+TEST(ComputeLod, MagnificationIsNegative)
+{
+    float lod = computeLod(0.25f / 64.0f, 0.0f, 0.0f, 0.25f / 64.0f,
+                           64, 64);
+    EXPECT_NEAR(lod, -2.0f, 1e-5f);
+}
+
+TEST(ComputeLod, TakesMaxOfAxes)
+{
+    // x footprint 4 texels, y footprint 1: rho is 4.
+    float lod = computeLod(4.0f / 64.0f, 0.0f, 0.0f, 1.0f / 64.0f,
+                           64, 64);
+    EXPECT_NEAR(lod, 2.0f, 1e-5f);
+}
+
+TEST(ComputeLod, DegenerateFootprint)
+{
+    float lod = computeLod(0.0f, 0.0f, 0.0f, 0.0f, 64, 64);
+    EXPECT_LT(lod, -100.0f);
+}
+
+TEST(ComputeLod, RotatedFootprintLength)
+{
+    // Diagonal derivative (3,4)/5 texels: rho = 5 texels -> log2(5).
+    float lod = computeLod(3.0f / 64.0f, 4.0f / 64.0f, 0.0f, 0.0f,
+                           64, 64);
+    EXPECT_NEAR(lod, std::log2(5.0f), 1e-5f);
+}
+
+class SamplerTest : public ::testing::Test
+{
+  protected:
+    SamplerTest() : tex(0, 0, 64, 64) {}
+    Texture tex;
+    TexelRefs refs;
+};
+
+TEST_F(SamplerTest, GeneratesEightAddresses)
+{
+    TrilinearSampler::generate(tex, 0.5f, 0.5f, 0.5f, refs);
+    for (uint64_t addr : refs) {
+        EXPECT_LT(addr, tex.byteSize());
+        EXPECT_EQ(addr % texelBytes, 0u);
+    }
+}
+
+TEST_F(SamplerTest, QuadIsTwoByTwoNeighborhood)
+{
+    // Sample at the centre of texel (10, 20) + (0.5, 0.5): the
+    // footprint is texels {10,11} x {20,21} of level 0.
+    float u = 11.0f / 64.0f;
+    float v = 21.0f / 64.0f;
+    TrilinearSampler::generate(tex, u, v, 0.0f, refs);
+    std::set<uint64_t> expected = {
+        tex.texelAddress(0, 10, 20), tex.texelAddress(0, 11, 20),
+        tex.texelAddress(0, 10, 21), tex.texelAddress(0, 11, 21)};
+    std::set<uint64_t> got(refs.begin(), refs.begin() + 4);
+    EXPECT_EQ(got, expected);
+}
+
+TEST_F(SamplerTest, TwoMipLevels)
+{
+    // lod 2.3 -> levels 2 and 3.
+    TrilinearSampler::generate(tex, 0.4f, 0.6f, 2.3f, refs);
+    const MipLevel &l2 = tex.level(2);
+    const MipLevel &l3 = tex.level(3);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_GE(refs[i], l2.byteOffset);
+        EXPECT_LT(refs[i], l2.byteOffset + l2.byteSize());
+    }
+    for (int i = 4; i < 8; ++i) {
+        EXPECT_GE(refs[i], l3.byteOffset);
+        EXPECT_LT(refs[i], l3.byteOffset + l3.byteSize());
+    }
+}
+
+TEST_F(SamplerTest, MagnifiedClampsToLevelZeroAndOne)
+{
+    TrilinearSampler::generate(tex, 0.5f, 0.5f, -3.0f, refs);
+    const MipLevel &l1 = tex.level(1);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_LT(refs[i], tex.level(0).byteSize());
+    for (int i = 4; i < 8; ++i) {
+        EXPECT_GE(refs[i], l1.byteOffset);
+        EXPECT_LT(refs[i], l1.byteOffset + l1.byteSize());
+    }
+}
+
+TEST_F(SamplerTest, LodBeyondMaxUsesCoarsestTwice)
+{
+    TrilinearSampler::generate(tex, 0.2f, 0.8f, 99.0f, refs);
+    uint64_t coarsest = tex.level(tex.maxLevel()).byteOffset;
+    for (uint64_t addr : refs)
+        EXPECT_GE(addr, coarsest);
+    // 1x1 level: all eight references hit the same texel.
+    for (int i = 1; i < 8; ++i)
+        EXPECT_EQ(refs[i], refs[0]);
+}
+
+TEST_F(SamplerTest, WrapAcrossEdge)
+{
+    // Sampling just inside u = 0 pulls the left neighbour from the
+    // right edge (repeat wrap).
+    float u = 0.1f / 64.0f;
+    float v = 10.5f / 64.0f;
+    TrilinearSampler::generate(tex, u, v, 0.0f, refs);
+    std::set<uint64_t> got(refs.begin(), refs.begin() + 4);
+    EXPECT_TRUE(got.count(tex.texelAddress(0, 63, 10)));
+    EXPECT_TRUE(got.count(tex.texelAddress(0, 0, 10)));
+}
+
+TEST_F(SamplerTest, AdjacentFragmentsShareTexels)
+{
+    // The spatial locality the texture cache exploits: two adjacent
+    // screen pixels at ~unit density share half their footprint.
+    TexelRefs a, b;
+    TrilinearSampler::generate(tex, 10.5f / 64, 10.5f / 64, 0.0f, a);
+    TrilinearSampler::generate(tex, 11.5f / 64, 10.5f / 64, 0.0f, b);
+    std::set<uint64_t> sa(a.begin(), a.end());
+    int shared = 0;
+    for (uint64_t addr : b)
+        shared += sa.count(addr);
+    EXPECT_GE(shared, 2);
+}
+
+TEST(SamplerManagerTest, AddressesRespectTextureBounds)
+{
+    TextureManager mgr;
+    TextureId a = mgr.create(32, 32);
+    TextureId b = mgr.create(128, 64);
+    const Texture &tb = mgr.get(b);
+
+    TexelRefs refs;
+    for (float u = -1.0f; u < 2.0f; u += 0.37f) {
+        for (float v = -1.0f; v < 2.0f; v += 0.41f) {
+            for (float lod = -2.0f; lod < 9.0f; lod += 1.3f) {
+                TrilinearSampler::generate(tb, u, v, lod, refs);
+                for (uint64_t addr : refs) {
+                    EXPECT_GE(addr, tb.baseAddr());
+                    EXPECT_LT(addr, tb.baseAddr() + tb.byteSize());
+                }
+            }
+        }
+    }
+    (void)a;
+}
+
+} // namespace
+} // namespace texdist

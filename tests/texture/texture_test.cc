@@ -1,0 +1,225 @@
+/** @file Unit tests for blocked mip-mapped textures. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "texture/manager.hh"
+#include "texture/texture.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(Texture, Constants)
+{
+    // The paper's fixed parameters: 4-byte texels, 4x4 blocks, one
+    // block per 64-byte cache line.
+    EXPECT_EQ(texelBytes, 4u);
+    EXPECT_EQ(blockDim, 4u);
+    EXPECT_EQ(lineBytes, 64u);
+    EXPECT_EQ(texelsPerLine, 16u);
+}
+
+TEST(Texture, MipChainGeometry)
+{
+    Texture t(0, 0, 64, 32);
+    EXPECT_EQ(t.numLevels(), 7u); // 64x32 ... 1x1
+    EXPECT_EQ(t.level(0).width, 64u);
+    EXPECT_EQ(t.level(0).height, 32u);
+    EXPECT_EQ(t.level(1).width, 32u);
+    EXPECT_EQ(t.level(1).height, 16u);
+    EXPECT_EQ(t.level(5).width, 2u);
+    EXPECT_EQ(t.level(5).height, 1u);
+    EXPECT_EQ(t.level(6).width, 1u);
+    EXPECT_EQ(t.level(6).height, 1u);
+    EXPECT_EQ(t.maxLevel(), 6u);
+}
+
+TEST(Texture, LevelByteOffsetsAreContiguous)
+{
+    Texture t(0, 0, 32, 32);
+    uint64_t expected = 0;
+    for (uint32_t l = 0; l < t.numLevels(); ++l) {
+        EXPECT_EQ(t.level(l).byteOffset, expected);
+        expected += t.level(l).byteSize();
+    }
+    EXPECT_EQ(t.byteSize(), expected);
+}
+
+TEST(Texture, ByteSizeIncludesBlockPadding)
+{
+    // A 2x2 level still occupies a full 4x4 block (one line).
+    Texture t(0, 0, 2, 2);
+    EXPECT_EQ(t.level(0).byteSize(), uint64_t(lineBytes));
+    // Pyramid: 2x2, 1x1 -> two padded blocks.
+    EXPECT_EQ(t.byteSize(), uint64_t(2 * lineBytes));
+}
+
+TEST(Texture, TexelAddressBijective)
+{
+    // Every texel of every level maps to a distinct in-range
+    // address, and addresses are texel-aligned.
+    Texture t(0, 1024, 16, 16);
+    std::set<uint64_t> seen;
+    for (uint32_t l = 0; l < t.numLevels(); ++l) {
+        for (uint32_t y = 0; y < t.level(l).height; ++y) {
+            for (uint32_t x = 0; x < t.level(l).width; ++x) {
+                uint64_t a = t.texelAddress(l, x, y);
+                EXPECT_GE(a, t.baseAddr());
+                EXPECT_LT(a, t.baseAddr() + t.byteSize());
+                EXPECT_EQ(a % texelBytes, 0u);
+                EXPECT_TRUE(seen.insert(a).second)
+                    << "duplicate address for level " << l << " ("
+                    << x << "," << y << ")";
+            }
+        }
+    }
+}
+
+TEST(Texture, BlockingPutsNeighborsInOneLine)
+{
+    Texture t(0, 0, 64, 64);
+    // All 16 texels of a 4x4 block share one cache line.
+    uint64_t line = t.texelAddress(0, 8, 12) / lineBytes;
+    for (uint32_t dy = 0; dy < blockDim; ++dy)
+        for (uint32_t dx = 0; dx < blockDim; ++dx)
+            EXPECT_EQ(t.texelAddress(0, 8 + dx, 12 + dy) / lineBytes,
+                      line);
+    // The next block over is a different line.
+    EXPECT_NE(t.texelAddress(0, 12, 12) / lineBytes, line);
+    EXPECT_NE(t.texelAddress(0, 8, 16) / lineBytes, line);
+}
+
+TEST(Texture, BlockingBeatsRasterLayoutOnVerticalWalks)
+{
+    // The point of 6D blocking: a vertical walk of 4 texels touches
+    // 1 line instead of 4.
+    Texture t(0, 0, 64, 64);
+    std::set<uint64_t> lines;
+    for (uint32_t y = 0; y < 4; ++y)
+        lines.insert(t.texelAddress(0, 0, y) / lineBytes);
+    EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(Texture, WrapRepeat)
+{
+    Texture t(0, 0, 16, 16, WrapMode::Repeat);
+    EXPECT_EQ(t.wrapCoord(0, 16), 0);
+    EXPECT_EQ(t.wrapCoord(16, 16), 0);
+    EXPECT_EQ(t.wrapCoord(17, 16), 1);
+    EXPECT_EQ(t.wrapCoord(-1, 16), 15);
+    EXPECT_EQ(t.wrapCoord(-16, 16), 0);
+    EXPECT_EQ(t.wrapCoord(-17, 16), 15);
+}
+
+TEST(Texture, WrapClamp)
+{
+    Texture t(0, 0, 16, 16, WrapMode::Clamp);
+    EXPECT_EQ(t.wrapCoord(-5, 16), 0);
+    EXPECT_EQ(t.wrapCoord(0, 16), 0);
+    EXPECT_EQ(t.wrapCoord(15, 16), 15);
+    EXPECT_EQ(t.wrapCoord(16, 16), 15);
+    EXPECT_EQ(t.wrapCoord(100, 16), 15);
+}
+
+TEST(Texture, NonSquare)
+{
+    Texture wide(0, 0, 256, 4);
+    EXPECT_EQ(wide.numLevels(), 9u);
+    EXPECT_EQ(wide.level(3).width, 32u);
+    EXPECT_EQ(wide.level(3).height, 1u);
+    // 1-high rows still occupy full block rows.
+    EXPECT_EQ(wide.level(3).blockRows, 1u);
+    EXPECT_EQ(wide.level(3).blocksPerRow, 8u);
+}
+
+TEST(Texture, BaseAddressOffsetsAll)
+{
+    Texture a(0, 0, 16, 16);
+    Texture b(1, 4096, 16, 16);
+    EXPECT_EQ(b.texelAddress(0, 5, 9),
+              a.texelAddress(0, 5, 9) + 4096);
+}
+
+TEST(IsPow2, Basics)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(1023));
+}
+
+
+TEST(TextureLinear, RowMajorAddresses)
+{
+    Texture t(0, 0, 64, 64, WrapMode::Repeat, TexLayout::Linear);
+    EXPECT_EQ(t.layout(), TexLayout::Linear);
+    // Consecutive x: consecutive addresses.
+    EXPECT_EQ(t.texelAddress(0, 1, 0), t.texelAddress(0, 0, 0) + 4);
+    // Next row: one padded row (64 texels * 4B) apart.
+    EXPECT_EQ(t.texelAddress(0, 0, 1),
+              t.texelAddress(0, 0, 0) + 256);
+}
+
+TEST(TextureLinear, VerticalWalkTouchesOneLinePerRow)
+{
+    // The motivation for blocking: a 4-texel vertical walk costs 4
+    // lines linearly but 1 line blocked.
+    Texture lin(0, 0, 64, 64, WrapMode::Repeat, TexLayout::Linear);
+    Texture blk(1, 65536, 64, 64);
+    std::set<uint64_t> lin_lines, blk_lines;
+    for (uint32_t y = 0; y < 4; ++y) {
+        lin_lines.insert(lin.texelAddress(0, 0, y) / lineBytes);
+        blk_lines.insert(blk.texelAddress(0, 0, y) / lineBytes);
+    }
+    EXPECT_EQ(lin_lines.size(), 4u);
+    EXPECT_EQ(blk_lines.size(), 1u);
+}
+
+TEST(TextureLinear, AddressesBijectiveAndInBounds)
+{
+    Texture t(0, 512, 16, 8, WrapMode::Repeat, TexLayout::Linear);
+    std::set<uint64_t> seen;
+    for (uint32_t l = 0; l < t.numLevels(); ++l) {
+        for (uint32_t y = 0; y < t.level(l).height; ++y) {
+            for (uint32_t x = 0; x < t.level(l).width; ++x) {
+                uint64_t a = t.texelAddress(l, x, y);
+                EXPECT_GE(a, t.baseAddr());
+                EXPECT_LT(a, t.baseAddr() + t.byteSize());
+                EXPECT_TRUE(seen.insert(a).second);
+            }
+        }
+    }
+}
+
+TEST(TextureLinear, NarrowRowsPadToFullLines)
+{
+    // A 4-texel-wide linear level still occupies a full 64B line
+    // per row.
+    Texture t(0, 0, 4, 4, WrapMode::Repeat, TexLayout::Linear);
+    EXPECT_EQ(t.level(0).byteSize(), uint64_t(4 * lineBytes));
+    // Blocked: the whole 4x4 level is one line.
+    Texture b(1, 1024, 4, 4);
+    EXPECT_EQ(b.level(0).byteSize(), uint64_t(lineBytes));
+}
+
+TEST(TextureManagerLayout, CloneWithLayoutPreservesSizes)
+{
+    TextureManager mgr;
+    mgr.create(16, 16);
+    mgr.create(64, 32);
+    TextureManager lin = mgr.clone(TexLayout::Linear);
+    ASSERT_EQ(lin.count(), 2u);
+    for (uint32_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(lin.get(i).width(), mgr.get(i).width());
+        EXPECT_EQ(lin.get(i).height(), mgr.get(i).height());
+        EXPECT_EQ(lin.get(i).layout(), TexLayout::Linear);
+    }
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,171 @@
+/** @file Unit tests for triangle trace serialization. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "scene/benchmarks.hh"
+#include "scene/builder.hh"
+#include "scene/stats.hh"
+#include "trace/trace.hh"
+
+namespace texdist
+{
+namespace
+{
+
+Scene
+sampleScene()
+{
+    SceneBuilder b("sample", 128, 96, 31);
+    auto pool = b.makeTexturePool(3, 16, 64);
+    b.addBackgroundLayer(pool, 48, 48, 0.8);
+    b.addCluster(60, 50, 15, 40, 20.0, pool[1], 1.2);
+    return b.take();
+}
+
+void
+expectScenesEqual(const Scene &a, const Scene &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.screenWidth, b.screenWidth);
+    EXPECT_EQ(a.screenHeight, b.screenHeight);
+    ASSERT_EQ(a.textures.count(), b.textures.count());
+    for (uint32_t i = 0; i < a.textures.count(); ++i) {
+        EXPECT_EQ(a.textures.get(i).width(), b.textures.get(i).width());
+        EXPECT_EQ(a.textures.get(i).height(),
+                  b.textures.get(i).height());
+        EXPECT_EQ(a.textures.get(i).baseAddr(),
+                  b.textures.get(i).baseAddr());
+        EXPECT_EQ(a.textures.get(i).wrapMode(),
+                  b.textures.get(i).wrapMode());
+    }
+    ASSERT_EQ(a.triangles.size(), b.triangles.size());
+    for (size_t i = 0; i < a.triangles.size(); ++i)
+        EXPECT_EQ(a.triangles[i], b.triangles[i]) << "triangle " << i;
+}
+
+TEST(Trace, RoundTripIdentity)
+{
+    Scene scene = sampleScene();
+    std::stringstream buf;
+    writeTrace(scene, buf);
+    Scene loaded = readTrace(buf);
+    expectScenesEqual(scene, loaded);
+}
+
+TEST(Trace, RoundTripPreservesMeasurements)
+{
+    // Replay must be bit-identical for the cache studies: all
+    // measured statistics agree.
+    Scene scene = sampleScene();
+    std::stringstream buf;
+    writeTrace(scene, buf);
+    Scene loaded = readTrace(buf);
+    SceneStats sa = measureScene(scene);
+    SceneStats sb = measureScene(loaded);
+    EXPECT_EQ(sa.pixelsRendered, sb.pixelsRendered);
+    EXPECT_EQ(sa.uniqueTexels, sb.uniqueTexels);
+    EXPECT_EQ(sa.uniqueLines, sb.uniqueLines);
+}
+
+TEST(Trace, FileRoundTrip)
+{
+    Scene scene = sampleScene();
+    std::string path = ::testing::TempDir() + "/texdist_trace.bin";
+    writeTraceFile(scene, path);
+    Scene loaded = readTraceFile(path);
+    expectScenesEqual(scene, loaded);
+}
+
+TEST(Trace, EmptySceneRoundTrip)
+{
+    SceneBuilder b("empty", 32, 32, 1);
+    Scene scene = b.take();
+    std::stringstream buf;
+    writeTrace(scene, buf);
+    Scene loaded = readTrace(buf);
+    expectScenesEqual(scene, loaded);
+}
+
+TEST(Trace, WrapModeRoundTrip)
+{
+    SceneBuilder b("wrap", 32, 32, 1);
+    b.makeTexture(16, 16, WrapMode::Repeat);
+    b.makeTexture(16, 16, WrapMode::Clamp);
+    Scene scene = b.take();
+    std::stringstream buf;
+    writeTrace(scene, buf);
+    Scene loaded = readTrace(buf);
+    EXPECT_EQ(loaded.textures.get(0).wrapMode(), WrapMode::Repeat);
+    EXPECT_EQ(loaded.textures.get(1).wrapMode(), WrapMode::Clamp);
+}
+
+TEST(Trace, LayoutRoundTrip)
+{
+    SceneBuilder b("layout", 32, 32, 1);
+    b.makeTexture(16, 16); // blocked default
+    Scene scene = b.take();
+    // Re-create the texture set with the linear layout.
+    Scene linear;
+    linear.name = scene.name;
+    linear.screenWidth = scene.screenWidth;
+    linear.screenHeight = scene.screenHeight;
+    linear.textures = scene.textures.clone(TexLayout::Linear);
+
+    std::stringstream buf;
+    writeTrace(linear, buf);
+    Scene loaded = readTrace(buf);
+    EXPECT_EQ(loaded.textures.get(0).layout(), TexLayout::Linear);
+    // Addresses must match the linear original exactly.
+    EXPECT_EQ(loaded.textures.get(0).texelAddress(0, 3, 2),
+              linear.textures.get(0).texelAddress(0, 3, 2));
+}
+
+TEST(TraceDeath, BadMagicFatal)
+{
+    std::stringstream buf;
+    buf << "this is not a trace at all, not even close";
+    EXPECT_EXIT((void)readTrace(buf), ::testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TraceDeath, TruncatedFatal)
+{
+    Scene scene = sampleScene();
+    std::stringstream buf;
+    writeTrace(scene, buf);
+    std::string data = buf.str();
+    std::stringstream cut(data.substr(0, data.size() / 2));
+    EXPECT_EXIT((void)readTrace(cut), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(TraceDeath, MissingFileFatal)
+{
+    EXPECT_EXIT((void)readTraceFile("/nonexistent/path/t.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Trace, TextDumpMentionsContent)
+{
+    Scene scene = sampleScene();
+    std::ostringstream os;
+    writeTraceText(scene, os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("sample"), std::string::npos);
+    EXPECT_NE(out.find("tri tex="), std::string::npos);
+    EXPECT_NE(out.find("128x96"), std::string::npos);
+}
+
+TEST(Trace, BenchmarkSceneRoundTrip)
+{
+    Scene scene = makeBenchmark("blowout775", 0.1);
+    std::stringstream buf;
+    writeTrace(scene, buf);
+    Scene loaded = readTrace(buf);
+    expectScenesEqual(scene, loaded);
+}
+
+} // namespace
+} // namespace texdist

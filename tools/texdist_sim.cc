@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The simulator driver: one binary that runs any machine
+ * configuration on any workload (named benchmark or triangle trace)
+ * and reports the frame results plus optional per-component
+ * statistics — the texdist equivalent of invoking gem5 with a
+ * config.
+ *
+ * Examples:
+ *   texdist_sim --scene=quake --procs=64 --dist=block --param=16
+ *   texdist_sim --trace=frame.trace --procs=16 --dist=sli --param=4 \
+ *               --bus=2 --stats-file=stats.txt
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "core/experiments.hh"
+#include "core/options.hh"
+#include "scene/benchmarks.hh"
+#include "scene/stats.hh"
+#include "trace/trace.hh"
+
+using namespace texdist;
+
+int
+main(int argc, char **argv)
+{
+    SimOptions opts = SimOptions::parse(argc, argv);
+    if (opts.help) {
+        std::cout << SimOptions::usage();
+        return 0;
+    }
+    if (opts.listBenchmarks) {
+        for (const std::string &name : benchmarkNames())
+            std::cout << name << "\n";
+        return 0;
+    }
+
+    Scene scene = opts.tracePath.empty()
+                      ? makeBenchmark(opts.scene, opts.scale)
+                      : readTraceFile(opts.tracePath);
+
+    std::cout << "workload: " << scene.name << " ("
+              << scene.screenWidth << "x" << scene.screenHeight
+              << ", " << scene.triangles.size() << " triangles, "
+              << scene.textures.count() << " textures)\n";
+    std::cout << "machine:  " << opts.machine.describe() << "\n\n";
+
+    FrameLab lab(scene);
+    Tick baseline = 0;
+    if (opts.machine.numProcs > 1)
+        baseline = lab.baseline(opts.machine);
+
+    ParallelMachine machine(scene, opts.machine);
+    FrameResult result = machine.run();
+
+    result.print(std::cout);
+    if (baseline) {
+        std::cout << "speedup:           "
+                  << double(baseline) / double(result.frameTime)
+                  << " (T1 = " << baseline << ")\n";
+    }
+
+    if (!opts.statsFile.empty()) {
+        std::ofstream os(opts.statsFile);
+        if (!os)
+            texdist_fatal("cannot open stats file: ",
+                          opts.statsFile);
+        os << "# texdist_sim statistics\n";
+        os << "# workload " << scene.name << "\n";
+        os << "# machine " << opts.machine.describe() << "\n";
+        machine.dumpStats(os);
+        std::cout << "stats written to " << opts.statsFile << "\n";
+    }
+    return 0;
+}

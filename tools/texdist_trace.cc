@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Trace utility: generate, inspect and dump triangle traces — the
+ * workflow glue between the scene generators and trace-driven
+ * simulation.
+ *
+ *   texdist_trace gen <scene> <scale> <out.trace>   capture a frame
+ *   texdist_trace info <trace>                      summary + stats
+ *   texdist_trace text <trace>                      full text dump
+ *   texdist_trace render <trace> <out.ppm>          render the frame
+ */
+
+#include <iostream>
+#include <string>
+
+#include "scene/benchmarks.hh"
+#include "scene/render.hh"
+#include "scene/stats.hh"
+#include "sim/logging.hh"
+#include "trace/trace.hh"
+
+using namespace texdist;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  texdist_trace gen <scene> <scale> <out.trace>\n"
+           "  texdist_trace info <trace>\n"
+           "  texdist_trace text <trace>\n"
+           "  texdist_trace render <trace> <out.ppm>\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string cmd = argv[1];
+
+    if (cmd == "gen") {
+        if (argc != 5)
+            return usage();
+        double scale = std::atof(argv[3]);
+        if (scale <= 0.0 || scale > 4.0)
+            texdist_fatal("scale out of range: ", argv[3]);
+        Scene scene = makeBenchmark(argv[2], scale);
+        writeTraceFile(scene, argv[4]);
+        std::cout << "captured " << scene.name << " ("
+                  << scene.triangles.size() << " triangles, "
+                  << scene.textures.count() << " textures) to "
+                  << argv[4] << "\n";
+        return 0;
+    }
+
+    if (cmd == "info") {
+        Scene scene = readTraceFile(argv[2]);
+        std::cout << "trace:    " << argv[2] << "\n"
+                  << "frame:    " << scene.name << " "
+                  << scene.screenWidth << "x" << scene.screenHeight
+                  << "\n"
+                  << "triangles " << scene.triangles.size() << "\n"
+                  << "textures  " << scene.textures.count() << " ("
+                  << scene.textures.totalBytes() / 1024 << " KB)\n\n";
+        SceneStats stats = measureScene(scene);
+        printSceneStatsHeader(std::cout);
+        printSceneStatsRow(std::cout, stats);
+        return 0;
+    }
+
+    if (cmd == "text") {
+        Scene scene = readTraceFile(argv[2]);
+        writeTraceText(scene, std::cout);
+        return 0;
+    }
+
+    if (cmd == "render") {
+        if (argc != 4)
+            return usage();
+        Scene scene = readTraceFile(argv[2]);
+        renderSceneToPpm(scene, argv[3]);
+        std::cout << "rendered " << scene.name << " to " << argv[3]
+                  << "\n";
+        return 0;
+    }
+
+    return usage();
+}
