@@ -12,9 +12,26 @@
 
 #include "cache/cache.hh"
 #include "core/distribution.hh"
+#include "fault/fault.hh"
 
 namespace texdist
 {
+
+/** What the watchdog does when the machine stops making progress. */
+enum class WatchdogPolicy
+{
+    /** Abandon the frame with a structured diagnostic dump. */
+    FailFrame,
+
+    /**
+     * Declare the culprit node dead and redistribute its work so
+     * the frame completes degraded; falls back to FailFrame when no
+     * culprit can be identified or no node would survive.
+     */
+    Degrade,
+};
+
+const char *to_string(WatchdogPolicy policy);
 
 /** Full description of one machine configuration. */
 struct MachineConfig
@@ -101,6 +118,20 @@ struct MachineConfig
 
     /** Transform + lighting cycles per triangle per geometry engine. */
     uint32_t geometryCyclesPerTriangle = 100;
+
+    /** Faults to inject during the frame (default: none). */
+    FaultPlan faults;
+
+    /**
+     * Progress-check interval of the livelock/deadlock watchdog in
+     * ticks; 0 disables it. When enabled, a frame that makes no
+     * progress for a full interval while work remains is failed (or
+     * degraded, per watchdogPolicy) instead of hanging.
+     */
+    Tick watchdogTicks = 0;
+
+    /** Response to a detected stall. */
+    WatchdogPolicy watchdogPolicy = WatchdogPolicy::FailFrame;
 
     /** One-line description for reports. */
     std::string describe() const;

@@ -66,8 +66,12 @@ FrameLab::baseline(const MachineConfig &config)
         std::max(scene.screenWidth, scene.screenHeight);
     base.interleave = InterleaveOrder::Raster;
     // Speedups are measured against a single-processor machine with
-    // an ideal buffer (buffer size cannot starve a lone node anyway).
+    // an ideal buffer (buffer size cannot starve a lone node anyway)
+    // and no injected faults: T(1) is the fault-free ideal the
+    // degraded machine is compared against.
     base.triangleBufferSize = 10000;
+    base.faults = FaultPlan{};
+    base.watchdogTicks = 0;
 
     std::string key = base.describe();
     auto it = baselines.find(key);

@@ -21,7 +21,11 @@ GeometryFeeder::GeometryFeeder(
     if (geomProcs > 0)
         geomEngineFree.assign(geomProcs, 0);
     buckets.resize(dist.numProcs());
+    alive.assign(dist.numProcs(), true);
     _stats.addStat("dispatched", "triangles dispatched", _dispatched);
+    _stats.addStat("rerouted_frags",
+                   "fragments rerouted off dead nodes",
+                   _fragmentsRerouted);
     _stats.addStat("degenerate", "zero-area triangles skipped",
                    _degenerate);
     _stats.addStat("culled", "off-screen triangles skipped", _culled);
@@ -53,6 +57,40 @@ GeometryFeeder::notifySpaceFreed()
     }
 }
 
+void
+GeometryFeeder::markDead(uint32_t dead)
+{
+    if (dead >= alive.size())
+        texdist_panic("markDead: node ", dead, " out of range");
+    alive[dead] = false;
+}
+
+void
+GeometryFeeder::cancelPending()
+{
+    if (dispatchEvent.scheduled())
+        eventq().deschedule(&dispatchEvent);
+    waiting = false;
+}
+
+uint32_t
+GeometryFeeder::replacementFor(uint32_t dead)
+{
+    // Deterministic round-robin over the survivors, so repeated runs
+    // of the same plan redistribute identically and no single
+    // survivor absorbs the whole dead region.
+    size_t n = alive.size();
+    for (size_t step = 1; step <= n; ++step) {
+        uint32_t cand = uint32_t((rerouteCursor + step) % n);
+        if (alive[cand]) {
+            rerouteCursor = cand;
+            return cand;
+        }
+    }
+    texdist_panic("no surviving node to reroute to (dead node ",
+                  dead, ")");
+}
+
 bool
 GeometryFeeder::tryDispatchOne()
 {
@@ -76,11 +114,21 @@ GeometryFeeder::tryDispatchOne()
         return true;
     }
 
-    // Strict ordering: the triangle goes to all its targets or to
-    // none; a single full FIFO stalls the whole geometry stream.
-    for (uint32_t t : targets) {
-        if (!nodes[t]->fifoHasSpace())
+    // Map each target to its destination: itself while alive, a
+    // surviving node (round-robin) once dead — graceful degradation
+    // keeps the frame complete at the price of locality.
+    dests.resize(targets.size());
+    for (size_t i = 0; i < targets.size(); ++i)
+        dests[i] = alive[targets[i]] ? targets[i]
+                                     : replacementFor(targets[i]);
+
+    // Strict ordering: the triangle goes to all its destinations or
+    // to none; a single full FIFO stalls the whole geometry stream.
+    for (uint32_t d : dests) {
+        if (!nodes[d]->fifoHasSpace()) {
+            _blockedOn = int32_t(d);
             return false;
+        }
     }
 
     // Rasterize once and bucket the fragments by owning processor —
@@ -96,15 +144,40 @@ GeometryFeeder::tryDispatchOne()
             frag.lod});
     });
 
-    for (uint32_t t : targets) {
-        fifoOccupancy.add(double(nodes[t]->fifoOccupancy()));
-        TriangleWork work;
-        work.tex = tri.tex;
-        work.frags = std::move(buckets[t]);
-        buckets[t].clear();
-        nodes[t]->enqueue(std::move(work));
+    // When several targets map to one destination (a dead node and
+    // its live replacement), fold the later buckets into the first
+    // so the node receives the triangle — and pays its setup — once.
+    for (size_t i = 0; i < targets.size(); ++i) {
+        uint32_t t = targets[i];
+        if (dests[i] != t)
+            _fragmentsRerouted += buckets[t].size();
+        for (size_t j = 0; j < i; ++j) {
+            if (dests[j] == dests[i]) {
+                auto &dst = buckets[targets[j]];
+                dst.insert(dst.end(), buckets[t].begin(),
+                           buckets[t].end());
+                buckets[t].clear();
+                break;
+            }
+        }
     }
 
+    for (size_t i = 0; i < targets.size(); ++i) {
+        uint32_t d = dests[i];
+        bool folded = false;
+        for (size_t j = 0; j < i; ++j)
+            folded = folded || dests[j] == d;
+        if (folded)
+            continue; // merged into the earlier bucket above
+        fifoOccupancy.add(double(nodes[d]->fifoOccupancy()));
+        TriangleWork work;
+        work.tex = tri.tex;
+        work.frags = std::move(buckets[targets[i]]);
+        buckets[targets[i]].clear();
+        nodes[d]->enqueue(std::move(work));
+    }
+
+    eventq().noteProgress();
     ++_dispatched;
     ++nextTriangle;
     return true;

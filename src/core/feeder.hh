@@ -59,6 +59,27 @@ class GeometryFeeder : public SimObject
     /** Tick at which the last triangle was dispatched. */
     Tick finishTime() const { return _finishTime; }
 
+    /**
+     * Node @p dead no longer accepts work: fragments its regions own
+     * are rerouted round-robin to surviving nodes from now on (the
+     * graceful-degradation path — the survivors pay the setup and
+     * cache-locality penalty for the foreign regions).
+     */
+    void markDead(uint32_t dead);
+
+    /** Fragments rerouted away from dead nodes so far. */
+    uint64_t fragmentsRerouted() const { return _fragmentsRerouted; }
+
+    /**
+     * The node whose refusing FIFO blocked the last failed dispatch;
+     * -1 when the feeder is not blocked. This is the watchdog's
+     * culprit when the machine degrades around a wedged node.
+     */
+    int32_t blockedOn() const { return waiting ? _blockedOn : -1; }
+
+    /** Deschedule any pending dispatch (frame abandonment). */
+    void cancelPending();
+
   private:
     class DispatchEvent : public Event
     {
@@ -103,9 +124,16 @@ class GeometryFeeder : public SimObject
     Tick nextArrival = 0;       ///< arrival of triangle nextTriangle
     bool arrivalValid = false;
 
+    /** The surviving node that replaces @p dead for one triangle. */
+    uint32_t replacementFor(uint32_t dead);
+
     size_t nextTriangle = 0;
     OverlapScratch scratch;
     std::vector<uint32_t> targets;
+    std::vector<uint32_t> dests;
+    std::vector<bool> alive;
+    size_t rerouteCursor = 0;
+    int32_t _blockedOn = -1;
     std::vector<std::vector<NodeFragment>> buckets;
     DispatchEvent dispatchEvent;
     bool waiting = false;
@@ -118,6 +146,7 @@ class GeometryFeeder : public SimObject
     uint64_t _degenerate = 0;
     uint64_t _culled = 0;
     uint64_t _blockedCycles = 0;
+    uint64_t _fragmentsRerouted = 0;
     Tick _finishTime = 0;
 };
 

@@ -18,6 +18,7 @@
 #include "core/feeder.hh"
 #include "core/node.hh"
 #include "scene/scene.hh"
+#include "sim/watchdog.hh"
 
 namespace texdist
 {
@@ -71,6 +72,31 @@ struct FrameResult
     /** Mean bus utilization across nodes (0 without a bus). */
     double meanBusUtilization = 0.0;
 
+    /**
+     * The frame completed but at least one node was declared dead
+     * and its work redistributed to the survivors.
+     */
+    bool degraded = false;
+
+    /**
+     * The watchdog abandoned the frame: no progress while work
+     * remained and degradation was impossible or disabled. The
+     * measurements above cover only the work done before the stall.
+     */
+    bool failed = false;
+
+    /** Why the frame failed (empty when it didn't). */
+    std::string failureReason;
+
+    /**
+     * Structured per-node state dump captured at the moment of
+     * failure or first watchdog detection (empty otherwise).
+     */
+    std::string diagnostic;
+
+    /** Fault-injection and recovery counters for the frame. */
+    FaultStats faultStats;
+
     /** Human-readable dump. */
     void print(std::ostream &os) const;
 };
@@ -107,13 +133,49 @@ class ParallelMachine
     /** Dump every component's statistics (gem5-style lines). */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Declare a node dead and redistribute its queued work to the
+     * survivors (public so tests can exercise degradation directly;
+     * normally driven by the fault plan or the watchdog).
+     */
+    void killNode(uint32_t victim, const char *why);
+
   private:
+    /** Schedule the configured fault plan onto the event queue. */
+    void armFaults();
+
+    /** True while triangles remain undispatched or queued. */
+    bool workRemains() const;
+
+    /**
+     * Watchdog callback: no progress over a full interval. Returns
+     * true to keep monitoring (healthy or recovered by
+     * degradation), false when the frame was abandoned.
+     */
+    bool onStall(Tick now);
+
+    /** Abandon the frame: record the reason, cancel all events. */
+    void failFrame(const std::string &reason);
+
+    /** Per-node state dump for watchdog diagnostics. */
+    std::string dumpMachineState() const;
+
+    uint32_t aliveNodes() const;
+
     const Scene &scene;
     MachineConfig cfg;
     EventQueue eq;
     std::unique_ptr<Distribution> dist;
     std::vector<std::unique_ptr<TextureNode>> nodes;
     std::unique_ptr<GeometryFeeder> feeder_;
+    std::unique_ptr<Watchdog> watchdog_;
+    std::vector<std::unique_ptr<LambdaEvent>> faultEvents;
+    FaultStats faultStats;
+    size_t redistributeCursor = 0;
+    bool _degraded = false;
+    bool _failed = false;
+    std::string _failureReason;
+    std::string _diagnostic;
     bool ran = false;
 };
 

@@ -51,6 +51,8 @@ TextureNode::TextureNode(uint32_t id, const MachineConfig &config,
 void
 TextureNode::enqueue(TriangleWork &&work)
 {
+    if (_dead)
+        texdist_panic(name(), ": enqueue to a dead node");
     fifo.push(std::move(work));
     if (!workEvent.scheduled()) {
         // The node was idle: it can start this triangle as soon as
@@ -59,15 +61,67 @@ TextureNode::enqueue(TriangleWork &&work)
     }
 }
 
+void
+TextureNode::forceEnqueue(TriangleWork &&work)
+{
+    if (_dead)
+        texdist_panic(name(), ": forceEnqueue to a dead node");
+    fifo.forcePush(std::move(work));
+    if (!workEvent.scheduled())
+        eventq().schedule(&workEvent, std::max(curTick(), cpuTime));
+}
+
+void
+TextureNode::setSlowdown(uint32_t factor)
+{
+    if (factor == 0)
+        texdist_fatal(name(), ": slowdown factor must be positive");
+    _slowdown = factor;
+}
+
+std::vector<TriangleWork>
+TextureNode::kill()
+{
+    if (_dead)
+        texdist_panic(name(), ": killed twice");
+    _dead = true;
+    cancelPending();
+    std::vector<TriangleWork> pending;
+    pending.reserve(fifo.size());
+    while (!fifo.empty())
+        pending.push_back(fifo.pop());
+    return pending;
+}
+
+void
+TextureNode::cancelPending()
+{
+    if (workEvent.scheduled())
+        eventq().deschedule(&workEvent);
+}
+
+void
+TextureNode::stallBus(Tick from, Tick until)
+{
+    if (!bus_) {
+        warn(name(), ": bus-stall fault ignored (infinite bus)");
+        return;
+    }
+    bus_->stall(from, until);
+}
+
 Tick
 TextureNode::scanFragments(const TriangleWork &work, Tick start)
 {
     Tick cpu = start;
+    // A slowed node (slow-node fault) takes `_slowdown` cycles per
+    // fragment instead of one, as if its clock were divided.
+    const Tick cycles_per_frag = _slowdown;
 
     if (cfg.cacheKind == CacheKind::Perfect) {
         // Perfect cache, no memory traffic: the scan proceeds at one
         // pixel per cycle with nothing to wait for.
-        cpu += work.frags.size();
+        cpu += work.frags.size() * cycles_per_frag;
         lastRetire = std::max(lastRetire, cpu);
         return cpu;
     }
@@ -96,7 +150,7 @@ TextureNode::scanFragments(const TriangleWork &work, Tick start)
         retireRing[ringHead] = retire;
         ringHead = (ringHead + 1) % depth;
         lastRetire = std::max(lastRetire, retire);
-        cpu = issue + 1;
+        cpu = issue + cycles_per_frag;
     }
     return cpu;
 }
@@ -115,8 +169,10 @@ TextureNode::processNext()
     _pixelsDrawn += work.frags.size();
     trianglePixels.add(double(work.frags.size()));
 
+    eventq().noteProgress();
+
     Tick scan_end = scanFragments(work, start);
-    Tick setup_end = start + cfg.setupCyclesPerTriangle;
+    Tick setup_end = start + Tick(cfg.setupCyclesPerTriangle) * _slowdown;
     if (scan_end < setup_end) {
         // Fewer pixels than the setup engine needs cycles: the
         // triangle is setup-bound (the paper's small-tile penalty).

@@ -22,6 +22,7 @@
 #ifndef TEXDIST_CORE_NODE_HH
 #define TEXDIST_CORE_NODE_HH
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -66,8 +67,16 @@ class TextureNode : public SimObject
 
     uint32_t id() const { return nodeId; }
 
-    /** Free entries in the triangle FIFO. */
-    bool fifoHasSpace() const { return !fifo.full(); }
+    /**
+     * Free entries in the triangle FIFO. A frozen or dead node
+     * accepts nothing, which is how a fault back-pressures the
+     * in-order feeder.
+     */
+    bool
+    fifoHasSpace() const
+    {
+        return !_frozen && !_dead && !fifo.full();
+    }
 
     /** Current triangle FIFO occupancy. */
     size_t fifoOccupancy() const { return fifo.size(); }
@@ -78,8 +87,58 @@ class TextureNode : public SimObject
      */
     void enqueue(TriangleWork &&work);
 
+    /**
+     * Push one triangle's work ignoring FIFO capacity — graceful
+     * degradation migrating a dead node's queue onto a survivor.
+     */
+    void forceEnqueue(TriangleWork &&work);
+
     /** Tick at which this node has fully finished (idle + retired). */
     Tick finishTime() const;
+
+    /**
+     * Tick until which the node is burning already-committed cycles.
+     * While this is ahead of the current tick the node is healthy
+     * even if no event has fired for a while (one large triangle is
+     * simulated atomically), so the watchdog must not declare it
+     * stalled.
+     */
+    Tick busyUntil() const { return std::max(cpuTime, lastRetire); }
+
+    // --- fault hooks ---------------------------------------------------
+
+    /**
+     * Run the scan and setup engines @p factor times slower
+     * (1 restores full speed) — the slow-node fault.
+     */
+    void setSlowdown(uint32_t factor);
+
+    uint32_t slowdown() const { return _slowdown; }
+
+    /** Stop/resume accepting triangles — the fifo-freeze fault. */
+    void freezeFifo() { _frozen = true; }
+    void unfreezeFifo() { _frozen = false; }
+    bool frozen() const { return _frozen; }
+
+    /**
+     * Declare the node dead: it stops processing and returns its
+     * queued (not yet started) work for redistribution. The triangle
+     * already in flight completes — its cycles and pixels were
+     * committed when it started. Idempotent-hostile: callers check
+     * isDead() first.
+     */
+    std::vector<TriangleWork> kill();
+
+    bool isDead() const { return _dead; }
+
+    /** Deschedule any pending work event (frame abandonment). */
+    void cancelPending();
+
+    /**
+     * Inject a bus blackout over [from, until); no-op (with a
+     * warning) when the configuration has an infinite bus.
+     */
+    void stallBus(Tick from, Tick until);
 
     // --- results -------------------------------------------------------
 
@@ -148,6 +207,10 @@ class TextureNode : public SimObject
     std::vector<Tick> retireRing;
     size_t ringHead = 0;
     Tick lastRetire = 0;
+
+    uint32_t _slowdown = 1;
+    bool _frozen = false;
+    bool _dead = false;
 
     Histogram trianglePixels{4.0, 64};
     uint64_t _pixelsDrawn = 0;

@@ -1,6 +1,9 @@
 #include "core/options.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -22,25 +25,51 @@ match(const std::string &arg, const char *key, std::string &value)
     return true;
 }
 
+/**
+ * Strict decimal u64. strtoul alone silently accepts "-1" (wrapping
+ * to a huge value), leading whitespace, and out-of-range input; a
+ * simulator run with a wrapped parameter measures the wrong machine,
+ * so all of those are fatal here.
+ */
+uint64_t
+parseU64(const std::string &value, const char *key)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        texdist_fatal("--", key,
+                      " expects a non-negative integer, got '",
+                      value, "'");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno == ERANGE)
+        texdist_fatal("--", key, " out of range: '", value, "'");
+    return uint64_t(v);
+}
+
 uint32_t
 parseU32(const std::string &value, const char *key)
 {
-    char *end = nullptr;
-    unsigned long v = std::strtoul(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0')
-        texdist_fatal("--", key, " expects an integer, got '", value,
-                      "'");
+    uint64_t v = parseU64(value, key);
+    if (v > std::numeric_limits<uint32_t>::max())
+        texdist_fatal("--", key, " out of range: '", value, "'");
     return uint32_t(v);
 }
 
 double
 parseF64(const std::string &value, const char *key)
 {
+    if (value.empty())
+        texdist_fatal("--", key, " expects a number, got ''");
+    errno = 0;
     char *end = nullptr;
     double v = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0')
         texdist_fatal("--", key, " expects a number, got '", value,
                       "'");
+    if (errno == ERANGE || !std::isfinite(v))
+        texdist_fatal("--", key, " must be finite and in range, "
+                      "got '", value, "'");
     return v;
 }
 
@@ -82,6 +111,27 @@ SimOptions::usage()
         "  --geom-cycles=<n>     cycles/triangle per engine "
         "(default 100)\n"
         "\n"
+        "robustness (see docs/ROBUSTNESS.md):\n"
+        "  --fault=<spec>        inject a fault; repeatable, or\n"
+        "                        ';'-separated. spec is\n"
+        "                        kind[:victim][,at=<tick>]"
+        "[,for=<ticks>][,x=<n>]\n"
+        "                        kinds: slow-node, bus-stall,\n"
+        "                        fifo-freeze, kill-node; victim is a\n"
+        "                        node index or 'rand'\n"
+        "                        e.g. --fault=slow-node:3,at=10000,"
+        "x=8\n"
+        "  --fault-seed=<n>      seed resolving 'rand' victims "
+        "(default 0)\n"
+        "  --watchdog-ticks=<n>  no-progress detection interval, "
+        "0 = off\n"
+        "  --watchdog=fail|degrade\n"
+        "                        stall response: fail the frame with "
+        "a\n"
+        "                        diagnostic, or kill the culprit "
+        "node\n"
+        "                        and redistribute (default fail)\n"
+        "\n"
         "output:\n"
         "  --stats-file=<path>   write per-component statistics\n"
         "  --help                this text\n";
@@ -110,6 +160,9 @@ SimOptions::parse(int argc, char **argv)
             opts.machine.numProcs = parseU32(v, "procs");
             if (opts.machine.numProcs == 0)
                 texdist_fatal("--procs must be positive");
+            if (opts.machine.numProcs > 4096)
+                texdist_fatal("--procs too large (max 4096), got ",
+                              opts.machine.numProcs);
         } else if (match(arg, "dist", v)) {
             if (v == "block")
                 opts.machine.dist = DistKind::Block;
@@ -122,6 +175,8 @@ SimOptions::parse(int argc, char **argv)
                               "contiguous, got '", v, "'");
         } else if (match(arg, "param", v)) {
             opts.machine.tileParam = parseU32(v, "param");
+            if (opts.machine.tileParam == 0)
+                texdist_fatal("--param must be positive");
         } else if (match(arg, "interleave", v)) {
             if (v == "raster")
                 opts.machine.interleave = InterleaveOrder::Raster;
@@ -144,6 +199,9 @@ SimOptions::parse(int argc, char **argv)
                 opts.machine.l2Geom.sizeBytes = kb * 1024;
         } else if (match(arg, "bus", v)) {
             double bus = parseF64(v, "bus");
+            if (bus < 0.0)
+                texdist_fatal("--bus must be >= 0 (0 = infinite), "
+                              "got ", bus);
             opts.machine.infiniteBus = bus <= 0.0;
             if (!opts.machine.infiniteBus)
                 opts.machine.busTexelsPerCycle = bus;
@@ -169,6 +227,21 @@ SimOptions::parse(int argc, char **argv)
                 parseU32(v, "geom-cycles");
             if (opts.machine.geometryCyclesPerTriangle == 0)
                 texdist_fatal("--geom-cycles must be positive");
+        } else if (match(arg, "fault", v)) {
+            opts.machine.faults.add(v);
+        } else if (match(arg, "fault-seed", v)) {
+            opts.machine.faults.seed = parseU64(v, "fault-seed");
+        } else if (match(arg, "watchdog-ticks", v)) {
+            opts.machine.watchdogTicks = parseU64(v, "watchdog-ticks");
+        } else if (match(arg, "watchdog", v)) {
+            if (v == "fail")
+                opts.machine.watchdogPolicy =
+                    WatchdogPolicy::FailFrame;
+            else if (v == "degrade")
+                opts.machine.watchdogPolicy = WatchdogPolicy::Degrade;
+            else
+                texdist_fatal("--watchdog must be fail or degrade, "
+                              "got '", v, "'");
         } else if (match(arg, "stats-file", v)) {
             opts.statsFile = v;
         } else {

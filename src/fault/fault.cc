@@ -1,0 +1,198 @@
+#include "fault/fault.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "geom/rng.hh"
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+namespace
+{
+
+/** Strict decimal u64: digits only, no sign, no overflow. */
+uint64_t
+parseFaultU64(const std::string &value, const char *what,
+              const std::string &spec)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        texdist_fatal("fault spec '", spec, "': ", what,
+                      " expects a non-negative integer, got '", value,
+                      "'");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno == ERANGE)
+        texdist_fatal("fault spec '", spec, "': ", what,
+                      " out of range: '", value, "'");
+    return uint64_t(v);
+}
+
+FaultKind
+kindFromString(const std::string &name, const std::string &spec)
+{
+    if (name == "slow-node")
+        return FaultKind::SlowNode;
+    if (name == "bus-stall")
+        return FaultKind::BusStall;
+    if (name == "fifo-freeze")
+        return FaultKind::FifoFreeze;
+    if (name == "kill-node")
+        return FaultKind::KillNode;
+    texdist_fatal("fault spec '", spec, "': unknown fault kind '",
+                  name, "' (want slow-node, bus-stall, fifo-freeze "
+                  "or kill-node)");
+}
+
+} // namespace
+
+const char *
+to_string(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::SlowNode:
+        return "slow-node";
+      case FaultKind::BusStall:
+        return "bus-stall";
+      case FaultKind::FifoFreeze:
+        return "fifo-freeze";
+      case FaultKind::KillNode:
+        return "kill-node";
+    }
+    return "?";
+}
+
+std::string
+FaultSpec::describe() const
+{
+    std::ostringstream os;
+    os << to_string(kind) << ":";
+    if (victim == faultRandomVictim)
+        os << "rand";
+    else
+        os << victim;
+    os << ",at=" << at;
+    if (duration > 0)
+        os << ",for=" << duration;
+    if (kind == FaultKind::SlowNode)
+        os << ",x=" << factor;
+    return os.str();
+}
+
+FaultSpec
+parseFaultSpec(const std::string &spec)
+{
+    FaultSpec out;
+
+    // Split "kind[:victim]" from the ",key=value" tail.
+    size_t comma = spec.find(',');
+    std::string head = spec.substr(0, comma);
+    size_t colon = head.find(':');
+    out.kind = kindFromString(head.substr(0, colon), spec);
+    if (colon != std::string::npos) {
+        std::string victim = head.substr(colon + 1);
+        if (victim == "rand")
+            out.victim = faultRandomVictim;
+        else {
+            uint64_t v = parseFaultU64(victim, "victim", spec);
+            if (v >= faultRandomVictim)
+                texdist_fatal("fault spec '", spec,
+                              "': victim out of range: ", v);
+            out.victim = uint32_t(v);
+        }
+    }
+
+    bool saw_factor = false;
+    std::string tail =
+        comma == std::string::npos ? "" : spec.substr(comma + 1);
+    std::istringstream fields(tail);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+        size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            texdist_fatal("fault spec '", spec,
+                          "': expected key=value, got '", field, "'");
+        std::string key = field.substr(0, eq);
+        std::string value = field.substr(eq + 1);
+        if (key == "at") {
+            out.at = parseFaultU64(value, "at", spec);
+        } else if (key == "for") {
+            out.duration = parseFaultU64(value, "for", spec);
+            if (out.duration == 0)
+                texdist_fatal("fault spec '", spec,
+                              "': for= must be positive (omit it "
+                              "for a permanent fault)");
+        } else if (key == "x") {
+            uint64_t x = parseFaultU64(value, "x", spec);
+            if (x < 2 || x > 1024)
+                texdist_fatal("fault spec '", spec,
+                              "': x= must be in [2, 1024], got ", x);
+            out.factor = uint32_t(x);
+            saw_factor = true;
+        } else {
+            texdist_fatal("fault spec '", spec, "': unknown key '",
+                          key, "' (want at, for or x)");
+        }
+    }
+
+    if (saw_factor && out.kind != FaultKind::SlowNode)
+        texdist_fatal("fault spec '", spec,
+                      "': x= only applies to slow-node");
+    return out;
+}
+
+void
+FaultPlan::add(const std::string &spec)
+{
+    if (spec.empty())
+        texdist_fatal("empty fault spec");
+    std::istringstream parts(spec);
+    std::string one;
+    while (std::getline(parts, one, ';')) {
+        if (one.empty())
+            continue;
+        faults.push_back(parseFaultSpec(one));
+    }
+}
+
+std::vector<FaultSpec>
+FaultPlan::resolve(uint32_t num_procs) const
+{
+    // One RNG for the whole plan: the victim of fault i depends on
+    // the seed and on i only, never on wall-clock or address-space
+    // accidents, so identical plans replay identically.
+    Rng rng(seed ^ 0xfa017f5eedULL);
+    std::vector<FaultSpec> out;
+    out.reserve(faults.size());
+    for (const FaultSpec &spec : faults) {
+        FaultSpec r = spec;
+        if (r.victim == faultRandomVictim)
+            r.victim =
+                uint32_t(rng.uniformInt(0, int64_t(num_procs) - 1));
+        else if (r.victim >= num_procs)
+            texdist_fatal("fault '", spec.describe(), "': victim ",
+                          r.victim, " out of range for ", num_procs,
+                          " processors");
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < faults.size(); ++i) {
+        if (i)
+            os << ";";
+        os << faults[i].describe();
+    }
+    return os.str();
+}
+
+} // namespace texdist

@@ -16,10 +16,24 @@ TextureBus::TextureBus(double texels_per_cycle)
                       texels_per_cycle);
 }
 
+void
+TextureBus::stall(Tick from, Tick until)
+{
+    if (until <= from)
+        texdist_fatal("bus stall window must be non-empty: [", from,
+                      ", ", until, ")");
+    stallFrom = double(from);
+    stallUntil = double(until);
+}
+
 Tick
 TextureBus::transfer(Tick issue_tick, uint32_t texels)
 {
     double start = std::max(double(issue_tick), freeTime);
+    if (start >= stallFrom && start < stallUntil) {
+        start = stallUntil;
+        ++_stalledTransfers;
+    }
     double duration = double(texels) / texelsPerCycle;
     freeTime = start + duration;
     _busyCycles += duration;
@@ -38,9 +52,12 @@ void
 TextureBus::reset()
 {
     freeTime = 0.0;
+    stallFrom = 0.0;
+    stallUntil = 0.0;
     _busyCycles = 0.0;
     _texelsTransferred = 0;
     _transfers = 0;
+    _stalledTransfers = 0;
 }
 
 } // namespace texdist

@@ -48,6 +48,17 @@ class TextureBus
     /** Tick at which the bus becomes idle. */
     Tick freeAt() const;
 
+    /**
+     * Inject a blackout: transfers that would start inside
+     * [from, until) are pushed to @p until (a DRAM refresh storm or
+     * lost arbitration — the fault layer's bus-stall fault). Only
+     * the most recent blackout window is kept.
+     */
+    void stall(Tick from, Tick until);
+
+    /** Transfers delayed by an injected blackout. */
+    uint64_t stalledTransfers() const { return _stalledTransfers; }
+
     /** Configured bandwidth in texels per cycle. */
     double bandwidth() const { return texelsPerCycle; }
 
@@ -74,9 +85,12 @@ class TextureBus
     // Completion time of the last transfer. Kept as double so that
     // non-integer bandwidths accumulate without quantization drift.
     double freeTime = 0.0;
+    double stallFrom = 0.0;
+    double stallUntil = 0.0; ///< no blackout while == stallFrom
     double _busyCycles = 0.0;
     uint64_t _texelsTransferred = 0;
     uint64_t _transfers = 0;
+    uint64_t _stalledTransfers = 0;
 };
 
 } // namespace texdist

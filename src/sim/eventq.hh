@@ -131,6 +131,18 @@ class EventQueue
     /** Total events processed since construction. */
     uint64_t eventsProcessed() const { return numProcessed; }
 
+    /**
+     * Record one unit of forward progress (a triangle dispatched, a
+     * triangle's fragments retired). A watchdog that samples
+     * progressCount() can distinguish a livelocked simulation —
+     * events firing, or none pending, with this counter frozen —
+     * from one that is merely slow.
+     */
+    void noteProgress() { ++_progress; }
+
+    /** Progress units recorded since construction. */
+    uint64_t progressCount() const { return _progress; }
+
   private:
     struct Entry
     {
@@ -158,6 +170,7 @@ class EventQueue
     Tick _curTick = 0;
     uint64_t nextStamp = 1;
     uint64_t numProcessed = 0;
+    uint64_t _progress = 0;
     size_t numPending = 0;
 };
 

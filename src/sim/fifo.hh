@@ -53,6 +53,22 @@ class BoundedFifo
             _maxOccupancy = entries.size();
     }
 
+    /**
+     * Push ignoring the capacity limit. Used only by graceful
+     * degradation, which migrates a dead node's queued work onto the
+     * survivors: real hardware would flow-control the migration, but
+     * modelling that adds nothing to the timing (the receiving node
+     * drains the entries at its normal rate either way). Overflow
+     * still shows in maxOccupancy().
+     */
+    void
+    forcePush(const T &value)
+    {
+        entries.push_back(value);
+        if (entries.size() > _maxOccupancy)
+            _maxOccupancy = entries.size();
+    }
+
     /** Front entry; the FIFO must not be empty. */
     const T &
     front() const

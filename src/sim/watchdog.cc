@@ -1,0 +1,55 @@
+#include "sim/watchdog.hh"
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+Watchdog::Watchdog(EventQueue &eq, Tick interval,
+                   std::function<bool()> work_remains,
+                   std::function<bool(Tick)> on_stall)
+    : eq(eq), interval(interval),
+      workRemains(std::move(work_remains)),
+      onStall(std::move(on_stall))
+{
+    if (interval == 0)
+        texdist_fatal("watchdog interval must be positive");
+}
+
+Watchdog::~Watchdog()
+{
+    cancel();
+}
+
+void
+Watchdog::start()
+{
+    lastProgress = eq.progressCount();
+    eq.schedule(this, eq.curTick() + interval);
+}
+
+void
+Watchdog::cancel()
+{
+    if (scheduled())
+        eq.deschedule(this);
+}
+
+void
+Watchdog::process()
+{
+    if (!workRemains())
+        return; // frame finished; let the queue drain
+
+    ++_checks;
+    uint64_t progress = eq.progressCount();
+    if (progress == lastProgress) {
+        ++_stalls;
+        if (!onStall(eq.curTick()))
+            return; // frame abandoned; stop monitoring
+    }
+    lastProgress = eq.progressCount();
+    eq.schedule(this, eq.curTick() + interval);
+}
+
+} // namespace texdist

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * No-progress watchdog for the event queue.
+ *
+ * A discrete-event simulation can fail in two ways a timeout cannot
+ * tell apart from "slow": deadlock (the queue drains while work is
+ * still pending — e.g. an in-order feeder blocked forever on a full
+ * FIFO) and livelock (events keep firing but nothing retires — e.g.
+ * a rate-limited stage polling a wedged consumer every cycle). The
+ * watchdog detects both the same way: it samples the queue's
+ * progress counter every `interval` ticks and raises when the
+ * counter has not advanced while the client says work remains.
+ *
+ * Because the watchdog itself is an event, it also converts the
+ * deadlock case from "queue drains, caller panics" into a diagnosed
+ * failure: its periodic check keeps the queue alive until the stall
+ * handler decides what to do.
+ *
+ * The watchdog is policy-free; the stall handler (the machine)
+ * decides whether to fail the frame or degrade around the culprit.
+ */
+
+#ifndef TEXDIST_SIM_WATCHDOG_HH
+#define TEXDIST_SIM_WATCHDOG_HH
+
+#include <functional>
+
+#include "sim/eventq.hh"
+
+namespace texdist
+{
+
+/** Periodically checks that the simulation is making progress. */
+class Watchdog : public Event
+{
+  public:
+    /**
+     * @param eq           the queue to monitor (and schedule on)
+     * @param interval     ticks between progress checks (> 0)
+     * @param work_remains true while the simulation still has work;
+     *                     the watchdog stops rescheduling once this
+     *                     returns false
+     * @param on_stall     called with the current tick when no
+     *                     progress was made over a full interval with
+     *                     work remaining; return true to keep
+     *                     monitoring (e.g. after recovering), false
+     *                     to stop (the frame is being abandoned)
+     */
+    Watchdog(EventQueue &eq, Tick interval,
+             std::function<bool()> work_remains,
+             std::function<bool(Tick)> on_stall);
+
+    ~Watchdog() override;
+
+    /** Schedule the first check one interval from now. */
+    void start();
+
+    /** Deschedule the pending check, if any. */
+    void cancel();
+
+    /** Progress checks performed so far. */
+    uint64_t checks() const { return _checks; }
+
+    /** Times on_stall was invoked. */
+    uint64_t stallsDetected() const { return _stalls; }
+
+    void process() override;
+    const char *description() const override { return "watchdog"; }
+
+  private:
+    EventQueue &eq;
+    Tick interval;
+    std::function<bool()> workRemains;
+    std::function<bool(Tick)> onStall;
+    uint64_t lastProgress = 0;
+    uint64_t _checks = 0;
+    uint64_t _stalls = 0;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_SIM_WATCHDOG_HH

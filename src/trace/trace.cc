@@ -1,6 +1,7 @@
 #include "trace/trace.hh"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <ostream>
@@ -24,18 +25,6 @@ put(std::ostream &os, T value)
     os.write(reinterpret_cast<const char *>(&value), sizeof(T));
 }
 
-template <typename T>
-T
-get(std::istream &is)
-{
-    static_assert(std::is_trivially_copyable_v<T>);
-    T value{};
-    is.read(reinterpret_cast<char *>(&value), sizeof(T));
-    if (!is)
-        texdist_fatal("truncated trace");
-    return value;
-}
-
 void
 putString(std::ostream &os, const std::string &s)
 {
@@ -43,18 +32,75 @@ putString(std::ostream &os, const std::string &s)
     os.write(s.data(), std::streamsize(s.size()));
 }
 
-std::string
-getString(std::istream &is)
+/**
+ * Trace deserializer that knows where it is: every diagnostic
+ * carries the byte offset and — once the triangle stream starts —
+ * the record index, so a corrupt trace points at the bad record
+ * instead of sailing into the rasterizer as garbage.
+ */
+class TraceReader
 {
-    uint32_t len = get<uint32_t>(is);
-    if (len > (1u << 20))
-        texdist_fatal("implausible string length in trace: ", len);
-    std::string s(len, '\0');
-    is.read(s.data(), std::streamsize(len));
-    if (!is)
-        texdist_fatal("truncated trace string");
-    return s;
-}
+  public:
+    explicit TraceReader(std::istream &is) : is(is) {}
+
+    /** Record index for diagnostics; -1 outside the stream. */
+    void atRecord(int64_t index) { record = index; }
+
+    template <typename T>
+    T
+    get(const char *what)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value{};
+        is.read(reinterpret_cast<char *>(&value), sizeof(T));
+        if (!is)
+            texdist_fatal("truncated trace: reading ", what,
+                          context());
+        offset += sizeof(T);
+        return value;
+    }
+
+    /** A float that must be finite (vertex data). */
+    float
+    getFinite(const char *what)
+    {
+        float v = get<float>(what);
+        if (!std::isfinite(v))
+            texdist_fatal("non-finite ", what, " in trace", context());
+        return v;
+    }
+
+    std::string
+    getString(const char *what)
+    {
+        uint32_t len = get<uint32_t>(what);
+        if (len > (1u << 20))
+            texdist_fatal("implausible ", what, " length in trace: ",
+                          len, context());
+        std::string s(len, '\0');
+        is.read(s.data(), std::streamsize(len));
+        if (!is)
+            texdist_fatal("truncated trace: reading ", what,
+                          context());
+        offset += len;
+        return s;
+    }
+
+    /** " at offset N[, triangle record R]" for diagnostics. */
+    std::string
+    context() const
+    {
+        std::string out = " at offset " + std::to_string(offset);
+        if (record >= 0)
+            out += ", triangle record " + std::to_string(record);
+        return out;
+    }
+
+  private:
+    std::istream &is;
+    uint64_t offset = 0;
+    int64_t record = -1;
+};
 
 } // namespace
 
@@ -93,29 +139,41 @@ writeTrace(const Scene &scene, std::ostream &os)
 Scene
 readTrace(std::istream &is)
 {
-    if (get<uint32_t>(is) != traceMagic)
+    TraceReader in(is);
+    if (in.get<uint32_t>("magic") != traceMagic)
         texdist_fatal("not a texdist trace (bad magic)");
-    uint32_t version = get<uint32_t>(is);
+    uint32_t version = in.get<uint32_t>("version");
     if (version != traceVersion)
         texdist_fatal("unsupported trace version ", version);
 
     Scene scene;
-    scene.name = getString(is);
-    scene.screenWidth = get<uint32_t>(is);
-    scene.screenHeight = get<uint32_t>(is);
+    scene.name = in.getString("scene name");
+    scene.screenWidth = in.get<uint32_t>("screen width");
+    scene.screenHeight = in.get<uint32_t>("screen height");
+    if (scene.screenWidth == 0 || scene.screenHeight == 0 ||
+        scene.screenWidth > 16384 || scene.screenHeight > 16384)
+        texdist_fatal("implausible screen size in trace: ",
+                      scene.screenWidth, "x", scene.screenHeight,
+                      in.context());
 
-    uint32_t num_textures = get<uint32_t>(is);
+    uint32_t num_textures = in.get<uint32_t>("texture count");
+    if (num_textures > (1u << 20))
+        texdist_fatal("implausible texture count in trace: ",
+                      num_textures, in.context());
     for (uint32_t i = 0; i < num_textures; ++i) {
-        uint32_t w = get<uint32_t>(is);
-        uint32_t h = get<uint32_t>(is);
-        uint8_t wrap = get<uint8_t>(is);
-        uint8_t layout = get<uint8_t>(is);
-        if (!isPow2(w) || !isPow2(h))
-            texdist_fatal("non power-of-two texture in trace: ", w,
-                          "x", h);
+        uint32_t w = in.get<uint32_t>("texture width");
+        uint32_t h = in.get<uint32_t>("texture height");
+        uint8_t wrap = in.get<uint8_t>("texture wrap mode");
+        uint8_t layout = in.get<uint8_t>("texture layout");
+        if (!isPow2(w) || !isPow2(h) || w > (1u << 16) ||
+            h > (1u << 16))
+            texdist_fatal("bad texture dimensions in trace: ", w,
+                          "x", h, " (texture ", i, ")",
+                          in.context());
         if (layout > 1)
             texdist_fatal("bad texture layout in trace: ",
-                          int(layout));
+                          int(layout), " (texture ", i, ")",
+                          in.context());
         scene.textures.create(w, h,
                               wrap ? WrapMode::Repeat
                                    : WrapMode::Clamp,
@@ -123,20 +181,27 @@ readTrace(std::istream &is)
                                      : TexLayout::Blocked);
     }
 
-    uint64_t num_triangles = get<uint64_t>(is);
-    scene.triangles.reserve(num_triangles);
+    uint64_t num_triangles = in.get<uint64_t>("triangle count");
+    if (num_triangles > (1ull << 32))
+        texdist_fatal("implausible triangle count in trace: ",
+                      num_triangles, in.context());
+    // Cap the up-front reservation: a corrupt count must not turn
+    // into a multi-gigabyte allocation before the stream runs dry.
+    scene.triangles.reserve(
+        size_t(std::min<uint64_t>(num_triangles, 1u << 20)));
     for (uint64_t t = 0; t < num_triangles; ++t) {
+        in.atRecord(int64_t(t));
         TexTriangle tri;
-        tri.tex = get<uint32_t>(is);
+        tri.tex = in.get<uint32_t>("texture id");
         if (tri.tex >= num_textures)
             texdist_fatal("triangle references texture ", tri.tex,
-                          " of ", num_textures);
+                          " of ", num_textures, in.context());
         for (TexVertex &v : tri.v) {
-            v.x = get<float>(is);
-            v.y = get<float>(is);
-            v.invW = get<float>(is);
-            v.u = get<float>(is);
-            v.v = get<float>(is);
+            v.x = in.getFinite("vertex x");
+            v.y = in.getFinite("vertex y");
+            v.invW = in.getFinite("vertex 1/w");
+            v.u = in.getFinite("vertex u");
+            v.v = in.getFinite("vertex v");
         }
         scene.triangles.push_back(tri);
     }

@@ -89,8 +89,37 @@ TEST(SimOptions, UsageMentionsEveryOption)
           "--param", "--interleave", "--cache", "--cache-kb",
           "--cache-ways", "--bus", "--buffer", "--setup",
           "--prefetch", "--geometry", "--geom-procs",
-          "--geom-cycles", "--stats-file"})
+          "--geom-cycles", "--stats-file", "--fault",
+          "--fault-seed", "--watchdog-ticks", "--watchdog"})
         EXPECT_NE(u.find(key), std::string::npos) << key;
+}
+
+TEST(SimOptions, FaultAndWatchdogFlags)
+{
+    SimOptions o = parse(
+        {"--fault=slow-node:3,at=10000,x=8",
+         "--fault=kill-node:rand,at=500;fifo-freeze:1,at=20",
+         "--fault-seed=99", "--watchdog-ticks=5000",
+         "--watchdog=degrade"});
+    ASSERT_EQ(o.machine.faults.faults.size(), 3u);
+    EXPECT_EQ(o.machine.faults.faults[0].kind, FaultKind::SlowNode);
+    EXPECT_EQ(o.machine.faults.faults[0].victim, 3u);
+    EXPECT_EQ(o.machine.faults.faults[0].factor, 8u);
+    EXPECT_EQ(o.machine.faults.faults[1].kind, FaultKind::KillNode);
+    EXPECT_EQ(o.machine.faults.faults[1].victim, faultRandomVictim);
+    EXPECT_EQ(o.machine.faults.faults[2].kind,
+              FaultKind::FifoFreeze);
+    EXPECT_EQ(o.machine.faults.seed, 99u);
+    EXPECT_EQ(o.machine.watchdogTicks, 5000u);
+    EXPECT_EQ(o.machine.watchdogPolicy, WatchdogPolicy::Degrade);
+}
+
+TEST(SimOptions, WatchdogDefaultsOff)
+{
+    SimOptions o = parse({});
+    EXPECT_TRUE(o.machine.faults.empty());
+    EXPECT_EQ(o.machine.watchdogTicks, 0u);
+    EXPECT_EQ(o.machine.watchdogPolicy, WatchdogPolicy::FailFrame);
 }
 
 TEST(SimOptionsDeath, UnknownOptionFatal)
@@ -113,6 +142,44 @@ TEST(SimOptionsDeath, BadValuesFatal)
                 "unknown cache kind");
     EXPECT_EXIT(parse({"--buffer=0"}), ::testing::ExitedWithCode(1),
                 "positive");
+}
+
+TEST(SimOptionsDeath, StrictNumericParsing)
+{
+    // strtoul would silently wrap "-1" to a huge value and accept
+    // trailing junk; both must be fatal, not a mis-measured machine.
+    EXPECT_EXIT(parse({"--procs=-1"}), ::testing::ExitedWithCode(1),
+                "integer");
+    EXPECT_EXIT(parse({"--procs=16x"}), ::testing::ExitedWithCode(1),
+                "integer");
+    EXPECT_EXIT(parse({"--procs=99999999999999999999"}),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(parse({"--procs=8192"}),
+                ::testing::ExitedWithCode(1), "too large");
+    EXPECT_EXIT(parse({"--buffer="}), ::testing::ExitedWithCode(1),
+                "integer");
+    EXPECT_EXIT(parse({"--scale=nan"}), ::testing::ExitedWithCode(1),
+                "finite");
+    EXPECT_EXIT(parse({"--scale=1e999"}),
+                ::testing::ExitedWithCode(1), "finite");
+    EXPECT_EXIT(parse({"--scale=0.5abc"}),
+                ::testing::ExitedWithCode(1), "number");
+    EXPECT_EXIT(parse({"--bus=-2"}), ::testing::ExitedWithCode(1),
+                ">= 0");
+}
+
+TEST(SimOptionsDeath, BadFaultAndWatchdogValuesFatal)
+{
+    EXPECT_EXIT(parse({"--fault=melt-node:1"}),
+                ::testing::ExitedWithCode(1), "unknown fault kind");
+    EXPECT_EXIT(parse({"--fault=slow-node:1,x=banana"}),
+                ::testing::ExitedWithCode(1), "integer");
+    EXPECT_EXIT(parse({"--fault-seed=abc"}),
+                ::testing::ExitedWithCode(1), "integer");
+    EXPECT_EXIT(parse({"--watchdog-ticks=-5"}),
+                ::testing::ExitedWithCode(1), "integer");
+    EXPECT_EXIT(parse({"--watchdog=panic"}),
+                ::testing::ExitedWithCode(1), "fail or degrade");
 }
 
 } // namespace

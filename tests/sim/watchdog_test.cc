@@ -1,0 +1,172 @@
+/** @file Unit tests for the no-progress watchdog. */
+
+#include <gtest/gtest.h>
+
+#include "sim/watchdog.hh"
+
+namespace texdist
+{
+namespace
+{
+
+/**
+ * A worker that fires every tick for `total` steps. When `stuck` it
+ * keeps firing (live) but never notes progress — a livelock; when
+ * healthy it notes progress each step.
+ */
+class Worker : public Event
+{
+  public:
+    Worker(EventQueue &eq, uint64_t total, bool stuck)
+        : eq(eq), remaining(total), stuck(stuck)
+    {}
+
+    void
+    start()
+    {
+        eq.schedule(this, eq.curTick() + 1);
+    }
+
+    void
+    stop()
+    {
+        if (scheduled())
+            eq.deschedule(this);
+    }
+
+    bool done() const { return remaining == 0; }
+
+    void
+    process() override
+    {
+        if (!stuck) {
+            eq.noteProgress();
+            --remaining;
+        }
+        if (remaining > 0)
+            eq.schedule(this, eq.curTick() + 1);
+    }
+
+    const char *description() const override { return "worker"; }
+
+  private:
+    EventQueue &eq;
+    uint64_t remaining;
+    bool stuck;
+};
+
+TEST(Watchdog, HealthyRunNeverFires)
+{
+    EventQueue eq;
+    Worker worker(eq, 500, false);
+    Watchdog dog(
+        eq, 50, [&] { return !worker.done(); },
+        [](Tick) {
+            ADD_FAILURE() << "stall reported on a healthy run";
+            return false;
+        });
+    worker.start();
+    dog.start();
+    eq.run();
+    EXPECT_TRUE(worker.done());
+    EXPECT_EQ(dog.stallsDetected(), 0u);
+    EXPECT_GT(dog.checks(), 0u);
+}
+
+TEST(Watchdog, LivelockDetectedAtDeterministicTick)
+{
+    // The worker keeps the queue busy but retires nothing: progress
+    // stays frozen, so the first check after start() must raise.
+    auto detect = [] {
+        EventQueue eq;
+        Worker worker(eq, 100, true);
+        Tick detected = 0;
+        Watchdog dog(
+            eq, 64, [] { return true; },
+            [&](Tick now) {
+                detected = now;
+                worker.stop();
+                return false;
+            });
+        worker.start();
+        dog.start();
+        eq.run();
+        return detected;
+    };
+    Tick first = detect();
+    EXPECT_EQ(first, 64u);
+    // Identical setup, identical detection tick.
+    EXPECT_EQ(detect(), first);
+}
+
+TEST(Watchdog, DeadlockBecomesDiagnosedStall)
+{
+    // No events at all besides the watchdog: the queue would drain
+    // with "work remaining". The watchdog's own periodic check keeps
+    // the queue alive and reports the stall instead.
+    EventQueue eq;
+    Tick detected = 0;
+    Watchdog dog(
+        eq, 100, [] { return true; },
+        [&](Tick now) {
+            detected = now;
+            return false;
+        });
+    dog.start();
+    eq.run();
+    EXPECT_EQ(detected, 100u);
+    EXPECT_EQ(dog.stallsDetected(), 1u);
+}
+
+TEST(Watchdog, RecoveryKeepsMonitoring)
+{
+    // on_stall returns true (recovered): the watchdog must keep
+    // checking and raise again on the next dead interval.
+    EventQueue eq;
+    uint64_t stalls = 0;
+    Watchdog dog(
+        eq, 10, [&] { return stalls < 3; },
+        [&](Tick) {
+            ++stalls;
+            return true;
+        });
+    dog.start();
+    eq.run();
+    EXPECT_EQ(stalls, 3u);
+    EXPECT_EQ(dog.stallsDetected(), 3u);
+}
+
+TEST(Watchdog, StopsWhenWorkDone)
+{
+    EventQueue eq;
+    Watchdog dog(
+        eq, 10, [] { return false; }, [](Tick) { return true; });
+    dog.start();
+    eq.run();
+    // First check sees no work and lets the queue drain.
+    EXPECT_EQ(dog.checks(), 0u);
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+TEST(Watchdog, CancelRemovesPendingCheck)
+{
+    EventQueue eq;
+    Watchdog dog(
+        eq, 10, [] { return true; }, [](Tick) { return false; });
+    dog.start();
+    dog.cancel();
+    eq.run();
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(dog.checks(), 0u);
+}
+
+TEST(WatchdogDeath, ZeroIntervalFatal)
+{
+    EventQueue eq;
+    EXPECT_EXIT(Watchdog(eq, 0, [] { return true; },
+                         [](Tick) { return true; }),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Corrupt-trace corpus: every class of malformed trace must die with
+ * a clean, located diagnostic (texdist_fatal with byte offset and,
+ * inside the triangle stream, the record index) — never a crash, an
+ * OOM or a garbage scene.
+ *
+ * The corpus is generated from one valid trace by targeted byte
+ * surgery, so it stays in sync with the format by construction.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "scene/builder.hh"
+#include "trace/trace.hh"
+
+namespace texdist
+{
+namespace
+{
+
+/** One 16x16 texture, one small triangle. */
+Scene
+tinyScene()
+{
+    SceneBuilder b("one", 64, 64, 3);
+    TextureId tex = b.makeTexture(16, 16);
+    TexTriangle tri;
+    tri.v[0] = {10, 10, 1.0f, 0.0f, 0.0f};
+    tri.v[1] = {20, 10, 1.0f, 0.5f, 0.0f};
+    tri.v[2] = {10, 20, 1.0f, 0.0f, 0.5f};
+    tri.tex = tex;
+    b.addTriangle(tri);
+    return b.take();
+}
+
+std::string
+validBytes()
+{
+    std::stringstream buf;
+    writeTrace(tinyScene(), buf);
+    return buf.str();
+}
+
+/** Overwrite sizeof(T) bytes at @p offset with @p value. */
+template <typename T>
+std::string
+patched(std::string data, size_t offset, T value)
+{
+    EXPECT_LE(offset + sizeof(T), data.size());
+    std::memcpy(data.data() + offset, &value, sizeof(T));
+    return data;
+}
+
+void
+expectFatal(const std::string &bytes, const char *pattern)
+{
+    std::stringstream in(bytes);
+    EXPECT_EXIT((void)readTrace(in), ::testing::ExitedWithCode(1),
+                pattern);
+}
+
+// Layout of the tiny trace (little-endian):
+//   0  u32 magic            19 u32 screen height
+//   4  u32 version          23 u32 texture count
+//   8  u32 name length      27 u32 tex w, 31 u32 tex h,
+//   12 "one"                35 u8 wrap, 36 u8 layout
+//   15 u32 screen width     37 u64 triangle count
+//                           45 u32 triangle texture id
+//                           49 15 x f32 vertex data
+constexpr size_t screenWidthOff = 15;
+constexpr size_t texCountOff = 23;
+constexpr size_t texWidthOff = 27;
+constexpr size_t texLayoutOff = 36;
+constexpr size_t triCountOff = 37;
+constexpr size_t triTexOff = 45;
+constexpr size_t firstFloatOff = 49;
+
+TEST(TraceCorrupt, ValidCorpusBaseReads)
+{
+    // The surgery below is only meaningful if the untouched bytes
+    // parse; pin the layout constants while we are at it.
+    std::string data = validBytes();
+    ASSERT_EQ(data.size(), firstFloatOff + 15 * sizeof(float));
+    std::stringstream in(data);
+    Scene s = readTrace(in);
+    EXPECT_EQ(s.triangles.size(), 1u);
+}
+
+TEST(TraceCorrupt, BadMagic)
+{
+    expectFatal(patched<uint32_t>(validBytes(), 0, 0xdeadbeef),
+                "bad magic");
+}
+
+TEST(TraceCorrupt, TruncatedHeader)
+{
+    // Magic intact, version cut short: must name the field and the
+    // offset rather than reading garbage.
+    expectFatal(validBytes().substr(0, 6),
+                "truncated trace: reading version at offset 4");
+}
+
+TEST(TraceCorrupt, TruncatedMidRecord)
+{
+    // Cut inside the first triangle's vertex data: the diagnostic
+    // carries the record index.
+    expectFatal(validBytes().substr(0, firstFloatOff + 6),
+                "truncated trace: .* triangle record 0");
+}
+
+TEST(TraceCorrupt, NaNVertex)
+{
+    std::string data = patched(
+        validBytes(), firstFloatOff,
+        std::numeric_limits<float>::quiet_NaN());
+    expectFatal(data, "non-finite vertex x .* triangle record 0");
+}
+
+TEST(TraceCorrupt, InfiniteVertex)
+{
+    // Last float of the record: vertex v of the third vertex.
+    std::string data =
+        patched(validBytes(), firstFloatOff + 14 * sizeof(float),
+                std::numeric_limits<float>::infinity());
+    expectFatal(data, "non-finite vertex v .* triangle record 0");
+}
+
+TEST(TraceCorrupt, TextureIdOutOfRange)
+{
+    std::string data =
+        patched<uint32_t>(validBytes(), triTexOff, 57u);
+    expectFatal(data,
+                "references texture 57 of 1.* triangle record 0");
+}
+
+TEST(TraceCorrupt, ImplausibleTriangleCount)
+{
+    // A wild count must die before it turns into a huge reserve().
+    std::string data = patched<uint64_t>(validBytes(), triCountOff,
+                                         uint64_t(1) << 40);
+    expectFatal(data, "implausible triangle count");
+}
+
+TEST(TraceCorrupt, ImplausibleTextureCount)
+{
+    std::string data =
+        patched<uint32_t>(validBytes(), texCountOff, 0x7fffffffu);
+    expectFatal(data, "implausible texture count");
+}
+
+TEST(TraceCorrupt, NonPowerOfTwoTexture)
+{
+    std::string data =
+        patched<uint32_t>(validBytes(), texWidthOff, 17u);
+    expectFatal(data, "bad texture dimensions.*texture 0");
+}
+
+TEST(TraceCorrupt, BadTextureLayout)
+{
+    std::string data =
+        patched<uint8_t>(validBytes(), texLayoutOff, 9);
+    expectFatal(data, "bad texture layout.*texture 0");
+}
+
+TEST(TraceCorrupt, ImplausibleScreenSize)
+{
+    std::string data =
+        patched<uint32_t>(validBytes(), screenWidthOff, 0u);
+    expectFatal(data, "implausible screen size");
+}
+
+TEST(TraceCorrupt, ImplausibleNameLength)
+{
+    // The name length claims a gigabyte: rejected up front instead
+    // of allocating and then failing the read.
+    std::string data =
+        patched<uint32_t>(validBytes(), 8, 0x40000000u);
+    expectFatal(data, "implausible scene name length");
+}
+
+TEST(TraceCorrupt, EmptyStream)
+{
+    expectFatal("", "truncated trace: reading magic at offset 0");
+}
+
+TEST(TraceCorrupt, CorruptFileFromDisk)
+{
+    // The same guarantees hold through the file path used by
+    // `texdist_sim --trace=`.
+    std::string path =
+        ::testing::TempDir() + "/texdist_corrupt.trace";
+    std::string data = patched(
+        validBytes(), firstFloatOff,
+        std::numeric_limits<float>::quiet_NaN());
+    std::ofstream os(path, std::ios::binary);
+    os.write(data.data(), std::streamsize(data.size()));
+    os.close();
+    EXPECT_EXIT((void)readTraceFile(path),
+                ::testing::ExitedWithCode(1), "non-finite vertex x");
+}
+
+} // namespace
+} // namespace texdist

@@ -56,7 +56,17 @@ main(int argc, char **argv)
     FrameResult result = machine.run();
 
     result.print(std::cout);
-    if (baseline) {
+    if (result.failed) {
+        std::cerr << "\n" << result.diagnostic;
+        std::cerr << "frame failed: " << result.failureReason
+                  << "\n";
+    } else if (result.degraded) {
+        std::cout << "\n(frame completed degraded: "
+                  << result.faultStats.nodesKilled
+                  << " node(s) lost, coverage preserved by "
+                     "redistribution)\n";
+    }
+    if (baseline && !result.failed && result.frameTime) {
         std::cout << "speedup:           "
                   << double(baseline) / double(result.frameTime)
                   << " (T1 = " << baseline << ")\n";
@@ -73,5 +83,5 @@ main(int argc, char **argv)
         machine.dumpStats(os);
         std::cout << "stats written to " << opts.statsFile << "\n";
     }
-    return 0;
+    return result.failed ? 2 : 0;
 }
