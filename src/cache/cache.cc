@@ -1,5 +1,6 @@
 #include "cache/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "sim/logging.hh"
@@ -90,6 +91,89 @@ SetAssocCache::reset()
     stampCounter = 0;
     _accesses = 0;
     _misses = 0;
+}
+
+void
+TextureCache::serialize(CheckpointWriter &w) const
+{
+    w.section("cache");
+    w.u8(uint8_t(kind()));
+    w.u64(_accesses);
+    w.u64(_misses);
+}
+
+void
+TextureCache::unserialize(CheckpointReader &r)
+{
+    r.section("cache");
+    uint8_t k = r.u8();
+    if (k != uint8_t(kind()))
+        texdist_fatal("checkpoint cache kind mismatch in ",
+                      r.path(), ": file has ", int(k),
+                      ", machine has ", to_string(kind()));
+    _accesses = r.u64();
+    _misses = r.u64();
+}
+
+void
+SetAssocCache::serialize(CheckpointWriter &w) const
+{
+    TextureCache::serialize(w);
+    w.section("setassoc");
+    w.u32(geom.sizeBytes);
+    w.u32(geom.ways);
+    w.u32(geom.lineBytes);
+    w.u64(stampCounter);
+    w.u64vec(tags);
+    w.u64vec(lruStamp);
+}
+
+void
+SetAssocCache::unserialize(CheckpointReader &r)
+{
+    TextureCache::unserialize(r);
+    r.section("setassoc");
+    CacheGeometry g;
+    g.sizeBytes = r.u32();
+    g.ways = r.u32();
+    g.lineBytes = r.u32();
+    if (!(g == geom))
+        texdist_fatal("checkpoint cache geometry mismatch in ",
+                      r.path());
+    stampCounter = r.u64();
+    tags = r.u64vec();
+    lruStamp = r.u64vec();
+    if (tags.size() != size_t(sets) * geom.ways ||
+        lruStamp.size() != tags.size())
+        texdist_fatal("checkpoint cache tag array size mismatch in ",
+                      r.path());
+}
+
+void
+InfiniteCache::serialize(CheckpointWriter &w) const
+{
+    TextureCache::serialize(w);
+    w.section("infinite");
+    w.u32(lineShift);
+    // Sorted so identical cache contents serialize to identical
+    // bytes regardless of hash iteration order.
+    std::vector<uint64_t> lines(seen.begin(), seen.end());
+    std::sort(lines.begin(), lines.end());
+    w.u64vec(lines);
+}
+
+void
+InfiniteCache::unserialize(CheckpointReader &r)
+{
+    TextureCache::unserialize(r);
+    r.section("infinite");
+    uint32_t shift = r.u32();
+    if (shift != lineShift)
+        texdist_fatal("checkpoint cache line size mismatch in ",
+                      r.path());
+    std::vector<uint64_t> lines = r.u64vec();
+    seen.clear();
+    seen.insert(lines.begin(), lines.end());
 }
 
 bool

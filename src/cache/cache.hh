@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/stats.hh"
 
 namespace texdist
@@ -76,6 +77,19 @@ class TextureCache
     /** Drop all cached state and statistics. */
     virtual void reset() = 0;
 
+    /**
+     * Serialize the full cache state — tag arrays, replacement
+     * state and statistics — so a restored cache is *warm*: it
+     * hits and misses exactly as the original would have.
+     */
+    virtual void serialize(CheckpointWriter &w) const;
+
+    /**
+     * Restore from a checkpoint written by the same cache model
+     * with the same geometry; fatal on a mismatch.
+     */
+    virtual void unserialize(CheckpointReader &r);
+
     /** Model name for reports. */
     virtual CacheKind kind() const = 0;
 
@@ -122,6 +136,8 @@ class SetAssocCache : public TextureCache
 
     bool access(uint64_t addr) override;
     void reset() override;
+    void serialize(CheckpointWriter &w) const override;
+    void unserialize(CheckpointReader &r) override;
     CacheKind kind() const override { return CacheKind::SetAssoc; }
 
     uint32_t
@@ -178,6 +194,8 @@ class InfiniteCache : public TextureCache
 
     bool access(uint64_t addr) override;
     void reset() override;
+    void serialize(CheckpointWriter &w) const override;
+    void unserialize(CheckpointReader &r) override;
     CacheKind kind() const override { return CacheKind::Infinite; }
 
     uint32_t

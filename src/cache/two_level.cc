@@ -31,4 +31,24 @@ TwoLevelCache::reset()
     _l1Misses = 0;
 }
 
+void
+TwoLevelCache::serialize(CheckpointWriter &w) const
+{
+    TextureCache::serialize(w);
+    w.section("two-level");
+    w.u64(_l1Misses);
+    l1Cache.serialize(w);
+    l2Cache.serialize(w);
+}
+
+void
+TwoLevelCache::unserialize(CheckpointReader &r)
+{
+    TextureCache::unserialize(r);
+    r.section("two-level");
+    _l1Misses = r.u64();
+    l1Cache.unserialize(r);
+    l2Cache.unserialize(r);
+}
+
 } // namespace texdist

@@ -45,6 +45,8 @@ class TwoLevelCache : public TextureCache
     bool access(uint64_t addr) override;
 
     void reset() override;
+    void serialize(CheckpointWriter &w) const override;
+    void unserialize(CheckpointReader &r) override;
     CacheKind kind() const override { return CacheKind::SetAssoc; }
 
     uint32_t

@@ -1,0 +1,129 @@
+#include "core/audit.hh"
+
+#include <sstream>
+
+#include "core/experiments.hh"
+#include "sim/logging.hh"
+#include "texture/sampler.hh"
+
+namespace texdist
+{
+
+std::string
+AuditReport::describe() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < violations.size(); ++i) {
+        if (i)
+            os << '\n';
+        os << "  " << violations[i];
+    }
+    return os.str();
+}
+
+namespace
+{
+
+template <typename... Args>
+void
+violate(AuditReport &report, Args &&...args)
+{
+    report.violations.push_back(
+        detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace
+
+AuditReport
+auditFrame(const Scene &scene, const Distribution &dist,
+           const MachineConfig &cfg, const FrameResult &frame)
+{
+    AuditReport report;
+    if (frame.failed)
+        return report;
+
+    // Totals must be the sums of the per-node results they were
+    // derived from.
+    uint64_t pixels = 0;
+    uint64_t texels = 0;
+    Tick max_finish = 0;
+    for (const NodeResult &node : frame.nodes) {
+        pixels += node.pixels;
+        texels += node.texelsFetched;
+        max_finish = std::max(max_finish, node.finishTime);
+    }
+    if (pixels != frame.totalPixels)
+        violate(report, "fragment conservation: node pixel counts "
+                "sum to ", pixels, " but totalPixels is ",
+                frame.totalPixels);
+    if (texels != frame.totalTexelsFetched)
+        violate(report, "texel conservation: node texel counts sum "
+                "to ", texels, " but totalTexelsFetched is ",
+                frame.totalTexelsFetched);
+
+    // Full pixel coverage: rasterizing the scene over the owner map
+    // is the ground truth for how many fragments each node must have
+    // drawn. When a frame degraded, fragments were rerouted between
+    // nodes, so only the total is conserved.
+    std::vector<uint64_t> expected = pixelWorkPerProc(scene, dist);
+    uint64_t expected_total = 0;
+    for (uint64_t w : expected)
+        expected_total += w;
+    if (expected_total != frame.totalPixels)
+        violate(report, "pixel coverage: scene rasterizes to ",
+                expected_total, " fragments but the frame drew ",
+                frame.totalPixels);
+    if (!frame.degraded && expected.size() == frame.nodes.size()) {
+        for (size_t i = 0; i < expected.size(); ++i) {
+            if (expected[i] != frame.nodes[i].pixels)
+                violate(report, "pixel coverage: node ", i, " owns ",
+                        expected[i], " fragments but drew ",
+                        frame.nodes[i].pixels);
+        }
+    }
+
+    // Cache-line accounting. Every fragment makes exactly
+    // texelsPerFragment trilinear references; the perfect cache is
+    // bypassed entirely; every miss moves one fill over the bus.
+    for (size_t i = 0; i < frame.nodes.size(); ++i) {
+        const NodeResult &node = frame.nodes[i];
+        if (node.cacheMisses > node.cacheAccesses)
+            violate(report, "cache accounting: node ", i, " has ",
+                    node.cacheMisses, " misses but only ",
+                    node.cacheAccesses, " accesses");
+        uint64_t want_accesses =
+            cfg.cacheKind == CacheKind::Perfect
+                ? 0
+                : node.pixels * uint64_t(texelsPerFragment);
+        if (node.cacheAccesses != want_accesses)
+            violate(report, "cache accounting: node ", i, " drew ",
+                    node.pixels, " fragments but made ",
+                    node.cacheAccesses, " cache accesses (expected ",
+                    want_accesses, ")");
+        if (node.cacheAccesses > 0 && node.texelsFetched > 0 &&
+            node.cacheMisses > 0 &&
+            node.texelsFetched % node.cacheMisses != 0)
+            violate(report, "cache accounting: node ", i,
+                    " fetched ", node.texelsFetched,
+                    " texels, not a multiple of its ",
+                    node.cacheMisses, " line fills");
+    }
+
+    // The FIFO never exceeds its configured bound; redistribution
+    // after a kill may legally overfill survivors.
+    if (!frame.degraded &&
+        frame.fifoMaxOccupancy > cfg.triangleBufferSize)
+        violate(report, "fifo bound: max occupancy ",
+                frame.fifoMaxOccupancy, " exceeds the configured ",
+                cfg.triangleBufferSize, "-entry buffer");
+
+    // Frame time is defined as the last node's finish relative to
+    // the frame start; nodes that did nothing report finish 0.
+    if (max_finish > 0 && frame.frameTime > max_finish)
+        violate(report, "frame time ", frame.frameTime,
+                " exceeds the latest node finish ", max_finish);
+
+    return report;
+}
+
+} // namespace texdist

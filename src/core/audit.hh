@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Frame invariant auditor. The simulator's components keep their own
+ * statistics; a handful of conservation laws must tie them together
+ * no matter what configuration, distribution or fault plan ran:
+ * fragments drawn must equal the pixels the distribution says each
+ * node owns of the scene, cache accesses must account for every
+ * trilinear sample, and texels on the bus must equal misses times
+ * the fill size. `--audit` checks these after every frame so a bug
+ * that silently miscounts (rather than crashing) is caught at the
+ * frame it first happens, not in a published figure.
+ */
+
+#ifndef TEXDIST_CORE_AUDIT_HH
+#define TEXDIST_CORE_AUDIT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace texdist
+{
+
+/** Result of auditing one frame: empty means every invariant held. */
+struct AuditReport
+{
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+
+    /** One violation per line, for logs and fatal messages. */
+    std::string describe() const;
+};
+
+/**
+ * Check one frame's results against the scene and distribution that
+ * produced them. Failed frames are not audited (the watchdog cut
+ * them short mid-work by design); degraded frames get the weaker
+ * total-conservation checks since work moved between nodes.
+ */
+AuditReport auditFrame(const Scene &scene, const Distribution &dist,
+                       const MachineConfig &cfg,
+                       const FrameResult &frame);
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_AUDIT_HH

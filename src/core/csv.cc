@@ -1,5 +1,6 @@
 #include "core/csv.hh"
 
+#include <cstdio>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -7,14 +8,46 @@
 namespace texdist
 {
 
+void
+CsvWriter::open(const std::string &path)
+{
+    finalPath = path;
+    tmpPath = path + ".tmp";
+    os.open(tmpPath, std::ios::trunc);
+    if (!os)
+        texdist_fatal("cannot open CSV output: ", path);
+}
+
 CsvWriter::CsvWriter(const std::string &dir, const std::string &name)
 {
     if (dir.empty())
         return;
-    std::string path = dir + "/" + name + ".csv";
-    os.open(path);
+    open(dir + "/" + name + ".csv");
+}
+
+CsvWriter::CsvWriter(const std::string &path)
+{
+    if (path.empty())
+        return;
+    open(path);
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+void
+CsvWriter::close()
+{
+    if (!os.is_open())
+        return;
+    os.flush();
     if (!os)
-        texdist_fatal("cannot open CSV output: ", path);
+        texdist_fatal("error writing CSV output: ", finalPath);
+    os.close();
+    if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0)
+        texdist_fatal("cannot rename ", tmpPath, " to ", finalPath);
 }
 
 void

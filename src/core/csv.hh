@@ -5,6 +5,11 @@
  * (scripts/plot_figures.py consumes these files). One file per
  * figure panel: a header row, then one row per x value with one
  * column per series.
+ *
+ * Writes are crash-safe: rows stream into `<path>.tmp` and the final
+ * name appears only via an atomic rename at close(), so a killed
+ * harness never leaves a truncated CSV where a complete one is
+ * expected — a partial sweep must be re-run, not silently plotted.
  */
 
 #ifndef TEXDIST_CORE_CSV_HH
@@ -22,11 +27,20 @@ class CsvWriter
 {
   public:
     /**
-     * Open @p dir/@p name.csv for writing; fatal on error. An empty
-     * @p dir disables the writer (all calls become no-ops), so
-     * harnesses can call unconditionally.
+     * Write @p dir/@p name.csv; fatal on error. An empty @p dir
+     * disables the writer (all calls become no-ops), so harnesses
+     * can call unconditionally.
      */
     CsvWriter(const std::string &dir, const std::string &name);
+
+    /** Write to an explicit path; empty disables, fatal on error. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Closes (atomically publishing the file) if still open. */
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
 
     /** True when a file is actually being written. */
     bool enabled() const { return os.is_open(); }
@@ -45,8 +59,18 @@ class CsvWriter
     /** Finish the current row. */
     void endRow();
 
+    /**
+     * Flush and atomically rename the temp file into place; fatal
+     * on I/O errors. Idempotent; the destructor calls it.
+     */
+    void close();
+
   private:
+    void open(const std::string &path);
+
     std::ofstream os;
+    std::string finalPath;
+    std::string tmpPath;
 };
 
 } // namespace texdist

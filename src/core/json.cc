@@ -1,0 +1,483 @@
+#include "core/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v._kind = Kind::Bool;
+    v._bool = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double n)
+{
+    if (!std::isfinite(n))
+        texdist_fatal("JSON numbers must be finite, got ", n);
+    JsonValue v;
+    v._kind = Kind::Number;
+    v._number = n;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v._kind = Kind::String;
+    v._string = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue v;
+    v._kind = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue v;
+    v._kind = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (_kind != Kind::Bool)
+        texdist_fatal("JSON value is not a boolean");
+    return _bool;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (_kind != Kind::Number)
+        texdist_fatal("JSON value is not a number");
+    return _number;
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    double n = asNumber();
+    if (n < 0 || n != std::floor(n))
+        texdist_fatal("JSON value is not a non-negative integer: ",
+                      n);
+    return uint64_t(n);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (_kind != Kind::String)
+        texdist_fatal("JSON value is not a string");
+    return _string;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (_kind != Kind::Array)
+        texdist_fatal("JSON value is not an array");
+    return _items;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (_kind != Kind::Object)
+        texdist_fatal("JSON value is not an object");
+    return _members;
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (_kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : _members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = get(key);
+    if (!v)
+        texdist_fatal("JSON object has no member '", key, "'");
+    return *v;
+}
+
+void
+JsonValue::append(JsonValue v)
+{
+    if (_kind != Kind::Array)
+        texdist_fatal("JSON append to a non-array");
+    _items.push_back(std::move(v));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (_kind != Kind::Object)
+        texdist_fatal("JSON set on a non-object");
+    for (auto &[k, existing] : _members) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    _members.emplace_back(key, std::move(v));
+}
+
+namespace
+{
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+formatNumber(std::string &out, double n)
+{
+    if (n == std::floor(n) && std::fabs(n) < 1e15) {
+        std::ostringstream os;
+        os << int64_t(n);
+        out += os.str();
+    } else {
+        std::ostringstream os;
+        os.precision(17);
+        os << n;
+        out += os.str();
+    }
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent) const
+{
+    std::string pad(size_t(indent) * 2, ' ');
+    std::string inner(size_t(indent + 1) * 2, ' ');
+    switch (_kind) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Kind::Number:
+        formatNumber(out, _number);
+        break;
+      case Kind::String:
+        escapeString(out, _string);
+        break;
+      case Kind::Array:
+        if (_items.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[\n";
+        for (size_t i = 0; i < _items.size(); ++i) {
+            out += inner;
+            _items[i].dumpTo(out, indent + 1);
+            out += i + 1 < _items.size() ? ",\n" : "\n";
+        }
+        out += pad + "]";
+        break;
+      case Kind::Object:
+        if (_members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        for (size_t i = 0; i < _members.size(); ++i) {
+            out += inner;
+            escapeString(out, _members[i].first);
+            out += ": ";
+            _members[i].second.dumpTo(out, indent + 1);
+            out += i + 1 < _members.size() ? ",\n" : "\n";
+        }
+        out += pad + "}";
+        break;
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(out, 0);
+    out += '\n';
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over the emitted subset. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWhitespace();
+        if (pos != text.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        size_t line = 1;
+        size_t col = 1;
+        for (size_t i = 0; i < pos && i < text.size(); ++i) {
+            if (text[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        texdist_fatal("JSON parse error at line ", line, ", column ",
+                      col, ": ", why);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(detail::concat("expected '", c, "', got '", peek(),
+                                "'"));
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t len = std::string(lit).size();
+        if (text.compare(pos, len, lit) == 0) {
+            pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    fail("unterminated escape");
+                char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= unsigned(h - 'A' + 10);
+                        else
+                            fail("bad hex digit in \\u escape");
+                    }
+                    if (code > 0x7f)
+                        fail("non-ASCII \\u escapes unsupported");
+                    out += char(code);
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(uint8_t(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        std::string token = text.substr(start, pos - start);
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() ||
+            !std::isfinite(v))
+            fail(detail::concat("bad number '", token, "'"));
+        return v;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWhitespace();
+        char c = peek();
+        if (c == '{') {
+            ++pos;
+            JsonValue obj = JsonValue::makeObject();
+            skipWhitespace();
+            if (peek() == '}') {
+                ++pos;
+                return obj;
+            }
+            while (true) {
+                skipWhitespace();
+                std::string key = parseString();
+                skipWhitespace();
+                expect(':');
+                obj.set(key, parseValue());
+                skipWhitespace();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                return obj;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            JsonValue arr = JsonValue::makeArray();
+            skipWhitespace();
+            if (peek() == ']') {
+                ++pos;
+                return arr;
+            }
+            while (true) {
+                arr.append(parseValue());
+                skipWhitespace();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return arr;
+            }
+        }
+        if (c == '"')
+            return JsonValue::makeString(parseString());
+        if (consumeLiteral("true"))
+            return JsonValue::makeBool(true);
+        if (consumeLiteral("false"))
+            return JsonValue::makeBool(false);
+        if (consumeLiteral("null"))
+            return JsonValue::makeNull();
+        return JsonValue::makeNumber(parseNumber());
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+JsonValue
+JsonValue::parseFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        texdist_fatal("cannot open JSON file: ", path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return parse(ss.str());
+}
+
+} // namespace texdist

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal JSON reading/writing for the run and sweep manifests — the
+ * crash-safe metadata files the resumable runners leave behind. This
+ * is deliberately a subset implementation (objects, arrays, strings,
+ * finite numbers, booleans, null; no \uXXXX surrogate pairs beyond
+ * pass-through) sized for manifests we write ourselves, with fatal
+ * diagnostics on malformed input: a resume decision made from a
+ * half-understood manifest would silently drop results.
+ */
+
+#ifndef TEXDIST_CORE_JSON_HH
+#define TEXDIST_CORE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace texdist
+{
+
+/** One JSON value; objects preserve member order. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    Kind kind() const { return _kind; }
+
+    /** Typed accessors; fatal when the kind does not match. */
+    bool asBool() const;
+    double asNumber() const;
+    uint64_t asU64() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &items() const;
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** Member lookup that is fatal when the key is missing. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Append to an array value. */
+    void append(JsonValue v);
+
+    /** Set (or replace) an object member. */
+    void set(const std::string &key, JsonValue v);
+
+    /** Render with 2-space indentation and a trailing newline. */
+    std::string dump() const;
+
+    /** Parse a document; fatal with location on malformed input. */
+    static JsonValue parse(const std::string &text);
+
+    /** Parse a file; fatal when unreadable or malformed. */
+    static JsonValue parseFile(const std::string &path);
+
+  private:
+    void dumpTo(std::string &out, int indent) const;
+
+    Kind _kind = Kind::Null;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<JsonValue> _items;
+    std::vector<std::pair<std::string, JsonValue>> _members;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_JSON_HH

@@ -1,6 +1,7 @@
 #include "core/node.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "cache/two_level.hh"
 #include "core/feeder.hh"
@@ -191,6 +192,111 @@ Tick
 TextureNode::finishTime() const
 {
     return std::max(cpuTime, lastRetire);
+}
+
+void
+TextureNode::serialize(CheckpointWriter &w) const
+{
+    w.section("node");
+    w.u32(nodeId);
+    w.u64(cpuTime);
+    w.u64(lastRetire);
+    w.u64(ringHead);
+    w.u64vec(retireRing);
+    w.u32(_slowdown);
+    w.u8(_frozen ? 1 : 0);
+    w.u8(_dead ? 1 : 0);
+    w.u64(_pixelsDrawn);
+    w.u64(_trianglesReceived);
+    w.u64(_setupBound);
+    w.u64(_stallCycles);
+    w.u64(_idleCycles);
+    w.u64(_setupWaitCycles);
+    trianglePixels.serialize(w);
+
+    w.section("node-fifo");
+    w.u64(fifo.maxOccupancy());
+    w.u64(fifo.size());
+    for (const TriangleWork &work : fifo.contents()) {
+        w.u32(work.tex);
+        w.u64(work.frags.size());
+        for (const NodeFragment &frag : work.frags) {
+            w.u32(frag.x);
+            w.u32(frag.y);
+            w.u32(std::bit_cast<uint32_t>(frag.u));
+            w.u32(std::bit_cast<uint32_t>(frag.v));
+            w.u32(std::bit_cast<uint32_t>(frag.lod));
+        }
+    }
+
+    cache_->serialize(w);
+    w.u8(bus_ ? 1 : 0);
+    if (bus_)
+        bus_->serialize(w);
+}
+
+void
+TextureNode::unserialize(CheckpointReader &r)
+{
+    r.section("node");
+    uint32_t id = r.u32();
+    if (id != nodeId)
+        texdist_fatal("checkpoint node id mismatch in ", r.path(),
+                      ": file has node", id, ", restoring ", name());
+    cpuTime = r.u64();
+    lastRetire = r.u64();
+    ringHead = r.u64();
+    retireRing = r.u64vec();
+    if (retireRing.size() != std::max(1u, cfg.prefetchQueueDepth) ||
+        ringHead >= retireRing.size())
+        texdist_fatal("checkpoint prefetch ring mismatch in ",
+                      r.path(), " for ", name());
+    _slowdown = r.u32();
+    _frozen = r.u8() != 0;
+    _dead = r.u8() != 0;
+    _pixelsDrawn = r.u64();
+    _trianglesReceived = r.u64();
+    _setupBound = r.u64();
+    _stallCycles = r.u64();
+    _idleCycles = r.u64();
+    _setupWaitCycles = r.u64();
+    trianglePixels.unserialize(r);
+
+    r.section("node-fifo");
+    uint64_t high_water = r.u64();
+    uint64_t occupancy = r.u64();
+    fifo.clear();
+    for (uint64_t i = 0; i < occupancy; ++i) {
+        TriangleWork work;
+        work.tex = r.u32();
+        uint64_t nfrags = r.u64();
+        work.frags.reserve(nfrags);
+        for (uint64_t f = 0; f < nfrags; ++f) {
+            NodeFragment frag;
+            frag.x = uint16_t(r.u32());
+            frag.y = uint16_t(r.u32());
+            frag.u = std::bit_cast<float>(r.u32());
+            frag.v = std::bit_cast<float>(r.u32());
+            frag.lod = std::bit_cast<float>(r.u32());
+            work.frags.push_back(frag);
+        }
+        fifo.forcePush(std::move(work));
+    }
+    fifo.restoreHighWater(high_water);
+
+    cache_->unserialize(r);
+    bool had_bus = r.u8() != 0;
+    if (had_bus != (bus_ != nullptr))
+        texdist_fatal("checkpoint bus presence mismatch in ",
+                      r.path(), " for ", name());
+    if (bus_)
+        bus_->unserialize(r);
+
+    if (workEvent.scheduled())
+        eventq().deschedule(&workEvent);
+    if (!fifo.empty() && !_dead)
+        eventq().schedule(&workEvent,
+                          std::max(curTick(), cpuTime));
 }
 
 } // namespace texdist

@@ -168,6 +168,23 @@ class TextureNode : public SimObject
     const Histogram &trianglePixelsHistogram() const
     { return trianglePixels; }
 
+    /**
+     * Serialize the node's complete mutable state: engine clocks,
+     * prefetch retire ring, fault flags, counters, triangle FIFO
+     * contents, cache tag arrays and bus position. A node restored
+     * from this state continues bit-exactly where the original
+     * stood.
+     */
+    void serialize(CheckpointWriter &w) const;
+
+    /**
+     * Restore state serialized by a node with the same id and
+     * configuration; fatal on mismatch. If the restored FIFO is
+     * non-empty the work event is rescheduled so the queued
+     * triangles drain.
+     */
+    void unserialize(CheckpointReader &r);
+
   private:
     /** Event: start processing the FIFO head. */
     class WorkEvent : public Event

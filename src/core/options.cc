@@ -132,9 +132,40 @@ SimOptions::usage()
         "node\n"
         "                        and redistribute (default fail)\n"
         "\n"
+        "multi-frame, checkpointing and replay "
+        "(see docs/ROBUSTNESS.md):\n"
+        "  --frames=<n>          simulate n frames on a persistent\n"
+        "                        machine (warm caches); default 1\n"
+        "  --pan=<dx>[,<dy>]     camera pan in px/frame between "
+        "frames\n"
+        "  --checkpoint-every=<n>\n"
+        "                        write a checkpoint every n frames\n"
+        "  --checkpoint-file=<path>\n"
+        "                        checkpoint path (default "
+        "texdist.ckpt)\n"
+        "  --restore=<path>      resume from a checkpoint\n"
+        "  --manifest=<path>     record a run manifest with "
+        "per-frame\n"
+        "                        state digests\n"
+        "  --replay-verify=<path>\n"
+        "                        re-execute the run in the manifest "
+        "and\n"
+        "                        fail on the first diverging frame\n"
+        "  --audit               check frame invariants (fragment\n"
+        "                        conservation, pixel coverage, "
+        "cache\n"
+        "                        accounting) after every frame\n"
+        "\n"
         "output:\n"
         "  --stats-file=<path>   write per-component statistics\n"
-        "  --help                this text\n";
+        "  --result-csv=<path>   write one CSV row per frame "
+        "(atomic)\n"
+        "  --help                this text\n"
+        "\n"
+        "exit codes: 0 ok, 1 usage/config error, 2 frame failed,\n"
+        "            3 interrupted (SIGINT/SIGTERM), 4 audit "
+        "violation,\n"
+        "            5 replay divergence\n";
 }
 
 SimOptions
@@ -244,11 +275,42 @@ SimOptions::parse(int argc, char **argv)
                               "got '", v, "'");
         } else if (match(arg, "stats-file", v)) {
             opts.statsFile = v;
+        } else if (match(arg, "frames", v)) {
+            opts.frames = parseU32(v, "frames");
+            if (opts.frames == 0)
+                texdist_fatal("--frames must be positive");
+        } else if (match(arg, "pan", v)) {
+            size_t comma = v.find(',');
+            if (comma == std::string::npos) {
+                opts.panDx = parseF64(v, "pan");
+                opts.panDy = 0.0;
+            } else {
+                opts.panDx = parseF64(v.substr(0, comma), "pan");
+                opts.panDy = parseF64(v.substr(comma + 1), "pan");
+            }
+        } else if (match(arg, "checkpoint-every", v)) {
+            opts.checkpointEvery = parseU32(v, "checkpoint-every");
+        } else if (match(arg, "checkpoint-file", v)) {
+            opts.checkpointFile = v;
+        } else if (match(arg, "restore", v)) {
+            opts.restorePath = v;
+        } else if (match(arg, "manifest", v)) {
+            opts.manifestPath = v;
+        } else if (match(arg, "replay-verify", v)) {
+            opts.replayVerifyPath = v;
+        } else if (arg == "--audit") {
+            opts.audit = true;
+        } else if (match(arg, "result-csv", v)) {
+            opts.resultCsv = v;
         } else {
             texdist_fatal("unknown option '", arg, "'\n\n",
                           usage());
         }
     }
+    // --checkpoint-file alone still gets the signal-time final
+    // checkpoint; --checkpoint-every without a file gets a default.
+    if (opts.checkpointEvery > 0 && opts.checkpointFile.empty())
+        opts.checkpointFile = "texdist.ckpt";
     return opts;
 }
 

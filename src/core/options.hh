@@ -35,6 +35,34 @@ struct SimOptions
     /** Where to write the detailed per-component statistics. */
     std::string statsFile;
 
+    /** Frames to simulate; > 1 selects the multi-frame machine. */
+    uint32_t frames = 1;
+
+    /** Per-frame camera pan in pixels (multi-frame runs). */
+    double panDx = 0.0;
+    double panDy = 0.0;
+
+    /** Checkpoint every N frames; 0 disables checkpointing. */
+    uint32_t checkpointEvery = 0;
+
+    /** Checkpoint file (default texdist.ckpt when enabled). */
+    std::string checkpointFile;
+
+    /** Restore simulator state from this checkpoint before running. */
+    std::string restorePath;
+
+    /** Write a run manifest (digests, config, fault plan) here. */
+    std::string manifestPath;
+
+    /** Re-execute the run recorded in this manifest and verify. */
+    std::string replayVerifyPath;
+
+    /** Check frame invariants after every frame. */
+    bool audit = false;
+
+    /** Write one machine-readable CSV row per frame here. */
+    std::string resultCsv;
+
     /** Print the available benchmarks and exit. */
     bool listBenchmarks = false;
 

@@ -1,0 +1,124 @@
+#include "core/replay.hh"
+
+#include <cctype>
+#include <cstdio>
+
+#include "core/json.hh"
+#include "sim/checkpoint.hh"
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+uint64_t
+digestFrame(const FrameResult &frame)
+{
+    StateDigest d;
+    d.mix(frame.frameTime);
+    d.mix(frame.totalPixels);
+    d.mix(frame.totalTexelsFetched);
+    d.mix(frame.trianglesDispatched);
+    d.mix(uint64_t(frame.degraded));
+    d.mix(uint64_t(frame.failed));
+    d.mix(uint64_t(frame.faultStats.injected));
+    d.mix(uint64_t(frame.faultStats.nodesKilled));
+    d.mix(frame.nodes.size());
+    for (const NodeResult &node : frame.nodes) {
+        d.mix(node.pixels);
+        d.mix(node.triangles);
+        d.mix(node.finishTime);
+        d.mix(node.cacheAccesses);
+        d.mix(node.cacheMisses);
+        d.mix(node.texelsFetched);
+        d.mix(node.stallCycles);
+        d.mix(node.idleCycles);
+        d.mix(node.setupBoundTriangles);
+        d.mix(node.setupWaitCycles);
+        d.mix(node.fifoMaxOccupancy);
+    }
+    return d.value();
+}
+
+std::string
+digestHex(uint64_t digest)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)digest);
+    return buf;
+}
+
+uint64_t
+digestFromHex(const std::string &hex)
+{
+    if (hex.size() != 16)
+        texdist_fatal("bad digest '", hex,
+                      "': expected 16 hex digits");
+    uint64_t v = 0;
+    for (char c : hex) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= uint64_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= uint64_t(c - 'a' + 10);
+        else
+            texdist_fatal("bad digest '", hex,
+                          "': expected 16 hex digits");
+    }
+    return v;
+}
+
+void
+RunManifest::save(const std::string &path) const
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("format", JsonValue::makeString("texdist-run-manifest"));
+    root.set("version", JsonValue::makeNumber(1));
+    root.set("scene", JsonValue::makeString(scene));
+    root.set("config", JsonValue::makeString(config));
+    root.set("fault_plan", JsonValue::makeString(faultPlan));
+    // Hex string: a 64-bit seed does not fit a JSON double exactly.
+    root.set("fault_seed", JsonValue::makeString(digestHex(faultSeed)));
+    root.set("frames", JsonValue::makeNumber(frames));
+    root.set("pan_dx", JsonValue::makeNumber(panDx));
+    root.set("pan_dy", JsonValue::makeNumber(panDy));
+    root.set("interrupted", JsonValue::makeBool(interrupted));
+    JsonValue list = JsonValue::makeArray();
+    for (uint64_t digest : digests)
+        list.append(JsonValue::makeString(digestHex(digest)));
+    root.set("frame_digests", std::move(list));
+    atomicWriteFile(path, root.dump());
+}
+
+RunManifest
+RunManifest::load(const std::string &path)
+{
+    JsonValue root = JsonValue::parseFile(path);
+    const std::string &format = root.at("format").asString();
+    if (format != "texdist-run-manifest")
+        texdist_fatal(path, " is not a run manifest (format '",
+                      format, "')");
+    uint64_t version = root.at("version").asU64();
+    if (version != 1)
+        texdist_fatal(path, ": unsupported manifest version ",
+                      version);
+
+    RunManifest m;
+    m.scene = root.at("scene").asString();
+    m.config = root.at("config").asString();
+    m.faultPlan = root.at("fault_plan").asString();
+    m.faultSeed = digestFromHex(root.at("fault_seed").asString());
+    m.frames = uint32_t(root.at("frames").asU64());
+    m.panDx = root.at("pan_dx").asNumber();
+    m.panDy = root.at("pan_dy").asNumber();
+    m.interrupted = root.at("interrupted").asBool();
+    for (const JsonValue &entry : root.at("frame_digests").items())
+        m.digests.push_back(digestFromHex(entry.asString()));
+    if (!m.interrupted && m.digests.size() != m.frames)
+        texdist_fatal(path, ": complete run with ",
+                      m.digests.size(), " digests for ", m.frames,
+                      " frames");
+    return m;
+}
+
+} // namespace texdist

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic-replay manifests. Every multi-frame run can leave a
+ * JSON manifest behind recording exactly what was simulated — the
+ * scene, the configuration, the fault plan and seed, and a state
+ * digest of every completed frame. `--replay-verify` re-executes the
+ * run from the same inputs and fails loudly on the first frame whose
+ * digest diverges, which is the cheap end-to-end answer to "is this
+ * simulator still deterministic after that change?".
+ */
+
+#ifndef TEXDIST_CORE_REPLAY_HH
+#define TEXDIST_CORE_REPLAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace texdist
+{
+
+/**
+ * Everything needed to reproduce (and verify) one multi-frame run.
+ * Config and fault plan are stored as their describe() strings: the
+ * verify pass reconstructs the machine from the command line and
+ * checks the strings match before trusting a digest comparison.
+ */
+struct RunManifest
+{
+    std::string scene;     ///< scene name or trace path
+    std::string config;    ///< MachineConfig::describe()
+    std::string faultPlan; ///< FaultPlan::describe()
+    uint64_t faultSeed = 0;
+    uint32_t frames = 1;
+    double panDx = 0.0; ///< per-frame camera pan in pixels
+    double panDy = 0.0;
+
+    /** Per-frame state digests, in frame order. */
+    std::vector<uint64_t> digests;
+
+    /**
+     * True when the run was cut short (signal, checkpoint exit):
+     * digests cover only the completed prefix of `frames`.
+     */
+    bool interrupted = false;
+
+    /** Write atomically (temp file + rename). */
+    void save(const std::string &path) const;
+
+    /** Load and validate; fatal on malformed input. */
+    static RunManifest load(const std::string &path);
+};
+
+/**
+ * Order-sensitive digest of one frame's results: frame time, totals,
+ * fault counters and every per-node measurement. Two runs of the
+ * same inputs must produce identical digests frame by frame; any
+ * divergence means nondeterminism (or a real behaviour change).
+ */
+uint64_t digestFrame(const FrameResult &frame);
+
+/** Fixed-width lowercase hex rendering used in manifests. */
+std::string digestHex(uint64_t digest);
+
+/** Parse a digestHex() string; fatal on malformed input. */
+uint64_t digestFromHex(const std::string &hex);
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_REPLAY_HH

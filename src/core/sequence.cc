@@ -30,7 +30,7 @@ imbalancePct(const std::vector<T> &values)
 
 SequenceMachine::SequenceMachine(const Scene &first_frame,
                                  const MachineConfig &config)
-    : cfg(config)
+    : cfg(config), faultRng(config.faults.seed)
 {
     dist = Distribution::make(cfg.dist, first_frame.screenWidth,
                               first_frame.screenHeight, cfg.numProcs,
@@ -41,6 +41,62 @@ SequenceMachine::SequenceMachine(const Scene &first_frame,
     snapshots.resize(cfg.numProcs);
 }
 
+void
+SequenceMachine::armFaults(Tick frame_start)
+{
+    faultEvents.clear();
+    frameFaultsInjected = 0;
+    for (FaultSpec fault : cfg.faults.faults) {
+        if (fault.victim == faultRandomVictim)
+            fault.victim = uint32_t(
+                faultRng.uniformInt(0, int64_t(cfg.numProcs) - 1));
+        if (fault.victim >= cfg.numProcs)
+            texdist_fatal("fault victim ", fault.victim,
+                          " out of range for ", cfg.numProcs,
+                          " processors");
+        TextureNode *victim = nodes[fault.victim].get();
+        Tick at = frame_start + fault.at;
+        Tick end = fault.duration > 0 ? at + fault.duration : maxTick;
+
+        std::function<void()> strike;
+        std::function<void()> recover;
+        switch (fault.kind) {
+          case FaultKind::SlowNode:
+            strike = [this, victim, fault] {
+                ++frameFaultsInjected;
+                victim->setSlowdown(fault.factor);
+            };
+            if (fault.duration > 0)
+                recover = [victim] { victim->setSlowdown(1); };
+            break;
+          case FaultKind::BusStall:
+            strike = [this, victim, at, end] {
+                ++frameFaultsInjected;
+                victim->stallBus(at, end);
+            };
+            break;
+          default:
+            // fifo-freeze and kill-node need the watchdog and
+            // degradation machinery of ParallelMachine, which a
+            // checkpointable sequence does not carry.
+            texdist_fatal("fault kind '", to_string(fault.kind),
+                          "' is not supported in multi-frame "
+                          "(sequence) runs");
+        }
+
+        auto ev = std::make_unique<LambdaEvent>(std::move(strike),
+                                                "fault strike");
+        eq.schedule(ev.get(), at);
+        faultEvents.push_back(std::move(ev));
+        if (recover && fault.duration > 0) {
+            auto rev = std::make_unique<LambdaEvent>(
+                std::move(recover), "fault recovery");
+            eq.schedule(rev.get(), end);
+            faultEvents.push_back(std::move(rev));
+        }
+    }
+}
+
 FrameResult
 SequenceMachine::runFrame(const Scene &scene)
 {
@@ -49,6 +105,7 @@ SequenceMachine::runFrame(const Scene &scene)
         texdist_fatal("frame ", scene.name,
                       " does not match the sequence screen size");
 
+    armFaults(frameStart);
     GeometryFeeder feeder(scene, *dist, nodes, eq, cfg);
     for (auto &node : nodes)
         node->setFeeder(&feeder);
@@ -119,9 +176,89 @@ SequenceMachine::runFrame(const Scene &scene)
                         : 0.0;
     out.pixelImbalancePercent = imbalancePct(pixel_counts);
     out.meanBusUtilization = bus_util_sum / double(nodes.size());
+    out.faultStats.injected = frameFaultsInjected;
 
-    frameStart = frame_end;
+    // A fault recovery event may fire after the last node retires;
+    // the next frame must still start at or after the queue's clock.
+    frameStart = std::max(frame_end, eq.curTick());
+    ++_framesRun;
     return out;
+}
+
+void
+SequenceMachine::serialize(CheckpointWriter &w) const
+{
+    w.section("sequence");
+    w.str(cfg.describe());
+    w.u64(frameStart);
+    w.u32(_framesRun);
+    RngState rng = faultRng.state();
+    for (uint64_t word : rng.s)
+        w.u64(word);
+    w.u8(rng.haveSpareNormal ? 1 : 0);
+    w.f64(rng.spareNormal);
+
+    w.section("snapshots");
+    w.u64(snapshots.size());
+    for (const NodeSnapshot &snap : snapshots) {
+        w.u64(snap.pixels);
+        w.u64(snap.triangles);
+        w.u64(snap.accesses);
+        w.u64(snap.misses);
+        w.u64(snap.texelsFetched);
+        w.u64(snap.stallCycles);
+        w.u64(snap.idleCycles);
+        w.u64(snap.setupBound);
+        w.u64(snap.setupWait);
+    }
+
+    for (const auto &node : nodes)
+        node->serialize(w);
+}
+
+void
+SequenceMachine::restore(CheckpointReader &r)
+{
+    if (_framesRun > 0 || restored)
+        texdist_panic("SequenceMachine::restore after frames ran");
+    restored = true;
+
+    r.section("sequence");
+    std::string config = r.str();
+    if (config != cfg.describe())
+        texdist_fatal("checkpoint configuration mismatch in ",
+                      r.path(), ":\n  checkpoint: ", config,
+                      "\n  machine:    ", cfg.describe());
+    frameStart = r.u64();
+    _framesRun = r.u32();
+    RngState rng;
+    for (auto &word : rng.s)
+        word = r.u64();
+    rng.haveSpareNormal = r.u8() != 0;
+    rng.spareNormal = r.f64();
+    faultRng.setState(rng);
+
+    r.section("snapshots");
+    uint64_t count = r.u64();
+    if (count != snapshots.size())
+        texdist_fatal("checkpoint processor count mismatch in ",
+                      r.path(), ": file has ", count,
+                      ", machine has ", snapshots.size());
+    for (NodeSnapshot &snap : snapshots) {
+        snap.pixels = r.u64();
+        snap.triangles = r.u64();
+        snap.accesses = r.u64();
+        snap.misses = r.u64();
+        snap.texelsFetched = r.u64();
+        snap.stallCycles = r.u64();
+        snap.idleCycles = r.u64();
+        snap.setupBound = r.u64();
+        snap.setupWait = r.u64();
+    }
+
+    eq.restoreClock(frameStart);
+    for (auto &node : nodes)
+        node->unserialize(r);
 }
 
 SequenceResult

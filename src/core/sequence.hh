@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "core/machine.hh"
+#include "geom/rng.hh"
+#include "sim/checkpoint.hh"
 
 namespace texdist
 {
@@ -54,7 +56,37 @@ class SequenceMachine
     /** End of the last simulated frame. */
     Tick currentTime() const { return frameStart; }
 
+    /** The static image distribution all frames share. */
+    const Distribution &distribution() const { return *dist; }
+
+    /** Frames simulated (or restored) so far. */
+    uint32_t framesRun() const { return _framesRun; }
+
+    /**
+     * Serialize the machine at a frame boundary: the clock, the
+     * fault RNG stream, per-node delta snapshots and every node's
+     * full state (caches, engine clocks, FIFO, bus). A machine
+     * restored from this checkpoint simulates the remaining frames
+     * bit-exactly as the uninterrupted run would have.
+     */
+    void serialize(CheckpointWriter &w) const;
+
+    /**
+     * Restore a checkpoint into a freshly constructed machine with
+     * an identical configuration and first frame; fatal on any
+     * mismatch. Must be called before the first runFrame().
+     */
+    void restore(CheckpointReader &r);
+
   private:
+    /**
+     * Arm the per-frame fault plan: in sequence runs fault ticks
+     * are relative to the frame start and the plan strikes every
+     * frame, with `rand` victims re-resolved per frame from the
+     * session RNG stream. Only faults a sequence can survive
+     * without a watchdog (slow-node, bus-stall) are supported.
+     */
+    void armFaults(Tick frame_start);
     /** Per-node counter snapshot for delta accounting. */
     struct NodeSnapshot
     {
@@ -74,7 +106,12 @@ class SequenceMachine
     std::unique_ptr<Distribution> dist;
     std::vector<std::unique_ptr<TextureNode>> nodes;
     std::vector<NodeSnapshot> snapshots;
+    std::vector<std::unique_ptr<LambdaEvent>> faultEvents;
+    Rng faultRng;
+    uint32_t frameFaultsInjected = 0;
+    uint32_t _framesRun = 0;
     Tick frameStart = 0;
+    bool restored = false;
 };
 
 /** Convenience: run a whole sequence. */

@@ -122,6 +122,26 @@ Rng::chance(double p)
     return uniform() < p;
 }
 
+RngState
+Rng::state() const
+{
+    RngState out;
+    for (int i = 0; i < 4; ++i)
+        out.s[size_t(i)] = s[i];
+    out.haveSpareNormal = haveSpareNormal;
+    out.spareNormal = spareNormal;
+    return out;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (int i = 0; i < 4; ++i)
+        s[i] = state.s[size_t(i)];
+    haveSpareNormal = state.haveSpareNormal;
+    spareNormal = state.spareNormal;
+}
+
 Rng
 Rng::split(uint64_t tag)
 {

@@ -11,10 +11,22 @@
 #ifndef TEXDIST_GEOM_RNG_HH
 #define TEXDIST_GEOM_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace texdist
 {
+
+/**
+ * A captured Rng stream position, for checkpoint/restore: restoring
+ * it resumes the stream exactly where it was captured.
+ */
+struct RngState
+{
+    std::array<uint64_t, 4> s{};
+    bool haveSpareNormal = false;
+    double spareNormal = 0.0;
+};
 
 /**
  * xoshiro256** PRNG with a SplitMix64 seeding stage. Deterministic
@@ -50,6 +62,12 @@ class Rng
 
     /** Bernoulli trial with probability p of returning true. */
     bool chance(double p);
+
+    /** Capture the stream position (for checkpoints). */
+    RngState state() const;
+
+    /** Resume from a captured stream position. */
+    void setState(const RngState &state);
 
     /**
      * Split off an independent child generator. Children derived with

@@ -49,6 +49,38 @@ TextureBus::freeAt() const
 }
 
 void
+TextureBus::serialize(CheckpointWriter &w) const
+{
+    w.section("bus");
+    w.f64(texelsPerCycle);
+    w.f64(freeTime);
+    w.f64(stallFrom);
+    w.f64(stallUntil);
+    w.f64(_busyCycles);
+    w.u64(_texelsTransferred);
+    w.u64(_transfers);
+    w.u64(_stalledTransfers);
+}
+
+void
+TextureBus::unserialize(CheckpointReader &r)
+{
+    r.section("bus");
+    double bw = r.f64();
+    if (bw != texelsPerCycle)
+        texdist_fatal("checkpoint bus bandwidth mismatch in ",
+                      r.path(), ": file has ", bw, ", machine has ",
+                      texelsPerCycle);
+    freeTime = r.f64();
+    stallFrom = r.f64();
+    stallUntil = r.f64();
+    _busyCycles = r.f64();
+    _texelsTransferred = r.u64();
+    _transfers = r.u64();
+    _stalledTransfers = r.u64();
+}
+
+void
 TextureBus::reset()
 {
     freeTime = 0.0;

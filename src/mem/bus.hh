@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "sim/checkpoint.hh"
 #include "sim/eventq.hh"
 
 namespace texdist
@@ -79,6 +80,12 @@ class TextureBus
     }
 
     void reset();
+
+    /** Serialize the bus position and counters (checkpointing). */
+    void serialize(CheckpointWriter &w) const;
+
+    /** Restore from a checkpoint of a bus with equal bandwidth. */
+    void unserialize(CheckpointReader &r);
 
   private:
     double texelsPerCycle;

@@ -1,0 +1,286 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+namespace
+{
+
+constexpr char checkpointMagic[4] = {'T', 'D', 'C', 'P'};
+
+const uint32_t *
+crcTable()
+{
+    static uint32_t table[256];
+    static bool built = false;
+    if (!built) {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        built = true;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    const uint32_t *table = crcTable();
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+StateDigest &
+StateDigest::mix(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffu;
+        h *= 0x100000001b3ULL;
+    }
+    return *this;
+}
+
+StateDigest &
+StateDigest::mix(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix(bits);
+}
+
+StateDigest &
+StateDigest::mix(const std::string &s)
+{
+    mix(uint64_t(s.size()));
+    for (char c : s) {
+        h ^= uint8_t(c);
+        h *= 0x100000001b3ULL;
+    }
+    return *this;
+}
+
+void
+CheckpointWriter::section(const std::string &name)
+{
+    str(name);
+}
+
+void
+CheckpointWriter::u8(uint8_t v)
+{
+    buf.push_back(v);
+}
+
+void
+CheckpointWriter::u32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(uint8_t(v >> (i * 8)));
+}
+
+void
+CheckpointWriter::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(uint8_t(v >> (i * 8)));
+}
+
+void
+CheckpointWriter::f64(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+CheckpointWriter::str(const std::string &s)
+{
+    u64(s.size());
+    buf.insert(buf.end(), s.begin(), s.end());
+}
+
+void
+CheckpointWriter::u64vec(const std::vector<uint64_t> &v)
+{
+    u64(v.size());
+    for (uint64_t x : v)
+        u64(x);
+}
+
+void
+CheckpointWriter::writeFile(const std::string &path) const
+{
+    std::string header(20, '\0');
+    std::memcpy(header.data(), checkpointMagic, 4);
+    uint32_t version = checkpointVersion;
+    uint64_t len = buf.size();
+    uint32_t crc = crc32(buf.data(), buf.size());
+    for (int i = 0; i < 4; ++i)
+        header[4 + i] = char(version >> (i * 8));
+    for (int i = 0; i < 8; ++i)
+        header[8 + i] = char(len >> (i * 8));
+    for (int i = 0; i < 4; ++i)
+        header[16 + i] = char(crc >> (i * 8));
+
+    std::string contents = header;
+    contents.append(reinterpret_cast<const char *>(buf.data()),
+                    buf.size());
+    atomicWriteFile(path, contents);
+}
+
+CheckpointReader::CheckpointReader(const std::string &path)
+    : _path(path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        texdist_fatal("cannot open checkpoint: ", path);
+    uint8_t header[20];
+    if (!is.read(reinterpret_cast<char *>(header), sizeof(header)))
+        texdist_fatal("checkpoint too short for header: ", path);
+    if (std::memcmp(header, checkpointMagic, 4) != 0)
+        texdist_fatal("not a checkpoint (bad magic): ", path);
+    uint32_t version = 0;
+    for (int i = 0; i < 4; ++i)
+        version |= uint32_t(header[4 + i]) << (i * 8);
+    if (version != checkpointVersion)
+        texdist_fatal("checkpoint version mismatch in ", path,
+                      ": file has ", version, ", simulator expects ",
+                      checkpointVersion);
+    uint64_t len = 0;
+    for (int i = 0; i < 8; ++i)
+        len |= uint64_t(header[8 + i]) << (i * 8);
+    uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i)
+        crc |= uint32_t(header[16 + i]) << (i * 8);
+
+    buf.resize(len);
+    if (len > 0 &&
+        !is.read(reinterpret_cast<char *>(buf.data()), len))
+        texdist_fatal("checkpoint truncated: ", path, " (expected ",
+                      len, " payload bytes)");
+    char extra;
+    if (is.read(&extra, 1))
+        texdist_fatal("checkpoint has trailing garbage: ", path);
+    uint32_t got = crc32(buf.data(), buf.size());
+    if (got != crc)
+        texdist_fatal("checkpoint checksum mismatch: ", path,
+                      " (stored ", crc, ", computed ", got,
+                      ") — the file is corrupt");
+}
+
+const uint8_t *
+CheckpointReader::need(size_t n)
+{
+    if (buf.size() - pos < n)
+        texdist_fatal("checkpoint read past end of payload: ", _path,
+                      " at offset ", pos, ", need ", n, " bytes of ",
+                      buf.size());
+    const uint8_t *p = buf.data() + pos;
+    pos += n;
+    return p;
+}
+
+void
+CheckpointReader::section(const std::string &name)
+{
+    std::string got = str();
+    if (got != name)
+        texdist_fatal("checkpoint section mismatch in ", _path,
+                      ": expected '", name, "', found '", got, "'");
+}
+
+uint8_t
+CheckpointReader::u8()
+{
+    return *need(1);
+}
+
+uint32_t
+CheckpointReader::u32()
+{
+    const uint8_t *p = need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t(p[i]) << (i * 8);
+    return v;
+}
+
+uint64_t
+CheckpointReader::u64()
+{
+    const uint8_t *p = need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(p[i]) << (i * 8);
+    return v;
+}
+
+double
+CheckpointReader::f64()
+{
+    uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+CheckpointReader::str()
+{
+    uint64_t len = u64();
+    if (buf.size() - pos < len)
+        texdist_fatal("checkpoint string overruns payload: ", _path,
+                      " at offset ", pos);
+    const uint8_t *p = need(len);
+    return std::string(reinterpret_cast<const char *>(p), len);
+}
+
+std::vector<uint64_t>
+CheckpointReader::u64vec()
+{
+    uint64_t n = u64();
+    if (buf.size() - pos < n * 8)
+        texdist_fatal("checkpoint vector overruns payload: ", _path,
+                      " at offset ", pos);
+    std::vector<uint64_t> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i)
+        v.push_back(u64());
+    return v;
+}
+
+void
+atomicWriteFile(const std::string &path, const std::string &contents)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            texdist_fatal("cannot open for writing: ", tmp);
+        os.write(contents.data(),
+                 std::streamsize(contents.size()));
+        os.flush();
+        if (!os)
+            texdist_fatal("write failed: ", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        texdist_fatal("cannot rename ", tmp, " to ", path);
+}
+
+} // namespace texdist

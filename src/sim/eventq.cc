@@ -31,6 +31,17 @@ EventQueue::schedule(Event *event, Tick when)
 }
 
 void
+EventQueue::restoreClock(Tick when)
+{
+    if (numPending > 0 || numProcessed > 0)
+        texdist_panic("restoreClock on a queue already in use");
+    if (when < _curTick)
+        texdist_panic("restoreClock backwards: ", when, " < ",
+                      _curTick);
+    _curTick = when;
+}
+
+void
 EventQueue::deschedule(Event *event)
 {
     if (!event->_scheduled)

@@ -143,6 +143,14 @@ class EventQueue
     /** Progress units recorded since construction. */
     uint64_t progressCount() const { return _progress; }
 
+    /**
+     * Restore the clock of a checkpointed simulation: jump an idle
+     * queue (nothing pending, nothing processed yet) forward to
+     * @p when, so restored components whose timestamps are absolute
+     * resume against a consistent notion of "now".
+     */
+    void restoreClock(Tick when);
+
   private:
     struct Entry
     {

@@ -39,8 +39,14 @@ class BoundedFifo
     bool empty() const { return entries.empty(); }
     bool full() const { return entries.size() >= _capacity; }
 
-    /** Free slots remaining. */
-    size_t space() const { return _capacity - entries.size(); }
+    /** Free slots remaining (zero while overfilled by forcePush). */
+    size_t
+    space() const
+    {
+        return entries.size() >= _capacity
+                   ? 0
+                   : _capacity - entries.size();
+    }
 
     /** Push one entry; the FIFO must not be full. */
     void
@@ -91,6 +97,24 @@ class BoundedFifo
 
     /** High-water mark since construction/reset. */
     size_t maxOccupancy() const { return _maxOccupancy; }
+
+    /**
+     * The queued entries in order, front first — read-only access
+     * for checkpoint serialization and diagnostics.
+     */
+    const std::deque<T> &contents() const { return entries; }
+
+    /**
+     * Restore the high-water mark from a checkpoint (>= current
+     * occupancy; callers refill contents with push/forcePush first).
+     */
+    void
+    restoreHighWater(size_t high_water)
+    {
+        if (high_water < entries.size())
+            texdist_panic("FIFO high-water below occupancy");
+        _maxOccupancy = high_water;
+    }
 
     void
     clear()

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <iomanip>
 
+#include "sim/logging.hh"
+
 namespace texdist
 {
 
@@ -73,6 +75,38 @@ Histogram::reset()
     totalSq = 0.0;
     lo = std::numeric_limits<double>::infinity();
     hi = -std::numeric_limits<double>::infinity();
+}
+
+void
+Histogram::serialize(CheckpointWriter &w) const
+{
+    w.section("histogram");
+    w.f64(bucketWidth);
+    w.u64vec(buckets);
+    w.u64(overflow);
+    w.u64(n);
+    w.f64(total);
+    w.f64(totalSq);
+    w.f64(lo);
+    w.f64(hi);
+}
+
+void
+Histogram::unserialize(CheckpointReader &r)
+{
+    r.section("histogram");
+    double width = r.f64();
+    std::vector<uint64_t> b = r.u64vec();
+    if (width != bucketWidth || b.size() != buckets.size())
+        texdist_fatal("checkpoint histogram shape mismatch in ",
+                      r.path());
+    buckets = std::move(b);
+    overflow = r.u64();
+    n = r.u64();
+    total = r.f64();
+    totalSq = r.f64();
+    lo = r.f64();
+    hi = r.f64();
 }
 
 void

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.hh"
+
 namespace texdist
 {
 
@@ -69,6 +71,12 @@ class Histogram
     double quantile(double p) const;
 
     void reset();
+
+    /** Serialize samples and buckets (checkpointing). */
+    void serialize(CheckpointWriter &w) const;
+
+    /** Restore a histogram with identical bucket configuration. */
+    void unserialize(CheckpointReader &r);
 
   private:
     double bucketWidth;

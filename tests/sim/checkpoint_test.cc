@@ -1,0 +1,242 @@
+/** @file Tests for the checkpoint container and state digests. */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "geom/rng.hh"
+#include "sim/checkpoint.hh"
+
+namespace texdist
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+void
+spew(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << bytes;
+}
+
+TEST(Checkpoint, RoundTripsEveryType)
+{
+    std::string path = tempPath("ckpt_roundtrip.ckpt");
+    CheckpointWriter w;
+    w.section("test");
+    w.u8(0xab);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefull);
+    w.f64(-1.5);
+    w.str("hello checkpoint");
+    w.u64vec({1, 2, 3, 0xffffffffffffffffull});
+    w.writeFile(path);
+
+    CheckpointReader r(path);
+    r.section("test");
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.f64(), -1.5);
+    EXPECT_EQ(r.str(), "hello checkpoint");
+    EXPECT_EQ(r.u64vec(),
+              (std::vector<uint64_t>{1, 2, 3,
+                                     0xffffffffffffffffull}));
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(CheckpointDeath, CorruptPayloadFailsCrc)
+{
+    std::string path = tempPath("ckpt_corrupt.ckpt");
+    CheckpointWriter w;
+    w.section("test");
+    w.u64(42);
+    w.writeFile(path);
+
+    std::string bytes = slurp(path);
+    // Flip one bit in the payload (after the 20-byte header).
+    bytes[bytes.size() - 1] ^= 0x01;
+    spew(path, bytes);
+    EXPECT_EXIT(CheckpointReader r(path),
+                ::testing::ExitedWithCode(1), "checksum");
+}
+
+TEST(CheckpointDeath, VersionMismatchIsFatal)
+{
+    std::string path = tempPath("ckpt_version.ckpt");
+    CheckpointWriter w;
+    w.section("test");
+    w.u64(42);
+    w.writeFile(path);
+
+    std::string bytes = slurp(path);
+    bytes[4] = char(0x7f); // version field, little-endian
+    spew(path, bytes);
+    EXPECT_EXIT(CheckpointReader r(path),
+                ::testing::ExitedWithCode(1), "version");
+}
+
+TEST(CheckpointDeath, TruncationIsFatal)
+{
+    std::string path = tempPath("ckpt_trunc.ckpt");
+    CheckpointWriter w;
+    w.section("test");
+    w.u64vec({1, 2, 3, 4, 5, 6, 7, 8});
+    w.writeFile(path);
+
+    std::string bytes = slurp(path);
+    spew(path, bytes.substr(0, bytes.size() / 2));
+    EXPECT_EXIT(CheckpointReader r(path),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(CheckpointDeath, NotACheckpointIsFatal)
+{
+    std::string path = tempPath("ckpt_magic.ckpt");
+    spew(path, "definitely not a checkpoint file at all");
+    EXPECT_EXIT(CheckpointReader r(path),
+                ::testing::ExitedWithCode(1), "not a checkpoint");
+}
+
+TEST(CheckpointDeath, WrongSectionNameIsFatal)
+{
+    std::string path = tempPath("ckpt_section.ckpt");
+    CheckpointWriter w;
+    w.section("alpha");
+    w.u64(1);
+    w.writeFile(path);
+
+    CheckpointReader r(path);
+    EXPECT_EXIT(r.section("beta"), ::testing::ExitedWithCode(1),
+                "section");
+}
+
+TEST(Checkpoint, AtomicWriteLeavesNoTempBehind)
+{
+    std::string path = tempPath("ckpt_atomic.bin");
+    atomicWriteFile(path, "payload");
+    EXPECT_EQ(slurp(path), "payload");
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+}
+
+TEST(StateDigest, DeterministicAndOrderSensitive)
+{
+    StateDigest a;
+    a.mix(uint64_t(1));
+    a.mix(uint64_t(2));
+    StateDigest b;
+    b.mix(uint64_t(1));
+    b.mix(uint64_t(2));
+    EXPECT_EQ(a.value(), b.value());
+
+    StateDigest c;
+    c.mix(uint64_t(2));
+    c.mix(uint64_t(1));
+    EXPECT_NE(a.value(), c.value());
+
+    StateDigest d;
+    d.mix(3.25);
+    d.mix(std::string("name"));
+    StateDigest e;
+    e.mix(3.25);
+    e.mix(std::string("name"));
+    EXPECT_EQ(d.value(), e.value());
+}
+
+TEST(Checkpoint, RngStateRoundTrip)
+{
+    Rng rng(12345);
+    for (int i = 0; i < 100; ++i)
+        rng.uniformInt(0, 1000);
+
+    std::string path = tempPath("ckpt_rng.ckpt");
+    RngState state = rng.state();
+    CheckpointWriter w;
+    w.section("rng");
+    for (uint64_t word : state.s)
+        w.u64(word);
+    w.u8(state.haveSpareNormal ? 1 : 0);
+    w.f64(state.spareNormal);
+    w.writeFile(path);
+
+    CheckpointReader r(path);
+    r.section("rng");
+    RngState loaded;
+    for (auto &word : loaded.s)
+        word = r.u64();
+    loaded.haveSpareNormal = r.u8() != 0;
+    loaded.spareNormal = r.f64();
+
+    Rng restored(0);
+    restored.setState(loaded);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(restored.uniformInt(0, 1000000),
+                  rng.uniformInt(0, 1000000));
+}
+
+TEST(Checkpoint, WarmCacheRestoreHitsLikeTheOriginal)
+{
+    CacheGeometry geom{1024, 2, 64};
+    SetAssocCache warm(geom);
+    // Touch a working set so tags and LRU state are nontrivial.
+    for (uint64_t addr = 0; addr < 4096; addr += 16)
+        warm.access(addr);
+
+    std::string path = tempPath("ckpt_cache.ckpt");
+    CheckpointWriter w;
+    warm.serialize(w);
+    w.writeFile(path);
+
+    SetAssocCache restored(geom);
+    CheckpointReader r(path);
+    restored.unserialize(r);
+    EXPECT_EQ(restored.accesses(), warm.accesses());
+    EXPECT_EQ(restored.misses(), warm.misses());
+
+    // From here on both caches must hit and miss identically.
+    for (uint64_t addr = 4096; addr > 0; addr -= 32) {
+        bool hw = warm.access(addr);
+        bool hr = restored.access(addr);
+        EXPECT_EQ(hw, hr) << "divergence at address " << addr;
+    }
+    EXPECT_EQ(restored.misses(), warm.misses());
+}
+
+TEST(CheckpointDeath, CacheGeometryMismatchIsFatal)
+{
+    SetAssocCache small(CacheGeometry{1024, 2, 64});
+    small.access(0);
+
+    std::string path = tempPath("ckpt_geom.ckpt");
+    CheckpointWriter w;
+    small.serialize(w);
+    w.writeFile(path);
+
+    SetAssocCache big(CacheGeometry{2048, 2, 64});
+    CheckpointReader r(path);
+    EXPECT_EXIT(big.unserialize(r), ::testing::ExitedWithCode(1),
+                "geometry");
+}
+
+} // namespace
+} // namespace texdist

@@ -164,6 +164,99 @@ TEST(EventQueue, SizeTracksPending)
     EXPECT_EQ(eq.size(), 0u);
 }
 
+TEST(EventQueue, SameTickOrderSurvivesInterleavedArrival)
+{
+    // Tie-breaking must follow scheduling order even when same-tick
+    // events arrive interleaved with events at other ticks — the
+    // foundation of deterministic replay.
+    EventQueue eq;
+    std::vector<int> order;
+    LambdaEvent a([&] { order.push_back(1); });
+    LambdaEvent b([&] { order.push_back(2); });
+    LambdaEvent c([&] { order.push_back(3); });
+    LambdaEvent early([&] { order.push_back(0); });
+    LambdaEvent late([&] { order.push_back(4); });
+    eq.schedule(&a, 50);
+    eq.schedule(&late, 90);
+    eq.schedule(&b, 50);
+    eq.schedule(&early, 10);
+    eq.schedule(&c, 50);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventScheduledAtCurrentTickRunsAfterPending)
+{
+    // An event scheduled *during* processing at the current tick
+    // must run after everything already queued for that tick.
+    EventQueue eq;
+    std::vector<int> order;
+    LambdaEvent tail([&] { order.push_back(3); });
+    LambdaEvent head([&] {
+        order.push_back(1);
+        eq.schedule(&tail, eq.curTick());
+    });
+    LambdaEvent mid([&] { order.push_back(2); });
+    eq.schedule(&head, 7);
+    eq.schedule(&mid, 7);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RescheduleMovesToBackOfSameTick)
+{
+    // Rescheduling refreshes the stamp: the moved event goes behind
+    // events already waiting at the target tick.
+    EventQueue eq;
+    std::vector<int> order;
+    LambdaEvent a([&] { order.push_back(1); });
+    LambdaEvent b([&] { order.push_back(2); });
+    eq.schedule(&a, 5);
+    eq.schedule(&b, 5);
+    eq.reschedule(&a, 5);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RestoreClockJumpsIdleQueueForward)
+{
+    EventQueue eq;
+    eq.restoreClock(1234);
+    EXPECT_EQ(eq.curTick(), 1234u);
+    Tick seen = 0;
+    LambdaEvent e([&] { seen = eq.curTick(); });
+    eq.schedule(&e, 2000);
+    eq.run();
+    EXPECT_EQ(seen, 2000u);
+}
+
+TEST(EventQueueDeath, RestoreClockWithPendingEventsPanics)
+{
+    EventQueue eq;
+    LambdaEvent e([] {});
+    eq.schedule(&e, 10);
+    EXPECT_DEATH(eq.restoreClock(100), "already in use");
+    // The death assertion ran in a forked child; unschedule here so
+    // the parent's event is not destroyed while still queued.
+    eq.deschedule(&e);
+}
+
+TEST(EventQueueDeath, RestoreClockAfterProcessingPanics)
+{
+    EventQueue eq;
+    LambdaEvent e([] {});
+    eq.schedule(&e, 10);
+    eq.run();
+    EXPECT_DEATH(eq.restoreClock(100), "already in use");
+}
+
+TEST(EventQueueDeath, RestoreClockBackwardsPanics)
+{
+    EventQueue eq;
+    eq.restoreClock(100);
+    EXPECT_DEATH(eq.restoreClock(50), "backwards");
+}
+
 TEST(EventQueue, StressInterleavedScheduleDeschedule)
 {
     EventQueue eq;

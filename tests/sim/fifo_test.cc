@@ -96,6 +96,100 @@ TEST(BoundedFifo, MoveOnlyFriendlyValueSemantics)
     EXPECT_EQ(out.data, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(BoundedFifo, RepeatedFillDrainCyclesKeepOrder)
+{
+    // Full-queue wraparound: fill to capacity and drain completely,
+    // many times over, so the underlying deque cycles through every
+    // internal offset. Order and bookkeeping must survive.
+    BoundedFifo<int> fifo(3);
+    int next = 0;
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        while (!fifo.full())
+            fifo.push(next++);
+        EXPECT_EQ(fifo.size(), 3u);
+        int expect = next - 3;
+        while (!fifo.empty())
+            EXPECT_EQ(fifo.pop(), expect++);
+        EXPECT_EQ(expect, next);
+    }
+    EXPECT_EQ(fifo.maxOccupancy(), 3u);
+}
+
+TEST(BoundedFifo, PartialDrainWraparound)
+{
+    // Interleaved push/pop that keeps the queue near-full while the
+    // head position wraps repeatedly.
+    BoundedFifo<int> fifo(4);
+    int in = 0, out = 0;
+    for (int i = 0; i < 3; ++i)
+        fifo.push(in++);
+    for (int step = 0; step < 100; ++step) {
+        fifo.push(in++);
+        EXPECT_EQ(fifo.pop(), out++);
+    }
+    EXPECT_EQ(fifo.size(), 3u);
+    while (!fifo.empty())
+        EXPECT_EQ(fifo.pop(), out++);
+    EXPECT_EQ(out, in);
+}
+
+TEST(BoundedFifo, ForcePushOverfillsThenDrains)
+{
+    // Degradation mode (and checkpoint refill) bypasses the capacity
+    // check; the queue must report over-capacity honestly and drain
+    // in order.
+    BoundedFifo<int> fifo(2);
+    fifo.push(1);
+    fifo.push(2);
+    fifo.forcePush(3);
+    fifo.forcePush(4);
+    EXPECT_TRUE(fifo.full());
+    EXPECT_EQ(fifo.size(), 4u);
+    EXPECT_EQ(fifo.space(), 0u);
+    EXPECT_EQ(fifo.maxOccupancy(), 4u);
+    for (int i = 1; i <= 4; ++i)
+        EXPECT_EQ(fifo.pop(), i);
+    EXPECT_TRUE(fifo.empty());
+    // Back under capacity: normal pushes work again.
+    fifo.push(5);
+    EXPECT_EQ(fifo.pop(), 5);
+}
+
+TEST(BoundedFifo, ContentsExposesQueueInOrder)
+{
+    BoundedFifo<int> fifo(4);
+    fifo.push(7);
+    fifo.push(8);
+    fifo.push(9);
+    fifo.pop();
+    const auto &snapshot = fifo.contents();
+    ASSERT_EQ(snapshot.size(), 2u);
+    EXPECT_EQ(snapshot[0], 8);
+    EXPECT_EQ(snapshot[1], 9);
+}
+
+TEST(BoundedFifo, RestoreHighWaterSetsCheckpointedMark)
+{
+    BoundedFifo<int> fifo(8);
+    fifo.push(1);
+    fifo.restoreHighWater(5);
+    EXPECT_EQ(fifo.maxOccupancy(), 5u);
+    // Growing past the restored mark raises it again.
+    for (int i = 0; i < 6; ++i)
+        fifo.push(i);
+    EXPECT_EQ(fifo.maxOccupancy(), 7u);
+}
+
+TEST(BoundedFifoDeath, RestoreHighWaterBelowOccupancyPanics)
+{
+    BoundedFifo<int> fifo(8);
+    fifo.push(1);
+    fifo.push(2);
+    fifo.push(3);
+    EXPECT_DEATH(fifo.restoreHighWater(2),
+                 "high-water below occupancy");
+}
+
 TEST(BoundedFifoDeath, PushToFullPanics)
 {
     BoundedFifo<int> fifo(1);

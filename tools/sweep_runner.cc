@@ -1,0 +1,542 @@
+/**
+ * @file
+ * Supervised sweep runner: runs a list of simulator configurations
+ * as isolated child processes, with per-config timeouts, bounded
+ * retry with backoff, a crash-safe JSON manifest of partial results,
+ * and `--resume` to skip configurations that already completed — so
+ * an overnight sweep that dies at config 71 of 96 costs 25 configs,
+ * not 96.
+ *
+ * The sweep is described by a plain-text config file, one
+ * configuration per line:
+ *
+ *     # name: simulator arguments
+ *     block8:  --procs=16 --dist=block --param=8
+ *     block16: --procs=16 --dist=block --param=16
+ *     sli4:    --procs=16 --dist=sli --param=4
+ *
+ * Each config runs `<sim> <common args> <config args>
+ * --result-csv=<out>/<name>.csv`; stdout+stderr go to
+ * `<out>/<name>.log`. When every config has completed, the
+ * per-config CSVs are merged (in config-file order, with a leading
+ * `config` column) into `<out>/sweep.csv` via an atomic rename, so
+ * an interrupted sweep resumed later produces a byte-identical
+ * merged file.
+ *
+ * Usage:
+ *   sweep_runner --sim=build/tools/texdist_sim --configs=sweep.txt \
+ *                --out=results [--timeout=300] [--retries=2] \
+ *                [--resume] [-- <common simulator args...>]
+ *
+ * Exit codes: 0 every config done, 1 usage/config error, 2 some
+ * configs failed permanently, 3 interrupted (the manifest still
+ * records everything that finished).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/json.hh"
+#include "sim/checkpoint.hh"
+#include "sim/logging.hh"
+
+using namespace texdist;
+
+namespace
+{
+
+constexpr int exitOk = 0;
+constexpr int exitSomeFailed = 2;
+constexpr int exitInterrupted = 3;
+
+volatile std::sig_atomic_t g_signal = 0;
+volatile pid_t g_child = -1;
+
+extern "C" void
+onSignal(int sig)
+{
+    g_signal = sig;
+    // Forward to the running child so it can flush its own partial
+    // results; the supervisor loop notices g_signal afterwards.
+    pid_t child = g_child;
+    if (child > 0)
+        kill(child, SIGTERM);
+}
+
+/** One configuration line of the sweep file. */
+struct SweepConfig
+{
+    std::string name;
+    std::string args;
+
+    // Supervision state, persisted in the manifest.
+    std::string status = "pending"; ///< pending|done|failed
+    int attempts = 0;
+    int exitCode = -1;
+};
+
+struct RunnerOptions
+{
+    std::string simPath;
+    std::string configsPath;
+    std::string outDir;
+    long timeoutSec = 300;
+    int retries = 2;
+    long backoffMs = 500;
+    bool resume = false;
+    std::vector<std::string> commonArgs;
+};
+
+bool
+match(const std::string &arg, const char *key, std::string &value)
+{
+    std::string prefix = std::string("--") + key + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    value = arg.substr(prefix.size());
+    return true;
+}
+
+std::string
+usage()
+{
+    return
+        "sweep_runner - supervised, resumable simulator sweep\n"
+        "\n"
+        "  --sim=<path>       texdist_sim binary to run\n"
+        "  --configs=<file>   sweep file: one 'name: args' per "
+        "line\n"
+        "  --out=<dir>        output directory (created if "
+        "missing)\n"
+        "  --timeout=<sec>    per-config wall-clock limit "
+        "(default 300)\n"
+        "  --retries=<n>      extra attempts per config "
+        "(default 2)\n"
+        "  --backoff-ms=<n>   base retry backoff, doubled per "
+        "attempt\n"
+        "                     (default 500)\n"
+        "  --resume           skip configs the manifest records as "
+        "done\n"
+        "  -- <args...>       common arguments passed to every "
+        "config\n";
+}
+
+RunnerOptions
+parseArgs(int argc, char **argv)
+{
+    RunnerOptions opts;
+    int i = 1;
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string v;
+        if (arg == "--") {
+            ++i;
+            break;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << usage();
+            std::exit(0);
+        } else if (match(arg, "sim", v)) {
+            opts.simPath = v;
+        } else if (match(arg, "configs", v)) {
+            opts.configsPath = v;
+        } else if (match(arg, "out", v)) {
+            opts.outDir = v;
+        } else if (match(arg, "timeout", v)) {
+            opts.timeoutSec = std::atol(v.c_str());
+            if (opts.timeoutSec <= 0)
+                texdist_fatal("--timeout must be positive");
+        } else if (match(arg, "retries", v)) {
+            opts.retries = std::atoi(v.c_str());
+            if (opts.retries < 0)
+                texdist_fatal("--retries must be >= 0");
+        } else if (match(arg, "backoff-ms", v)) {
+            opts.backoffMs = std::atol(v.c_str());
+            if (opts.backoffMs < 0)
+                texdist_fatal("--backoff-ms must be >= 0");
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else {
+            texdist_fatal("unknown option '", arg, "'\n\n", usage());
+        }
+    }
+    for (; i < argc; ++i)
+        opts.commonArgs.push_back(argv[i]);
+    if (opts.simPath.empty() || opts.configsPath.empty() ||
+        opts.outDir.empty())
+        texdist_fatal("--sim, --configs and --out are required\n\n",
+                      usage());
+    return opts;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::vector<SweepConfig>
+loadConfigs(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        texdist_fatal("cannot open sweep file: ", path);
+    std::vector<SweepConfig> configs;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        size_t colon = t.find(':');
+        if (colon == std::string::npos)
+            texdist_fatal(path, ":", lineno,
+                          ": expected 'name: args'");
+        SweepConfig cfg;
+        cfg.name = trim(t.substr(0, colon));
+        cfg.args = trim(t.substr(colon + 1));
+        if (cfg.name.empty())
+            texdist_fatal(path, ":", lineno, ": empty config name");
+        for (char c : cfg.name)
+            if (!std::isalnum(uint8_t(c)) && c != '_' && c != '-')
+                texdist_fatal(path, ":", lineno, ": config name '",
+                              cfg.name, "' must be [A-Za-z0-9_-]");
+        for (const SweepConfig &other : configs)
+            if (other.name == cfg.name)
+                texdist_fatal(path, ":", lineno,
+                              ": duplicate config name '", cfg.name,
+                              "'");
+        configs.push_back(std::move(cfg));
+    }
+    if (configs.empty())
+        texdist_fatal(path, ": no configurations");
+    return configs;
+}
+
+std::vector<std::string>
+splitArgs(const std::string &args)
+{
+    std::vector<std::string> out;
+    std::istringstream is(args);
+    std::string tok;
+    while (is >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+std::string
+manifestPath(const RunnerOptions &opts)
+{
+    return opts.outDir + "/sweep_manifest.json";
+}
+
+void
+saveManifest(const RunnerOptions &opts,
+             const std::vector<SweepConfig> &configs)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("format",
+             JsonValue::makeString("texdist-sweep-manifest"));
+    root.set("version", JsonValue::makeNumber(1));
+    root.set("sim", JsonValue::makeString(opts.simPath));
+    std::string common;
+    for (const std::string &arg : opts.commonArgs)
+        common += (common.empty() ? "" : " ") + arg;
+    root.set("common_args", JsonValue::makeString(common));
+    JsonValue list = JsonValue::makeArray();
+    for (const SweepConfig &cfg : configs) {
+        JsonValue entry = JsonValue::makeObject();
+        entry.set("name", JsonValue::makeString(cfg.name));
+        entry.set("args", JsonValue::makeString(cfg.args));
+        entry.set("status", JsonValue::makeString(cfg.status));
+        entry.set("attempts", JsonValue::makeNumber(cfg.attempts));
+        entry.set("exit_code", JsonValue::makeNumber(cfg.exitCode));
+        list.append(std::move(entry));
+    }
+    root.set("configs", std::move(list));
+    atomicWriteFile(manifestPath(opts), root.dump());
+}
+
+/**
+ * Merge prior progress into the freshly loaded sweep: a config
+ * counts as done only if the manifest says so, its args have not
+ * changed, and its result CSV is still on disk.
+ */
+void
+mergePriorProgress(const RunnerOptions &opts,
+                   std::vector<SweepConfig> &configs)
+{
+    std::ifstream probe(manifestPath(opts));
+    if (!probe) {
+        inform("--resume: no manifest at ", manifestPath(opts),
+               ", starting fresh");
+        return;
+    }
+    JsonValue root = JsonValue::parseFile(manifestPath(opts));
+    const std::string &format = root.at("format").asString();
+    if (format != "texdist-sweep-manifest")
+        texdist_fatal(manifestPath(opts),
+                      " is not a sweep manifest");
+    for (const JsonValue &entry : root.at("configs").items()) {
+        const std::string &name = entry.at("name").asString();
+        const std::string &status = entry.at("status").asString();
+        for (SweepConfig &cfg : configs) {
+            if (cfg.name != name ||
+                cfg.args != entry.at("args").asString())
+                continue;
+            if (status == "done") {
+                std::ifstream csv(opts.outDir + "/" + cfg.name +
+                                  ".csv");
+                if (csv) {
+                    cfg.status = "done";
+                    cfg.attempts =
+                        int(entry.at("attempts").asNumber());
+                    cfg.exitCode =
+                        int(entry.at("exit_code").asNumber());
+                }
+            }
+            break;
+        }
+    }
+}
+
+/** Exit status of one child attempt. */
+struct Attempt
+{
+    bool timedOut = false;
+    bool signalled = false;
+    int exitCode = -1;
+};
+
+Attempt
+runChild(const RunnerOptions &opts, const SweepConfig &cfg)
+{
+    std::vector<std::string> args;
+    args.push_back(opts.simPath);
+    for (const std::string &arg : opts.commonArgs)
+        args.push_back(arg);
+    for (const std::string &arg : splitArgs(cfg.args))
+        args.push_back(arg);
+    args.push_back("--result-csv=" + opts.outDir + "/" + cfg.name +
+                   ".csv");
+
+    std::string log_path = opts.outDir + "/" + cfg.name + ".log";
+
+    pid_t pid = fork();
+    if (pid < 0)
+        texdist_fatal("fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+        // Child: own log file, then exec the simulator.
+        int fd = ::open(log_path.c_str(),
+                        O_CREAT | O_WRONLY | O_APPEND, 0644);
+        if (fd >= 0) {
+            dup2(fd, STDOUT_FILENO);
+            dup2(fd, STDERR_FILENO);
+            ::close(fd);
+        }
+        std::vector<char *> argv;
+        for (std::string &arg : args)
+            argv.push_back(arg.data());
+        argv.push_back(nullptr);
+        execv(argv[0], argv.data());
+        std::cerr << "exec failed: " << args[0] << ": "
+                  << std::strerror(errno) << "\n";
+        _exit(127);
+    }
+
+    g_child = pid;
+    Attempt result;
+    const long poll_us = 50 * 1000;
+    long waited_us = 0;
+    const long limit_us = opts.timeoutSec * 1000 * 1000;
+    bool killed = false;
+    long term_deadline_us = 0;
+
+    while (true) {
+        int status = 0;
+        pid_t done = waitpid(pid, &status, WNOHANG);
+        if (done == pid) {
+            if (WIFEXITED(status))
+                result.exitCode = WEXITSTATUS(status);
+            else if (WIFSIGNALED(status)) {
+                result.signalled = true;
+                result.exitCode = 128 + WTERMSIG(status);
+            }
+            break;
+        }
+        if (done < 0 && errno != EINTR)
+            texdist_fatal("waitpid failed: ", std::strerror(errno));
+
+        if (!result.timedOut && waited_us >= limit_us) {
+            // Over budget: ask nicely first so the child can flush,
+            // then escalate.
+            result.timedOut = true;
+            kill(pid, SIGTERM);
+            term_deadline_us = waited_us + 2 * 1000 * 1000;
+        }
+        if (result.timedOut && !killed &&
+            waited_us >= term_deadline_us) {
+            kill(pid, SIGKILL);
+            killed = true;
+        }
+        usleep(poll_us);
+        waited_us += poll_us;
+    }
+    g_child = -1;
+    return result;
+}
+
+/** Merge per-config CSVs into <out>/sweep.csv, atomically. */
+void
+mergeResults(const RunnerOptions &opts,
+             const std::vector<SweepConfig> &configs)
+{
+    std::string merged;
+    bool wrote_header = false;
+    for (const SweepConfig &cfg : configs) {
+        std::string path = opts.outDir + "/" + cfg.name + ".csv";
+        std::ifstream is(path);
+        if (!is)
+            texdist_fatal("missing result CSV for completed "
+                          "config: ", path);
+        std::string line;
+        bool first = true;
+        while (std::getline(is, line)) {
+            if (line.empty())
+                continue;
+            if (first) {
+                first = false;
+                if (!wrote_header) {
+                    merged += "config," + line + "\n";
+                    wrote_header = true;
+                }
+                continue;
+            }
+            merged += cfg.name + "," + line + "\n";
+        }
+    }
+    atomicWriteFile(opts.outDir + "/sweep.csv", merged);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunnerOptions opts = parseArgs(argc, argv);
+
+    if (mkdir(opts.outDir.c_str(), 0755) != 0 && errno != EEXIST)
+        texdist_fatal("cannot create output directory ", opts.outDir,
+                      ": ", std::strerror(errno));
+
+    std::vector<SweepConfig> configs = loadConfigs(opts.configsPath);
+    if (opts.resume)
+        mergePriorProgress(opts, configs);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    size_t done = 0;
+    for (const SweepConfig &cfg : configs)
+        if (cfg.status == "done")
+            ++done;
+    std::cout << "sweep: " << configs.size() << " config(s), "
+              << done << " already done\n";
+
+    bool interrupted = false;
+    for (SweepConfig &cfg : configs) {
+        if (g_signal != 0) {
+            interrupted = true;
+            break;
+        }
+        if (cfg.status == "done") {
+            std::cout << "  " << cfg.name << ": done (resumed)\n";
+            continue;
+        }
+
+        for (int attempt = 0; attempt <= opts.retries; ++attempt) {
+            if (attempt > 0) {
+                long backoff = opts.backoffMs << (attempt - 1);
+                std::cout << "  " << cfg.name << ": retry "
+                          << attempt << "/" << opts.retries
+                          << " after " << backoff << " ms\n";
+                usleep(useconds_t(backoff) * 1000);
+            }
+            ++cfg.attempts;
+            Attempt result = runChild(opts, cfg);
+            cfg.exitCode = result.exitCode;
+            if (g_signal != 0) {
+                interrupted = true;
+                break;
+            }
+            if (result.exitCode == 0) {
+                cfg.status = "done";
+                break;
+            }
+            std::cout << "  " << cfg.name << ": attempt "
+                      << cfg.attempts << " "
+                      << (result.timedOut
+                              ? "timed out"
+                              : result.signalled
+                                    ? "died on a signal"
+                                    : "failed")
+                      << " (exit " << result.exitCode << ", see "
+                      << opts.outDir << "/" << cfg.name << ".log)\n";
+        }
+        if (interrupted)
+            break;
+        if (cfg.status != "done")
+            cfg.status = "failed";
+        else
+            std::cout << "  " << cfg.name << ": done\n";
+
+        // Persist progress after every config so a crash loses at
+        // most the config in flight.
+        saveManifest(opts, configs);
+    }
+
+    saveManifest(opts, configs);
+
+    if (interrupted) {
+        std::cerr << "sweep interrupted; progress saved to "
+                  << manifestPath(opts) << " (resume with "
+                  << "--resume)\n";
+        return exitInterrupted;
+    }
+
+    size_t failed = 0;
+    for (const SweepConfig &cfg : configs)
+        if (cfg.status != "done")
+            ++failed;
+    if (failed > 0) {
+        std::cerr << failed << " config(s) failed permanently; see "
+                  << manifestPath(opts) << "\n";
+        return exitSomeFailed;
+    }
+
+    mergeResults(opts, configs);
+    std::cout << "sweep complete: " << configs.size()
+              << " config(s); merged results in " << opts.outDir
+              << "/sweep.csv\n";
+    return exitOk;
+}

@@ -6,47 +6,276 @@
  * statistics — the texdist equivalent of invoking gem5 with a
  * config.
  *
+ * Single-frame runs use the ParallelMachine (full fault-injection,
+ * watchdog and graceful-degradation support). Multi-frame runs
+ * (`--frames`, `--pan`) use the persistent SequenceMachine and gain
+ * the robustness machinery: frame-granular checkpointing
+ * (`--checkpoint-every`/`--restore`), run manifests with per-frame
+ * state digests (`--manifest`), deterministic-replay verification
+ * (`--replay-verify`) and invariant auditing (`--audit`). SIGINT and
+ * SIGTERM flush partial results, write a final checkpoint and exit
+ * with a distinct code so a supervisor can tell "interrupted" from
+ * "failed".
+ *
  * Examples:
  *   texdist_sim --scene=quake --procs=64 --dist=block --param=16
  *   texdist_sim --trace=frame.trace --procs=16 --dist=sli --param=4 \
  *               --bus=2 --stats-file=stats.txt
+ *   texdist_sim --scene=quake --procs=16 --frames=32 --pan=8 \
+ *               --checkpoint-every=8 --manifest=run.json --audit
+ *   texdist_sim --scene=quake --procs=16 --restore=texdist.ckpt \
+ *               --replay-verify=run.json
  */
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "core/audit.hh"
+#include "core/csv.hh"
 #include "core/experiments.hh"
+#include "core/interframe.hh"
 #include "core/options.hh"
+#include "core/replay.hh"
+#include "core/sequence.hh"
 #include "scene/benchmarks.hh"
 #include "scene/stats.hh"
+#include "sim/checkpoint.hh"
+#include "sim/logging.hh"
 #include "trace/trace.hh"
 
 using namespace texdist;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    SimOptions opts = SimOptions::parse(argc, argv);
-    if (opts.help) {
-        std::cout << SimOptions::usage();
-        return 0;
+
+// Exit codes (also listed in --help): a supervisor like
+// tools/sweep_runner keys retry/resume decisions off these.
+constexpr int exitOk = 0;
+constexpr int exitFrameFailed = 2;
+constexpr int exitInterrupted = 3;
+constexpr int exitAuditViolation = 4;
+constexpr int exitReplayDivergence = 5;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+/** Per-frame row shared by the console log and the result CSV. */
+void
+csvRow(CsvWriter &csv, uint32_t frame, const FrameResult &r,
+       uint64_t digest)
+{
+    csv.beginRow(std::to_string(frame));
+    csv.value(std::to_string(r.frameTime));
+    csv.value(std::to_string(r.totalPixels));
+    csv.value(std::to_string(r.totalTexelsFetched));
+    csv.value(std::to_string(r.trianglesDispatched));
+    csv.value(r.texelToFragmentRatio);
+    csv.value(r.pixelImbalancePercent);
+    csv.value(r.meanBusUtilization);
+    csv.value(std::to_string(r.faultStats.injected));
+    csv.value(std::to_string(uint64_t(r.degraded)));
+    csv.value(std::to_string(uint64_t(r.failed)));
+    csv.value(digestHex(digest));
+    csv.endRow();
+}
+
+void
+csvHeader(CsvWriter &csv)
+{
+    csv.header({"frame", "cycles", "pixels", "texels_fetched",
+                "triangles", "texel_fragment_ratio", "imbalance_pct",
+                "bus_util", "faults_injected", "degraded", "failed",
+                "digest"});
+}
+
+/** Fill the run-identity fields of a manifest. */
+RunManifest
+describeRun(const SimOptions &opts, const Scene &scene,
+            uint32_t frames)
+{
+    RunManifest m;
+    m.scene = scene.name;
+    m.config = opts.machine.describe();
+    m.faultPlan = opts.machine.faults.describe();
+    m.faultSeed = opts.machine.faults.seed;
+    m.frames = frames;
+    m.panDx = opts.panDx;
+    m.panDy = opts.panDy;
+    return m;
+}
+
+void
+writeCheckpoint(const SequenceMachine &machine,
+                const std::string &path)
+{
+    CheckpointWriter w;
+    machine.serialize(w);
+    w.writeFile(path);
+    inform("checkpoint after frame ", machine.framesRun(),
+           " written to ", path, " (", w.payloadSize(), " bytes)");
+}
+
+/** Multi-frame run on the persistent machine. */
+int
+runSequence(const SimOptions &opts, const Scene &base)
+{
+    uint32_t frames = opts.frames;
+    double pan_dx = opts.panDx;
+    double pan_dy = opts.panDy;
+
+    const bool verifying = !opts.replayVerifyPath.empty();
+    RunManifest expect;
+    if (verifying) {
+        expect = RunManifest::load(opts.replayVerifyPath);
+        if (expect.scene != base.name)
+            texdist_fatal("--replay-verify scene mismatch:\n"
+                          "  manifest: ", expect.scene,
+                          "\n  run:      ", base.name);
+        if (expect.config != opts.machine.describe())
+            texdist_fatal("--replay-verify configuration "
+                          "mismatch:\n  manifest: ", expect.config,
+                          "\n  run:      ",
+                          opts.machine.describe());
+        // The run parameters are taken from the manifest: a verify
+        // pass re-executes what was recorded, not what the command
+        // line happens to say.
+        frames = expect.frames;
+        pan_dx = expect.panDx;
+        pan_dy = expect.panDy;
     }
-    if (opts.listBenchmarks) {
-        for (const std::string &name : benchmarkNames())
-            std::cout << name << "\n";
-        return 0;
+
+    SequenceMachine machine(base, opts.machine);
+    std::vector<uint64_t> digests;
+
+    if (!opts.restorePath.empty()) {
+        CheckpointReader r(opts.restorePath);
+        machine.restore(r);
+        inform("restored ", machine.framesRun(),
+               " frame(s) from ", opts.restorePath, ", resuming at "
+               "tick ", machine.currentTime());
+        if (machine.framesRun() >= frames) {
+            inform("checkpoint already covers all ", frames,
+                   " frame(s); nothing to do");
+            return exitOk;
+        }
+        // Keep the already-verified digest prefix from a prior
+        // manifest so a resumed run still saves a complete one.
+        if (!opts.manifestPath.empty()) {
+            std::ifstream probe(opts.manifestPath);
+            if (probe) {
+                RunManifest prior =
+                    RunManifest::load(opts.manifestPath);
+                digests = prior.digests;
+            }
+        }
+        if (digests.size() > machine.framesRun())
+            digests.resize(machine.framesRun());
     }
 
-    Scene scene = opts.tracePath.empty()
-                      ? makeBenchmark(opts.scene, opts.scale)
-                      : readTraceFile(opts.tracePath);
+    const uint32_t first = machine.framesRun();
+    int exit_code = exitOk;
+    bool interrupted = false;
 
-    std::cout << "workload: " << scene.name << " ("
-              << scene.screenWidth << "x" << scene.screenHeight
-              << ", " << scene.triangles.size() << " triangles, "
-              << scene.textures.count() << " textures)\n";
-    std::cout << "machine:  " << opts.machine.describe() << "\n\n";
+    CsvWriter csv(opts.resultCsv);
+    csvHeader(csv);
 
+    for (uint32_t f = first; f < frames; ++f) {
+        Scene frame =
+            f == 0 ? Scene() : translateScene(base,
+                                              float(pan_dx * f),
+                                              float(pan_dy * f));
+        const Scene &scene = f == 0 ? base : frame;
+
+        FrameResult r = machine.runFrame(scene);
+        uint64_t digest = digestFrame(r);
+        digests.push_back(digest);
+        csvRow(csv, f, r, digest);
+
+        std::cout << "frame " << f << ": " << r.frameTime
+                  << " cycles, " << r.totalPixels << " pixels, "
+                  << r.totalTexelsFetched << " texels (t/f "
+                  << r.texelToFragmentRatio << "), digest "
+                  << digestHex(digest) << "\n";
+
+        if (opts.audit) {
+            AuditReport report = auditFrame(
+                scene, machine.distribution(), opts.machine, r);
+            if (!report.ok()) {
+                std::cerr << "audit violation(s) at frame " << f
+                          << ":\n" << report.describe() << "\n";
+                exit_code = exitAuditViolation;
+                break;
+            }
+        }
+
+        if (verifying && f < expect.digests.size() &&
+            digest != expect.digests[f]) {
+            std::cerr << "replay divergence at frame " << f
+                      << ": manifest recorded "
+                      << digestHex(expect.digests[f])
+                      << ", this run produced " << digestHex(digest)
+                      << "\n";
+            exit_code = exitReplayDivergence;
+            break;
+        }
+
+        const uint32_t done = machine.framesRun();
+        if (opts.checkpointEvery > 0 && done < frames &&
+            done % opts.checkpointEvery == 0)
+            writeCheckpoint(machine, opts.checkpointFile);
+
+        if (g_signal != 0) {
+            interrupted = true;
+            break;
+        }
+    }
+
+    if (interrupted) {
+        std::cerr << "interrupted by signal " << int(g_signal)
+                  << " after frame " << machine.framesRun() - 1
+                  << "; flushing partial results\n";
+        if (!opts.checkpointFile.empty())
+            writeCheckpoint(machine, opts.checkpointFile);
+        exit_code = exitInterrupted;
+    }
+
+    csv.close();
+    if (!opts.resultCsv.empty())
+        std::cout << "per-frame results written to "
+                  << opts.resultCsv << "\n";
+
+    if (!opts.manifestPath.empty()) {
+        RunManifest m = describeRun(opts, base, frames);
+        m.panDx = pan_dx;
+        m.panDy = pan_dy;
+        m.digests = digests;
+        m.interrupted = machine.framesRun() < frames;
+        m.save(opts.manifestPath);
+        std::cout << "run manifest written to " << opts.manifestPath
+                  << "\n";
+    }
+
+    if (verifying && exit_code == exitOk) {
+        size_t verified =
+            std::min(size_t(frames), expect.digests.size());
+        std::cout << "replay verified: " << verified - first
+                  << " frame(s) match the manifest\n";
+    }
+    return exit_code;
+}
+
+/** The classic single-frame run. */
+int
+runSingle(const SimOptions &opts, const Scene &scene)
+{
     FrameLab lab(scene);
     Tick baseline = 0;
     if (opts.machine.numProcs > 1)
@@ -54,6 +283,7 @@ main(int argc, char **argv)
 
     ParallelMachine machine(scene, opts.machine);
     FrameResult result = machine.run();
+    uint64_t digest = digestFrame(result);
 
     result.print(std::cout);
     if (result.failed) {
@@ -72,6 +302,34 @@ main(int argc, char **argv)
                   << " (T1 = " << baseline << ")\n";
     }
 
+    int exit_code = result.failed ? exitFrameFailed : exitOk;
+    if (opts.audit && !result.failed) {
+        AuditReport report = auditFrame(
+            scene, machine.distribution(), opts.machine, result);
+        if (!report.ok()) {
+            std::cerr << "audit violation(s):\n"
+                      << report.describe() << "\n";
+            exit_code = exitAuditViolation;
+        }
+    }
+
+    if (!opts.resultCsv.empty()) {
+        CsvWriter csv(opts.resultCsv);
+        csvHeader(csv);
+        csvRow(csv, 0, result, digest);
+        csv.close();
+        std::cout << "per-frame results written to "
+                  << opts.resultCsv << "\n";
+    }
+
+    if (!opts.manifestPath.empty()) {
+        RunManifest m = describeRun(opts, scene, 1);
+        m.digests.push_back(digest);
+        m.save(opts.manifestPath);
+        std::cout << "run manifest written to " << opts.manifestPath
+                  << "\n";
+    }
+
     if (!opts.statsFile.empty()) {
         std::ofstream os(opts.statsFile);
         if (!os)
@@ -83,5 +341,49 @@ main(int argc, char **argv)
         machine.dumpStats(os);
         std::cout << "stats written to " << opts.statsFile << "\n";
     }
-    return result.failed ? 2 : 0;
+    return exit_code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimOptions opts = SimOptions::parse(argc, argv);
+    if (opts.help) {
+        std::cout << SimOptions::usage();
+        return 0;
+    }
+    if (opts.listBenchmarks) {
+        for (const std::string &name : benchmarkNames())
+            std::cout << name << "\n";
+        return 0;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    Scene scene = opts.tracePath.empty()
+                      ? makeBenchmark(opts.scene, opts.scale)
+                      : readTraceFile(opts.tracePath);
+
+    std::cout << "workload: " << scene.name << " ("
+              << scene.screenWidth << "x" << scene.screenHeight
+              << ", " << scene.triangles.size() << " triangles, "
+              << scene.textures.count() << " textures)\n";
+    std::cout << "machine:  " << opts.machine.describe() << "\n\n";
+
+    const bool sequence_mode =
+        opts.frames > 1 || opts.checkpointEvery > 0 ||
+        !opts.restorePath.empty() ||
+        !opts.replayVerifyPath.empty() || opts.panDx != 0.0 ||
+        opts.panDy != 0.0;
+
+    if (sequence_mode) {
+        if (!opts.statsFile.empty())
+            texdist_fatal("--stats-file is not supported in "
+                          "multi-frame runs");
+        return runSequence(opts, scene);
+    }
+    return runSingle(opts, scene);
 }
