@@ -1,0 +1,249 @@
+/**
+ * @file
+ * bench_report — measures the *simulator's own* host throughput, not
+ * the paper's machine. Two fixed workloads:
+ *
+ *  - config sweep: a Figure-7-style grid (4/16/64 processors, every
+ *    block width, 1 texel/pixel bus) on one scene, simulated first
+ *    serially and then with one config per hardware thread
+ *    (FrameLab::runBatch);
+ *  - frame jobs: an 8-frame panning sequence on the persistent
+ *    machine, with the two-phase frame engine at --jobs=1 and
+ *    --jobs=<hardware threads>.
+ *
+ * Both sections also assert that the threaded run produced exactly
+ * the digests of the serial run — the throughput numbers are only
+ * worth recording if the parallelism is result-invariant.
+ *
+ * Results go to BENCH_texdist.json (override with --out=<path>):
+ * wall seconds, simulated cycles per second, frames (or configs) per
+ * second, and the host thread count, for each mode. CI uploads this
+ * file as an artifact so throughput regressions are visible per
+ * commit.
+ *
+ * Flags: the common bench flags (--quick / --scale=<f> / --full)
+ * plus --out=<path>.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/interframe.hh"
+#include "core/json.hh"
+#include "core/replay.hh"
+#include "core/sequence.hh"
+#include "sim/checkpoint.hh"
+#include "sim/thread_pool.hh"
+
+using namespace texdist;
+
+namespace
+{
+
+double
+wallNow()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** One timed mode of one workload. */
+struct Timing
+{
+    double wallSeconds = 0.0;
+    uint64_t simulatedCycles = 0;
+    uint64_t units = 0; ///< configs or frames
+};
+
+JsonValue
+timingJson(const Timing &t)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("wall_seconds", JsonValue::makeNumber(t.wallSeconds));
+    o.set("simulated_cycles",
+          JsonValue::makeNumber(double(t.simulatedCycles)));
+    o.set("cycles_per_second",
+          JsonValue::makeNumber(t.wallSeconds > 0.0
+                                    ? double(t.simulatedCycles) /
+                                          t.wallSeconds
+                                    : 0.0));
+    o.set("frames_per_second",
+          JsonValue::makeNumber(t.wallSeconds > 0.0
+                                    ? double(t.units) / t.wallSeconds
+                                    : 0.0));
+    return o;
+}
+
+/** The Figure-7-style configuration grid. */
+std::vector<MachineConfig>
+sweepConfigs()
+{
+    std::vector<MachineConfig> cfgs;
+    for (uint32_t procs : {4u, 16u, 64u}) {
+        for (uint32_t width : blockWidths) {
+            MachineConfig cfg = paperConfig();
+            cfg.busTexelsPerCycle = 1.0;
+            cfg.numProcs = procs;
+            cfg.dist = DistKind::Block;
+            cfg.tileParam = width;
+            cfgs.push_back(cfg);
+        }
+    }
+    return cfgs;
+}
+
+Timing
+timeBatch(FrameLab &lab, const std::vector<MachineConfig> &cfgs,
+          ThreadPool &pool, std::vector<uint64_t> &digests)
+{
+    Timing t;
+    double start = wallNow();
+    std::vector<FrameLab::SpeedupResult> results =
+        lab.runBatch(cfgs, pool);
+    t.wallSeconds = wallNow() - start;
+    t.units = results.size();
+    digests.clear();
+    for (const FrameLab::SpeedupResult &r : results) {
+        t.simulatedCycles += r.frame.frameTime;
+        digests.push_back(digestFrame(r.frame));
+    }
+    return t;
+}
+
+Timing
+timeSequence(const Scene &base, const MachineConfig &cfg,
+             uint32_t frames, uint32_t jobs,
+             std::vector<uint64_t> &digests)
+{
+    Timing t;
+    digests.clear();
+    double start = wallNow();
+    SequenceMachine machine(base, cfg, jobs);
+    for (uint32_t f = 0; f < frames; ++f) {
+        Scene frame = f == 0
+                          ? Scene()
+                          : translateScene(base, float(8 * f), 0.0f);
+        FrameResult r = machine.runFrame(f == 0 ? base : frame);
+        t.simulatedCycles += r.frameTime;
+        digests.push_back(digestFrame(r));
+    }
+    t.wallSeconds = wallNow() - start;
+    t.units = frames;
+    return t;
+}
+
+double
+speedupOf(const Timing &serial, const Timing &parallel)
+{
+    return parallel.wallSeconds > 0.0
+               ? serial.wallSeconds / parallel.wallSeconds
+               : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_texdist.json";
+    std::vector<char *> rest = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0)
+            out_path = arg.substr(6);
+        else
+            rest.push_back(argv[i]);
+    }
+    BenchOptions opts =
+        BenchOptions::parse(int(rest.size()), rest.data());
+
+    const uint32_t host_threads = ThreadPool::defaultThreads();
+    Scene scene = loadScene("32massive11255", opts.scale);
+    std::cout << "bench_report: host has " << host_threads
+              << " hardware thread(s), scale " << opts.scale << "\n";
+
+    // --- Config-level parallelism (FrameLab::runBatch). ------------
+    std::vector<MachineConfig> cfgs = sweepConfigs();
+    FrameLab lab(scene);
+    // Warm the shared T(1) baselines outside the timed region so
+    // both modes simulate exactly the same work.
+    for (const MachineConfig &cfg : cfgs)
+        lab.baseline(cfg);
+
+    ThreadPool serial_pool(1);
+    ThreadPool wide_pool(host_threads);
+    std::vector<uint64_t> serial_digests, wide_digests;
+    Timing sweep_serial =
+        timeBatch(lab, cfgs, serial_pool, serial_digests);
+    Timing sweep_wide = timeBatch(lab, cfgs, wide_pool, wide_digests);
+    bool sweep_match = serial_digests == wide_digests;
+    std::cout << "config sweep: " << cfgs.size() << " configs, "
+              << sweep_serial.wallSeconds << " s serial, "
+              << sweep_wide.wallSeconds << " s on " << host_threads
+              << " thread(s), speedup "
+              << speedupOf(sweep_serial, sweep_wide)
+              << (sweep_match ? "" : " [DIGEST MISMATCH]") << "\n";
+
+    // --- Frame-level parallelism (two-phase engine --jobs). --------
+    MachineConfig seq_cfg = paperConfig();
+    seq_cfg.busTexelsPerCycle = 1.0;
+    seq_cfg.numProcs = 16;
+    seq_cfg.dist = DistKind::Block;
+    seq_cfg.tileParam = 16;
+    constexpr uint32_t seq_frames = 8;
+    std::vector<uint64_t> jobs1_digests, jobsN_digests;
+    Timing seq_serial =
+        timeSequence(scene, seq_cfg, seq_frames, 1, jobs1_digests);
+    Timing seq_wide = timeSequence(scene, seq_cfg, seq_frames,
+                                   host_threads, jobsN_digests);
+    bool seq_match = jobs1_digests == jobsN_digests;
+    std::cout << "frame jobs:   " << seq_frames << " frames, "
+              << seq_serial.wallSeconds << " s at jobs=1, "
+              << seq_wide.wallSeconds << " s at jobs="
+              << host_threads << ", speedup "
+              << speedupOf(seq_serial, seq_wide)
+              << (seq_match ? "" : " [DIGEST MISMATCH]") << "\n";
+
+    JsonValue root = JsonValue::makeObject();
+    root.set("format", JsonValue::makeString("texdist-bench-report"));
+    root.set("version", JsonValue::makeNumber(1));
+    root.set("scene", JsonValue::makeString(scene.name));
+    root.set("scale", JsonValue::makeNumber(opts.scale));
+    root.set("host_threads",
+             JsonValue::makeNumber(double(host_threads)));
+
+    JsonValue sweep = JsonValue::makeObject();
+    sweep.set("configs", JsonValue::makeNumber(double(cfgs.size())));
+    sweep.set("serial", timingJson(sweep_serial));
+    JsonValue sweep_par = timingJson(sweep_wide);
+    sweep_par.set("threads",
+                  JsonValue::makeNumber(double(host_threads)));
+    sweep.set("parallel", std::move(sweep_par));
+    sweep.set("speedup", JsonValue::makeNumber(
+                             speedupOf(sweep_serial, sweep_wide)));
+    sweep.set("digests_match", JsonValue::makeBool(sweep_match));
+    root.set("config_sweep", std::move(sweep));
+
+    JsonValue seq = JsonValue::makeObject();
+    seq.set("frames", JsonValue::makeNumber(double(seq_frames)));
+    seq.set("serial", timingJson(seq_serial));
+    JsonValue seq_par = timingJson(seq_wide);
+    seq_par.set("jobs", JsonValue::makeNumber(double(host_threads)));
+    seq.set("parallel", std::move(seq_par));
+    seq.set("speedup",
+            JsonValue::makeNumber(speedupOf(seq_serial, seq_wide)));
+    seq.set("digests_match", JsonValue::makeBool(seq_match));
+    root.set("frame_jobs", std::move(seq));
+
+    atomicWriteFile(out_path, root.dump());
+    std::cout << "report written to " << out_path << "\n";
+
+    // A throughput report for a nondeterministic simulator is
+    // worthless; fail loudly so CI catches it.
+    return sweep_match && seq_match ? 0 : 1;
+}

@@ -63,7 +63,7 @@ imbalanceTable(const std::vector<Scene> &scenes, DistKind kind,
 void
 speedupGraph(FrameLab &lab, DistKind kind,
              const std::vector<uint32_t> &params,
-             const BenchOptions &opts)
+             const BenchOptions &opts, ThreadPool &pool)
 {
     CsvWriter csv(opts.csvDir,
                   std::string("fig5_speedup_") + to_string(kind));
@@ -81,6 +81,7 @@ speedupGraph(FrameLab &lab, DistKind kind,
     for (uint32_t procs : procCounts) {
         table.cell(uint64_t(procs));
         csv.beginRow(double(procs));
+        std::vector<MachineConfig> cfgs;
         for (uint32_t param : params) {
             MachineConfig cfg = paperConfig();
             cfg.cacheKind = CacheKind::Perfect;
@@ -88,9 +89,12 @@ speedupGraph(FrameLab &lab, DistKind kind,
             cfg.numProcs = procs;
             cfg.dist = kind;
             cfg.tileParam = param;
-            double s = lab.runWithSpeedup(cfg).speedup;
-            table.cell(s, 2);
-            csv.value(s);
+            cfgs.push_back(cfg);
+        }
+        for (const FrameLab::SpeedupResult &r :
+             lab.runBatch(cfgs, pool)) {
+            table.cell(r.speedup, 2);
+            csv.value(r.speedup);
         }
         table.endRow();
         csv.endRow();
@@ -141,8 +145,9 @@ main(int argc, char **argv)
     // Bottom graphs: 32massive11255 speedups with perfect cache.
     Scene &massive32 = scenes[4];
     FrameLab lab(massive32);
-    speedupGraph(lab, DistKind::Block, blockWidthsLb, opts);
-    speedupGraph(lab, DistKind::SLI, sliLines, opts);
+    ThreadPool pool(opts.threads);
+    speedupGraph(lab, DistKind::Block, blockWidthsLb, opts, pool);
+    speedupGraph(lab, DistKind::SLI, sliLines, opts, pool);
 
     return 0;
 }

@@ -31,7 +31,7 @@ namespace
 void
 localityGraph(const Scene &scene, DistKind kind,
               const std::vector<uint32_t> &params,
-              const BenchOptions &opts)
+              const BenchOptions &opts, ThreadPool &pool)
 {
     FrameLab lab(scene);
     CsvWriter csv(opts.csvDir,
@@ -50,15 +50,18 @@ localityGraph(const Scene &scene, DistKind kind,
     for (uint32_t procs : procCounts) {
         table.cell(uint64_t(procs));
         csv.beginRow(double(procs));
+        std::vector<MachineConfig> cfgs;
         for (uint32_t param : params) {
             MachineConfig cfg = paperConfig();
             cfg.infiniteBus = true;
             cfg.numProcs = procs;
             cfg.dist = kind;
             cfg.tileParam = param;
-            double ratio = lab.run(cfg).texelToFragmentRatio;
-            table.cell(ratio, 3);
-            csv.value(ratio);
+            cfgs.push_back(cfg);
+        }
+        for (const FrameResult &r : lab.runMany(cfgs, pool)) {
+            table.cell(r.texelToFragmentRatio, 3);
+            csv.value(r.texelToFragmentRatio);
         }
         table.endRow();
         csv.endRow();
@@ -77,9 +80,11 @@ main(int argc, char **argv)
     // The two scenes the paper plots.
     Scene massive32 = loadScene("32massive11255", opts.scale);
     Scene teapot = loadScene("teapot.full", opts.scale);
+    ThreadPool pool(opts.threads);
     for (const Scene *scene : {&massive32, &teapot}) {
-        localityGraph(*scene, DistKind::Block, blockWidths, opts);
-        localityGraph(*scene, DistKind::SLI, sliLines, opts);
+        localityGraph(*scene, DistKind::Block, blockWidths, opts,
+                      pool);
+        localityGraph(*scene, DistKind::SLI, sliLines, opts, pool);
     }
 
     // Cross-check the text's claims about the other scenes: ratio at

@@ -24,7 +24,9 @@ inline void
 runFig7(double bus_ratio, const BenchOptions &opts)
 {
     std::cout << "Figure 7: speedups with a " << bus_ratio
-              << " texel/pixel bus (scale " << opts.scale << ")\n";
+              << " texel/pixel bus (scale " << opts.scale
+              << ", threads " << opts.threads << ")\n";
+    ThreadPool pool(opts.threads);
 
     for (uint32_t procs : {4u, 16u, 64u}) {
         for (DistKind kind : {DistKind::Block, DistKind::SLI}) {
@@ -53,16 +55,21 @@ runFig7(double bus_ratio, const BenchOptions &opts)
                 csv.beginRow(name);
                 double best = 0.0;
                 uint32_t best_param = 0;
+                std::vector<MachineConfig> cfgs;
                 for (uint32_t param : params) {
                     MachineConfig cfg = paperConfig();
                     cfg.busTexelsPerCycle = bus_ratio;
                     cfg.numProcs = procs;
                     cfg.dist = kind;
                     cfg.tileParam = param;
-                    double s = lab.runWithSpeedup(cfg).speedup;
+                    cfgs.push_back(cfg);
+                }
+                auto results = lab.runBatch(cfgs, pool);
+                for (size_t i = 0; i < params.size(); ++i) {
+                    double s = results[i].speedup;
                     if (s > best) {
                         best = s;
-                        best_param = param;
+                        best_param = params[i];
                     }
                     table.cell(s, 2);
                     csv.value(s);

@@ -49,8 +49,10 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geometry)
         texdist_fatal("number of sets must be a power of two, got ",
                       sets);
     lineShift = std::countr_zero(geom.lineBytes);
+    setShift = std::countr_zero(sets);
     tags.assign(size_t(sets) * geom.ways, invalidTag);
     lruStamp.assign(size_t(sets) * geom.ways, 0);
+    mruWay.assign(sets, 0);
 }
 
 bool
@@ -59,16 +61,27 @@ SetAssocCache::access(uint64_t addr)
     ++_accesses;
     uint64_t line = addr >> lineShift;
     uint32_t set = uint32_t(line & (sets - 1));
-    uint64_t tag = line >> std::countr_zero(sets);
+    uint64_t tag = line >> setShift;
 
     uint64_t *set_tags = &tags[size_t(set) * geom.ways];
     uint64_t *set_lru = &lruStamp[size_t(set) * geom.ways];
+
+    // Fast path: one probe of the set's MRU way. A hit here updates
+    // exactly the state the associative scan would have (the LRU
+    // stamp of the hit way), so the shortcut is invisible to miss
+    // accounting, replacement and serialization.
+    uint32_t mru = mruWay[set];
+    if (set_tags[mru] == tag) {
+        set_lru[mru] = ++stampCounter;
+        return true;
+    }
 
     uint32_t victim = 0;
     uint64_t oldest = UINT64_MAX;
     for (uint32_t w = 0; w < geom.ways; ++w) {
         if (set_tags[w] == tag) {
             set_lru[w] = ++stampCounter;
+            mruWay[set] = w;
             return true;
         }
         if (set_lru[w] < oldest) {
@@ -80,6 +93,7 @@ SetAssocCache::access(uint64_t addr)
     ++_misses;
     set_tags[victim] = tag;
     set_lru[victim] = ++stampCounter;
+    mruWay[set] = victim;
     return false;
 }
 
@@ -88,6 +102,7 @@ SetAssocCache::reset()
 {
     std::fill(tags.begin(), tags.end(), invalidTag);
     std::fill(lruStamp.begin(), lruStamp.end(), 0);
+    std::fill(mruWay.begin(), mruWay.end(), 0u);
     stampCounter = 0;
     _accesses = 0;
     _misses = 0;
@@ -147,6 +162,9 @@ SetAssocCache::unserialize(CheckpointReader &r)
         lruStamp.size() != tags.size())
         texdist_fatal("checkpoint cache tag array size mismatch in ",
                       r.path());
+    // The MRU hint is not checkpoint state: way 0 is as valid a
+    // first probe as any, and the hit/miss stream is unaffected.
+    std::fill(mruWay.begin(), mruWay.end(), 0u);
 }
 
 void
@@ -181,7 +199,7 @@ SetAssocCache::probe(uint64_t line_addr) const
 {
     uint64_t line = line_addr >> lineShift;
     uint32_t set = uint32_t(line & (sets - 1));
-    uint64_t tag = line >> std::countr_zero(sets);
+    uint64_t tag = line >> setShift;
     const uint64_t *set_tags = &tags[size_t(set) * geom.ways];
     for (uint32_t w = 0; w < geom.ways; ++w)
         if (set_tags[w] == tag)

@@ -157,10 +157,20 @@ class SetAssocCache : public TextureCache
     CacheGeometry geom;
     uint32_t sets;
     uint32_t lineShift;
+    uint32_t setShift; ///< countr_zero(sets), hoisted off access()
     // tags[set * ways + way]; lruStamp parallel array. A global
     // monotonic counter implements true LRU.
     std::vector<uint64_t> tags;
     std::vector<uint64_t> lruStamp;
+    /**
+     * Most-recently-used way per set — a pure lookup accelerator.
+     * Texel streams revisit the same line in runs (the 8 refs of one
+     * fragment straddle at most 4 lines), so one probe of the MRU
+     * way resolves most hits without the associative scan. Never
+     * serialized: any value is only a hint, and a wrong hint costs
+     * one extra compare, never a wrong result.
+     */
+    std::vector<uint32_t> mruWay;
     uint64_t stampCounter = 0;
 };
 

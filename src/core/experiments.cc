@@ -6,6 +6,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/options.hh"
 #include "raster/raster.hh"
 #include "sim/logging.hh"
 
@@ -96,6 +97,39 @@ FrameLab::runWithSpeedup(const MachineConfig &config)
     return out;
 }
 
+std::vector<FrameLab::SpeedupResult>
+FrameLab::runBatch(const std::vector<MachineConfig> &configs,
+                   ThreadPool &pool)
+{
+    // Warm the shared baseline cache serially; distinct configs
+    // usually share one T(1), so this is one simulation, not N.
+    std::vector<Tick> base(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i)
+        base[i] = baseline(configs[i]);
+
+    std::vector<SpeedupResult> out(configs.size());
+    pool.parallelFor(configs.size(), [&](uint32_t, size_t i) {
+        out[i].baselineTime = base[i];
+        out[i].frame = run(configs[i]);
+        out[i].speedup = out[i].frame.frameTime
+                             ? double(out[i].baselineTime) /
+                                   double(out[i].frame.frameTime)
+                             : 0.0;
+    });
+    return out;
+}
+
+std::vector<FrameResult>
+FrameLab::runMany(const std::vector<MachineConfig> &configs,
+                  ThreadPool &pool) const
+{
+    std::vector<FrameResult> out(configs.size());
+    pool.parallelFor(configs.size(), [&](uint32_t, size_t i) {
+        out[i] = run(configs[i]);
+    });
+    return out;
+}
+
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
@@ -113,9 +147,13 @@ BenchOptions::parse(int argc, char **argv)
             opts.scale = std::atof(arg.c_str() + 8);
         } else if (arg.rfind("--csv=", 0) == 0) {
             opts.csvDir = arg.substr(6);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            opts.threads = parseHostThreads(arg.substr(10),
+                                            "threads");
         } else if (arg == "--help" || arg == "-h") {
             inform("options: --scale=<f> | --full | --quick | "
-                   "--csv=<dir> (or env TEXDIST_SCALE)");
+                   "--csv=<dir> | --threads=<n> "
+                   "(or env TEXDIST_SCALE)");
         } else {
             warn("ignoring unknown option: ", arg);
         }

@@ -19,6 +19,7 @@
 
 #include "core/machine.hh"
 #include "scene/scene.hh"
+#include "sim/thread_pool.hh"
 
 namespace texdist
 {
@@ -63,6 +64,22 @@ class FrameLab
     /** Simulate and attach the speedup over the cached baseline. */
     SpeedupResult runWithSpeedup(const MachineConfig &config);
 
+    /**
+     * Simulate a batch of configurations on @p pool, one config per
+     * worker. Baselines are warmed serially first (the cache is
+     * shared); the runs themselves are independent simulations, so
+     * results are identical to calling runWithSpeedup() in a loop —
+     * only the wall-clock time changes.
+     */
+    std::vector<SpeedupResult>
+    runBatch(const std::vector<MachineConfig> &configs,
+             ThreadPool &pool);
+
+    /** Like runBatch() but without the speedup denominators. */
+    std::vector<FrameResult>
+    runMany(const std::vector<MachineConfig> &configs,
+            ThreadPool &pool) const;
+
     const Scene &frameScene() const { return scene; }
 
   private:
@@ -77,7 +94,9 @@ class FrameLab
  * --full (scale 1.0, the paper's frame sizes),
  * --quick (scale 0.25, for smoke runs),
  * --csv=<dir> (also write figure series as CSV files for
- * scripts/plot_figures.py). The TEXDIST_SCALE environment variable
+ * scripts/plot_figures.py),
+ * --threads=<n> (simulate n configurations at a time; results are
+ * identical for any value). The TEXDIST_SCALE environment variable
  * provides a default scale that flags override.
  */
 struct BenchOptions
@@ -86,6 +105,9 @@ struct BenchOptions
 
     /** Directory for CSV series output; empty disables it. */
     std::string csvDir;
+
+    /** Host threads simulating configurations concurrently. */
+    uint32_t threads = 1;
 
     static BenchOptions parse(int argc, char **argv);
 };

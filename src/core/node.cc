@@ -112,7 +112,9 @@ TextureNode::stallBus(Tick from, Tick until)
 }
 
 Tick
-TextureNode::scanFragments(const TriangleWork &work, Tick start)
+TextureNode::scanFragments(TextureId texid,
+                           const NodeFragment *frags, size_t count,
+                           Tick start)
 {
     Tick cpu = start;
     // A slowed node (slow-node fault) takes `_slowdown` cycles per
@@ -122,57 +124,80 @@ TextureNode::scanFragments(const TriangleWork &work, Tick start)
     if (cfg.cacheKind == CacheKind::Perfect) {
         // Perfect cache, no memory traffic: the scan proceeds at one
         // pixel per cycle with nothing to wait for.
-        cpu += work.frags.size() * cycles_per_frag;
+        cpu += count * cycles_per_frag;
         lastRetire = std::max(lastRetire, cpu);
         return cpu;
     }
 
-    const Texture &tex = textures.get(work.tex);
+    const Texture &tex = textures.get(texid);
     const size_t depth = retireRing.size();
-    TexelRefs refs;
+    TextureCache *const cache = cache_.get();
+    TextureBus *const bus = bus_.get();
+    const uint32_t texels_per_fill = cache->texelsPerFill();
 
-    for (const NodeFragment &frag : work.frags) {
-        // Wait for a prefetch-queue slot: the fragment issued
-        // `depth` fragments ago must have retired.
-        Tick issue = std::max(cpu, retireRing[ringHead]);
-        _stallCycles += issue - cpu;
+    // Addresses are generated a chunk at a time ahead of the timing
+    // loop: the pure address arithmetic pipelines without the cache
+    // and bus bookkeeping interleaved, and the chunk bound keeps the
+    // scratch buffers L2-resident for arbitrarily large triangles.
+    constexpr size_t chunk = 512;
+    const size_t batch = std::min(count, chunk);
+    if (uScratch.size() < batch) {
+        uScratch.resize(batch);
+        vScratch.resize(batch);
+        lodScratch.resize(batch);
+        addrScratch.resize(batch * size_t(texelsPerFragment));
+    }
 
-        TrilinearSampler::generate(tex, frag.u, frag.v, frag.lod,
-                                   refs);
-        Tick retire = issue + 1;
-        for (uint64_t addr : refs) {
-            if (!cache_->access(addr) && bus_) {
-                Tick arrival =
-                    bus_->transfer(issue, cache_->texelsPerFill());
-                retire = std::max(retire, arrival);
-            }
+    for (size_t base = 0; base < count; base += chunk) {
+        const size_t m = std::min(chunk, count - base);
+        for (size_t i = 0; i < m; ++i) {
+            const NodeFragment &frag = frags[base + i];
+            uScratch[i] = frag.u;
+            vScratch[i] = frag.v;
+            lodScratch[i] = frag.lod;
         }
+        TrilinearSampler::generateBatch(tex, uScratch.data(),
+                                        vScratch.data(),
+                                        lodScratch.data(), m,
+                                        addrScratch.data());
 
-        retireRing[ringHead] = retire;
-        ringHead = (ringHead + 1) % depth;
-        lastRetire = std::max(lastRetire, retire);
-        cpu = issue + cycles_per_frag;
+        const uint64_t *addrs = addrScratch.data();
+        for (size_t i = 0; i < m;
+             ++i, addrs += texelsPerFragment) {
+            // Wait for a prefetch-queue slot: the fragment issued
+            // `depth` fragments ago must have retired.
+            Tick issue = std::max(cpu, retireRing[ringHead]);
+            _stallCycles += issue - cpu;
+
+            Tick retire = issue + 1;
+            for (int k = 0; k < texelsPerFragment; ++k) {
+                if (!cache->access(addrs[k]) && bus) {
+                    Tick arrival =
+                        bus->transfer(issue, texels_per_fill);
+                    retire = std::max(retire, arrival);
+                }
+            }
+
+            retireRing[ringHead] = retire;
+            ringHead = (ringHead + 1) % depth;
+            lastRetire = std::max(lastRetire, retire);
+            cpu = issue + cycles_per_frag;
+        }
     }
     return cpu;
 }
 
 void
-TextureNode::processNext()
+TextureNode::runTriangle(TextureId tex, const NodeFragment *frags,
+                         size_t count, Tick start)
 {
-    Tick start = curTick();
     _idleCycles += start > cpuTime ? start - cpuTime : 0;
 
-    TriangleWork work = fifo.pop();
-    if (feeder)
-        feeder->notifySpaceFreed();
-
     ++_trianglesReceived;
-    _pixelsDrawn += work.frags.size();
-    trianglePixels.add(double(work.frags.size()));
+    _pixelsDrawn += count;
+    trianglePixels.add(double(count));
 
-    eventq().noteProgress();
-
-    Tick scan_end = scanFragments(work, start);
+    Tick scan_end = scanFragments(tex, frags, count, start);
     Tick setup_end = start + Tick(cfg.setupCyclesPerTriangle) * _slowdown;
     if (scan_end < setup_end) {
         // Fewer pixels than the setup engine needs cycles: the
@@ -183,9 +208,36 @@ TextureNode::processNext()
     } else {
         cpuTime = scan_end;
     }
+}
+
+void
+TextureNode::processNext()
+{
+    Tick start = curTick();
+
+    TriangleWork work = fifo.pop();
+    if (feeder)
+        feeder->notifySpaceFreed();
+
+    eventq().noteProgress();
+
+    runTriangle(work.tex, work.frags.data(), work.frags.size(),
+                start);
 
     if (!fifo.empty())
         eventq().schedule(&workEvent, cpuTime);
+}
+
+Tick
+TextureNode::consumeDirect(Tick push_tick, TextureId tex,
+                           const NodeFragment *frags, size_t count)
+{
+    if (_dead || _frozen)
+        texdist_panic(name(), ": consumeDirect on a dead or frozen "
+                      "node");
+    Tick start = nextStart(push_tick);
+    runTriangle(tex, frags, count, start);
+    return start;
 }
 
 Tick

@@ -93,6 +93,38 @@ class TextureNode : public SimObject
      */
     void forceEnqueue(TriangleWork &&work);
 
+    // --- two-phase (queue-free) execution --------------------------------
+    //
+    // The deterministic parallel engine bypasses the event queue and
+    // the FIFO object: the node's evolution is a pure function of
+    // its (push tick, work) stream, because triangle k starts at
+    // max(scan-free time after k-1, push tick of k) — exactly when
+    // the event-driven machine would have fired its work event.
+
+    /** Tick at which work pushed at @p push_tick would start. */
+    Tick
+    nextStart(Tick push_tick) const
+    {
+        return std::max(cpuTime, push_tick);
+    }
+
+    /**
+     * Process one triangle pushed at @p push_tick directly,
+     * replicating processNext() exactly (idle accounting, scan,
+     * setup bound) without event-queue or FIFO involvement.
+     * @return the start tick, i.e. when the event-driven machine
+     *         would have popped this triangle from the FIFO
+     */
+    Tick consumeDirect(Tick push_tick, TextureId tex,
+                       const NodeFragment *frags, size_t count);
+
+    /**
+     * Fold the FIFO occupancy high-water computed by the two-phase
+     * engine into this node's FIFO statistic (and thus into results
+     * and checkpoints).
+     */
+    void noteFifoHighWater(size_t hw) { fifo.noteOccupancy(hw); }
+
     /** Tick at which this node has fully finished (idle + retired). */
     Tick finishTime() const;
 
@@ -201,8 +233,17 @@ class TextureNode : public SimObject
 
     void processNext();
 
+    /**
+     * Shared core of processNext and consumeDirect: charge one
+     * triangle (idle time, counters, fragment scan, setup engine)
+     * starting at @p start and advance the scan-free time.
+     */
+    void runTriangle(TextureId tex, const NodeFragment *frags,
+                     size_t count, Tick start);
+
     /** Scan one triangle's fragments starting at @p start. */
-    Tick scanFragments(const TriangleWork &work, Tick start);
+    Tick scanFragments(TextureId tex, const NodeFragment *frags,
+                       size_t count, Tick start);
 
     uint32_t nodeId;
     MachineConfig cfg;
@@ -224,6 +265,15 @@ class TextureNode : public SimObject
     std::vector<Tick> retireRing;
     size_t ringHead = 0;
     Tick lastRetire = 0;
+
+    // Scratch for batched texel-address generation (not state: the
+    // scan refills it per chunk). SoA copies of the fragment
+    // coordinates feed TrilinearSampler::generateBatch, whose
+    // addresses land in addrScratch for the timing loop to walk.
+    std::vector<uint64_t> addrScratch;
+    std::vector<float> uScratch;
+    std::vector<float> vScratch;
+    std::vector<float> lodScratch;
 
     uint32_t _slowdown = 1;
     bool _frozen = false;

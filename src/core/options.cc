@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace texdist
 {
@@ -75,6 +76,15 @@ parseF64(const std::string &value, const char *key)
 
 } // namespace
 
+uint32_t
+parseHostThreads(const std::string &value, const char *flag)
+{
+    uint64_t n = parseU64(value, flag);
+    if (n == 0)
+        texdist_fatal("--", flag, " must be positive");
+    return ThreadPool::clampThreads(n);
+}
+
 std::string
 SimOptions::usage()
 {
@@ -136,6 +146,11 @@ SimOptions::usage()
         "(see docs/ROBUSTNESS.md):\n"
         "  --frames=<n>          simulate n frames on a persistent\n"
         "                        machine (warm caches); default 1\n"
+        "  --jobs=<n>            host threads per frame (default: "
+        "all\n"
+        "                        hardware threads, clamped there); "
+        "results\n"
+        "                        are bit-identical for any value\n"
         "  --pan=<dx>[,<dy>]     camera pan in px/frame between "
         "frames\n"
         "  --checkpoint-every=<n>\n"
@@ -168,12 +183,26 @@ SimOptions::usage()
         "            5 replay divergence\n";
 }
 
+uint32_t
+SimOptions::resolvedJobs() const
+{
+    return jobs > 0 ? jobs : ThreadPool::defaultThreads();
+}
+
 SimOptions
 SimOptions::parse(int argc, char **argv)
 {
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return parse(args);
+}
+
+SimOptions
+SimOptions::parse(const std::vector<std::string> &args)
+{
     SimOptions opts;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
+    for (const std::string &arg : args) {
         std::string v;
         if (arg == "--help" || arg == "-h") {
             opts.help = true;
@@ -279,6 +308,8 @@ SimOptions::parse(int argc, char **argv)
             opts.frames = parseU32(v, "frames");
             if (opts.frames == 0)
                 texdist_fatal("--frames must be positive");
+        } else if (match(arg, "jobs", v)) {
+            opts.jobs = parseHostThreads(v, "jobs");
         } else if (match(arg, "pan", v)) {
             size_t comma = v.find(',');
             if (comma == std::string::npos) {

@@ -18,6 +18,14 @@
 namespace texdist
 {
 
+/**
+ * Parse a host thread-count flag value (`--jobs`, `--threads`):
+ * strict decimal, rejects 0 / negatives / trailing junk with a fatal
+ * diagnostic naming @p flag, and clamps requests beyond the hardware
+ * width instead of oversubscribing.
+ */
+uint32_t parseHostThreads(const std::string &value, const char *flag);
+
 /** Parsed options of the texdist_sim driver. */
 struct SimOptions
 {
@@ -37,6 +45,14 @@ struct SimOptions
 
     /** Frames to simulate; > 1 selects the multi-frame machine. */
     uint32_t frames = 1;
+
+    /**
+     * Host threads simulating each multi-frame frame; 0 = auto (all
+     * hardware threads). Purely a host-side knob: results are
+     * bit-identical for any value, so it is not part of the machine
+     * configuration or the checkpoint format.
+     */
+    uint32_t jobs = 0;
 
     /** Per-frame camera pan in pixels (multi-frame runs). */
     double panDx = 0.0;
@@ -69,11 +85,21 @@ struct SimOptions
     /** Print usage and exit. */
     bool help = false;
 
+    /** The `jobs` field with 0 resolved to the hardware width. */
+    uint32_t resolvedJobs() const;
+
     /**
      * Parse argv. Unknown options are fatal (a simulator run with a
      * misspelled parameter must not silently run the default).
      */
     static SimOptions parse(int argc, char **argv);
+
+    /**
+     * Parse pre-split arguments (no argv[0]). This is how in-process
+     * drivers like tools/sweep_runner configure a run without
+     * fork/exec.
+     */
+    static SimOptions parse(const std::vector<std::string> &args);
 
     /** Usage text. */
     static std::string usage();

@@ -121,4 +121,32 @@ RunManifest::load(const std::string &path)
     return m;
 }
 
+void
+frameCsvHeader(CsvWriter &csv)
+{
+    csv.header({"frame", "cycles", "pixels", "texels_fetched",
+                "triangles", "texel_fragment_ratio", "imbalance_pct",
+                "bus_util", "faults_injected", "degraded", "failed",
+                "digest"});
+}
+
+void
+frameCsvRow(CsvWriter &csv, uint32_t frame, const FrameResult &r,
+            uint64_t digest)
+{
+    csv.beginRow(std::to_string(frame));
+    csv.value(std::to_string(r.frameTime));
+    csv.value(std::to_string(r.totalPixels));
+    csv.value(std::to_string(r.totalTexelsFetched));
+    csv.value(std::to_string(r.trianglesDispatched));
+    csv.value(r.texelToFragmentRatio);
+    csv.value(r.pixelImbalancePercent);
+    csv.value(r.meanBusUtilization);
+    csv.value(std::to_string(r.faultStats.injected));
+    csv.value(std::to_string(uint64_t(r.degraded)));
+    csv.value(std::to_string(uint64_t(r.failed)));
+    csv.value(digestHex(digest));
+    csv.endRow();
+}
+
 } // namespace texdist

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/csv.hh"
 #include "core/machine.hh"
 
 namespace texdist
@@ -66,6 +67,16 @@ std::string digestHex(uint64_t digest);
 
 /** Parse a digestHex() string; fatal on malformed input. */
 uint64_t digestFromHex(const std::string &hex);
+
+/**
+ * The per-frame result-CSV row format shared by the simulator driver
+ * and the in-process sweep runner: both must emit byte-identical
+ * rows, or an in-process sweep would not be resumable by a
+ * subprocess sweep (and vice versa).
+ */
+void frameCsvHeader(CsvWriter &csv);
+void frameCsvRow(CsvWriter &csv, uint32_t frame,
+                 const FrameResult &result, uint64_t digest);
 
 } // namespace texdist
 

@@ -29,7 +29,8 @@ imbalancePct(const std::vector<T> &values)
 } // namespace
 
 SequenceMachine::SequenceMachine(const Scene &first_frame,
-                                 const MachineConfig &config)
+                                 const MachineConfig &config,
+                                 uint32_t host_jobs)
     : cfg(config), faultRng(config.faults.seed)
 {
     dist = Distribution::make(cfg.dist, first_frame.screenWidth,
@@ -39,13 +40,16 @@ SequenceMachine::SequenceMachine(const Scene &first_frame,
         nodes.push_back(std::make_unique<TextureNode>(
             i, cfg, first_frame.textures, eq));
     snapshots.resize(cfg.numProcs);
+    engine = std::make_unique<TwoPhaseFrameEngine>(cfg, *dist, nodes,
+                                                   host_jobs);
 }
 
-void
+std::vector<EngineFaultAction>
 SequenceMachine::armFaults(Tick frame_start)
 {
-    faultEvents.clear();
+    std::vector<EngineFaultAction> actions;
     frameFaultsInjected = 0;
+    maxActionTick = 0;
     for (FaultSpec fault : cfg.faults.faults) {
         if (fault.victim == faultRandomVictim)
             fault.victim = uint32_t(
@@ -54,26 +58,32 @@ SequenceMachine::armFaults(Tick frame_start)
             texdist_fatal("fault victim ", fault.victim,
                           " out of range for ", cfg.numProcs,
                           " processors");
-        TextureNode *victim = nodes[fault.victim].get();
         Tick at = frame_start + fault.at;
         Tick end = fault.duration > 0 ? at + fault.duration : maxTick;
 
-        std::function<void()> strike;
-        std::function<void()> recover;
+        EngineFaultAction strike;
+        strike.at = at;
+        strike.victim = fault.victim;
         switch (fault.kind) {
           case FaultKind::SlowNode:
-            strike = [this, victim, fault] {
-                ++frameFaultsInjected;
-                victim->setSlowdown(fault.factor);
-            };
-            if (fault.duration > 0)
-                recover = [victim] { victim->setSlowdown(1); };
+            strike.kind = EngineFaultAction::Kind::Slowdown;
+            strike.factor = fault.factor;
+            actions.push_back(strike);
+            maxActionTick = std::max(maxActionTick, at);
+            if (fault.duration > 0) {
+                EngineFaultAction recover = strike;
+                recover.at = end;
+                recover.factor = 1;
+                actions.push_back(recover);
+                maxActionTick = std::max(maxActionTick, end);
+            }
             break;
           case FaultKind::BusStall:
-            strike = [this, victim, at, end] {
-                ++frameFaultsInjected;
-                victim->stallBus(at, end);
-            };
+            strike.kind = EngineFaultAction::Kind::BusStall;
+            strike.stallFrom = at;
+            strike.stallUntil = end;
+            actions.push_back(strike);
+            maxActionTick = std::max(maxActionTick, at);
             break;
           default:
             // fifo-freeze and kill-node need the watchdog and
@@ -83,18 +93,9 @@ SequenceMachine::armFaults(Tick frame_start)
                           "' is not supported in multi-frame "
                           "(sequence) runs");
         }
-
-        auto ev = std::make_unique<LambdaEvent>(std::move(strike),
-                                                "fault strike");
-        eq.schedule(ev.get(), at);
-        faultEvents.push_back(std::move(ev));
-        if (recover && fault.duration > 0) {
-            auto rev = std::make_unique<LambdaEvent>(
-                std::move(recover), "fault recovery");
-            eq.schedule(rev.get(), end);
-            faultEvents.push_back(std::move(rev));
-        }
+        ++frameFaultsInjected;
     }
+    return actions;
 }
 
 FrameResult
@@ -105,25 +106,15 @@ SequenceMachine::runFrame(const Scene &scene)
         texdist_fatal("frame ", scene.name,
                       " does not match the sequence screen size");
 
-    armFaults(frameStart);
-    GeometryFeeder feeder(scene, *dist, nodes, eq, cfg);
-    for (auto &node : nodes)
-        node->setFeeder(&feeder);
-    feeder.start(frameStart);
-    eq.run();
-    for (auto &node : nodes)
-        node->setFeeder(nullptr);
-    if (!feeder.done())
-        texdist_panic("sequence frame drained with triangles "
-                      "pending");
+    std::vector<EngineFaultAction> actions = armFaults(frameStart);
+    FrameEngineResult eng =
+        engine->runFrame(scene, frameStart, actions);
 
-    Tick frame_end = frameStart;
-    for (const auto &node : nodes)
-        frame_end = std::max(frame_end, node->finishTime());
+    Tick frame_end = std::max(frameStart, eng.frameEnd);
 
     FrameResult out;
     out.frameTime = frame_end - frameStart;
-    out.trianglesDispatched = feeder.trianglesDispatched();
+    out.trianglesDispatched = eng.trianglesDispatched;
 
     std::vector<uint64_t> pixel_counts;
     double bus_util_sum = 0.0;
@@ -178,9 +169,9 @@ SequenceMachine::runFrame(const Scene &scene)
     out.meanBusUtilization = bus_util_sum / double(nodes.size());
     out.faultStats.injected = frameFaultsInjected;
 
-    // A fault recovery event may fire after the last node retires;
-    // the next frame must still start at or after the queue's clock.
-    frameStart = std::max(frame_end, eq.curTick());
+    // A fault recovery action may land after the last node retires;
+    // the next frame must still start at or after it.
+    frameStart = std::max(frame_end, maxActionTick);
     ++_framesRun;
     return out;
 }
@@ -263,11 +254,11 @@ SequenceMachine::restore(CheckpointReader &r)
 
 SequenceResult
 runFrameSequence(const std::vector<Scene> &frames,
-                 const MachineConfig &config)
+                 const MachineConfig &config, uint32_t jobs)
 {
     if (frames.empty())
         texdist_fatal("empty frame sequence");
-    SequenceMachine machine(frames.front(), config);
+    SequenceMachine machine(frames.front(), config, jobs);
     SequenceResult out;
     for (const Scene &frame : frames)
         out.frames.push_back(machine.runFrame(frame));

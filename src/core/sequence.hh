@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/frame_engine.hh"
 #include "core/machine.hh"
 #include "geom/rng.hh"
 #include "sim/checkpoint.hh"
@@ -39,12 +40,22 @@ struct SequenceResult
  * Construct with the machine configuration and the *first* frame
  * (whose texture manager the nodes bind to), then call runFrame for
  * each frame in order.
+ *
+ * Frames execute on the deterministic two-phase engine
+ * (TwoPhaseFrameEngine): `host_jobs` controls only how many host
+ * threads simulate the independent per-node streams. Every result,
+ * digest and checkpoint byte is identical for any value of
+ * host_jobs — it is a host-side throughput knob, not part of the
+ * machine configuration, which is why it does not appear in
+ * MachineConfig::describe() and checkpoints restore across
+ * different job counts.
  */
 class SequenceMachine
 {
   public:
     SequenceMachine(const Scene &first_frame,
-                    const MachineConfig &config);
+                    const MachineConfig &config,
+                    uint32_t host_jobs = 1);
 
     /**
      * Simulate one frame; caches stay warm from previous frames.
@@ -61,6 +72,9 @@ class SequenceMachine
 
     /** Frames simulated (or restored) so far. */
     uint32_t framesRun() const { return _framesRun; }
+
+    /** Host threads simulating each frame. */
+    uint32_t jobs() const { return engine->jobs(); }
 
     /**
      * Serialize the machine at a frame boundary: the clock, the
@@ -80,13 +94,14 @@ class SequenceMachine
 
   private:
     /**
-     * Arm the per-frame fault plan: in sequence runs fault ticks
-     * are relative to the frame start and the plan strikes every
-     * frame, with `rand` victims re-resolved per frame from the
-     * session RNG stream. Only faults a sequence can survive
-     * without a watchdog (slow-node, bus-stall) are supported.
+     * Build the per-frame fault plan as engine actions: in sequence
+     * runs fault ticks are relative to the frame start and the plan
+     * strikes every frame, with `rand` victims re-resolved per frame
+     * from the session RNG stream. Only faults a sequence can
+     * survive without a watchdog (slow-node, bus-stall) are
+     * supported. Updates frameFaultsInjected and maxActionTick.
      */
-    void armFaults(Tick frame_start);
+    std::vector<EngineFaultAction> armFaults(Tick frame_start);
     /** Per-node counter snapshot for delta accounting. */
     struct NodeSnapshot
     {
@@ -106,9 +121,11 @@ class SequenceMachine
     std::unique_ptr<Distribution> dist;
     std::vector<std::unique_ptr<TextureNode>> nodes;
     std::vector<NodeSnapshot> snapshots;
-    std::vector<std::unique_ptr<LambdaEvent>> faultEvents;
+    std::unique_ptr<TwoPhaseFrameEngine> engine;
     Rng faultRng;
     uint32_t frameFaultsInjected = 0;
+    /** Latest tick of any action of the current frame's plan. */
+    Tick maxActionTick = 0;
     uint32_t _framesRun = 0;
     Tick frameStart = 0;
     bool restored = false;
@@ -116,7 +133,8 @@ class SequenceMachine
 
 /** Convenience: run a whole sequence. */
 SequenceResult runFrameSequence(const std::vector<Scene> &frames,
-                                const MachineConfig &config);
+                                const MachineConfig &config,
+                                uint32_t jobs = 1);
 
 } // namespace texdist
 

@@ -1,5 +1,6 @@
 #include "sim/checkpoint.hh"
 
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,18 +18,19 @@ constexpr char checkpointMagic[4] = {'T', 'D', 'C', 'P'};
 const uint32_t *
 crcTable()
 {
-    static uint32_t table[256];
-    static bool built = false;
-    if (!built) {
+    // Magic-static init: thread-safe even when several host threads
+    // write checkpoints or digests concurrently.
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
         for (uint32_t i = 0; i < 256; ++i) {
             uint32_t c = i;
             for (int k = 0; k < 8; ++k)
                 c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            table[i] = c;
+            t[i] = c;
         }
-        built = true;
-    }
-    return table;
+        return t;
+    }();
+    return table.data();
 }
 
 } // namespace

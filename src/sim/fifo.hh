@@ -99,6 +99,21 @@ class BoundedFifo
     size_t maxOccupancy() const { return _maxOccupancy; }
 
     /**
+     * Fold an occupancy level observed *outside* the FIFO into the
+     * high-water mark. The two-phase frame engine routes triangle
+     * streams around the FIFO object (push and pop ticks are
+     * computed, not enacted) but still models the occupancy the
+     * event-driven machine would have seen; this keeps the statistic
+     * and its checkpoint representation in one place.
+     */
+    void
+    noteOccupancy(size_t occupancy)
+    {
+        if (occupancy > _maxOccupancy)
+            _maxOccupancy = occupancy;
+    }
+
+    /**
      * The queued entries in order, front first — read-only access
      * for checkpoint serialization and diagnostics.
      */

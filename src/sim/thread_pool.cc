@@ -1,0 +1,122 @@
+#include "sim/thread_pool.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace texdist
+{
+
+uint32_t
+ThreadPool::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? uint32_t(hw) : 1u;
+}
+
+uint32_t
+ThreadPool::clampThreads(uint64_t requested)
+{
+    if (requested == 0)
+        texdist_fatal("thread count must be positive");
+    return uint32_t(std::min<uint64_t>(requested, defaultThreads()));
+}
+
+ThreadPool::ThreadPool(uint32_t threads) : width(threads)
+{
+    if (threads == 0)
+        texdist_fatal("thread pool width must be positive");
+    workers.reserve(threads - 1);
+    for (uint32_t w = 1; w < threads; ++w)
+        workers.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        shutdown = true;
+    }
+    wake.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop(uint32_t worker)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(uint32_t, size_t)> *fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            wake.wait(lock, [&] {
+                return shutdown || (job && generation != seen);
+            });
+            if (shutdown)
+                return;
+            // Register on the live job. A worker only ever touches
+            // job state between this registration and the matching
+            // deregistration below, and parallelFor cannot return
+            // (and so cannot invalidate or replace the job) while
+            // any worker is registered — that is the whole safety
+            // argument against late wake-ups joining a dead job.
+            seen = generation;
+            fn = job;
+            ++active;
+        }
+        for (;;) {
+            size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobCount)
+                break;
+            (*fn)(worker, i);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --active;
+        }
+        idle.notify_one();
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    size_t count,
+    const std::function<void(uint32_t worker, size_t index)> &fn)
+{
+    if (count == 0)
+        return;
+    if (width == 1 || count == 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(0, i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        job = &fn;
+        jobCount = count;
+        cursor.store(0, std::memory_order_relaxed);
+        ++generation;
+    }
+    wake.notify_all();
+
+    // The caller participates as worker 0.
+    for (;;) {
+        size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobCount)
+            break;
+        fn(0, i);
+    }
+
+    // Every index has been *claimed*; wait until every registered
+    // worker has finished the indexes it claimed. Workers that never
+    // woke up simply find the job gone on their next wake.
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        idle.wait(lock, [&] { return active == 0; });
+        job = nullptr;
+    }
+}
+
+} // namespace texdist

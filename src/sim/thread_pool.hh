@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A persistent host worker pool for the deterministic parallel
+ * engine. The simulator's parallelism is always over *independent*
+ * units (nodes of one frame, triangles of one frame, configs of one
+ * sweep) whose results merge in index order, so the pool only needs
+ * one primitive: parallelFor over [0, count) with an atomic work
+ * counter. Determinism is by construction — workers race only for
+ * *which* index they execute, never for what any index computes.
+ */
+
+#ifndef TEXDIST_SIM_THREAD_POOL_HH
+#define TEXDIST_SIM_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace texdist
+{
+
+/**
+ * Fixed-size pool of host threads, created once and reused for every
+ * parallel region (frames re-dispatch thousands of times; thread
+ * start-up cost must not be per-frame). A pool of width 1 runs
+ * everything inline on the caller with zero synchronization, so the
+ * serial path is exactly the pre-pool code path.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads total workers including the caller (>= 1) */
+    explicit ThreadPool(uint32_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrent executors (caller included). */
+    uint32_t threads() const { return width; }
+
+    /**
+     * Run fn(worker, index) for every index in [0, count). The
+     * calling thread participates as worker 0 and the call returns
+     * only when every index has finished. Indexes are claimed from
+     * an atomic counter, so per-index work must be independent;
+     * `worker` (in [0, threads())) identifies the executing lane for
+     * per-worker scratch storage. Not reentrant.
+     */
+    void parallelFor(size_t count,
+                     const std::function<void(uint32_t worker,
+                                              size_t index)> &fn);
+
+    /** Host threads to use by default: hardware_concurrency, >= 1. */
+    static uint32_t defaultThreads();
+
+    /**
+     * Clamp a requested thread count into [1, hardware_concurrency]
+     * (a pool wider than the host only adds contention).
+     */
+    static uint32_t clampThreads(uint64_t requested);
+
+  private:
+    void workerLoop(uint32_t worker);
+
+    uint32_t width;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable wake;
+    std::condition_variable idle;
+
+    // One parallelFor at a time: the current job, its index cursor
+    // and how many workers are registered on it. `generation` lets
+    // sleeping workers distinguish a new job from a spurious
+    // wake-up; `active` is the number of workers currently between
+    // registration and deregistration (guarded by mtx).
+    const std::function<void(uint32_t, size_t)> *job = nullptr;
+    size_t jobCount = 0;
+    uint64_t generation = 0;
+    uint32_t active = 0;
+    std::atomic<size_t> cursor{0};
+    bool shutdown = false;
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_SIM_THREAD_POOL_HH

@@ -23,10 +23,18 @@ computeLod(float dudx, float dvdx, float dudy, float dvdy,
     return 0.5f * std::log2(rho2);
 }
 
-void
-TrilinearSampler::bilinearQuad(const Texture &tex, uint32_t level,
-                               float u, float v, TexelRefs &out,
-                               int base)
+namespace
+{
+
+/**
+ * The four bilinear addresses of one level, written to out[0..3].
+ * This is the one copy of the footprint arithmetic; every public
+ * entry point funnels through it so the batched and the one-at-a-
+ * time paths cannot drift apart.
+ */
+inline void
+quadInto(const Texture &tex, uint32_t level, float u, float v,
+         uint64_t *out)
 {
     const MipLevel &lvl = tex.level(level);
 
@@ -43,10 +51,20 @@ TrilinearSampler::bilinearQuad(const Texture &tex, uint32_t level,
     int32_t ys[2] = {tex.wrapCoord(y_lo, lvl.height),
                      tex.wrapCoord(y_lo + 1, lvl.height)};
 
-    out[base + 0] = tex.texelAddress(level, xs[0], ys[0]);
-    out[base + 1] = tex.texelAddress(level, xs[1], ys[0]);
-    out[base + 2] = tex.texelAddress(level, xs[0], ys[1]);
-    out[base + 3] = tex.texelAddress(level, xs[1], ys[1]);
+    out[0] = tex.texelAddress(level, xs[0], ys[0]);
+    out[1] = tex.texelAddress(level, xs[1], ys[0]);
+    out[2] = tex.texelAddress(level, xs[0], ys[1]);
+    out[3] = tex.texelAddress(level, xs[1], ys[1]);
+}
+
+} // namespace
+
+void
+TrilinearSampler::bilinearQuad(const Texture &tex, uint32_t level,
+                               float u, float v, TexelRefs &out,
+                               int base)
+{
+    quadInto(tex, level, u, v, out.data() + base);
 }
 
 void
@@ -59,8 +77,24 @@ TrilinearSampler::generate(const Texture &tex, float u, float v,
     uint32_t l0 = uint32_t(clamped);
     uint32_t l1 = std::min(l0 + 1, tex.maxLevel());
 
-    bilinearQuad(tex, l0, u, v, out, 0);
-    bilinearQuad(tex, l1, u, v, out, 4);
+    quadInto(tex, l0, u, v, out.data());
+    quadInto(tex, l1, u, v, out.data() + 4);
+}
+
+void
+TrilinearSampler::generateBatch(const Texture &tex, const float *u,
+                                const float *v, const float *lod,
+                                size_t count, uint64_t *out)
+{
+    const uint32_t max_level = tex.maxLevel();
+    const float max_level_f = float(max_level);
+    for (size_t i = 0; i < count; ++i, out += texelsPerFragment) {
+        float clamped = std::clamp(lod[i], 0.0f, max_level_f);
+        uint32_t l0 = uint32_t(clamped);
+        uint32_t l1 = std::min(l0 + 1, max_level);
+        quadInto(tex, l0, u[i], v[i], out);
+        quadInto(tex, l1, u[i], v[i], out + 4);
+    }
 }
 
 } // namespace texdist

@@ -12,6 +12,7 @@
 #define TEXDIST_TEXTURE_SAMPLER_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "texture/texture.hh"
@@ -67,6 +68,20 @@ class TrilinearSampler
     static void bilinearQuad(const Texture &tex, uint32_t level,
                              float u, float v, TexelRefs &out,
                              int base);
+
+    /**
+     * Batched generate: the addresses of @p count fragments, eight
+     * per fragment, written to out[8i .. 8i+7]. Bit-identical to
+     * calling generate() per fragment — both run the same address
+     * arithmetic — but the per-texture constants are hoisted out of
+     * the loop and the results land in one linear buffer, which is
+     * what the node's scan engine wants to iterate while it charges
+     * cache and bus time. @p u, @p v and @p lod are parallel arrays
+     * of length @p count.
+     */
+    static void generateBatch(const Texture &tex, const float *u,
+                              const float *v, const float *lod,
+                              size_t count, uint64_t *out);
 };
 
 } // namespace texdist

@@ -161,6 +161,75 @@ TEST(BenchOptionsDeath, RejectsBadScale)
                 ::testing::ExitedWithCode(1), "out of range");
 }
 
+TEST(BenchOptions, ThreadsFlagParsesAndClamps)
+{
+    const char *argv[] = {"prog", "--threads=1"};
+    EXPECT_EQ(
+        BenchOptions::parse(2, const_cast<char **>(argv)).threads,
+        1u);
+
+    const char *argv2[] = {"prog", "--threads=1048576"};
+    EXPECT_EQ(
+        BenchOptions::parse(2, const_cast<char **>(argv2)).threads,
+        ThreadPool::defaultThreads());
+
+    const char *argv3[] = {"prog"};
+    EXPECT_EQ(
+        BenchOptions::parse(1, const_cast<char **>(argv3)).threads,
+        1u);
+}
+
+TEST(BenchOptionsDeath, RejectsBadThreads)
+{
+    const char *argv[] = {"prog", "--threads=0"};
+    EXPECT_EXIT(BenchOptions::parse(2, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "positive");
+    const char *argv2[] = {"prog", "--threads=two"};
+    EXPECT_EXIT(BenchOptions::parse(2, const_cast<char **>(argv2)),
+                ::testing::ExitedWithCode(1), "integer");
+}
+
+TEST(FrameLab, BatchMatchesSerialRuns)
+{
+    // runBatch on a real pool must reproduce runWithSpeedup exactly:
+    // same baselines, same frame results, same speedups.
+    SceneBuilder b("batch", 96, 96, 11);
+    auto pool = b.makeTexturePool(3, 16, 32);
+    b.addBackgroundLayer(pool, 24, 24, 1.0);
+    Scene scene = b.take();
+
+    std::vector<MachineConfig> cfgs;
+    for (uint32_t param : {4u, 8u, 16u}) {
+        MachineConfig cfg;
+        cfg.numProcs = 4;
+        cfg.dist = DistKind::Block;
+        cfg.tileParam = param;
+        cfg.busTexelsPerCycle = 1.0;
+        cfgs.push_back(cfg);
+    }
+
+    FrameLab serial_lab(scene);
+    std::vector<FrameLab::SpeedupResult> expect;
+    for (const MachineConfig &cfg : cfgs)
+        expect.push_back(serial_lab.runWithSpeedup(cfg));
+
+    FrameLab batch_lab(scene);
+    ThreadPool workers(3);
+    std::vector<FrameLab::SpeedupResult> got =
+        batch_lab.runBatch(cfgs, workers);
+    std::vector<FrameResult> many = batch_lab.runMany(cfgs, workers);
+
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got[i].baselineTime, expect[i].baselineTime);
+        EXPECT_EQ(got[i].frame.frameTime, expect[i].frame.frameTime);
+        EXPECT_EQ(got[i].frame.totalTexelsFetched,
+                  expect[i].frame.totalTexelsFetched);
+        EXPECT_DOUBLE_EQ(got[i].speedup, expect[i].speedup);
+        EXPECT_EQ(many[i].frameTime, expect[i].frame.frameTime);
+    }
+}
+
 TEST(TablePrinter, AlignedOutput)
 {
     std::ostringstream os;

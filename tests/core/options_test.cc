@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/options.hh"
+#include "sim/thread_pool.hh"
 
 namespace texdist
 {
@@ -166,6 +167,65 @@ TEST(SimOptionsDeath, StrictNumericParsing)
                 ::testing::ExitedWithCode(1), "number");
     EXPECT_EXIT(parse({"--bus=-2"}), ::testing::ExitedWithCode(1),
                 ">= 0");
+}
+
+TEST(SimOptions, JobsDefaultsToAutoAndClampsToHardware)
+{
+    SimOptions o = parse({});
+    EXPECT_EQ(o.jobs, 0u); // auto
+    EXPECT_EQ(o.resolvedJobs(), ThreadPool::defaultThreads());
+
+    o = parse({"--jobs=1"});
+    EXPECT_EQ(o.jobs, 1u);
+    EXPECT_EQ(o.resolvedJobs(), 1u);
+
+    // Requests beyond the host width clamp instead of oversubscribing.
+    o = parse({"--jobs=1048576"});
+    EXPECT_EQ(o.jobs, ThreadPool::defaultThreads());
+}
+
+TEST(SimOptions, VectorParseMatchesArgvParse)
+{
+    std::vector<std::string> args = {"--scene=quake", "--procs=16",
+                                     "--frames=4", "--jobs=1"};
+    SimOptions o = SimOptions::parse(args);
+    EXPECT_EQ(o.scene, "quake");
+    EXPECT_EQ(o.machine.numProcs, 16u);
+    EXPECT_EQ(o.frames, 4u);
+    EXPECT_EQ(o.jobs, 1u);
+}
+
+TEST(ParseHostThreads, ClampsAndNamesTheFlag)
+{
+    EXPECT_EQ(parseHostThreads("1", "threads"), 1u);
+    EXPECT_EQ(parseHostThreads("1048576", "threads"),
+              ThreadPool::defaultThreads());
+}
+
+TEST(ParseHostThreadsDeath, RejectsBadValues)
+{
+    EXPECT_EXIT(parseHostThreads("0", "threads"),
+                ::testing::ExitedWithCode(1), "--threads.*positive");
+    EXPECT_EXIT(parseHostThreads("-2", "threads"),
+                ::testing::ExitedWithCode(1), "--threads.*integer");
+    EXPECT_EXIT(parseHostThreads("8q", "jobs"),
+                ::testing::ExitedWithCode(1), "--jobs.*integer");
+}
+
+TEST(SimOptionsDeath, BadJobsValuesFatal)
+{
+    EXPECT_EXIT(parse({"--jobs=0"}), ::testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_EXIT(parse({"--jobs=-4"}), ::testing::ExitedWithCode(1),
+                "integer");
+    EXPECT_EXIT(parse({"--jobs=four"}),
+                ::testing::ExitedWithCode(1), "integer");
+    EXPECT_EXIT(parse({"--jobs=4x"}), ::testing::ExitedWithCode(1),
+                "integer");
+    EXPECT_EXIT(parse({"--jobs="}), ::testing::ExitedWithCode(1),
+                "integer");
+    EXPECT_EXIT(parse({"--jobs=99999999999999999999"}),
+                ::testing::ExitedWithCode(1), "out of range");
 }
 
 TEST(SimOptionsDeath, BadFaultAndWatchdogValuesFatal)

@@ -1,0 +1,65 @@
+#!/bin/sh
+# In-process sweep equivalence test.
+#
+# Runs the same sweep twice: once in classic subprocess mode
+# (fork/exec of texdist_sim per config) and once in-process with
+# --threads=2, and asserts that the merged sweep.csv AND every
+# per-config CSV are byte-identical. This is the guarantee that makes
+# the two modes interchangeable — including resuming a subprocess
+# sweep in-process and vice versa.
+#
+# Also checks that --resume across modes is a no-op: resuming the
+# completed in-process sweep in subprocess mode must not rerun or
+# change anything.
+#
+# Usage: inprocess_sweep_test.sh <texdist_sim> <sweep_runner> <workdir>
+set -u
+
+SIM=$1
+RUNNER=$2
+WORK=$3
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK" || fail "cannot create $WORK"
+
+CONFIGS="$WORK/sweep.cfg"
+cat > "$CONFIGS" <<'EOF'
+# Multi-frame sequence configs and a single-frame config, so the
+# in-process runner exercises both machine dispatch paths.
+block8:  --dist=block --param=8 --frames=3 --pan=4
+sli2:    --dist=sli --param=2 --frames=3 --pan=4
+single:  --dist=block --param=16
+EOF
+
+COMMON="--scene=quake --scale=0.25 --procs=4"
+
+"$RUNNER" --sim="$SIM" --configs="$CONFIGS" --out="$WORK/sub" \
+    -- $COMMON \
+    || fail "subprocess sweep exited nonzero"
+
+"$RUNNER" --threads=2 --configs="$CONFIGS" --out="$WORK/inproc" \
+    -- $COMMON \
+    || fail "in-process sweep exited nonzero"
+
+for f in sweep.csv block8.csv sli2.csv single.csv; do
+    [ -f "$WORK/sub/$f" ] || fail "subprocess output missing $f"
+    [ -f "$WORK/inproc/$f" ] || fail "in-process output missing $f"
+    cmp "$WORK/sub/$f" "$WORK/inproc/$f" \
+        || fail "$f differs between subprocess and in-process mode"
+done
+
+# Cross-mode resume: the in-process manifest must satisfy a
+# subprocess --resume completely (everything already done).
+"$RUNNER" --sim="$SIM" --configs="$CONFIGS" --out="$WORK/inproc" \
+    --resume -- $COMMON \
+    || fail "cross-mode resume exited nonzero"
+cmp "$WORK/sub/sweep.csv" "$WORK/inproc/sweep.csv" \
+    || fail "cross-mode resume changed sweep.csv"
+
+echo "PASS: in-process sweep output is byte-identical"
+exit 0

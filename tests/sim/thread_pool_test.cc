@@ -1,0 +1,103 @@
+/** @file Tests for the host worker pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr size_t count = 10000;
+    std::vector<std::atomic<uint32_t>> hits(count);
+    pool.parallelFor(count, [&](uint32_t, size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < count; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ThreadPool, WidthOneRunsInlineInOrder)
+{
+    ThreadPool pool(1);
+    std::vector<size_t> order;
+    pool.parallelFor(5, [&](uint32_t worker, size_t i) {
+        EXPECT_EQ(worker, 0u);
+        order.push_back(i);
+    });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, WorkerIdsStayInRange)
+{
+    ThreadPool pool(3);
+    std::atomic<bool> bad{false};
+    pool.parallelFor(5000, [&](uint32_t worker, size_t) {
+        if (worker >= pool.threads())
+            bad.store(true, std::memory_order_relaxed);
+    });
+    EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossManyJobs)
+{
+    // The pool must survive thousands of back-to-back jobs (one
+    // frame dispatches at least two), including empty ones.
+    ThreadPool pool(4);
+    std::atomic<uint64_t> sum{0};
+    uint64_t expect = 0;
+    for (size_t job = 0; job < 500; ++job) {
+        size_t count = job % 7; // includes count == 0
+        expect += count;
+        pool.parallelFor(count, [&](uint32_t, size_t) {
+            sum.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial)
+{
+    constexpr size_t count = 4096;
+    std::vector<uint64_t> out(count, 0);
+    ThreadPool pool(4);
+    pool.parallelFor(count,
+                     [&](uint32_t, size_t i) { out[i] = i * i; });
+    uint64_t sum = 0;
+    for (uint64_t v : out)
+        sum += v;
+    uint64_t expect = 0;
+    for (uint64_t i = 0; i < count; ++i)
+        expect += i * i;
+    EXPECT_EQ(sum, expect);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ThreadPool, ClampThreadsBoundsToHardware)
+{
+    EXPECT_EQ(ThreadPool::clampThreads(1), 1u);
+    EXPECT_LE(ThreadPool::clampThreads(1 << 20),
+              ThreadPool::defaultThreads());
+}
+
+TEST(ThreadPoolDeath, ZeroThreadsIsFatal)
+{
+    EXPECT_EXIT(ThreadPool::clampThreads(0),
+                ::testing::ExitedWithCode(1), "positive");
+    EXPECT_EXIT(ThreadPool pool(0), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace texdist

@@ -26,7 +26,19 @@
  * Usage:
  *   sweep_runner --sim=build/tools/texdist_sim --configs=sweep.txt \
  *                --out=results [--timeout=300] [--retries=2] \
- *                [--resume] [-- <common simulator args...>]
+ *                [--resume] [--threads=<n>] \
+ *                [-- <common simulator args...>]
+ *
+ * `--threads=<n>` switches to in-process mode: configurations are
+ * simulated on a host worker pool inside this process (no fork/exec,
+ * no --sim binary needed), n at a time. Output files — per-config
+ * CSVs, the manifest, and the merged sweep.csv — are byte-identical
+ * to subprocess mode, so the two modes are interchangeable and
+ * `--resume` works across them. The trade-off is isolation:
+ * in-process configs share one address space, so there is no
+ * per-config timeout or crash retry, and flags that assume a
+ * dedicated process (checkpointing, manifests, replay verification,
+ * stats files) are rejected up front.
  *
  * Exit codes: 0 every config done, 1 usage/config error, 2 some
  * configs failed permanently, 3 interrupted (the manifest still
@@ -52,9 +64,16 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "core/interframe.hh"
 #include "core/json.hh"
+#include "core/options.hh"
+#include "core/replay.hh"
+#include "core/sequence.hh"
+#include "scene/benchmarks.hh"
 #include "sim/checkpoint.hh"
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
+#include "trace/trace.hh"
 
 using namespace texdist;
 
@@ -100,6 +119,7 @@ struct RunnerOptions
     int retries = 2;
     long backoffMs = 500;
     bool resume = false;
+    uint32_t threads = 0; ///< 0 = subprocess mode
     std::vector<std::string> commonArgs;
 };
 
@@ -133,6 +153,10 @@ usage()
         "                     (default 500)\n"
         "  --resume           skip configs the manifest records as "
         "done\n"
+        "  --threads=<n>      simulate n configs at a time inside "
+        "this\n"
+        "                     process (no fork/exec; --sim unused;\n"
+        "                     clamped to the hardware width)\n"
         "  -- <args...>       common arguments passed to every "
         "config\n";
 }
@@ -169,6 +193,8 @@ parseArgs(int argc, char **argv)
             opts.backoffMs = std::atol(v.c_str());
             if (opts.backoffMs < 0)
                 texdist_fatal("--backoff-ms must be >= 0");
+        } else if (match(arg, "threads", v)) {
+            opts.threads = parseHostThreads(v, "threads");
         } else if (arg == "--resume") {
             opts.resume = true;
         } else {
@@ -177,10 +203,10 @@ parseArgs(int argc, char **argv)
     }
     for (; i < argc; ++i)
         opts.commonArgs.push_back(argv[i]);
-    if (opts.simPath.empty() || opts.configsPath.empty() ||
-        opts.outDir.empty())
-        texdist_fatal("--sim, --configs and --out are required\n\n",
-                      usage());
+    if ((opts.simPath.empty() && opts.threads == 0) ||
+        opts.configsPath.empty() || opts.outDir.empty())
+        texdist_fatal("--sim (or --threads), --configs and --out "
+                      "are required\n\n", usage());
     return opts;
 }
 
@@ -406,6 +432,172 @@ runChild(const RunnerOptions &opts, const SweepConfig &cfg)
     return result;
 }
 
+/**
+ * In-process mode: parse a pending config's full command line. All
+ * configs are parsed up front on the main thread, so a sweep never
+ * dies halfway through on a typo that subprocess mode would also
+ * have rejected — and never calls exit() from a worker thread.
+ */
+SimOptions
+parseInProcessConfig(const RunnerOptions &opts,
+                     const SweepConfig &cfg)
+{
+    std::vector<std::string> args = opts.commonArgs;
+    for (const std::string &arg : splitArgs(cfg.args))
+        args.push_back(arg);
+    SimOptions sim = SimOptions::parse(args);
+    if (sim.help || sim.listBenchmarks)
+        texdist_fatal("config '", cfg.name, "': --help and "
+                      "--list-benchmarks make no sense in a sweep");
+    if (sim.checkpointEvery > 0 || !sim.checkpointFile.empty() ||
+        !sim.restorePath.empty() || !sim.manifestPath.empty() ||
+        !sim.replayVerifyPath.empty() || !sim.statsFile.empty())
+        texdist_fatal("config '", cfg.name, "': checkpoint, "
+                      "restore, manifest, replay-verify and "
+                      "stats-file need a dedicated process per "
+                      "config; drop --threads to run this sweep");
+    const bool sequence = sim.frames > 1 || sim.panDx != 0.0 ||
+                          sim.panDy != 0.0;
+    if (sequence)
+        for (const FaultSpec &fault : sim.machine.faults.faults)
+            if (fault.kind != FaultKind::SlowNode &&
+                fault.kind != FaultKind::BusStall)
+                texdist_fatal("config '", cfg.name, "': fault kind ",
+                              to_string(fault.kind), " is not "
+                              "supported in multi-frame runs");
+    return sim;
+}
+
+/**
+ * Simulate one config inside this process, producing the same
+ * per-config CSV and log files as an exec'd texdist_sim would.
+ * Returns the exit code the equivalent child process would have.
+ */
+int
+runConfigInProcess(const RunnerOptions &opts, const SweepConfig &cfg,
+                   const SimOptions &sim)
+{
+    std::ofstream log(opts.outDir + "/" + cfg.name + ".log");
+    Scene base = sim.tracePath.empty()
+                     ? makeBenchmark(sim.scene, sim.scale)
+                     : readTraceFile(sim.tracePath);
+    CsvWriter csv(opts.outDir + "/" + cfg.name + ".csv");
+    frameCsvHeader(csv);
+
+    // Mirror the driver's dispatch: multi-frame runs use the
+    // persistent sequence machine, single-frame runs the event-driven
+    // machine (which also covers the kill/freeze fault kinds).
+    const bool sequence = sim.frames > 1 || sim.panDx != 0.0 ||
+                          sim.panDy != 0.0;
+    int exit_code = exitOk;
+    bool interrupted = false;
+    if (sequence) {
+        // The sweep's parallelism is config-level; each machine runs
+        // its frames serially unless the config asked for --jobs.
+        SequenceMachine machine(base, sim.machine,
+                                sim.jobs > 0 ? sim.jobs : 1);
+        for (uint32_t f = 0; f < sim.frames; ++f) {
+            Scene frame =
+                f == 0 ? Scene()
+                       : translateScene(base, float(sim.panDx * f),
+                                        float(sim.panDy * f));
+            const Scene &scene = f == 0 ? base : frame;
+            FrameResult r = machine.runFrame(scene);
+            uint64_t digest = digestFrame(r);
+            frameCsvRow(csv, f, r, digest);
+            log << "frame " << f << ": " << r.frameTime
+                << " cycles, " << r.totalPixels << " pixels, digest "
+                << digestHex(digest) << "\n";
+            if (g_signal != 0) {
+                interrupted = true;
+                break;
+            }
+        }
+    } else {
+        ParallelMachine machine(base, sim.machine);
+        FrameResult r = machine.run();
+        uint64_t digest = digestFrame(r);
+        frameCsvRow(csv, 0, r, digest);
+        log << "frame 0: " << r.frameTime << " cycles, "
+            << r.totalPixels << " pixels, digest "
+            << digestHex(digest) << "\n";
+        if (r.failed) {
+            log << "frame failed: " << r.failureReason << "\n";
+            exit_code = 2; // texdist_sim's exitFrameFailed
+        }
+    }
+    csv.close();
+    return interrupted ? exitInterrupted : exit_code;
+}
+
+void mergeResults(const RunnerOptions &opts,
+                  const std::vector<SweepConfig> &configs);
+
+/** The whole sweep in-process, opts.threads configs at a time. */
+int
+runSweepInProcess(const RunnerOptions &opts,
+                  std::vector<SweepConfig> &configs)
+{
+    std::vector<size_t> pending;
+    std::vector<SimOptions> parsed(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        if (configs[i].status == "done") {
+            std::cout << "  " << configs[i].name
+                      << ": done (resumed)\n";
+            continue;
+        }
+        parsed[i] = parseInProcessConfig(opts, configs[i]);
+        pending.push_back(i);
+    }
+
+    ThreadPool pool(opts.threads);
+    std::vector<int> codes(configs.size(), exitOk);
+    pool.parallelFor(pending.size(), [&](uint32_t, size_t p) {
+        size_t i = pending[p];
+        ++configs[i].attempts;
+        codes[i] = runConfigInProcess(opts, configs[i], parsed[i]);
+    });
+
+    bool interrupted = g_signal != 0;
+    for (size_t i : pending) {
+        SweepConfig &cfg = configs[i];
+        cfg.exitCode = codes[i];
+        if (codes[i] == exitOk) {
+            cfg.status = "done";
+            std::cout << "  " << cfg.name << ": done\n";
+        } else if (codes[i] == exitInterrupted) {
+            interrupted = true; // stays pending for --resume
+        } else {
+            cfg.status = "failed";
+            std::cout << "  " << cfg.name << ": failed (exit "
+                      << codes[i] << ", see " << opts.outDir << "/"
+                      << cfg.name << ".log)\n";
+        }
+    }
+    saveManifest(opts, configs);
+
+    if (interrupted) {
+        std::cerr << "sweep interrupted; progress saved to "
+                  << manifestPath(opts) << " (resume with "
+                  << "--resume)\n";
+        return exitInterrupted;
+    }
+    size_t failed = 0;
+    for (const SweepConfig &cfg : configs)
+        if (cfg.status != "done")
+            ++failed;
+    if (failed > 0) {
+        std::cerr << failed << " config(s) failed permanently; see "
+                  << manifestPath(opts) << "\n";
+        return exitSomeFailed;
+    }
+    mergeResults(opts, configs);
+    std::cout << "sweep complete: " << configs.size()
+              << " config(s); merged results in " << opts.outDir
+              << "/sweep.csv\n";
+    return exitOk;
+}
+
 /** Merge per-config CSVs into <out>/sweep.csv, atomically. */
 void
 mergeResults(const RunnerOptions &opts,
@@ -462,6 +654,9 @@ main(int argc, char **argv)
             ++done;
     std::cout << "sweep: " << configs.size() << " config(s), "
               << done << " already done\n";
+
+    if (opts.threads > 0)
+        return runSweepInProcess(opts, configs);
 
     bool interrupted = false;
     for (SweepConfig &cfg : configs) {

@@ -67,35 +67,6 @@ onSignal(int sig)
     g_signal = sig;
 }
 
-/** Per-frame row shared by the console log and the result CSV. */
-void
-csvRow(CsvWriter &csv, uint32_t frame, const FrameResult &r,
-       uint64_t digest)
-{
-    csv.beginRow(std::to_string(frame));
-    csv.value(std::to_string(r.frameTime));
-    csv.value(std::to_string(r.totalPixels));
-    csv.value(std::to_string(r.totalTexelsFetched));
-    csv.value(std::to_string(r.trianglesDispatched));
-    csv.value(r.texelToFragmentRatio);
-    csv.value(r.pixelImbalancePercent);
-    csv.value(r.meanBusUtilization);
-    csv.value(std::to_string(r.faultStats.injected));
-    csv.value(std::to_string(uint64_t(r.degraded)));
-    csv.value(std::to_string(uint64_t(r.failed)));
-    csv.value(digestHex(digest));
-    csv.endRow();
-}
-
-void
-csvHeader(CsvWriter &csv)
-{
-    csv.header({"frame", "cycles", "pixels", "texels_fetched",
-                "triangles", "texel_fragment_ratio", "imbalance_pct",
-                "bus_util", "faults_injected", "degraded", "failed",
-                "digest"});
-}
-
 /** Fill the run-identity fields of a manifest. */
 RunManifest
 describeRun(const SimOptions &opts, const Scene &scene,
@@ -152,7 +123,8 @@ runSequence(const SimOptions &opts, const Scene &base)
         pan_dy = expect.panDy;
     }
 
-    SequenceMachine machine(base, opts.machine);
+    SequenceMachine machine(base, opts.machine,
+                            opts.resolvedJobs());
     std::vector<uint64_t> digests;
 
     if (!opts.restorePath.empty()) {
@@ -185,7 +157,7 @@ runSequence(const SimOptions &opts, const Scene &base)
     bool interrupted = false;
 
     CsvWriter csv(opts.resultCsv);
-    csvHeader(csv);
+    frameCsvHeader(csv);
 
     for (uint32_t f = first; f < frames; ++f) {
         Scene frame =
@@ -197,7 +169,7 @@ runSequence(const SimOptions &opts, const Scene &base)
         FrameResult r = machine.runFrame(scene);
         uint64_t digest = digestFrame(r);
         digests.push_back(digest);
-        csvRow(csv, f, r, digest);
+        frameCsvRow(csv, f, r, digest);
 
         std::cout << "frame " << f << ": " << r.frameTime
                   << " cycles, " << r.totalPixels << " pixels, "
@@ -315,8 +287,8 @@ runSingle(const SimOptions &opts, const Scene &scene)
 
     if (!opts.resultCsv.empty()) {
         CsvWriter csv(opts.resultCsv);
-        csvHeader(csv);
-        csvRow(csv, 0, result, digest);
+        frameCsvHeader(csv);
+        frameCsvRow(csv, 0, result, digest);
         csv.close();
         std::cout << "per-frame results written to "
                   << opts.resultCsv << "\n";
