@@ -61,6 +61,8 @@ measureSharing(const Scene &scene, const Distribution &dist)
 
     SharingStats out;
     uint64_t owner_total = 0;
+    // texlint: allow(ordered-iteration) commutative integer accumulation;
+    // the visit order cannot change the totals
     for (const auto &[line, mask] : owners) {
         ++out.lines;
         int count = int(std::popcount(mask));

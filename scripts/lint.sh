@@ -1,0 +1,69 @@
+#!/bin/sh
+# One-shot static-analysis wrapper: texlint + clang-tidy + cppcheck.
+#
+#   scripts/lint.sh [build-dir]
+#
+# texlint always runs (it is built from this tree and needs only a
+# compile_commands.json). clang-tidy and cppcheck run when installed
+# and are skipped with a notice otherwise, so the script is useful
+# both in CI (where the job installs them) and in minimal containers.
+# Exit status is nonzero if any tool that ran reported a problem.
+set -u
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-$ROOT/build}
+FAILED=0
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+    echo "lint.sh: $BUILD/compile_commands.json not found;" \
+         "configure first: cmake -B $BUILD -S $ROOT"
+    exit 2
+fi
+
+# --- texlint -----------------------------------------------------------
+TEXLINT="$BUILD/tools/texlint/texlint"
+if [ ! -x "$TEXLINT" ]; then
+    echo "lint.sh: building texlint..."
+    cmake --build "$BUILD" --target texlint >/dev/null || exit 2
+fi
+echo "== texlint =="
+"$TEXLINT" --root="$ROOT" \
+    --compile-commands="$BUILD/compile_commands.json" || FAILED=1
+
+# --- clang-tidy --------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy =="
+    # Lint the checked-in sources, not generated TUs.
+    TIDY_FILES=$(cd "$ROOT" &&
+        find src tools bench -name '*.cc' ! -path 'tools/texlint/*' |
+        sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        (cd "$ROOT" && run-clang-tidy -quiet -p "$BUILD" \
+            $TIDY_FILES) || FAILED=1
+    else
+        for f in $TIDY_FILES; do
+            (cd "$ROOT" && clang-tidy -quiet -p "$BUILD" "$f") ||
+                FAILED=1
+        done
+    fi
+else
+    echo "== clang-tidy: not installed, skipping =="
+fi
+
+# --- cppcheck ----------------------------------------------------------
+if command -v cppcheck >/dev/null 2>&1; then
+    echo "== cppcheck =="
+    cppcheck --enable=warning,performance,portability \
+        --error-exitcode=1 --inline-suppr --quiet \
+        --suppress=missingIncludeSystem \
+        -I "$ROOT/src" \
+        "$ROOT/src" "$ROOT/tools" "$ROOT/bench" || FAILED=1
+else
+    echo "== cppcheck: not installed, skipping =="
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+    echo "lint.sh: FAILED"
+    exit 1
+fi
+echo "lint.sh: all static analysis clean"

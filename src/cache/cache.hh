@@ -155,8 +155,11 @@ class SetAssocCache : public TextureCache
     static constexpr uint64_t invalidTag = UINT64_MAX;
 
     CacheGeometry geom;
+    // texlint: allow(checkpoint) derived from geom; restore only validates it
     uint32_t sets;
+    // texlint: allow(checkpoint) derived from geom in the constructor
     uint32_t lineShift;
+    // texlint: allow(checkpoint) derived from geom in the constructor
     uint32_t setShift; ///< countr_zero(sets), hoisted off access()
     // tags[set * ways + way]; lruStamp parallel array. A global
     // monotonic counter implements true LRU.
@@ -170,6 +173,7 @@ class SetAssocCache : public TextureCache
      * serialized: any value is only a hint, and a wrong hint costs
      * one extra compare, never a wrong result.
      */
+    // texlint: allow(checkpoint) pure accelerator hint, reset on restore
     std::vector<uint32_t> mruWay;
     uint64_t stampCounter = 0;
 };

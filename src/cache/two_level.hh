@@ -71,6 +71,8 @@ class TwoLevelCache : public TextureCache
     const SetAssocCache &l2() const { return l2Cache; }
 
   private:
+    // texlint: allow(checkpoint) construction-time geometry; the L2's own
+    // serialize validates it
     CacheGeometry l2Geom;
     SetAssocCache l1Cache;
     SetAssocCache l2Cache;

@@ -134,6 +134,8 @@ BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
     BenchOptions opts;
+    // texlint: allow(banned-call) host-side bench scale override, read
+    // once at startup before any simulation state exists
     if (const char *env = std::getenv("TEXDIST_SCALE"))
         opts.scale = std::atof(env);
 
@@ -163,10 +165,10 @@ BenchOptions::parse(int argc, char **argv)
     return opts;
 }
 
-TablePrinter::TablePrinter(std::ostream &os,
+TablePrinter::TablePrinter(std::ostream &os_,
                            std::vector<std::string> headers_,
                            int width_)
-    : os(os), headers(std::move(headers_)), width(width_)
+    : os(os_), headers(std::move(headers_)), width(width_)
 {
 }
 

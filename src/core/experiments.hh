@@ -45,7 +45,7 @@ double imbalancePercent(const std::vector<uint64_t> &work);
 class FrameLab
 {
   public:
-    explicit FrameLab(const Scene &scene) : scene(scene) {}
+    explicit FrameLab(const Scene &scene_) : scene(scene_) {}
 
     /** Simulate one configuration. */
     FrameResult run(const MachineConfig &config) const;

@@ -10,9 +10,9 @@ namespace texdist
 
 GeometryFeeder::GeometryFeeder(
     const Scene &scene_, const Distribution &dist_,
-    std::vector<std::unique_ptr<TextureNode>> &nodes_, EventQueue &eq,
-    const MachineConfig &config)
-    : SimObject("feeder", eq), scene(scene_), dist(dist_),
+    std::vector<std::unique_ptr<TextureNode>> &nodes_,
+    EventQueue &eq_, const MachineConfig &config)
+    : SimObject("feeder", eq_), scene(scene_), dist(dist_),
       nodes(nodes_), rate(config.geometryTrianglesPerCycle),
       geomProcs(config.geometryProcs),
       geomCycles(config.geometryCyclesPerTriangle),

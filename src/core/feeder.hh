@@ -84,8 +84,8 @@ class GeometryFeeder : public SimObject
     class DispatchEvent : public Event
     {
       public:
-        explicit DispatchEvent(GeometryFeeder &feeder)
-            : feeder(feeder)
+        explicit DispatchEvent(GeometryFeeder &owner)
+            : feeder(owner)
         {}
         void process() override { feeder.dispatchLoop(); }
         const char *description() const override

@@ -257,7 +257,7 @@ namespace
 class JsonParser
 {
   public:
-    explicit JsonParser(const std::string &text) : text(text) {}
+    explicit JsonParser(const std::string &src) : text(src) {}
 
     JsonValue
     parseDocument()

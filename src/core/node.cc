@@ -23,8 +23,8 @@ nodeName(uint32_t id)
 
 TextureNode::TextureNode(uint32_t id, const MachineConfig &config,
                          const TextureManager &textures_,
-                         EventQueue &eq)
-    : SimObject(nodeName(id), eq), nodeId(id), cfg(config),
+                         EventQueue &eq_)
+    : SimObject(nodeName(id), eq_), nodeId(id), cfg(config),
       textures(textures_),
       cache_(config.hasL2 && config.cacheKind == CacheKind::SetAssoc
                  ? std::make_unique<TwoLevelCache>(config.cacheGeom,

@@ -222,7 +222,7 @@ class TextureNode : public SimObject
     class WorkEvent : public Event
     {
       public:
-        explicit WorkEvent(TextureNode &node) : node(node) {}
+        explicit WorkEvent(TextureNode &owner) : node(owner) {}
         void process() override { node.processNext(); }
         const char *description() const override
         { return "node work"; }
@@ -246,13 +246,18 @@ class TextureNode : public SimObject
                        size_t count, Tick start);
 
     uint32_t nodeId;
+    // texlint: allow(checkpoint) construction state; restore validates
+    // the prefetch ring against it
     MachineConfig cfg;
     const TextureManager &textures;
+    // texlint: allow(checkpoint) wiring, re-established by the machine
     GeometryFeeder *feeder = nullptr;
 
     std::unique_ptr<TextureCache> cache_;
     std::unique_ptr<TextureBus> bus_;
     BoundedFifo<TriangleWork> fifo;
+    // texlint: allow(checkpoint) rescheduled from the restored FIFO, not
+    // stored
     WorkEvent workEvent;
 
     /** When the scan engine is next free. */
@@ -270,9 +275,13 @@ class TextureNode : public SimObject
     // scan refills it per chunk). SoA copies of the fragment
     // coordinates feed TrilinearSampler::generateBatch, whose
     // addresses land in addrScratch for the timing loop to walk.
+    // texlint: allow(checkpoint) per-chunk scratch, refilled before use
     std::vector<uint64_t> addrScratch;
+    // texlint: allow(checkpoint) per-chunk scratch, refilled before use
     std::vector<float> uScratch;
+    // texlint: allow(checkpoint) per-chunk scratch, refilled before use
     std::vector<float> vScratch;
+    // texlint: allow(checkpoint) per-chunk scratch, refilled before use
     std::vector<float> lodScratch;
 
     uint32_t _slowdown = 1;

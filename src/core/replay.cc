@@ -44,7 +44,7 @@ digestHex(uint64_t digest)
 {
     char buf[17];
     std::snprintf(buf, sizeof(buf), "%016llx",
-                  (unsigned long long)digest);
+                  static_cast<unsigned long long>(digest));
     return buf;
 }
 

@@ -117,17 +117,24 @@ class SequenceMachine
     };
 
     MachineConfig cfg;
+    // texlint: allow(checkpoint) clock only; restore rewinds it to
+    // frameStart
     EventQueue eq;
+    // texlint: allow(checkpoint) static tile map, a pure function of cfg
     std::unique_ptr<Distribution> dist;
     std::vector<std::unique_ptr<TextureNode>> nodes;
     std::vector<NodeSnapshot> snapshots;
+    // texlint: allow(checkpoint) stateless between frames; rebuilt from cfg
     std::unique_ptr<TwoPhaseFrameEngine> engine;
     Rng faultRng;
+    // texlint: allow(checkpoint) per-frame scratch, reset by armFaults
     uint32_t frameFaultsInjected = 0;
     /** Latest tick of any action of the current frame's plan. */
+    // texlint: allow(checkpoint) per-frame scratch, folded into frameStart
     Tick maxActionTick = 0;
     uint32_t _framesRun = 0;
     Tick frameStart = 0;
+    // texlint: allow(checkpoint) restore-once guard, meaningless in a file
     bool restored = false;
 };
 

@@ -60,9 +60,9 @@ class Event
 class LambdaEvent : public Event
 {
   public:
-    explicit LambdaEvent(std::function<void()> fn,
-                         const char *desc = "lambda event")
-        : fn(std::move(fn)), desc(desc)
+    explicit LambdaEvent(std::function<void()> callable,
+                         const char *what = "lambda event")
+        : fn(std::move(callable)), desc(what)
     {}
 
     void process() override { fn(); }

@@ -23,8 +23,8 @@ namespace texdist
 class SimObject
 {
   public:
-    SimObject(std::string name, EventQueue &eq)
-        : _stats(name), _name(std::move(name)), eq(eq)
+    SimObject(std::string name, EventQueue &queue)
+        : _stats(name), _name(std::move(name)), eq(queue)
     {}
 
     virtual ~SimObject() = default;

@@ -5,10 +5,10 @@
 namespace texdist
 {
 
-Watchdog::Watchdog(EventQueue &eq, Tick interval,
+Watchdog::Watchdog(EventQueue &queue, Tick check_interval,
                    std::function<bool()> work_remains,
                    std::function<bool(Tick)> on_stall)
-    : eq(eq), interval(interval),
+    : eq(queue), interval(check_interval),
       workRemains(std::move(work_remains)),
       onStall(std::move(on_stall))
 {

@@ -105,8 +105,8 @@ sampleTrilinear(const Texture &tex, const TexelSource &source,
         b += tap.weight * float(c.b);
         a += tap.weight * float(c.a);
     }
-    auto round8 = [](float v) {
-        return uint8_t(std::clamp(v + 0.5f, 0.0f, 255.0f));
+    auto round8 = [](float channel) {
+        return uint8_t(std::clamp(channel + 0.5f, 0.0f, 255.0f));
     };
     return Rgba8{round8(r), round8(g), round8(b), round8(a)};
 }

@@ -41,7 +41,7 @@ putString(std::ostream &os, const std::string &s)
 class TraceReader
 {
   public:
-    explicit TraceReader(std::istream &is) : is(is) {}
+    explicit TraceReader(std::istream &in) : is(in) {}
 
     /** Record index for diagnostics; -1 outside the stream. */
     void atRecord(int64_t index) { record = index; }

@@ -21,9 +21,9 @@ namespace
 class ReferenceLru
 {
   public:
-    ReferenceLru(uint32_t size, uint32_t ways, uint32_t line)
-        : ways(ways), line(line),
-          sets(size / (ways * line))
+    ReferenceLru(uint32_t size, uint32_t ways_, uint32_t line_)
+        : ways(ways_), line(line_),
+          sets(size / (ways_ * line_))
     {
         lists.resize(sets);
     }

@@ -1,0 +1,21 @@
+// Fixture: suppressions must carry a rule and a reason.
+#include <cstdlib>
+
+namespace texdist
+{
+
+const char *
+reasonless()
+{
+    // texlint: allow(banned-call)
+    return std::getenv("TEXDIST_MODE");
+}
+
+const char *
+ruleless()
+{
+    // texlint: allow broken syntax
+    return std::getenv("TEXDIST_HOME");
+}
+
+} // namespace texdist

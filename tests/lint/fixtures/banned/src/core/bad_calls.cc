@@ -1,0 +1,50 @@
+// Fixture: banned nondeterminism sources inside the simulation core.
+#include <cstdlib>
+#include <ctime>
+
+namespace texdist
+{
+
+unsigned long
+badSeed()
+{
+    return time(nullptr) ^ rand();
+}
+
+double
+badClock()
+{
+    auto now = std::chrono::system_clock::now();
+    (void)now;
+    return clock() / 1000.0;
+}
+
+const char *
+badEnv()
+{
+    return std::getenv("TEXDIST_MODE");
+}
+
+const char *
+allowedEnv()
+{
+    // texlint: allow(banned-call) fixture proves the escape hatch works
+    return std::getenv("TEXDIST_MODE");
+}
+
+// A member *declaration* whose name collides with a banned function
+// is not a call and must not fire.
+class Timer
+{
+  public:
+    unsigned long clock() const;
+    unsigned long time() const;
+};
+
+unsigned long
+memberNotACall(const Timer &t)
+{
+    return t.clock() + t.time();
+}
+
+} // namespace texdist

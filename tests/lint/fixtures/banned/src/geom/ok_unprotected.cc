@@ -1,0 +1,14 @@
+// Fixture: src/geom is not a protected directory — the same calls
+// must not fire here.
+#include <cstdlib>
+
+namespace texdist
+{
+
+unsigned long
+hostSideSeed()
+{
+    return rand();
+}
+
+} // namespace texdist

@@ -1,0 +1,22 @@
+#include "core/widget.hh"
+
+namespace texdist
+{
+
+void
+Widget::serialize(CheckpointWriter &w) const
+{
+    w.u64(cycles);
+    w.f64(utilization);
+    w.u64(writtenOnly);
+}
+
+void
+Widget::unserialize(CheckpointReader &r)
+{
+    cycles = r.u64();
+    utilization = r.f64();
+    readOnly = r.u64();
+}
+
+} // namespace texdist

@@ -1,0 +1,31 @@
+// Fixture: a checkpointed component with one seeded bug of each
+// class — the "added a field, forgot the checkpoint" family.
+#ifndef FIXTURE_CORE_WIDGET_HH
+#define FIXTURE_CORE_WIDGET_HH
+
+#include <cstdint>
+
+#include "sim/checkpoint.hh"
+
+namespace texdist
+{
+
+class Widget
+{
+  public:
+    void serialize(CheckpointWriter &w) const;
+    void unserialize(CheckpointReader &r);
+
+  private:
+    uint64_t cycles = 0;       // complete: in both
+    double utilization = 0.0;  // complete: in both
+    uint64_t writtenOnly = 0;  // BUG: serialized, never restored
+    uint64_t readOnly = 0;     // BUG: restored, never serialized
+    uint64_t forgotten = 0;    // BUG: in neither
+    // texlint: allow(checkpoint) scratch, rebuilt before every use
+    uint64_t scratch = 0;
+};
+
+} // namespace texdist
+
+#endif

@@ -1,0 +1,32 @@
+// Fixture stub of the serialization substrate: enough surface for
+// the completeness rule (which matches on the parameter types) and
+// the version parser.
+#ifndef FIXTURE_SIM_CHECKPOINT_HH
+#define FIXTURE_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+
+namespace texdist
+{
+
+constexpr uint32_t checkpointVersion = 7;
+
+class CheckpointWriter
+{
+  public:
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void f64(double v);
+};
+
+class CheckpointReader
+{
+  public:
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+};
+
+} // namespace texdist
+
+#endif

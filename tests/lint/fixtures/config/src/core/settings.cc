@@ -1,0 +1,12 @@
+#include "core/settings.hh"
+
+namespace texdist
+{
+
+uint32_t
+totalPixels(const RenderConfig &cfg)
+{
+    return cfg.geom.width * cfg.geom.height * cfg.procs;
+}
+
+} // namespace texdist

@@ -1,0 +1,49 @@
+// Fixture: config-hygiene — every *Config / *Options field must
+// carry an in-class initializer (transitively).
+#ifndef FIXTURE_CORE_SETTINGS_HH
+#define FIXTURE_CORE_SETTINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace texdist
+{
+
+enum class Mode
+{
+    Fast,
+    Exact,
+};
+
+/** A member type with a user constructor: its author owns init. */
+struct Window
+{
+    explicit Window(uint32_t n);
+    uint32_t size;
+};
+
+/** A plain aggregate whose fields all carry defaults: safe. */
+struct Geometry
+{
+    uint32_t width = 64;
+    uint32_t height = 64;
+};
+
+struct RenderConfig
+{
+    uint32_t procs = 4;       // ok: initialized
+    double scale;             // BUG: uninitialized scalar
+    Mode mode;                // BUG: uninitialized enum
+    const char *traceName;    // BUG: uninitialized pointer
+    std::string outputPath;   // ok: self-initializing type
+    std::vector<int> weights; // ok: self-initializing type
+    Geometry geom;            // ok: all members carry defaults
+    Window window{16};        // ok: braced initializer
+    // texlint: allow(config-init) fixture proves the escape hatch
+    uint32_t legacyKnob;
+};
+
+} // namespace texdist
+
+#endif

@@ -1,0 +1,20 @@
+#include "core/gauge.hh"
+
+namespace texdist
+{
+
+void
+Gauge::serialize(CheckpointWriter &w) const
+{
+    w.u64(count);
+    w.u64(peak);
+}
+
+void
+Gauge::unserialize(CheckpointReader &r)
+{
+    count = r.u64();
+    peak = r.u64();
+}
+
+} // namespace texdist

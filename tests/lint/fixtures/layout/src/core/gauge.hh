@@ -1,0 +1,27 @@
+// Fixture: a complete serialize/restore pair whose layout no longer
+// matches the committed lock — the "changed the format, forgot the
+// version bump" hazard.
+#ifndef FIXTURE_CORE_GAUGE_HH
+#define FIXTURE_CORE_GAUGE_HH
+
+#include <cstdint>
+
+#include "sim/checkpoint.hh"
+
+namespace texdist
+{
+
+class Gauge
+{
+  public:
+    void serialize(CheckpointWriter &w) const;
+    void unserialize(CheckpointReader &r);
+
+  private:
+    uint64_t count = 0;
+    uint64_t peak = 0;
+};
+
+} // namespace texdist
+
+#endif

@@ -1,0 +1,26 @@
+// Fixture stub for the layout-lock rule.
+#ifndef FIXTURE_SIM_CHECKPOINT_HH
+#define FIXTURE_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+
+namespace texdist
+{
+
+constexpr uint32_t checkpointVersion = 3;
+
+class CheckpointWriter
+{
+  public:
+    void u64(uint64_t v);
+};
+
+class CheckpointReader
+{
+  public:
+    uint64_t u64();
+};
+
+} // namespace texdist
+
+#endif

@@ -1,0 +1,70 @@
+// Fixture: hash-order iteration feeding a digest-contributing TU.
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+
+namespace texdist
+{
+
+struct Node
+{
+    int id;
+};
+
+unsigned long
+badRangeFor(const std::unordered_map<unsigned long, unsigned long> &m)
+{
+    std::unordered_map<unsigned long, unsigned long> residency = m;
+    unsigned long digest = 0;
+    for (const auto &kv : residency)
+        digest = digest * 31 + kv.second;
+    return digest;
+}
+
+unsigned long
+badIteratorLoop(const std::unordered_set<unsigned long> &lines)
+{
+    std::unordered_set<unsigned long> seenLines = lines;
+    unsigned long digest = 0;
+    for (auto it = seenLines.begin(); it != seenLines.end(); ++it)
+        digest ^= *it;
+    return digest;
+}
+
+unsigned long
+allowedRangeFor(const std::unordered_map<unsigned long, int> &m)
+{
+    std::unordered_map<unsigned long, int> counts = m;
+    unsigned long total = 0;
+    // texlint: allow(ordered-iteration) commutative sum, order-free
+    for (const auto &kv : counts)
+        total += kv.second;
+    return total;
+}
+
+unsigned long
+badPointerHash(const Node *node)
+{
+    return std::hash<const Node *>()(node);
+}
+
+void
+badPointerSort(std::vector<Node *> &nodes)
+{
+    std::sort(nodes.begin(), nodes.end(),
+              [](const Node *a, const Node *b) { return a < b; });
+}
+
+void
+goodFieldSort(std::vector<Node *> &nodes)
+{
+    std::sort(nodes.begin(), nodes.end(),
+              [](const Node *a, const Node *b) {
+                  return a->id < b->id;
+              });
+}
+
+} // namespace texdist

@@ -1,0 +1,18 @@
+// Fixture: this TU never reaches a digest/checkpoint/CSV header, so
+// hash-order iteration is harmless here and must not fire.
+#include <unordered_map>
+
+namespace texdist
+{
+
+unsigned long
+localHistogramPeak(const std::unordered_map<int, unsigned long> &m)
+{
+    std::unordered_map<int, unsigned long> h = m;
+    unsigned long peak = 0;
+    for (const auto &kv : h)
+        peak = kv.second > peak ? kv.second : peak;
+    return peak;
+}
+
+} // namespace texdist

@@ -1,0 +1,12 @@
+// Fixture stub: including this header marks a TU as contributing to
+// digests/checkpoints, which arms the ordered-iteration rule.
+#ifndef FIXTURE_SIM_CHECKPOINT_HH
+#define FIXTURE_SIM_CHECKPOINT_HH
+
+namespace texdist
+{
+class CheckpointWriter;
+class CheckpointReader;
+} // namespace texdist
+
+#endif

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Golden-diagnostic runner for one texlint fixture.
+#
+#   run_lint_test.sh <texlint-binary> <fixture-dir>
+#
+# A fixture directory mirrors the project layout (src/core/...,
+# src/sim/..., bench/...) so path-scoped rules fire exactly as they
+# do on the real tree. Every .cc under the fixture is analyzed as a
+# translation unit; the output (with hex fingerprints normalized,
+# since they track fixture content) must match expected.txt
+# byte-for-byte. If the fixture carries its own
+# tools/texlint/checkpoint_layout.lock the layout check runs too.
+set -u
+
+TEXLINT=$1
+FIXTURE=$2
+
+if [ ! -d "$FIXTURE" ]; then
+    echo "FAIL: no such fixture: $FIXTURE"
+    exit 1
+fi
+
+UNITS=$(cd "$FIXTURE" && find src tools bench -name '*.cc' 2>/dev/null | sort)
+if [ -z "$UNITS" ]; then
+    echo "FAIL: fixture has no translation units: $FIXTURE"
+    exit 1
+fi
+
+LAYOUT_FLAG="--no-layout-check"
+if [ -f "$FIXTURE/tools/texlint/checkpoint_layout.lock" ]; then
+    LAYOUT_FLAG=""
+fi
+
+GOT=$("$TEXLINT" --root="$FIXTURE" $LAYOUT_FLAG $UNITS 2>&1 |
+      sed -E 's/0x[0-9a-f]+/0xFP/g')
+WANT=$(sed -E 's/0x[0-9a-f]+/0xFP/g' "$FIXTURE/expected.txt")
+
+if [ "$GOT" = "$WANT" ]; then
+    echo "PASS"
+    exit 0
+fi
+
+echo "FAIL: diagnostic mismatch for $FIXTURE"
+echo "--- expected ---"
+echo "$WANT"
+echo "--- got ---"
+echo "$GOT"
+exit 1

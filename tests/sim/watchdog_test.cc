@@ -17,8 +17,8 @@ namespace
 class Worker : public Event
 {
   public:
-    Worker(EventQueue &eq, uint64_t total, bool stuck)
-        : eq(eq), remaining(total), stuck(stuck)
+    Worker(EventQueue &eq_, uint64_t total, bool stuck_)
+        : eq(eq_), remaining(total), stuck(stuck_)
     {}
 
     void

@@ -1,0 +1,197 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace texlint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators we care to keep whole. */
+const char *const multiPunct[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=",
+};
+
+} // namespace
+
+LexedFile
+lex(const std::string &src)
+{
+    LexedFile out;
+    size_t i = 0;
+    const size_t n = src.size();
+    uint32_t line = 1;
+    uint32_t col = 1;
+    bool codeOnLine = false;
+
+    auto advance = [&](size_t count) {
+        for (size_t k = 0; k < count && i < n; ++k, ++i) {
+            if (src[i] == '\n') {
+                ++line;
+                col = 1;
+                codeOnLine = false;
+            } else {
+                ++col;
+            }
+        }
+    };
+
+    while (i < n) {
+        char c = src[i];
+
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance(1);
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            size_t end = src.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            out.comments.push_back(
+                {src.substr(i + 2, end - i - 2), line, !codeOnLine});
+            advance(end - i);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            size_t end = src.find("*/", i + 2);
+            size_t stop = end == std::string::npos ? n : end + 2;
+            size_t body_end = end == std::string::npos ? n : end;
+            out.comments.push_back({src.substr(i + 2, body_end - i - 2),
+                                    line, !codeOnLine});
+            advance(stop - i);
+            continue;
+        }
+
+        // Preprocessor line (only at start-of-line code-wise).
+        if (c == '#' && !codeOnLine) {
+            size_t end = i;
+            while (end < n) {
+                size_t nl = src.find('\n', end);
+                if (nl == std::string::npos) {
+                    end = n;
+                    break;
+                }
+                // Line continuation.
+                size_t back = nl;
+                while (back > end && (src[back - 1] == '\r'))
+                    --back;
+                if (back > end && src[back - 1] == '\\') {
+                    end = nl + 1;
+                    continue;
+                }
+                end = nl;
+                break;
+            }
+            out.tokens.push_back(
+                {TokKind::PpLine, src.substr(i + 1, end - i - 1),
+                 line, col});
+            advance(end - i);
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim"
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            size_t p = i + 2;
+            std::string delim;
+            while (p < n && src[p] != '(' && delim.size() < 16)
+                delim.push_back(src[p++]);
+            std::string closer = ")" + delim + "\"";
+            size_t end = src.find(closer, p);
+            size_t stop =
+                end == std::string::npos ? n : end + closer.size();
+            size_t body = p + 1;
+            size_t body_end = end == std::string::npos ? n : end;
+            out.tokens.push_back(
+                {TokKind::String,
+                 src.substr(body, body_end > body ? body_end - body : 0),
+                 line, col});
+            codeOnLine = true;
+            advance(stop - i);
+            continue;
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            size_t p = i + 1;
+            while (p < n && src[p] != quote) {
+                if (src[p] == '\\' && p + 1 < n)
+                    ++p;
+                if (src[p] == '\n')
+                    break; // unterminated: stop at line end
+                ++p;
+            }
+            size_t stop = p < n ? p + 1 : n;
+            out.tokens.push_back(
+                {quote == '"' ? TokKind::String : TokKind::Char,
+                 src.substr(i + 1, p - i - 1), line, col});
+            codeOnLine = true;
+            advance(stop - i);
+            continue;
+        }
+
+        if (identStart(c)) {
+            size_t p = i + 1;
+            while (p < n && identCont(src[p]))
+                ++p;
+            out.tokens.push_back(
+                {TokKind::Ident, src.substr(i, p - i), line, col});
+            codeOnLine = true;
+            advance(p - i);
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            size_t p = i;
+            while (p < n &&
+                   (identCont(src[p]) || src[p] == '.' ||
+                    ((src[p] == '+' || src[p] == '-') && p > i &&
+                     (src[p - 1] == 'e' || src[p - 1] == 'E' ||
+                      src[p - 1] == 'p' || src[p - 1] == 'P'))))
+                ++p;
+            out.tokens.push_back(
+                {TokKind::Number, src.substr(i, p - i), line, col});
+            codeOnLine = true;
+            advance(p - i);
+            continue;
+        }
+
+        // Punctuation, longest match first.
+        std::string punct(1, c);
+        for (const char *mp : multiPunct) {
+            size_t len = std::string(mp).size();
+            if (src.compare(i, len, mp) == 0) {
+                punct = mp;
+                break;
+            }
+        }
+        out.tokens.push_back({TokKind::Punct, punct, line, col});
+        codeOnLine = true;
+        advance(punct.size());
+    }
+
+    return out;
+}
+
+} // namespace texlint

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal C++ lexer for texlint. Produces a token stream with
+ * source positions plus the comment list (texlint's `allow`
+ * annotations live in comments, so comments are first-class here,
+ * not discarded). This is *not* a conforming C++ lexer: it knows
+ * just enough — identifiers, numbers, strings (including raw
+ * strings), character literals, punctuation, comments and
+ * preprocessor lines — for token-level project-invariant rules.
+ */
+
+#ifndef TEXLINT_LEXER_HH
+#define TEXLINT_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace texlint
+{
+
+enum class TokKind : uint8_t
+{
+    Ident,   ///< identifier or keyword
+    Number,  ///< numeric literal
+    String,  ///< string literal (text excludes quotes)
+    Char,    ///< character literal
+    Punct,   ///< one operator/punctuator, longest-match
+    PpLine,  ///< whole preprocessor line (text after '#')
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    uint32_t line; ///< 1-based
+    uint32_t col;  ///< 1-based
+};
+
+struct Comment
+{
+    std::string text; ///< without the // or enclosing slash-star
+    uint32_t line;    ///< line the comment starts on
+    bool ownLine;     ///< no code token earlier on the same line
+};
+
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/** Tokenize @p source. Never fails: unknown bytes become Punct. */
+LexedFile lex(const std::string &source);
+
+} // namespace texlint
+
+#endif // TEXLINT_LEXER_HH

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * texlint driver: a dependency-free project-invariant static
+ * analyzer for the texdist tree. It enforces, at lint time, the
+ * determinism contract the replay/checkpoint machinery checks at
+ * run time:
+ *
+ *   banned-call        no wall clock / libc rand / environment
+ *                      access in the simulation core
+ *   ordered-iteration  no hash-order-dependent loops feeding
+ *                      digests, checkpoints or CSV
+ *   checkpoint         serialize/restore cover every field of every
+ *                      checkpointed class; layout changes bump
+ *                      checkpointVersion (layout lock)
+ *   config-init        *Config / *Options fields always carry
+ *                      in-class initializers
+ *
+ * Usage:
+ *   texlint --root=DIR [--compile-commands=FILE | files...]
+ *           [--layout-lock=FILE] [--no-layout-check]
+ *           [--update-layout]
+ *
+ * Exit codes: 0 clean, 1 diagnostics reported, 2 usage/IO error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+#include "scanner.hh"
+
+namespace
+{
+
+using namespace texlint;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: texlint --root=DIR "
+           "[--compile-commands=FILE | files...]\n"
+           "               [--layout-lock=FILE] [--no-layout-check] "
+           "[--update-layout]\n"
+           "\n"
+           "Analyzes the given translation units (default: every "
+           "src/, tools/ and\n"
+           "bench/ unit in compile_commands.json) plus their in-tree "
+           "includes.\n";
+    return 2;
+}
+
+bool
+underAnalyzedRoots(const std::string &rel)
+{
+    return rel.rfind("src/", 0) == 0 || rel.rfind("tools/", 0) == 0 ||
+           rel.rfind("bench/", 0) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string compileCommands;
+    std::string layoutLock;
+    bool noLayoutCheck = false;
+    bool updateLayout = false;
+    std::vector<std::string> explicitFiles;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto valueOf = [&](const char *key,
+                           std::string &out) -> bool {
+            std::string prefix = std::string(key) + "=";
+            if (arg.rfind(prefix, 0) != 0)
+                return false;
+            out = arg.substr(prefix.size());
+            return true;
+        };
+        std::string v;
+        if (valueOf("--root", v)) {
+            root = v;
+        } else if (valueOf("--compile-commands", v)) {
+            compileCommands = v;
+        } else if (valueOf("--layout-lock", v)) {
+            layoutLock = v;
+        } else if (arg == "--no-layout-check") {
+            noLayoutCheck = true;
+        } else if (arg == "--update-layout") {
+            updateLayout = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "texlint: unknown option: " << arg << "\n";
+            return usage();
+        } else {
+            explicitFiles.push_back(arg);
+        }
+    }
+
+    std::error_code ec;
+    std::string absRoot =
+        std::filesystem::absolute(root, ec).string();
+    if (ec || !std::filesystem::is_directory(absRoot)) {
+        std::cerr << "texlint: not a directory: " << root << "\n";
+        return 2;
+    }
+
+    Project proj;
+    proj.root = normalizePath(absRoot);
+
+    if (!explicitFiles.empty()) {
+        for (const std::string &f : explicitFiles) {
+            std::string rel = normalizePath(f);
+            std::string prefix = proj.root + "/";
+            if (rel.rfind(prefix, 0) == 0)
+                rel = rel.substr(prefix.size());
+            proj.units.push_back(rel);
+        }
+    } else {
+        if (compileCommands.empty()) {
+            std::string def = proj.root +
+                              "/build/compile_commands.json";
+            if (std::filesystem::exists(def))
+                compileCommands = def;
+        }
+        if (compileCommands.empty()) {
+            std::cerr << "texlint: no files given and no "
+                         "compile_commands.json found; pass "
+                         "--compile-commands=FILE\n";
+            return 2;
+        }
+        for (const std::string &rel :
+             unitsFromCompileCommands(compileCommands, proj.root))
+            if (underAnalyzedRoots(rel))
+                proj.units.push_back(rel);
+        if (proj.units.empty()) {
+            std::cerr << "texlint: no analyzable units in "
+                      << compileCommands << "\n";
+            return 2;
+        }
+    }
+
+    for (const std::string &unit : proj.units) {
+        if (!loadWithIncludes(proj, unit)) {
+            std::cerr << "texlint: cannot read " << proj.root << "/"
+                      << unit << "\n";
+            return 2;
+        }
+    }
+
+    buildClassRegistry(proj);
+
+    checkBannedCalls(proj);
+    checkOrderedIteration(proj);
+    checkConfigInit(proj);
+    checkCheckpointCompleteness(proj);
+
+    if (layoutLock.empty())
+        layoutLock = proj.root +
+                     "/tools/texlint/checkpoint_layout.lock";
+    if (updateLayout) {
+        if (!writeLayoutLock(proj, layoutLock)) {
+            std::cerr << "texlint: cannot write layout lock (no "
+                         "checkpointVersion in the analyzed set, or "
+                         "unwritable path): "
+                      << layoutLock << "\n";
+            return 2;
+        }
+        std::cout << "texlint: layout lock updated: " << layoutLock
+                  << "\n";
+    } else if (!noLayoutCheck &&
+               std::filesystem::exists(layoutLock)) {
+        checkLayoutLock(proj, layoutLock);
+    }
+
+    std::sort(proj.diags.begin(), proj.diags.end());
+    proj.diags.erase(
+        std::unique(proj.diags.begin(), proj.diags.end(),
+                    [](const Diagnostic &a, const Diagnostic &b) {
+                        return a.file == b.file && a.line == b.line &&
+                               a.rule == b.rule &&
+                               a.message == b.message;
+                    }),
+        proj.diags.end());
+    for (const Diagnostic &d : proj.diags)
+        std::cout << d.file << ":" << d.line << ": error: [" << d.rule
+                  << "] " << d.message << "\n";
+
+    if (!proj.diags.empty()) {
+        std::cout << "texlint: " << proj.diags.size()
+                  << " error(s)\n";
+        return 1;
+    }
+    std::cout << "texlint: clean (" << proj.files.size()
+              << " files, " << proj.units.size() << " units)\n";
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * texlint's project model: the analyzed file set, per-file token
+ * streams, the include graph, `// texlint: allow(<rule>) <reason>`
+ * annotation maps, the class/field registry the checkpoint and
+ * config rules consume, and the diagnostic sink.
+ */
+
+#ifndef TEXLINT_MODEL_HH
+#define TEXLINT_MODEL_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace texlint
+{
+
+struct Diagnostic
+{
+    std::string file; ///< path relative to the project root
+    uint32_t line;
+    std::string rule; ///< rule family, e.g. "banned-call"
+    std::string message;
+
+    bool
+    operator<(const Diagnostic &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return message < o.message;
+    }
+};
+
+/** One member variable of an analyzed class. */
+struct Field
+{
+    std::string name;
+    uint32_t line = 0;
+    bool hasInitializer = false;
+    bool isReference = false; ///< construction wiring, never restored
+    bool isPointer = false;
+    bool isConst = false;
+    /** First type-ish identifier tokens of the declaration. */
+    std::vector<std::string> typeTokens;
+};
+
+/** One class/struct definition found anywhere in the file set. */
+struct ClassInfo
+{
+    std::string name;
+    std::string file;
+    uint32_t line = 0;
+    bool isEnum = false;
+    bool hasUserCtor = false;
+    std::vector<Field> fields;
+};
+
+struct SourceFile
+{
+    std::string path;    ///< root-relative, '/'-separated
+    LexedFile lexed;
+    /** Root-relative paths of quoted includes that resolve in-tree. */
+    std::vector<std::string> includes;
+    /**
+     * line -> rules allowed on that line. An annotation covers its
+     * own line and, when the comment stands alone, the next line
+     * that carries code.
+     */
+    std::map<uint32_t, std::set<std::string>> allows;
+};
+
+class Project
+{
+  public:
+    std::string root; ///< absolute project root
+
+    /** Root-relative path -> parsed file. Insertion via load(). */
+    std::map<std::string, SourceFile> files;
+
+    /** Translation units (the .cc files named on the command line
+     *  or in compile_commands.json), root-relative. */
+    std::vector<std::string> units;
+
+    /** Class name -> definition (first definition wins). */
+    std::map<std::string, ClassInfo> classes;
+
+    std::vector<Diagnostic> diags;
+
+    void
+    report(const std::string &file, uint32_t line,
+           const std::string &rule, const std::string &message)
+    {
+        if (allowed(file, line, rule))
+            return;
+        diags.push_back({file, line, rule, message});
+    }
+
+    bool allowed(const std::string &file, uint32_t line,
+                 const std::string &rule) const;
+
+    /** Transitive include closure of @p unit (includes the unit). */
+    std::set<std::string> closure(const std::string &unit) const;
+};
+
+} // namespace texlint
+
+#endif // TEXLINT_MODEL_HH

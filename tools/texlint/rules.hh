@@ -1,0 +1,48 @@
+/**
+ * @file
+ * texlint rule families. Each rule walks the loaded Project and
+ * appends diagnostics (unless suppressed by an allow annotation):
+ *
+ *  banned-call        wall-clock / libc-rand / environment access
+ *                     inside the deterministic simulation core
+ *  ordered-iteration  iteration order of unordered containers (and
+ *                     pointer-valued ordering/hashing) leaking into
+ *                     digests, checkpoints or CSV output
+ *  checkpoint         serialize/restore field-completeness for every
+ *                     checkpointed class, plus the layout lock that
+ *                     forces a checkpointVersion bump when the
+ *                     serialized layout changes
+ *  config-init        every *Config / *Options field carries an
+ *                     in-class initializer (transitively)
+ */
+
+#ifndef TEXLINT_RULES_HH
+#define TEXLINT_RULES_HH
+
+#include <string>
+
+#include "model.hh"
+
+namespace texlint
+{
+
+void checkBannedCalls(Project &proj);
+void checkOrderedIteration(Project &proj);
+void checkConfigInit(Project &proj);
+
+/** Field-completeness over all serialize/restore pairs. */
+void checkCheckpointCompleteness(Project &proj);
+
+/**
+ * Compare the current serialize-body fingerprint against the lock
+ * file; diagnostics when the layout changed without a
+ * checkpointVersion bump or the lock is stale.
+ */
+void checkLayoutLock(Project &proj, const std::string &lock_path);
+
+/** Regenerate the lock file. @return false on I/O error. */
+bool writeLayoutLock(Project &proj, const std::string &lock_path);
+
+} // namespace texlint
+
+#endif // TEXLINT_RULES_HH

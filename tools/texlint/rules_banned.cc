@@ -1,0 +1,103 @@
+#include <set>
+
+#include "rules.hh"
+
+namespace texlint
+{
+
+namespace
+{
+
+/** Directories whose code must be bit-deterministic. */
+const char *const protectedDirs[] = {
+    "src/core/", "src/sim/", "src/cache/", "src/texture/", "src/mem/",
+};
+
+/** Functions banned when *called* (identifier followed by '('). */
+const std::set<std::string> bannedFuncs = {
+    "time",        "clock",      "gettimeofday", "clock_gettime",
+    "localtime",   "gmtime",     "strftime",     "rand",
+    "srand",       "random",     "drand48",      "lrand48",
+    "mrand48",     "getenv",     "setenv",       "putenv",
+    "unsetenv",
+};
+
+/** Types/clocks banned on sight (construction is enough). */
+const std::set<std::string> bannedTypes = {
+    "random_device", "system_clock",        "steady_clock",
+    "mt19937",       "high_resolution_clock", "mt19937_64",
+    "default_random_engine",
+};
+
+const std::set<std::string> stmtKeywords = {
+    "return", "if",   "while",  "for",       "switch",
+    "case",   "do",   "else",   "throw",     "co_return",
+    "co_await", "co_yield", "sizeof", "new", "delete",
+};
+
+bool
+isProtected(const std::string &path)
+{
+    for (const char *dir : protectedDirs)
+        if (path.rfind(dir, 0) == 0)
+            return true;
+    return false;
+}
+
+} // namespace
+
+void
+checkBannedCalls(Project &proj)
+{
+    for (auto &[path, sf] : proj.files) {
+        if (!isProtected(path))
+            continue;
+        const std::vector<Token> &toks = sf.lexed.tokens;
+        for (size_t i = 0; i < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.kind != TokKind::Ident)
+                continue;
+
+            if (bannedTypes.count(t.text)) {
+                proj.report(path, t.line, "banned-call",
+                            "'" + t.text +
+                                "' is nondeterministic across runs/"
+                                "platforms and is banned in the "
+                                "simulation core (use geom/rng or "
+                                "sim ticks)");
+                continue;
+            }
+
+            if (!bannedFuncs.count(t.text))
+                continue;
+            if (i + 1 >= toks.size() ||
+                toks[i + 1].kind != TokKind::Punct ||
+                toks[i + 1].text != "(")
+                continue; // not a call
+            // Member access is somebody else's function.
+            if (i > 0 && toks[i - 1].kind == TokKind::Punct &&
+                (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+                continue;
+            // Namespace qualification: std::time is still the libc
+            // function; any other namespace is not.
+            if (i > 0 && toks[i - 1].kind == TokKind::Punct &&
+                toks[i - 1].text == "::") {
+                if (i > 1 && toks[i - 2].kind == TokKind::Ident &&
+                    toks[i - 2].text != "std")
+                    continue;
+            } else if (i > 0 && toks[i - 1].kind == TokKind::Ident &&
+                       !stmtKeywords.count(toks[i - 1].text)) {
+                // `Tick clock() const;` — a declaration whose name
+                // merely collides, not a call.
+                continue;
+            }
+            proj.report(path, t.line, "banned-call",
+                        "call to '" + t.text +
+                            "' (wall clock / libc rand / process "
+                            "environment) breaks run-to-run "
+                            "determinism in the simulation core");
+        }
+    }
+}
+
+} // namespace texlint

@@ -1,0 +1,356 @@
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "rules.hh"
+
+namespace texlint
+{
+
+namespace
+{
+
+/** One side of a serialize/restore pair. */
+struct MethodBody
+{
+    std::string file;
+    uint32_t line = 0;
+    std::set<std::string> idents;       ///< identifiers referenced
+    std::vector<std::string> tokenText; ///< full body token stream
+    bool found = false;
+};
+
+struct PairInfo
+{
+    MethodBody ser;
+    MethodBody res;
+};
+
+size_t
+matchBrace(const std::vector<Token> &toks, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Punct)
+            continue;
+        if (toks[i].text == "{")
+            ++depth;
+        else if (toks[i].text == "}" && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+/**
+ * Scan one file for out-of-class definitions
+ * `Class::serialize(CheckpointWriter ...)` and
+ * `Class::{unserialize,restore}(CheckpointReader ...)`, appending
+ * body info into @p pairs.
+ */
+void
+collectMethodBodies(const SourceFile &sf,
+                    std::map<std::string, PairInfo> &pairs)
+{
+    const std::vector<Token> &toks = sf.lexed.tokens;
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident ||
+            toks[i + 1].kind != TokKind::Punct ||
+            toks[i + 1].text != "::" ||
+            toks[i + 2].kind != TokKind::Ident ||
+            toks[i + 3].kind != TokKind::Punct ||
+            toks[i + 3].text != "(")
+            continue;
+        const std::string &cls = toks[i].text;
+        const std::string &method = toks[i + 2].text;
+        bool isSer = method == "serialize";
+        bool isRes = method == "unserialize" || method == "restore";
+        if (!isSer && !isRes)
+            continue;
+
+        // The parameter list must name the checkpoint stream type.
+        size_t close = i + 3;
+        int depth = 0;
+        bool rightParam = false;
+        const char *want =
+            isSer ? "CheckpointWriter" : "CheckpointReader";
+        for (; close < toks.size(); ++close) {
+            if (toks[close].kind == TokKind::Ident &&
+                toks[close].text == want)
+                rightParam = true;
+            if (toks[close].kind != TokKind::Punct)
+                continue;
+            if (toks[close].text == "(")
+                ++depth;
+            else if (toks[close].text == ")" && --depth == 0)
+                break;
+        }
+        if (!rightParam)
+            continue;
+
+        // Skip `const`, `noexcept`, `override` up to the body.
+        size_t open = close + 1;
+        while (open < toks.size() &&
+               !(toks[open].kind == TokKind::Punct &&
+                 (toks[open].text == "{" || toks[open].text == ";")))
+            ++open;
+        if (open >= toks.size() || toks[open].text == ";")
+            continue; // declaration only
+        size_t end = matchBrace(toks, open);
+
+        MethodBody body;
+        body.file = sf.path;
+        body.line = toks[i].line;
+        body.found = true;
+        for (size_t k = open + 1; k < end; ++k) {
+            if (toks[k].kind == TokKind::PpLine)
+                continue;
+            body.tokenText.push_back(toks[k].text);
+            if (toks[k].kind == TokKind::Ident)
+                body.idents.insert(toks[k].text);
+        }
+        if (isSer)
+            pairs[cls].ser = std::move(body);
+        else
+            pairs[cls].res = std::move(body);
+        i = end;
+    }
+}
+
+std::map<std::string, PairInfo>
+collectPairs(const Project &proj)
+{
+    std::map<std::string, PairInfo> pairs;
+    for (const auto &[path, sf] : proj.files)
+        collectMethodBodies(sf, pairs);
+    return pairs;
+}
+
+uint64_t
+fnv1a(uint64_t h, const std::string &s)
+{
+    for (char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff; // token separator
+    h *= 0x100000001b3ULL;
+    return h;
+}
+
+/**
+ * Fingerprint of the full serialized layout: every serialize body's
+ * token stream, classes in name order. Any change to what (or in
+ * which order) the project serializes changes this value.
+ */
+uint64_t
+layoutFingerprint(const std::map<std::string, PairInfo> &pairs)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto &[cls, pair] : pairs) {
+        if (!pair.ser.found || !pair.res.found)
+            continue;
+        h = fnv1a(h, cls);
+        for (const std::string &tok : pair.ser.tokenText)
+            h = fnv1a(h, tok);
+    }
+    return h;
+}
+
+/** Current checkpointVersion parsed out of sim/checkpoint.hh. */
+bool
+currentVersion(const Project &proj, uint32_t &version,
+               std::string &defining_file, uint32_t &line)
+{
+    for (const auto &[path, sf] : proj.files) {
+        const std::vector<Token> &toks = sf.lexed.tokens;
+        for (size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (toks[i].kind == TokKind::Ident &&
+                toks[i].text == "checkpointVersion" &&
+                toks[i + 1].kind == TokKind::Punct &&
+                toks[i + 1].text == "=" &&
+                toks[i + 2].kind == TokKind::Number) {
+                version = static_cast<uint32_t>(
+                    std::stoul(toks[i + 2].text));
+                defining_file = path;
+                line = toks[i].line;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::string
+hex(uint64_t v)
+{
+    std::ostringstream ss;
+    ss << "0x" << std::hex << v;
+    return ss.str();
+}
+
+/** Ordered field-mention list of one serialize body (for the lock
+ *  file's human-readable section). */
+std::vector<std::string>
+mentionOrder(const PairInfo &pair, const ClassInfo &info)
+{
+    std::set<std::string> fields;
+    for (const Field &f : info.fields)
+        fields.insert(f.name);
+    std::vector<std::string> out;
+    std::set<std::string> emitted;
+    for (const std::string &tok : pair.ser.tokenText)
+        if (fields.count(tok) && emitted.insert(tok).second)
+            out.push_back(tok);
+    return out;
+}
+
+} // namespace
+
+void
+checkCheckpointCompleteness(Project &proj)
+{
+    std::map<std::string, PairInfo> pairs = collectPairs(proj);
+    for (const auto &[cls, pair] : pairs) {
+        if (!pair.ser.found || !pair.res.found) {
+            if (pair.ser.found)
+                proj.report(pair.ser.file, pair.ser.line,
+                            "checkpoint",
+                            "class '" + cls +
+                                "' has serialize() but no matching "
+                                "unserialize()/restore()");
+            else
+                proj.report(pair.res.file, pair.res.line,
+                            "checkpoint",
+                            "class '" + cls +
+                                "' has a restore method but no "
+                                "matching serialize()");
+            continue;
+        }
+        auto cit = proj.classes.find(cls);
+        if (cit == proj.classes.end())
+            continue; // definition outside the analyzed set
+        const ClassInfo &info = cit->second;
+        for (const Field &f : info.fields) {
+            if (f.isReference || f.isConst)
+                continue; // construction wiring / immutable
+            bool inS = pair.ser.idents.count(f.name) > 0;
+            bool inR = pair.res.idents.count(f.name) > 0;
+            if (inS && inR)
+                continue;
+            if (inS && !inR) {
+                proj.report(info.file, f.line, "checkpoint",
+                            "field '" + f.name + "' of " + cls +
+                                " is serialized but never restored");
+            } else if (!inS && inR) {
+                proj.report(info.file, f.line, "checkpoint",
+                            "field '" + f.name + "' of " + cls +
+                                " is referenced on restore but "
+                                "never serialized");
+            } else {
+                proj.report(
+                    info.file, f.line, "checkpoint",
+                    "field '" + f.name + "' of " + cls +
+                        " is neither serialized nor restored — a "
+                        "checkpointed class must account for every "
+                        "field (annotate intentional scratch state "
+                        "with texlint: allow(checkpoint) <why>)");
+            }
+        }
+    }
+}
+
+void
+checkLayoutLock(Project &proj, const std::string &lock_path)
+{
+    std::map<std::string, PairInfo> pairs = collectPairs(proj);
+    uint64_t fp = layoutFingerprint(pairs);
+    uint32_t version = 0;
+    std::string vfile;
+    uint32_t vline = 0;
+    if (!currentVersion(proj, version, vfile, vline))
+        return; // no checkpointVersion in the analyzed set
+
+    std::ifstream is(lock_path);
+    if (!is) {
+        proj.report(vfile, vline, "checkpoint",
+                    "checkpoint layout lock missing (" + lock_path +
+                        "); run `texlint --update-layout`");
+        return;
+    }
+    uint32_t lockVersion = 0;
+    uint64_t lockFp = 0;
+    std::string word;
+    while (is >> word) {
+        if (word == "version") {
+            is >> lockVersion;
+        } else if (word == "fingerprint") {
+            std::string v;
+            is >> v;
+            lockFp = std::stoull(v, nullptr, 0);
+        } else {
+            std::string rest;
+            std::getline(is, rest);
+        }
+    }
+
+    if (fp == lockFp && version == lockVersion)
+        return;
+    if (fp != lockFp && version == lockVersion) {
+        proj.report(
+            vfile, vline, "checkpoint",
+            "the serialized layout changed (fingerprint " + hex(fp) +
+                ", lock has " + hex(lockFp) +
+                ") but checkpointVersion is still " +
+                std::to_string(version) +
+                " — old checkpoints would be misread; bump "
+                "checkpointVersion and run `texlint "
+                "--update-layout`");
+    } else {
+        proj.report(vfile, vline, "checkpoint",
+                    "checkpoint layout lock is stale (lock: version " +
+                        std::to_string(lockVersion) + ", " +
+                        hex(lockFp) + "; tree: version " +
+                        std::to_string(version) + ", " + hex(fp) +
+                        "); run `texlint --update-layout`");
+    }
+}
+
+bool
+writeLayoutLock(Project &proj, const std::string &lock_path)
+{
+    std::map<std::string, PairInfo> pairs = collectPairs(proj);
+    uint32_t version = 0;
+    std::string vfile;
+    uint32_t vline = 0;
+    if (!currentVersion(proj, version, vfile, vline))
+        return false;
+
+    std::ostringstream out;
+    out << "# texlint checkpoint layout lock.\n"
+        << "# Regenerate with: texlint --update-layout (after "
+           "bumping\n"
+        << "# checkpointVersion when the layout changed).\n"
+        << "version " << version << "\n"
+        << "fingerprint " << hex(layoutFingerprint(pairs)) << "\n";
+    for (const auto &[cls, pair] : pairs) {
+        if (!pair.ser.found || !pair.res.found)
+            continue;
+        out << "class " << cls;
+        auto cit = proj.classes.find(cls);
+        if (cit != proj.classes.end())
+            for (const std::string &f :
+                 mentionOrder(pair, cit->second))
+                out << " " << f;
+        out << "\n";
+    }
+
+    std::ofstream os(lock_path, std::ios::trunc);
+    if (!os)
+        return false;
+    os << out.str();
+    return bool(os);
+}
+
+} // namespace texlint

@@ -1,0 +1,127 @@
+#include <set>
+
+#include "rules.hh"
+
+namespace texlint
+{
+
+namespace
+{
+
+const std::set<std::string> primitiveTypes = {
+    "bool",     "char",     "short",    "int",      "long",
+    "unsigned", "signed",   "float",    "double",   "size_t",
+    "int8_t",   "int16_t",  "int32_t",  "int64_t",  "uint8_t",
+    "uint16_t", "uint32_t", "uint64_t", "intptr_t", "uintptr_t",
+    "ptrdiff_t", "Tick",    "TextureId",
+};
+
+/** std types whose default construction is fully defined. */
+const std::set<std::string> selfInitStd = {
+    "string",  "vector", "deque",  "list",     "map",
+    "set",     "multimap", "multiset", "unordered_map",
+    "unordered_set", "unique_ptr", "shared_ptr", "weak_ptr",
+    "optional", "function", "filesystem",
+};
+
+bool
+isConfigLike(const std::string &name)
+{
+    auto ends = [&](const std::string &suffix) {
+        return name.size() >= suffix.size() &&
+               name.compare(name.size() - suffix.size(),
+                            suffix.size(), suffix) == 0;
+    };
+    return ends("Config") || ends("Options");
+}
+
+/**
+ * Does default-constructing a field of this type leave defined
+ * values in every member? Unknown types are assumed safe (we only
+ * police what we can see); primitives and enums are not.
+ */
+bool
+typeNeedsInit(const Project &proj, const Field &f,
+              std::set<std::string> &visiting);
+
+bool
+classNeedsInit(const Project &proj, const ClassInfo &info,
+               std::set<std::string> &visiting)
+{
+    if (info.isEnum)
+        return true;
+    if (info.hasUserCtor)
+        return false; // the constructor is responsible
+    for (const Field &f : info.fields) {
+        if (f.hasInitializer || f.isReference)
+            continue;
+        if (typeNeedsInit(proj, f, visiting))
+            return true;
+    }
+    return false;
+}
+
+bool
+typeNeedsInit(const Project &proj, const Field &f,
+              std::set<std::string> &visiting)
+{
+    if (f.isPointer)
+        return true; // a garbage pointer is the worst default
+    // The declared type name: last type token that is not a
+    // qualifier/namespace.
+    std::string type;
+    bool sawStd = false;
+    for (const std::string &t : f.typeTokens) {
+        if (t == "const" || t == "mutable" || t == "volatile" ||
+            t == "typename")
+            continue;
+        if (t == "std") {
+            sawStd = true;
+            continue;
+        }
+        type = t;
+        break; // outermost type decides (vector<int> is safe)
+    }
+    if (type.empty())
+        return false;
+    if (sawStd)
+        return !selfInitStd.count(type) &&
+               primitiveTypes.count(type);
+    if (primitiveTypes.count(type))
+        return true;
+    auto it = proj.classes.find(type);
+    if (it == proj.classes.end())
+        return false; // unknown: assume safe
+    if (!visiting.insert(type).second)
+        return false; // cycle guard
+    bool needs = classNeedsInit(proj, it->second, visiting);
+    visiting.erase(type);
+    return needs;
+}
+
+} // namespace
+
+void
+checkConfigInit(Project &proj)
+{
+    for (const auto &[name, info] : proj.classes) {
+        if (info.isEnum || !isConfigLike(name))
+            continue;
+        for (const Field &f : info.fields) {
+            if (f.hasInitializer || f.isReference)
+                continue;
+            std::set<std::string> visiting;
+            if (!typeNeedsInit(proj, f, visiting))
+                continue;
+            proj.report(
+                info.file, f.line, "config-init",
+                "field '" + f.name + "' of " + name +
+                    " has no in-class initializer — every "
+                    "configuration field must carry its default in "
+                    "the declaration so a forgotten assignment can "
+                    "never be read as garbage");
+        }
+    }
+}
+
+} // namespace texlint

@@ -1,0 +1,281 @@
+#include <algorithm>
+#include <set>
+
+#include "rules.hh"
+
+namespace texlint
+{
+
+namespace
+{
+
+/** Headers whose inclusion marks a TU as order-sensitive. */
+const char *const triggerHeaders[] = {
+    "src/sim/checkpoint.hh",
+    "src/core/csv.hh",
+    "src/core/json.hh",
+    "src/core/replay.hh",
+};
+
+const std::set<std::string> unorderedContainers = {
+    "unordered_map",
+    "unordered_set",
+    "unordered_multimap",
+    "unordered_multiset",
+};
+
+/** Skip a balanced <...> group starting at the '<' at @p i. */
+size_t
+skipAngles(const std::vector<Token> &toks, size_t i)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Punct)
+            continue;
+        if (toks[i].text == "<") {
+            ++depth;
+        } else if (toks[i].text == ">") {
+            if (--depth == 0)
+                return i + 1;
+        } else if (toks[i].text == ">>") {
+            depth -= 2;
+            if (depth <= 0)
+                return i + 1;
+        } else if (toks[i].text == ";") {
+            return i; // malformed; bail
+        }
+    }
+    return i;
+}
+
+/** Names of unordered-container variables declared in @p sf. */
+void
+collectUnorderedNames(const SourceFile &sf,
+                      std::set<std::string> &names)
+{
+    const std::vector<Token> &toks = sf.lexed.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident ||
+            !unorderedContainers.count(toks[i].text))
+            continue;
+        size_t p = i + 1;
+        if (p < toks.size() && toks[p].kind == TokKind::Punct &&
+            toks[p].text == "<")
+            p = skipAngles(toks, p);
+        while (p < toks.size() &&
+               ((toks[p].kind == TokKind::Punct &&
+                 (toks[p].text == "&" || toks[p].text == "*")) ||
+                (toks[p].kind == TokKind::Ident &&
+                 toks[p].text == "const")))
+            ++p;
+        if (p < toks.size() && toks[p].kind == TokKind::Ident)
+            names.insert(toks[p].text);
+    }
+}
+
+size_t
+matchParen(const std::vector<Token> &toks, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Punct)
+            continue;
+        if (toks[i].text == "(")
+            ++depth;
+        else if (toks[i].text == ")" && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+/**
+ * Flag range-for / .begin() iteration over unordered names inside
+ * one file, and pointer-order hazards anywhere in it.
+ */
+void
+checkFile(Project &proj, const SourceFile &sf,
+          const std::set<std::string> &unordered)
+{
+    const std::vector<Token> &toks = sf.lexed.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+
+        // std::hash<T *> — hashing by pointer value.
+        if (t.kind == TokKind::Ident && t.text == "hash" && i >= 2 &&
+            toks[i - 1].text == "::" && toks[i - 2].text == "std" &&
+            i + 1 < toks.size() && toks[i + 1].text == "<") {
+            size_t close = skipAngles(toks, i + 1);
+            for (size_t k = i + 1; k < close; ++k) {
+                if (toks[k].kind == TokKind::Punct &&
+                    toks[k].text == "*") {
+                    proj.report(sf.path, t.line, "ordered-iteration",
+                                "std::hash over a pointer type: "
+                                "pointer values vary run to run, so "
+                                "anything keyed on them is "
+                                "order-nondeterministic");
+                    break;
+                }
+            }
+            continue;
+        }
+
+        // std::sort(..., [](T *a, T *b){ return a < b; }) —
+        // ordering by raw pointer value.
+        if (t.kind == TokKind::Ident &&
+            (t.text == "sort" || t.text == "stable_sort") &&
+            i + 1 < toks.size() && toks[i + 1].text == "(") {
+            size_t close = matchParen(toks, i + 1);
+            // Find a lambda among the arguments.
+            for (size_t k = i + 1; k < close; ++k) {
+                if (toks[k].kind != TokKind::Punct ||
+                    toks[k].text != "[")
+                    continue;
+                size_t lp = k;
+                while (lp < close && toks[lp].text != "(")
+                    ++lp;
+                if (lp >= close)
+                    break;
+                size_t rp = matchParen(toks, lp);
+                // Pointer parameter names.
+                std::set<std::string> ptrParams;
+                bool sawStar = false;
+                for (size_t a = lp + 1; a < rp; ++a) {
+                    if (toks[a].kind == TokKind::Punct &&
+                        toks[a].text == "*") {
+                        sawStar = true;
+                    } else if (toks[a].kind == TokKind::Punct &&
+                               toks[a].text == ",") {
+                        sawStar = false;
+                    } else if (toks[a].kind == TokKind::Ident &&
+                               sawStar &&
+                               (a + 1 >= rp ||
+                                toks[a + 1].text == ",")) {
+                        ptrParams.insert(toks[a].text);
+                    }
+                }
+                if (ptrParams.size() < 2)
+                    break;
+                // Comparator body: a bare `p1 < p2` on the params.
+                size_t body = rp;
+                while (body < close && toks[body].text != "{")
+                    ++body;
+                for (size_t b = body; b + 2 < close; ++b) {
+                    if (toks[b].kind == TokKind::Ident &&
+                        ptrParams.count(toks[b].text) &&
+                        toks[b + 1].kind == TokKind::Punct &&
+                        (toks[b + 1].text == "<" ||
+                         toks[b + 1].text == ">") &&
+                        toks[b + 2].kind == TokKind::Ident &&
+                        ptrParams.count(toks[b + 2].text)) {
+                        proj.report(sf.path, toks[b].line,
+                                    "ordered-iteration",
+                                    "sorting by raw pointer value: "
+                                    "allocation addresses differ "
+                                    "between runs, so this order is "
+                                    "nondeterministic");
+                        break;
+                    }
+                }
+                break;
+            }
+            continue;
+        }
+
+        if (t.kind != TokKind::Ident || t.text != "for" ||
+            i + 1 >= toks.size() || toks[i + 1].text != "(")
+            continue;
+        size_t close = matchParen(toks, i + 1);
+
+        // Range-for: a top-level ':' inside the header.
+        size_t colon = toks.size();
+        int depth = 0;
+        for (size_t k = i + 2; k < close; ++k) {
+            if (toks[k].kind != TokKind::Punct)
+                continue;
+            if (toks[k].text == "(" || toks[k].text == "[" ||
+                toks[k].text == "{")
+                ++depth;
+            else if (toks[k].text == ")" || toks[k].text == "]" ||
+                     toks[k].text == "}")
+                --depth;
+            else if (toks[k].text == ":" && depth == 0) {
+                colon = k;
+                break;
+            }
+        }
+        if (colon != toks.size()) {
+            // Last identifier of the range expression.
+            std::string range;
+            for (size_t k = colon + 1; k < close; ++k)
+                if (toks[k].kind == TokKind::Ident)
+                    range = toks[k].text;
+            if (!range.empty() && unordered.count(range)) {
+                proj.report(
+                    sf.path, t.line, "ordered-iteration",
+                    "range-for over unordered container '" + range +
+                        "' in a TU that feeds digests/checkpoints/"
+                        "CSV: hash iteration order is "
+                        "nondeterministic — copy to a sorted vector "
+                        "first");
+            }
+        } else {
+            // Iterator loop: `X.begin()` in the for-header.
+            for (size_t k = i + 2; k + 2 < close; ++k) {
+                if (toks[k].kind == TokKind::Ident &&
+                    unordered.count(toks[k].text) &&
+                    toks[k + 1].kind == TokKind::Punct &&
+                    (toks[k + 1].text == "." ||
+                     toks[k + 1].text == "->") &&
+                    toks[k + 2].kind == TokKind::Ident &&
+                    (toks[k + 2].text == "begin" ||
+                     toks[k + 2].text == "cbegin")) {
+                    proj.report(
+                        sf.path, toks[k].line, "ordered-iteration",
+                        "iterator loop over unordered container '" +
+                            toks[k].text +
+                            "' in a TU that feeds digests/"
+                            "checkpoints/CSV: hash iteration order "
+                            "is nondeterministic");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+checkOrderedIteration(Project &proj)
+{
+    // Which files belong to at least one order-sensitive TU?
+    std::set<std::string> sensitive;
+    for (const std::string &unit : proj.units) {
+        std::set<std::string> cls = proj.closure(unit);
+        bool hit = false;
+        for (const char *h : triggerHeaders)
+            if (cls.count(h)) {
+                hit = true;
+                break;
+            }
+        if (hit)
+            sensitive.insert(cls.begin(), cls.end());
+    }
+
+    for (const std::string &path : sensitive) {
+        auto it = proj.files.find(path);
+        if (it == proj.files.end())
+            continue;
+        // Names visible in this file: anything declared in its own
+        // include closure (covers members declared in the header).
+        std::set<std::string> names;
+        for (const std::string &dep : proj.closure(path)) {
+            auto dit = proj.files.find(dep);
+            if (dit != proj.files.end())
+                collectUnorderedNames(dit->second, names);
+        }
+        checkFile(proj, it->second, names);
+    }
+}
+
+} // namespace texlint

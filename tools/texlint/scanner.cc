@@ -1,0 +1,586 @@
+#include "scanner.hh"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace texlint
+{
+
+namespace fs = std::filesystem;
+
+std::optional<std::string>
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+std::string
+normalizePath(const std::string &path)
+{
+    std::string p = path;
+    std::replace(p.begin(), p.end(), '\\', '/');
+    std::vector<std::string> parts;
+    bool absolute = !p.empty() && p[0] == '/';
+    size_t i = 0;
+    while (i <= p.size()) {
+        size_t j = p.find('/', i);
+        if (j == std::string::npos)
+            j = p.size();
+        std::string part = p.substr(i, j - i);
+        if (part == "..") {
+            if (!parts.empty() && parts.back() != "..")
+                parts.pop_back();
+            else if (!absolute)
+                parts.push_back("..");
+        } else if (!part.empty() && part != ".") {
+            parts.push_back(part);
+        }
+        i = j + 1;
+    }
+    std::string out = absolute ? "/" : "";
+    for (size_t k = 0; k < parts.size(); ++k) {
+        if (k)
+            out += '/';
+        out += parts[k];
+    }
+    return out.empty() ? "." : out;
+}
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/**
+ * Parse `texlint: allow(rule[, rule]) reason` annotations out of a
+ * file's comments. A trailing comment covers its own line; a
+ * comment on its own line covers the comment line and the next line
+ * that carries a code token.
+ */
+void
+parseAllows(Project &proj, SourceFile &sf)
+{
+    for (const Comment &comment : sf.lexed.comments) {
+        size_t at = comment.text.find("texlint:");
+        if (at == std::string::npos)
+            continue;
+        std::string rest = trim(comment.text.substr(at + 8));
+        if (rest.rfind("allow", 0) != 0) {
+            proj.report(sf.path, comment.line, "annotation",
+                        "unrecognized texlint annotation: '" + rest +
+                            "' (expected 'allow(<rule>) <reason>')");
+            continue;
+        }
+        size_t open = rest.find('(');
+        size_t close = rest.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open) {
+            proj.report(sf.path, comment.line, "annotation",
+                        "malformed allow annotation: missing (rule)");
+            continue;
+        }
+        std::string reason = trim(rest.substr(close + 1));
+        if (reason.empty()) {
+            proj.report(sf.path, comment.line, "annotation",
+                        "allow annotation without a reason: every "
+                        "suppression must say why");
+            continue;
+        }
+
+        std::set<std::string> rules;
+        std::string list = rest.substr(open + 1, close - open - 1);
+        size_t p = 0;
+        while (p <= list.size()) {
+            size_t q = list.find(',', p);
+            if (q == std::string::npos)
+                q = list.size();
+            std::string rule = trim(list.substr(p, q - p));
+            if (!rule.empty())
+                rules.insert(rule);
+            p = q + 1;
+        }
+        if (rules.empty()) {
+            proj.report(sf.path, comment.line, "annotation",
+                        "allow annotation names no rule");
+            continue;
+        }
+
+        std::set<uint32_t> lines = {comment.line};
+        if (comment.ownLine) {
+            // Find the next line carrying a code token.
+            uint32_t next = 0;
+            for (const Token &t : sf.lexed.tokens) {
+                if (t.line > comment.line) {
+                    next = t.line;
+                    break;
+                }
+            }
+            if (next)
+                lines.insert(next);
+        }
+        for (uint32_t l : lines)
+            sf.allows[l].insert(rules.begin(), rules.end());
+    }
+}
+
+void
+recordIncludes(Project &proj, SourceFile &sf)
+{
+    fs::path self = fs::path(proj.root) / sf.path;
+    std::string self_dir = normalizePath(self.parent_path().string());
+    for (const Token &t : sf.lexed.tokens) {
+        if (t.kind != TokKind::PpLine)
+            continue;
+        std::string text = trim(t.text);
+        if (text.rfind("include", 0) != 0)
+            continue;
+        size_t q1 = text.find('"');
+        if (q1 == std::string::npos)
+            continue; // system include
+        size_t q2 = text.find('"', q1 + 1);
+        if (q2 == std::string::npos)
+            continue;
+        std::string inc = text.substr(q1 + 1, q2 - q1 - 1);
+
+        const std::string candidates[] = {
+            self_dir + "/" + inc,
+            proj.root + "/src/" + inc,
+            proj.root + "/" + inc,
+        };
+        for (const std::string &cand : candidates) {
+            std::string norm = normalizePath(cand);
+            if (!fs::exists(norm))
+                continue;
+            std::string prefix = normalizePath(proj.root) + "/";
+            if (norm.rfind(prefix, 0) != 0)
+                break; // out of tree
+            sf.includes.push_back(norm.substr(prefix.size()));
+            break;
+        }
+    }
+}
+
+} // namespace
+
+bool
+loadWithIncludes(Project &proj, const std::string &rel)
+{
+    std::deque<std::string> queue = {normalizePath(rel)};
+    bool first = true;
+    while (!queue.empty()) {
+        std::string cur = queue.front();
+        queue.pop_front();
+        if (proj.files.count(cur)) {
+            first = false;
+            continue;
+        }
+        auto text = slurp(proj.root + "/" + cur);
+        if (!text) {
+            if (first)
+                return false;
+            continue;
+        }
+        first = false;
+        SourceFile sf;
+        sf.path = cur;
+        sf.lexed = lex(*text);
+        recordIncludes(proj, sf);
+        parseAllows(proj, sf);
+        for (const std::string &inc : sf.includes)
+            queue.push_back(inc);
+        proj.files.emplace(cur, std::move(sf));
+    }
+    return true;
+}
+
+bool
+Project::allowed(const std::string &file, uint32_t line,
+                 const std::string &rule) const
+{
+    auto it = files.find(file);
+    if (it == files.end())
+        return false;
+    auto at = it->second.allows.find(line);
+    if (at == it->second.allows.end())
+        return false;
+    return at->second.count(rule) > 0;
+}
+
+std::set<std::string>
+Project::closure(const std::string &unit) const
+{
+    std::set<std::string> seen;
+    std::deque<std::string> queue = {unit};
+    while (!queue.empty()) {
+        std::string cur = queue.front();
+        queue.pop_front();
+        if (!seen.insert(cur).second)
+            continue;
+        auto it = files.find(cur);
+        if (it == files.end())
+            continue;
+        for (const std::string &inc : it->second.includes)
+            queue.push_back(inc);
+    }
+    return seen;
+}
+
+namespace
+{
+
+bool
+isAccessSpecifier(const std::string &s)
+{
+    return s == "public" || s == "private" || s == "protected";
+}
+
+/**
+ * Parse one class body statement (tokens between ';' boundaries at
+ * member depth) into a Field, or return false when the statement is
+ * not a data member (function, using, nested type, ...).
+ */
+bool
+parseFieldStatement(const std::vector<Token> &stmt, bool braceInit,
+                    const std::string &class_name, ClassInfo &info)
+{
+    if (stmt.empty())
+        return false;
+    static const std::set<std::string> skipLead = {
+        "using", "typedef", "friend",   "static", "template",
+        "class", "struct",  "enum",     "union",  "operator",
+        "public", "private", "protected",
+    };
+    if (stmt[0].kind == TokKind::Ident && skipLead.count(stmt[0].text))
+        return false;
+
+    // Track nesting to find top-level structure.
+    int paren = 0, angle = 0;
+    size_t eqPos = stmt.size();
+    size_t colonPos = stmt.size(); // bit-field width
+    bool hasParenGroup = false;
+    std::string firstIdent;
+    for (size_t i = 0; i < stmt.size(); ++i) {
+        const Token &t = stmt[i];
+        if (t.kind == TokKind::Punct) {
+            if (t.text == "(") {
+                if (paren == 0 && angle == 0 && eqPos == stmt.size())
+                    hasParenGroup = true;
+                ++paren;
+            } else if (t.text == ")") {
+                --paren;
+            } else if (t.text == "<" && i > 0 &&
+                       stmt[i - 1].kind == TokKind::Ident) {
+                ++angle;
+            } else if (t.text == ">" && angle > 0) {
+                --angle;
+            } else if (t.text == ">>" && angle > 0) {
+                angle = angle >= 2 ? angle - 2 : 0;
+            } else if (t.text == "=" && !paren && !angle &&
+                       eqPos == stmt.size()) {
+                eqPos = i;
+            } else if (t.text == ":" && !paren && !angle &&
+                       eqPos == stmt.size() && i > 0 &&
+                       colonPos == stmt.size()) {
+                colonPos = i;
+            }
+        } else if (t.kind == TokKind::Ident && firstIdent.empty() &&
+                   t.text != "const" && t.text != "mutable" &&
+                   t.text != "volatile" && t.text != "inline" &&
+                   t.text != "explicit" && t.text != "constexpr" &&
+                   t.text != "virtual") {
+            firstIdent = t.text;
+        }
+    }
+
+    if (hasParenGroup) {
+        // Function declaration (possibly `= 0` / `= default`); an
+        // in-class member cannot use paren-initializers, so a paren
+        // group before any '=' always means a function. Note user
+        // ctors.
+        if (firstIdent == class_name)
+            info.hasUserCtor = true;
+        return false;
+    }
+
+    // Declarator end: initializer, bit-field width, or statement end.
+    size_t declEnd = std::min(eqPos, colonPos);
+
+    Field f;
+    f.hasInitializer = braceInit || eqPos != stmt.size();
+    f.isConst = stmt[0].text == "const" ||
+                (stmt.size() > 1 && stmt[0].text == "mutable" &&
+                 stmt[1].text == "const");
+    size_t nameIdx = stmt.size();
+    int nested = 0;
+    for (size_t i = declEnd; i-- > 0;) {
+        const Token &t = stmt[i];
+        if (t.kind == TokKind::Punct) {
+            if (t.text == "]" || t.text == ")" || t.text == ">")
+                ++nested;
+            else if (t.text == "[" || t.text == "(" || t.text == "<")
+                --nested;
+        } else if (t.kind == TokKind::Ident && nested == 0) {
+            nameIdx = i;
+            break;
+        }
+    }
+    if (nameIdx == stmt.size())
+        return false;
+    f.name = stmt[nameIdx].text;
+    f.line = stmt[nameIdx].line;
+    int preAngle = 0, preParen = 0;
+    for (size_t i = 0; i < nameIdx; ++i) {
+        const Token &t = stmt[i];
+        if (t.kind == TokKind::Ident) {
+            f.typeTokens.push_back(t.text);
+            continue;
+        }
+        if (t.kind != TokKind::Punct)
+            continue;
+        if (t.text == "<" && i > 0 &&
+            stmt[i - 1].kind == TokKind::Ident)
+            ++preAngle;
+        else if (t.text == ">" && preAngle > 0)
+            --preAngle;
+        else if (t.text == ">>" && preAngle > 0)
+            preAngle = preAngle >= 2 ? preAngle - 2 : 0;
+        else if (t.text == "(")
+            ++preParen;
+        else if (t.text == ")")
+            --preParen;
+        else if (t.text == "&" && !preAngle && !preParen)
+            f.isReference = true;
+        else if (t.text == "*" && !preAngle && !preParen)
+            f.isPointer = true;
+    }
+    if (f.typeTokens.empty())
+        return false; // e.g. a stray expression; not a member decl
+    info.fields.push_back(std::move(f));
+    return true;
+}
+
+/**
+ * Parse one class body starting at the '{' token at @p open.
+ * @return index one past the matching '}'
+ */
+size_t
+parseClassBody(const std::vector<Token> &toks, size_t open,
+               ClassInfo &info)
+{
+    size_t i = open + 1;
+    std::vector<Token> stmt;
+    bool braceInit = false;
+    while (i < toks.size()) {
+        const Token &t = toks[i];
+        if (t.kind == TokKind::PpLine) {
+            ++i;
+            continue;
+        }
+        if (t.kind == TokKind::Punct && t.text == "}")
+            return i + 1; // end of class body
+
+        if (t.kind == TokKind::Punct && t.text == "{") {
+            // Decide what this brace is: nested type body, function
+            // body, or a member brace-initializer.
+            bool nestedType =
+                !stmt.empty() && stmt[0].kind == TokKind::Ident &&
+                (stmt[0].text == "class" || stmt[0].text == "struct" ||
+                 stmt[0].text == "enum" || stmt[0].text == "union");
+            bool sawEq = false;
+            bool sawParen = false;
+            int paren = 0;
+            for (const Token &s : stmt) {
+                if (s.kind != TokKind::Punct)
+                    continue;
+                if (s.text == "(") {
+                    ++paren;
+                    sawParen = true;
+                } else if (s.text == ")") {
+                    --paren;
+                } else if (s.text == "=" && paren == 0) {
+                    sawEq = true;
+                }
+            }
+
+            // Skip the brace group wholesale.
+            int depth = 0;
+            size_t j = i;
+            for (; j < toks.size(); ++j) {
+                if (toks[j].kind != TokKind::Punct)
+                    continue;
+                if (toks[j].text == "{")
+                    ++depth;
+                else if (toks[j].text == "}" && --depth == 0)
+                    break;
+            }
+            if (sawEq || (!nestedType && !sawParen)) {
+                // Initializer braces: the statement continues.
+                braceInit = true;
+                i = j + 1;
+                continue;
+            }
+            if (sawParen && !nestedType && !stmt.empty()) {
+                // Function definition: note user ctors.
+                std::string firstIdent;
+                for (const Token &s : stmt) {
+                    if (s.kind == TokKind::Ident &&
+                        s.text != "inline" && s.text != "explicit" &&
+                        s.text != "constexpr" && s.text != "virtual") {
+                        firstIdent = s.text;
+                        break;
+                    }
+                }
+                if (firstIdent == info.name)
+                    info.hasUserCtor = true;
+            }
+            // Function or nested-type body consumed; drop statement
+            // (and a possible trailing ';', handled next iteration).
+            stmt.clear();
+            braceInit = false;
+            i = j + 1;
+            continue;
+        }
+
+        if (t.kind == TokKind::Punct && t.text == ";") {
+            parseFieldStatement(stmt, braceInit, info.name, info);
+            stmt.clear();
+            braceInit = false;
+            ++i;
+            continue;
+        }
+
+        if (t.kind == TokKind::Punct && t.text == ":" &&
+            stmt.size() == 1 && stmt[0].kind == TokKind::Ident &&
+            isAccessSpecifier(stmt[0].text)) {
+            stmt.clear();
+            ++i;
+            continue;
+        }
+
+        stmt.push_back(t);
+        ++i;
+    }
+    return i;
+}
+
+} // namespace
+
+void
+buildClassRegistry(Project &proj)
+{
+    for (auto &[path, sf] : proj.files) {
+        const std::vector<Token> &toks = sf.lexed.tokens;
+        for (size_t i = 0; i < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.kind != TokKind::Ident ||
+                (t.text != "class" && t.text != "struct" &&
+                 t.text != "enum"))
+                continue;
+            // `enum class Name` / `enum Name`.
+            size_t p = i + 1;
+            bool isEnum = t.text == "enum";
+            if (isEnum && p < toks.size() &&
+                toks[p].kind == TokKind::Ident &&
+                (toks[p].text == "class" || toks[p].text == "struct"))
+                ++p;
+            if (p >= toks.size() || toks[p].kind != TokKind::Ident)
+                continue;
+            std::string name = toks[p].text;
+            uint32_t line = toks[p].line;
+            // Scan to '{' (definition), ';' (fwd decl) or anything
+            // else (variable declaration, template parameter, ...).
+            size_t q = p + 1;
+            bool defined = false;
+            while (q < toks.size() && toks[q].kind == TokKind::Punct) {
+                if (toks[q].text == "{") {
+                    defined = true;
+                    break;
+                }
+                if (toks[q].text == ";" || toks[q].text == "(")
+                    break;
+                if (toks[q].text == ":") {
+                    // Base list / enum underlying type: skip idents
+                    // and punctuation up to '{' or ';'.
+                    while (q < toks.size() &&
+                           !(toks[q].kind == TokKind::Punct &&
+                             (toks[q].text == "{" ||
+                              toks[q].text == ";")))
+                        ++q;
+                    continue;
+                }
+                ++q;
+            }
+            if (!defined || proj.classes.count(name))
+                continue;
+            ClassInfo info;
+            info.name = name;
+            info.file = path;
+            info.line = line;
+            info.isEnum = isEnum;
+            if (!isEnum)
+                parseClassBody(toks, q, info);
+            proj.classes.emplace(name, std::move(info));
+            // Continue the outer scan *after* this body so nested
+            // helper classes inside it are not re-parsed at top
+            // level... they are rare and name-scoped anyway.
+            i = q;
+        }
+    }
+}
+
+std::vector<std::string>
+unitsFromCompileCommands(const std::string &json_path,
+                         const std::string &root)
+{
+    std::vector<std::string> out;
+    auto text = slurp(json_path);
+    if (!text)
+        return out;
+    const std::string key = "\"file\"";
+    std::string prefix = normalizePath(root) + "/";
+    size_t at = 0;
+    std::set<std::string> seen;
+    while ((at = text->find(key, at)) != std::string::npos) {
+        at += key.size();
+        size_t colon = text->find(':', at);
+        if (colon == std::string::npos)
+            break;
+        size_t q1 = text->find('"', colon);
+        if (q1 == std::string::npos)
+            break;
+        size_t q2 = q1 + 1;
+        while (q2 < text->size() && (*text)[q2] != '"') {
+            if ((*text)[q2] == '\\')
+                ++q2;
+            ++q2;
+        }
+        std::string file =
+            normalizePath(text->substr(q1 + 1, q2 - q1 - 1));
+        at = q2;
+        if (file.rfind(prefix, 0) != 0)
+            continue;
+        std::string rel = file.substr(prefix.size());
+        if (seen.insert(rel).second)
+            out.push_back(rel);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace texlint

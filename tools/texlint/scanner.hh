@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Loading and pre-analysis: reads source files, resolves quoted
+ * includes inside the project, parses allow-suppression annotations
+ * and builds the class/field registry.
+ */
+
+#ifndef TEXLINT_SCANNER_HH
+#define TEXLINT_SCANNER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model.hh"
+
+namespace texlint
+{
+
+/**
+ * Load @p rel (root-relative) and everything it transitively
+ * includes inside the root. Quoted includes resolve against the
+ * includer's directory, then `<root>/src`, then the root — the
+ * project's actual include paths. Missing or out-of-tree includes
+ * are silently ignored (system headers).
+ *
+ * @return false when the file itself cannot be read
+ */
+bool loadWithIncludes(Project &proj, const std::string &rel);
+
+/** Parse every loaded file's class/struct definitions. */
+void buildClassRegistry(Project &proj);
+
+/**
+ * Extract the root-relative .cc file list from a
+ * compile_commands.json, keeping only files under the root.
+ */
+std::vector<std::string>
+unitsFromCompileCommands(const std::string &json_path,
+                         const std::string &root);
+
+/** Read a whole file; nullopt if unreadable. */
+std::optional<std::string> slurp(const std::string &path);
+
+/** Normalize: forward slashes, resolve "." and "..". */
+std::string normalizePath(const std::string &path);
+
+} // namespace texlint
+
+#endif // TEXLINT_SCANNER_HH
