@@ -57,11 +57,13 @@ main(int argc, char **argv)
 
         table.cell(std::string(""));
         table.cell(std::string("ours"));
-        table.cell(stats.pixelsRendered / 1e6, 2);
+        table.cell(double(stats.pixelsRendered) / 1e6, 2);
         table.cell(stats.depthComplexity, 1);
         table.cell(stats.numTriangles);
         table.cell(stats.numTextures);
-        table.cell(stats.textureBytesTouched / (1024.0 * 1024.0), 2);
+        table.cell(double(stats.textureBytesTouched) /
+                       (1024.0 * 1024.0),
+                   2);
         table.cell(stats.uniqueTexelPerScreenPixel, 2);
         table.cell(stats.meanTrianglePixels, 0);
         table.endRow();

@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "core/error.hh"
 #include "core/experiments.hh"
 #include "scene/builder.hh"
 #include "scene/parametric.hh"
@@ -21,8 +22,11 @@
 
 using namespace texdist;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string path = argc > 1 ? argv[1] : "/tmp/frame.trace";
 
@@ -81,4 +85,13 @@ main(int argc, char **argv)
                   << res.frame.texelToFragmentRatio << "\n";
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // A corrupt trace file exits with the documented trace code (6).
+    return guardParseErrors([&] { return run(argc, argv); });
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/error.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -19,7 +20,11 @@ cacheKindFromString(const std::string &s)
         return CacheKind::Infinite;
     if (s == "none")
         return CacheKind::None;
-    texdist_fatal("unknown cache kind: ", s);
+    throw ParseError(ParseSurface::Cli, ParseRule::Unknown,
+                     "unknown cache kind '" + s +
+                         "' (want setassoc, perfect, infinite or "
+                         "none)")
+        .field("--cache");
 }
 
 const char *
@@ -123,9 +128,13 @@ TextureCache::unserialize(CheckpointReader &r)
     r.section("cache");
     uint8_t k = r.u8();
     if (k != uint8_t(kind()))
-        texdist_fatal("checkpoint cache kind mismatch in ",
-                      r.path(), ": file has ", int(k),
-                      ", machine has ", to_string(kind()));
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "cache kind mismatch: file has " +
+                             std::to_string(k) + ", machine has " +
+                             to_string(kind()))
+            .in(r.path())
+            .field("cache");
     _accesses = r.u64();
     _misses = r.u64();
 }
@@ -153,15 +162,23 @@ SetAssocCache::unserialize(CheckpointReader &r)
     g.ways = r.u32();
     g.lineBytes = r.u32();
     if (!(g == geom))
-        texdist_fatal("checkpoint cache geometry mismatch in ",
-                      r.path());
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "cache geometry mismatch between "
+                         "checkpoint and machine")
+            .in(r.path())
+            .field("setassoc");
     stampCounter = r.u64();
     tags = r.u64vec();
     lruStamp = r.u64vec();
     if (tags.size() != size_t(sets) * geom.ways ||
         lruStamp.size() != tags.size())
-        texdist_fatal("checkpoint cache tag array size mismatch in ",
-                      r.path());
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "cache tag array size mismatch between "
+                         "checkpoint and machine")
+            .in(r.path())
+            .field("setassoc");
     // The MRU hint is not checkpoint state: way 0 is as valid a
     // first probe as any, and the hit/miss stream is unaffected.
     std::fill(mruWay.begin(), mruWay.end(), 0u);
@@ -187,8 +204,12 @@ InfiniteCache::unserialize(CheckpointReader &r)
     r.section("infinite");
     uint32_t shift = r.u32();
     if (shift != lineShift)
-        texdist_fatal("checkpoint cache line size mismatch in ",
-                      r.path());
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "cache line size mismatch between "
+                         "checkpoint and machine")
+            .in(r.path())
+            .field("infinite");
     std::vector<uint64_t> lines = r.u64vec();
     seen.clear();
     seen.insert(lines.begin(), lines.end());

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Typed errors for every untrusted input surface.
+ *
+ * The simulator ingests five kinds of untrusted bytes — binary
+ * triangle traces, checkpoint blobs, JSON manifests, result CSVs and
+ * the command line — and a malformed input must never abort, hang or
+ * silently skew a sweep. Every parser in the tree reports malformed
+ * input by throwing a ParseError: a structured diagnostic carrying
+ * the surface it came from, the rule that was violated, and as much
+ * location context as the parser knows (file, byte offset, record
+ * index, field name). Drivers catch it at main() and exit with the
+ * surface's documented code, so a supervisor like tools/sweep_runner
+ * can tell "the trace file is corrupt" from "the machine config is
+ * wrong" without scraping stderr.
+ *
+ * Process-wide exit-code contract (also in README.md):
+ *
+ *   code  meaning
+ *      0  success
+ *      1  usage / configuration error (including CLI parse errors)
+ *      2  frame failed (watchdog fail policy, unrecoverable fault)
+ *      3  interrupted by SIGINT/SIGTERM (partial results flushed)
+ *      4  audit violation (frame invariant broken)
+ *      5  replay divergence (digest mismatch against a manifest)
+ *      6  malformed trace file
+ *      7  malformed checkpoint
+ *      8  malformed JSON (config, run manifest, sweep manifest)
+ *      9  malformed result/resume CSV
+ *
+ * This header is dependency-free and header-only on purpose: the
+ * low-level sim library (checkpoint reader) and the high-level core
+ * library (options, JSON, replay) both throw ParseError without any
+ * link-order coupling between their static libraries.
+ */
+
+#ifndef TEXDIST_CORE_ERROR_HH
+#define TEXDIST_CORE_ERROR_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace texdist
+{
+
+/** Which untrusted input surface a parse error came from. */
+enum class ParseSurface : uint8_t
+{
+    Trace,      ///< binary triangle trace (src/trace)
+    Checkpoint, ///< checkpoint blob (sim/checkpoint)
+    Json,       ///< JSON config / run or sweep manifest (core/json)
+    Csv,        ///< per-frame result / sweep-resume CSV (core/replay)
+    Cli,        ///< command-line options (core/options, src/fault)
+};
+
+/** The class of rule a malformed input violated. */
+enum class ParseRule : uint8_t
+{
+    Io,        ///< unreadable file or failed read
+    Magic,     ///< wrong magic bytes / format marker
+    Version,   ///< unsupported format version
+    Truncated, ///< input ends before a required field
+    Overrun,   ///< declared length exceeds the actual input
+    Checksum,  ///< CRC / digest mismatch
+    Syntax,    ///< malformed token or structure
+    Range,     ///< value outside its legal range
+    NonFinite, ///< NaN or infinity where a finite number is required
+    Limit,     ///< structural limit exceeded (nesting depth, counts)
+    Duplicate, ///< duplicate key or name
+    Encoding,  ///< invalid UTF-8 or escape sequence
+    Mismatch,  ///< cross-field inconsistency (count vs size, section)
+    Type,      ///< value has the wrong type for its slot
+    Unknown,   ///< unknown option, key or enumerator
+};
+
+constexpr const char *
+to_string(ParseSurface s)
+{
+    switch (s) {
+      case ParseSurface::Trace: return "trace";
+      case ParseSurface::Checkpoint: return "checkpoint";
+      case ParseSurface::Json: return "json";
+      case ParseSurface::Csv: return "csv";
+      case ParseSurface::Cli: return "cli";
+    }
+    return "?";
+}
+
+constexpr const char *
+to_string(ParseRule r)
+{
+    switch (r) {
+      case ParseRule::Io: return "io";
+      case ParseRule::Magic: return "magic";
+      case ParseRule::Version: return "version";
+      case ParseRule::Truncated: return "truncated";
+      case ParseRule::Overrun: return "overrun";
+      case ParseRule::Checksum: return "checksum";
+      case ParseRule::Syntax: return "syntax";
+      case ParseRule::Range: return "range";
+      case ParseRule::NonFinite: return "non-finite";
+      case ParseRule::Limit: return "limit";
+      case ParseRule::Duplicate: return "duplicate";
+      case ParseRule::Encoding: return "encoding";
+      case ParseRule::Mismatch: return "mismatch";
+      case ParseRule::Type: return "type";
+      case ParseRule::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+/** The documented exit code for a malformed input on @p surface. */
+constexpr int
+parseErrorExitCode(ParseSurface surface)
+{
+    switch (surface) {
+      case ParseSurface::Cli: return 1;
+      case ParseSurface::Trace: return 6;
+      case ParseSurface::Checkpoint: return 7;
+      case ParseSurface::Json: return 8;
+      case ParseSurface::Csv: return 9;
+    }
+    return 1;
+}
+
+/**
+ * A malformed-input diagnostic. Built fluently at the throw site:
+ *
+ *   throw ParseError(ParseSurface::Trace, ParseRule::NonFinite,
+ *                    "value is NaN")
+ *       .at(offset).record(17).field("vertex u");
+ *
+ * and annotated with the file name by whoever knows it:
+ *
+ *   catch (ParseError &e) { throw e.in(path); }
+ */
+class ParseError : public std::exception
+{
+  public:
+    ParseError(ParseSurface surface, ParseRule rule,
+               std::string message)
+        : _surface(surface), _rule(rule),
+          _message(std::move(message))
+    {
+        render();
+    }
+
+    /** Annotate with the file (or input name) being parsed. */
+    ParseError &
+    in(std::string file)
+    {
+        if (_file.empty())
+            _file = std::move(file);
+        render();
+        return *this;
+    }
+
+    /** Annotate with the byte offset of the violation. */
+    ParseError &
+    at(uint64_t offset)
+    {
+        _offset = offset;
+        render();
+        return *this;
+    }
+
+    /** Annotate with the record index (trace record, CSV row...). */
+    ParseError &
+    record(int64_t index)
+    {
+        _record = index;
+        render();
+        return *this;
+    }
+
+    /** Annotate with the field or flag name being parsed. */
+    ParseError &
+    field(std::string name)
+    {
+        _field = std::move(name);
+        render();
+        return *this;
+    }
+
+    ParseSurface surface() const { return _surface; }
+    ParseRule rule() const { return _rule; }
+    const std::string &message() const { return _message; }
+    const std::string &file() const { return _file; }
+    const std::optional<uint64_t> &offset() const { return _offset; }
+    const std::optional<int64_t> &recordIndex() const
+    {
+        return _record;
+    }
+    const std::string &fieldName() const { return _field; }
+
+    /** The documented process exit code for this surface. */
+    int exitCode() const { return parseErrorExitCode(_surface); }
+
+    /**
+     * The full one-line diagnostic:
+     * "<surface> parse error in <file> at byte N, record R,
+     *  field 'f': <message> [rule: <rule>]"
+     */
+    const std::string &describe() const { return _what; }
+
+    const char *what() const noexcept override
+    {
+        return _what.c_str();
+    }
+
+  private:
+    void
+    render()
+    {
+        _what = std::string(to_string(_surface)) + " parse error";
+        if (!_file.empty())
+            _what += " in " + _file;
+        if (_offset)
+            _what += " at byte " + std::to_string(*_offset);
+        if (_record)
+            _what += ", record " + std::to_string(*_record);
+        if (!_field.empty())
+            _what += ", field '" + _field + "'";
+        _what += ": " + _message;
+        _what += std::string(" [rule: ") + to_string(_rule) + "]";
+    }
+
+    ParseSurface _surface;
+    ParseRule _rule;
+    std::string _message;
+    std::string _file;
+    std::optional<uint64_t> _offset;
+    std::optional<int64_t> _record;
+    std::string _field;
+    std::string _what;
+};
+
+/**
+ * A value or a ParseError — the non-throwing face of the parsers,
+ * for callers (the fuzz harness, probing loaders) that treat a
+ * malformed input as data rather than as a reason to exit.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : _value(std::move(value)) {}
+    Result(ParseError error) : _error(std::move(error)) {}
+
+    bool ok() const { return _value.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    const T &value() const & { return *_value; }
+    T &&takeValue() { return std::move(*_value); }
+    const ParseError &error() const { return *_error; }
+
+  private:
+    std::optional<T> _value;
+    std::optional<ParseError> _error;
+};
+
+/** Run a throwing parser, capturing ParseError into a Result. */
+template <typename F>
+auto
+tryParse(F &&f) -> Result<decltype(f())>
+{
+    using R = Result<decltype(f())>;
+    try {
+        return R(f());
+    } catch (ParseError &e) {
+        return R(std::move(e));
+    }
+}
+
+/**
+ * Wrap a driver's main() body: a ParseError escaping the body is
+ * printed as a one-line fatal diagnostic and becomes the surface's
+ * documented exit code. Everything else propagates unchanged.
+ */
+template <typename F>
+int
+guardParseErrors(F &&body)
+{
+    try {
+        return body();
+    } catch (const ParseError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.describe().c_str());
+        return e.exitCode();
+    }
+}
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_ERROR_HH

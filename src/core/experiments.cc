@@ -1,5 +1,6 @@
 #include "core/experiments.hh"
 
+#include "core/error.hh"
 #include <algorithm>
 #include <cstdlib>
 #include <iomanip>
@@ -161,7 +162,10 @@ BenchOptions::parse(int argc, char **argv)
         }
     }
     if (opts.scale <= 0.0 || opts.scale > 4.0)
-        texdist_fatal("scene scale out of range: ", opts.scale);
+        throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                         "scene scale out of range: " +
+                             std::to_string(opts.scale))
+            .field("--scale");
     return opts;
 }
 

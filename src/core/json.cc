@@ -6,10 +6,23 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/error.hh"
 #include "sim/logging.hh"
 
 namespace texdist
 {
+
+namespace
+{
+
+/** Wrong-kind access on a parsed document is a schema violation. */
+[[noreturn]] void
+typeFail(const std::string &msg)
+{
+    throw ParseError(ParseSurface::Json, ParseRule::Type, msg);
+}
+
+} // namespace
 
 JsonValue
 JsonValue::makeBool(bool b)
@@ -60,7 +73,7 @@ bool
 JsonValue::asBool() const
 {
     if (_kind != Kind::Bool)
-        texdist_fatal("JSON value is not a boolean");
+        typeFail("JSON value is not a boolean");
     return _bool;
 }
 
@@ -68,7 +81,7 @@ double
 JsonValue::asNumber() const
 {
     if (_kind != Kind::Number)
-        texdist_fatal("JSON value is not a number");
+        typeFail("JSON value is not a number");
     return _number;
 }
 
@@ -76,9 +89,9 @@ uint64_t
 JsonValue::asU64() const
 {
     double n = asNumber();
-    if (n < 0 || n != std::floor(n))
-        texdist_fatal("JSON value is not a non-negative integer: ",
-                      n);
+    if (n < 0 || n != std::floor(n) || n >= 0x1p64)
+        typeFail("JSON value is not a non-negative integer: " +
+                 std::to_string(n));
     return uint64_t(n);
 }
 
@@ -86,7 +99,7 @@ const std::string &
 JsonValue::asString() const
 {
     if (_kind != Kind::String)
-        texdist_fatal("JSON value is not a string");
+        typeFail("JSON value is not a string");
     return _string;
 }
 
@@ -94,7 +107,7 @@ const std::vector<JsonValue> &
 JsonValue::items() const
 {
     if (_kind != Kind::Array)
-        texdist_fatal("JSON value is not an array");
+        typeFail("JSON value is not an array");
     return _items;
 }
 
@@ -102,7 +115,7 @@ const std::vector<std::pair<std::string, JsonValue>> &
 JsonValue::members() const
 {
     if (_kind != Kind::Object)
-        texdist_fatal("JSON value is not an object");
+        typeFail("JSON value is not an object");
     return _members;
 }
 
@@ -122,7 +135,9 @@ JsonValue::at(const std::string &key) const
 {
     const JsonValue *v = get(key);
     if (!v)
-        texdist_fatal("JSON object has no member '", key, "'");
+        throw ParseError(ParseSurface::Json, ParseRule::Mismatch,
+                         "JSON object has no member '" + key + "'")
+            .field(key);
     return *v;
 }
 
@@ -253,7 +268,16 @@ JsonValue::dump() const
 namespace
 {
 
-/** Recursive-descent parser over the emitted subset. */
+/**
+ * Recursive-descent parser over the emitted subset, hardened for
+ * hostile input: nesting is capped (a deep document must exhaust the
+ * limit, not the stack), duplicate object keys are rejected (the
+ * last-one-wins alternative silently drops data), strings must be
+ * valid UTF-8 with no raw control characters, and numbers that
+ * overflow a double are rejected rather than rounded to infinity.
+ * All failures throw ParseError (surface: json, exit code 8) with
+ * the byte offset plus line/column in the message.
+ */
 class JsonParser
 {
   public:
@@ -265,13 +289,17 @@ class JsonParser
         JsonValue v = parseValue();
         skipWhitespace();
         if (pos != text.size())
-            fail("trailing characters after JSON document");
+            fail(ParseRule::Syntax,
+                 "trailing characters after JSON document");
         return v;
     }
 
   private:
+    /** Nesting cap: objects/arrays deeper than this are rejected. */
+    static constexpr int maxDepth = 64;
+
     [[noreturn]] void
-    fail(const std::string &why)
+    fail(ParseRule rule, const std::string &why)
     {
         size_t line = 1;
         size_t col = 1;
@@ -283,8 +311,10 @@ class JsonParser
                 ++col;
             }
         }
-        texdist_fatal("JSON parse error at line ", line, ", column ",
-                      col, ": ", why);
+        throw ParseError(ParseSurface::Json, rule,
+                         why + " (line " + std::to_string(line) +
+                             ", column " + std::to_string(col) + ")")
+            .at(pos);
     }
 
     void
@@ -300,7 +330,7 @@ class JsonParser
     peek()
     {
         if (pos >= text.size())
-            fail("unexpected end of input");
+            fail(ParseRule::Truncated, "unexpected end of input");
         return text[pos];
     }
 
@@ -308,7 +338,8 @@ class JsonParser
     expect(char c)
     {
         if (peek() != c)
-            fail(detail::concat("expected '", c, "', got '", peek(),
+            fail(ParseRule::Syntax,
+                 detail::concat("expected '", c, "', got '", peek(),
                                 "'"));
         ++pos;
     }
@@ -324,6 +355,55 @@ class JsonParser
         return false;
     }
 
+    /**
+     * Consume one UTF-8 sequence whose lead byte @p c has already
+     * been consumed. Rejects stray continuation bytes, overlong
+     * encodings, surrogate code points and values above U+10FFFF.
+     */
+    void
+    consumeUtf8Tail(std::string &out, uint8_t c)
+    {
+        int extra;
+        uint32_t code;
+        uint32_t min;
+        if ((c & 0xe0u) == 0xc0u) {
+            extra = 1;
+            code = c & 0x1fu;
+            min = 0x80;
+        } else if ((c & 0xf0u) == 0xe0u) {
+            extra = 2;
+            code = c & 0x0fu;
+            min = 0x800;
+        } else if ((c & 0xf8u) == 0xf0u) {
+            extra = 3;
+            code = c & 0x07u;
+            min = 0x10000;
+        } else {
+            --pos; // point at the offending byte
+            fail(ParseRule::Encoding,
+                 "invalid UTF-8 lead byte in string");
+        }
+        for (int i = 0; i < extra; ++i) {
+            if (pos >= text.size())
+                fail(ParseRule::Encoding,
+                     "truncated UTF-8 sequence in string");
+            uint8_t t = uint8_t(text[pos]);
+            if ((t & 0xc0u) != 0x80u)
+                fail(ParseRule::Encoding,
+                     "invalid UTF-8 continuation byte in string");
+            code = (code << 6) | (t & 0x3fu);
+            ++pos;
+        }
+        if (code < min || code > 0x10ffff ||
+            (code >= 0xd800 && code <= 0xdfff)) {
+            pos -= size_t(extra) + 1;
+            fail(ParseRule::Encoding,
+                 "invalid UTF-8 code point in string");
+        }
+        out.append(text, pos - size_t(extra) - 1,
+                   size_t(extra) + 1);
+    }
+
     std::string
     parseString()
     {
@@ -331,13 +411,19 @@ class JsonParser
         std::string out;
         while (true) {
             if (pos >= text.size())
-                fail("unterminated string");
+                fail(ParseRule::Truncated, "unterminated string");
             char c = text[pos++];
             if (c == '"')
                 return out;
+            if (uint8_t(c) < 0x20) {
+                --pos;
+                fail(ParseRule::Syntax,
+                     "raw control character in string (use \\u)");
+            }
             if (c == '\\') {
                 if (pos >= text.size())
-                    fail("unterminated escape");
+                    fail(ParseRule::Truncated,
+                         "unterminated escape");
                 char e = text[pos++];
                 switch (e) {
                   case '"': out += '"'; break;
@@ -350,7 +436,8 @@ class JsonParser
                   case 'f': out += '\f'; break;
                   case 'u': {
                     if (pos + 4 > text.size())
-                        fail("truncated \\u escape");
+                        fail(ParseRule::Truncated,
+                             "truncated \\u escape");
                     unsigned code = 0;
                     for (int i = 0; i < 4; ++i) {
                         char h = text[pos++];
@@ -362,16 +449,20 @@ class JsonParser
                         else if (h >= 'A' && h <= 'F')
                             code |= unsigned(h - 'A' + 10);
                         else
-                            fail("bad hex digit in \\u escape");
+                            fail(ParseRule::Encoding,
+                                 "bad hex digit in \\u escape");
                     }
                     if (code > 0x7f)
-                        fail("non-ASCII \\u escapes unsupported");
+                        fail(ParseRule::Encoding,
+                             "non-ASCII \\u escapes unsupported");
                     out += char(code);
                     break;
                   }
                   default:
-                    fail("unknown escape");
+                    fail(ParseRule::Encoding, "unknown escape");
                 }
+            } else if (uint8_t(c) >= 0x80) {
+                consumeUtf8Tail(out, uint8_t(c));
             } else {
                 out += c;
             }
@@ -393,9 +484,13 @@ class JsonParser
         std::string token = text.substr(start, pos - start);
         char *end = nullptr;
         double v = std::strtod(token.c_str(), &end);
-        if (end != token.c_str() + token.size() ||
-            !std::isfinite(v))
-            fail(detail::concat("bad number '", token, "'"));
+        if (end != token.c_str() + token.size())
+            fail(ParseRule::Syntax,
+                 detail::concat("bad number '", token, "'"));
+        if (!std::isfinite(v))
+            fail(ParseRule::Range,
+                 detail::concat("number '", token,
+                                "' overflows a double"));
         return v;
     }
 
@@ -405,16 +500,27 @@ class JsonParser
         skipWhitespace();
         char c = peek();
         if (c == '{') {
+            if (++depth > maxDepth)
+                fail(ParseRule::Limit,
+                     "nesting deeper than " +
+                         std::to_string(maxDepth) + " levels");
             ++pos;
             JsonValue obj = JsonValue::makeObject();
             skipWhitespace();
             if (peek() == '}') {
                 ++pos;
+                --depth;
                 return obj;
             }
             while (true) {
                 skipWhitespace();
+                size_t keyAt = pos;
                 std::string key = parseString();
+                if (obj.get(key)) {
+                    pos = keyAt;
+                    fail(ParseRule::Duplicate,
+                         "duplicate object key '" + key + "'");
+                }
                 skipWhitespace();
                 expect(':');
                 obj.set(key, parseValue());
@@ -424,15 +530,21 @@ class JsonParser
                     continue;
                 }
                 expect('}');
+                --depth;
                 return obj;
             }
         }
         if (c == '[') {
+            if (++depth > maxDepth)
+                fail(ParseRule::Limit,
+                     "nesting deeper than " +
+                         std::to_string(maxDepth) + " levels");
             ++pos;
             JsonValue arr = JsonValue::makeArray();
             skipWhitespace();
             if (peek() == ']') {
                 ++pos;
+                --depth;
                 return arr;
             }
             while (true) {
@@ -443,6 +555,7 @@ class JsonParser
                     continue;
                 }
                 expect(']');
+                --depth;
                 return arr;
             }
         }
@@ -459,6 +572,7 @@ class JsonParser
 
     const std::string &text;
     size_t pos = 0;
+    int depth = 0;
 };
 
 } // namespace
@@ -474,10 +588,20 @@ JsonValue::parseFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        texdist_fatal("cannot open JSON file: ", path);
+        throw ParseError(ParseSurface::Json, ParseRule::Io,
+                         "cannot open JSON file")
+            .in(path);
     std::ostringstream ss;
     ss << is.rdbuf();
-    return parse(ss.str());
+    if (!is)
+        throw ParseError(ParseSurface::Json, ParseRule::Io,
+                         "error reading JSON file")
+            .in(path);
+    try {
+        return parse(ss.str());
+    } catch (ParseError &e) {
+        throw e.in(path);
+    }
 }
 
 } // namespace texdist

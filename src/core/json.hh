@@ -3,10 +3,13 @@
  * Minimal JSON reading/writing for the run and sweep manifests — the
  * crash-safe metadata files the resumable runners leave behind. This
  * is deliberately a subset implementation (objects, arrays, strings,
- * finite numbers, booleans, null; no \uXXXX surrogate pairs beyond
- * pass-through) sized for manifests we write ourselves, with fatal
- * diagnostics on malformed input: a resume decision made from a
- * half-understood manifest would silently drop results.
+ * finite numbers, booleans, null; \uXXXX escapes limited to ASCII)
+ * sized for manifests we write ourselves, but hardened for hostile
+ * bytes: nesting is capped, duplicate keys and invalid UTF-8 are
+ * rejected, and numbers must fit a double. Malformed input throws a
+ * typed ParseError (surface: json, exit code 8) with byte offset and
+ * line/column: a resume decision made from a half-understood
+ * manifest would silently drop results.
  */
 
 #ifndef TEXDIST_CORE_JSON_HH
@@ -45,7 +48,7 @@ class JsonValue
 
     Kind kind() const { return _kind; }
 
-    /** Typed accessors; fatal when the kind does not match. */
+    /** Typed accessors; throw ParseError on a kind mismatch. */
     bool asBool() const;
     double asNumber() const;
     uint64_t asU64() const;
@@ -57,7 +60,7 @@ class JsonValue
     /** Member lookup; nullptr when absent or not an object. */
     const JsonValue *get(const std::string &key) const;
 
-    /** Member lookup that is fatal when the key is missing. */
+    /** Member lookup; throws ParseError when the key is missing. */
     const JsonValue &at(const std::string &key) const;
 
     /** Append to an array value. */
@@ -69,10 +72,16 @@ class JsonValue
     /** Render with 2-space indentation and a trailing newline. */
     std::string dump() const;
 
-    /** Parse a document; fatal with location on malformed input. */
+    /**
+     * Parse a document; throws ParseError (with byte offset and
+     * line/column) on malformed input.
+     */
     static JsonValue parse(const std::string &text);
 
-    /** Parse a file; fatal when unreadable or malformed. */
+    /**
+     * Parse a file; throws ParseError when unreadable or malformed,
+     * annotated with @p path.
+     */
     static JsonValue parseFile(const std::string &path);
 
   private:

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "cache/two_level.hh"
+#include "core/error.hh"
 #include "core/feeder.hh"
 #include "texture/sampler.hh"
 
@@ -293,16 +294,24 @@ TextureNode::unserialize(CheckpointReader &r)
     r.section("node");
     uint32_t id = r.u32();
     if (id != nodeId)
-        texdist_fatal("checkpoint node id mismatch in ", r.path(),
-                      ": file has node", id, ", restoring ", name());
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "node id mismatch: file has node" +
+                             std::to_string(id) + ", restoring " +
+                             name())
+            .in(r.path())
+            .field("node");
     cpuTime = r.u64();
     lastRetire = r.u64();
     ringHead = r.u64();
     retireRing = r.u64vec();
     if (retireRing.size() != std::max(1u, cfg.prefetchQueueDepth) ||
         ringHead >= retireRing.size())
-        texdist_fatal("checkpoint prefetch ring mismatch in ",
-                      r.path(), " for ", name());
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "prefetch ring mismatch for " + name())
+            .in(r.path())
+            .field("node");
     _slowdown = r.u32();
     _frozen = r.u8() != 0;
     _dead = r.u8() != 0;
@@ -322,7 +331,11 @@ TextureNode::unserialize(CheckpointReader &r)
         TriangleWork work;
         work.tex = r.u32();
         uint64_t nfrags = r.u64();
-        work.frags.reserve(nfrags);
+        // The count comes from the file; cap the pre-allocation so a
+        // hostile value cannot demand memory the payload could never
+        // back (each fragment is 20 payload bytes — a short payload
+        // throws Truncated on the first missing read below).
+        work.frags.reserve(std::min<uint64_t>(nfrags, 4096));
         for (uint64_t f = 0; f < nfrags; ++f) {
             NodeFragment frag;
             frag.x = uint16_t(r.u32());
@@ -339,8 +352,11 @@ TextureNode::unserialize(CheckpointReader &r)
     cache_->unserialize(r);
     bool had_bus = r.u8() != 0;
     if (had_bus != (bus_ != nullptr))
-        texdist_fatal("checkpoint bus presence mismatch in ",
-                      r.path(), " for ", name());
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "bus presence mismatch for " + name())
+            .in(r.path())
+            .field("node");
     if (bus_)
         bus_->unserialize(r);
 

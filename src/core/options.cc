@@ -6,7 +6,6 @@
 #include <limits>
 #include <sstream>
 
-#include "sim/logging.hh"
 #include "sim/thread_pool.hh"
 
 namespace texdist
@@ -26,52 +25,76 @@ match(const std::string &arg, const char *key, std::string &value)
     return true;
 }
 
-/**
- * Strict decimal u64. strtoul alone silently accepts "-1" (wrapping
- * to a huge value), leading whitespace, and out-of-range input; a
- * simulator run with a wrapped parameter measures the wrong machine,
- * so all of those are fatal here.
- */
+/** A CLI-surface ParseError naming the offending flag. */
+[[noreturn]] void
+cliFail(const char *key, ParseRule rule, std::string msg)
+{
+    throw ParseError(ParseSurface::Cli, rule, std::move(msg))
+        .field(std::string("--") + key);
+}
+
+} // namespace
+
 uint64_t
-parseU64(const std::string &value, const char *key)
+parseCliU64(const std::string &value, const char *key)
 {
     if (value.empty() ||
         value.find_first_not_of("0123456789") != std::string::npos)
-        texdist_fatal("--", key,
-                      " expects a non-negative integer, got '",
-                      value, "'");
+        cliFail(key, ParseRule::Syntax,
+                "expects a non-negative integer, got '" + value +
+                    "'");
     errno = 0;
     char *end = nullptr;
     unsigned long long v = std::strtoull(value.c_str(), &end, 10);
     if (errno == ERANGE)
-        texdist_fatal("--", key, " out of range: '", value, "'");
+        cliFail(key, ParseRule::Range,
+                "out of range: '" + value + "'");
     return uint64_t(v);
 }
 
 uint32_t
-parseU32(const std::string &value, const char *key)
+parseCliU32(const std::string &value, const char *key)
 {
-    uint64_t v = parseU64(value, key);
+    uint64_t v = parseCliU64(value, key);
     if (v > std::numeric_limits<uint32_t>::max())
-        texdist_fatal("--", key, " out of range: '", value, "'");
+        cliFail(key, ParseRule::Range,
+                "out of range: '" + value + "'");
     return uint32_t(v);
 }
 
 double
-parseF64(const std::string &value, const char *key)
+parseCliF64(const std::string &value, const char *key)
 {
     if (value.empty())
-        texdist_fatal("--", key, " expects a number, got ''");
+        cliFail(key, ParseRule::Syntax, "expects a number, got ''");
     errno = 0;
     char *end = nullptr;
     double v = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0')
-        texdist_fatal("--", key, " expects a number, got '", value,
-                      "'");
+        cliFail(key, ParseRule::Syntax,
+                "expects a number, got '" + value + "'");
     if (errno == ERANGE || !std::isfinite(v))
-        texdist_fatal("--", key, " must be finite and in range, "
-                      "got '", value, "'");
+        cliFail(key, ParseRule::Range,
+                "must be finite and in range, got '" + value + "'");
     return v;
+}
+
+namespace
+{
+
+/**
+ * A cache-size flag in KB. Capped at 1 GB: the ×1024 to bytes must
+ * not wrap the u32 it is stored in, and anything larger is a typo,
+ * not a texture cache.
+ */
+uint32_t
+parseCacheKb(const std::string &value, const char *key)
+{
+    uint32_t kb = parseCliU32(value, key);
+    if (kb > (1u << 20))
+        cliFail(key, ParseRule::Range,
+                "too large (max 1048576 KB), got '" + value + "'");
+    return kb;
 }
 
 } // namespace
@@ -79,9 +102,9 @@ parseF64(const std::string &value, const char *key)
 uint32_t
 parseHostThreads(const std::string &value, const char *flag)
 {
-    uint64_t n = parseU64(value, flag);
+    uint64_t n = parseCliU64(value, flag);
     if (n == 0)
-        texdist_fatal("--", flag, " must be positive");
+        cliFail(flag, ParseRule::Range, "must be positive");
     return ThreadPool::clampThreads(n);
 }
 
@@ -180,7 +203,9 @@ SimOptions::usage()
         "exit codes: 0 ok, 1 usage/config error, 2 frame failed,\n"
         "            3 interrupted (SIGINT/SIGTERM), 4 audit "
         "violation,\n"
-        "            5 replay divergence\n";
+        "            5 replay divergence, 6 malformed trace,\n"
+        "            7 malformed checkpoint, 8 malformed JSON,\n"
+        "            9 malformed result CSV\n";
 }
 
 uint32_t
@@ -211,18 +236,20 @@ SimOptions::parse(const std::vector<std::string> &args)
         } else if (match(arg, "scene", v)) {
             opts.scene = v;
         } else if (match(arg, "scale", v)) {
-            opts.scale = parseF64(v, "scale");
+            opts.scale = parseCliF64(v, "scale");
             if (opts.scale <= 0.0 || opts.scale > 4.0)
-                texdist_fatal("--scale out of range: ", opts.scale);
+                cliFail("scale", ParseRule::Range,
+                        "out of range: " + v);
         } else if (match(arg, "trace", v)) {
             opts.tracePath = v;
         } else if (match(arg, "procs", v)) {
-            opts.machine.numProcs = parseU32(v, "procs");
+            opts.machine.numProcs = parseCliU32(v, "procs");
             if (opts.machine.numProcs == 0)
-                texdist_fatal("--procs must be positive");
+                cliFail("procs", ParseRule::Range,
+                        "must be positive");
             if (opts.machine.numProcs > 4096)
-                texdist_fatal("--procs too large (max 4096), got ",
-                              opts.machine.numProcs);
+                cliFail("procs", ParseRule::Range,
+                        "too large (max 4096), got " + v);
         } else if (match(arg, "dist", v)) {
             if (v == "block")
                 opts.machine.dist = DistKind::Block;
@@ -231,68 +258,78 @@ SimOptions::parse(const std::vector<std::string> &args)
             else if (v == "contiguous")
                 opts.machine.dist = DistKind::Contiguous;
             else
-                texdist_fatal("--dist must be block, sli or "
-                              "contiguous, got '", v, "'");
+                cliFail("dist", ParseRule::Unknown,
+                        "must be block, sli or contiguous, got '" +
+                            v + "'");
         } else if (match(arg, "param", v)) {
-            opts.machine.tileParam = parseU32(v, "param");
+            opts.machine.tileParam = parseCliU32(v, "param");
             if (opts.machine.tileParam == 0)
-                texdist_fatal("--param must be positive");
+                cliFail("param", ParseRule::Range,
+                        "must be positive");
         } else if (match(arg, "interleave", v)) {
             if (v == "raster")
                 opts.machine.interleave = InterleaveOrder::Raster;
             else if (v == "diagonal")
                 opts.machine.interleave = InterleaveOrder::Diagonal;
             else
-                texdist_fatal("--interleave must be raster or "
-                              "diagonal, got '", v, "'");
+                cliFail("interleave", ParseRule::Unknown,
+                        "must be raster or diagonal, got '" + v +
+                            "'");
         } else if (match(arg, "cache", v)) {
             opts.machine.cacheKind = cacheKindFromString(v);
         } else if (match(arg, "cache-kb", v)) {
             opts.machine.cacheGeom.sizeBytes =
-                parseU32(v, "cache-kb") * 1024;
+                parseCacheKb(v, "cache-kb") * 1024;
         } else if (match(arg, "cache-ways", v)) {
-            opts.machine.cacheGeom.ways = parseU32(v, "cache-ways");
+            opts.machine.cacheGeom.ways =
+                parseCliU32(v, "cache-ways");
         } else if (match(arg, "l2-kb", v)) {
-            uint32_t kb = parseU32(v, "l2-kb");
+            uint32_t kb = parseCacheKb(v, "l2-kb");
             opts.machine.hasL2 = kb > 0;
             if (kb > 0)
                 opts.machine.l2Geom.sizeBytes = kb * 1024;
         } else if (match(arg, "bus", v)) {
-            double bus = parseF64(v, "bus");
+            double bus = parseCliF64(v, "bus");
             if (bus < 0.0)
-                texdist_fatal("--bus must be >= 0 (0 = infinite), "
-                              "got ", bus);
+                cliFail("bus", ParseRule::Range,
+                        "must be >= 0 (0 = infinite), got " + v);
             opts.machine.infiniteBus = bus <= 0.0;
             if (!opts.machine.infiniteBus)
                 opts.machine.busTexelsPerCycle = bus;
         } else if (match(arg, "buffer", v)) {
-            opts.machine.triangleBufferSize = parseU32(v, "buffer");
+            opts.machine.triangleBufferSize =
+                parseCliU32(v, "buffer");
             if (opts.machine.triangleBufferSize == 0)
-                texdist_fatal("--buffer must be positive");
+                cliFail("buffer", ParseRule::Range,
+                        "must be positive");
         } else if (match(arg, "setup", v)) {
             opts.machine.setupCyclesPerTriangle =
-                parseU32(v, "setup");
+                parseCliU32(v, "setup");
         } else if (match(arg, "prefetch", v)) {
             opts.machine.prefetchQueueDepth =
-                parseU32(v, "prefetch");
+                parseCliU32(v, "prefetch");
             if (opts.machine.prefetchQueueDepth == 0)
-                texdist_fatal("--prefetch must be positive");
+                cliFail("prefetch", ParseRule::Range,
+                        "must be positive");
         } else if (match(arg, "geometry", v)) {
             opts.machine.geometryTrianglesPerCycle =
-                parseF64(v, "geometry");
+                parseCliF64(v, "geometry");
         } else if (match(arg, "geom-procs", v)) {
-            opts.machine.geometryProcs = parseU32(v, "geom-procs");
+            opts.machine.geometryProcs =
+                parseCliU32(v, "geom-procs");
         } else if (match(arg, "geom-cycles", v)) {
             opts.machine.geometryCyclesPerTriangle =
-                parseU32(v, "geom-cycles");
+                parseCliU32(v, "geom-cycles");
             if (opts.machine.geometryCyclesPerTriangle == 0)
-                texdist_fatal("--geom-cycles must be positive");
+                cliFail("geom-cycles", ParseRule::Range,
+                        "must be positive");
         } else if (match(arg, "fault", v)) {
             opts.machine.faults.add(v);
         } else if (match(arg, "fault-seed", v)) {
-            opts.machine.faults.seed = parseU64(v, "fault-seed");
+            opts.machine.faults.seed = parseCliU64(v, "fault-seed");
         } else if (match(arg, "watchdog-ticks", v)) {
-            opts.machine.watchdogTicks = parseU64(v, "watchdog-ticks");
+            opts.machine.watchdogTicks =
+                parseCliU64(v, "watchdog-ticks");
         } else if (match(arg, "watchdog", v)) {
             if (v == "fail")
                 opts.machine.watchdogPolicy =
@@ -300,27 +337,28 @@ SimOptions::parse(const std::vector<std::string> &args)
             else if (v == "degrade")
                 opts.machine.watchdogPolicy = WatchdogPolicy::Degrade;
             else
-                texdist_fatal("--watchdog must be fail or degrade, "
-                              "got '", v, "'");
+                cliFail("watchdog", ParseRule::Unknown,
+                        "must be fail or degrade, got '" + v + "'");
         } else if (match(arg, "stats-file", v)) {
             opts.statsFile = v;
         } else if (match(arg, "frames", v)) {
-            opts.frames = parseU32(v, "frames");
+            opts.frames = parseCliU32(v, "frames");
             if (opts.frames == 0)
-                texdist_fatal("--frames must be positive");
+                cliFail("frames", ParseRule::Range,
+                        "must be positive");
         } else if (match(arg, "jobs", v)) {
             opts.jobs = parseHostThreads(v, "jobs");
         } else if (match(arg, "pan", v)) {
             size_t comma = v.find(',');
             if (comma == std::string::npos) {
-                opts.panDx = parseF64(v, "pan");
+                opts.panDx = parseCliF64(v, "pan");
                 opts.panDy = 0.0;
             } else {
-                opts.panDx = parseF64(v.substr(0, comma), "pan");
-                opts.panDy = parseF64(v.substr(comma + 1), "pan");
+                opts.panDx = parseCliF64(v.substr(0, comma), "pan");
+                opts.panDy = parseCliF64(v.substr(comma + 1), "pan");
             }
         } else if (match(arg, "checkpoint-every", v)) {
-            opts.checkpointEvery = parseU32(v, "checkpoint-every");
+            opts.checkpointEvery = parseCliU32(v, "checkpoint-every");
         } else if (match(arg, "checkpoint-file", v)) {
             opts.checkpointFile = v;
         } else if (match(arg, "restore", v)) {
@@ -334,8 +372,9 @@ SimOptions::parse(const std::vector<std::string> &args)
         } else if (match(arg, "result-csv", v)) {
             opts.resultCsv = v;
         } else {
-            texdist_fatal("unknown option '", arg, "'\n\n",
-                          usage());
+            throw ParseError(ParseSurface::Cli, ParseRule::Unknown,
+                             "unknown option '" + arg + "'")
+                .field(arg);
         }
     }
     // --checkpoint-file alone still gets the signal-time final

@@ -3,8 +3,10 @@
  * Command-line configuration shared by the simulator driver and any
  * tool that wants "the whole machine on one command line": parses
  * `--key=value` options into a MachineConfig plus workload selection
- * (named benchmark or trace file), with gem5-style fatal diagnostics
- * on bad input.
+ * (named benchmark or trace file). Bad input throws a typed
+ * ParseError (surface: cli, exit code 1) naming the offending flag;
+ * drivers catch it at main(), print the diagnostic and the usage
+ * text, and exit 1.
  */
 
 #ifndef TEXDIST_CORE_OPTIONS_HH
@@ -14,14 +16,29 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/error.hh"
 
 namespace texdist
 {
 
 /**
+ * Strict decimal flag-value parsers shared by every command line in
+ * the tree (the simulator driver, tools/sweep_runner): digits only —
+ * no sign, no leading whitespace, no trailing junk, no silent wrap.
+ * strtoul alone accepts "-1" (wrapping to a huge value), and a
+ * simulator run with a wrapped parameter measures the wrong machine.
+ * All failures throw ParseError (surface: cli) naming @p key.
+ */
+uint64_t parseCliU64(const std::string &value, const char *key);
+uint32_t parseCliU32(const std::string &value, const char *key);
+
+/** Strict finite double; same contract as parseCliU64(). */
+double parseCliF64(const std::string &value, const char *key);
+
+/**
  * Parse a host thread-count flag value (`--jobs`, `--threads`):
- * strict decimal, rejects 0 / negatives / trailing junk with a fatal
- * diagnostic naming @p flag, and clamps requests beyond the hardware
+ * strict decimal, rejects 0 / negatives / trailing junk with a
+ * ParseError naming @p flag, and clamps requests beyond the hardware
  * width instead of oversubscribing.
  */
 uint32_t parseHostThreads(const std::string &value, const char *flag);
@@ -89,8 +106,9 @@ struct SimOptions
     uint32_t resolvedJobs() const;
 
     /**
-     * Parse argv. Unknown options are fatal (a simulator run with a
-     * misspelled parameter must not silently run the default).
+     * Parse argv. Unknown options throw ParseError (a simulator run
+     * with a misspelled parameter must not silently run the
+     * default).
      */
     static SimOptions parse(int argc, char **argv);
 

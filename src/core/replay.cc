@@ -1,7 +1,12 @@
 #include "core/replay.hh"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "core/json.hh"
 #include "sim/checkpoint.hh"
@@ -49,11 +54,13 @@ digestHex(uint64_t digest)
 }
 
 uint64_t
-digestFromHex(const std::string &hex)
+digestFromHex(const std::string &hex, ParseSurface surface)
 {
     if (hex.size() != 16)
-        texdist_fatal("bad digest '", hex,
-                      "': expected 16 hex digits");
+        throw ParseError(surface, ParseRule::Syntax,
+                         "bad digest '" + hex +
+                             "': expected 16 hex digits")
+            .field("digest");
     uint64_t v = 0;
     for (char c : hex) {
         v <<= 4;
@@ -62,8 +69,11 @@ digestFromHex(const std::string &hex)
         else if (c >= 'a' && c <= 'f')
             v |= uint64_t(c - 'a' + 10);
         else
-            texdist_fatal("bad digest '", hex,
-                          "': expected 16 hex digits");
+            throw ParseError(surface, ParseRule::Syntax,
+                             "bad digest '" + hex +
+                                 "': expected 16 lowercase hex "
+                                 "digits")
+                .field("digest");
     }
     return v;
 }
@@ -90,35 +100,78 @@ RunManifest::save(const std::string &path) const
     atomicWriteFile(path, root.dump());
 }
 
-RunManifest
-RunManifest::load(const std::string &path)
+namespace
 {
-    JsonValue root = JsonValue::parseFile(path);
+
+/** Semantic validation shared by load() and fromJsonText(). */
+RunManifest
+manifestFromJson(const JsonValue &root)
+{
     const std::string &format = root.at("format").asString();
     if (format != "texdist-run-manifest")
-        texdist_fatal(path, " is not a run manifest (format '",
-                      format, "')");
+        throw ParseError(ParseSurface::Json, ParseRule::Magic,
+                         "not a run manifest (format '" + format +
+                             "')")
+            .field("format");
     uint64_t version = root.at("version").asU64();
     if (version != 1)
-        texdist_fatal(path, ": unsupported manifest version ",
-                      version);
+        throw ParseError(ParseSurface::Json, ParseRule::Version,
+                         "unsupported manifest version " +
+                             std::to_string(version))
+            .field("version");
 
     RunManifest m;
     m.scene = root.at("scene").asString();
     m.config = root.at("config").asString();
     m.faultPlan = root.at("fault_plan").asString();
     m.faultSeed = digestFromHex(root.at("fault_seed").asString());
-    m.frames = uint32_t(root.at("frames").asU64());
+    uint64_t frames = root.at("frames").asU64();
+    if (frames == 0 || frames > (1ull << 32))
+        throw ParseError(ParseSurface::Json, ParseRule::Range,
+                         "implausible frame count " +
+                             std::to_string(frames))
+            .field("frames");
+    m.frames = uint32_t(frames);
     m.panDx = root.at("pan_dx").asNumber();
     m.panDy = root.at("pan_dy").asNumber();
     m.interrupted = root.at("interrupted").asBool();
     for (const JsonValue &entry : root.at("frame_digests").items())
         m.digests.push_back(digestFromHex(entry.asString()));
-    if (!m.interrupted && m.digests.size() != m.frames)
-        texdist_fatal(path, ": complete run with ",
-                      m.digests.size(), " digests for ", m.frames,
-                      " frames");
+    if (m.digests.size() > m.frames ||
+        (!m.interrupted && m.digests.size() != m.frames))
+        throw ParseError(ParseSurface::Json, ParseRule::Mismatch,
+                         (m.interrupted
+                              ? std::string("interrupted run with ")
+                              : std::string("complete run with ")) +
+                             std::to_string(m.digests.size()) +
+                             " digests for " +
+                             std::to_string(m.frames) + " frames")
+            .field("frame_digests");
     return m;
+}
+
+} // namespace
+
+RunManifest
+RunManifest::load(const std::string &path)
+{
+    JsonValue root = JsonValue::parseFile(path);
+    try {
+        return manifestFromJson(root);
+    } catch (ParseError &e) {
+        throw e.in(path);
+    }
+}
+
+RunManifest
+RunManifest::fromJsonText(const std::string &text,
+                          const std::string &what)
+{
+    try {
+        return manifestFromJson(JsonValue::parse(text));
+    } catch (ParseError &e) {
+        throw e.in(what);
+    }
 }
 
 void
@@ -147,6 +200,234 @@ frameCsvRow(CsvWriter &csv, uint32_t frame, const FrameResult &r,
     csv.value(std::to_string(uint64_t(r.failed)));
     csv.value(digestHex(digest));
     csv.endRow();
+}
+
+namespace
+{
+
+/** The exact header frameCsvHeader() writes, in column order. */
+constexpr const char *frameCsvColumns[] = {
+    "frame",         "cycles",
+    "pixels",        "texels_fetched",
+    "triangles",     "texel_fragment_ratio",
+    "imbalance_pct", "bus_util",
+    "faults_injected", "degraded",
+    "failed",        "digest",
+};
+constexpr size_t frameCsvColumnCount =
+    sizeof(frameCsvColumns) / sizeof(frameCsvColumns[0]);
+
+[[noreturn]] void
+csvFail(ParseRule rule, const std::string &msg, uint64_t offset,
+        int64_t row, const char *column)
+{
+    ParseError e(ParseSurface::Csv, rule, msg);
+    e.at(offset);
+    if (row >= 0)
+        e.record(row);
+    if (column)
+        e.field(column);
+    throw e;
+}
+
+/** Strict decimal u64 for one CSV cell. */
+uint64_t
+csvU64(const std::string &tok, uint64_t offset, int64_t row,
+       const char *column)
+{
+    if (tok.empty() ||
+        tok.find_first_not_of("0123456789") != std::string::npos)
+        csvFail(ParseRule::Syntax,
+                "expected a non-negative integer, got '" + tok + "'",
+                offset, row, column);
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (errno == ERANGE)
+        csvFail(ParseRule::Range, "value out of range: '" + tok + "'",
+                offset, row, column);
+    return uint64_t(v);
+}
+
+/** Strict finite double for one CSV cell. */
+double
+csvF64(const std::string &tok, uint64_t offset, int64_t row,
+       const char *column)
+{
+    if (tok.empty())
+        csvFail(ParseRule::Syntax, "expected a number, got ''",
+                offset, row, column);
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0')
+        csvFail(ParseRule::Syntax,
+                "expected a number, got '" + tok + "'", offset, row,
+                column);
+    if (errno == ERANGE || !std::isfinite(v))
+        csvFail(ParseRule::Range,
+                "value must be finite and in range: '" + tok + "'",
+                offset, row, column);
+    return v;
+}
+
+/** 0 or 1 for the boolean columns. */
+bool
+csvBool(const std::string &tok, uint64_t offset, int64_t row,
+        const char *column)
+{
+    if (tok == "0")
+        return false;
+    if (tok == "1")
+        return true;
+    csvFail(ParseRule::Range, "expected 0 or 1, got '" + tok + "'",
+            offset, row, column);
+}
+
+/** Split one line into cells, recording each cell's byte offset. */
+void
+splitCsvLine(const std::string &line, uint64_t lineOffset,
+             std::vector<std::string> &cells,
+             std::vector<uint64_t> &offsets)
+{
+    cells.clear();
+    offsets.clear();
+    size_t start = 0;
+    while (true) {
+        size_t comma = line.find(',', start);
+        offsets.push_back(lineOffset + start);
+        if (comma == std::string::npos) {
+            cells.push_back(line.substr(start));
+            return;
+        }
+        cells.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+std::vector<FrameCsvRow>
+parseFrameCsv(const std::string &text)
+{
+    std::vector<FrameCsvRow> rows;
+    std::vector<std::string> cells;
+    std::vector<uint64_t> offsets;
+    size_t pos = 0;
+    int64_t row = -1; // -1 while on the header line
+    bool sawHeader = false;
+    while (pos <= text.size()) {
+        if (pos == text.size()) {
+            if (!sawHeader)
+                csvFail(ParseRule::Truncated,
+                        "empty result CSV (missing header)", 0, -1,
+                        nullptr);
+            break;
+        }
+        size_t eol = text.find('\n', pos);
+        uint64_t lineOffset = pos;
+        std::string line =
+            text.substr(pos, eol == std::string::npos
+                                 ? std::string::npos
+                                 : eol - pos);
+        pos = eol == std::string::npos ? text.size() : eol + 1;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+
+        splitCsvLine(line, lineOffset, cells, offsets);
+        if (cells.size() != frameCsvColumnCount)
+            csvFail(ParseRule::Mismatch,
+                    "expected " +
+                        std::to_string(frameCsvColumnCount) +
+                        " columns, got " +
+                        std::to_string(cells.size()),
+                    lineOffset, row, nullptr);
+
+        if (!sawHeader) {
+            for (size_t c = 0; c < frameCsvColumnCount; ++c)
+                if (cells[c] != frameCsvColumns[c])
+                    csvFail(ParseRule::Magic,
+                            "bad header: expected column '" +
+                                std::string(frameCsvColumns[c]) +
+                                "', got '" + cells[c] + "'",
+                            offsets[c], -1, frameCsvColumns[c]);
+            sawHeader = true;
+            row = 0;
+            continue;
+        }
+
+        FrameCsvRow r;
+        uint64_t frame =
+            csvU64(cells[0], offsets[0], row, frameCsvColumns[0]);
+        if (frame > 0xffffffffull)
+            csvFail(ParseRule::Range,
+                    "frame number out of range: '" + cells[0] + "'",
+                    offsets[0], row, frameCsvColumns[0]);
+        r.frame = uint32_t(frame);
+        if (!rows.empty() && r.frame <= rows.back().frame)
+            csvFail(ParseRule::Mismatch,
+                    "frame numbers must be strictly increasing (" +
+                        std::to_string(rows.back().frame) +
+                        " then " + std::to_string(r.frame) + ")",
+                    offsets[0], row, frameCsvColumns[0]);
+        r.cycles =
+            csvU64(cells[1], offsets[1], row, frameCsvColumns[1]);
+        r.pixels =
+            csvU64(cells[2], offsets[2], row, frameCsvColumns[2]);
+        r.texelsFetched =
+            csvU64(cells[3], offsets[3], row, frameCsvColumns[3]);
+        r.triangles =
+            csvU64(cells[4], offsets[4], row, frameCsvColumns[4]);
+        r.texelFragmentRatio =
+            csvF64(cells[5], offsets[5], row, frameCsvColumns[5]);
+        r.imbalancePct =
+            csvF64(cells[6], offsets[6], row, frameCsvColumns[6]);
+        r.busUtil =
+            csvF64(cells[7], offsets[7], row, frameCsvColumns[7]);
+        r.faultsInjected =
+            csvU64(cells[8], offsets[8], row, frameCsvColumns[8]);
+        r.degraded =
+            csvBool(cells[9], offsets[9], row, frameCsvColumns[9]);
+        r.failed = csvBool(cells[10], offsets[10], row,
+                           frameCsvColumns[10]);
+        try {
+            r.digest = digestFromHex(cells[11], ParseSurface::Csv);
+        } catch (ParseError &e) {
+            throw e.at(offsets[11]).record(row);
+        }
+        rows.push_back(r);
+        ++row;
+    }
+    return rows;
+}
+
+} // namespace
+
+std::vector<FrameCsvRow>
+parseFrameCsvText(const std::string &text, const std::string &what)
+{
+    try {
+        return parseFrameCsv(text);
+    } catch (ParseError &e) {
+        throw e.in(what);
+    }
+}
+
+std::vector<FrameCsvRow>
+parseFrameCsvFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw ParseError(ParseSurface::Csv, ParseRule::Io,
+                         "cannot open result CSV")
+            .in(path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    if (!is)
+        throw ParseError(ParseSurface::Csv, ParseRule::Io,
+                         "error reading result CSV")
+            .in(path);
+    return parseFrameCsvText(ss.str(), path);
 }
 
 } // namespace texdist

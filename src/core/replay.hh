@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/csv.hh"
+#include "core/error.hh"
 #include "core/machine.hh"
 
 namespace texdist
@@ -50,8 +51,20 @@ struct RunManifest
     /** Write atomically (temp file + rename). */
     void save(const std::string &path) const;
 
-    /** Load and validate; fatal on malformed input. */
+    /**
+     * Load and validate; throws ParseError (surface: json, exit
+     * code 8) on malformed or inconsistent input, annotated with
+     * @p path.
+     */
     static RunManifest load(const std::string &path);
+
+    /**
+     * Parse and validate a manifest from in-memory JSON text;
+     * @p what labels diagnostics in place of a file path. This is
+     * the entry point the fuzz harness drives.
+     */
+    static RunManifest fromJsonText(const std::string &text,
+                                    const std::string &what);
 };
 
 /**
@@ -65,8 +78,12 @@ uint64_t digestFrame(const FrameResult &frame);
 /** Fixed-width lowercase hex rendering used in manifests. */
 std::string digestHex(uint64_t digest);
 
-/** Parse a digestHex() string; fatal on malformed input. */
-uint64_t digestFromHex(const std::string &hex);
+/**
+ * Parse a digestHex() string; throws ParseError on @p surface
+ * (digests appear in both JSON manifests and result CSVs).
+ */
+uint64_t digestFromHex(const std::string &hex,
+                       ParseSurface surface = ParseSurface::Json);
 
 /**
  * The per-frame result-CSV row format shared by the simulator driver
@@ -77,6 +94,42 @@ uint64_t digestFromHex(const std::string &hex);
 void frameCsvHeader(CsvWriter &csv);
 void frameCsvRow(CsvWriter &csv, uint32_t frame,
                  const FrameResult &result, uint64_t digest);
+
+/**
+ * One parsed row of a per-frame result CSV — the validated form of
+ * what frameCsvRow() emits.
+ */
+struct FrameCsvRow
+{
+    uint32_t frame = 0;
+    uint64_t cycles = 0;
+    uint64_t pixels = 0;
+    uint64_t texelsFetched = 0;
+    uint64_t triangles = 0;
+    double texelFragmentRatio = 0.0;
+    double imbalancePct = 0.0;
+    double busUtil = 0.0;
+    uint64_t faultsInjected = 0;
+    bool degraded = false;
+    bool failed = false;
+    uint64_t digest = 0;
+};
+
+/**
+ * Strict parser for the per-frame result CSV consumed on sweep
+ * resume: the header must match frameCsvHeader() exactly, every row
+ * needs all 12 columns with strictly-parsed numerics, a 16-hex-digit
+ * digest, and strictly increasing frame numbers. Malformed input
+ * throws ParseError (surface: csv, exit code 9) carrying the byte
+ * offset, row index and column name — a resume decision made from a
+ * half-understood CSV would silently drop or duplicate results.
+ * @p what labels diagnostics in place of a file path.
+ */
+std::vector<FrameCsvRow>
+parseFrameCsvText(const std::string &text, const std::string &what);
+
+/** parseFrameCsvText() over a file; Io ParseError when unreadable. */
+std::vector<FrameCsvRow> parseFrameCsvFile(const std::string &path);
 
 } // namespace texdist
 

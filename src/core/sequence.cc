@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/error.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -101,6 +102,9 @@ SequenceMachine::armFaults(Tick frame_start)
 FrameResult
 SequenceMachine::runFrame(const Scene &scene)
 {
+    if (restoreFailed)
+        texdist_panic("SequenceMachine::runFrame after a failed "
+                      "restore; the machine holds partial state");
     if (scene.screenWidth != dist->screenWidth() ||
         scene.screenHeight != dist->screenHeight())
         texdist_fatal("frame ", scene.name,
@@ -214,12 +218,22 @@ SequenceMachine::restore(CheckpointReader &r)
         texdist_panic("SequenceMachine::restore after frames ran");
     restored = true;
 
+    // A restore that throws partway has already overwritten some of
+    // the machine's state; poison the machine so a driver that
+    // swallows the error cannot run frames from the half-restored
+    // wreck. The flag clears only when the full restore succeeds.
+    restoreFailed = true;
+
     r.section("sequence");
     std::string config = r.str();
     if (config != cfg.describe())
-        texdist_fatal("checkpoint configuration mismatch in ",
-                      r.path(), ":\n  checkpoint: ", config,
-                      "\n  machine:    ", cfg.describe());
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "configuration mismatch:\n  checkpoint: " +
+                             config + "\n  machine:    " +
+                             cfg.describe())
+            .in(r.path())
+            .field("sequence");
     frameStart = r.u64();
     _framesRun = r.u32();
     RngState rng;
@@ -232,9 +246,14 @@ SequenceMachine::restore(CheckpointReader &r)
     r.section("snapshots");
     uint64_t count = r.u64();
     if (count != snapshots.size())
-        texdist_fatal("checkpoint processor count mismatch in ",
-                      r.path(), ": file has ", count,
-                      ", machine has ", snapshots.size());
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "processor count mismatch: file has " +
+                             std::to_string(count) +
+                             ", machine has " +
+                             std::to_string(snapshots.size()))
+            .in(r.path())
+            .field("snapshots");
     for (NodeSnapshot &snap : snapshots) {
         snap.pixels = r.u64();
         snap.triangles = r.u64();
@@ -250,6 +269,8 @@ SequenceMachine::restore(CheckpointReader &r)
     eq.restoreClock(frameStart);
     for (auto &node : nodes)
         node->unserialize(r);
+
+    restoreFailed = false;
 }
 
 SequenceResult

@@ -87,8 +87,11 @@ class SequenceMachine
 
     /**
      * Restore a checkpoint into a freshly constructed machine with
-     * an identical configuration and first frame; fatal on any
-     * mismatch. Must be called before the first runFrame().
+     * an identical configuration and first frame; throws ParseError
+     * (surface: checkpoint) on any mismatch or truncation. Must be
+     * called before the first runFrame(). If the restore throws, the
+     * machine is poisoned — it holds partial state, and runFrame()
+     * panics rather than simulate from it.
      */
     void restore(CheckpointReader &r);
 
@@ -136,6 +139,8 @@ class SequenceMachine
     Tick frameStart = 0;
     // texlint: allow(checkpoint) restore-once guard, meaningless in a file
     bool restored = false;
+    // texlint: allow(checkpoint) poison flag, meaningless in a file
+    bool restoreFailed = false;
 };
 
 /** Convenience: run a whole sequence. */

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "core/error.hh"
 #include "geom/rng.hh"
 #include "sim/logging.hh"
 
@@ -14,6 +15,15 @@ namespace texdist
 namespace
 {
 
+/** A CLI-surface ParseError pointing at the --fault spec. */
+[[noreturn]] void
+faultFail(const std::string &spec, ParseRule rule, std::string msg)
+{
+    throw ParseError(ParseSurface::Cli, rule,
+                     "fault spec '" + spec + "': " + std::move(msg))
+        .field("--fault");
+}
+
 /** Strict decimal u64: digits only, no sign, no overflow. */
 uint64_t
 parseFaultU64(const std::string &value, const char *what,
@@ -21,15 +31,17 @@ parseFaultU64(const std::string &value, const char *what,
 {
     if (value.empty() ||
         value.find_first_not_of("0123456789") != std::string::npos)
-        texdist_fatal("fault spec '", spec, "': ", what,
-                      " expects a non-negative integer, got '", value,
-                      "'");
+        faultFail(spec, ParseRule::Syntax,
+                  std::string(what) +
+                      " expects a non-negative integer, got '" +
+                      value + "'");
     errno = 0;
     char *end = nullptr;
     unsigned long long v = std::strtoull(value.c_str(), &end, 10);
     if (errno == ERANGE)
-        texdist_fatal("fault spec '", spec, "': ", what,
-                      " out of range: '", value, "'");
+        faultFail(spec, ParseRule::Range,
+                  std::string(what) + " out of range: '" + value +
+                      "'");
     return uint64_t(v);
 }
 
@@ -44,9 +56,10 @@ kindFromString(const std::string &name, const std::string &spec)
         return FaultKind::FifoFreeze;
     if (name == "kill-node")
         return FaultKind::KillNode;
-    texdist_fatal("fault spec '", spec, "': unknown fault kind '",
-                  name, "' (want slow-node, bus-stall, fifo-freeze "
-                  "or kill-node)");
+    faultFail(spec, ParseRule::Unknown,
+              "unknown fault kind '" + name +
+                  "' (want slow-node, bus-stall, fifo-freeze or "
+                  "kill-node)");
 }
 
 } // namespace
@@ -101,8 +114,9 @@ parseFaultSpec(const std::string &spec)
         else {
             uint64_t v = parseFaultU64(victim, "victim", spec);
             if (v >= faultRandomVictim)
-                texdist_fatal("fault spec '", spec,
-                              "': victim out of range: ", v);
+                faultFail(spec, ParseRule::Range,
+                          "victim out of range: " +
+                              std::to_string(v));
             out.victim = uint32_t(v);
         }
     }
@@ -115,8 +129,8 @@ parseFaultSpec(const std::string &spec)
     while (std::getline(fields, field, ',')) {
         size_t eq = field.find('=');
         if (eq == std::string::npos)
-            texdist_fatal("fault spec '", spec,
-                          "': expected key=value, got '", field, "'");
+            faultFail(spec, ParseRule::Syntax,
+                      "expected key=value, got '" + field + "'");
         std::string key = field.substr(0, eq);
         std::string value = field.substr(eq + 1);
         if (key == "at") {
@@ -124,25 +138,27 @@ parseFaultSpec(const std::string &spec)
         } else if (key == "for") {
             out.duration = parseFaultU64(value, "for", spec);
             if (out.duration == 0)
-                texdist_fatal("fault spec '", spec,
-                              "': for= must be positive (omit it "
-                              "for a permanent fault)");
+                faultFail(spec, ParseRule::Range,
+                          "for= must be positive (omit it for a "
+                          "permanent fault)");
         } else if (key == "x") {
             uint64_t x = parseFaultU64(value, "x", spec);
             if (x < 2 || x > 1024)
-                texdist_fatal("fault spec '", spec,
-                              "': x= must be in [2, 1024], got ", x);
+                faultFail(spec, ParseRule::Range,
+                          "x= must be in [2, 1024], got " +
+                              std::to_string(x));
             out.factor = uint32_t(x);
             saw_factor = true;
         } else {
-            texdist_fatal("fault spec '", spec, "': unknown key '",
-                          key, "' (want at, for or x)");
+            faultFail(spec, ParseRule::Unknown,
+                      "unknown key '" + key +
+                          "' (want at, for or x)");
         }
     }
 
     if (saw_factor && out.kind != FaultKind::SlowNode)
-        texdist_fatal("fault spec '", spec,
-                      "': x= only applies to slow-node");
+        faultFail(spec, ParseRule::Mismatch,
+                  "x= only applies to slow-node");
     return out;
 }
 
@@ -150,7 +166,7 @@ void
 FaultPlan::add(const std::string &spec)
 {
     if (spec.empty())
-        texdist_fatal("empty fault spec");
+        faultFail(spec, ParseRule::Syntax, "empty fault spec");
     std::istringstream parts(spec);
     std::string one;
     while (std::getline(parts, one, ';')) {
@@ -175,9 +191,14 @@ FaultPlan::resolve(uint32_t num_procs) const
             r.victim =
                 uint32_t(rng.uniformInt(0, int64_t(num_procs) - 1));
         else if (r.victim >= num_procs)
-            texdist_fatal("fault '", spec.describe(), "': victim ",
-                          r.victim, " out of range for ", num_procs,
-                          " processors");
+            throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                             "fault '" + spec.describe() +
+                                 "': victim " +
+                                 std::to_string(r.victim) +
+                                 " out of range for " +
+                                 std::to_string(num_procs) +
+                                 " processors")
+                .field("--fault");
         out.push_back(r);
     }
     return out;

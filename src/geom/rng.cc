@@ -55,7 +55,7 @@ double
 Rng::uniform()
 {
     // 53 random mantissa bits -> [0, 1).
-    return (next() >> 11) * 0x1.0p-53;
+    return double(next() >> 11) * 0x1.0p-53;
 }
 
 double

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/error.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -68,9 +69,13 @@ TextureBus::unserialize(CheckpointReader &r)
     r.section("bus");
     double bw = r.f64();
     if (bw != texelsPerCycle)
-        texdist_fatal("checkpoint bus bandwidth mismatch in ",
-                      r.path(), ": file has ", bw, ", machine has ",
-                      texelsPerCycle);
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "bus bandwidth mismatch: file has " +
+                             std::to_string(bw) + ", machine has " +
+                             std::to_string(texelsPerCycle))
+            .in(r.path())
+            .field("bus");
     freeTime = r.f64();
     stallFrom = r.f64();
     stallUntil = r.f64();

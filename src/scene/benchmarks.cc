@@ -110,16 +110,18 @@ buildGameScene(const BenchmarkSpec &spec, const GameKnobs &knobs,
                 1, int(std::ceil(w / layer.quadSize)));
             int ny = std::max(
                 1, int(std::ceil(band_h / layer.quadSize)));
-            float sx = float(w) / nx;
-            float sy = float(band_h) / ny;
+            float sx = float(w) / float(nx);
+            float sy = float(band_h) / float(ny);
             float y_top = float(h - band_h);
             Rng &rng = builder.rng();
             for (int j = 0; j < ny; ++j) {
                 for (int i = 0; i < nx; ++i) {
                     TextureId tex = pool[size_t(
                         rng.uniformInt(0, pool.size() - 1))];
-                    builder.addQuad(i * sx, y_top + j * sy,
-                                    (i + 1) * sx, y_top + (j + 1) * sy,
+                    builder.addQuad(float(i) * sx,
+                                    y_top + float(j) * sy,
+                                    float(i + 1) * sx,
+                                    y_top + float(j + 1) * sy,
                                     tex, layer.density);
                 }
             }

@@ -108,18 +108,21 @@ SceneBuilder::addBackgroundLayer(const std::vector<TextureId> &pool,
     if (pool.empty())
         texdist_fatal("background layer needs a non-empty pool");
 
-    int nx = std::max(1, int(std::ceil(scene.screenWidth / quad_w)));
-    int ny = std::max(1, int(std::ceil(scene.screenHeight / quad_h)));
-    float step_x = float(scene.screenWidth) / nx;
-    float step_y = float(scene.screenHeight) / ny;
+    int nx = std::max(
+        1, int(std::ceil(float(scene.screenWidth) / quad_w)));
+    int ny = std::max(
+        1, int(std::ceil(float(scene.screenHeight) / quad_h)));
+    float step_x = float(scene.screenWidth) / float(nx);
+    float step_y = float(scene.screenHeight) / float(ny);
 
     int added = 0;
     for (int j = 0; j < ny; ++j) {
         for (int i = 0; i < nx; ++i) {
             TextureId tex =
                 pool[size_t(_rng.uniformInt(0, pool.size() - 1))];
-            addQuad(i * step_x, j * step_y, (i + 1) * step_x,
-                    (j + 1) * step_y, tex, texel_density);
+            addQuad(float(i) * step_x, float(j) * step_y,
+                    float(i + 1) * step_x, float(j + 1) * step_y,
+                    tex, texel_density);
             added += 2;
         }
     }

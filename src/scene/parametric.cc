@@ -28,8 +28,8 @@ makePlane(int nx, int ny, float sx, float sy, float u_rep, float v_rep,
     mesh.tex = tex;
     for (int j = 0; j <= ny; ++j) {
         for (int i = 0; i <= nx; ++i) {
-            float fx = float(i) / nx;
-            float fy = float(j) / ny;
+            float fx = float(i) / float(nx);
+            float fy = float(j) / float(ny);
             MeshVertex v;
             v.pos = Vec3((fx - 0.5f) * sx, (fy - 0.5f) * sy, 0.0f);
             v.uv = Vec2(fx * u_rep, fy * v_rep);
@@ -52,10 +52,10 @@ makeSphere(int slices, int stacks, TextureId tex)
     Mesh mesh;
     mesh.tex = tex;
     for (int j = 0; j <= stacks; ++j) {
-        float v = float(j) / stacks;
+        float v = float(j) / float(stacks);
         float phi = v * pi; // 0 at north pole
         for (int i = 0; i <= slices; ++i) {
-            float u = float(i) / slices;
+            float u = float(i) / float(slices);
             float theta = u * 2.0f * pi;
             MeshVertex vert;
             vert.pos = Vec3(std::sin(phi) * std::cos(theta),
@@ -122,11 +122,11 @@ makePot(int slices, int stacks, TextureId tex)
     };
 
     for (int j = 0; j <= stacks; ++j) {
-        float t = float(j) / stacks;
+        float t = float(j) / float(stacks);
         float r = profile(t);
         float y = t * 1.4f - 0.7f;
         for (int i = 0; i <= slices; ++i) {
-            float u = float(i) / slices;
+            float u = float(i) / float(slices);
             float theta = u * 2.0f * pi;
             MeshVertex v;
             v.pos = Vec3(r * std::cos(theta), y, r * std::sin(theta));

@@ -68,9 +68,10 @@ measureScene(const Scene &scene)
     out.textureBytesTouched = out.uniqueTexels * texelBytes;
 
     double area = double(scene.screenArea());
-    out.depthComplexity = area > 0 ? out.pixelsRendered / area : 0.0;
+    out.depthComplexity =
+        area > 0 ? double(out.pixelsRendered) / area : 0.0;
     out.uniqueTexelPerScreenPixel =
-        area > 0 ? out.uniqueTexels / area : 0.0;
+        area > 0 ? double(out.uniqueTexels) / area : 0.0;
     out.uniqueTexelPerFragment =
         out.pixelsRendered
             ? double(out.uniqueTexels) / double(out.pixelsRendered)
@@ -91,9 +92,12 @@ measureScene(const Scene &scene)
         double mean =
             double(out.pixelsRendered) / double(sorted.size());
         uint64_t max = sorted.back();
-        uint64_t p95 = sorted[size_t(0.95 * (sorted.size() - 1))];
-        out.tileLoadMaxOverMean = mean > 0 ? max / mean : 0.0;
-        out.tileLoadP95OverMean = mean > 0 ? p95 / mean : 0.0;
+        uint64_t p95 =
+            sorted[size_t(0.95 * double(sorted.size() - 1))];
+        out.tileLoadMaxOverMean =
+            mean > 0 ? double(max) / mean : 0.0;
+        out.tileLoadP95OverMean =
+            mean > 0 ? double(p95) / mean : 0.0;
     }
 
     return out;
@@ -118,11 +122,12 @@ printSceneStatsRow(std::ostream &os, const SceneStats &s)
     os << std::left << std::setw(16) << s.name << std::right
        << std::setw(11) << screen.str() << std::setw(10)
        << std::fixed << std::setprecision(2)
-       << s.pixelsRendered / 1e6 << std::setw(7)
+       << double(s.pixelsRendered) / 1e6 << std::setw(7)
        << std::setprecision(1) << s.depthComplexity << std::setw(9)
        << s.numTriangles << std::setw(7) << s.numTextures
        << std::setw(9) << std::setprecision(2)
-       << s.textureBytesTouched / (1024.0 * 1024.0) << std::setw(10)
+       << double(s.textureBytesTouched) / (1024.0 * 1024.0)
+       << std::setw(10)
        << s.uniqueTexelPerScreenPixel << std::setw(10)
        << std::setprecision(0) << s.meanTrianglePixels << "\n";
 }

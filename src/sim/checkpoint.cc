@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
+#include "core/error.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -14,6 +16,20 @@ namespace
 {
 
 constexpr char checkpointMagic[4] = {'T', 'D', 'C', 'P'};
+
+/** Size of the fixed header (magic, version, length, CRC). */
+constexpr size_t checkpointHeaderSize = 20;
+
+[[noreturn]] void
+ckptFail(const std::string &path, ParseRule rule, std::string msg,
+         std::optional<uint64_t> offset = std::nullopt)
+{
+    ParseError e(ParseSurface::Checkpoint, rule, std::move(msg));
+    e.in(path);
+    if (offset)
+        e.at(*offset);
+    throw e;
+}
 
 const uint32_t *
 crcTable()
@@ -125,25 +141,31 @@ CheckpointWriter::u64vec(const std::vector<uint64_t> &v)
         u64(x);
 }
 
-void
-CheckpointWriter::writeFile(const std::string &path) const
+std::string
+CheckpointWriter::bytes() const
 {
-    std::string header(20, '\0');
+    std::string header(checkpointHeaderSize, '\0');
     std::memcpy(header.data(), checkpointMagic, 4);
     uint32_t version = checkpointVersion;
     uint64_t len = buf.size();
     uint32_t crc = crc32(buf.data(), buf.size());
     for (int i = 0; i < 4; ++i)
-        header[4 + i] = char(version >> (i * 8));
+        header[4 + size_t(i)] = char(version >> (i * 8));
     for (int i = 0; i < 8; ++i)
-        header[8 + i] = char(len >> (i * 8));
+        header[8 + size_t(i)] = char(len >> (i * 8));
     for (int i = 0; i < 4; ++i)
-        header[16 + i] = char(crc >> (i * 8));
+        header[16 + size_t(i)] = char(crc >> (i * 8));
 
     std::string contents = header;
     contents.append(reinterpret_cast<const char *>(buf.data()),
                     buf.size());
-    atomicWriteFile(path, contents);
+    return contents;
+}
+
+void
+CheckpointWriter::writeFile(const std::string &path) const
+{
+    atomicWriteFile(path, bytes());
 }
 
 CheckpointReader::CheckpointReader(const std::string &path)
@@ -151,19 +173,50 @@ CheckpointReader::CheckpointReader(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        texdist_fatal("cannot open checkpoint: ", path);
-    uint8_t header[20];
-    if (!is.read(reinterpret_cast<char *>(header), sizeof(header)))
-        texdist_fatal("checkpoint too short for header: ", path);
+        ckptFail(path, ParseRule::Io, "cannot open checkpoint");
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    if (!is)
+        ckptFail(path, ParseRule::Io, "error reading checkpoint");
+    load(ss.str());
+}
+
+CheckpointReader::CheckpointReader(const std::string &name,
+                                   std::string image)
+    : _path(name)
+{
+    load(std::move(image));
+}
+
+/**
+ * Validate the header and stage the payload. The declared payload
+ * length is checked against the actual image size *before* the
+ * payload is copied, so a corrupt length field can neither trigger
+ * a multi-gigabyte allocation (oversized) nor read past the end
+ * (truncated).
+ */
+void
+CheckpointReader::load(std::string image)
+{
+    if (image.size() < checkpointHeaderSize)
+        ckptFail(_path, ParseRule::Truncated,
+                 "too short for the 20-byte header (" +
+                     std::to_string(image.size()) + " bytes)",
+                 image.size());
+    const uint8_t *header =
+        reinterpret_cast<const uint8_t *>(image.data());
     if (std::memcmp(header, checkpointMagic, 4) != 0)
-        texdist_fatal("not a checkpoint (bad magic): ", path);
+        ckptFail(_path, ParseRule::Magic,
+                 "not a checkpoint (bad magic)", 0);
     uint32_t version = 0;
     for (int i = 0; i < 4; ++i)
         version |= uint32_t(header[4 + i]) << (i * 8);
     if (version != checkpointVersion)
-        texdist_fatal("checkpoint version mismatch in ", path,
-                      ": file has ", version, ", simulator expects ",
-                      checkpointVersion);
+        ckptFail(_path, ParseRule::Version,
+                 "file has version " + std::to_string(version) +
+                     ", simulator expects " +
+                     std::to_string(checkpointVersion),
+                 4);
     uint64_t len = 0;
     for (int i = 0; i < 8; ++i)
         len |= uint64_t(header[8 + i]) << (i * 8);
@@ -171,28 +224,45 @@ CheckpointReader::CheckpointReader(const std::string &path)
     for (int i = 0; i < 4; ++i)
         crc |= uint32_t(header[16 + i]) << (i * 8);
 
-    buf.resize(len);
-    if (len > 0 &&
-        !is.read(reinterpret_cast<char *>(buf.data()), len))
-        texdist_fatal("checkpoint truncated: ", path, " (expected ",
-                      len, " payload bytes)");
-    char extra;
-    if (is.read(&extra, 1))
-        texdist_fatal("checkpoint has trailing garbage: ", path);
+    uint64_t actual = image.size() - checkpointHeaderSize;
+    if (len > actual)
+        ckptFail(_path, ParseRule::Truncated,
+                 "declared payload of " + std::to_string(len) +
+                     " bytes, file holds only " +
+                     std::to_string(actual),
+                 8);
+    if (len < actual)
+        ckptFail(_path, ParseRule::Mismatch,
+                 "trailing garbage: declared payload of " +
+                     std::to_string(len) + " bytes, file holds " +
+                     std::to_string(actual),
+                 checkpointHeaderSize + len);
+
+    buf.assign(image.begin() +
+                   std::string::difference_type(checkpointHeaderSize),
+               image.end());
     uint32_t got = crc32(buf.data(), buf.size());
     if (got != crc)
-        texdist_fatal("checkpoint checksum mismatch: ", path,
-                      " (stored ", crc, ", computed ", got,
-                      ") — the file is corrupt");
+        ckptFail(_path, ParseRule::Checksum,
+                 "checksum mismatch (stored " + std::to_string(crc) +
+                     ", computed " + std::to_string(got) +
+                     ") — the file is corrupt",
+                 16);
 }
 
 const uint8_t *
-CheckpointReader::need(size_t n)
+CheckpointReader::need(size_t n, const char *what)
 {
     if (buf.size() - pos < n)
-        texdist_fatal("checkpoint read past end of payload: ", _path,
-                      " at offset ", pos, ", need ", n, " bytes of ",
-                      buf.size());
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Truncated,
+                         std::string("payload ends while reading ") +
+                             what + " (need " + std::to_string(n) +
+                             " bytes, " +
+                             std::to_string(buf.size() - pos) +
+                             " left)")
+            .in(_path)
+            .at(checkpointHeaderSize + pos);
     const uint8_t *p = buf.data() + pos;
     pos += n;
     return p;
@@ -201,22 +271,28 @@ CheckpointReader::need(size_t n)
 void
 CheckpointReader::section(const std::string &name)
 {
+    uint64_t at = checkpointHeaderSize + pos;
     std::string got = str();
     if (got != name)
-        texdist_fatal("checkpoint section mismatch in ", _path,
-                      ": expected '", name, "', found '", got, "'");
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "section mismatch: expected '" + name +
+                             "', found '" + got + "'")
+            .in(_path)
+            .at(at)
+            .field(name);
 }
 
 uint8_t
 CheckpointReader::u8()
 {
-    return *need(1);
+    return *need(1, "u8");
 }
 
 uint32_t
 CheckpointReader::u32()
 {
-    const uint8_t *p = need(4);
+    const uint8_t *p = need(4, "u32");
     uint32_t v = 0;
     for (int i = 0; i < 4; ++i)
         v |= uint32_t(p[i]) << (i * 8);
@@ -226,7 +302,7 @@ CheckpointReader::u32()
 uint64_t
 CheckpointReader::u64()
 {
-    const uint8_t *p = need(8);
+    const uint8_t *p = need(8, "u64");
     uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
         v |= uint64_t(p[i]) << (i * 8);
@@ -245,21 +321,33 @@ CheckpointReader::f64()
 std::string
 CheckpointReader::str()
 {
+    uint64_t at = checkpointHeaderSize + pos;
     uint64_t len = u64();
     if (buf.size() - pos < len)
-        texdist_fatal("checkpoint string overruns payload: ", _path,
-                      " at offset ", pos);
-    const uint8_t *p = need(len);
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Overrun,
+                         "string of " + std::to_string(len) +
+                             " bytes overruns the payload")
+            .in(_path)
+            .at(at);
+    const uint8_t *p = need(len, "string bytes");
     return std::string(reinterpret_cast<const char *>(p), len);
 }
 
 std::vector<uint64_t>
 CheckpointReader::u64vec()
 {
+    uint64_t at = checkpointHeaderSize + pos;
     uint64_t n = u64();
-    if (buf.size() - pos < n * 8)
-        texdist_fatal("checkpoint vector overruns payload: ", _path,
-                      " at offset ", pos);
+    // Divide instead of multiplying: n * 8 can wrap for a hostile
+    // count and sail past the bounds check.
+    if (n > (buf.size() - pos) / 8)
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Overrun,
+                         "vector of " + std::to_string(n) +
+                             " u64 values overruns the payload")
+            .in(_path)
+            .at(at);
     std::vector<uint64_t> v;
     v.reserve(n);
     for (uint64_t i = 0; i < n; ++i)

@@ -23,10 +23,14 @@
  * atomically renamed into place, so a crash mid-write never leaves a
  * truncated checkpoint behind.
  *
- * Corruption (bad magic, wrong version, truncated payload, CRC
- * mismatch, or a read past the end) is always texdist_fatal with a
- * located diagnostic — a restore from a damaged file must never
- * produce a silently wrong simulation.
+ * Corruption (bad magic, wrong version, truncated or oversized
+ * payload, CRC mismatch, or a read past the end) always throws a
+ * typed ParseError (surface: checkpoint, exit code 7) carrying the
+ * file name and byte offset — a restore from a damaged file must
+ * never produce a silently wrong simulation, and the declared
+ * payload length is validated against the actual file size before
+ * any allocation, so a hostile header cannot trigger a huge
+ * allocation either.
  */
 
 #ifndef TEXDIST_SIM_CHECKPOINT_HH
@@ -86,6 +90,9 @@ class CheckpointWriter
      */
     void writeFile(const std::string &path) const;
 
+    /** The complete file image (header + payload) as bytes. */
+    std::string bytes() const;
+
     /** Payload size so far (for tests and logs). */
     size_t payloadSize() const { return buf.size(); }
 
@@ -99,11 +106,18 @@ class CheckpointReader
   public:
     /**
      * Read and validate @p path: magic, version, payload length and
-     * CRC. Fatal on any mismatch.
+     * CRC. Throws ParseError on any mismatch.
      */
     explicit CheckpointReader(const std::string &path);
 
-    /** Consume a section tag; fatal unless it matches @p name. */
+    /**
+     * Validate an in-memory checkpoint image (header + payload);
+     * @p name labels diagnostics in place of a file path. This is
+     * the constructor the fuzz harness drives.
+     */
+    CheckpointReader(const std::string &name, std::string image);
+
+    /** Consume a section tag; throws unless it matches @p name. */
     void section(const std::string &name);
 
     uint8_t u8();
@@ -119,7 +133,8 @@ class CheckpointReader
     const std::string &path() const { return _path; }
 
   private:
-    const uint8_t *need(size_t n);
+    void load(std::string image);
+    const uint8_t *need(size_t n, const char *what);
 
     std::string _path;
     std::vector<uint8_t> buf;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iomanip>
 
+#include "core/error.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -98,8 +99,12 @@ Histogram::unserialize(CheckpointReader &r)
     double width = r.f64();
     std::vector<uint64_t> b = r.u64vec();
     if (width != bucketWidth || b.size() != buckets.size())
-        texdist_fatal("checkpoint histogram shape mismatch in ",
-                      r.path());
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "histogram shape mismatch between "
+                         "checkpoint and machine")
+            .in(r.path())
+            .field("histogram");
     buckets = std::move(b);
     overflow = r.u64();
     n = r.u64();

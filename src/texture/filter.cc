@@ -19,8 +19,8 @@ levelTaps(const Texture &tex, uint32_t level, float u, float v,
           TexelTaps &out, int base, float level_weight)
 {
     const MipLevel &lvl = tex.level(level);
-    float tu = u * lvl.width - 0.5f;
-    float tv = v * lvl.height - 0.5f;
+    float tu = u * float(lvl.width) - 0.5f;
+    float tv = v * float(lvl.height) - 0.5f;
     int32_t x_lo = int32_t(std::floor(tu));
     int32_t y_lo = int32_t(std::floor(tv));
     float fx = tu - float(x_lo);

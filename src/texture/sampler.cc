@@ -11,10 +11,10 @@ computeLod(float dudx, float dvdx, float dudy, float dvdy,
            uint32_t tex_w, uint32_t tex_h)
 {
     // Scale normalized-coordinate derivatives to texel units.
-    float sx = dudx * tex_w;
-    float tx = dvdx * tex_h;
-    float sy = dudy * tex_w;
-    float ty = dvdy * tex_h;
+    float sx = dudx * float(tex_w);
+    float tx = dvdx * float(tex_h);
+    float sy = dudy * float(tex_w);
+    float ty = dvdy * float(tex_h);
 
     float rho2 = std::max(sx * sx + tx * tx, sy * sy + ty * ty);
     if (rho2 <= 0.0f)
@@ -40,8 +40,8 @@ quadInto(const Texture &tex, uint32_t level, float u, float v,
 
     // Texel-space sample point; the -0.5 centres the 2x2 footprint
     // on the sample as in the OpenGL specification.
-    float tu = u * lvl.width - 0.5f;
-    float tv = v * lvl.height - 0.5f;
+    float tu = u * float(lvl.width) - 0.5f;
+    float tv = v * float(lvl.height) - 0.5f;
 
     int32_t x_lo = int32_t(std::floor(tu));
     int32_t y_lo = int32_t(std::floor(tv));

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "core/error.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -34,9 +35,11 @@ putString(std::ostream &os, const std::string &s)
 
 /**
  * Trace deserializer that knows where it is: every diagnostic
- * carries the byte offset and — once the triangle stream starts —
- * the record index, so a corrupt trace points at the bad record
- * instead of sailing into the rasterizer as garbage.
+ * carries the byte offset, the field name and — once the triangle
+ * stream starts — the record index, so a corrupt trace points at
+ * the bad field of the bad record instead of sailing into the
+ * rasterizer as garbage. All failures are typed ParseErrors
+ * (surface: trace, exit code 6).
  */
 class TraceReader
 {
@@ -46,6 +49,17 @@ class TraceReader
     /** Record index for diagnostics; -1 outside the stream. */
     void atRecord(int64_t index) { record = index; }
 
+    [[noreturn]] void
+    fail(ParseRule rule, const std::string &msg,
+         const char *what) const
+    {
+        ParseError e(ParseSurface::Trace, rule, msg);
+        e.at(offset).field(what);
+        if (record >= 0)
+            e.record(record);
+        throw e;
+    }
+
     template <typename T>
     T
     get(const char *what)
@@ -54,8 +68,8 @@ class TraceReader
         T value{};
         is.read(reinterpret_cast<char *>(&value), sizeof(T));
         if (!is)
-            texdist_fatal("truncated trace: reading ", what,
-                          context());
+            fail(ParseRule::Truncated,
+                 "trace ends inside this field", what);
         offset += sizeof(T);
         return value;
     }
@@ -65,8 +79,12 @@ class TraceReader
     getFinite(const char *what)
     {
         float v = get<float>(what);
-        if (!std::isfinite(v))
-            texdist_fatal("non-finite ", what, " in trace", context());
+        if (!std::isfinite(v)) {
+            offset -= sizeof(float); // point at the bad value
+            fail(ParseRule::NonFinite,
+                 std::isnan(v) ? "value is NaN" : "value is infinite",
+                 what);
+        }
         return v;
     }
 
@@ -75,32 +93,48 @@ class TraceReader
     {
         uint32_t len = get<uint32_t>(what);
         if (len > (1u << 20))
-            texdist_fatal("implausible ", what, " length in trace: ",
-                          len, context());
+            fail(ParseRule::Limit,
+                 "implausible length " + std::to_string(len), what);
         std::string s(len, '\0');
         is.read(s.data(), std::streamsize(len));
         if (!is)
-            texdist_fatal("truncated trace: reading ", what,
-                          context());
+            fail(ParseRule::Truncated,
+                 "trace ends inside this field", what);
         offset += len;
         return s;
     }
 
-    /** " at offset N[, triangle record R]" for diagnostics. */
-    std::string
-    context() const
-    {
-        std::string out = " at offset " + std::to_string(offset);
-        if (record >= 0)
-            out += ", triangle record " + std::to_string(record);
-        return out;
-    }
+    /** Bytes consumed so far. */
+    uint64_t consumed() const { return offset; }
 
   private:
     std::istream &is;
     uint64_t offset = 0;
     int64_t record = -1;
 };
+
+/**
+ * Bytes remaining in @p is beyond the current position, or -1 when
+ * the stream is not seekable. Used to cross-check the declared
+ * record count against the actual file size before replaying the
+ * triangle stream.
+ */
+int64_t
+streamBytesRemaining(std::istream &is)
+{
+    std::streampos cur = is.tellg();
+    if (cur == std::streampos(-1))
+        return -1;
+    is.seekg(0, std::ios::end);
+    std::streampos end = is.tellg();
+    is.seekg(cur);
+    if (end == std::streampos(-1) || !is)
+        return -1;
+    return int64_t(end - cur);
+}
+
+/** On-disk size of one triangle record (texture id + 3 vertices). */
+constexpr uint64_t traceRecordBytes = 4 + 3 * 5 * 4;
 
 } // namespace
 
@@ -141,10 +175,14 @@ readTrace(std::istream &is)
 {
     TraceReader in(is);
     if (in.get<uint32_t>("magic") != traceMagic)
-        texdist_fatal("not a texdist trace (bad magic)");
+        in.fail(ParseRule::Magic, "not a texdist trace", "magic");
     uint32_t version = in.get<uint32_t>("version");
     if (version != traceVersion)
-        texdist_fatal("unsupported trace version ", version);
+        in.fail(ParseRule::Version,
+                "file has version " + std::to_string(version) +
+                    ", reader expects " +
+                    std::to_string(traceVersion),
+                "version");
 
     Scene scene;
     scene.name = in.getString("scene name");
@@ -152,14 +190,18 @@ readTrace(std::istream &is)
     scene.screenHeight = in.get<uint32_t>("screen height");
     if (scene.screenWidth == 0 || scene.screenHeight == 0 ||
         scene.screenWidth > 16384 || scene.screenHeight > 16384)
-        texdist_fatal("implausible screen size in trace: ",
-                      scene.screenWidth, "x", scene.screenHeight,
-                      in.context());
+        in.fail(ParseRule::Range,
+                "implausible screen size " +
+                    std::to_string(scene.screenWidth) + "x" +
+                    std::to_string(scene.screenHeight),
+                "screen size");
 
     uint32_t num_textures = in.get<uint32_t>("texture count");
     if (num_textures > (1u << 20))
-        texdist_fatal("implausible texture count in trace: ",
-                      num_textures, in.context());
+        in.fail(ParseRule::Limit,
+                "implausible texture count " +
+                    std::to_string(num_textures),
+                "texture count");
     for (uint32_t i = 0; i < num_textures; ++i) {
         uint32_t w = in.get<uint32_t>("texture width");
         uint32_t h = in.get<uint32_t>("texture height");
@@ -167,13 +209,17 @@ readTrace(std::istream &is)
         uint8_t layout = in.get<uint8_t>("texture layout");
         if (!isPow2(w) || !isPow2(h) || w > (1u << 16) ||
             h > (1u << 16))
-            texdist_fatal("bad texture dimensions in trace: ", w,
-                          "x", h, " (texture ", i, ")",
-                          in.context());
+            in.fail(ParseRule::Range,
+                    "texture " + std::to_string(i) +
+                        " has bad dimensions " + std::to_string(w) +
+                        "x" + std::to_string(h) +
+                        " (must be powers of two <= 65536)",
+                    "texture dimensions");
         if (layout > 1)
-            texdist_fatal("bad texture layout in trace: ",
-                          int(layout), " (texture ", i, ")",
-                          in.context());
+            in.fail(ParseRule::Range,
+                    "texture " + std::to_string(i) +
+                        " has bad layout " + std::to_string(layout),
+                    "texture layout");
         scene.textures.create(w, h,
                               wrap ? WrapMode::Repeat
                                    : WrapMode::Clamp,
@@ -183,8 +229,28 @@ readTrace(std::istream &is)
 
     uint64_t num_triangles = in.get<uint64_t>("triangle count");
     if (num_triangles > (1ull << 32))
-        texdist_fatal("implausible triangle count in trace: ",
-                      num_triangles, in.context());
+        in.fail(ParseRule::Limit,
+                "implausible triangle count " +
+                    std::to_string(num_triangles),
+                "triangle count");
+
+    // Cross-check the declared record count against the bytes that
+    // are actually present (seekable streams only): a wrong count is
+    // a mismatch diagnosed up front, not a truncation discovered
+    // mid-stream or trailing garbage silently ignored.
+    int64_t remaining = streamBytesRemaining(is);
+    if (remaining >= 0 &&
+        uint64_t(remaining) != num_triangles * traceRecordBytes) {
+        uint64_t expect = num_triangles * traceRecordBytes;
+        in.fail(uint64_t(remaining) < expect ? ParseRule::Truncated
+                                             : ParseRule::Mismatch,
+                "declared " + std::to_string(num_triangles) +
+                    " triangle records need " +
+                    std::to_string(expect) + " bytes, file has " +
+                    std::to_string(uint64_t(remaining)),
+                "triangle count");
+    }
+
     // Cap the up-front reservation: a corrupt count must not turn
     // into a multi-gigabyte allocation before the stream runs dry.
     scene.triangles.reserve(
@@ -194,8 +260,11 @@ readTrace(std::istream &is)
         TexTriangle tri;
         tri.tex = in.get<uint32_t>("texture id");
         if (tri.tex >= num_textures)
-            texdist_fatal("triangle references texture ", tri.tex,
-                          " of ", num_textures, in.context());
+            in.fail(ParseRule::Range,
+                    "references texture " + std::to_string(tri.tex) +
+                        " but the trace declares only " +
+                        std::to_string(num_textures),
+                    "texture id");
         for (TexVertex &v : tri.v) {
             v.x = in.getFinite("vertex x");
             v.y = in.getFinite("vertex y");
@@ -224,8 +293,14 @@ readTraceFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        texdist_fatal("cannot open trace file: ", path);
-    return readTrace(is);
+        throw ParseError(ParseSurface::Trace, ParseRule::Io,
+                         "cannot open trace file")
+            .in(path);
+    try {
+        return readTrace(is);
+    } catch (ParseError &e) {
+        throw e.in(path);
+    }
 }
 
 void

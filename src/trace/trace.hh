@@ -36,12 +36,18 @@ void writeTrace(const Scene &scene, std::ostream &os);
 void writeTraceFile(const Scene &scene, const std::string &path);
 
 /**
- * Reconstruct a scene from a binary trace.
- * Fatal on malformed input.
+ * Reconstruct a scene from a binary trace. Malformed input throws a
+ * typed ParseError (surface: trace, exit code 6) carrying the byte
+ * offset, field name and — inside the triangle stream — the record
+ * index. For seekable streams the declared triangle count is
+ * cross-checked against the bytes actually present before replay.
  */
 Scene readTrace(std::istream &is);
 
-/** Read a binary trace file; fatal on I/O error. */
+/**
+ * Read a binary trace file. Throws ParseError on open failure or
+ * malformed input, annotated with @p path.
+ */
 Scene readTraceFile(const std::string &path);
 
 /**

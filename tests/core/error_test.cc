@@ -1,0 +1,114 @@
+/** @file Tests for the typed parse-error taxonomy. */
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+
+namespace texdist
+{
+namespace
+{
+
+TEST(ParseErrorTaxonomy, ExitCodeContract)
+{
+    // The documented process-wide contract: one code per surface,
+    // all distinct, CLI sharing the classic usage code 1.
+    EXPECT_EQ(parseErrorExitCode(ParseSurface::Cli), 1);
+    EXPECT_EQ(parseErrorExitCode(ParseSurface::Trace), 6);
+    EXPECT_EQ(parseErrorExitCode(ParseSurface::Checkpoint), 7);
+    EXPECT_EQ(parseErrorExitCode(ParseSurface::Json), 8);
+    EXPECT_EQ(parseErrorExitCode(ParseSurface::Csv), 9);
+
+    ParseError e(ParseSurface::Csv, ParseRule::Syntax, "x");
+    EXPECT_EQ(e.exitCode(), 9);
+}
+
+TEST(ParseErrorTaxonomy, DescribeCarriesEveryAnnotation)
+{
+    ParseError e =
+        ParseError(ParseSurface::Trace, ParseRule::NonFinite,
+                   "value is NaN")
+            .in("scene.trace")
+            .at(128)
+            .record(17)
+            .field("vertex u");
+    EXPECT_EQ(e.describe(),
+              "trace parse error in scene.trace at byte 128, "
+              "record 17, field 'vertex u': value is NaN "
+              "[rule: non-finite]");
+    // what() mirrors describe() so unguarded paths still print the
+    // full diagnostic.
+    EXPECT_STREQ(e.what(), e.describe().c_str());
+}
+
+TEST(ParseErrorTaxonomy, AnnotationsAreOptional)
+{
+    ParseError e(ParseSurface::Json, ParseRule::Syntax,
+                 "bad token");
+    EXPECT_EQ(e.describe(),
+              "json parse error: bad token [rule: syntax]");
+    EXPECT_FALSE(e.offset().has_value());
+    EXPECT_FALSE(e.recordIndex().has_value());
+    EXPECT_TRUE(e.file().empty());
+    EXPECT_TRUE(e.fieldName().empty());
+}
+
+TEST(ParseErrorTaxonomy, FirstFileAnnotationWins)
+{
+    // The innermost frame knows the most precise name; outer
+    // re-annotation (readTraceFile, manifest loaders) must not
+    // clobber it.
+    ParseError e(ParseSurface::Checkpoint, ParseRule::Checksum,
+                 "bad crc");
+    e.in("inner.ckpt");
+    e.in("outer.ckpt");
+    EXPECT_EQ(e.file(), "inner.ckpt");
+}
+
+TEST(ParseErrorTaxonomy, RecordZeroIsPrinted)
+{
+    // Record 0 is a real location (the first record), not "unset".
+    ParseError e = ParseError(ParseSurface::Csv, ParseRule::Range,
+                              "bad value")
+                       .record(0);
+    EXPECT_NE(e.describe().find("record 0"), std::string::npos)
+        << e.describe();
+}
+
+TEST(ParseErrorTaxonomy, TryParseCapturesFailure)
+{
+    auto bad = tryParse([]() -> int {
+        throw ParseError(ParseSurface::Csv, ParseRule::Range,
+                         "nope");
+    });
+    ASSERT_FALSE(bad.ok());
+    EXPECT_FALSE(bool(bad));
+    EXPECT_EQ(bad.error().surface(), ParseSurface::Csv);
+
+    auto good = tryParse([] { return 42; });
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+}
+
+TEST(ParseErrorTaxonomy, TryParseLetsOtherExceptionsPropagate)
+{
+    // tryParse captures only ParseError: a logic_error is a bug in
+    // the simulator, not malformed input, and must not be absorbed.
+    EXPECT_THROW((void)tryParse([]() -> int {
+                     throw std::logic_error("bug");
+                 }),
+                 std::logic_error);
+}
+
+TEST(ParseErrorTaxonomy, GuardReturnsDocumentedExitCode)
+{
+    int code = guardParseErrors([]() -> int {
+        throw ParseError(ParseSurface::Json, ParseRule::Limit,
+                         "too deep");
+    });
+    EXPECT_EQ(code, 8);
+    EXPECT_EQ(guardParseErrors([] { return 0; }), 0);
+}
+
+} // namespace
+} // namespace texdist

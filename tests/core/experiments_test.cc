@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/error.hh"
 #include "core/experiments.hh"
 #include "scene/benchmarks.hh"
 #include "scene/builder.hh"
@@ -12,6 +13,28 @@ namespace texdist
 {
 namespace
 {
+
+/**
+ * @p fn must throw a CLI-surface ParseError (exit code 1) whose
+ * diagnostic contains every needle.
+ */
+template <typename Fn>
+void
+expectCliError(Fn &&fn, std::initializer_list<const char *> needles)
+{
+    try {
+        (void)fn();
+        ADD_FAILURE() << "bad input accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Cli) << e.describe();
+        EXPECT_EQ(e.exitCode(), 1);
+        for (const char *needle : needles)
+            EXPECT_NE(e.describe().find(needle), std::string::npos)
+                << "diagnostic: " << e.describe()
+                << "\n  missing: " << needle;
+    }
+}
+
 
 TEST(PixelWork, SumsToSceneFragments)
 {
@@ -154,11 +177,11 @@ TEST(BenchOptions, ParseFlags)
         0.75);
 }
 
-TEST(BenchOptionsDeath, RejectsBadScale)
+TEST(BenchOptionsError, RejectsBadScale)
 {
     const char *argv[] = {"prog", "--scale=0"};
-    EXPECT_EXIT(BenchOptions::parse(2, const_cast<char **>(argv)),
-                ::testing::ExitedWithCode(1), "out of range");
+    expectCliError([&] { return BenchOptions::parse(2, const_cast<char **>(argv)); },
+                   {"out of range"});
 }
 
 TEST(BenchOptions, ThreadsFlagParsesAndClamps)
@@ -179,14 +202,14 @@ TEST(BenchOptions, ThreadsFlagParsesAndClamps)
         1u);
 }
 
-TEST(BenchOptionsDeath, RejectsBadThreads)
+TEST(BenchOptionsError, RejectsBadThreads)
 {
     const char *argv[] = {"prog", "--threads=0"};
-    EXPECT_EXIT(BenchOptions::parse(2, const_cast<char **>(argv)),
-                ::testing::ExitedWithCode(1), "positive");
+    expectCliError([&] { return BenchOptions::parse(2, const_cast<char **>(argv)); },
+                   {"positive"});
     const char *argv2[] = {"prog", "--threads=two"};
-    EXPECT_EXIT(BenchOptions::parse(2, const_cast<char **>(argv2)),
-                ::testing::ExitedWithCode(1), "integer");
+    expectCliError([&] { return BenchOptions::parse(2, const_cast<char **>(argv2)); },
+                   {"integer"});
 }
 
 TEST(FrameLab, BatchMatchesSerialRuns)

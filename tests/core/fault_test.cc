@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/error.hh"
 #include "core/experiments.hh"
 #include "core/machine.hh"
 #include "scene/builder.hh"
@@ -12,6 +13,28 @@ namespace texdist
 {
 namespace
 {
+
+/**
+ * @p fn must throw a CLI-surface ParseError (exit code 1) whose
+ * diagnostic contains every needle.
+ */
+template <typename Fn>
+void
+expectCliError(Fn &&fn, std::initializer_list<const char *> needles)
+{
+    try {
+        (void)fn();
+        ADD_FAILURE() << "bad input accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Cli) << e.describe();
+        EXPECT_EQ(e.exitCode(), 1);
+        for (const char *needle : needles)
+            EXPECT_NE(e.describe().find(needle), std::string::npos)
+                << "diagnostic: " << e.describe()
+                << "\n  missing: " << needle;
+    }
+}
+
 
 Scene
 quadScene(uint32_t screen, float x0, float y0, float x1, float y1)
@@ -107,31 +130,30 @@ TEST(FaultPlan, RandVictimResolvesDeterministically)
     EXPECT_EQ(a[0].victim, b[0].victim);
 }
 
-TEST(FaultPlanDeath, MalformedSpecsFatal)
+TEST(FaultPlanError, MalformedSpecsFatal)
 {
-    EXPECT_EXIT(parseFaultSpec("melt-node:1"),
-                ::testing::ExitedWithCode(1), "unknown fault kind");
-    EXPECT_EXIT(parseFaultSpec("kill-node:1,x=4"),
-                ::testing::ExitedWithCode(1),
-                "only applies to slow-node");
-    EXPECT_EXIT(parseFaultSpec("slow-node:1,x=1"),
-                ::testing::ExitedWithCode(1), "\\[2, 1024\\]");
-    EXPECT_EXIT(parseFaultSpec("slow-node:1,for=0"),
-                ::testing::ExitedWithCode(1), "positive");
-    EXPECT_EXIT(parseFaultSpec("slow-node:1,badkey=3"),
-                ::testing::ExitedWithCode(1), "unknown key");
-    EXPECT_EXIT(parseFaultSpec("slow-node:banana"),
-                ::testing::ExitedWithCode(1), "integer");
-    EXPECT_EXIT(FaultPlan{}.add(""), ::testing::ExitedWithCode(1),
-                "empty fault spec");
+    expectCliError([&] { return parseFaultSpec("melt-node:1"); },
+                   {"unknown fault kind"});
+    expectCliError([&] { return parseFaultSpec("kill-node:1,x=4"); },
+                   {"only applies to slow-node"});
+    expectCliError([&] { return parseFaultSpec("slow-node:1,x=1"); },
+                   {"[2, 1024]"});
+    expectCliError([&] { return parseFaultSpec("slow-node:1,for=0"); },
+                   {"positive"});
+    expectCliError([&] { return parseFaultSpec("slow-node:1,badkey=3"); },
+                   {"unknown key"});
+    expectCliError([&] { return parseFaultSpec("slow-node:banana"); },
+                   {"integer"});
+    expectCliError([&] { return FaultPlan{}.add(""); },
+                   {"empty fault spec"});
 }
 
-TEST(FaultPlanDeath, VictimOutOfRangeFatal)
+TEST(FaultPlanError, VictimOutOfRangeFatal)
 {
     FaultPlan plan;
     plan.add("kill-node:16");
-    EXPECT_EXIT(plan.resolve(16), ::testing::ExitedWithCode(1),
-                "out of range");
+    expectCliError([&] { return plan.resolve(16); },
+                   {"out of range"});
 }
 
 // --- slow-node -----------------------------------------------------

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Edge-case tests for the hardened JSON reader: every class of
+ * hostile document — deep nesting, duplicate keys, invalid UTF-8 or
+ * escapes, numeric overflow, truncation — must throw a typed
+ * ParseError (surface: json, exit code 8), never crash, loop or
+ * yield a half-parsed value.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+#include "core/json.hh"
+
+namespace texdist
+{
+namespace
+{
+
+/**
+ * Parsing @p text must fail with a json ParseError of @p rule whose
+ * diagnostic contains @p needle. Returns the error for follow-up
+ * location assertions.
+ */
+ParseError
+expectJsonError(const std::string &text, ParseRule rule,
+                const std::string &needle)
+{
+    try {
+        (void)JsonValue::parse(text);
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Json) << e.describe();
+        EXPECT_EQ(e.exitCode(), 8);
+        EXPECT_EQ(e.rule(), rule) << e.describe();
+        EXPECT_NE(e.describe().find(needle), std::string::npos)
+            << "diagnostic: " << e.describe()
+            << "\n  missing: " << needle;
+        return e;
+    }
+    ADD_FAILURE() << "document accepted; wanted rule "
+                  << to_string(rule) << " (" << needle << ")";
+    return ParseError(ParseSurface::Json, rule, "unreached");
+}
+
+TEST(Json, RoundTripsAManifestShapedDocument)
+{
+    JsonValue root = JsonValue::parse(
+        R"({"format": "x", "version": 1, "frames": [1, 2.5, -3],)"
+        R"( "ok": true, "none": null, "name": "wall A"})");
+    EXPECT_EQ(root.at("format").asString(), "x");
+    EXPECT_EQ(root.at("version").asU64(), 1u);
+    EXPECT_EQ(root.at("frames").items().size(), 3u);
+    EXPECT_DOUBLE_EQ(root.at("frames").items()[1].asNumber(), 2.5);
+    EXPECT_TRUE(root.at("ok").asBool());
+    EXPECT_EQ(root.at("name").asString(), "wall A");
+    // dump() -> parse() is the identity for what we write.
+    JsonValue again = JsonValue::parse(root.dump());
+    EXPECT_EQ(again.dump(), root.dump());
+}
+
+TEST(JsonError, NestingDeeperThanTheCapIsRejected)
+{
+    // 65 unclosed arrays: one past the documented 64-level cap. The
+    // recursive-descent parser must refuse before the stack does.
+    std::string deep(65, '[');
+    expectJsonError(deep, ParseRule::Limit,
+                    "nesting deeper than 64 levels");
+
+    // Exactly at the cap (64 levels, properly closed) still parses.
+    std::string ok = std::string(64, '[') + std::string(64, ']');
+    EXPECT_EQ(JsonValue::parse(ok).kind(),
+              JsonValue::Kind::Array);
+
+    // Objects count against the same budget.
+    std::string objs;
+    for (int i = 0; i < 65; ++i)
+        objs += "{\"k\":";
+    expectJsonError(objs, ParseRule::Limit, "nesting deeper");
+}
+
+TEST(JsonError, DuplicateKeysAreRejected)
+{
+    // Last-wins or first-wins would let two tools read different
+    // configs from one file; neither is acceptable.
+    ParseError e = expectJsonError(R"({"a": 1, "a": 2})",
+                                   ParseRule::Duplicate,
+                                   "duplicate object key 'a'");
+    // The offset points at the second key, where the violation is.
+    ASSERT_TRUE(e.offset().has_value());
+    EXPECT_EQ(*e.offset(), 9u);
+}
+
+TEST(JsonError, InvalidUtf8IsRejected)
+{
+    // A lone continuation byte inside a string.
+    expectJsonError(std::string("{\"k\": \"a\xbf\"}"),
+                    ParseRule::Encoding, "");
+    // An overlong/truncated multi-byte sequence.
+    expectJsonError(std::string("{\"k\": \"\xc3\"}"),
+                    ParseRule::Encoding, "");
+}
+
+TEST(JsonError, BadEscapesAreRejected)
+{
+    expectJsonError(R"({"k": "\q"})", ParseRule::Encoding,
+                    "unknown escape");
+    // \uXXXX with a non-hex digit.
+    expectJsonError(R"({"k": "\u12zz"})", ParseRule::Encoding, "");
+    // String (and its escape) cut off by end of input.
+    expectJsonError(R"({"k": "\)", ParseRule::Truncated, "");
+}
+
+TEST(JsonError, NumericOverflowIsRejected)
+{
+    expectJsonError("[1e999]", ParseRule::Range,
+                    "overflows a double");
+    expectJsonError("[-1e999]", ParseRule::Range,
+                    "overflows a double");
+    expectJsonError("[1ee5]", ParseRule::Syntax, "bad number");
+}
+
+TEST(JsonError, TruncatedDocumentsAreRejected)
+{
+    expectJsonError("{", ParseRule::Truncated,
+                    "unexpected end of input");
+    expectJsonError(R"({"k")", ParseRule::Truncated, "");
+    expectJsonError(R"("never closed)", ParseRule::Truncated,
+                    "unterminated string");
+    expectJsonError("", ParseRule::Truncated, "");
+}
+
+TEST(JsonError, TrailingGarbageIsRejected)
+{
+    expectJsonError("{} {}", ParseRule::Syntax,
+                    "trailing characters");
+}
+
+TEST(JsonError, DiagnosticsCarryLineAndColumn)
+{
+    ParseError e = expectJsonError("{\n  \"a\": 1,\n  \"a\": 2\n}",
+                                   ParseRule::Duplicate,
+                                   "line 3, column 3");
+    ASSERT_TRUE(e.offset().has_value());
+}
+
+TEST(JsonError, TypeMismatchesAreTyped)
+{
+    JsonValue root = JsonValue::parse(R"({"n": 1, "s": "x"})");
+    EXPECT_THROW((void)root.at("s").asNumber(), ParseError);
+    EXPECT_THROW((void)root.at("n").asString(), ParseError);
+    EXPECT_THROW((void)root.at("missing"), ParseError);
+    try {
+        (void)root.at("n").asBool();
+        FAIL() << "number accepted as bool";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Json);
+        EXPECT_EQ(e.rule(), ParseRule::Type);
+    }
+}
+
+TEST(JsonError, NegativeNumberIsNotU64)
+{
+    JsonValue root = JsonValue::parse(R"({"n": -1})");
+    EXPECT_THROW((void)root.at("n").asU64(), ParseError);
+}
+
+TEST(JsonError, MissingFileIsIoError)
+{
+    try {
+        (void)JsonValue::parseFile("/nonexistent/m.json");
+        FAIL() << "missing file accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Io);
+        EXPECT_EQ(e.exitCode(), 8);
+        EXPECT_EQ(e.file(), "/nonexistent/m.json");
+    }
+}
+
+} // namespace
+} // namespace texdist

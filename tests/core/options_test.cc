@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/error.hh"
 #include "core/options.hh"
 #include "sim/thread_pool.hh"
 
@@ -9,6 +10,27 @@ namespace texdist
 {
 namespace
 {
+
+/**
+ * @p fn must throw a CLI-surface ParseError (exit code 1) whose
+ * diagnostic contains every needle.
+ */
+template <typename Fn>
+void
+expectCliError(Fn &&fn, std::initializer_list<const char *> needles)
+{
+    try {
+        (void)fn();
+        ADD_FAILURE() << "bad input accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Cli) << e.describe();
+        EXPECT_EQ(e.exitCode(), 1);
+        for (const char *needle : needles)
+            EXPECT_NE(e.describe().find(needle), std::string::npos)
+                << "diagnostic: " << e.describe()
+                << "\n  missing: " << needle;
+    }
+}
 
 SimOptions
 parse(std::initializer_list<const char *> args)
@@ -123,50 +145,50 @@ TEST(SimOptions, WatchdogDefaultsOff)
     EXPECT_EQ(o.machine.watchdogPolicy, WatchdogPolicy::FailFrame);
 }
 
-TEST(SimOptionsDeath, UnknownOptionFatal)
+TEST(SimOptionsError, UnknownOptionFatal)
 {
-    EXPECT_EXIT(parse({"--bogus=1"}), ::testing::ExitedWithCode(1),
-                "unknown option");
+    expectCliError([&] { return parse({"--bogus=1"}); },
+                   {"unknown option"});
 }
 
-TEST(SimOptionsDeath, BadValuesFatal)
+TEST(SimOptionsError, BadValuesFatal)
 {
-    EXPECT_EXIT(parse({"--procs=banana"}),
-                ::testing::ExitedWithCode(1), "integer");
-    EXPECT_EXIT(parse({"--procs=0"}), ::testing::ExitedWithCode(1),
-                "positive");
-    EXPECT_EXIT(parse({"--dist=middle"}),
-                ::testing::ExitedWithCode(1), "block, sli or");
-    EXPECT_EXIT(parse({"--scale=-1"}), ::testing::ExitedWithCode(1),
-                "out of range");
-    EXPECT_EXIT(parse({"--cache=l3"}), ::testing::ExitedWithCode(1),
-                "unknown cache kind");
-    EXPECT_EXIT(parse({"--buffer=0"}), ::testing::ExitedWithCode(1),
-                "positive");
+    expectCliError([&] { return parse({"--procs=banana"}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--procs=0"}); },
+                   {"positive"});
+    expectCliError([&] { return parse({"--dist=middle"}); },
+                   {"block, sli or"});
+    expectCliError([&] { return parse({"--scale=-1"}); },
+                   {"out of range"});
+    expectCliError([&] { return parse({"--cache=l3"}); },
+                   {"unknown cache kind"});
+    expectCliError([&] { return parse({"--buffer=0"}); },
+                   {"positive"});
 }
 
-TEST(SimOptionsDeath, StrictNumericParsing)
+TEST(SimOptionsError, StrictNumericParsing)
 {
     // strtoul would silently wrap "-1" to a huge value and accept
     // trailing junk; both must be fatal, not a mis-measured machine.
-    EXPECT_EXIT(parse({"--procs=-1"}), ::testing::ExitedWithCode(1),
-                "integer");
-    EXPECT_EXIT(parse({"--procs=16x"}), ::testing::ExitedWithCode(1),
-                "integer");
-    EXPECT_EXIT(parse({"--procs=99999999999999999999"}),
-                ::testing::ExitedWithCode(1), "out of range");
-    EXPECT_EXIT(parse({"--procs=8192"}),
-                ::testing::ExitedWithCode(1), "too large");
-    EXPECT_EXIT(parse({"--buffer="}), ::testing::ExitedWithCode(1),
-                "integer");
-    EXPECT_EXIT(parse({"--scale=nan"}), ::testing::ExitedWithCode(1),
-                "finite");
-    EXPECT_EXIT(parse({"--scale=1e999"}),
-                ::testing::ExitedWithCode(1), "finite");
-    EXPECT_EXIT(parse({"--scale=0.5abc"}),
-                ::testing::ExitedWithCode(1), "number");
-    EXPECT_EXIT(parse({"--bus=-2"}), ::testing::ExitedWithCode(1),
-                ">= 0");
+    expectCliError([&] { return parse({"--procs=-1"}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--procs=16x"}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--procs=99999999999999999999"}); },
+                   {"out of range"});
+    expectCliError([&] { return parse({"--procs=8192"}); },
+                   {"too large"});
+    expectCliError([&] { return parse({"--buffer="}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--scale=nan"}); },
+                   {"finite"});
+    expectCliError([&] { return parse({"--scale=1e999"}); },
+                   {"finite"});
+    expectCliError([&] { return parse({"--scale=0.5abc"}); },
+                   {"number"});
+    expectCliError([&] { return parse({"--bus=-2"}); },
+                   {">= 0"});
 }
 
 TEST(SimOptions, JobsDefaultsToAutoAndClampsToHardware)
@@ -202,44 +224,44 @@ TEST(ParseHostThreads, ClampsAndNamesTheFlag)
               ThreadPool::defaultThreads());
 }
 
-TEST(ParseHostThreadsDeath, RejectsBadValues)
+TEST(ParseHostThreadsError, RejectsBadValues)
 {
-    EXPECT_EXIT(parseHostThreads("0", "threads"),
-                ::testing::ExitedWithCode(1), "--threads.*positive");
-    EXPECT_EXIT(parseHostThreads("-2", "threads"),
-                ::testing::ExitedWithCode(1), "--threads.*integer");
-    EXPECT_EXIT(parseHostThreads("8q", "jobs"),
-                ::testing::ExitedWithCode(1), "--jobs.*integer");
+    expectCliError([&] { return parseHostThreads("0", "threads"); },
+                   {"--threads", "positive"});
+    expectCliError([&] { return parseHostThreads("-2", "threads"); },
+                   {"--threads", "integer"});
+    expectCliError([&] { return parseHostThreads("8q", "jobs"); },
+                   {"--jobs", "integer"});
 }
 
-TEST(SimOptionsDeath, BadJobsValuesFatal)
+TEST(SimOptionsError, BadJobsValuesFatal)
 {
-    EXPECT_EXIT(parse({"--jobs=0"}), ::testing::ExitedWithCode(1),
-                "positive");
-    EXPECT_EXIT(parse({"--jobs=-4"}), ::testing::ExitedWithCode(1),
-                "integer");
-    EXPECT_EXIT(parse({"--jobs=four"}),
-                ::testing::ExitedWithCode(1), "integer");
-    EXPECT_EXIT(parse({"--jobs=4x"}), ::testing::ExitedWithCode(1),
-                "integer");
-    EXPECT_EXIT(parse({"--jobs="}), ::testing::ExitedWithCode(1),
-                "integer");
-    EXPECT_EXIT(parse({"--jobs=99999999999999999999"}),
-                ::testing::ExitedWithCode(1), "out of range");
+    expectCliError([&] { return parse({"--jobs=0"}); },
+                   {"positive"});
+    expectCliError([&] { return parse({"--jobs=-4"}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--jobs=four"}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--jobs=4x"}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--jobs="}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--jobs=99999999999999999999"}); },
+                   {"out of range"});
 }
 
-TEST(SimOptionsDeath, BadFaultAndWatchdogValuesFatal)
+TEST(SimOptionsError, BadFaultAndWatchdogValuesFatal)
 {
-    EXPECT_EXIT(parse({"--fault=melt-node:1"}),
-                ::testing::ExitedWithCode(1), "unknown fault kind");
-    EXPECT_EXIT(parse({"--fault=slow-node:1,x=banana"}),
-                ::testing::ExitedWithCode(1), "integer");
-    EXPECT_EXIT(parse({"--fault-seed=abc"}),
-                ::testing::ExitedWithCode(1), "integer");
-    EXPECT_EXIT(parse({"--watchdog-ticks=-5"}),
-                ::testing::ExitedWithCode(1), "integer");
-    EXPECT_EXIT(parse({"--watchdog=panic"}),
-                ::testing::ExitedWithCode(1), "fail or degrade");
+    expectCliError([&] { return parse({"--fault=melt-node:1"}); },
+                   {"unknown fault kind"});
+    expectCliError([&] { return parse({"--fault=slow-node:1,x=banana"}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--fault-seed=abc"}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--watchdog-ticks=-5"}); },
+                   {"integer"});
+    expectCliError([&] { return parse({"--watchdog=panic"}); },
+                   {"fail or degrade"});
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/audit.hh"
+#include "core/error.hh"
 #include "core/interframe.hh"
 #include "core/replay.hh"
 #include "core/sequence.hh"
@@ -49,12 +50,29 @@ TEST(Digest, HexRoundTrip)
     EXPECT_EQ(digestFromHex(digestHex(UINT64_MAX)), UINT64_MAX);
 }
 
-TEST(DigestDeath, MalformedHexIsFatal)
+TEST(DigestError, MalformedHexIsTyped)
 {
-    EXPECT_EXIT(digestFromHex("123"), ::testing::ExitedWithCode(1),
-                "bad digest");
-    EXPECT_EXIT(digestFromHex("0123456789abcdeZ"),
-                ::testing::ExitedWithCode(1), "bad digest");
+    for (const char *hex : {"123", "0123456789abcdeZ"}) {
+        try {
+            (void)digestFromHex(hex);
+            FAIL() << "bad digest accepted: " << hex;
+        } catch (const ParseError &e) {
+            EXPECT_EQ(e.surface(), ParseSurface::Json);
+            EXPECT_EQ(e.rule(), ParseRule::Syntax);
+            EXPECT_NE(e.describe().find("bad digest"),
+                      std::string::npos)
+                << e.describe();
+        }
+    }
+    // The same digests appear in result CSVs; the surface (and so
+    // the exit code) follows the caller.
+    try {
+        (void)digestFromHex("123", ParseSurface::Csv);
+        FAIL() << "bad digest accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Csv);
+        EXPECT_EQ(e.exitCode(), 9);
+    }
 }
 
 TEST(Digest, SameRunSameDigestDifferentRunDifferentDigest)
@@ -117,7 +135,7 @@ TEST(Manifest, InterruptedRunKeepsPartialDigests)
     EXPECT_EQ(back.digests.size(), 2u);
 }
 
-TEST(ManifestDeath, CompleteRunWithMissingDigestsIsFatal)
+TEST(ManifestError, CompleteRunWithMissingDigestsIsTyped)
 {
     RunManifest m;
     m.scene = "wall";
@@ -126,8 +144,18 @@ TEST(ManifestDeath, CompleteRunWithMissingDigestsIsFatal)
     m.interrupted = false;
     std::string path = ::testing::TempDir() + "/bad_count.json";
     m.save(path);
-    EXPECT_EXIT(RunManifest::load(path),
-                ::testing::ExitedWithCode(1), "complete run");
+    try {
+        (void)RunManifest::load(path);
+        FAIL() << "manifest with missing digests accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Json);
+        EXPECT_EQ(e.exitCode(), 8);
+        EXPECT_EQ(e.rule(), ParseRule::Mismatch);
+        EXPECT_EQ(e.fieldName(), "frame_digests");
+        EXPECT_NE(e.describe().find("complete run"),
+                  std::string::npos)
+            << e.describe();
+    }
 }
 
 TEST(Audit, RealFramePassesCorruptedFrameFails)
@@ -198,7 +226,7 @@ TEST(Replay, RestoredMachineReplaysRemainingFramesBitExactly)
     }
 }
 
-TEST(ReplayDeath, RestoreIntoMismatchedConfigIsFatal)
+TEST(ReplayError, RestoreIntoMismatchedConfigIsTyped)
 {
     Scene scene = wallScene();
     MachineConfig cfg = l2Config(4);
@@ -212,8 +240,18 @@ TEST(ReplayDeath, RestoreIntoMismatchedConfigIsFatal)
     MachineConfig other = l2Config(8);
     SequenceMachine wrong(scene, other);
     CheckpointReader r(path);
-    EXPECT_EXIT(wrong.restore(r), ::testing::ExitedWithCode(1),
-                "configuration");
+    try {
+        wrong.restore(r);
+        FAIL() << "mismatched configuration accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Checkpoint);
+        EXPECT_EQ(e.exitCode(), 7);
+        EXPECT_EQ(e.rule(), ParseRule::Mismatch);
+        EXPECT_EQ(e.file(), path);
+        EXPECT_NE(e.describe().find("configuration"),
+                  std::string::npos)
+            << e.describe();
+    }
 }
 
 } // namespace

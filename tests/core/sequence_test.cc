@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/interframe.hh"
+#include "core/error.hh"
 #include "core/sequence.hh"
 #include "scene/builder.hh"
 
@@ -153,6 +154,39 @@ TEST(Sequence, L2ConfigFlowsIntoNodes)
                              .frames[1]
                              .totalTexelsFetched;
     EXPECT_LT(l2_frame2, l1_frame2 / 4);
+}
+
+TEST(SequenceRestorePoison, RunFrameAfterFailedRestorePanics)
+{
+    // A restore that throws must leave the machine poisoned: it may
+    // hold half-restored state, so running a frame from it would
+    // silently produce wrong results. runFrame must refuse loudly.
+    Scene scene = wallScene();
+    SequenceMachine good(scene, l2Config(4));
+    good.runFrame(scene);
+    CheckpointWriter w;
+    good.serialize(w);
+
+    SequenceMachine wrong(scene, l2Config(8));
+    CheckpointReader r("poison-test", w.bytes());
+    EXPECT_THROW(wrong.restore(r), ParseError);
+    EXPECT_DEATH((void)wrong.runFrame(scene), "a failed restore");
+}
+
+TEST(SequenceRestorePoison, SuccessfulRestoreClearsNothingByMistake)
+{
+    // The poison flag must not leak into the success path: a clean
+    // restore runs frames normally.
+    Scene scene = wallScene();
+    SequenceMachine good(scene, l2Config(4));
+    uint64_t reference = good.runFrame(scene).totalPixels;
+    CheckpointWriter w;
+    good.serialize(w);
+
+    SequenceMachine back(scene, l2Config(4));
+    CheckpointReader r("clean-restore", w.bytes());
+    back.restore(r);
+    EXPECT_EQ(back.runFrame(scene).totalPixels, reference);
 }
 
 } // namespace

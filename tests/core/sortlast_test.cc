@@ -16,10 +16,10 @@ gridScene(int quads, uint32_t screen = 128)
     SceneBuilder b("grid", screen, screen, 11);
     TextureId tex = b.makeTexture(64, 64);
     int per_row = 8;
-    float cell = float(screen) / per_row;
+    float cell = float(screen) / float(per_row);
     for (int i = 0; i < quads; ++i) {
-        float x = (i % per_row) * cell;
-        float y = ((i / per_row) % per_row) * cell;
+        float x = float(i % per_row) * cell;
+        float y = float((i / per_row) % per_row) * cell;
         b.addQuad(x, y, x + cell, y + cell, tex, 1.0);
     }
     return b.take();

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Replay every checked-in reproducer through `texfuzz --one` and
+# check two things against its .expect sidecar: the process exit
+# code (the documented code for that surface's parse errors) and a
+# substring of the diagnostic on stderr. This is the permanent
+# regression suite the fuzzer leaves behind: any parser change that
+# turns a typed rejection back into a crash, a hang, a wrong code or
+# a vaguer message fails here.
+#
+# Usage: run_corpus_test.sh <texfuzz-binary> <reproducers-dir>
+set -u
+
+TEXFUZZ="$1"
+ROOT="$2"
+failures=0
+cases=0
+
+for surface_dir in "$ROOT"/*/; do
+    surface=$(basename "$surface_dir")
+    for input in "$surface_dir"*; do
+        case "$input" in *.expect) continue ;; esac
+        expect="$input.expect"
+        if [ ! -f "$expect" ]; then
+            echo "MISSING EXPECT: $input"
+            failures=$((failures + 1))
+            continue
+        fi
+        want_exit=$(sed -n 's/^exit=//p' "$expect")
+        want_diag=$(sed -n 's/^diag=//p' "$expect")
+
+        stderr_file=$(mktemp)
+        "$TEXFUZZ" --surface="$surface" --one="$input" \
+            > /dev/null 2> "$stderr_file"
+        got_exit=$?
+        cases=$((cases + 1))
+
+        ok=1
+        if [ "$got_exit" != "$want_exit" ]; then
+            echo "FAIL $input: exit $got_exit, want $want_exit"
+            ok=0
+        fi
+        if ! grep -qF "$want_diag" "$stderr_file"; then
+            echo "FAIL $input: diagnostic missing '$want_diag':"
+            sed 's/^/    /' "$stderr_file"
+            ok=0
+        fi
+        [ "$ok" = 0 ] && failures=$((failures + 1))
+        rm -f "$stderr_file"
+    done
+done
+
+echo "corpus: $cases reproducer(s), $failures failure(s)"
+[ "$failures" = 0 ] || exit 1
+exit 0

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Bit-reproducibility contract: `texfuzz --surface=S --seed=N
+# --iters=M` must produce the identical input stream and outcome
+# stream every time. The fuzzer witnesses this with an FNV digest
+# over every (input, outcome, exit code) triple; two runs with the
+# same seed must print the same digest, and a different seed must
+# explore a different stream.
+#
+# Usage: run_determinism_test.sh <texfuzz-binary> <seeds-root>
+set -u
+
+TEXFUZZ="$1"
+SEEDS="$2"
+ITERS=200
+failures=0
+
+for surface in trace checkpoint json csv cli; do
+    corpus="$SEEDS/$surface"
+    a=$("$TEXFUZZ" --surface="$surface" --seed=7 --iters=$ITERS \
+        --corpus="$corpus" --out="$(mktemp -d)") || {
+        echo "FAIL $surface: run A exited non-zero"
+        failures=$((failures + 1))
+        continue
+    }
+    b=$("$TEXFUZZ" --surface="$surface" --seed=7 --iters=$ITERS \
+        --corpus="$corpus" --out="$(mktemp -d)") || {
+        echo "FAIL $surface: run B exited non-zero"
+        failures=$((failures + 1))
+        continue
+    }
+    c=$("$TEXFUZZ" --surface="$surface" --seed=8 --iters=$ITERS \
+        --corpus="$corpus" --out="$(mktemp -d)") || {
+        echo "FAIL $surface: run C exited non-zero"
+        failures=$((failures + 1))
+        continue
+    }
+    da=$(echo "$a" | sed -n 's/.*digest=//p')
+    db=$(echo "$b" | sed -n 's/.*digest=//p')
+    dc=$(echo "$c" | sed -n 's/.*digest=//p')
+    if [ -z "$da" ] || [ "$da" != "$db" ]; then
+        echo "FAIL $surface: same seed diverged ($da vs $db)"
+        failures=$((failures + 1))
+    fi
+    if [ "$da" = "$dc" ]; then
+        echo "FAIL $surface: different seeds produced the same" \
+             "stream ($da)"
+        failures=$((failures + 1))
+    fi
+    echo "$surface: seed7=$da seed8=$dc"
+done
+
+[ "$failures" = 0 ] || exit 1
+exit 0

@@ -154,8 +154,8 @@ TEST(Raster, AffineInterpolationIsLinear)
     tri.v[2] = {0, 20, 1.0f, 0.0f, 1.0f};
     TriangleRaster raster(tri, 64, 64);
     for (const Fragment &f : collect(raster, bigScissor)) {
-        EXPECT_NEAR(f.u, (f.x + 0.5f) / 20.0f, 1e-4f);
-        EXPECT_NEAR(f.v, (f.y + 0.5f) / 20.0f, 1e-4f);
+        EXPECT_NEAR(f.u, (float(f.x) + 0.5f) / 20.0f, 1e-4f);
+        EXPECT_NEAR(f.v, (float(f.y) + 0.5f) / 20.0f, 1e-4f);
     }
 }
 
@@ -285,8 +285,8 @@ TEST_P(FanProperty, FanCoversDiscOnce)
     std::map<std::pair<int, int>, int> cover;
     int64_t total = 0;
     for (int i = 0; i < n; ++i) {
-        float a0 = float(i) / n * 6.2831853f;
-        float a1 = float(i + 1) / n * 6.2831853f;
+        float a0 = float(i) / float(n) * 6.2831853f;
+        float a1 = float(i + 1) / float(n) * 6.2831853f;
         TexTriangle tri =
             makeTri(cx, cy, cx + r * std::cos(a0),
                     cy + r * std::sin(a0), cx + r * std::cos(a1),

@@ -72,7 +72,8 @@ TEST(SceneStats, RepeatedTextureReducesUnique)
     EXPECT_EQ(s2.pixelsRendered, 2 * s1.pixelsRendered);
     // A 64px quad at density 1 wraps a 32-texel texture twice: the
     // texture saturates, so the second quad adds almost nothing.
-    EXPECT_LT(s2.uniqueTexels, uint64_t(1.2 * s1.uniqueTexels));
+    EXPECT_LT(s2.uniqueTexels,
+              uint64_t(1.2 * double(s1.uniqueTexels)));
 }
 
 TEST(SceneStats, SmallTriangleFraction)

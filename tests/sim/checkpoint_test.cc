@@ -1,6 +1,7 @@
 /** @file Tests for the checkpoint container and state digests. */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/cache.hh"
+#include "core/error.hh"
 #include "geom/rng.hh"
 #include "sim/checkpoint.hh"
 
@@ -64,7 +66,7 @@ TEST(Checkpoint, RoundTripsEveryType)
     EXPECT_TRUE(r.atEnd());
 }
 
-TEST(CheckpointDeath, CorruptPayloadFailsCrc)
+TEST(CheckpointError, CorruptPayloadFailsCrc)
 {
     std::string path = tempPath("ckpt_corrupt.ckpt");
     CheckpointWriter w;
@@ -76,11 +78,18 @@ TEST(CheckpointDeath, CorruptPayloadFailsCrc)
     // Flip one bit in the payload (after the 20-byte header).
     bytes[bytes.size() - 1] ^= 0x01;
     spew(path, bytes);
-    EXPECT_EXIT(CheckpointReader r(path),
-                ::testing::ExitedWithCode(1), "checksum");
+    try {
+        CheckpointReader r(path);
+        FAIL() << "corrupt payload accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Checkpoint);
+        EXPECT_EQ(e.rule(), ParseRule::Checksum);
+        EXPECT_EQ(e.exitCode(), 7);
+        EXPECT_EQ(e.file(), path);
+    }
 }
 
-TEST(CheckpointDeath, VersionMismatchIsFatal)
+TEST(CheckpointError, VersionMismatchIsFatal)
 {
     std::string path = tempPath("ckpt_version.ckpt");
     CheckpointWriter w;
@@ -91,11 +100,17 @@ TEST(CheckpointDeath, VersionMismatchIsFatal)
     std::string bytes = slurp(path);
     bytes[4] = char(0x7f); // version field, little-endian
     spew(path, bytes);
-    EXPECT_EXIT(CheckpointReader r(path),
-                ::testing::ExitedWithCode(1), "version");
+    try {
+        CheckpointReader r(path);
+        FAIL() << "wrong version accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Version);
+        ASSERT_TRUE(e.offset().has_value());
+        EXPECT_EQ(*e.offset(), 4u);
+    }
 }
 
-TEST(CheckpointDeath, TruncationIsFatal)
+TEST(CheckpointError, TruncationIsFatal)
 {
     std::string path = tempPath("ckpt_trunc.ckpt");
     CheckpointWriter w;
@@ -105,19 +120,29 @@ TEST(CheckpointDeath, TruncationIsFatal)
 
     std::string bytes = slurp(path);
     spew(path, bytes.substr(0, bytes.size() / 2));
-    EXPECT_EXIT(CheckpointReader r(path),
-                ::testing::ExitedWithCode(1), "truncated");
+    try {
+        CheckpointReader r(path);
+        FAIL() << "truncated checkpoint accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Truncated) << e.describe();
+    }
 }
 
-TEST(CheckpointDeath, NotACheckpointIsFatal)
+TEST(CheckpointError, NotACheckpointIsFatal)
 {
     std::string path = tempPath("ckpt_magic.ckpt");
     spew(path, "definitely not a checkpoint file at all");
-    EXPECT_EXIT(CheckpointReader r(path),
-                ::testing::ExitedWithCode(1), "not a checkpoint");
+    try {
+        CheckpointReader r(path);
+        FAIL() << "garbage accepted as a checkpoint";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Magic);
+        EXPECT_NE(e.describe().find("not a checkpoint"),
+                  std::string::npos);
+    }
 }
 
-TEST(CheckpointDeath, WrongSectionNameIsFatal)
+TEST(CheckpointError, WrongSectionNameIsFatal)
 {
     std::string path = tempPath("ckpt_section.ckpt");
     CheckpointWriter w;
@@ -126,8 +151,13 @@ TEST(CheckpointDeath, WrongSectionNameIsFatal)
     w.writeFile(path);
 
     CheckpointReader r(path);
-    EXPECT_EXIT(r.section("beta"), ::testing::ExitedWithCode(1),
-                "section");
+    try {
+        r.section("beta");
+        FAIL() << "wrong section name accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Mismatch);
+        EXPECT_EQ(e.fieldName(), "beta");
+    }
 }
 
 TEST(Checkpoint, AtomicWriteLeavesNoTempBehind)
@@ -222,7 +252,7 @@ TEST(Checkpoint, WarmCacheRestoreHitsLikeTheOriginal)
     EXPECT_EQ(restored.misses(), warm.misses());
 }
 
-TEST(CheckpointDeath, CacheGeometryMismatchIsFatal)
+TEST(CheckpointError, CacheGeometryMismatchIsFatal)
 {
     SetAssocCache small(CacheGeometry{1024, 2, 64});
     small.access(0);
@@ -234,9 +264,102 @@ TEST(CheckpointDeath, CacheGeometryMismatchIsFatal)
 
     SetAssocCache big(CacheGeometry{2048, 2, 64});
     CheckpointReader r(path);
-    EXPECT_EXIT(big.unserialize(r), ::testing::ExitedWithCode(1),
-                "geometry");
+    try {
+        big.unserialize(r);
+        FAIL() << "geometry mismatch accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Mismatch);
+        EXPECT_NE(e.describe().find("geometry"), std::string::npos);
+    }
+}
+
+
+TEST(CheckpointError, TruncationAtEveryHeaderByte)
+{
+    // The 20-byte header (magic, version, length, CRC) must reject a
+    // file cut at *every* byte boundary with a typed Truncated error
+    // and no partial interpretation.
+    CheckpointWriter w;
+    w.section("test");
+    w.u64(42);
+    std::string bytes = w.bytes();
+    ASSERT_GT(bytes.size(), 20u);
+    for (size_t cut = 0; cut < 20; ++cut) {
+        try {
+            CheckpointReader r("cut-at-" + std::to_string(cut),
+                               bytes.substr(0, cut));
+            FAIL() << "header cut at byte " << cut << " accepted";
+        } catch (const ParseError &e) {
+            EXPECT_EQ(e.surface(), ParseSurface::Checkpoint)
+                << "cut at " << cut;
+            EXPECT_EQ(e.rule(), ParseRule::Truncated)
+                << "cut at " << cut << ": " << e.describe();
+            EXPECT_EQ(e.exitCode(), 7);
+        }
+    }
+}
+
+TEST(CheckpointError, OversizedDeclaredLength)
+{
+    // A header that declares more payload than the file holds must
+    // be rejected before any allocation sized from the header.
+    CheckpointWriter w;
+    w.section("test");
+    w.u64(42);
+    std::string bytes = w.bytes();
+    uint64_t huge = uint64_t(1) << 60;
+    std::memcpy(bytes.data() + 8, &huge, sizeof(huge));
+    try {
+        CheckpointReader r("oversized", std::move(bytes));
+        FAIL() << "oversized declared payload accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Truncated) << e.describe();
+        ASSERT_TRUE(e.offset().has_value());
+        EXPECT_EQ(*e.offset(), 8u);
+    }
+}
+
+TEST(CheckpointError, UndersizedDeclaredLength)
+{
+    // Trailing bytes beyond the declared payload are a mismatch, not
+    // silently ignored slack.
+    CheckpointWriter w;
+    w.section("test");
+    w.u64(42);
+    std::string bytes = w.bytes() + "trailing";
+    try {
+        CheckpointReader r("undersized", std::move(bytes));
+        FAIL() << "trailing bytes accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Mismatch) << e.describe();
+    }
+}
+
+TEST(CheckpointError, VectorLengthOverrun)
+{
+    // A u64vec whose declared element count overruns the payload is
+    // an Overrun even when n * 8 would wrap uint64_t.
+    CheckpointWriter w;
+    w.section("test");
+    w.u64vec({1, 2, 3});
+    std::string bytes = w.bytes();
+    // The vector length sits after the section tag; forge it huge.
+    // Layout: header(20) + tag(u64 len + 4 chars "test") + u64 count.
+    size_t count_off = 20 + 8 + 4;
+    uint64_t wild = uint64_t(1) << 61; // *8 wraps to 0
+    std::memcpy(bytes.data() + count_off, &wild, sizeof(wild));
+    uint32_t crc = crc32(bytes.data() + 20, bytes.size() - 20);
+    std::memcpy(bytes.data() + 16, &crc, sizeof(crc));
+    CheckpointReader r("overrun", std::move(bytes));
+    r.section("test");
+    try {
+        (void)r.u64vec();
+        FAIL() << "wild vector length accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Overrun) << e.describe();
+    }
 }
 
 } // namespace
 } // namespace texdist
+

@@ -150,7 +150,7 @@ TEST_F(SamplerTest, AdjacentFragmentsShareTexels)
     std::set<uint64_t> sa(a.begin(), a.end());
     int shared = 0;
     for (uint64_t addr : b)
-        shared += sa.count(addr);
+        shared += int(sa.count(addr));
     EXPECT_GE(shared, 2);
 }
 

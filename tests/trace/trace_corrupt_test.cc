@@ -1,9 +1,10 @@
 /**
  * @file
- * Corrupt-trace corpus: every class of malformed trace must die with
- * a clean, located diagnostic (texdist_fatal with byte offset and,
- * inside the triangle stream, the record index) — never a crash, an
- * OOM or a garbage scene.
+ * Corrupt-trace corpus: every class of malformed trace must throw a
+ * typed ParseError (surface: trace, exit code 6) with a located
+ * diagnostic — byte offset, field name and, inside the triangle
+ * stream, the record index — never a crash, an OOM or a garbage
+ * scene.
  *
  * The corpus is generated from one valid trace by targeted byte
  * surgery, so it stays in sync with the format by construction.
@@ -17,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/error.hh"
 #include "scene/builder.hh"
 #include "trace/trace.hh"
 
@@ -58,13 +60,49 @@ patched(std::string data, size_t offset, T value)
     return data;
 }
 
-void
-expectFatal(const std::string &bytes, const char *pattern)
+/**
+ * The parse must fail with a trace ParseError of @p rule whose
+ * diagnostic contains @p needle. Returns the error for follow-up
+ * assertions on its location fields.
+ */
+ParseError
+expectError(const std::string &bytes, ParseRule rule,
+            const std::string &needle)
 {
     std::stringstream in(bytes);
-    EXPECT_EXIT((void)readTrace(in), ::testing::ExitedWithCode(1),
-                pattern);
+    try {
+        (void)readTrace(in);
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Trace) << e.describe();
+        EXPECT_EQ(e.exitCode(), 6);
+        EXPECT_EQ(e.rule(), rule) << e.describe();
+        EXPECT_NE(e.describe().find(needle), std::string::npos)
+            << "diagnostic: " << e.describe()
+            << "\n  missing: " << needle;
+        return e;
+    }
+    ADD_FAILURE() << "trace accepted; wanted rule "
+                  << to_string(rule) << " (" << needle << ")";
+    return ParseError(ParseSurface::Trace, rule, "unreached");
 }
+
+/**
+ * An istream whose buffer refuses to seek, like a pipe: takes the
+ * mid-stream truncation paths instead of the up-front count/size
+ * cross-check.
+ */
+class UnseekableBuf : public std::streambuf
+{
+  public:
+    explicit UnseekableBuf(std::string bytes)
+        : data(std::move(bytes))
+    {
+        setg(data.data(), data.data(), data.data() + data.size());
+    }
+
+  private:
+    std::string data;
+};
 
 // Layout of the tiny trace (little-endian):
 //   0  u32 magic            19 u32 screen height
@@ -95,24 +133,56 @@ TEST(TraceCorrupt, ValidCorpusBaseReads)
 
 TEST(TraceCorrupt, BadMagic)
 {
-    expectFatal(patched<uint32_t>(validBytes(), 0, 0xdeadbeef),
-                "bad magic");
+    ParseError e =
+        expectError(patched<uint32_t>(validBytes(), 0, 0xdeadbeef),
+                    ParseRule::Magic, "not a texdist trace");
+    EXPECT_EQ(e.fieldName(), "magic");
 }
 
 TEST(TraceCorrupt, TruncatedHeader)
 {
     // Magic intact, version cut short: must name the field and the
     // offset rather than reading garbage.
-    expectFatal(validBytes().substr(0, 6),
-                "truncated trace: reading version at offset 4");
+    ParseError e = expectError(validBytes().substr(0, 6),
+                               ParseRule::Truncated,
+                               "trace ends inside this field");
+    EXPECT_EQ(e.fieldName(), "version");
+    ASSERT_TRUE(e.offset().has_value());
+    EXPECT_EQ(*e.offset(), 4u);
 }
 
-TEST(TraceCorrupt, TruncatedMidRecord)
+TEST(TraceCorrupt, CountVsSizeTruncation)
 {
-    // Cut inside the first triangle's vertex data: the diagnostic
-    // carries the record index.
-    expectFatal(validBytes().substr(0, firstFloatOff + 6),
-                "truncated trace: .* triangle record 0");
+    // A seekable stream cut inside the triangle records is rejected
+    // up front by the count-vs-size cross-check.
+    expectError(validBytes().substr(0, firstFloatOff + 6),
+                ParseRule::Truncated,
+                "declared 1 triangle records need 64 bytes");
+}
+
+TEST(TraceCorrupt, CountVsSizeTrailingGarbage)
+{
+    // Extra bytes after the last declared record are an error too:
+    // a trace with a wrong count must not be silently accepted.
+    expectError(validBytes() + "EXTRABYTES", ParseRule::Mismatch,
+                "declared 1 triangle records need 64 bytes");
+}
+
+TEST(TraceCorrupt, TruncatedMidRecordUnseekable)
+{
+    // On a pipe-like stream the cross-check cannot run; truncation
+    // surfaces mid-record with the record index in the diagnostic.
+    UnseekableBuf buf(validBytes().substr(0, firstFloatOff + 6));
+    std::istream in(&buf);
+    try {
+        (void)readTrace(in);
+        FAIL() << "truncated trace accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Truncated) << e.describe();
+        ASSERT_TRUE(e.recordIndex().has_value());
+        EXPECT_EQ(*e.recordIndex(), 0);
+        EXPECT_EQ(e.fieldName(), "vertex y");
+    }
 }
 
 TEST(TraceCorrupt, NaNVertex)
@@ -120,7 +190,14 @@ TEST(TraceCorrupt, NaNVertex)
     std::string data = patched(
         validBytes(), firstFloatOff,
         std::numeric_limits<float>::quiet_NaN());
-    expectFatal(data, "non-finite vertex x .* triangle record 0");
+    ParseError e = expectError(data, ParseRule::NonFinite,
+                               "value is NaN");
+    EXPECT_EQ(e.fieldName(), "vertex x");
+    ASSERT_TRUE(e.recordIndex().has_value());
+    EXPECT_EQ(*e.recordIndex(), 0);
+    // The offset points at the bad float, not after it.
+    ASSERT_TRUE(e.offset().has_value());
+    EXPECT_EQ(*e.offset(), firstFloatOff);
 }
 
 TEST(TraceCorrupt, InfiniteVertex)
@@ -129,15 +206,24 @@ TEST(TraceCorrupt, InfiniteVertex)
     std::string data =
         patched(validBytes(), firstFloatOff + 14 * sizeof(float),
                 std::numeric_limits<float>::infinity());
-    expectFatal(data, "non-finite vertex v .* triangle record 0");
+    ParseError e = expectError(data, ParseRule::NonFinite,
+                               "value is infinite");
+    EXPECT_EQ(e.fieldName(), "vertex v");
+    ASSERT_TRUE(e.recordIndex().has_value());
+    EXPECT_EQ(*e.recordIndex(), 0);
 }
 
 TEST(TraceCorrupt, TextureIdOutOfRange)
 {
     std::string data =
         patched<uint32_t>(validBytes(), triTexOff, 57u);
-    expectFatal(data,
-                "references texture 57 of 1.* triangle record 0");
+    ParseError e =
+        expectError(data, ParseRule::Range,
+                    "references texture 57 but the trace declares "
+                    "only 1");
+    EXPECT_EQ(e.fieldName(), "texture id");
+    ASSERT_TRUE(e.recordIndex().has_value());
+    EXPECT_EQ(*e.recordIndex(), 0);
 }
 
 TEST(TraceCorrupt, ImplausibleTriangleCount)
@@ -145,35 +231,39 @@ TEST(TraceCorrupt, ImplausibleTriangleCount)
     // A wild count must die before it turns into a huge reserve().
     std::string data = patched<uint64_t>(validBytes(), triCountOff,
                                          uint64_t(1) << 40);
-    expectFatal(data, "implausible triangle count");
+    expectError(data, ParseRule::Limit,
+                "implausible triangle count");
 }
 
 TEST(TraceCorrupt, ImplausibleTextureCount)
 {
     std::string data =
         patched<uint32_t>(validBytes(), texCountOff, 0x7fffffffu);
-    expectFatal(data, "implausible texture count");
+    expectError(data, ParseRule::Limit,
+                "implausible texture count");
 }
 
 TEST(TraceCorrupt, NonPowerOfTwoTexture)
 {
     std::string data =
         patched<uint32_t>(validBytes(), texWidthOff, 17u);
-    expectFatal(data, "bad texture dimensions.*texture 0");
+    ParseError e = expectError(data, ParseRule::Range,
+                               "texture 0 has bad dimensions");
+    EXPECT_EQ(e.fieldName(), "texture dimensions");
 }
 
 TEST(TraceCorrupt, BadTextureLayout)
 {
     std::string data =
         patched<uint8_t>(validBytes(), texLayoutOff, 9);
-    expectFatal(data, "bad texture layout.*texture 0");
+    expectError(data, ParseRule::Range, "texture 0 has bad layout");
 }
 
 TEST(TraceCorrupt, ImplausibleScreenSize)
 {
     std::string data =
         patched<uint32_t>(validBytes(), screenWidthOff, 0u);
-    expectFatal(data, "implausible screen size");
+    expectError(data, ParseRule::Range, "implausible screen size");
 }
 
 TEST(TraceCorrupt, ImplausibleNameLength)
@@ -182,18 +272,24 @@ TEST(TraceCorrupt, ImplausibleNameLength)
     // of allocating and then failing the read.
     std::string data =
         patched<uint32_t>(validBytes(), 8, 0x40000000u);
-    expectFatal(data, "implausible scene name length");
+    ParseError e = expectError(data, ParseRule::Limit,
+                               "implausible length");
+    EXPECT_EQ(e.fieldName(), "scene name");
 }
 
 TEST(TraceCorrupt, EmptyStream)
 {
-    expectFatal("", "truncated trace: reading magic at offset 0");
+    ParseError e = expectError("", ParseRule::Truncated,
+                               "trace ends inside this field");
+    EXPECT_EQ(e.fieldName(), "magic");
+    ASSERT_TRUE(e.offset().has_value());
+    EXPECT_EQ(*e.offset(), 0u);
 }
 
 TEST(TraceCorrupt, CorruptFileFromDisk)
 {
     // The same guarantees hold through the file path used by
-    // `texdist_sim --trace=`.
+    // `texdist_sim --trace=`, and the error is annotated with it.
     std::string path =
         ::testing::TempDir() + "/texdist_corrupt.trace";
     std::string data = patched(
@@ -202,8 +298,28 @@ TEST(TraceCorrupt, CorruptFileFromDisk)
     std::ofstream os(path, std::ios::binary);
     os.write(data.data(), std::streamsize(data.size()));
     os.close();
-    EXPECT_EXIT((void)readTraceFile(path),
-                ::testing::ExitedWithCode(1), "non-finite vertex x");
+    try {
+        (void)readTraceFile(path);
+        FAIL() << "corrupt file accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Trace);
+        EXPECT_EQ(e.file(), path);
+        EXPECT_NE(e.describe().find("value is NaN"),
+                  std::string::npos)
+            << e.describe();
+    }
+}
+
+TEST(TraceCorrupt, MissingFileIsIoError)
+{
+    try {
+        (void)readTraceFile("/nonexistent/no.trace");
+        FAIL() << "missing file accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Io);
+        EXPECT_EQ(e.exitCode(), 6);
+        EXPECT_EQ(e.file(), "/nonexistent/no.trace");
+    }
 }
 
 } // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/error.hh"
 #include "scene/benchmarks.hh"
 #include "scene/builder.hh"
 #include "scene/stats.hh"
@@ -122,29 +123,39 @@ TEST(Trace, LayoutRoundTrip)
               linear.textures.get(0).texelAddress(0, 3, 2));
 }
 
-TEST(TraceDeath, BadMagicFatal)
+TEST(TraceError, BadMagicThrowsTyped)
 {
     std::stringstream buf;
     buf << "this is not a trace at all, not even close";
-    EXPECT_EXIT((void)readTrace(buf), ::testing::ExitedWithCode(1),
-                "bad magic");
+    try {
+        (void)readTrace(buf);
+        FAIL() << "garbage accepted as a trace";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Trace);
+        EXPECT_EQ(e.rule(), ParseRule::Magic);
+        EXPECT_EQ(e.exitCode(), 6);
+    }
 }
 
-TEST(TraceDeath, TruncatedFatal)
+TEST(TraceError, TruncatedThrowsTyped)
 {
     Scene scene = sampleScene();
     std::stringstream buf;
     writeTrace(scene, buf);
     std::string data = buf.str();
     std::stringstream cut(data.substr(0, data.size() / 2));
-    EXPECT_EXIT((void)readTrace(cut), ::testing::ExitedWithCode(1),
-                "truncated");
+    try {
+        (void)readTrace(cut);
+        FAIL() << "truncated trace accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.rule(), ParseRule::Truncated) << e.describe();
+    }
 }
 
-TEST(TraceDeath, MissingFileFatal)
+TEST(TraceError, MissingFileThrowsIo)
 {
-    EXPECT_EXIT((void)readTraceFile("/nonexistent/path/t.bin"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_THROW((void)readTraceFile("/nonexistent/path/t.bin"),
+                 ParseError);
 }
 
 TEST(Trace, TextDumpMentionsContent)

@@ -42,7 +42,8 @@
  *
  * Exit codes: 0 every config done, 1 usage/config error, 2 some
  * configs failed permanently, 3 interrupted (the manifest still
- * records everything that finished).
+ * records everything that finished), 8 malformed sweep manifest,
+ * 9 malformed result CSV.
  */
 
 #include <algorithm>
@@ -64,6 +65,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "core/error.hh"
 #include "core/interframe.hh"
 #include "core/json.hh"
 #include "core/options.hh"
@@ -182,31 +184,43 @@ parseArgs(int argc, char **argv)
         } else if (match(arg, "out", v)) {
             opts.outDir = v;
         } else if (match(arg, "timeout", v)) {
-            opts.timeoutSec = std::atol(v.c_str());
-            if (opts.timeoutSec <= 0)
-                texdist_fatal("--timeout must be positive");
+            uint64_t sec = parseCliU64(v, "timeout");
+            if (sec == 0 || sec > (1u << 30))
+                throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                                 "must be in [1, 2^30] seconds")
+                    .field("--timeout");
+            opts.timeoutSec = long(sec);
         } else if (match(arg, "retries", v)) {
-            opts.retries = std::atoi(v.c_str());
-            if (opts.retries < 0)
-                texdist_fatal("--retries must be >= 0");
+            uint32_t n = parseCliU32(v, "retries");
+            if (n > 1000)
+                throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                                 "too many retries (max 1000)")
+                    .field("--retries");
+            opts.retries = int(n);
         } else if (match(arg, "backoff-ms", v)) {
-            opts.backoffMs = std::atol(v.c_str());
-            if (opts.backoffMs < 0)
-                texdist_fatal("--backoff-ms must be >= 0");
+            uint64_t ms = parseCliU64(v, "backoff-ms");
+            if (ms > (1u << 30))
+                throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                                 "too large (max 2^30 ms)")
+                    .field("--backoff-ms");
+            opts.backoffMs = long(ms);
         } else if (match(arg, "threads", v)) {
             opts.threads = parseHostThreads(v, "threads");
         } else if (arg == "--resume") {
             opts.resume = true;
         } else {
-            texdist_fatal("unknown option '", arg, "'\n\n", usage());
+            throw ParseError(ParseSurface::Cli, ParseRule::Unknown,
+                             "unknown option '" + arg + "'")
+                .field(arg);
         }
     }
     for (; i < argc; ++i)
         opts.commonArgs.push_back(argv[i]);
     if ((opts.simPath.empty() && opts.threads == 0) ||
         opts.configsPath.empty() || opts.outDir.empty())
-        texdist_fatal("--sim (or --threads), --configs and --out "
-                      "are required\n\n", usage());
+        throw ParseError(ParseSurface::Cli, ParseRule::Syntax,
+                         "--sim (or --threads), --configs and "
+                         "--out are required");
     return opts;
 }
 
@@ -321,8 +335,11 @@ mergePriorProgress(const RunnerOptions &opts,
     JsonValue root = JsonValue::parseFile(manifestPath(opts));
     const std::string &format = root.at("format").asString();
     if (format != "texdist-sweep-manifest")
-        texdist_fatal(manifestPath(opts),
-                      " is not a sweep manifest");
+        throw ParseError(ParseSurface::Json, ParseRule::Magic,
+                         "not a sweep manifest (format '" + format +
+                             "')")
+            .in(manifestPath(opts))
+            .field("format");
     for (const JsonValue &entry : root.at("configs").items()) {
         const std::string &name = entry.at("name").asString();
         const std::string &status = entry.at("status").asString();
@@ -331,14 +348,25 @@ mergePriorProgress(const RunnerOptions &opts,
                 cfg.args != entry.at("args").asString())
                 continue;
             if (status == "done") {
-                std::ifstream csv(opts.outDir + "/" + cfg.name +
-                                  ".csv");
-                if (csv) {
-                    cfg.status = "done";
-                    cfg.attempts =
-                        int(entry.at("attempts").asNumber());
-                    cfg.exitCode =
-                        int(entry.at("exit_code").asNumber());
+                // A config only counts as done if its result CSV is
+                // present AND parses cleanly: resuming past a
+                // corrupt CSV would merge garbage into sweep.csv.
+                std::string csvPath =
+                    opts.outDir + "/" + cfg.name + ".csv";
+                std::ifstream probeCsv(csvPath);
+                if (probeCsv) {
+                    auto parsed = tryParse(
+                        [&] { return parseFrameCsvFile(csvPath); });
+                    if (parsed.ok()) {
+                        cfg.status = "done";
+                        cfg.attempts =
+                            int(entry.at("attempts").asNumber());
+                        cfg.exitCode =
+                            int(entry.at("exit_code").asNumber());
+                    } else {
+                        inform("--resume: re-running '", cfg.name,
+                               "': ", parsed.error().describe());
+                    }
                 }
             }
             break;
@@ -598,7 +626,13 @@ runSweepInProcess(const RunnerOptions &opts,
     return exitOk;
 }
 
-/** Merge per-config CSVs into <out>/sweep.csv, atomically. */
+/**
+ * Merge per-config CSVs into <out>/sweep.csv, atomically. Every CSV
+ * is validated (strict parse) before its raw lines are concatenated,
+ * so a corrupt per-config file fails the merge with a typed
+ * diagnostic instead of polluting sweep.csv — while well-formed
+ * input still passes through byte-identically.
+ */
 void
 mergeResults(const RunnerOptions &opts,
              const std::vector<SweepConfig> &configs)
@@ -607,6 +641,7 @@ mergeResults(const RunnerOptions &opts,
     bool wrote_header = false;
     for (const SweepConfig &cfg : configs) {
         std::string path = opts.outDir + "/" + cfg.name + ".csv";
+        parseFrameCsvFile(path);
         std::ifstream is(path);
         if (!is)
             texdist_fatal("missing result CSV for completed "
@@ -630,10 +665,8 @@ mergeResults(const RunnerOptions &opts,
     atomicWriteFile(opts.outDir + "/sweep.csv", merged);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     RunnerOptions opts = parseArgs(argc, argv);
 
@@ -734,4 +767,22 @@ main(int argc, char **argv)
               << " config(s); merged results in " << opts.outDir
               << "/sweep.csv\n";
     return exitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Malformed input — command line, sweep manifest, result CSV —
+    // exits with the surface's documented code; a bad command line
+    // also reprints the usage text.
+    try {
+        return run(argc, argv);
+    } catch (const ParseError &e) {
+        std::cerr << "fatal: " << e.describe() << "\n";
+        if (e.surface() == ParseSurface::Cli)
+            std::cerr << "\n" << usage();
+        return e.exitCode();
+    }
 }

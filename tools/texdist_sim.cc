@@ -35,6 +35,7 @@
 
 #include "core/audit.hh"
 #include "core/csv.hh"
+#include "core/error.hh"
 #include "core/experiments.hh"
 #include "core/interframe.hh"
 #include "core/options.hh"
@@ -318,8 +319,11 @@ runSingle(const SimOptions &opts, const Scene &scene)
 
 } // namespace
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     SimOptions opts = SimOptions::parse(argc, argv);
     if (opts.help) {
@@ -358,4 +362,22 @@ main(int argc, char **argv)
         return runSequence(opts, scene);
     }
     return runSingle(opts, scene);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Malformed input — command line, trace, checkpoint, manifest —
+    // exits with the surface's documented code (see --help); a bad
+    // command line also reprints the usage text.
+    try {
+        return run(argc, argv);
+    } catch (const ParseError &e) {
+        std::cerr << "fatal: " << e.describe() << "\n";
+        if (e.surface() == ParseSurface::Cli)
+            std::cerr << "\n" << SimOptions::usage();
+        return e.exitCode();
+    }
 }

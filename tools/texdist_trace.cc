@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/error.hh"
 #include "scene/benchmarks.hh"
 #include "scene/render.hh"
 #include "scene/stats.hh"
@@ -36,10 +37,8 @@ usage()
     return 1;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
@@ -92,4 +91,14 @@ main(int argc, char **argv)
     }
 
     return usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // A malformed trace exits with its documented code (6) and a
+    // diagnostic naming the byte offset, record and field.
+    return guardParseErrors([&] { return run(argc, argv); });
 }

@@ -1,0 +1,561 @@
+/**
+ * @file
+ * texfuzz — deterministic fuzzer for the simulator's five untrusted
+ * input surfaces (triangle traces, checkpoint images, JSON run
+ * manifests, result CSVs, the CLI option parser).
+ *
+ * The contract under test: every parser, fed arbitrary bytes, either
+ * accepts the input or throws a typed ParseError mapping to the
+ * documented exit code — never a crash, a hang, an unbounded
+ * allocation, or an untyped exception. The fuzz loop runs the real
+ * parsers in-process; a watchdog alarm catches hangs and signal
+ * handlers persist the offending input before the process dies, so
+ * every failure leaves a reproducer on disk.
+ *
+ * Modes:
+ *   texfuzz --surface=S --seed=N --iters=N [--corpus=dir] [--out=dir]
+ *       mutational fuzz loop; bit-reproducible for fixed seed
+ *   texfuzz --surface=S --one=file
+ *       replay one input; exit 0 if accepted, the surface's
+ *       documented exit code if rejected (corpus regression mode)
+ *   texfuzz --surface=S --minimize=file
+ *       shrink a failing input while its outcome is preserved
+ *       (fork-per-candidate, so even crashing inputs minimize);
+ *       writes <file>.min
+ *   texfuzz --emit-seeds=dir
+ *       write the built-in structure-aware seed inputs for every
+ *       surface (regenerates tests/fuzz/seeds)
+ *
+ * Exit codes: 0 clean, 1 usage error, 10 findings written, 12 hang
+ * caught by the watchdog; a crash re-raises the fatal signal after
+ * saving the input.
+ */
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hh"
+#include "mutate.hh"
+#include "rng.hh"
+#include "surfaces.hh"
+
+using namespace texdist;
+using namespace texfuzz;
+
+namespace
+{
+
+constexpr int exitFindings = 10;
+constexpr int exitHang = 12;
+
+struct FuzzOptions
+{
+    std::string surface;   ///< empty = all (emit-seeds only)
+    uint64_t seed = 1;
+    uint64_t iters = 1000;
+    uint64_t timeoutSec = 5;
+    size_t maxLen = 1 << 20;
+    std::string corpusDir;
+    std::string outDir = "texfuzz-out";
+    std::string oneFile;
+    std::string minimizeFile;
+    std::string emitSeedsDir;
+};
+
+std::string
+usage()
+{
+    return "usage: texfuzz --surface=<trace|checkpoint|json|csv|cli>"
+           " [options]\n"
+           "  --seed=<n>        RNG seed (default 1); same seed =>\n"
+           "                    bit-identical run\n"
+           "  --iters=<n>       fuzz iterations (default 1000)\n"
+           "  --corpus=<dir>    extra seed inputs, one per file\n"
+           "  --out=<dir>       reproducer directory (default\n"
+           "                    texfuzz-out)\n"
+           "  --max-len=<n>     clamp inputs to n bytes (default 1M)\n"
+           "  --timeout=<sec>   per-input hang watchdog (default 5)\n"
+           "  --one=<file>      replay one input and exit with its\n"
+           "                    documented code\n"
+           "  --minimize=<file> shrink a failing input to "
+           "<file>.min\n"
+           "  --emit-seeds=<dir> write built-in seeds for every "
+           "surface\n";
+}
+
+/** Strict unsigned decimal for texfuzz's own options. */
+uint64_t
+ownU64(const std::string &value, const std::string &key)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        throw ParseError(ParseSurface::Cli, ParseRule::Syntax,
+                         "expected an unsigned integer, got '" +
+                             value + "'")
+            .field(key);
+    errno = 0;
+    uint64_t v = std::strtoull(value.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+        throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                         "value out of range: " + value)
+            .field(key);
+    return v;
+}
+
+FuzzOptions
+parseArgs(int argc, char **argv)
+{
+    FuzzOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto eq = arg.find('=');
+        std::string key = arg.substr(0, eq);
+        std::string value =
+            eq == std::string::npos ? "" : arg.substr(eq + 1);
+        if (key == "--surface")
+            opts.surface = value;
+        else if (key == "--seed")
+            opts.seed = ownU64(value, key);
+        else if (key == "--iters")
+            opts.iters = ownU64(value, key);
+        else if (key == "--timeout")
+            opts.timeoutSec = ownU64(value, key);
+        else if (key == "--max-len")
+            opts.maxLen = size_t(ownU64(value, key));
+        else if (key == "--corpus")
+            opts.corpusDir = value;
+        else if (key == "--out")
+            opts.outDir = value;
+        else if (key == "--one")
+            opts.oneFile = value;
+        else if (key == "--minimize")
+            opts.minimizeFile = value;
+        else if (key == "--emit-seeds")
+            opts.emitSeedsDir = value;
+        else if (key == "--help" || key == "-h") {
+            std::cout << usage();
+            std::exit(0);
+        } else {
+            throw ParseError(ParseSurface::Cli, ParseRule::Unknown,
+                             "unknown option '" + arg + "'")
+                .field(arg);
+        }
+    }
+    if (opts.surface.empty() && opts.emitSeedsDir.empty())
+        throw ParseError(ParseSurface::Cli, ParseRule::Syntax,
+                         "--surface is required")
+            .field("--surface");
+    if (opts.maxLen == 0)
+        throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                         "--max-len must be positive")
+            .field("--max-len");
+    return opts;
+}
+
+std::string
+readFileOrDie(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw ParseError(ParseSurface::Cli, ParseRule::Io,
+                         "cannot open input file")
+            .in(path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    if (is.bad())
+        throw ParseError(ParseSurface::Cli, ParseRule::Io,
+                         "read error")
+            .in(path);
+    return ss.str();
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), std::streamsize(bytes.size()));
+    os.close();
+    if (!os) {
+        std::cerr << "texfuzz: cannot write " << path << "\n";
+        std::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------
+// Crash/hang persistence. The handlers run under a fatal signal, so
+// they only touch pre-computed paths and the raw bytes of the input
+// in flight, via async-signal-safe syscalls.
+
+const char *g_crashPath = nullptr;
+const char *g_hangPath = nullptr;
+volatile const char *g_inputData = nullptr;
+volatile size_t g_inputLen = 0;
+
+void
+saveInputFromHandler(const char *path)
+{
+    if (!path || !g_inputData)
+        return;
+    int fd = ::open(path, O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0)
+        return;
+    const char *data = const_cast<const char *>(g_inputData);
+    size_t len = g_inputLen;
+    size_t done = 0;
+    while (done < len) {
+        ssize_t n = ::write(fd, data + done, len - done);
+        if (n <= 0)
+            break;
+        done += size_t(n);
+    }
+    ::close(fd);
+}
+
+extern "C" void
+onCrashSignal(int sig)
+{
+    saveInputFromHandler(g_crashPath);
+    const char msg[] = "texfuzz: crash; input saved, re-raising\n";
+    ssize_t ignored = ::write(2, msg, sizeof(msg) - 1);
+    (void)ignored;
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+extern "C" void
+onAlarm(int)
+{
+    saveInputFromHandler(g_hangPath);
+    const char msg[] = "texfuzz: hang (watchdog); input saved\n";
+    ssize_t ignored = ::write(2, msg, sizeof(msg) - 1);
+    (void)ignored;
+    ::_exit(exitHang);
+}
+
+void
+installHandlers()
+{
+    for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT})
+        std::signal(sig, onCrashSignal);
+    std::signal(SIGALRM, onAlarm);
+}
+
+/** Run one input under the watchdog, tracking it for the handlers. */
+ParseReport
+guardedParse(ParseSurface surface, const std::string &input,
+             uint64_t timeout_sec)
+{
+    g_inputData = input.data();
+    g_inputLen = input.size();
+    ::alarm(unsigned(timeout_sec));
+    ParseReport report = runParse(surface, input);
+    ::alarm(0);
+    g_inputData = nullptr;
+    g_inputLen = 0;
+    return report;
+}
+
+// ---------------------------------------------------------------
+
+/** FNV-1a over everything outcome-relevant: the determinism witness. */
+class RunDigest
+{
+  public:
+    void mix(const std::string &bytes)
+    {
+        for (char c : bytes)
+            mixByte(uint8_t(c));
+    }
+    void mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            mixByte(uint8_t(v >> (8 * i)));
+    }
+    uint64_t value() const { return h; }
+
+  private:
+    void mixByte(uint8_t b)
+    {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    uint64_t h = 0xcbf29ce484222325ULL;
+};
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::vector<std::string>
+loadCorpus(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir))
+        if (entry.is_regular_file())
+            paths.push_back(entry.path().string());
+    // Directory order is filesystem-dependent; the fuzz schedule
+    // must not be.
+    std::sort(paths.begin(), paths.end());
+    std::vector<std::string> inputs;
+    for (const std::string &path : paths)
+        inputs.push_back(readFileOrDie(path));
+    return inputs;
+}
+
+const char *
+surfaceName(ParseSurface s)
+{
+    return to_string(s);
+}
+
+int
+fuzzLoop(const FuzzOptions &opts)
+{
+    ParseSurface surface = surfaceFromName(opts.surface);
+    std::filesystem::create_directories(opts.outDir);
+
+    // Fixed reproducer paths the signal handlers can reach.
+    static std::string crash_path =
+        opts.outDir + "/crash-" + opts.surface + ".bin";
+    static std::string hang_path =
+        opts.outDir + "/hang-" + opts.surface + ".bin";
+    g_crashPath = crash_path.c_str();
+    g_hangPath = hang_path.c_str();
+    installHandlers();
+
+    std::vector<std::string> seeds = makeSeeds(surface);
+    if (!opts.corpusDir.empty())
+        for (std::string &extra : loadCorpus(opts.corpusDir))
+            seeds.push_back(std::move(extra));
+    if (seeds.empty())
+        seeds.push_back("");
+
+    RunDigest digest;
+    uint64_t ok = 0, rejected = 0;
+    std::vector<std::string> findings;
+
+    for (uint64_t iter = 0; iter < opts.iters; ++iter) {
+        FuzzRng rng = FuzzRng::forIteration(opts.seed, iter);
+        const std::string &base = seeds[rng.below(seeds.size())];
+        // Mostly corrupt valid inputs; occasionally start from
+        // nothing so the shallow checks stay covered too.
+        std::string input = rng.oneIn(16)
+                                ? mutate("", rng, opts.maxLen)
+                                : mutate(base, rng, opts.maxLen);
+        input = repairInput(surface, std::move(input), rng);
+
+        ParseReport report =
+            guardedParse(surface, input, opts.timeoutSec);
+        digest.mix(input);
+        digest.mix(uint64_t(report.outcome));
+        digest.mix(uint64_t(report.exitCode));
+
+        switch (report.outcome) {
+          case Outcome::Ok:
+            ++ok;
+            break;
+          case Outcome::Rejected:
+            ++rejected;
+            break;
+          case Outcome::Finding: {
+            std::string path = opts.outDir + "/finding-" +
+                               opts.surface + "-" +
+                               std::to_string(iter) + ".bin";
+            writeFileOrDie(path, input);
+            std::cerr << "texfuzz: finding at iter " << iter << ": "
+                      << report.diagnostic << "\n  reproducer: "
+                      << path << "\n";
+            findings.push_back(path);
+            break;
+          }
+        }
+    }
+
+    std::cout << "texfuzz: surface=" << opts.surface
+              << " seed=" << opts.seed << " iters=" << opts.iters
+              << " ok=" << ok << " rejected=" << rejected
+              << " findings=" << findings.size()
+              << " digest=" << hex16(digest.value()) << "\n";
+    return findings.empty() ? 0 : exitFindings;
+}
+
+int
+runOne(const FuzzOptions &opts)
+{
+    ParseSurface surface = surfaceFromName(opts.surface);
+    installHandlers();
+    std::string input = readFileOrDie(opts.oneFile);
+    ParseReport report =
+        guardedParse(surface, input, opts.timeoutSec);
+    switch (report.outcome) {
+      case Outcome::Ok:
+        std::cout << "ok: " << surfaceName(surface)
+                  << " input accepted (" << input.size()
+                  << " bytes)\n";
+        return 0;
+      case Outcome::Rejected:
+        std::cerr << "fatal: " << report.diagnostic << "\n";
+        return report.exitCode;
+      case Outcome::Finding:
+        std::cerr << "FINDING: " << report.diagnostic << "\n";
+        return report.exitCode;
+    }
+    return 0;
+}
+
+/**
+ * Outcome key for minimization: exit codes and death signals in one
+ * ordering-safe integer. Forked children make crashes and hangs as
+ * comparable as typed rejections.
+ */
+int
+childOutcome(ParseSurface surface, const std::string &input,
+             uint64_t timeout_sec)
+{
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        std::cerr << "texfuzz: fork failed\n";
+        std::exit(1);
+    }
+    if (pid == 0) {
+        // Quiet child: only the outcome matters.
+        int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+            ::dup2(devnull, 1);
+            ::dup2(devnull, 2);
+        }
+        std::signal(SIGALRM, SIG_DFL);
+        ::alarm(unsigned(timeout_sec));
+        ParseReport report = runParse(surface, input);
+        ::_exit(report.outcome == Outcome::Ok ? 0
+                                              : report.exitCode);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return 256 + WTERMSIG(status);
+    return -1;
+}
+
+int
+minimize(const FuzzOptions &opts)
+{
+    ParseSurface surface = surfaceFromName(opts.surface);
+    std::string input = readFileOrDie(opts.minimizeFile);
+    int want = childOutcome(surface, input, opts.timeoutSec);
+    if (want == 0) {
+        std::cerr << "texfuzz: input is accepted by the parser; "
+                     "nothing to minimize\n";
+        return 1;
+    }
+    std::cout << "minimizing " << input.size()
+              << " bytes, preserving outcome " << want << "\n";
+
+    // Greedy chunk removal, halving the chunk size: not a full
+    // ddmin, but converges fast and every probe is a real fork+parse
+    // of the candidate.
+    for (size_t chunk = std::max<size_t>(input.size() / 2, 1);;
+         chunk /= 2) {
+        bool shrunk = true;
+        while (shrunk) {
+            shrunk = false;
+            for (size_t at = 0; at < input.size(); at += chunk) {
+                std::string candidate = input;
+                candidate.erase(at,
+                                std::min(chunk,
+                                         candidate.size() - at));
+                if (candidate.size() == input.size())
+                    continue;
+                if (childOutcome(surface, candidate,
+                                 opts.timeoutSec) == want) {
+                    input = candidate;
+                    shrunk = true;
+                }
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+
+    std::string out = opts.minimizeFile + ".min";
+    writeFileOrDie(out, input);
+    std::cout << "minimized to " << input.size() << " bytes: " << out
+              << "\n";
+    return 0;
+}
+
+int
+emitSeeds(const FuzzOptions &opts)
+{
+    std::vector<ParseSurface> surfaces =
+        opts.surface.empty()
+            ? allSurfaces()
+            : std::vector<ParseSurface>{
+                  surfaceFromName(opts.surface)};
+    for (ParseSurface surface : surfaces) {
+        std::string dir = opts.emitSeedsDir + "/" +
+                          surfaceName(surface);
+        std::filesystem::create_directories(dir);
+        std::vector<std::string> seeds = makeSeeds(surface);
+        for (size_t i = 0; i < seeds.size(); ++i) {
+            std::string path =
+                dir + "/seed-" + std::to_string(i) + ".bin";
+            writeFileOrDie(path, seeds[i]);
+            std::cout << "wrote " << path << " (" << seeds[i].size()
+                      << " bytes)\n";
+        }
+    }
+    return 0;
+}
+
+int
+run(int argc, char **argv)
+{
+    FuzzOptions opts = parseArgs(argc, argv);
+    if (!opts.emitSeedsDir.empty())
+        return emitSeeds(opts);
+    if (!opts.oneFile.empty())
+        return runOne(opts);
+    if (!opts.minimizeFile.empty())
+        return minimize(opts);
+    return fuzzLoop(opts);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const ParseError &e) {
+        std::cerr << "fatal: " << e.describe() << "\n";
+        if (e.surface() == ParseSurface::Cli)
+            std::cerr << "\n" << usage();
+        return e.exitCode();
+    }
+}

@@ -1,0 +1,138 @@
+#include "mutate.hh"
+
+#include <cstring>
+
+namespace texfuzz
+{
+
+namespace
+{
+
+/**
+ * Boundary values that historically break parsers: zero, sign
+ * boundaries, all-ones, and power-of-two neighbours wide enough to
+ * overflow 16- and 32-bit length fields.
+ */
+const uint64_t interesting[] = {
+    0,
+    1,
+    0x7f,
+    0x80,
+    0xff,
+    0x7fff,
+    0x8000,
+    0xffff,
+    0x7fffffffULL,
+    0x80000000ULL,
+    0xffffffffULL,
+    0x100000000ULL,
+    0x7fffffffffffffffULL,
+    0xffffffffffffffffULL,
+};
+
+void
+flipBit(std::string &data, FuzzRng &rng)
+{
+    size_t at = rng.below(data.size());
+    data[at] = char(uint8_t(data[at]) ^ uint8_t(1u << rng.below(8)));
+}
+
+void
+setByte(std::string &data, FuzzRng &rng)
+{
+    data[rng.below(data.size())] = char(rng.byte());
+}
+
+/** Overwrite 1/2/4/8 bytes with an interesting value, either endian. */
+void
+splatInteresting(std::string &data, FuzzRng &rng)
+{
+    const size_t widths[] = {1, 2, 4, 8};
+    size_t width = widths[rng.below(4)];
+    if (data.size() < width)
+        width = 1;
+    uint64_t value =
+        interesting[rng.below(sizeof(interesting) /
+                              sizeof(interesting[0]))];
+    bool big_endian = rng.oneIn(4);
+    size_t at = rng.below(data.size() - width + 1);
+    for (size_t i = 0; i < width; ++i) {
+        size_t shift = 8 * (big_endian ? width - 1 - i : i);
+        data[at + i] = char(uint8_t(value >> shift));
+    }
+}
+
+void
+truncate(std::string &data, FuzzRng &rng)
+{
+    data.resize(rng.below(data.size()));
+}
+
+void
+removeChunk(std::string &data, FuzzRng &rng)
+{
+    size_t at = rng.below(data.size());
+    size_t len = 1 + rng.below(data.size() - at);
+    data.erase(at, len);
+}
+
+void
+duplicateChunk(std::string &data, FuzzRng &rng, size_t max_len)
+{
+    size_t at = rng.below(data.size());
+    size_t len = 1 + rng.below(data.size() - at);
+    if (data.size() + len > max_len)
+        return;
+    std::string chunk = data.substr(at, len);
+    data.insert(rng.below(data.size() + 1), chunk);
+}
+
+void
+insertRandom(std::string &data, FuzzRng &rng, size_t max_len)
+{
+    size_t len = 1 + rng.below(16);
+    if (data.size() + len > max_len)
+        return;
+    std::string chunk;
+    for (size_t i = 0; i < len; ++i)
+        chunk.push_back(char(rng.byte()));
+    data.insert(rng.below(data.size() + 1), chunk);
+}
+
+} // namespace
+
+std::string
+mutate(const std::string &input, FuzzRng &rng, size_t max_len)
+{
+    std::string data = input;
+    if (data.size() > max_len)
+        data.resize(max_len);
+
+    // A small stack of mutations per input: single corruptions probe
+    // one check at a time, stacks reach states no single flip can.
+    size_t count = 1 + rng.below(8);
+    for (size_t i = 0; i < count; ++i) {
+        if (data.empty()) {
+            insertRandom(data, rng, max_len);
+            if (data.empty())
+                data.push_back(char(rng.byte()));
+            continue;
+        }
+        switch (rng.below(7)) {
+          case 0: flipBit(data, rng); break;
+          case 1: setByte(data, rng); break;
+          case 2: splatInteresting(data, rng); break;
+          case 3: truncate(data, rng); break;
+          case 4: removeChunk(data, rng); break;
+          case 5: duplicateChunk(data, rng, max_len); break;
+          case 6: insertRandom(data, rng, max_len); break;
+        }
+    }
+    if (data.empty())
+        data.push_back(char(rng.byte()));
+    if (data == input)
+        flipBit(data, rng);
+    return data;
+}
+
+} // namespace texfuzz

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Byte-level mutations over a seed input. Structure-unaware by
+ * design: the structure-aware half of the fuzzer lives in the seed
+ * generators (surfaces.hh), which hand these mutators valid inputs
+ * to corrupt — a valid header with one flipped length byte probes
+ * far deeper than random bytes ever reach.
+ */
+
+#ifndef TEXDIST_TOOLS_TEXFUZZ_MUTATE_HH
+#define TEXDIST_TOOLS_TEXFUZZ_MUTATE_HH
+
+#include <string>
+
+#include "rng.hh"
+
+namespace texfuzz
+{
+
+/**
+ * Apply a random stack of mutations (bit flips, interesting-value
+ * splats, truncation, chunk duplication, insertion, deletion) to
+ * @p input. Never returns the input unchanged; respects @p max_len.
+ */
+std::string mutate(const std::string &input, FuzzRng &rng,
+                   size_t max_len);
+
+} // namespace texfuzz
+
+#endif // TEXDIST_TOOLS_TEXFUZZ_MUTATE_HH

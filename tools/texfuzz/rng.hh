@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The fuzzer's own random stream: SplitMix64 keyed on
+ * (seed, iteration), so iteration N of a run is a pure function of
+ * the command line — `--seed=S --iters=N` is bit-reproducible and
+ * any single iteration can be replayed in isolation.
+ *
+ * Deliberately not geom/rng.hh: the simulator's RNG is part of the
+ * machine model and its stream layout is checkpointed state. The
+ * fuzzer must be free to change its mutation schedule without
+ * touching simulation determinism, so it keeps a private generator.
+ */
+
+#ifndef TEXDIST_TOOLS_TEXFUZZ_RNG_HH
+#define TEXDIST_TOOLS_TEXFUZZ_RNG_HH
+
+#include <cstdint>
+
+namespace texfuzz
+{
+
+/** SplitMix64 — tiny, fast, and good enough to drive mutations. */
+class FuzzRng
+{
+  public:
+    explicit FuzzRng(uint64_t seed) : s(seed) {}
+
+    /** The generator for one iteration of one run. */
+    static FuzzRng forIteration(uint64_t seed, uint64_t iter)
+    {
+        // Mix the iteration in through one splitmix step so nearby
+        // (seed, iter) pairs land far apart in the stream.
+        FuzzRng boot(seed ^ (iter * 0x9e3779b97f4a7c15ULL));
+        return FuzzRng(boot.next());
+    }
+
+    uint64_t next()
+    {
+        uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, n); n must be positive. */
+    uint64_t below(uint64_t n) { return next() % n; }
+
+    /** True with probability 1/n. */
+    bool oneIn(uint64_t n) { return below(n) == 0; }
+
+    uint8_t byte() { return uint8_t(next()); }
+
+  private:
+    uint64_t s;
+};
+
+} // namespace texfuzz
+
+#endif // TEXDIST_TOOLS_TEXFUZZ_RNG_HH

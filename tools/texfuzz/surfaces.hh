@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The five input surfaces under fuzz: what they are named on the
+ * command line, how to generate valid seed inputs for each, and how
+ * to feed one input through the real parser in-process.
+ *
+ * The parse entry points are exactly the ones production drivers
+ * call — readTrace, SequenceMachine::restore over a CheckpointReader,
+ * RunManifest::fromJsonText, parseFrameCsvText, SimOptions::parse —
+ * so the fuzzer exercises the code that ships, not a test double.
+ */
+
+#ifndef TEXDIST_TOOLS_TEXFUZZ_SURFACES_HH
+#define TEXDIST_TOOLS_TEXFUZZ_SURFACES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/error.hh"
+#include "rng.hh"
+
+namespace texfuzz
+{
+
+/** How one input fared against its parser. */
+enum class Outcome
+{
+    Ok,       ///< parsed cleanly
+    Rejected, ///< typed ParseError of the surface's own kind
+    Finding,  ///< wrong exception type or wrong surface — a bug
+};
+
+struct ParseReport
+{
+    Outcome outcome = Outcome::Ok;
+    int exitCode = 0;        ///< process exit code the input maps to
+    std::string diagnostic;  ///< what a driver would print
+};
+
+/** Parse the surface name used in --surface=, or fail with a list. */
+texdist::ParseSurface surfaceFromName(const std::string &name);
+
+/** All fuzzable surfaces, in the order the smoke job runs them. */
+std::vector<texdist::ParseSurface> allSurfaces();
+
+/**
+ * Valid seed inputs for @p surface, built with the project's own
+ * writers (writeTrace, CheckpointWriter, manifest/CSV emitters), so
+ * every mutation starts from a file the parser fully accepts.
+ */
+std::vector<std::string> makeSeeds(texdist::ParseSurface surface);
+
+/**
+ * Surface-specific post-mutation fixup. For checkpoints this usually
+ * rewrites the declared payload length and CRC so a mutated payload
+ * gets past the header validation and into the section/value
+ * decoders (sometimes it leaves the header broken on purpose, so the
+ * header checks stay covered too). Other surfaces pass through.
+ */
+std::string repairInput(texdist::ParseSurface surface,
+                        std::string input, FuzzRng &rng);
+
+/**
+ * Run @p input through the surface's production parser. Crashes and
+ * hangs are *not* caught here — the harness's signal handlers and
+ * watchdog own those.
+ */
+ParseReport runParse(texdist::ParseSurface surface,
+                     const std::string &input);
+
+} // namespace texfuzz
+
+#endif // TEXDIST_TOOLS_TEXFUZZ_SURFACES_HH
