@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -12,7 +13,7 @@ void
 CsvWriter::open(const std::string &path)
 {
     finalPath = path;
-    tmpPath = path + ".tmp";
+    tmpPath = path + scratchSuffix();
     os.open(tmpPath, std::ios::trunc);
     if (!os)
         texdist_fatal("cannot open CSV output: ", path);

@@ -6,10 +6,14 @@
  * figure panel: a header row, then one row per x value with one
  * column per series.
  *
- * Writes are crash-safe: rows stream into `<path>.tmp` and the final
- * name appears only via an atomic rename at close(), so a killed
- * harness never leaves a truncated CSV where a complete one is
- * expected — a partial sweep must be re-run, not silently plotted.
+ * Writes are crash-safe and multi-process-safe: rows stream into a
+ * scratch file named `<path>.tmp.<pid>.<n>` (always a sibling of the
+ * target, so the publishing rename never crosses filesystems) and
+ * the final name appears only via an atomic rename at close(). A
+ * killed harness never leaves a truncated CSV where a complete one
+ * is expected, and two processes racing to publish the same target
+ * write distinct scratch files — the last rename wins whole, never
+ * an interleaving of the two.
  */
 
 #ifndef TEXDIST_CORE_CSV_HH

@@ -27,6 +27,9 @@
  *      7  malformed checkpoint
  *      8  malformed JSON (config, run manifest, sweep manifest)
  *      9  malformed result/resume CSV
+ *     10  fabric lease lost (a worker's claim was seized)
+ *     11  fabric store corrupt (malformed store entry / lease file)
+ *     12  fabric entries quarantined (fsck moved damaged entries)
  *
  * This header is dependency-free and header-only on purpose: the
  * low-level sim library (checkpoint reader) and the high-level core
@@ -55,6 +58,7 @@ enum class ParseSurface : uint8_t
     Json,       ///< JSON config / run or sweep manifest (core/json)
     Csv,        ///< per-frame result / sweep-resume CSV (core/replay)
     Cli,        ///< command-line options (core/options, src/fault)
+    Fabric,     ///< result-store entry / lease file (src/fabric)
 };
 
 /** The class of rule a malformed input violated. */
@@ -86,6 +90,7 @@ to_string(ParseSurface s)
       case ParseSurface::Json: return "json";
       case ParseSurface::Csv: return "csv";
       case ParseSurface::Cli: return "cli";
+      case ParseSurface::Fabric: return "fabric";
     }
     return "?";
 }
@@ -123,9 +128,80 @@ parseErrorExitCode(ParseSurface surface)
       case ParseSurface::Checkpoint: return 7;
       case ParseSurface::Json: return 8;
       case ParseSurface::Csv: return 9;
+      case ParseSurface::Fabric: return 11;
     }
     return 1;
 }
+
+/**
+ * Fabric runtime conditions — distributed-sweep failures that are
+ * not parse errors: a worker's lease on a config was seized by a
+ * peer, a store entry failed validation where strict handling was
+ * requested, or an fsck pass had to quarantine damaged entries.
+ * Each carries its own documented exit code so a supervisor can
+ * tell "this worker was superseded" (restart is pointless) from
+ * "the shared store is damaged" (stop the fleet and fsck).
+ */
+enum class FabricFault : uint8_t
+{
+    LeaseLost,   ///< this worker's claim file was seized by a peer
+    StoreCorrupt,///< a store entry failed validation (strict mode)
+    Quarantined, ///< fsck moved one or more damaged entries aside
+};
+
+constexpr const char *
+to_string(FabricFault f)
+{
+    switch (f) {
+      case FabricFault::LeaseLost: return "lease-lost";
+      case FabricFault::StoreCorrupt: return "store-corrupt";
+      case FabricFault::Quarantined: return "quarantined";
+    }
+    return "?";
+}
+
+/** The documented exit code for a fabric fault. */
+constexpr int
+fabricExitCode(FabricFault f)
+{
+    switch (f) {
+      case FabricFault::LeaseLost: return 10;
+      case FabricFault::StoreCorrupt: return 11;
+      case FabricFault::Quarantined: return 12;
+    }
+    return 11;
+}
+
+/**
+ * A fabric runtime failure. Like ParseError this is header-only and
+ * dependency-free so the fabric library, the sweep runner and the
+ * chaos harness can all throw and catch it without link coupling.
+ */
+class FabricError : public std::exception
+{
+  public:
+    FabricError(FabricFault fault, std::string message)
+        : _fault(fault), _message(std::move(message))
+    {
+        _what = std::string("fabric ") + to_string(_fault) + ": " +
+                _message;
+    }
+
+    FabricFault fault() const { return _fault; }
+    const std::string &message() const { return _message; }
+    int exitCode() const { return fabricExitCode(_fault); }
+    const std::string &describe() const { return _what; }
+
+    const char *what() const noexcept override
+    {
+        return _what.c_str();
+    }
+
+  private:
+    FabricFault _fault;
+    std::string _message;
+    std::string _what;
+};
 
 /**
  * A malformed-input diagnostic. Built fluently at the throw site:

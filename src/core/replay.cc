@@ -413,8 +413,11 @@ parseFrameCsvText(const std::string &text, const std::string &what)
     }
 }
 
-std::vector<FrameCsvRow>
-parseFrameCsvFile(const std::string &path)
+namespace
+{
+
+std::string
+slurpCsv(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
@@ -427,7 +430,44 @@ parseFrameCsvFile(const std::string &path)
         throw ParseError(ParseSurface::Csv, ParseRule::Io,
                          "error reading result CSV")
             .in(path);
-    return parseFrameCsvText(ss.str(), path);
+    return ss.str();
+}
+
+} // namespace
+
+std::vector<FrameCsvRow>
+parseFrameCsvFile(const std::string &path)
+{
+    return parseFrameCsvText(slurpCsv(path), path);
+}
+
+TolerantCsvParse
+parseFrameCsvTextTolerant(const std::string &text,
+                          const std::string &what)
+{
+    TolerantCsvParse result;
+    size_t lastNl = text.find_last_of('\n');
+    if (lastNl == std::string::npos) {
+        // No complete record at all — even the header was cut. The
+        // complete prefix is empty; everything is the torn tail.
+        result.tornTail = !text.empty();
+        result.tail = text;
+        return result;
+    }
+    std::string prefix = text.substr(0, lastNl + 1);
+    std::string tail = text.substr(lastNl + 1);
+    result.rows = parseFrameCsvText(prefix, what);
+    if (!tail.empty()) {
+        result.tornTail = true;
+        result.tail = std::move(tail);
+    }
+    return result;
+}
+
+TolerantCsvParse
+parseFrameCsvFileTolerant(const std::string &path)
+{
+    return parseFrameCsvTextTolerant(slurpCsv(path), path);
 }
 
 } // namespace texdist

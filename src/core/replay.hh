@@ -131,6 +131,41 @@ parseFrameCsvText(const std::string &text, const std::string &what);
 /** parseFrameCsvText() over a file; Io ParseError when unreadable. */
 std::vector<FrameCsvRow> parseFrameCsvFile(const std::string &path);
 
+/**
+ * Result of a torn-tail-tolerant parse: the rows of the complete
+ * prefix, plus whether a torn final record was dropped to get them.
+ */
+struct TolerantCsvParse
+{
+    std::vector<FrameCsvRow> rows;
+
+    /**
+     * True when the input did not end in a newline and the trailing
+     * fragment was discarded — the signature of a writer cut down
+     * mid-record (power loss, SIGKILL during a non-atomic append).
+     */
+    bool tornTail = false;
+
+    /** The discarded fragment, for the caller's warning. */
+    std::string tail;
+};
+
+/**
+ * Torn-tail-tolerant variant of parseFrameCsvText() for *resume*
+ * decisions: a file whose final record was cut mid-write (no
+ * terminating newline) parses to its complete prefix with
+ * `tornTail` set, instead of rejecting the whole file — the caller
+ * truncates-and-continues with a warning. Corruption anywhere in
+ * the newline-terminated prefix still throws ParseError: only the
+ * one damage shape a torn write can produce is forgiven.
+ */
+TolerantCsvParse
+parseFrameCsvTextTolerant(const std::string &text,
+                          const std::string &what);
+
+/** parseFrameCsvTextTolerant() over a file. */
+TolerantCsvParse parseFrameCsvFileTolerant(const std::string &path);
+
 } // namespace texdist
 
 #endif // TEXDIST_CORE_REPLAY_HH

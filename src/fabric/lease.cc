@@ -1,0 +1,279 @@
+#include "fabric/lease.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "core/json.hh"
+#include "sim/checkpoint.hh"
+#include "sim/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace texdist
+{
+namespace fabric
+{
+
+namespace
+{
+
+/** Raw file bytes, or nullopt when absent/unreadable. */
+std::optional<std::string>
+slurpIfPresent(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    if (!is)
+        return std::nullopt;
+    return ss.str();
+}
+
+} // namespace
+
+LeaseQueue::LeaseQueue(std::string dir, std::string workerId)
+    : _dir(std::move(dir)), _worker(std::move(workerId))
+{
+    std::error_code ec;
+    fs::create_directories(_dir, ec);
+    if (ec)
+        texdist_fatal("cannot create lease queue ", _dir, ": ",
+                      ec.message());
+}
+
+std::string
+LeaseQueue::leasePath(const std::string &name) const
+{
+    return _dir + "/" + name + ".lease";
+}
+
+std::string
+LeaseQueue::leaseContent(const std::string &name, uint64_t beat,
+                         uint64_t generation) const
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("format", JsonValue::makeString("texdist-lease"));
+    root.set("version", JsonValue::makeNumber(1));
+    root.set("config", JsonValue::makeString(name));
+    root.set("worker", JsonValue::makeString(_worker));
+    root.set("beat", JsonValue::makeNumber(double(beat)));
+    root.set("generation",
+             JsonValue::makeNumber(double(generation)));
+    return root.dump();
+}
+
+bool
+LeaseQueue::tryClaim(const std::string &name)
+{
+    ++_generation;
+    std::string content = leaseContent(name, 0, _generation);
+    int fd = ::open(leasePath(name).c_str(),
+                    O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return false;
+        texdist_fatal("cannot create lease ", leasePath(name), ": ",
+                      std::strerror(errno));
+    }
+    ssize_t n = ::write(fd, content.data(), content.size());
+    ::close(fd);
+    if (n != ssize_t(content.size()))
+        texdist_fatal("short write to lease ", leasePath(name));
+    _held[name] = Held{0, _generation};
+    return true;
+}
+
+void
+LeaseQueue::heartbeat(const std::string &name)
+{
+    auto it = _held.find(name);
+    if (it == _held.end())
+        return;
+    // A peer may have judged us stale and seized the claim; our
+    // refresh must not clobber theirs. (A seizure landing between
+    // this check and the write below can still be overwritten, but
+    // that race is benign: the stealer's next owns() check fails,
+    // it stands down, and we finish the config — results are
+    // idempotent either way.)
+    if (!owns(name)) {
+        _held.erase(it);
+        return;
+    }
+    ++it->second.beat;
+    // The rewrite is a scratch+rename, so observers never read a
+    // torn heartbeat — they see the old beat or the new one.
+    atomicWriteFile(leasePath(name),
+                    leaseContent(name, it->second.beat,
+                                 it->second.generation));
+}
+
+std::optional<LeaseInfo>
+LeaseQueue::read(const std::string &name) const
+{
+    auto bytes = slurpIfPresent(leasePath(name));
+    if (!bytes)
+        return std::nullopt;
+    auto parsed = tryParse([&] {
+        JsonValue root = JsonValue::parse(*bytes);
+        LeaseInfo info;
+        if (root.at("format").asString() != "texdist-lease")
+            throw ParseError(ParseSurface::Fabric, ParseRule::Magic,
+                             "not a lease file");
+        info.worker = root.at("worker").asString();
+        info.beat = root.at("beat").asU64();
+        info.generation = root.at("generation").asU64();
+        return info;
+    });
+    if (!parsed.ok())
+        return std::nullopt;
+    return parsed.takeValue();
+}
+
+bool
+LeaseQueue::owns(const std::string &name) const
+{
+    auto it = _held.find(name);
+    if (it == _held.end())
+        return false;
+    auto info = read(name);
+    return info && info->worker == _worker &&
+           info->generation == it->second.generation;
+}
+
+void
+LeaseQueue::release(const std::string &name)
+{
+    if (owns(name))
+        ::unlink(leasePath(name).c_str());
+    _held.erase(name);
+}
+
+uint64_t
+LeaseQueue::observeUnchanged(const std::string &name)
+{
+    auto bytes = slurpIfPresent(leasePath(name));
+    if (!bytes) {
+        _observed.erase(name);
+        return 0;
+    }
+    Observation &obs = _observed[name];
+    if (obs.fingerprint == *bytes) {
+        ++obs.unchanged;
+    } else {
+        // Any content change is progress — absolute heartbeat
+        // values are irrelevant, so a holder with a skewed counter
+        // (huge jumps, even backwards) still reads as alive.
+        obs.fingerprint = *bytes;
+        obs.unchanged = 1;
+    }
+    return obs.unchanged;
+}
+
+bool
+LeaseQueue::steal(const std::string &name)
+{
+    ++_generation;
+    std::string path = leasePath(name);
+    std::string scratch = path + scratchSuffix();
+    {
+        std::ofstream os(scratch, std::ios::binary |
+                                      std::ios::trunc);
+        os << leaseContent(name, 0, _generation);
+        os.flush();
+        if (!os) {
+            ::unlink(scratch.c_str());
+            return false;
+        }
+    }
+    if (std::rename(scratch.c_str(), path.c_str()) != 0) {
+        ::unlink(scratch.c_str());
+        return false;
+    }
+    _held[name] = Held{0, _generation};
+    _observed.erase(name);
+    // Another stealer may have renamed over us in the window; the
+    // read-back decides who actually holds the lease.
+    if (!owns(name)) {
+        _held.erase(name);
+        return false;
+    }
+    ++_stolen;
+    return true;
+}
+
+bool
+LeaseQueue::isClaimed(const std::string &name) const
+{
+    return slurpIfPresent(leasePath(name)).has_value();
+}
+
+void
+LeaseQueue::markDone(const std::string &name, const StoreKey &key)
+{
+    // No worker id in the marker: every finisher of this config
+    // writes byte-identical content, so the publish race between a
+    // straggler and its speculative duplicate is harmless.
+    JsonValue root = JsonValue::makeObject();
+    root.set("format", JsonValue::makeString("texdist-done"));
+    root.set("version", JsonValue::makeNumber(1));
+    root.set("config", JsonValue::makeString(name));
+    root.set("key", JsonValue::makeString(key.hex()));
+    atomicWriteFile(_dir + "/" + name + ".done", root.dump());
+}
+
+void
+LeaseQueue::markFailed(const std::string &name, int exitCode)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("format", JsonValue::makeString("texdist-failed"));
+    root.set("version", JsonValue::makeNumber(1));
+    root.set("config", JsonValue::makeString(name));
+    root.set("exit_code", JsonValue::makeNumber(exitCode));
+    atomicWriteFile(_dir + "/" + name + ".failed", root.dump());
+}
+
+bool
+LeaseQueue::isDone(const std::string &name) const
+{
+    auto bytes = slurpIfPresent(_dir + "/" + name + ".done");
+    if (!bytes)
+        return false;
+    // A torn marker is treated as absent: the config re-runs (a
+    // store hit makes that cheap) and the rewrite repairs the file.
+    auto parsed = tryParse([&] {
+        return JsonValue::parse(*bytes).at("format").asString() ==
+               "texdist-done";
+    });
+    return parsed.ok() && parsed.value();
+}
+
+bool
+LeaseQueue::isFailed(const std::string &name, int *exitCode) const
+{
+    auto bytes = slurpIfPresent(_dir + "/" + name + ".failed");
+    if (!bytes)
+        return false;
+    auto parsed = tryParse([&] {
+        JsonValue root = JsonValue::parse(*bytes);
+        if (root.at("format").asString() != "texdist-failed")
+            throw ParseError(ParseSurface::Fabric, ParseRule::Magic,
+                             "not a failed marker");
+        return int(root.at("exit_code").asNumber());
+    });
+    if (!parsed.ok())
+        return false;
+    if (exitCode)
+        *exitCode = parsed.value();
+    return true;
+}
+
+} // namespace fabric
+} // namespace texdist

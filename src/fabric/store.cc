@@ -1,0 +1,307 @@
+#include "fabric/store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/json.hh"
+#include "core/replay.hh"
+#include "sim/checkpoint.hh"
+#include "sim/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace texdist
+{
+namespace fabric
+{
+
+namespace
+{
+
+constexpr char storeMagic[4] = {'T', 'D', 'R', 'S'};
+constexpr size_t storeHeaderSize = 36;
+constexpr const char *entrySuffix = ".res";
+
+void
+put32(std::string &buf, uint32_t v)
+{
+    for (size_t i = 0; i < 4; ++i)
+        buf.push_back(char(uint8_t(v >> (8 * i))));
+}
+
+void
+put64(std::string &buf, uint64_t v)
+{
+    for (size_t i = 0; i < 8; ++i)
+        buf.push_back(char(uint8_t(v >> (8 * i))));
+}
+
+uint32_t
+get32(const std::string &buf, size_t at)
+{
+    uint32_t v = 0;
+    for (size_t i = 0; i < 4; ++i)
+        v |= uint32_t(uint8_t(buf[at + i])) << (8 * i);
+    return v;
+}
+
+uint64_t
+get64(const std::string &buf, size_t at)
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i)
+        v |= uint64_t(uint8_t(buf[at + i])) << (8 * i);
+    return v;
+}
+
+[[noreturn]] void
+storeFail(const std::string &what, ParseRule rule, std::string msg,
+          uint64_t offset)
+{
+    throw ParseError(ParseSurface::Fabric, rule, std::move(msg))
+        .in(what)
+        .at(offset);
+}
+
+} // namespace
+
+std::string
+StoreKey::hex() const
+{
+    return digestHex(digest);
+}
+
+std::string
+canonicalConfigJson(const std::vector<std::string> &args,
+                    uint64_t traceDigest,
+                    const std::string &codeVersion)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("format", JsonValue::makeString("texdist-fabric-key"));
+    root.set("version", JsonValue::makeNumber(1));
+    root.set("code", JsonValue::makeString(codeVersion));
+    root.set("trace_digest",
+             JsonValue::makeString(digestHex(traceDigest)));
+    JsonValue list = JsonValue::makeArray();
+    for (const std::string &arg : args)
+        list.append(JsonValue::makeString(arg));
+    root.set("args", std::move(list));
+    return root.dump();
+}
+
+StoreKey
+computeStoreKey(const std::vector<std::string> &args,
+                uint64_t traceDigest, const std::string &codeVersion)
+{
+    StateDigest d;
+    d.mix(canonicalConfigJson(args, traceDigest, codeVersion));
+    StoreKey key;
+    key.digest = d.value();
+    return key;
+}
+
+uint64_t
+digestFileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw ParseError(ParseSurface::Fabric, ParseRule::Io,
+                         "cannot read trace input for store key")
+            .in(path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    StateDigest d;
+    d.mix(ss.str());
+    return d.value();
+}
+
+std::string
+encodeStoreEntry(const StoreKey &key, const std::string &meta,
+                 const std::string &payload)
+{
+    std::string image;
+    image.reserve(storeHeaderSize + meta.size() + payload.size());
+    image.append(storeMagic, sizeof(storeMagic));
+    put32(image, storeFormatVersion);
+    put64(image, key.digest);
+    put64(image, uint64_t(meta.size()));
+    put64(image, uint64_t(payload.size()));
+    std::string body = meta + payload;
+    put32(image, crc32(body.data(), body.size()));
+    image += body;
+    return image;
+}
+
+StoreEntry
+decodeStoreEntry(const std::string &image, const std::string &what)
+{
+    if (image.size() < storeHeaderSize)
+        storeFail(what, ParseRule::Truncated,
+                  "entry cut inside the " +
+                      std::to_string(storeHeaderSize) +
+                      "-byte header (" +
+                      std::to_string(image.size()) + " bytes)",
+                  image.size());
+    if (image.compare(0, sizeof(storeMagic), storeMagic,
+                      sizeof(storeMagic)) != 0)
+        storeFail(what, ParseRule::Magic,
+                  "bad magic (want \"TDRS\")", 0);
+    uint32_t version = get32(image, 4);
+    if (version != storeFormatVersion)
+        storeFail(what, ParseRule::Version,
+                  "unsupported entry version " +
+                      std::to_string(version),
+                  4);
+    StoreEntry entry;
+    entry.key.digest = get64(image, 8);
+    uint64_t metaLen = get64(image, 16);
+    uint64_t payloadLen = get64(image, 24);
+    uint64_t avail = image.size() - storeHeaderSize;
+    if (metaLen > avail || payloadLen > avail - metaLen)
+        storeFail(what, ParseRule::Overrun,
+                  "declared lengths (" + std::to_string(metaLen) +
+                      " + " + std::to_string(payloadLen) +
+                      ") overrun the " + std::to_string(avail) +
+                      " available bytes",
+                  16);
+    if (metaLen + payloadLen != avail)
+        storeFail(what, ParseRule::Mismatch,
+                  std::to_string(avail - metaLen - payloadLen) +
+                      " trailing bytes after the payload",
+                  storeHeaderSize + metaLen + payloadLen);
+    uint32_t crcWant = get32(image, 32);
+    uint32_t crcGot = crc32(image.data() + storeHeaderSize,
+                            size_t(metaLen + payloadLen));
+    if (crcWant != crcGot)
+        storeFail(what, ParseRule::Checksum,
+                  "CRC mismatch (torn or corrupt entry)", 32);
+    entry.meta = image.substr(storeHeaderSize, size_t(metaLen));
+    entry.payload =
+        image.substr(storeHeaderSize + size_t(metaLen),
+                     size_t(payloadLen));
+    return entry;
+}
+
+ResultStore::ResultStore(std::string dir, bool strict)
+    : _dir(std::move(dir)), _strict(strict)
+{
+    std::error_code ec;
+    fs::create_directories(_dir, ec);
+    if (ec)
+        texdist_fatal("cannot create result store ", _dir, ": ",
+                      ec.message());
+}
+
+std::string
+ResultStore::entryPath(const StoreKey &key) const
+{
+    return _dir + "/" + key.hex() + entrySuffix;
+}
+
+void
+ResultStore::publish(const StoreKey &key, const std::string &meta,
+                     const std::string &payload)
+{
+    atomicWriteFile(entryPath(key),
+                    encodeStoreEntry(key, meta, payload));
+}
+
+std::optional<std::string>
+ResultStore::fetch(const StoreKey &key)
+{
+    std::string path = entryPath(key);
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        ++_stats.misses;
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    auto parsed =
+        tryParse([&] { return decodeStoreEntry(ss.str(), path); });
+    if (parsed.ok() && parsed.value().key == key) {
+        ++_stats.hits;
+        return parsed.takeValue().payload;
+    }
+    // Torn, corrupt, or misfiled under the wrong name: never trust
+    // it, never die over it — quarantine and recompute.
+    ++_stats.corrupt;
+    ++_stats.misses;
+    std::string why =
+        parsed.ok() ? "entry key does not match its file name"
+                    : parsed.error().describe();
+    if (_strict)
+        throw FabricError(FabricFault::StoreCorrupt, why);
+    warn("result store: quarantining ", path, ": ", why);
+    quarantine(key.hex() + entrySuffix);
+    return std::nullopt;
+}
+
+void
+ResultStore::quarantine(const std::string &fileName)
+{
+    std::error_code ec;
+    fs::create_directories(_dir + "/quarantine", ec);
+    fs::rename(_dir + "/" + fileName,
+               _dir + "/quarantine/" + fileName, ec);
+    // A racing worker may have quarantined (or republished) the
+    // entry first; losing that race is fine.
+}
+
+ResultStore::FsckReport
+ResultStore::fsck()
+{
+    FsckReport report;
+    // Snapshot the listing first: quarantining renames entries out
+    // of the directory being walked, and mutating a directory under
+    // an open iterator is implementation-defined.
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const fs::directory_entry &ent :
+         fs::directory_iterator(_dir, ec)) {
+        std::error_code typeEc;
+        if (ent.is_regular_file(typeEc))
+            names.push_back(ent.path().filename().string());
+    }
+    if (ec)
+        texdist_fatal("cannot scan result store ", _dir, ": ",
+                      ec.message());
+    std::sort(names.begin(), names.end());
+    for (const std::string &name : names) {
+        std::string path = _dir + "/" + name;
+        if (name.find(".tmp.") != std::string::npos) {
+            // Scratch file from a publisher that died mid-write.
+            fs::remove(path, ec);
+            ++report.orphanScratch;
+            continue;
+        }
+        if (name.size() <= 4 ||
+            name.compare(name.size() - 4, 4, entrySuffix) != 0)
+            continue;
+        ++report.scanned;
+        std::ifstream is(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        auto parsed =
+            tryParse([&] { return decodeStoreEntry(ss.str(), path); });
+        bool misnamed =
+            parsed.ok() &&
+            parsed.value().key.hex() + entrySuffix != name;
+        if (parsed.ok() && !misnamed) {
+            ++report.ok;
+            continue;
+        }
+        warn("fsck: quarantining ", path, ": ",
+             misnamed ? "entry key does not match its file name"
+                      : parsed.error().describe());
+        quarantine(name);
+        ++report.quarantined;
+    }
+    return report;
+}
+
+} // namespace fabric
+} // namespace texdist

@@ -1,10 +1,13 @@
 #include "sim/checkpoint.hh"
 
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "core/error.hh"
 #include "sim/logging.hh"
@@ -355,10 +358,23 @@ CheckpointReader::u64vec()
     return v;
 }
 
+std::string
+scratchSuffix()
+{
+    // Unique across processes (pid) and within one (counter). The
+    // caller appends this to the *final* path, so the scratch file
+    // lands on the same filesystem as the target and the publishing
+    // rename stays atomic.
+    static std::atomic<uint64_t> counter{0};
+    uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+    return ".tmp." + std::to_string(getpid()) + "." +
+           std::to_string(n);
+}
+
 void
 atomicWriteFile(const std::string &path, const std::string &contents)
 {
-    std::string tmp = path + ".tmp";
+    std::string tmp = path + scratchSuffix();
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)

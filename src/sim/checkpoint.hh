@@ -142,9 +142,22 @@ class CheckpointReader
 };
 
 /**
+ * A process-unique scratch-file suffix (".tmp.<pid>.<n>") for
+ * tmp+rename publication. Appending it to the target path keeps the
+ * scratch file a sibling of the target — on the target's filesystem,
+ * which the atomic rename requires regardless of TMPDIR — and two
+ * processes racing to publish the same target stream into distinct
+ * scratch files, so the last rename wins whole, never an
+ * interleaving of the two.
+ */
+std::string scratchSuffix();
+
+/**
  * Write @p contents to @p path crash-safely: the bytes go to
- * "<path>.tmp" and are renamed over @p path only after a successful
- * close, so readers never observe a truncated file. Fatal on error.
+ * "<path>.tmp.<pid>.<n>" and are renamed over @p path only after a
+ * successful close, so readers never observe a truncated file — and
+ * concurrent writers of the same path never share a scratch file.
+ * Fatal on error.
  */
 void atomicWriteFile(const std::string &path,
                      const std::string &contents);

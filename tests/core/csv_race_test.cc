@@ -1,0 +1,133 @@
+/** @file Concurrent CsvWriter publication: racing tmp+rename. */
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <cstdlib>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/csv.hh"
+
+namespace texdist
+{
+namespace
+{
+
+/** The CSV every racer writes; identical bytes, like a sweep
+ * straggler and its speculative duplicate. */
+void
+writeSample(const std::string &path)
+{
+    CsvWriter csv(path);
+    csv.header({"x", "value"});
+    for (int row = 0; row < 200; ++row) {
+        csv.beginRow(double(row));
+        csv.value(double(row) * 0.5);
+        csv.endRow();
+    }
+    csv.close();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+}
+
+/** Entries in @p dir whose name contains @p needle. */
+std::vector<std::string>
+entriesContaining(const std::string &dir, const std::string &needle)
+{
+    std::vector<std::string> hits;
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        return hits;
+    while (struct dirent *ent = readdir(d)) {
+        std::string name = ent->d_name;
+        if (name.find(needle) != std::string::npos)
+            hits.push_back(name);
+    }
+    closedir(d);
+    return hits;
+}
+
+/**
+ * Fork @p racers processes that all publish the same CSV target
+ * concurrently, then assert exactly one valid whole file remains —
+ * no interleaving, no leftover scratch files.
+ */
+void
+raceOnTarget(const std::string &dir, const std::string &tmpdirEnv)
+{
+    std::string target = dir + "/raced.csv";
+    ::unlink(target.c_str());
+
+    const int racers = 4;
+    std::vector<pid_t> pids;
+    for (int racer = 0; racer < racers; ++racer) {
+        pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            // The scratch file must be a sibling of the target no
+            // matter where TMPDIR points — a scratch in TMPDIR
+            // would make the publishing rename cross filesystems
+            // and fail with EXDEV.
+            if (!tmpdirEnv.empty())
+                setenv("TMPDIR", tmpdirEnv.c_str(), 1);
+            writeSample(target);
+            _exit(0);
+        }
+        pids.push_back(pid);
+    }
+    for (pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        ASSERT_EQ(WEXITSTATUS(status), 0);
+    }
+
+    // Exactly one file, byte-identical to a solo write.
+    std::string soloPath = dir + "/solo.csv";
+    writeSample(soloPath);
+    EXPECT_EQ(slurp(target), slurp(soloPath));
+    EXPECT_FALSE(slurp(target).empty());
+    // No scratch debris: every racer's tmp file was renamed or
+    // cleaned, and none of them collided on the same scratch name.
+    EXPECT_TRUE(entriesContaining(dir, "raced.csv.tmp.").empty());
+}
+
+TEST(CsvRace, FourProcessesRacingOneTargetLeaveOneValidFile)
+{
+    std::string dir =
+        ::testing::TempDir() + "/csv-race-same-fs";
+    ::mkdir(dir.c_str(), 0755);
+    raceOnTarget(dir, "");
+}
+
+TEST(CsvRace, RaceSurvivesTmpdirOnADifferentFilesystem)
+{
+    std::string dir =
+        ::testing::TempDir() + "/csv-race-tmpdir";
+    ::mkdir(dir.c_str(), 0755);
+    // /dev/shm is a different filesystem from /tmp on Linux; if the
+    // writer ever placed scratch files in TMPDIR instead of next to
+    // the target, the publish rename would cross devices and fail.
+    std::string other = "/dev/shm";
+    DIR *probe = opendir(other.c_str());
+    if (!probe)
+        GTEST_SKIP() << other << " unavailable";
+    closedir(probe);
+    raceOnTarget(dir, other);
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,288 @@
+/** @file Tests for the content-addressed result store. */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+#include "fabric/store.hh"
+#include "sim/checkpoint.hh"
+
+namespace texdist
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using fabric::ResultStore;
+using fabric::StoreEntry;
+using fabric::StoreKey;
+
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + "/" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+const std::vector<std::string> someArgs = {
+    "--scene=quake", "--procs=4", "--dist=block", "--param=8"};
+
+std::string
+samplePayload()
+{
+    return "frame,cycles\n0,123\n";
+}
+
+StoreEntry
+sampleEntry()
+{
+    StoreEntry e;
+    e.key = fabric::computeStoreKey(someArgs, 0);
+    e.meta = fabric::canonicalConfigJson(someArgs, 0,
+                                         fabric::fabricCodeVersion);
+    e.payload = samplePayload();
+    return e;
+}
+
+ParseRule
+decodeRejects(std::string image)
+{
+    try {
+        fabric::decodeStoreEntry(image, "test-entry");
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Fabric);
+        EXPECT_EQ(e.exitCode(), 11);
+        return e.rule();
+    }
+    ADD_FAILURE() << "damaged entry accepted";
+    return ParseRule::Io;
+}
+
+TEST(StoreKey, HexIsSixteenLowercaseDigits)
+{
+    StoreKey key{0x0123456789abcdefull};
+    EXPECT_EQ(key.hex(), "0123456789abcdef");
+    EXPECT_EQ(StoreKey{0}.hex(), "0000000000000000");
+}
+
+TEST(StoreKey, EveryIdentityComponentChangesTheKey)
+{
+    StoreKey base = fabric::computeStoreKey(someArgs, 0);
+    // Same inputs, same key — the whole point of the store.
+    EXPECT_EQ(base, fabric::computeStoreKey(someArgs, 0));
+
+    std::vector<std::string> other = someArgs;
+    other.back() = "--param=16";
+    EXPECT_NE(base.digest,
+              fabric::computeStoreKey(other, 0).digest);
+    // A different trace input is a different run...
+    EXPECT_NE(base.digest,
+              fabric::computeStoreKey(someArgs, 7).digest);
+    // ...and so is the same config under different code.
+    EXPECT_NE(base.digest,
+              fabric::computeStoreKey(someArgs, 0, "other-code")
+                  .digest);
+    // Argument order is semantically meaningful (later flags win),
+    // so reordering must change the key.
+    std::vector<std::string> reversed(someArgs.rbegin(),
+                                      someArgs.rend());
+    EXPECT_NE(base.digest,
+              fabric::computeStoreKey(reversed, 0).digest);
+}
+
+TEST(StoreEntry, EncodeDecodeRoundTrip)
+{
+    StoreEntry e = sampleEntry();
+    std::string image =
+        fabric::encodeStoreEntry(e.key, e.meta, e.payload);
+    StoreEntry back = fabric::decodeStoreEntry(image, "round-trip");
+    EXPECT_EQ(back.key, e.key);
+    EXPECT_EQ(back.meta, e.meta);
+    EXPECT_EQ(back.payload, e.payload);
+}
+
+TEST(StoreEntryError, EveryCorruptionClassIsTypedExit11)
+{
+    StoreEntry e = sampleEntry();
+    std::string image =
+        fabric::encodeStoreEntry(e.key, e.meta, e.payload);
+
+    // Truncated header.
+    EXPECT_EQ(decodeRejects(image.substr(0, 10)),
+              ParseRule::Truncated);
+    // Wrong magic.
+    {
+        std::string bad = image;
+        bad[0] = 'X';
+        EXPECT_EQ(decodeRejects(bad), ParseRule::Magic);
+    }
+    // Unsupported version.
+    {
+        std::string bad = image;
+        bad[4] = char(uint8_t(bad[4]) + 1);
+        EXPECT_EQ(decodeRejects(bad), ParseRule::Version);
+    }
+    // Torn tail: payload cut mid-write.
+    EXPECT_EQ(decodeRejects(image.substr(0, image.size() - 3)),
+              ParseRule::Overrun);
+    // Trailing garbage after the declared lengths.
+    EXPECT_EQ(decodeRejects(image + "x"), ParseRule::Mismatch);
+    // Flipped payload byte: CRC must catch it.
+    {
+        std::string bad = image;
+        bad[bad.size() - 2] = char(uint8_t(bad[bad.size() - 2]) ^ 1);
+        EXPECT_EQ(decodeRejects(bad), ParseRule::Checksum);
+    }
+    // Declared length overflowing the header arithmetic.
+    {
+        std::string bad = image;
+        for (size_t i = 16; i < 24; ++i)
+            bad[i] = char(0xff);
+        EXPECT_EQ(decodeRejects(bad), ParseRule::Overrun);
+    }
+}
+
+TEST(ResultStore, PublishFetchRoundTripCountsHitsAndMisses)
+{
+    ResultStore store(freshDir("store-roundtrip"));
+    StoreEntry e = sampleEntry();
+
+    EXPECT_FALSE(store.fetch(e.key).has_value());
+    store.publish(e.key, e.meta, e.payload);
+    auto hit = store.fetch(e.key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, e.payload);
+    EXPECT_EQ(store.stats().hits, 1u);
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().corrupt, 0u);
+}
+
+TEST(ResultStore, PublishIsIdempotentAndRepublishHeals)
+{
+    std::string dir = freshDir("store-idempotent");
+    ResultStore store(dir);
+    StoreEntry e = sampleEntry();
+    store.publish(e.key, e.meta, e.payload);
+    std::string image = fabric::encodeStoreEntry(e.key, e.meta,
+                                                 e.payload);
+    // A second publish of the same result must leave the identical
+    // entry — this is what makes speculative duplicate runs safe.
+    store.publish(e.key, e.meta, e.payload);
+    std::ifstream is(store.entryPath(e.key), std::ios::binary);
+    std::string onDisk((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+    EXPECT_EQ(onDisk, image);
+}
+
+TEST(ResultStore, CorruptEntryIsQuarantinedAndReportedAsMiss)
+{
+    std::string dir = freshDir("store-corrupt");
+    ResultStore store(dir);
+    StoreEntry e = sampleEntry();
+    store.publish(e.key, e.meta, e.payload);
+
+    // Tear the entry the way a crashed publisher on a non-atomic
+    // filesystem would: final bytes missing.
+    {
+        std::string image = fabric::encodeStoreEntry(
+            e.key, e.meta, e.payload);
+        std::ofstream os(store.entryPath(e.key),
+                         std::ios::binary | std::ios::trunc);
+        os.write(image.data(),
+                 std::streamsize(image.size() / 2));
+    }
+
+    EXPECT_FALSE(store.fetch(e.key).has_value());
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    // The damaged file moved aside, so the next publish recreates a
+    // healthy entry instead of fighting the corpse.
+    EXPECT_FALSE(fs::exists(store.entryPath(e.key)));
+    EXPECT_TRUE(fs::exists(dir + "/quarantine"));
+    store.publish(e.key, e.meta, e.payload);
+    EXPECT_TRUE(store.fetch(e.key).has_value());
+}
+
+TEST(ResultStoreError, StrictModeThrowsFabricErrorExit11)
+{
+    std::string dir = freshDir("store-strict");
+    StoreEntry e = sampleEntry();
+    {
+        ResultStore store(dir);
+        store.publish(e.key, e.meta, e.payload);
+        std::ofstream os(store.entryPath(e.key),
+                         std::ios::binary | std::ios::trunc);
+        os << "garbage";
+    }
+    ResultStore strict(dir, true);
+    try {
+        strict.fetch(e.key);
+        FAIL() << "strict fetch accepted a corrupt entry";
+    } catch (const FabricError &err) {
+        EXPECT_EQ(err.fault(), FabricFault::StoreCorrupt);
+        EXPECT_EQ(err.exitCode(), 11);
+    }
+}
+
+TEST(ResultStore, FsckQuarantinesDamageRemovesScratchKeepsGood)
+{
+    std::string dir = freshDir("store-fsck");
+    ResultStore store(dir);
+    StoreEntry e = sampleEntry();
+    store.publish(e.key, e.meta, e.payload);
+
+    // A valid entry filed under the wrong name (key/filename
+    // mismatch) must not be served or kept.
+    std::string misnamed = dir + "/00000000000000ff.res";
+    {
+        std::string image = fabric::encodeStoreEntry(
+            e.key, e.meta, e.payload);
+        std::ofstream os(misnamed, std::ios::binary);
+        os.write(image.data(), std::streamsize(image.size()));
+    }
+    // A torn entry and an orphaned scratch file from a killed
+    // publisher.
+    atomicWriteFile(dir + "/1111111111111111.res", "torn");
+    {
+        std::ofstream os(dir + "/2222222222222222.res.tmp.99.0");
+        os << "scratch";
+    }
+
+    ResultStore::FsckReport report = store.fsck();
+    EXPECT_EQ(report.scanned, 3u);
+    EXPECT_EQ(report.ok, 1u);
+    EXPECT_EQ(report.quarantined, 2u);
+    EXPECT_EQ(report.orphanScratch, 1u);
+    EXPECT_TRUE(fs::exists(store.entryPath(e.key)));
+    EXPECT_FALSE(fs::exists(misnamed));
+
+    // A second pass over the healed store finds nothing to do.
+    ResultStore::FsckReport again = store.fsck();
+    EXPECT_EQ(again.scanned, 1u);
+    EXPECT_EQ(again.ok, 1u);
+    EXPECT_EQ(again.quarantined, 0u);
+    EXPECT_EQ(again.orphanScratch, 0u);
+}
+
+TEST(FabricErrorCodes, FaultsMapToDocumentedExitCodes)
+{
+    EXPECT_EQ(fabricExitCode(FabricFault::LeaseLost), 10);
+    EXPECT_EQ(fabricExitCode(FabricFault::StoreCorrupt), 11);
+    EXPECT_EQ(fabricExitCode(FabricFault::Quarantined), 12);
+    EXPECT_STREQ(to_string(FabricFault::LeaseLost), "lease-lost");
+    EXPECT_STREQ(to_string(FabricFault::StoreCorrupt),
+                 "store-corrupt");
+    EXPECT_STREQ(to_string(FabricFault::Quarantined),
+                 "quarantined");
+    FabricError err(FabricFault::LeaseLost, "seized");
+    EXPECT_EQ(err.exitCode(), 10);
+    EXPECT_NE(err.describe().find("lease-lost"), std::string::npos);
+    EXPECT_NE(err.describe().find("seized"), std::string::npos);
+}
+
+} // namespace
+} // namespace texdist

@@ -14,7 +14,7 @@ SEEDS="$2"
 ITERS=200
 failures=0
 
-for surface in trace checkpoint json csv cli; do
+for surface in trace checkpoint json csv cli fabric; do
     corpus="$SEEDS/$surface"
     a=$("$TEXFUZZ" --surface="$surface" --seed=7 --iters=$ITERS \
         --corpus="$corpus" --out="$(mktemp -d)") || {

@@ -1,0 +1,85 @@
+#!/bin/sh
+# Retry-taxonomy test for the supervised sweep runner.
+#
+# The runner keeps two separate retry budgets: deterministic nonzero
+# exits consume --retries — except typed parse-error exits (1, 6-9,
+# 11), which reproduce identically on every attempt and must fail
+# fast without burning a single retry — while timeouts and signal
+# deaths are environmental and consume their own --signal-retries
+# budget with per-config accounting in the manifest.
+#
+# Usage: retry_taxonomy_test.sh <texdist_sim> <sweep_runner> <workdir>
+set -u
+
+SIM=$1
+RUNNER=$2
+WORK=$3
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK" || fail "cannot create $WORK"
+
+# Extract one numeric field of one config's manifest entry.
+field() { # file config field
+    python3 -c '
+import json, sys
+root = json.load(open(sys.argv[1]))
+for cfg in root["configs"]:
+    if cfg["name"] == sys.argv[2]:
+        print(cfg[sys.argv[3]])
+' "$1" "$2" "$3"
+}
+
+# --- Typed parse-error exit: fail fast, zero retries. ---------------
+CONFIGS="$WORK/parse.cfg"
+cat > "$CONFIGS" <<'EOF'
+good: --dist=block --param=8
+bad:  --dist=block --param=8 --no-such-flag
+EOF
+
+"$RUNNER" --sim="$SIM" --configs="$CONFIGS" --out="$WORK/parse" \
+    --retries=3 --backoff-ms=50 \
+    -- --scene=quake --scale=0.25 --procs=4 --frames=2
+[ $? -eq 2 ] || fail "parse-error sweep should exit 2 (some failed)"
+
+MANIFEST="$WORK/parse/sweep_manifest.json"
+[ "$(field "$MANIFEST" bad status)" = "failed" ] \
+    || fail "bad config not marked failed"
+[ "$(field "$MANIFEST" bad exit_code)" = "1" ] \
+    || fail "bad config exit code not recorded as 1"
+# The whole point: a typed CLI rejection must not burn the 3 retries.
+[ "$(field "$MANIFEST" bad attempts)" = "1" ] \
+    || fail "typed parse-error exit was retried" \
+            "(attempts=$(field "$MANIFEST" bad attempts), want 1)"
+[ "$(field "$MANIFEST" good status)" = "done" ] \
+    || fail "good config should still complete"
+
+# --- Timeout (environmental): retried on its own budget. ------------
+CONFIGS="$WORK/slow.cfg"
+cat > "$CONFIGS" <<'EOF'
+slow: --dist=block --param=8
+EOF
+
+"$RUNNER" --sim="$SIM" --configs="$CONFIGS" --out="$WORK/slow" \
+    --timeout=1 --retries=0 --signal-retries=1 --backoff-ms=50 \
+    -- --scene=quake --scale=0.5 --procs=4 --frames=400
+[ $? -eq 2 ] || fail "timeout sweep should exit 2 after retries"
+
+MANIFEST="$WORK/slow/sweep_manifest.json"
+[ "$(field "$MANIFEST" slow status)" = "failed" ] \
+    || fail "slow config not marked failed"
+# --retries=0, yet the timeout retried once on the signal budget and
+# both environmental deaths were accounted separately.
+[ "$(field "$MANIFEST" slow attempts)" = "2" ] \
+    || fail "timeout did not use the signal-retry budget" \
+            "(attempts=$(field "$MANIFEST" slow attempts), want 2)"
+[ "$(field "$MANIFEST" slow signal_deaths)" = "2" ] \
+    || fail "signal_deaths not accounted" \
+            "(got $(field "$MANIFEST" slow signal_deaths), want 2)"
+
+echo "PASS: parse errors fail fast, environmental deaths retry on their own budget"
+exit 0

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Torn-tail tolerance on resume.
+#
+# A crash during a manifest or per-config CSV write on a non-atomic
+# filesystem leaves the final record cut mid-write. --resume must
+# truncate-and-continue with a warning — re-running only what the
+# damage invalidated — instead of rejecting the whole sweep with a
+# ParseError, and the merged sweep.csv must still come out
+# byte-identical to an undamaged run.
+#
+# Usage: torn_resume_test.sh <texdist_sim> <sweep_runner> <workdir>
+set -u
+
+SIM=$1
+RUNNER=$2
+WORK=$3
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK" || fail "cannot create $WORK"
+
+CONFIGS="$WORK/sweep.cfg"
+cat > "$CONFIGS" <<'EOF'
+block8:  --dist=block --param=8
+block16: --dist=block --param=16
+sli2:    --dist=sli --param=2
+EOF
+COMMON="--scene=quake --scale=0.25 --procs=4 --frames=4"
+
+# Truncate a file to all-but-its-last-N bytes: the torn-tail shape.
+tear() { # file bytes_to_cut
+    size=$(wc -c < "$1")
+    keep=$((size - $2))
+    head -c "$keep" "$1" > "$1.torn" && mv "$1.torn" "$1"
+}
+
+run_sweep() { # outdir extra...
+    out=$1
+    shift
+    "$RUNNER" --sim="$SIM" --configs="$CONFIGS" --out="$out" "$@" \
+        -- $COMMON
+}
+
+run_sweep "$WORK/ref" || fail "reference sweep exited nonzero"
+
+# --- Torn manifest: progress reconstructed from result CSVs. --------
+run_sweep "$WORK/manifest" || fail "setup sweep exited nonzero"
+tear "$WORK/manifest/sweep_manifest.json" 25
+rm -f "$WORK/manifest/sweep.csv"
+
+OUT=$(run_sweep "$WORK/manifest" --resume 2>&1) \
+    || fail "resume after torn manifest exited nonzero: $OUT"
+echo "$OUT" | grep -q "damaged" \
+    || fail "no damaged-manifest warning in: $OUT"
+cmp "$WORK/ref/sweep.csv" "$WORK/manifest/sweep.csv" \
+    || fail "sweep.csv differs after torn-manifest resume"
+
+# --- Torn per-config CSV: that config re-runs, others resume. -------
+run_sweep "$WORK/csv" || fail "setup sweep exited nonzero"
+tear "$WORK/csv/block16.csv" 7
+rm -f "$WORK/csv/sweep.csv"
+
+OUT=$(run_sweep "$WORK/csv" --resume 2>&1) \
+    || fail "resume after torn CSV exited nonzero: $OUT"
+echo "$OUT" | grep -q "torn final record" \
+    || fail "no torn-tail warning in: $OUT"
+echo "$OUT" | grep -q "block8: done (resumed)" \
+    || fail "undamaged config block8 was not resumed: $OUT"
+cmp "$WORK/ref/sweep.csv" "$WORK/csv/sweep.csv" \
+    || fail "sweep.csv differs after torn-CSV resume"
+
+echo "PASS: torn manifest and torn CSV tails truncate-and-continue"
+exit 0

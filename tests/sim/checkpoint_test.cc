@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include <dirent.h>
+
 #include <gtest/gtest.h>
 
 #include "cache/cache.hh"
@@ -165,8 +167,25 @@ TEST(Checkpoint, AtomicWriteLeavesNoTempBehind)
     std::string path = tempPath("ckpt_atomic.bin");
     atomicWriteFile(path, "payload");
     EXPECT_EQ(slurp(path), "payload");
-    std::ifstream tmp(path + ".tmp");
-    EXPECT_FALSE(tmp.good());
+    // The scratch name is pid- and sequence-unique; none may
+    // survive publication.
+    std::string dir = path.substr(0, path.find_last_of('/'));
+    std::string base = path.substr(path.find_last_of('/') + 1);
+    DIR *d = opendir(dir.c_str());
+    ASSERT_NE(d, nullptr);
+    while (struct dirent *ent = readdir(d))
+        EXPECT_EQ(std::string(ent->d_name).find(base + ".tmp."),
+                  std::string::npos)
+            << "scratch file left behind: " << ent->d_name;
+    closedir(d);
+}
+
+TEST(Checkpoint, ScratchSuffixesAreUniqueWithinAProcess)
+{
+    std::string a = scratchSuffix();
+    std::string b = scratchSuffix();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.rfind(".tmp.", 0), 0u);
 }
 
 TEST(StateDigest, DeterministicAndOrderSensitive)

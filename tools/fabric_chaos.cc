@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Deterministic chaos harness for the distributed sweep fabric.
+ *
+ * Runs the same small sweep twice — once clean with a single
+ * supervised runner, once on a multi-worker fabric while the
+ * harness injects seeded failures — and asserts the fabric's merged
+ * sweep.csv is byte-identical to the clean run. The injected
+ * failure menu covers the faults the fabric claims to survive:
+ *
+ *   - workers SIGKILLed at a scheduled claim or publish (via the
+ *     runner's --chaos-kill hook, so the kill lands at an exact,
+ *     reproducible protocol step)
+ *   - orphaned leases from workers that no longer exist
+ *   - clock-skewed heartbeats (absurd beat counters in a lease)
+ *   - torn store entries and flipped payload bytes (CRC damage)
+ *   - torn queue markers (a .done file cut mid-write)
+ *
+ * Every choice flows from --seed through a SplitMix64 generator, so
+ * a failing schedule replays exactly. After the chaos sweep
+ * converges, the harness re-runs the identical sweep against the
+ * same store into a fresh output directory and asserts it completes
+ * with 100% store hits — zero recomputation — then fscks the store
+ * and requires a clean bill.
+ *
+ * Usage:
+ *   fabric_chaos --sim=<texdist_sim> --runner=<sweep_runner> \
+ *                --work=<dir> [--workers=4] [--seed=1] \
+ *                [--waves=8] [--bench-out=<json>]
+ *
+ * Prints "PASS: ..." and exits 0 on success; prints "FAIL: ..." and
+ * exits 1 on any divergence.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/error.hh"
+#include "core/json.hh"
+#include "core/options.hh"
+#include "sim/checkpoint.hh"
+#include "sim/logging.hh"
+
+using namespace texdist;
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+struct HarnessOptions
+{
+    std::string simPath;
+    std::string runnerPath;
+    std::string workDir;
+    uint32_t workers = 4;
+    uint64_t seed = 1;
+    uint32_t maxWaves = 8;
+    std::string benchOut;
+};
+
+/** SplitMix64: tiny, seedable, and plenty for a failure schedule. */
+struct SplitMix64
+{
+    uint64_t state;
+
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    uint64_t next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform-ish draw in [0, bound). */
+    uint64_t below(uint64_t bound) { return next() % bound; }
+};
+
+[[noreturn]] void
+failHarness(const std::string &msg)
+{
+    std::cerr << "FAIL: " << msg << "\n";
+    std::exit(1);
+}
+
+bool
+match(const std::string &arg, const char *key, std::string &value)
+{
+    std::string prefix = std::string("--") + key + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    value = arg.substr(prefix.size());
+    return true;
+}
+
+HarnessOptions
+parseArgs(int argc, char **argv)
+{
+    HarnessOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string v;
+        if (match(arg, "sim", v))
+            opts.simPath = v;
+        else if (match(arg, "runner", v))
+            opts.runnerPath = v;
+        else if (match(arg, "work", v))
+            opts.workDir = v;
+        else if (match(arg, "workers", v))
+            opts.workers = parseCliU32(v, "workers");
+        else if (match(arg, "seed", v))
+            opts.seed = parseCliU64(v, "seed");
+        else if (match(arg, "waves", v))
+            opts.maxWaves = parseCliU32(v, "waves");
+        else if (match(arg, "bench-out", v))
+            opts.benchOut = v;
+        else
+            texdist_fatal("unknown option '", arg, "'");
+    }
+    if (opts.simPath.empty() || opts.runnerPath.empty() ||
+        opts.workDir.empty())
+        texdist_fatal("--sim, --runner and --work are required");
+    if (opts.workers < 2)
+        texdist_fatal("--workers must be at least 2 (the point is "
+                      "the multi-worker protocol)");
+    return opts;
+}
+
+/** The sweep under test: small enough for CI, wide enough that a
+ * kill schedule always lands mid-sweep. */
+const char *const sweepConfigText =
+    "# fabric_chaos sweep: six distributions over one scene\n"
+    "block4:  --dist=block --param=4\n"
+    "block8:  --dist=block --param=8\n"
+    "block16: --dist=block --param=16\n"
+    "sli2:    --dist=sli --param=2\n"
+    "sli4:    --dist=sli --param=4\n"
+    "sli8:    --dist=sli --param=8\n";
+
+const std::vector<std::string> sweepNames = {
+    "block4", "block8", "block16", "sli2", "sli4", "sli8"};
+
+const std::vector<std::string> commonArgs = {
+    "--scene=quake", "--scale=0.25", "--procs=4", "--frames=4"};
+
+/** fork/exec @p argv with stdout+stderr appended to @p logPath. */
+pid_t
+spawn(std::vector<std::string> argv, const std::string &logPath)
+{
+    pid_t pid = fork();
+    if (pid < 0)
+        texdist_fatal("fork failed: ", std::strerror(errno));
+    if (pid != 0)
+        return pid;
+    int fd =
+        ::open(logPath.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd >= 0) {
+        dup2(fd, STDOUT_FILENO);
+        dup2(fd, STDERR_FILENO);
+        ::close(fd);
+    }
+    std::vector<char *> cargv;
+    for (std::string &arg : argv)
+        cargv.push_back(arg.data());
+    cargv.push_back(nullptr);
+    execv(cargv[0], cargv.data());
+    std::fprintf(stderr, "exec failed: %s: %s\n", cargv[0],
+                 std::strerror(errno));
+    _exit(127);
+}
+
+/** Wait for @p pid; exit code, or 128+signal for signal deaths. */
+int
+await(pid_t pid)
+{
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0)
+        if (errno != EINTR)
+            texdist_fatal("waitpid failed: ", std::strerror(errno));
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return -1;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        failHarness("cannot read " + path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+/** Base argv of one sweep_runner invocation against @p outDir. */
+std::vector<std::string>
+runnerArgv(const HarnessOptions &opts, const std::string &outDir)
+{
+    std::vector<std::string> argv = {
+        opts.runnerPath,
+        "--sim=" + opts.simPath,
+        "--configs=" + opts.workDir + "/sweep.cfg",
+        "--out=" + outDir,
+    };
+    return argv;
+}
+
+void
+appendCommon(std::vector<std::string> &argv)
+{
+    argv.push_back("--");
+    for (const std::string &arg : commonArgs)
+        argv.push_back(arg);
+}
+
+/**
+ * Inject one seeded filesystem fault into the live fabric state.
+ * Returns a description of what it did (for the harness log).
+ */
+std::string
+injectFault(SplitMix64 &rng, const std::string &chaosOut,
+            const std::string &storeDir)
+{
+    std::string queue = chaosOut + "/queue";
+    // Entries currently in the store, sorted for determinism.
+    std::vector<std::string> entries;
+    std::error_code ec;
+    for (const fs::directory_entry &de :
+         fs::directory_iterator(storeDir, ec))
+        if (de.path().extension() == ".res")
+            entries.push_back(de.path().string());
+    std::sort(entries.begin(), entries.end());
+
+    switch (rng.below(5)) {
+    case 0: { // orphaned lease from a dead worker
+        const std::string &name = sweepNames[size_t(
+            rng.below(sweepNames.size()))];
+        std::ofstream os(queue + "/" + name + ".lease",
+                         std::ios::trunc);
+        os << "{\"format\":\"texdist-lease\",\"version\":1,"
+              "\"config\":\""
+           << name
+           << "\",\"worker\":\"ghost\",\"beat\":3,"
+              "\"generation\":1}";
+        return "orphan lease on " + name;
+    }
+    case 1: { // clock-skewed heartbeat: absurd beat counter
+        const std::string &name = sweepNames[size_t(
+            rng.below(sweepNames.size()))];
+        std::ofstream os(queue + "/" + name + ".lease",
+                         std::ios::trunc);
+        os << "{\"format\":\"texdist-lease\",\"version\":1,"
+              "\"config\":\""
+           << name
+           << "\",\"worker\":\"skewed\","
+              "\"beat\":1152921504606846976,\"generation\":7}";
+        return "clock-skewed lease on " + name;
+    }
+    case 2: { // torn store entry: final bytes cut mid-write
+        if (entries.empty())
+            return "no store entries yet (torn-entry fault skipped)";
+        const std::string &victim =
+            entries[size_t(rng.below(entries.size()))];
+        std::string bytes = slurp(victim);
+        std::ofstream os(victim,
+                         std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 std::streamsize(bytes.size() / 2));
+        return "tore store entry " + victim;
+    }
+    case 3: { // flipped payload byte: CRC must catch it
+        if (entries.empty())
+            return "no store entries yet (bit-flip fault skipped)";
+        const std::string &victim =
+            entries[size_t(rng.below(entries.size()))];
+        std::string bytes = slurp(victim);
+        if (bytes.size() > 40) {
+            size_t at =
+                40 + size_t(rng.below(bytes.size() - 40));
+            bytes[at] = char(uint8_t(bytes[at]) ^ 0x20);
+        }
+        std::ofstream os(victim,
+                         std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(), std::streamsize(bytes.size()));
+        return "flipped a byte in " + victim;
+    }
+    default: { // torn done marker: JSON cut mid-write
+        const std::string &name = sweepNames[size_t(
+            rng.below(sweepNames.size()))];
+        std::string marker = queue + "/" + name + ".done";
+        std::ifstream probe(marker);
+        if (probe)
+            return "done marker for " + name +
+                   " already exists (torn-marker fault skipped)";
+        std::ofstream os(marker, std::ios::trunc);
+        os << "{\"format\":\"texdist-do";
+        return "torn done marker on " + name;
+    }
+    }
+}
+
+JsonValue
+readStats(const std::string &path)
+{
+    std::ifstream probe(path);
+    if (!probe)
+        failHarness("missing fabric stats file " + path);
+    return JsonValue::parseFile(path);
+}
+
+int
+runHarness(const HarnessOptions &opts)
+{
+    fs::remove_all(opts.workDir);
+    fs::create_directories(opts.workDir);
+    atomicWriteFile(opts.workDir + "/sweep.cfg", sweepConfigText);
+
+    std::string golden = opts.workDir + "/golden";
+    std::string chaos = opts.workDir + "/chaos";
+    std::string rerun = opts.workDir + "/rerun";
+    std::string store = opts.workDir + "/store";
+
+    // --- Phase 1: clean single-runner sweep (no store). ----------
+    std::cout << "fabric_chaos: golden single-runner sweep...\n";
+    {
+        std::vector<std::string> argv = runnerArgv(opts, golden);
+        appendCommon(argv);
+        int code = await(spawn(argv, opts.workDir + "/golden.log"));
+        if (code != 0)
+            failHarness("golden sweep exited " +
+                        std::to_string(code) + " (see " +
+                        opts.workDir + "/golden.log)");
+    }
+    std::string goldenCsv = slurp(golden + "/sweep.csv");
+
+    // --- Phase 2: chaos fabric sweep. ----------------------------
+    SplitMix64 rng(opts.seed);
+    fs::create_directories(chaos);
+    fs::create_directories(store);
+    uint32_t wave = 0;
+    uint64_t kills = 0;
+    uint64_t faults = 0;
+    bool converged = false;
+    for (; wave < opts.maxWaves && !converged; ++wave) {
+        // From wave 1 on, damage the live fabric state before the
+        // fresh workers attach to it.
+        if (wave > 0) {
+            uint64_t n = 1 + rng.below(3);
+            for (uint64_t f = 0; f < n; ++f) {
+                std::cout << "  wave " << wave << ": injected "
+                          << injectFault(rng, chaos, store) << "\n";
+                ++faults;
+            }
+        }
+
+        std::vector<pid_t> pids;
+        for (uint32_t w = 0; w < opts.workers; ++w) {
+            std::vector<std::string> argv = runnerArgv(opts, chaos);
+            argv.push_back("--fabric");
+            argv.push_back("--store=" + store);
+            argv.push_back("--worker-id=w" + std::to_string(wave) +
+                           "-" + std::to_string(w));
+            argv.push_back("--poll-ms=20");
+            argv.push_back("--lease-ttl-polls=15");
+            // Wave 0 kills every worker at its first claim or
+            // publish — nobody can finish the sweep, guaranteeing
+            // orphaned leases and partial store state for later
+            // waves to recover. Afterwards roughly half the fleet
+            // is doomed at a seeded step, and the last two waves
+            // run clean so the sweep always converges within the
+            // wave budget.
+            bool doomed = wave == 0 ||
+                          (wave + 2 < opts.maxWaves &&
+                           rng.below(2) == 0);
+            if (doomed) {
+                bool atClaim = rng.below(2) == 0;
+                uint64_t after =
+                    wave == 0 ? 1
+                              : 1 + rng.below(atClaim ? 3 : 2);
+                argv.push_back(
+                    std::string("--chaos-kill=") +
+                    (atClaim ? "claim" : "publish") + ":" +
+                    std::to_string(after));
+                ++kills;
+            }
+            appendCommon(argv);
+            pids.push_back(spawn(argv, opts.workDir + "/wave" +
+                                           std::to_string(wave) +
+                                           "-w" +
+                                           std::to_string(w) +
+                                           ".log"));
+        }
+        for (pid_t pid : pids) {
+            int code = await(pid);
+            if (code == 0)
+                converged = true;
+            else if (code != 137 && code != 3)
+                failHarness("chaos worker exited " +
+                            std::to_string(code) +
+                            " (wave " + std::to_string(wave) +
+                            "; only SIGKILL deaths are part of "
+                            "the schedule)");
+        }
+    }
+    if (!converged)
+        failHarness("fabric sweep did not converge within " +
+                    std::to_string(opts.maxWaves) + " waves");
+    std::cout << "fabric_chaos: converged after " << wave
+              << " wave(s), " << kills << " scheduled kill(s), "
+              << faults << " injected fault(s)\n";
+
+    std::string chaosCsv = slurp(chaos + "/sweep.csv");
+    if (chaosCsv != goldenCsv)
+        failHarness("chaos sweep.csv differs from the golden "
+                    "single-runner run");
+    if (chaosCsv.empty())
+        failHarness("merged sweep.csv is empty");
+
+    // --- Phase 3: identical sweep, fresh out dir, warm store. ----
+    std::cout << "fabric_chaos: warm-store re-run...\n";
+    {
+        std::vector<std::string> argv = runnerArgv(opts, rerun);
+        argv.push_back("--store=" + store);
+        argv.push_back("--worker-id=rerun");
+        appendCommon(argv);
+        int code = await(spawn(argv, opts.workDir + "/rerun.log"));
+        if (code != 0)
+            failHarness("warm-store re-run exited " +
+                        std::to_string(code));
+    }
+    if (slurp(rerun + "/sweep.csv") != goldenCsv)
+        failHarness("warm-store sweep.csv differs from golden");
+    JsonValue stats =
+        readStats(rerun + "/fabric_stats.rerun.json");
+    uint64_t hits = stats.at("store_hits").asU64();
+    uint64_t misses = stats.at("store_misses").asU64();
+    if (misses != 0 || hits != sweepNames.size())
+        failHarness("warm-store re-run was not 100% hits: " +
+                    std::to_string(hits) + " hit(s), " +
+                    std::to_string(misses) + " miss(es)");
+
+    // --- Phase 4: the store must fsck clean. ---------------------
+    {
+        std::vector<std::string> argv = {opts.runnerPath, "--fsck",
+                                         "--store=" + store};
+        int code = await(spawn(argv, opts.workDir + "/fsck.log"));
+        if (code != 0)
+            failHarness("post-chaos fsck exited " +
+                        std::to_string(code) +
+                        " (store should have self-healed)");
+    }
+
+    if (!opts.benchOut.empty()) {
+        JsonValue root = JsonValue::makeObject();
+        root.set("format",
+                 JsonValue::makeString("texdist-fabric-chaos"));
+        root.set("version", JsonValue::makeNumber(1));
+        root.set("workers",
+                 JsonValue::makeNumber(double(opts.workers)));
+        root.set("seed", JsonValue::makeNumber(double(opts.seed)));
+        root.set("waves", JsonValue::makeNumber(double(wave)));
+        root.set("scheduled_kills",
+                 JsonValue::makeNumber(double(kills)));
+        root.set("injected_faults",
+                 JsonValue::makeNumber(double(faults)));
+        root.set("rerun_store_hits",
+                 JsonValue::makeNumber(double(hits)));
+        root.set("rerun_store_misses",
+                 JsonValue::makeNumber(double(misses)));
+        atomicWriteFile(opts.benchOut, root.dump());
+    }
+
+    std::cout << "PASS: " << opts.workers
+              << "-worker chaos sweep is byte-identical to the "
+              << "clean run; warm-store re-run hit " << hits << "/"
+              << sweepNames.size() << " with zero recomputation\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runHarness(parseArgs(argc, argv));
+    } catch (const ParseError &e) {
+        std::cerr << "FAIL: " << e.describe() << "\n";
+        return 1;
+    }
+}

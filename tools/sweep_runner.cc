@@ -26,7 +26,8 @@
  * Usage:
  *   sweep_runner --sim=build/tools/texdist_sim --configs=sweep.txt \
  *                --out=results [--timeout=300] [--retries=2] \
- *                [--resume] [--threads=<n>] \
+ *                [--resume] [--threads=<n>] [--store=<dir>] \
+ *                [--fabric] [--worker-id=<id>] \
  *                [-- <common simulator args...>]
  *
  * `--threads=<n>` switches to in-process mode: configurations are
@@ -40,10 +41,29 @@
  * dedicated process (checkpointing, manifests, replay verification,
  * stats files) are rejected up front.
  *
+ * `--store=<dir>` memoizes results in a content-addressed store
+ * (src/fabric): a config whose key — FNV digest of (canonical
+ * config JSON, trace digest, code version) — already has a
+ * CRC-valid entry is served from the store instead of re-simulated.
+ *
+ * `--fabric` turns this process into one worker of a multi-worker
+ * sweep: any number of `sweep_runner --fabric` processes sharing
+ * the same --out, --configs and --store cooperate through a
+ * filesystem lease queue (`<out>/queue/`). Workers claim configs
+ * via O_EXCL claim files, heartbeat while running, seize leases
+ * whose holders stopped heartbeating (crash, SIGKILL, wedge), and
+ * speculatively duplicate stragglers — all safe because results are
+ * digest-keyed and byte-identical, so any publish race has one
+ * whole-file winner with the same content. Fabric state lives
+ * entirely in the queue markers and the store: a worker fleet can
+ * be killed and restarted at any point and the sweep converges.
+ *
  * Exit codes: 0 every config done, 1 usage/config error, 2 some
  * configs failed permanently, 3 interrupted (the manifest still
  * records everything that finished), 8 malformed sweep manifest,
- * 9 malformed result CSV.
+ * 9 malformed result CSV, 10 lease lost (--fabric-lease-strict),
+ * 11 corrupt store entry (--fabric-store-strict), 12 fsck
+ * quarantined entries (--fsck).
  */
 
 #include <algorithm>
@@ -51,7 +71,10 @@
 #include <csignal>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -71,6 +94,8 @@
 #include "core/options.hh"
 #include "core/replay.hh"
 #include "core/sequence.hh"
+#include "fabric/lease.hh"
+#include "fabric/store.hh"
 #include "scene/benchmarks.hh"
 #include "sim/checkpoint.hh"
 #include "sim/logging.hh"
@@ -109,6 +134,7 @@ struct SweepConfig
     // Supervision state, persisted in the manifest.
     std::string status = "pending"; ///< pending|done|failed
     int attempts = 0;
+    int signalDeaths = 0;
     int exitCode = -1;
 };
 
@@ -119,9 +145,27 @@ struct RunnerOptions
     std::string outDir;
     long timeoutSec = 300;
     int retries = 2;
+    int signalRetries = 3;
     long backoffMs = 500;
     bool resume = false;
     uint32_t threads = 0; ///< 0 = subprocess mode
+
+    // Fabric / store options.
+    std::string storeDir;
+    bool fabricMode = false;
+    std::string workerId;
+    long pollMs = 50;
+    uint64_t leaseTtlPolls = 100;   ///< stale after this many polls
+    uint64_t stragglerPolls = 400;  ///< speculate after this many
+    bool fsckMode = false;
+    bool leaseStrict = false;
+    bool storeStrict = false;
+
+    // Deterministic chaos-testing hook (tools/fabric_chaos): raise
+    // SIGKILL on ourselves after the n-th event of a phase.
+    std::string chaosKillPhase; ///< "claim" or "publish"
+    uint64_t chaosKillAfter = 0;
+
     std::vector<std::string> commonArgs;
 };
 
@@ -148,8 +192,13 @@ usage()
         "missing)\n"
         "  --timeout=<sec>    per-config wall-clock limit "
         "(default 300)\n"
-        "  --retries=<n>      extra attempts per config "
-        "(default 2)\n"
+        "  --retries=<n>      extra attempts per deterministic\n"
+        "                     failure (default 2); typed parse-error"
+        "\n"
+        "                     exits (1, 6-9, 11) never retry\n"
+        "  --signal-retries=<n>  extra attempts when the child died"
+        "\n"
+        "                     on a signal or timeout (default 3)\n"
         "  --backoff-ms=<n>   base retry backoff, doubled per "
         "attempt\n"
         "                     (default 500)\n"
@@ -159,6 +208,31 @@ usage()
         "this\n"
         "                     process (no fork/exec; --sim unused;\n"
         "                     clamped to the hardware width)\n"
+        "  --store=<dir>      content-addressed result store: serve"
+        "\n"
+        "                     repeat configs from cache, publish new"
+        "\n"
+        "                     results\n"
+        "  --fsck             validate every store entry, "
+        "quarantine\n"
+        "                     damage, exit 12 if anything moved\n"
+        "  --fabric           run as one worker of a shared-queue\n"
+        "                     multi-process sweep (needs --store)\n"
+        "  --worker-id=<id>   fabric worker name (default w<pid>)\n"
+        "  --poll-ms=<n>      fabric idle/heartbeat poll period\n"
+        "                     (default 50)\n"
+        "  --lease-ttl-polls=<n>   polls without heartbeat change\n"
+        "                     before a lease is stale (default "
+        "100)\n"
+        "  --straggler-polls=<n>   polls in flight before an idle\n"
+        "                     worker duplicates a slow config\n"
+        "                     (default 400)\n"
+        "  --fabric-lease-strict   exit 10 when our lease is "
+        "seized\n"
+        "  --fabric-store-strict   exit 11 on a corrupt store "
+        "entry\n"
+        "  --chaos-kill=<phase>:<n>  (testing) SIGKILL self after\n"
+        "                     the n-th claim/publish\n"
         "  -- <args...>       common arguments passed to every "
         "config\n";
 }
@@ -197,6 +271,13 @@ parseArgs(int argc, char **argv)
                                  "too many retries (max 1000)")
                     .field("--retries");
             opts.retries = int(n);
+        } else if (match(arg, "signal-retries", v)) {
+            uint32_t n = parseCliU32(v, "signal-retries");
+            if (n > 1000)
+                throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                                 "too many retries (max 1000)")
+                    .field("--signal-retries");
+            opts.signalRetries = int(n);
         } else if (match(arg, "backoff-ms", v)) {
             uint64_t ms = parseCliU64(v, "backoff-ms");
             if (ms > (1u << 30))
@@ -206,8 +287,61 @@ parseArgs(int argc, char **argv)
             opts.backoffMs = long(ms);
         } else if (match(arg, "threads", v)) {
             opts.threads = parseHostThreads(v, "threads");
+        } else if (match(arg, "store", v)) {
+            opts.storeDir = v;
+        } else if (match(arg, "worker-id", v)) {
+            opts.workerId = v;
+        } else if (match(arg, "poll-ms", v)) {
+            uint64_t ms = parseCliU64(v, "poll-ms");
+            if (ms == 0 || ms > 60 * 1000)
+                throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                                 "must be in [1, 60000] ms")
+                    .field("--poll-ms");
+            opts.pollMs = long(ms);
+        } else if (match(arg, "lease-ttl-polls", v)) {
+            opts.leaseTtlPolls = parseCliU64(v, "lease-ttl-polls");
+            if (opts.leaseTtlPolls == 0)
+                throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                                 "must be at least 1")
+                    .field("--lease-ttl-polls");
+        } else if (match(arg, "straggler-polls", v)) {
+            opts.stragglerPolls =
+                parseCliU64(v, "straggler-polls");
+            if (opts.stragglerPolls == 0)
+                throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                                 "must be at least 1")
+                    .field("--straggler-polls");
+        } else if (match(arg, "chaos-kill", v)) {
+            size_t colon = v.find(':');
+            if (colon == std::string::npos)
+                throw ParseError(ParseSurface::Cli,
+                                 ParseRule::Syntax,
+                                 "expected <phase>:<n>")
+                    .field("--chaos-kill");
+            opts.chaosKillPhase = v.substr(0, colon);
+            if (opts.chaosKillPhase != "claim" &&
+                opts.chaosKillPhase != "publish")
+                throw ParseError(ParseSurface::Cli,
+                                 ParseRule::Unknown,
+                                 "phase must be 'claim' or "
+                                 "'publish'")
+                    .field("--chaos-kill");
+            opts.chaosKillAfter =
+                parseCliU64(v.substr(colon + 1), "chaos-kill");
+            if (opts.chaosKillAfter == 0)
+                throw ParseError(ParseSurface::Cli, ParseRule::Range,
+                                 "kill count must be at least 1")
+                    .field("--chaos-kill");
         } else if (arg == "--resume") {
             opts.resume = true;
+        } else if (arg == "--fabric") {
+            opts.fabricMode = true;
+        } else if (arg == "--fsck") {
+            opts.fsckMode = true;
+        } else if (arg == "--fabric-lease-strict") {
+            opts.leaseStrict = true;
+        } else if (arg == "--fabric-store-strict") {
+            opts.storeStrict = true;
         } else {
             throw ParseError(ParseSurface::Cli, ParseRule::Unknown,
                              "unknown option '" + arg + "'")
@@ -216,11 +350,34 @@ parseArgs(int argc, char **argv)
     }
     for (; i < argc; ++i)
         opts.commonArgs.push_back(argv[i]);
+
+    if (opts.fsckMode) {
+        if (opts.storeDir.empty())
+            throw ParseError(ParseSurface::Cli, ParseRule::Syntax,
+                             "--fsck requires --store");
+        return opts;
+    }
     if ((opts.simPath.empty() && opts.threads == 0) ||
         opts.configsPath.empty() || opts.outDir.empty())
         throw ParseError(ParseSurface::Cli, ParseRule::Syntax,
                          "--sim (or --threads), --configs and "
                          "--out are required");
+    if (opts.fabricMode) {
+        if (opts.storeDir.empty())
+            throw ParseError(ParseSurface::Cli, ParseRule::Syntax,
+                             "--fabric requires --store (results "
+                             "must be content-addressed for "
+                             "duplicate runs to be safe)");
+        if (opts.threads != 0)
+            throw ParseError(ParseSurface::Cli, ParseRule::Syntax,
+                             "--fabric is a multi-process mode; "
+                             "drop --threads");
+        if (opts.simPath.empty())
+            throw ParseError(ParseSurface::Cli, ParseRule::Syntax,
+                             "--fabric requires --sim");
+    }
+    if (opts.workerId.empty())
+        opts.workerId = "w" + std::to_string(getpid());
     return opts;
 }
 
@@ -310,6 +467,8 @@ saveManifest(const RunnerOptions &opts,
         entry.set("args", JsonValue::makeString(cfg.args));
         entry.set("status", JsonValue::makeString(cfg.status));
         entry.set("attempts", JsonValue::makeNumber(cfg.attempts));
+        entry.set("signal_deaths",
+                  JsonValue::makeNumber(cfg.signalDeaths));
         entry.set("exit_code", JsonValue::makeNumber(cfg.exitCode));
         list.append(std::move(entry));
     }
@@ -318,9 +477,44 @@ saveManifest(const RunnerOptions &opts,
 }
 
 /**
+ * Does this per-config CSV vouch for a completed run? Used on
+ * resume. A torn tail (final record cut mid-write) is reported with
+ * a warning and the config re-runs; any other damage re-runs too.
+ */
+bool
+configCsvUsable(const RunnerOptions &opts, const std::string &name)
+{
+    std::string csvPath = opts.outDir + "/" + name + ".csv";
+    std::ifstream probe(csvPath);
+    if (!probe)
+        return false;
+    auto parsed =
+        tryParse([&] { return parseFrameCsvFileTolerant(csvPath); });
+    if (!parsed.ok()) {
+        inform("--resume: re-running '", name,
+               "': ", parsed.error().describe());
+        return false;
+    }
+    if (parsed.value().tornTail) {
+        warn("--resume: ", csvPath, " has a torn final record (",
+             parsed.value().tail.size(),
+             " bytes cut mid-write); truncating and re-running '",
+             name, "'");
+        return false;
+    }
+    return !parsed.value().rows.empty();
+}
+
+/**
  * Merge prior progress into the freshly loaded sweep: a config
  * counts as done only if the manifest says so, its args have not
- * changed, and its result CSV is still on disk.
+ * changed, and its result CSV is still on disk and parses cleanly.
+ *
+ * A damaged manifest — including one whose tail was torn by a
+ * crash-during-write on a non-atomic filesystem — does not reject
+ * the resume: progress is reconstructed from the per-config CSVs
+ * with a warning, and the configs whose CSVs vouch for them are
+ * kept.
  */
 void
 mergePriorProgress(const RunnerOptions &opts,
@@ -332,14 +526,33 @@ mergePriorProgress(const RunnerOptions &opts,
                ", starting fresh");
         return;
     }
-    JsonValue root = JsonValue::parseFile(manifestPath(opts));
-    const std::string &format = root.at("format").asString();
-    if (format != "texdist-sweep-manifest")
-        throw ParseError(ParseSurface::Json, ParseRule::Magic,
-                         "not a sweep manifest (format '" + format +
-                             "')")
-            .in(manifestPath(opts))
-            .field("format");
+    auto loaded = tryParse([&] {
+        JsonValue root = JsonValue::parseFile(manifestPath(opts));
+        const std::string &format = root.at("format").asString();
+        if (format != "texdist-sweep-manifest")
+            throw ParseError(ParseSurface::Json, ParseRule::Magic,
+                             "not a sweep manifest (format '" +
+                                 format + "')")
+                .in(manifestPath(opts))
+                .field("format");
+        return root;
+    });
+    if (!loaded.ok()) {
+        warn("--resume: sweep manifest ", manifestPath(opts),
+             " is damaged (", loaded.error().describe(),
+             "); reconstructing progress from result CSVs");
+        for (SweepConfig &cfg : configs) {
+            if (!configCsvUsable(opts, cfg.name))
+                continue;
+            warn("--resume: '", cfg.name,
+                 "' kept on the strength of its result CSV (args "
+                 "unverifiable without a manifest)");
+            cfg.status = "done";
+            cfg.exitCode = 0;
+        }
+        return;
+    }
+    const JsonValue &root = loaded.value();
     for (const JsonValue &entry : root.at("configs").items()) {
         const std::string &name = entry.at("name").asString();
         const std::string &status = entry.at("status").asString();
@@ -347,27 +560,12 @@ mergePriorProgress(const RunnerOptions &opts,
             if (cfg.name != name ||
                 cfg.args != entry.at("args").asString())
                 continue;
-            if (status == "done") {
-                // A config only counts as done if its result CSV is
-                // present AND parses cleanly: resuming past a
-                // corrupt CSV would merge garbage into sweep.csv.
-                std::string csvPath =
-                    opts.outDir + "/" + cfg.name + ".csv";
-                std::ifstream probeCsv(csvPath);
-                if (probeCsv) {
-                    auto parsed = tryParse(
-                        [&] { return parseFrameCsvFile(csvPath); });
-                    if (parsed.ok()) {
-                        cfg.status = "done";
-                        cfg.attempts =
-                            int(entry.at("attempts").asNumber());
-                        cfg.exitCode =
-                            int(entry.at("exit_code").asNumber());
-                    } else {
-                        inform("--resume: re-running '", cfg.name,
-                               "': ", parsed.error().describe());
-                    }
-                }
+            if (status == "done" && configCsvUsable(opts, cfg.name)) {
+                cfg.status = "done";
+                cfg.attempts = int(entry.at("attempts").asNumber());
+                if (const JsonValue *sd = entry.get("signal_deaths"))
+                    cfg.signalDeaths = int(sd->asNumber());
+                cfg.exitCode = int(entry.at("exit_code").asNumber());
             }
             break;
         }
@@ -382,8 +580,22 @@ struct Attempt
     int exitCode = -1;
 };
 
+/**
+ * A deterministic failure the retry loop must not burn attempts on:
+ * typed parse errors (malformed trace/checkpoint/JSON/CSV/store
+ * input, bad CLI) reproduce identically on every retry. Signal
+ * deaths and timeouts, by contrast, are environmental and retry on
+ * their own budget.
+ */
+bool
+isPermanentExit(int code)
+{
+    return code == 1 || (code >= 6 && code <= 9) || code == 11;
+}
+
 Attempt
-runChild(const RunnerOptions &opts, const SweepConfig &cfg)
+runChild(const RunnerOptions &opts, const SweepConfig &cfg,
+         const std::function<void()> &onPoll = nullptr)
 {
     std::vector<std::string> args;
     args.push_back(opts.simPath);
@@ -453,11 +665,84 @@ runChild(const RunnerOptions &opts, const SweepConfig &cfg)
             kill(pid, SIGKILL);
             killed = true;
         }
-        usleep(poll_us);
+        if (onPoll)
+            onPoll();
+        usleep(useconds_t(poll_us));
         waited_us += poll_us;
     }
     g_child = -1;
     return result;
+}
+
+/**
+ * Run one config's bounded-retry attempt loop. Two separate
+ * budgets: deterministic nonzero exits consume --retries (and
+ * typed parse-error exits consume nothing — they fail fast as
+ * permanent), while signal deaths and timeouts consume
+ * --signal-retries, so a SIGKILL'd worker no longer burns the same
+ * budget as a config that deterministically exits 6.
+ */
+void
+superviseConfig(const RunnerOptions &opts, SweepConfig &cfg,
+                bool &interrupted,
+                const std::function<void()> &onPoll = nullptr)
+{
+    int failRetries = 0;
+    int sigRetries = 0;
+    int attempt = 0;
+    while (true) {
+        if (attempt > 0) {
+            long backoff = opts.backoffMs << (attempt - 1);
+            std::cout << "  " << cfg.name << ": retry " << attempt
+                      << " after " << backoff << " ms\n";
+            usleep(useconds_t(backoff) * 1000);
+        }
+        ++attempt;
+        ++cfg.attempts;
+        Attempt result = runChild(opts, cfg, onPoll);
+        cfg.exitCode = result.exitCode;
+        if (g_signal != 0) {
+            interrupted = true;
+            return;
+        }
+        if (result.exitCode == 0) {
+            cfg.status = "done";
+            return;
+        }
+        bool environmental = result.timedOut || result.signalled;
+        std::cout << "  " << cfg.name << ": attempt "
+                  << cfg.attempts << " "
+                  << (result.timedOut
+                          ? "timed out"
+                          : result.signalled
+                                ? "died on a signal"
+                                : "failed")
+                  << " (exit " << result.exitCode << ", see "
+                  << opts.outDir << "/" << cfg.name << ".log)\n";
+        if (environmental) {
+            ++cfg.signalDeaths;
+            if (sigRetries++ < opts.signalRetries)
+                continue;
+            std::cout << "  " << cfg.name << ": out of signal/"
+                      << "timeout retries\n";
+            cfg.status = "failed";
+            return;
+        }
+        if (isPermanentExit(result.exitCode)) {
+            // A typed parse error reproduces identically on every
+            // retry; burning attempts on it only delays the sweep.
+            std::cout << "  " << cfg.name << ": exit "
+                      << result.exitCode
+                      << " is a typed input error; failing fast "
+                      << "(no retry)\n";
+            cfg.status = "failed";
+            return;
+        }
+        if (failRetries++ < opts.retries)
+            continue;
+        cfg.status = "failed";
+        return;
+    }
 }
 
 /**
@@ -558,6 +843,99 @@ runConfigInProcess(const RunnerOptions &opts, const SweepConfig &cfg,
     return interrupted ? exitInterrupted : exit_code;
 }
 
+/**
+ * The store identity of one config: the full child argv (minus the
+ * per-run --result-csv path, which is placement, not physics) plus
+ * the digest of any trace input.
+ */
+fabric::StoreKey
+configStoreKey(const RunnerOptions &opts, const SweepConfig &cfg,
+               std::string *metaOut = nullptr)
+{
+    std::vector<std::string> args = opts.commonArgs;
+    for (const std::string &arg : splitArgs(cfg.args))
+        args.push_back(arg);
+    uint64_t traceDigest = 0;
+    for (const std::string &arg : args)
+        if (arg.rfind("--trace=", 0) == 0)
+            traceDigest =
+                fabric::digestFileBytes(arg.substr(8));
+    if (metaOut)
+        *metaOut = fabric::canonicalConfigJson(
+            args, traceDigest, fabric::fabricCodeVersion);
+    return fabric::computeStoreKey(args, traceDigest);
+}
+
+/** Slurp a published per-config CSV for store publication. */
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Validate and publish a completed config's result CSV into the
+ * store. The strict parse guarantees the store never holds bytes a
+ * future merge would reject.
+ */
+void
+publishResult(const RunnerOptions &opts, fabric::ResultStore &store,
+              const SweepConfig &cfg, const fabric::StoreKey &key,
+              const std::string &meta)
+{
+    std::string csvPath = opts.outDir + "/" + cfg.name + ".csv";
+    parseFrameCsvFile(csvPath);
+    store.publish(key, meta, slurpFile(csvPath));
+}
+
+/** Chaos-testing hook: SIGKILL ourselves at a scheduled point. */
+void
+chaosMaybeKill(const RunnerOptions &opts, const char *phase)
+{
+    static uint64_t counters[2] = {0, 0};
+    if (opts.chaosKillPhase != phase)
+        return;
+    uint64_t &n =
+        counters[opts.chaosKillPhase == "publish" ? 1 : 0];
+    if (++n == opts.chaosKillAfter) {
+        std::cout.flush();
+        raise(SIGKILL);
+    }
+}
+
+void
+writeFabricStats(const RunnerOptions &opts,
+                 const fabric::ResultStore &store,
+                 const fabric::LeaseQueue *queue,
+                 uint64_t speculativeRuns)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("format",
+             JsonValue::makeString("texdist-fabric-stats"));
+    root.set("version", JsonValue::makeNumber(1));
+    root.set("worker", JsonValue::makeString(opts.workerId));
+    root.set("store_hits",
+             JsonValue::makeNumber(double(store.stats().hits)));
+    root.set("store_misses",
+             JsonValue::makeNumber(double(store.stats().misses)));
+    root.set("store_corrupt",
+             JsonValue::makeNumber(double(store.stats().corrupt)));
+    root.set("leases_stolen",
+             JsonValue::makeNumber(
+                 double(queue ? queue->stolen() : 0)));
+    root.set("speculative_runs",
+             JsonValue::makeNumber(double(speculativeRuns)));
+    atomicWriteFile(opts.outDir + "/fabric_stats." + opts.workerId +
+                        ".json",
+                    root.dump());
+    std::cout << "store: " << store.stats().hits << " hit(s), "
+              << store.stats().misses << " miss(es), "
+              << store.stats().corrupt << " quarantined\n";
+}
+
 void mergeResults(const RunnerOptions &opts,
                   const std::vector<SweepConfig> &configs);
 
@@ -566,6 +944,30 @@ int
 runSweepInProcess(const RunnerOptions &opts,
                   std::vector<SweepConfig> &configs)
 {
+    // Optional memoization: serve store hits before parsing, so a
+    // fully cached sweep never builds a scene at all.
+    std::unique_ptr<fabric::ResultStore> store;
+    std::vector<fabric::StoreKey> keys(configs.size());
+    std::vector<std::string> metas(configs.size());
+    if (!opts.storeDir.empty()) {
+        store = std::make_unique<fabric::ResultStore>(
+            opts.storeDir, opts.storeStrict);
+        for (size_t i = 0; i < configs.size(); ++i) {
+            if (configs[i].status == "done")
+                continue;
+            keys[i] = configStoreKey(opts, configs[i], &metas[i]);
+            if (auto payload = store->fetch(keys[i])) {
+                atomicWriteFile(opts.outDir + "/" +
+                                    configs[i].name + ".csv",
+                                *payload);
+                configs[i].status = "done";
+                configs[i].exitCode = 0;
+                std::cout << "  " << configs[i].name
+                          << ": done (store hit)\n";
+            }
+        }
+    }
+
     std::vector<size_t> pending;
     std::vector<SimOptions> parsed(configs.size());
     for (size_t i = 0; i < configs.size(); ++i) {
@@ -592,6 +994,8 @@ runSweepInProcess(const RunnerOptions &opts,
         cfg.exitCode = codes[i];
         if (codes[i] == exitOk) {
             cfg.status = "done";
+            if (store)
+                publishResult(opts, *store, cfg, keys[i], metas[i]);
             std::cout << "  " << cfg.name << ": done\n";
         } else if (codes[i] == exitInterrupted) {
             interrupted = true; // stays pending for --resume
@@ -603,6 +1007,8 @@ runSweepInProcess(const RunnerOptions &opts,
         }
     }
     saveManifest(opts, configs);
+    if (store)
+        writeFabricStats(opts, *store, nullptr, 0);
 
     if (interrupted) {
         std::cerr << "sweep interrupted; progress saved to "
@@ -665,21 +1071,265 @@ mergeResults(const RunnerOptions &opts,
     atomicWriteFile(opts.outDir + "/sweep.csv", merged);
 }
 
+/**
+ * One fabric worker: cooperate with any number of peer processes
+ * through the shared lease queue and result store until every
+ * config has a terminal marker, then merge. See the file comment
+ * for the protocol; the invariant that makes every race benign is
+ * that a config's result bytes are a pure function of its store
+ * key, so duplicate publications collide into identical entries.
+ */
+int
+runSweepFabric(const RunnerOptions &opts,
+               std::vector<SweepConfig> &configs)
+{
+    fabric::LeaseQueue queue(opts.outDir + "/queue", opts.workerId);
+    fabric::ResultStore store(opts.storeDir, opts.storeStrict);
+
+    std::vector<fabric::StoreKey> keys(configs.size());
+    std::vector<std::string> metas(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i)
+        keys[i] = configStoreKey(opts, configs[i], &metas[i]);
+
+    uint64_t speculativeRuns = 0;
+    // Polls each non-terminal config has spent claimed-by-a-peer;
+    // the straggler-detection clock.
+    std::map<std::string, uint64_t> inFlightPolls;
+
+    auto heartbeatFor = [&](const std::string &name) {
+        uint64_t polls = 0;
+        return std::function<void()>([&queue, name, polls]() mutable {
+            // One lease refresh per ~10 child polls keeps heartbeat
+            // I/O negligible next to the 50 ms supervision cadence.
+            if (++polls % 10 == 0)
+                queue.heartbeat(name);
+        });
+    };
+
+    auto runClaimed = [&](size_t i, bool speculative) -> bool {
+        SweepConfig &cfg = configs[i];
+        bool interrupted = false;
+        superviseConfig(opts, cfg, interrupted,
+                        speculative ? std::function<void()>()
+                                    : heartbeatFor(cfg.name));
+        if (interrupted)
+            return false;
+        if (!speculative && !queue.owns(cfg.name)) {
+            // A peer judged us stale and seized the claim while we
+            // ran. Our result is still publishable (idempotent),
+            // but the seizer owns the config now.
+            if (opts.leaseStrict)
+                throw FabricError(
+                    FabricFault::LeaseLost,
+                    "lease on '" + cfg.name + "' was seized while "
+                    "worker " + opts.workerId + " ran it");
+            warn("worker ", opts.workerId, ": lease on '", cfg.name,
+                 "' was seized mid-run; standing down");
+            cfg.status = "pending";
+            return true;
+        }
+        if (cfg.status == "done") {
+            publishResult(opts, store, cfg, keys[i], metas[i]);
+            chaosMaybeKill(opts, "publish");
+            queue.markDone(cfg.name, keys[i]);
+        } else {
+            queue.markFailed(cfg.name, cfg.exitCode);
+        }
+        if (!speculative)
+            queue.release(cfg.name);
+        return true;
+    };
+
+    while (true) {
+        if (g_signal != 0) {
+            std::cerr << "fabric worker " << opts.workerId
+                      << " interrupted; leases will expire and "
+                      << "peers will redispatch\n";
+            writeFabricStats(opts, store, &queue, speculativeRuns);
+            return exitInterrupted;
+        }
+
+        bool allTerminal = true;
+        bool progress = false;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            SweepConfig &cfg = configs[i];
+            if (g_signal != 0)
+                break;
+            if (queue.isDone(cfg.name)) {
+                cfg.status = "done";
+                std::string csvPath =
+                    opts.outDir + "/" + cfg.name + ".csv";
+                std::ifstream probe(csvPath);
+                if (!probe) {
+                    // Done marker without a CSV (lost to a torn
+                    // write): restore it from the store, or demote
+                    // the config back to pending.
+                    if (auto payload = store.fetch(keys[i])) {
+                        atomicWriteFile(csvPath, *payload);
+                    } else {
+                        warn("'", cfg.name, "' marked done but has "
+                             "no CSV and no store entry; "
+                             "re-running");
+                        ::unlink((opts.outDir + "/queue/" +
+                                  cfg.name + ".done")
+                                     .c_str());
+                        cfg.status = "pending";
+                        allTerminal = false;
+                    }
+                }
+                continue;
+            }
+            int failCode = -1;
+            if (queue.isFailed(cfg.name, &failCode)) {
+                cfg.status = "failed";
+                cfg.exitCode = failCode;
+                continue;
+            }
+            allTerminal = false;
+
+            // Store fast path: no lease needed to serve a hit.
+            if (auto payload = store.fetch(keys[i])) {
+                atomicWriteFile(opts.outDir + "/" + cfg.name +
+                                    ".csv",
+                                *payload);
+                queue.markDone(cfg.name, keys[i]);
+                cfg.status = "done";
+                std::cout << "  " << cfg.name
+                          << ": done (store hit)\n";
+                progress = true;
+                continue;
+            }
+            if (queue.tryClaim(cfg.name)) {
+                chaosMaybeKill(opts, "claim");
+                std::cout << "  " << cfg.name << ": claimed by "
+                          << opts.workerId << "\n";
+                if (!runClaimed(i, false))
+                    break; // interrupted
+                progress = true;
+                continue;
+            }
+        }
+        if (allTerminal)
+            break;
+        if (progress || g_signal != 0)
+            continue;
+
+        // Nothing claimable: everyone else holds the remaining
+        // work. Watch their leases; seize stale ones (crashed or
+        // wedged holders) and speculatively duplicate stragglers.
+        bool acted = false;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            SweepConfig &cfg = configs[i];
+            if (queue.isDone(cfg.name) ||
+                queue.isFailed(cfg.name) || g_signal != 0)
+                continue;
+            uint64_t unchanged = queue.observeUnchanged(cfg.name);
+            if (unchanged == 0) {
+                // Lease vanished (released or never taken): try to
+                // claim it on the next sweep of the main loop.
+                inFlightPolls.erase(cfg.name);
+                continue;
+            }
+            uint64_t flight = ++inFlightPolls[cfg.name];
+            if (unchanged >= opts.leaseTtlPolls) {
+                // No heartbeat for a full TTL: the holder is dead
+                // or wedged. Seize and redispatch with the normal
+                // retry/backoff policy.
+                if (queue.steal(cfg.name)) {
+                    warn("worker ", opts.workerId,
+                         ": seized stale lease on '", cfg.name,
+                         "'");
+                    inFlightPolls.erase(cfg.name);
+                    if (!runClaimed(i, false))
+                        break;
+                    acted = true;
+                }
+            } else if (flight >= opts.stragglerPolls) {
+                // Alive but slow: run a duplicate without touching
+                // the lease. Whoever publishes last wins whole,
+                // with identical bytes.
+                warn("worker ", opts.workerId, ": straggler '",
+                     cfg.name, "' (", flight,
+                     " polls in flight); running a speculative "
+                     "duplicate");
+                ++speculativeRuns;
+                inFlightPolls.erase(cfg.name);
+                if (!runClaimed(i, true))
+                    break;
+                acted = true;
+            }
+        }
+        if (!acted)
+            usleep(useconds_t(opts.pollMs) * 1000);
+    }
+
+    writeFabricStats(opts, store, &queue, speculativeRuns);
+
+    size_t failed = 0;
+    for (const SweepConfig &cfg : configs)
+        if (cfg.status != "done")
+            ++failed;
+    if (failed > 0) {
+        std::cerr << failed
+                  << " config(s) failed permanently; see the "
+                  << ".failed markers in " << opts.outDir
+                  << "/queue\n";
+        return exitSomeFailed;
+    }
+    // Every worker that reaches this point merges; the atomic
+    // rename makes the duplicate publications collide harmlessly
+    // into identical bytes.
+    mergeResults(opts, configs);
+    std::cout << "sweep complete: " << configs.size()
+              << " config(s); merged results in " << opts.outDir
+              << "/sweep.csv\n";
+    return exitOk;
+}
+
+int
+runFsck(const RunnerOptions &opts)
+{
+    fabric::ResultStore store(opts.storeDir);
+    fabric::ResultStore::FsckReport report = store.fsck();
+    std::cout << "fsck " << opts.storeDir << ": "
+              << report.scanned << " entr"
+              << (report.scanned == 1 ? "y" : "ies") << " scanned, "
+              << report.ok << " ok, " << report.quarantined
+              << " quarantined, " << report.orphanScratch
+              << " orphan scratch file(s) removed\n";
+    return report.quarantined > 0
+               ? fabricExitCode(FabricFault::Quarantined)
+               : exitOk;
+}
+
 int
 run(int argc, char **argv)
 {
     RunnerOptions opts = parseArgs(argc, argv);
+
+    if (opts.fsckMode)
+        return runFsck(opts);
 
     if (mkdir(opts.outDir.c_str(), 0755) != 0 && errno != EEXIST)
         texdist_fatal("cannot create output directory ", opts.outDir,
                       ": ", std::strerror(errno));
 
     std::vector<SweepConfig> configs = loadConfigs(opts.configsPath);
-    if (opts.resume)
+    if (opts.resume && !opts.fabricMode)
         mergePriorProgress(opts, configs);
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+
+    if (opts.fabricMode) {
+        // Fabric state lives in the queue markers and the store —
+        // always effectively resumed, no manifest dance needed.
+        std::cout << "fabric worker " << opts.workerId << ": "
+                  << configs.size() << " config(s), queue "
+                  << opts.outDir << "/queue, store "
+                  << opts.storeDir << "\n";
+        return runSweepFabric(opts, configs);
+    }
 
     size_t done = 0;
     for (const SweepConfig &cfg : configs)
@@ -691,8 +1341,21 @@ run(int argc, char **argv)
     if (opts.threads > 0)
         return runSweepInProcess(opts, configs);
 
+    std::unique_ptr<fabric::ResultStore> store;
+    std::vector<fabric::StoreKey> keys(configs.size());
+    std::vector<std::string> metas(configs.size());
+    if (!opts.storeDir.empty()) {
+        store = std::make_unique<fabric::ResultStore>(
+            opts.storeDir, opts.storeStrict);
+        for (size_t i = 0; i < configs.size(); ++i)
+            if (configs[i].status != "done")
+                keys[i] =
+                    configStoreKey(opts, configs[i], &metas[i]);
+    }
+
     bool interrupted = false;
-    for (SweepConfig &cfg : configs) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+        SweepConfig &cfg = configs[i];
         if (g_signal != 0) {
             interrupted = true;
             break;
@@ -701,42 +1364,28 @@ run(int argc, char **argv)
             std::cout << "  " << cfg.name << ": done (resumed)\n";
             continue;
         }
-
-        for (int attempt = 0; attempt <= opts.retries; ++attempt) {
-            if (attempt > 0) {
-                long backoff = opts.backoffMs << (attempt - 1);
-                std::cout << "  " << cfg.name << ": retry "
-                          << attempt << "/" << opts.retries
-                          << " after " << backoff << " ms\n";
-                usleep(useconds_t(backoff) * 1000);
-            }
-            ++cfg.attempts;
-            Attempt result = runChild(opts, cfg);
-            cfg.exitCode = result.exitCode;
-            if (g_signal != 0) {
-                interrupted = true;
-                break;
-            }
-            if (result.exitCode == 0) {
+        if (store) {
+            if (auto payload = store->fetch(keys[i])) {
+                atomicWriteFile(opts.outDir + "/" + cfg.name +
+                                    ".csv",
+                                *payload);
                 cfg.status = "done";
-                break;
+                cfg.exitCode = 0;
+                std::cout << "  " << cfg.name
+                          << ": done (store hit)\n";
+                saveManifest(opts, configs);
+                continue;
             }
-            std::cout << "  " << cfg.name << ": attempt "
-                      << cfg.attempts << " "
-                      << (result.timedOut
-                              ? "timed out"
-                              : result.signalled
-                                    ? "died on a signal"
-                                    : "failed")
-                      << " (exit " << result.exitCode << ", see "
-                      << opts.outDir << "/" << cfg.name << ".log)\n";
         }
+
+        superviseConfig(opts, cfg, interrupted);
         if (interrupted)
             break;
-        if (cfg.status != "done")
-            cfg.status = "failed";
-        else
+        if (cfg.status == "done") {
+            if (store)
+                publishResult(opts, *store, cfg, keys[i], metas[i]);
             std::cout << "  " << cfg.name << ": done\n";
+        }
 
         // Persist progress after every config so a crash loses at
         // most the config in flight.
@@ -744,6 +1393,8 @@ run(int argc, char **argv)
     }
 
     saveManifest(opts, configs);
+    if (store)
+        writeFabricStats(opts, *store, nullptr, 0);
 
     if (interrupted) {
         std::cerr << "sweep interrupted; progress saved to "
@@ -774,15 +1425,19 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    // Malformed input — command line, sweep manifest, result CSV —
-    // exits with the surface's documented code; a bad command line
-    // also reprints the usage text.
+    // Malformed input — command line, sweep manifest, result CSV,
+    // store entry — exits with the surface's documented code; a bad
+    // command line also reprints the usage text. Fabric faults
+    // (lease lost, store corrupt) carry their own codes.
     try {
         return run(argc, argv);
     } catch (const ParseError &e) {
         std::cerr << "fatal: " << e.describe() << "\n";
         if (e.surface() == ParseSurface::Cli)
             std::cerr << "\n" << usage();
+        return e.exitCode();
+    } catch (const FabricError &e) {
+        std::cerr << "fatal: " << e.describe() << "\n";
         return e.exitCode();
     }
 }

@@ -80,7 +80,8 @@ struct FuzzOptions
 std::string
 usage()
 {
-    return "usage: texfuzz --surface=<trace|checkpoint|json|csv|cli>"
+    return "usage: texfuzz --surface=<trace|checkpoint|json|csv|cli"
+           "|fabric>"
            " [options]\n"
            "  --seed=<n>        RNG seed (default 1); same seed =>\n"
            "                    bit-identical run\n"

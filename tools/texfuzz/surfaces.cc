@@ -6,6 +6,7 @@
 #include "core/options.hh"
 #include "core/replay.hh"
 #include "core/sequence.hh"
+#include "fabric/store.hh"
 #include "scene/builder.hh"
 #include "sim/checkpoint.hh"
 #include "trace/trace.hh"
@@ -91,6 +92,23 @@ traceSeed()
     return os.str();
 }
 
+std::string
+fabricSeed()
+{
+    std::vector<std::string> args = {"--scene=quake", "--procs=4",
+                                     "--dist=block", "--param=8"};
+    fabric::StoreKey key = fabric::computeStoreKey(args, 0);
+    std::string meta = fabric::canonicalConfigJson(
+        args, 0, fabric::fabricCodeVersion);
+    std::string payload =
+        "frame,cycles,pixels,texels_fetched,triangles,"
+        "texel_fragment_ratio,imbalance_pct,bus_util,"
+        "faults_injected,degraded,failed,digest\n"
+        "0,123456,4096,8192,128,2.0,1.5,0.25,0,0,0,"
+        "00000000deadbeef\n";
+    return fabric::encodeStoreEntry(key, meta, payload);
+}
+
 void
 put32(std::string &buf, size_t at, uint32_t v)
 {
@@ -110,6 +128,22 @@ put64(std::string &buf, size_t at, uint64_t v)
 std::string
 repairInput(ParseSurface surface, std::string input, FuzzRng &rng)
 {
+    if (surface == ParseSurface::Fabric) {
+        // Same idea as the checkpoint repair below: one run in four
+        // keeps the mutated header so the magic/version/CRC guards
+        // stay exercised, the rest get a coherent envelope so the
+        // length and split validation runs against fuzzed fields.
+        if (input.size() < 36 || rng.oneIn(4))
+            return input;
+        input[0] = 'T';
+        input[1] = 'D';
+        input[2] = 'R';
+        input[3] = 'S';
+        put32(input, 4, fabric::storeFormatVersion);
+        put32(input, 32,
+              crc32(input.data() + 36, input.size() - 36));
+        return input;
+    }
     if (surface != ParseSurface::Checkpoint || input.size() < 20)
         return input;
     // One run in four keeps whatever the mutator did to the header,
@@ -141,10 +175,12 @@ surfaceFromName(const std::string &name)
         return ParseSurface::Csv;
     if (name == "cli")
         return ParseSurface::Cli;
+    if (name == "fabric")
+        return ParseSurface::Fabric;
     throw ParseError(ParseSurface::Cli, ParseRule::Unknown,
                      "unknown surface '" + name +
-                         "' (want trace, checkpoint, json, csv or "
-                         "cli)")
+                         "' (want trace, checkpoint, json, csv, "
+                         "cli or fabric)")
         .field("--surface");
 }
 
@@ -153,7 +189,7 @@ allSurfaces()
 {
     return {ParseSurface::Trace, ParseSurface::Checkpoint,
             ParseSurface::Json, ParseSurface::Csv,
-            ParseSurface::Cli};
+            ParseSurface::Cli, ParseSurface::Fabric};
 }
 
 std::vector<std::string>
@@ -204,6 +240,8 @@ makeSeeds(ParseSurface surface)
             "--fault=slow-node:rand,at=10000,x=8\n"
             "--fault-seed=99\n--audit",
         };
+      case ParseSurface::Fabric:
+        return {fabricSeed()};
     }
     return {};
 }
@@ -231,6 +269,9 @@ runParse(ParseSurface surface, const std::string &input)
           case ParseSurface::Cli:
             SimOptions::parse(splitArgs(input));
             break;
+          case ParseSurface::Fabric:
+            fabric::decodeStoreEntry(input, "fuzz-store-entry");
+            break;
         }
     } catch (const ParseError &e) {
         report.outcome = Outcome::Rejected;
@@ -238,9 +279,11 @@ runParse(ParseSurface surface, const std::string &input)
         report.diagnostic = e.describe();
         // A parser may legitimately cross surfaces (a manifest's
         // JSON layer, a CSV's digest cells), but the exit code must
-        // stay in the documented parse-error range — anything else
-        // means an input surface leaked an untyped failure.
-        if (report.exitCode < 1 || report.exitCode > 9) {
+        // stay in the documented parse-error range — 1 and 6-9,
+        // plus 11 for store entries — anything else means an input
+        // surface leaked an untyped failure.
+        if (report.exitCode < 1 ||
+            (report.exitCode > 9 && report.exitCode != 11)) {
             report.outcome = Outcome::Finding;
             report.diagnostic =
                 "ParseError with out-of-contract exit code " +
