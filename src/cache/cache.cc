@@ -77,7 +77,9 @@ SetAssocCache::access(uint64_t addr)
     // accounting, replacement and serialization.
     uint32_t mru = mruWay[set];
     if (set_tags[mru] == tag) {
-        set_lru[mru] = ++stampCounter;
+        uint64_t stamp = ++stampCounter;
+        if (!plantedSkipThisHit())
+            set_lru[mru] = stamp;
         return true;
     }
 
@@ -85,7 +87,9 @@ SetAssocCache::access(uint64_t addr)
     uint64_t oldest = UINT64_MAX;
     for (uint32_t w = 0; w < geom.ways; ++w) {
         if (set_tags[w] == tag) {
-            set_lru[w] = ++stampCounter;
+            uint64_t stamp = ++stampCounter;
+            if (!plantedSkipThisHit())
+                set_lru[w] = stamp;
             mruWay[set] = w;
             return true;
         }
@@ -213,6 +217,76 @@ InfiniteCache::unserialize(CheckpointReader &r)
     std::vector<uint64_t> lines = r.u64vec();
     seen.clear();
     seen.insert(lines.begin(), lines.end());
+}
+
+bool
+SetAssocCache::accessEvicting(uint64_t addr, uint64_t &evicted_addr,
+                              bool &evicted)
+{
+    evicted = false;
+    ++_accesses;
+    uint64_t line = addr >> lineShift;
+    uint32_t set = uint32_t(line & (sets - 1));
+    uint64_t tag = line >> setShift;
+
+    uint64_t *set_tags = &tags[size_t(set) * geom.ways];
+    uint64_t *set_lru = &lruStamp[size_t(set) * geom.ways];
+
+    uint32_t mru = mruWay[set];
+    if (set_tags[mru] == tag) {
+        uint64_t stamp = ++stampCounter;
+        if (!plantedSkipThisHit())
+            set_lru[mru] = stamp;
+        return true;
+    }
+
+    uint32_t victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (uint32_t w = 0; w < geom.ways; ++w) {
+        if (set_tags[w] == tag) {
+            uint64_t stamp = ++stampCounter;
+            if (!plantedSkipThisHit())
+                set_lru[w] = stamp;
+            mruWay[set] = w;
+            return true;
+        }
+        if (set_lru[w] < oldest) {
+            oldest = set_lru[w];
+            victim = w;
+        }
+    }
+
+    ++_misses;
+    if (set_tags[victim] != invalidTag) {
+        evicted = true;
+        evicted_addr =
+            ((set_tags[victim] << setShift) | uint64_t(set))
+            << lineShift;
+    }
+    set_tags[victim] = tag;
+    set_lru[victim] = ++stampCounter;
+    mruWay[set] = victim;
+    return false;
+}
+
+void
+SetAssocCache::invalidate(uint64_t line_addr)
+{
+    uint64_t line = line_addr >> lineShift;
+    uint32_t set = uint32_t(line & (sets - 1));
+    uint64_t tag = line >> setShift;
+    uint64_t *set_tags = &tags[size_t(set) * geom.ways];
+    uint64_t *set_lru = &lruStamp[size_t(set) * geom.ways];
+    for (uint32_t w = 0; w < geom.ways; ++w) {
+        if (set_tags[w] == tag) {
+            set_tags[w] = invalidTag;
+            set_lru[w] = 0;
+            // The MRU hint may still point at this way; that is safe
+            // (invalidTag never matches a real tag) and costs at most
+            // one extra compare on the next access.
+            return;
+        }
+    }
 }
 
 bool

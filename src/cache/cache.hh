@@ -151,8 +151,86 @@ class SetAssocCache : public TextureCache
     /** True when the given line currently resides in the cache. */
     bool probe(uint64_t line_addr) const;
 
+    /**
+     * access() variant reporting the line a miss evicted: when the
+     * fill replaced a valid resident line, @p evicted_addr receives
+     * that line's byte address and @p evicted is set. Used by the
+     * inclusive two-level hierarchy to back-invalidate L1 on an L2
+     * eviction; hit behavior and statistics are identical to
+     * access().
+     */
+    bool accessEvicting(uint64_t addr, uint64_t &evicted_addr,
+                        bool &evicted);
+
+    /**
+     * Drop one line (no-op when absent). Back-invalidation for the
+     * inclusive hierarchy: statistics and the LRU clock are
+     * untouched, the way simply becomes the set's eviction victim.
+     */
+    void invalidate(uint64_t line_addr);
+
+    // --- oracle inspection (read-only structural state) --------------
+
+    uint32_t numSets() const { return sets; }
+    uint32_t numWays() const { return geom.ways; }
+    bool
+    lineValid(uint32_t set, uint32_t way) const
+    {
+        return tags[size_t(set) * geom.ways + way] != invalidTag;
+    }
+    uint64_t
+    lineTag(uint32_t set, uint32_t way) const
+    {
+        return tags[size_t(set) * geom.ways + way];
+    }
+    uint64_t
+    lineStamp(uint32_t set, uint32_t way) const
+    {
+        return lruStamp[size_t(set) * geom.ways + way];
+    }
+    /** Byte address of the line held by (set, way); valid lines only. */
+    uint64_t
+    lineAddress(uint32_t set, uint32_t way) const
+    {
+        uint64_t line =
+            (lineTag(set, way) << setShift) | uint64_t(set);
+        return line << lineShift;
+    }
+    /** Global LRU clock; equals accesses() on an honest cache. */
+    uint64_t stampClock() const { return stampCounter; }
+    /** Current MRU-hint way of @p set (always < numWays()). */
+    uint32_t mruHint(uint32_t set) const { return mruWay[set]; }
+
+    /**
+     * Planted-bug hook for the oracle's mutation self-test: every
+     * @p period-th hit skips refreshing the hit way's LRU stamp (the
+     * classic forgotten-touch bug). Miss accounting, the stamp clock
+     * and all structural invariants stay intact — only replacement
+     * decisions drift, which is exactly the class of bug the shadow
+     * reference model exists to catch. 0 disables (the default;
+     * nothing in the simulator ever enables this).
+     */
+    void
+    debugPlantLruSkip(uint32_t period)
+    {
+        lruSkipPeriod = period;
+        lruSkipCountdown = period;
+    }
+
   private:
     static constexpr uint64_t invalidTag = UINT64_MAX;
+
+    /** True when the planted LRU bug says to skip this hit's touch. */
+    bool
+    plantedSkipThisHit()
+    {
+        if (lruSkipPeriod == 0)
+            return false;
+        if (--lruSkipCountdown > 0)
+            return false;
+        lruSkipCountdown = lruSkipPeriod;
+        return true;
+    }
 
     CacheGeometry geom;
     // texlint: allow(checkpoint) derived from geom; restore only validates it
@@ -176,6 +254,10 @@ class SetAssocCache : public TextureCache
     // texlint: allow(checkpoint) pure accelerator hint, reset on restore
     std::vector<uint32_t> mruWay;
     uint64_t stampCounter = 0;
+    // texlint: allow(checkpoint) debug-only planted-bug knob, never set in sims
+    uint32_t lruSkipPeriod = 0;
+    // texlint: allow(checkpoint) debug-only planted-bug countdown
+    uint32_t lruSkipCountdown = 0;
 };
 
 /** Cache that always hits. */

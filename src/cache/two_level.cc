@@ -4,8 +4,9 @@ namespace texdist
 {
 
 TwoLevelCache::TwoLevelCache(const CacheGeometry &l1,
-                             const CacheGeometry &l2)
-    : l2Geom(l2), l1Cache(l1), l2Cache(l2)
+                             const CacheGeometry &l2, bool inclusive)
+    : l2Geom(l2), strictInclusive(inclusive), l1Cache(l1),
+      l2Cache(l2)
 {
 }
 
@@ -16,6 +17,19 @@ TwoLevelCache::access(uint64_t addr)
     if (l1Cache.access(addr))
         return true;
     ++_l1Misses;
+    if (strictInclusive) {
+        // Strict inclusion: when the L2 evicts a line to make room,
+        // any L1 copy of the victim must go too, or L1 would hold a
+        // line the L2 no longer backs.
+        uint64_t evicted_addr = 0;
+        bool evicted = false;
+        if (!l2Cache.accessEvicting(addr, evicted_addr, evicted)) {
+            ++_misses; // external fetch
+            if (evicted)
+                l1Cache.invalidate(evicted_addr);
+        }
+        return false;
+    }
     if (!l2Cache.access(addr))
         ++_misses; // external fetch
     return false;

@@ -33,8 +33,15 @@ class TwoLevelCache : public TextureCache
     /**
      * @param l1 geometry of the on-chip cache (paper: 16 KB 4-way)
      * @param l2 geometry of the board-level cache (Cox: 2-8 MB)
+     * @param inclusive enforce strict L1 ⊆ L2: an L2 eviction
+     *        back-invalidates the line in L1. The default inclusive-
+     *        fill hierarchy fills both on an external fetch but lets
+     *        them age independently, so a line can outlive its L2
+     *        copy in L1; strict mode is what the oracle's inclusion
+     *        invariant checks against.
      */
-    TwoLevelCache(const CacheGeometry &l1, const CacheGeometry &l2);
+    TwoLevelCache(const CacheGeometry &l1, const CacheGeometry &l2,
+                  bool inclusive = false);
 
     /**
      * Access one texel. TextureCache::misses() counts L2 misses
@@ -70,10 +77,23 @@ class TwoLevelCache : public TextureCache
     const SetAssocCache &l1() const { return l1Cache; }
     const SetAssocCache &l2() const { return l2Cache; }
 
+    /** True when this hierarchy promises strict L1 ⊆ L2. */
+    bool inclusive() const { return strictInclusive; }
+
+    /** Planted-bug hook forwarding to the L1 (see SetAssocCache). */
+    void
+    debugPlantLruSkip(uint32_t period)
+    {
+        l1Cache.debugPlantLruSkip(period);
+    }
+
   private:
     // texlint: allow(checkpoint) construction-time geometry; the L2's own
     // serialize validates it
     CacheGeometry l2Geom;
+    // texlint: allow(checkpoint) construction-time policy, part of the
+    // machine configuration (describe() carries it), not mutable state
+    bool strictInclusive;
     SetAssocCache l1Cache;
     SetAssocCache l2Cache;
     uint64_t _l1Misses = 0;

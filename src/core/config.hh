@@ -66,6 +66,14 @@ struct MachineConfig
     CacheGeometry l2Geom{2 * 1024 * 1024, 8, 64};
 
     /**
+     * Enforce strict L1 ⊆ L2 inclusion (L2 evictions back-invalidate
+     * the L1). Off by default: the seed hierarchy is inclusive-fill
+     * but lets the levels age independently. When set, the oracle
+     * additionally verifies the inclusion property structurally.
+     */
+    bool l2Inclusive = false;
+
+    /**
      * External bus bandwidth in texels per cycle — the paper's
      * "maximum texel-to-fragment ratio the bus may transfer"
      * (studied at 1 and 2). Ignored when infiniteBus is set.

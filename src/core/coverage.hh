@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-pixel fragment coverage map for the simulation oracle.
+ *
+ * The sort-middle model guarantees that every fragment a frame
+ * rasterizes is drawn by exactly one node — under any distribution,
+ * any tile parameter, and even after graceful degradation migrates a
+ * dead node's work. The oracle verifies this spatially: nodes note
+ * every fragment they draw into a shared FrameCoverage, and the
+ * frame-boundary check compares the resulting per-pixel counts
+ * against an independent rasterization of the scene. Counters are
+ * atomic because the two-phase engine drains per-node streams on
+ * host worker threads; relaxed increments suffice since the map is
+ * only read after the frame barrier.
+ *
+ * This is host-side observation only: writing to a FrameCoverage
+ * never changes simulated timing, results, digests or checkpoints.
+ */
+
+#ifndef TEXDIST_CORE_COVERAGE_HH
+#define TEXDIST_CORE_COVERAGE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace texdist
+{
+
+/** A screen-sized grid of per-pixel fragment counters. */
+class FrameCoverage
+{
+  public:
+    FrameCoverage(uint32_t width, uint32_t height)
+        : w(width), h(height),
+          cells(std::make_unique<std::atomic<uint32_t>[]>(
+              size_t(width) * height))
+    {
+        reset();
+    }
+
+    uint32_t width() const { return w; }
+    uint32_t height() const { return h; }
+
+    /**
+     * Count one fragment at (x, y). Out-of-screen coordinates are
+     * themselves a violation; they are tallied rather than dropped
+     * so the frame check can report them.
+     */
+    void
+    note(uint32_t x, uint32_t y)
+    {
+        if (x >= w || y >= h) {
+            oob.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        cells[size_t(y) * w + x].fetch_add(1,
+                                           std::memory_order_relaxed);
+    }
+
+    /** Fragments noted outside the screen (must be zero). */
+    uint64_t outOfBounds() const
+    {
+        return oob.load(std::memory_order_relaxed);
+    }
+
+    uint32_t
+    count(uint32_t x, uint32_t y) const
+    {
+        return cells[size_t(y) * w + x].load(
+            std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        for (size_t i = 0; i < size_t(w) * h; ++i)
+            cells[i].store(0, std::memory_order_relaxed);
+        oob.store(0, std::memory_order_relaxed);
+    }
+
+    /**
+     * FNV-1a over the row-major counts — the oracle's "framebuffer
+     * digest". Two runs that cover the screen identically (same
+     * per-pixel overdraw) digest identically regardless of node
+     * count, distribution or machine organization.
+     */
+    uint64_t
+    digest() const
+    {
+        uint64_t hash = 1469598103934665603ull;
+        for (size_t i = 0; i < size_t(w) * h; ++i) {
+            uint32_t c = cells[i].load(std::memory_order_relaxed);
+            for (int b = 0; b < 4; ++b) {
+                hash ^= (c >> (8 * b)) & 0xffu;
+                hash *= 1099511628211ull;
+            }
+        }
+        return hash;
+    }
+
+  private:
+    uint32_t w;
+    uint32_t h;
+    std::unique_ptr<std::atomic<uint32_t>[]> cells;
+    std::atomic<uint64_t> oob{0};
+};
+
+} // namespace texdist
+
+#endif // TEXDIST_CORE_COVERAGE_HH

@@ -30,6 +30,8 @@
  *     10  fabric lease lost (a worker's claim was seized)
  *     11  fabric store corrupt (malformed store entry / lease file)
  *     12  fabric entries quarantined (fsck moved damaged entries)
+ *     13  oracle violation (online invariant / metamorphic relation
+ *         broken — see src/oracle and docs/ROBUSTNESS.md)
  *
  * This header is dependency-free and header-only on purpose: the
  * low-level sim library (checkpoint reader) and the high-level core
@@ -46,6 +48,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace texdist
 {
@@ -200,6 +203,69 @@ class FabricError : public std::exception
   private:
     FabricFault _fault;
     std::string _message;
+    std::string _what;
+};
+
+/** The documented exit code for an oracle invariant violation. */
+constexpr int oracleExitCode = 13;
+
+/**
+ * An oracle invariant violation: the simulation produced state that
+ * contradicts a conservation law, structural invariant or
+ * metamorphic relation the model guarantees (src/oracle). Unlike an
+ * audit warning this is typed and carries the frame / cycle / node
+ * context of the first violation, so a supervisor can bisect a
+ * sweep down to the exact frame that first went wrong. Header-only
+ * like ParseError/FabricError: the oracle library, the simulator
+ * driver and tools/texmeta all throw and catch it without link
+ * coupling.
+ */
+class OracleError : public std::exception
+{
+  public:
+    /**
+     * @param frame   frame index the violation was detected at
+     * @param node    first offending node, or -1 for machine-wide
+     * @param cycle   simulation tick of the frame boundary checked
+     * @param violations one line per broken invariant
+     */
+    OracleError(uint32_t frame, int32_t node, uint64_t cycle,
+                std::vector<std::string> violations)
+        : _frame(frame), _node(node), _cycle(cycle),
+          _violations(std::move(violations))
+    {
+        _what = "oracle violation at frame " + std::to_string(_frame);
+        if (_node >= 0)
+            _what += ", node " + std::to_string(_node);
+        _what += ", cycle " + std::to_string(_cycle) + ":";
+        for (const std::string &v : _violations)
+            _what += "\n  " + v;
+    }
+
+    uint32_t frame() const { return _frame; }
+
+    /** First offending node, or -1 for a machine-wide violation. */
+    int32_t node() const { return _node; }
+
+    uint64_t cycle() const { return _cycle; }
+    const std::vector<std::string> &violations() const
+    {
+        return _violations;
+    }
+
+    int exitCode() const { return oracleExitCode; }
+    const std::string &describe() const { return _what; }
+
+    const char *what() const noexcept override
+    {
+        return _what.c_str();
+    }
+
+  private:
+    uint32_t _frame;
+    int32_t _node;
+    uint64_t _cycle;
+    std::vector<std::string> _violations;
     std::string _what;
 };
 

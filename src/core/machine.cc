@@ -415,8 +415,14 @@ MachineConfig::describe() const
     if (cacheKind == CacheKind::SetAssoc)
         os << "(" << cacheGeom.sizeBytes / 1024 << "KB,"
            << cacheGeom.ways << "w," << cacheGeom.lineBytes << "B)";
-    if (hasL2)
+    if (hasL2) {
         os << "+L2(" << l2Geom.sizeBytes / 1024 << "KB)";
+        // Appended only when enabled so every pre-existing config
+        // keeps its exact describe() string (and thus its store and
+        // checkpoint identity).
+        if (l2Inclusive)
+            os << "incl";
+    }
     if (infiniteBus)
         os << " bus=inf";
     else

@@ -128,6 +128,9 @@ class ParallelMachine
 
     /** Per-node access for tests and detailed reports. */
     const TextureNode &node(uint32_t i) const { return *nodes[i]; }
+    /** Mutable per-node access for the oracle's hooks. */
+    TextureNode &node(uint32_t i) { return *nodes[i]; }
+    uint32_t numNodes() const { return uint32_t(nodes.size()); }
     const GeometryFeeder &feeder() const { return *feeder_; }
 
     /** Dump every component's statistics (gem5-style lines). */

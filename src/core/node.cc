@@ -29,7 +29,8 @@ TextureNode::TextureNode(uint32_t id, const MachineConfig &config,
       textures(textures_),
       cache_(config.hasL2 && config.cacheKind == CacheKind::SetAssoc
                  ? std::make_unique<TwoLevelCache>(config.cacheGeom,
-                                                   config.l2Geom)
+                                                   config.l2Geom,
+                                                   config.l2Inclusive)
                  : makeCache(config.cacheKind, config.cacheGeom)),
       fifo(config.triangleBufferSize), workEvent(*this)
 {
@@ -171,7 +172,12 @@ TextureNode::scanFragments(TextureId texid,
             _stallCycles += issue - cpu;
 
             Tick retire = issue + 1;
-            for (int k = 0; k < texelsPerFragment; ++k) {
+            // Planted texel leak: the triangle's very first texel
+            // reference bypasses the cache, unbalancing the
+            // accesses-per-pixel ledger for the oracle to notice.
+            int k0 =
+                (_plantTexelLeak && base == 0 && i == 0) ? 1 : 0;
+            for (int k = k0; k < texelsPerFragment; ++k) {
                 if (!cache->access(addrs[k]) && bus) {
                     Tick arrival =
                         bus->transfer(issue, texels_per_fill);
@@ -197,6 +203,15 @@ TextureNode::runTriangle(TextureId tex, const NodeFragment *frags,
     ++_trianglesReceived;
     _pixelsDrawn += count;
     trianglePixels.add(double(count));
+
+    if (coverage) {
+        for (size_t i = 0; i < count; ++i) {
+            uint32_t x = frags[i].x;
+            if (_plantCoverageShift && i == 0)
+                x ^= 1u;
+            coverage->note(x, frags[i].y);
+        }
+    }
 
     Tick scan_end = scanFragments(tex, frags, count, start);
     Tick setup_end = start + Tick(cfg.setupCyclesPerTriangle) * _slowdown;

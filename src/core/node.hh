@@ -28,6 +28,7 @@
 
 #include "cache/cache.hh"
 #include "core/config.hh"
+#include "core/coverage.hh"
 #include "mem/bus.hh"
 #include "sim/fifo.hh"
 #include "sim/sim_object.hh"
@@ -191,6 +192,53 @@ class TextureNode : public SimObject
 
     const TextureCache &cache() const { return *cache_; }
 
+    // --- oracle hooks --------------------------------------------------
+    //
+    // All host-side observation: none of these change simulated
+    // timing, digests or checkpoints unless a planted-bug knob is
+    // deliberately enabled (and those are only ever enabled by the
+    // texmeta mutation self-test, never by a simulation run).
+
+    /**
+     * Point the node at a frame-coverage map; every drawn fragment
+     * is noted into it. Null detaches.
+     */
+    void setCoverageSink(FrameCoverage *sink) { coverage = sink; }
+
+    /**
+     * Surrender the cache so the oracle can wrap it in a shadowed
+     * differential decorator; installCacheForOracle() puts the
+     * wrapper (or the original) back. The node must be between
+     * accesses when either is called.
+     */
+    std::unique_ptr<TextureCache>
+    takeCacheForOracle()
+    {
+        return std::move(cache_);
+    }
+
+    void
+    installCacheForOracle(std::unique_ptr<TextureCache> c)
+    {
+        cache_ = std::move(c);
+    }
+
+    /**
+     * Planted bug: report the first fragment of every triangle one
+     * pixel off (x xor 1) to the coverage sink. Simulated results
+     * are untouched — only the oracle's coverage map lies, which is
+     * exactly what its spatial check must catch.
+     */
+    void debugPlantCoverageShift() { _plantCoverageShift = true; }
+
+    /**
+     * Planted bug: the first texel reference of each triangle's
+     * first fragment skips the cache entirely, leaking one access
+     * per triangle out of the sampler → cache → bus conservation
+     * ledger the oracle balances.
+     */
+    void debugPlantTexelLeak() { _plantTexelLeak = true; }
+
     /** Null when the configuration uses an infinite bus. */
     const TextureBus *bus() const { return bus_.get(); }
 
@@ -287,6 +335,13 @@ class TextureNode : public SimObject
     uint32_t _slowdown = 1;
     bool _frozen = false;
     bool _dead = false;
+
+    // texlint: allow(checkpoint) host-side oracle observation, not state
+    FrameCoverage *coverage = nullptr;
+    // texlint: allow(checkpoint) debug-only planted-bug knob
+    bool _plantCoverageShift = false;
+    // texlint: allow(checkpoint) debug-only planted-bug knob
+    bool _plantTexelLeak = false;
 
     Histogram trianglePixels{4.0, 64};
     uint64_t _pixelsDrawn = 0;

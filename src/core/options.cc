@@ -99,6 +99,32 @@ parseCacheKb(const std::string &value, const char *key)
 
 } // namespace
 
+OracleMode
+oracleModeFromString(const std::string &s)
+{
+    if (s == "off")
+        return OracleMode::Off;
+    if (s == "cheap")
+        return OracleMode::Cheap;
+    if (s == "full")
+        return OracleMode::Full;
+    throw ParseError(ParseSurface::Cli, ParseRule::Unknown,
+                     "unknown oracle mode '" + s +
+                         "' (want off, cheap or full)")
+        .field("--oracle");
+}
+
+const char *
+to_string(OracleMode mode)
+{
+    switch (mode) {
+      case OracleMode::Off: return "off";
+      case OracleMode::Cheap: return "cheap";
+      case OracleMode::Full: return "full";
+    }
+    return "?";
+}
+
 uint32_t
 parseHostThreads(const std::string &value, const char *flag)
 {
@@ -135,6 +161,9 @@ SimOptions::usage()
         "  --cache-ways=<n>      associativity (default 4)\n"
         "  --l2-kb=<n>           add a per-node L2 of n KB "
         "(0 = none)\n"
+        "  --l2-inclusive        strict L1 ⊆ L2: L2 evictions "
+        "back-\n"
+        "                        invalidate the L1 (default off)\n"
         "  --bus=<texels/cycle>  0 = infinite (default 1)\n"
         "  --buffer=<entries>    triangle FIFO (default 10000)\n"
         "  --setup=<cycles>      setup cycles/triangle (default 25)\n"
@@ -193,6 +222,17 @@ SimOptions::usage()
         "                        conservation, pixel coverage, "
         "cache\n"
         "                        accounting) after every frame\n"
+        "  --oracle=off|cheap|full\n"
+        "                        online invariant oracle "
+        "(docs/ROBUSTNESS.md):\n"
+        "                        per-pixel coverage, texel "
+        "conservation\n"
+        "                        and cache-structural checks; cheap "
+        "=\n"
+        "                        sampled frames, full = every frame "
+        "plus\n"
+        "                        shadow differential caches "
+        "(default off)\n"
         "\n"
         "output:\n"
         "  --stats-file=<path>   write per-component statistics\n"
@@ -205,7 +245,7 @@ SimOptions::usage()
         "violation,\n"
         "            5 replay divergence, 6 malformed trace,\n"
         "            7 malformed checkpoint, 8 malformed JSON,\n"
-        "            9 malformed result CSV\n";
+        "            9 malformed result CSV, 13 oracle violation\n";
 }
 
 uint32_t
@@ -288,6 +328,8 @@ SimOptions::parse(const std::vector<std::string> &args)
             opts.machine.hasL2 = kb > 0;
             if (kb > 0)
                 opts.machine.l2Geom.sizeBytes = kb * 1024;
+        } else if (arg == "--l2-inclusive") {
+            opts.machine.l2Inclusive = true;
         } else if (match(arg, "bus", v)) {
             double bus = parseCliF64(v, "bus");
             if (bus < 0.0)
@@ -369,6 +411,8 @@ SimOptions::parse(const std::vector<std::string> &args)
             opts.replayVerifyPath = v;
         } else if (arg == "--audit") {
             opts.audit = true;
+        } else if (match(arg, "oracle", v)) {
+            opts.oracle = oracleModeFromString(v);
         } else if (match(arg, "result-csv", v)) {
             opts.resultCsv = v;
         } else {

@@ -43,6 +43,23 @@ double parseCliF64(const std::string &value, const char *key);
  */
 uint32_t parseHostThreads(const std::string &value, const char *flag);
 
+/**
+ * How much of the online invariant oracle to run. A host-side knob
+ * like `--jobs`: the oracle observes the machine and never alters
+ * simulated timing, results, digests or checkpoints.
+ */
+enum class OracleMode
+{
+    Off,   ///< no oracle (the default)
+    Cheap, ///< coverage/conservation/structural checks, sampled frames
+    Full,  ///< every frame, plus the shadow differential caches
+};
+
+/** Parse "off" / "cheap" / "full" for `--oracle=`. */
+OracleMode oracleModeFromString(const std::string &s);
+
+const char *to_string(OracleMode mode);
+
 /** Parsed options of the texdist_sim driver. */
 struct SimOptions
 {
@@ -92,6 +109,9 @@ struct SimOptions
 
     /** Check frame invariants after every frame. */
     bool audit = false;
+
+    /** Online invariant oracle level (`--oracle=off|cheap|full`). */
+    OracleMode oracle = OracleMode::Off;
 
     /** Write one machine-readable CSV row per frame here. */
     std::string resultCsv;

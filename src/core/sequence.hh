@@ -76,6 +76,11 @@ class SequenceMachine
     /** Host threads simulating each frame. */
     uint32_t jobs() const { return engine->jobs(); }
 
+    /** Per-node access for the oracle, tests and reports. */
+    TextureNode &node(uint32_t i) { return *nodes[i]; }
+    const TextureNode &node(uint32_t i) const { return *nodes[i]; }
+    uint32_t numNodes() const { return uint32_t(nodes.size()); }
+
     /**
      * Serialize the machine at a frame boundary: the clock, the
      * fault RNG stream, per-node delta snapshots and every node's

@@ -100,6 +100,10 @@ class SortLastMachine
 
     SortLastResult run();
 
+    /** Per-node access for the oracle's coverage sinks. */
+    TextureNode &node(uint32_t i) { return *nodes[i]; }
+    uint32_t numNodes() const { return uint32_t(nodes.size()); }
+
   private:
     const Scene &scene;
     SortLastConfig cfg;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/logging.hh"
+
 namespace texdist
 {
 
@@ -11,8 +13,12 @@ Texture::Texture(TextureId id, uint64_t base_addr, uint32_t width,
                  TexLayout layout)
     : _id(id), _baseAddr(base_addr), wrap(wrap_mode), _layout(layout)
 {
-    assert(isPow2(width) && isPow2(height));
-    assert(base_addr % lineBytes == 0);
+    if (!isPow2(width) || !isPow2(height))
+        texdist_fatal("texture ", id, ": dimensions must be powers "
+                      "of two (got ", width, "x", height, ")");
+    if (base_addr % lineBytes != 0)
+        texdist_fatal("texture ", id, ": base address ", base_addr,
+                      " is not ", lineBytes, "-byte line aligned");
 
     uint64_t offset = 0;
     uint32_t w = width;
@@ -47,6 +53,8 @@ uint64_t
 Texture::texelAddress(uint32_t l, uint32_t x, uint32_t y) const
 {
     const MipLevel &lvl = levels[l];
+    // texlint: allow(bare-assert) per-texel hot path; bounds are
+    // guaranteed by the sampler's wrapCoord, checked in debug builds
     assert(x < lvl.width && y < lvl.height);
 
     if (_layout == TexLayout::Linear) {

@@ -7,6 +7,7 @@
 #include "core/error.hh"
 #include "core/experiments.hh"
 #include "core/machine.hh"
+#include "oracle/oracle.hh"
 #include "scene/builder.hh"
 
 namespace texdist
@@ -431,6 +432,83 @@ TEST(Fault, FrameResultPrintReportsFaultLines)
     EXPECT_NE(os.str().find("faults injected"), std::string::npos);
     EXPECT_NE(os.str().find("degraded:          yes"),
               std::string::npos);
+}
+
+// --- online oracle on fault-degraded frames ------------------------
+
+/** Run one frame through machine + oracle; rethrows OracleError. */
+FrameResult
+runFrameWithOracle(const Scene &scene, const MachineConfig &cfg,
+                   OracleMode mode, uint64_t *digest_out = nullptr)
+{
+    ParallelMachine machine(scene, cfg);
+    OracleEngine oracle(cfg, mode);
+    oracle.attach(machine);
+    oracle.beginFrame(0, scene);
+    FrameResult r = machine.run();
+    oracle.endFrame(0, scene, &machine.distribution(), &r,
+                    r.frameTime);
+    if (digest_out)
+        *digest_out = oracle.lastCoverageDigest();
+    return r;
+}
+
+TEST(FaultOracle, DegradedFrameKeepsEveryInvariant)
+{
+    // The oracle's pledge covers fault-degraded frames: after a
+    // mid-frame node kill, coverage is still exact (every pixel
+    // drawn exactly as often as a clean rasterization says),
+    // conservation still balances, and the coverage digest equals
+    // the clean run's — degradation moves work, never drops or
+    // duplicates it.
+    Scene scene = busyScene();
+    MachineConfig clean;
+    clean.numProcs = 16;
+    clean.tileParam = 16;
+    clean.triangleBufferSize = 4;
+    uint64_t cleanDigest = 0;
+    FrameResult base =
+        runFrameWithOracle(scene, clean, OracleMode::Full,
+                           &cleanDigest);
+    EXPECT_FALSE(base.degraded);
+
+    MachineConfig cfg = clean;
+    cfg.faults.add("kill-node:5,at=500");
+    uint64_t degradedDigest = 0;
+    FrameResult r = runFrameWithOracle(scene, cfg, OracleMode::Full,
+                                       &degradedDigest);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(degradedDigest, cleanDigest);
+}
+
+TEST(FaultOracle, PlantedBugIsCaughtOnDegradedFrame)
+{
+    // The checks must stay armed while recovery machinery runs: a
+    // coverage bug planted on a *surviving* node of a degraded frame
+    // still raises the exit-13 OracleError.
+    Scene scene = busyScene();
+    MachineConfig cfg;
+    cfg.numProcs = 16;
+    cfg.tileParam = 16;
+    cfg.triangleBufferSize = 4;
+    cfg.faults.add("kill-node:5,at=500");
+
+    ParallelMachine machine(scene, cfg);
+    machine.node(0).debugPlantCoverageShift();
+    OracleEngine oracle(cfg, OracleMode::Full);
+    oracle.attach(machine);
+    oracle.beginFrame(0, scene);
+    FrameResult r = machine.run();
+    EXPECT_TRUE(r.degraded);
+    try {
+        oracle.endFrame(0, scene, &machine.distribution(), &r,
+                        r.frameTime);
+        FAIL() << "planted coverage bug escaped the oracle";
+    } catch (const OracleError &e) {
+        EXPECT_EQ(e.exitCode(), 13);
+        EXPECT_NE(std::string(e.what()).find("coverage"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

@@ -1,0 +1,42 @@
+// Fixture: bare assert() inside the simulation core — it compiles
+// away under NDEBUG, so the invariant silently stops being checked
+// in release builds.
+#include <cassert>
+#include <cstdint>
+
+namespace texdist
+{
+
+uint32_t
+badDivide(uint32_t num, uint32_t den)
+{
+    assert(den != 0);
+    return num / den;
+}
+
+uint32_t
+allowedHotPath(uint32_t x, uint32_t bound)
+{
+    // texlint: allow(bare-assert) fixture proves the escape hatch works
+    assert(x < bound);
+    return x;
+}
+
+// static_assert is a language construct, not the libc macro, and
+// must not fire.
+static_assert(sizeof(uint32_t) == 4, "fixture");
+
+// A member whose name merely collides is not the macro either.
+class Checker
+{
+  public:
+    bool assert(uint32_t claim) const;
+};
+
+bool
+memberNotTheMacro(const Checker &c)
+{
+    return c.assert(7);
+}
+
+} // namespace texdist

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Oracle mutation self-test: plant each known bug class into the
+# simulator and require the oracle to catch it with exit code 13.
+# A mutation that escapes means the corresponding invariant has no
+# teeth, which is a test failure even though nothing crashed.
+#
+# Usage: oracle_mutation_test.sh <texmeta-binary>
+set -u
+
+TEXMETA=${1:?usage: oracle_mutation_test.sh <texmeta-binary>}
+ORACLE_EXIT=13
+failures=0
+
+for mutation in cache-lru-skip coverage-shift texel-leak; do
+    echo "=== mutation: $mutation ==="
+    "$TEXMETA" --scene=quake --scale=0.25 --procs=4 \
+        --mutate="$mutation"
+    code=$?
+    if [ "$code" -eq "$ORACLE_EXIT" ]; then
+        echo "caught: $mutation (exit $code)"
+    else
+        echo "ESCAPED: $mutation exited $code, wanted $ORACLE_EXIT"
+        failures=$((failures + 1))
+    fi
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "FAIL: $failures mutation(s) escaped the oracle"
+    exit 1
+fi
+echo "PASS: all mutations caught with exit $ORACLE_EXIT"
+exit 0

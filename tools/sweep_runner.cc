@@ -94,6 +94,7 @@
 #include "core/options.hh"
 #include "core/replay.hh"
 #include "core/sequence.hh"
+#include "oracle/oracle.hh"
 #include "fabric/lease.hh"
 #include "fabric/store.hh"
 #include "scene/benchmarks.hh"
@@ -804,40 +805,59 @@ runConfigInProcess(const RunnerOptions &opts, const SweepConfig &cfg,
                           sim.panDy != 0.0;
     int exit_code = exitOk;
     bool interrupted = false;
-    if (sequence) {
-        // The sweep's parallelism is config-level; each machine runs
-        // its frames serially unless the config asked for --jobs.
-        SequenceMachine machine(base, sim.machine,
-                                sim.jobs > 0 ? sim.jobs : 1);
-        for (uint32_t f = 0; f < sim.frames; ++f) {
-            Scene frame =
-                f == 0 ? Scene()
-                       : translateScene(base, float(sim.panDx * f),
-                                        float(sim.panDy * f));
-            const Scene &scene = f == 0 ? base : frame;
-            FrameResult r = machine.runFrame(scene);
+    try {
+        if (sequence) {
+            // The sweep's parallelism is config-level; each machine
+            // runs its frames serially unless the config asked for
+            // --jobs.
+            SequenceMachine machine(base, sim.machine,
+                                    sim.jobs > 0 ? sim.jobs : 1);
+            OracleEngine oracle(sim.machine, sim.oracle);
+            oracle.attach(machine);
+            for (uint32_t f = 0; f < sim.frames; ++f) {
+                Scene frame =
+                    f == 0 ? Scene()
+                           : translateScene(base,
+                                            float(sim.panDx * f),
+                                            float(sim.panDy * f));
+                const Scene &scene = f == 0 ? base : frame;
+                oracle.beginFrame(f, scene);
+                FrameResult r = machine.runFrame(scene);
+                oracle.endFrame(f, scene, &machine.distribution(),
+                                &r, machine.currentTime());
+                uint64_t digest = digestFrame(r);
+                frameCsvRow(csv, f, r, digest);
+                log << "frame " << f << ": " << r.frameTime
+                    << " cycles, " << r.totalPixels
+                    << " pixels, digest " << digestHex(digest)
+                    << "\n";
+                if (g_signal != 0) {
+                    interrupted = true;
+                    break;
+                }
+            }
+        } else {
+            ParallelMachine machine(base, sim.machine);
+            OracleEngine oracle(sim.machine, sim.oracle);
+            oracle.attach(machine);
+            oracle.beginFrame(0, base);
+            FrameResult r = machine.run();
+            oracle.endFrame(0, base, &machine.distribution(), &r,
+                            r.frameTime);
             uint64_t digest = digestFrame(r);
-            frameCsvRow(csv, f, r, digest);
-            log << "frame " << f << ": " << r.frameTime
-                << " cycles, " << r.totalPixels << " pixels, digest "
+            frameCsvRow(csv, 0, r, digest);
+            log << "frame 0: " << r.frameTime << " cycles, "
+                << r.totalPixels << " pixels, digest "
                 << digestHex(digest) << "\n";
-            if (g_signal != 0) {
-                interrupted = true;
-                break;
+            if (r.failed) {
+                log << "frame failed: " << r.failureReason << "\n";
+                exit_code = 2; // texdist_sim's exitFrameFailed
             }
         }
-    } else {
-        ParallelMachine machine(base, sim.machine);
-        FrameResult r = machine.run();
-        uint64_t digest = digestFrame(r);
-        frameCsvRow(csv, 0, r, digest);
-        log << "frame 0: " << r.frameTime << " cycles, "
-            << r.totalPixels << " pixels, digest "
-            << digestHex(digest) << "\n";
-        if (r.failed) {
-            log << "frame failed: " << r.failureReason << "\n";
-            exit_code = 2; // texdist_sim's exitFrameFailed
-        }
+    } catch (const OracleError &e) {
+        // Same exit code a child texdist_sim process would report.
+        log << "fatal: " << e.describe() << "\n";
+        exit_code = e.exitCode();
     }
     csv.close();
     return interrupted ? exitInterrupted : exit_code;

@@ -41,6 +41,7 @@
 #include "core/options.hh"
 #include "core/replay.hh"
 #include "core/sequence.hh"
+#include "oracle/oracle.hh"
 #include "scene/benchmarks.hh"
 #include "scene/stats.hh"
 #include "sim/checkpoint.hh"
@@ -157,6 +158,11 @@ runSequence(const SimOptions &opts, const Scene &base)
     int exit_code = exitOk;
     bool interrupted = false;
 
+    // Attached after any restore so shadow reference models seed
+    // from the warm (restored) cache contents.
+    OracleEngine oracle(opts.machine, opts.oracle);
+    oracle.attach(machine);
+
     CsvWriter csv(opts.resultCsv);
     frameCsvHeader(csv);
 
@@ -167,7 +173,10 @@ runSequence(const SimOptions &opts, const Scene &base)
                                               float(pan_dy * f));
         const Scene &scene = f == 0 ? base : frame;
 
+        oracle.beginFrame(f, scene);
         FrameResult r = machine.runFrame(scene);
+        oracle.endFrame(f, scene, &machine.distribution(), &r,
+                        machine.currentTime());
         uint64_t digest = digestFrame(r);
         digests.push_back(digest);
         frameCsvRow(csv, f, r, digest);
@@ -255,8 +264,13 @@ runSingle(const SimOptions &opts, const Scene &scene)
         baseline = lab.baseline(opts.machine);
 
     ParallelMachine machine(scene, opts.machine);
+    OracleEngine oracle(opts.machine, opts.oracle);
+    oracle.attach(machine);
+    oracle.beginFrame(0, scene);
     FrameResult result = machine.run();
     uint64_t digest = digestFrame(result);
+    oracle.endFrame(0, scene, &machine.distribution(), &result,
+                    result.frameTime);
 
     result.print(std::cout);
     if (result.failed) {
@@ -378,6 +392,9 @@ main(int argc, char **argv)
         std::cerr << "fatal: " << e.describe() << "\n";
         if (e.surface() == ParseSurface::Cli)
             std::cerr << "\n" << SimOptions::usage();
+        return e.exitCode();
+    } catch (const OracleError &e) {
+        std::cerr << "fatal: " << e.describe() << "\n";
         return e.exitCode();
     }
 }

@@ -7,6 +7,9 @@
  *
  *   banned-call        no wall clock / libc rand / environment
  *                      access in the simulation core
+ *   bare-assert        no assert() in the simulation core — it
+ *                      vanishes under NDEBUG, so invariants must use
+ *                      the always-on fatal/panic helpers
  *   ordered-iteration  no hash-order-dependent loops feeding
  *                      digests, checkpoints or CSV
  *   checkpoint         serialize/restore cover every field of every
@@ -159,6 +162,7 @@ main(int argc, char **argv)
     buildClassRegistry(proj);
 
     checkBannedCalls(proj);
+    checkBareAssert(proj);
     checkOrderedIteration(proj);
     checkConfigInit(proj);
     checkCheckpointCompleteness(proj);

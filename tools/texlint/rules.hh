@@ -5,6 +5,9 @@
  *
  *  banned-call        wall-clock / libc-rand / environment access
  *                     inside the deterministic simulation core
+ *  bare-assert        assert() in the simulation core (vanishes
+ *                     under NDEBUG; invariants must stay on in
+ *                     release builds)
  *  ordered-iteration  iteration order of unordered containers (and
  *                     pointer-valued ordering/hashing) leaking into
  *                     digests, checkpoints or CSV output
@@ -27,6 +30,7 @@ namespace texlint
 {
 
 void checkBannedCalls(Project &proj);
+void checkBareAssert(Project &proj);
 void checkOrderedIteration(Project &proj);
 void checkConfigInit(Project &proj);
 

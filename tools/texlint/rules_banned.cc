@@ -47,6 +47,44 @@ isProtected(const std::string &path)
 } // namespace
 
 void
+checkBareAssert(Project &proj)
+{
+    for (auto &[path, sf] : proj.files) {
+        if (!isProtected(path))
+            continue;
+        const std::vector<Token> &toks = sf.lexed.tokens;
+        for (size_t i = 0; i + 1 < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.kind != TokKind::Ident || t.text != "assert")
+                continue;
+            if (toks[i + 1].kind != TokKind::Punct ||
+                toks[i + 1].text != "(")
+                continue; // not a call
+            // static_assert lexes as its own identifier; a
+            // member/qualified `assert` is somebody else's function.
+            if (i > 0 && toks[i - 1].kind == TokKind::Punct &&
+                (toks[i - 1].text == "." ||
+                 toks[i - 1].text == "->" ||
+                 toks[i - 1].text == "::"))
+                continue;
+            // `bool assert(...) const;` — a declaration whose name
+            // merely collides with the macro, not a use of it.
+            if (i > 0 && toks[i - 1].kind == TokKind::Ident &&
+                !stmtKeywords.count(toks[i - 1].text))
+                continue;
+            proj.report(
+                path, t.line, "bare-assert",
+                "bare assert() compiles to nothing under NDEBUG, so "
+                "release builds silently stop enforcing the "
+                "invariant; use texdist_fatal/texdist_panic for "
+                "always-on checks (annotate a genuinely debug-only "
+                "hot-path assert with texlint: allow(bare-assert) "
+                "<why>)");
+        }
+    }
+}
+
+void
 checkBannedCalls(Project &proj)
 {
     for (auto &[path, sf] : proj.files) {
