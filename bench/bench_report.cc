@@ -25,7 +25,9 @@
  * plus --out=<path>.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -33,10 +35,14 @@
 #include "bench_common.hh"
 #include "core/interframe.hh"
 #include "core/json.hh"
+#include "core/options.hh"
 #include "core/replay.hh"
 #include "core/sequence.hh"
+#include "geom/rng.hh"
 #include "sim/checkpoint.hh"
+#include "sim/simd.hh"
 #include "sim/thread_pool.hh"
+#include "texture/sampler.hh"
 
 using namespace texdist;
 
@@ -145,6 +151,115 @@ speedupOf(const Timing &serial, const Timing &parallel)
                : 0.0;
 }
 
+/**
+ * Best-of-9 wall seconds of batched trilinear address generation
+ * over a fixed random fragment stream, pinned to @p kernel. The
+ * minimum, not the median: the kernel's work is deterministic, so
+ * every slower repetition is scheduler or cache interference from
+ * the rest of the report, which on a single-core host is heavy.
+ */
+double
+timeSamplerKernel(simd::Kernel kernel)
+{
+    if (!simd::forceKernel(kernel))
+        return 0.0;
+    constexpr size_t fragments = 1 << 19;
+    Texture tex(0, 0, 256, 256);
+    Rng rng(1);
+    std::vector<float> us(fragments), vs(fragments), lods(fragments);
+    for (size_t i = 0; i < fragments; ++i) {
+        us[i] = float(rng.uniform(-1.0, 2.0));
+        vs[i] = float(rng.uniform(-1.0, 2.0));
+        lods[i] = float(rng.uniform(0.0, 8.0));
+    }
+    std::vector<uint64_t> out(fragments * size_t(texelsPerFragment));
+
+    // Warmup pass, then the best of nine timed repetitions.
+    TrilinearSampler::generateBatch(tex, us.data(), vs.data(),
+                                    lods.data(), fragments,
+                                    out.data());
+    double best = 0.0;
+    for (int r = 0; r < 9; ++r) {
+        double start = wallNow();
+        TrilinearSampler::generateBatch(tex, us.data(), vs.data(),
+                                        lods.data(), fragments,
+                                        out.data());
+        double elapsed = wallNow() - start;
+        if (r == 0 || elapsed < best)
+            best = elapsed;
+    }
+    simd::clearForcedKernel();
+    return best;
+}
+
+/** Frame digests of a short sequence pinned to @p kernel. */
+std::vector<uint64_t>
+sequenceDigests(const Scene &base, const MachineConfig &cfg,
+                uint32_t frames, simd::Kernel kernel)
+{
+    if (!simd::forceKernel(kernel))
+        return {};
+    std::vector<uint64_t> digests;
+    SequenceMachine machine(base, cfg, 1);
+    for (uint32_t f = 0; f < frames; ++f) {
+        Scene frame = f == 0
+                          ? Scene()
+                          : translateScene(base, float(8 * f), 0.0f);
+        digests.push_back(
+            digestFrame(machine.runFrame(f == 0 ? base : frame)));
+    }
+    simd::clearForcedKernel();
+    return digests;
+}
+
+/** Stat aggregates of the frames a (possibly sampled) run measured. */
+struct RunStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t texels = 0;
+    uint64_t pixels = 0;
+    uint64_t frames = 0;
+
+    void
+    add(const FrameResult &r)
+    {
+        for (const NodeResult &n : r.nodes) {
+            accesses += n.cacheAccesses;
+            misses += n.cacheMisses;
+        }
+        texels += r.totalTexelsFetched;
+        pixels += r.totalPixels;
+        ++frames;
+    }
+
+    double
+    missRate() const
+    {
+        return accesses ? double(misses) / double(accesses) : 0.0;
+    }
+
+    double
+    texelRatio() const
+    {
+        return pixels ? double(texels) / double(pixels) : 0.0;
+    }
+
+    double
+    pixelsPerFrame() const
+    {
+        return frames ? double(pixels) / double(frames) : 0.0;
+    }
+};
+
+double
+relError(double estimate, double reference)
+{
+    return reference != 0.0
+               ? std::abs(estimate - reference) / reference
+               : std::abs(estimate);
+}
+
 } // namespace
 
 int
@@ -209,6 +324,130 @@ main(int argc, char **argv)
               << speedupOf(seq_serial, seq_wide)
               << (seq_match ? "" : " [DIGEST MISMATCH]") << "\n";
 
+    // --- SIMD kernels (scalar vs dispatched hot loops). ------------
+    const simd::Kernel best = simd::bestSupported();
+    double scalar_s = timeSamplerKernel(simd::Kernel::Scalar);
+    double best_s = timeSamplerKernel(best);
+    double simd_speedup = best_s > 0.0 ? scalar_s / best_s : 0.0;
+    MachineConfig simd_cfg = seq_cfg;
+    std::vector<uint64_t> scalar_digests =
+        sequenceDigests(scene, simd_cfg, 3, simd::Kernel::Scalar);
+    std::vector<uint64_t> best_digests =
+        sequenceDigests(scene, simd_cfg, 3, best);
+    bool simd_match = scalar_digests == best_digests;
+    std::cout << "simd kernels: best " << simd::to_string(best)
+              << ", batched addressing speedup " << simd_speedup
+              << " over scalar"
+              << (simd_match ? "" : " [DIGEST MISMATCH]") << "\n";
+
+    // --- Sampled fast-forward (--sample) vs the full run. ----------
+    // An odd period: the panning scene's miss rate oscillates
+    // between adjacent frames, and an odd period lands consecutive
+    // measurement windows on alternating frame parities so the
+    // oscillation averages out across windows; the centered layout
+    // (see frameRole) cancels first-order drift bias on top. Period
+    // 29 keeps the executed fraction low enough for a 10x+
+    // throughput gain with margin.
+    const SampleSpec spec = parseSampleSpec("warm:1,detail:1,ff:27");
+    constexpr uint32_t sample_frames = 87;
+    auto frameAt = [&](uint32_t f) {
+        return f == 0 ? Scene()
+                      : translateScene(scene, float(8 * f), 0.0f);
+    };
+
+    Timing full_t;
+    RunStats full_stats;
+    // Steady-state reference for the accuracy cross-check: every
+    // frame but the very first starts with warm caches, and the
+    // sampled run's detailed windows estimate exactly that warm
+    // regime (its warm frames reproduce the full run's cache state
+    // bit-for-bit). Frame 0's cold-start transient is the one thing
+    // sampling deliberately amortizes away, so the error bound is
+    // measured against the full run excluding it; the whole-run
+    // aggregate is still reported alongside.
+    RunStats steady_stats;
+    {
+        double start = wallNow();
+        SequenceMachine machine(scene, seq_cfg, 1);
+        for (uint32_t f = 0; f < sample_frames; ++f) {
+            Scene frame = frameAt(f);
+            FrameResult r =
+                machine.runFrame(f == 0 ? scene : frame);
+            full_t.simulatedCycles += r.frameTime;
+            full_stats.add(r);
+            if (f > 0)
+                steady_stats.add(r);
+        }
+        full_t.wallSeconds = wallNow() - start;
+        full_t.units = sample_frames;
+    }
+
+    Timing sampled_t;
+    RunStats sampled_stats;
+    uint32_t sampled_detail = 0, sampled_warm = 0, sampled_skip = 0;
+    uint64_t detailed_cycles = 0;
+    {
+        double start = wallNow();
+        SequenceMachine machine(scene, seq_cfg, 1);
+        for (uint32_t f = 0; f < sample_frames; ++f) {
+            switch (frameRole(spec, f)) {
+              case FrameRole::Skip:
+                ++sampled_skip;
+                break;
+              case FrameRole::Warm: {
+                Scene frame = frameAt(f);
+                machine.runFrameFunctional(f == 0 ? scene : frame);
+                ++sampled_warm;
+                break;
+              }
+              case FrameRole::Detail: {
+                Scene frame = frameAt(f);
+                FrameResult r =
+                    machine.runFrame(f == 0 ? scene : frame);
+                detailed_cycles += r.frameTime;
+                // The measurement windows: only detailed frames
+                // contribute to the sampled stat estimates.
+                sampled_stats.add(r);
+                ++sampled_detail;
+                break;
+              }
+            }
+        }
+        sampled_t.wallSeconds = wallNow() - start;
+        sampled_t.units = sample_frames;
+        // Estimated whole-run cycles: mean detailed frame time
+        // extrapolated over every frame.
+        sampled_t.simulatedCycles = uint64_t(
+            double(detailed_cycles) / double(sampled_detail) *
+            double(sample_frames));
+    }
+    double sampled_speedup = 0.0;
+    if (full_t.wallSeconds > 0.0 && sampled_t.wallSeconds > 0.0) {
+        double full_cps =
+            double(full_t.simulatedCycles) / full_t.wallSeconds;
+        double sampled_cps = double(sampled_t.simulatedCycles) /
+                             sampled_t.wallSeconds;
+        sampled_speedup = sampled_cps / full_cps;
+    }
+    double miss_err =
+        relError(sampled_stats.missRate(), steady_stats.missRate());
+    double ratio_err = relError(sampled_stats.texelRatio(),
+                                steady_stats.texelRatio());
+    double pixels_err = relError(sampled_stats.pixelsPerFrame(),
+                                 steady_stats.pixelsPerFrame());
+    double cycles_err = relError(double(sampled_t.simulatedCycles),
+                                 double(full_t.simulatedCycles));
+    bool sample_accurate = miss_err < 0.02;
+    std::cout << "sampled mode: " << spec.describe() << " over "
+              << sample_frames << " frames ("
+              << sampled_detail << " detailed, " << sampled_warm
+              << " warm, " << sampled_skip
+              << " fast-forwarded), sim-cycles/s speedup "
+              << sampled_speedup << ", miss-rate rel error "
+              << miss_err
+              << (sample_accurate ? "" : " [ERROR BOUND EXCEEDED]")
+              << "\n";
+
     JsonValue root = JsonValue::makeObject();
     root.set("format", JsonValue::makeString("texdist-bench-report"));
     root.set("version", JsonValue::makeNumber(1));
@@ -240,10 +479,63 @@ main(int argc, char **argv)
     seq.set("digests_match", JsonValue::makeBool(seq_match));
     root.set("frame_jobs", std::move(seq));
 
+    JsonValue simd_json = JsonValue::makeObject();
+    simd_json.set("simd_kernel",
+                  JsonValue::makeString(simd::to_string(best)));
+    simd_json.set("scalar_seconds",
+                  JsonValue::makeNumber(scalar_s));
+    simd_json.set("dispatch_seconds", JsonValue::makeNumber(best_s));
+    simd_json.set("simd_speedup",
+                  JsonValue::makeNumber(simd_speedup));
+    simd_json.set("digests_match", JsonValue::makeBool(simd_match));
+    root.set("simd", std::move(simd_json));
+
+    JsonValue sample_json = JsonValue::makeObject();
+    sample_json.set("sample_config",
+                    JsonValue::makeString(spec.describe()));
+    sample_json.set("frames",
+                    JsonValue::makeNumber(double(sample_frames)));
+    JsonValue full_json = timingJson(full_t);
+    full_json.set("miss_rate",
+                  JsonValue::makeNumber(full_stats.missRate()));
+    full_json.set("steady_miss_rate",
+                  JsonValue::makeNumber(steady_stats.missRate()));
+    sample_json.set("full", std::move(full_json));
+    JsonValue sampled_json = timingJson(sampled_t);
+    sampled_json.set("estimated", JsonValue::makeBool(true));
+    sampled_json.set("detailed_frames",
+                     JsonValue::makeNumber(double(sampled_detail)));
+    sampled_json.set("warm_frames",
+                     JsonValue::makeNumber(double(sampled_warm)));
+    sampled_json.set("skipped_frames",
+                     JsonValue::makeNumber(double(sampled_skip)));
+    sample_json.set("sampled", std::move(sampled_json));
+    sample_json.set("sampled_speedup",
+                    JsonValue::makeNumber(sampled_speedup));
+    JsonValue errors = JsonValue::makeObject();
+    errors.set("reference",
+               JsonValue::makeString(
+                   "full run excluding the cold first frame"));
+    errors.set("miss_rate", JsonValue::makeNumber(miss_err));
+    errors.set("sampled_miss_rate",
+               JsonValue::makeNumber(sampled_stats.missRate()));
+    errors.set("texel_fragment_ratio",
+               JsonValue::makeNumber(ratio_err));
+    errors.set("pixels_per_frame",
+               JsonValue::makeNumber(pixels_err));
+    errors.set("estimated_cycles",
+               JsonValue::makeNumber(cycles_err));
+    sample_json.set("relative_errors", std::move(errors));
+    root.set("sample", std::move(sample_json));
+
     atomicWriteFile(out_path, root.dump());
     std::cout << "report written to " << out_path << "\n";
 
     // A throughput report for a nondeterministic simulator is
-    // worthless; fail loudly so CI catches it.
-    return sweep_match && seq_match ? 0 : 1;
+    // worthless, and so is a sampled mode whose estimates drift or a
+    // SIMD kernel whose digests diverge; fail loudly so CI catches
+    // all three.
+    return sweep_match && seq_match && simd_match && sample_accurate
+               ? 0
+               : 1;
 }

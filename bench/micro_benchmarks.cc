@@ -22,6 +22,7 @@
 #include "raster/raster.hh"
 #include "scene/builder.hh"
 #include "sim/eventq.hh"
+#include "sim/simd.hh"
 #include "texture/sampler.hh"
 
 namespace texdist
@@ -131,6 +132,89 @@ BM_TrilinearAddressGenBatch(benchmark::State &state)
 BENCHMARK(BM_TrilinearAddressGenBatch)
     ->Arg(64)
     ->Arg(512)
+    ->Repetitions(kRepetitions)
+    ->ReportAggregatesOnly(true);
+
+void
+BM_TrilinearBatchKernel(benchmark::State &state)
+{
+    // Batched address generation pinned to one SIMD tier, so the
+    // scalar/sse2/avx2 rows can be compared directly; the ratio of
+    // the scalar to the avx2 median is the kernel speedup
+    // bench_report records. Unsupported tiers skip rather than lie.
+    const auto kernel = simd::Kernel(uint8_t(state.range(1)));
+    if (!simd::forceKernel(kernel)) {
+        state.SkipWithError("kernel unsupported on this host");
+        return;
+    }
+    const size_t batch = size_t(state.range(0));
+    Texture tex(0, 0, 256, 256);
+    Rng rng(1);
+    std::vector<float> us(batch), vs(batch), lods(batch);
+    for (size_t i = 0; i < batch; ++i) {
+        us[i] = float(rng.uniform());
+        vs[i] = float(rng.uniform());
+        lods[i] = float(rng.uniform(0.0, 6.0));
+    }
+    std::vector<uint64_t> out(batch * 8);
+
+    TrilinearSampler::generateBatch(tex, us.data(), vs.data(),
+                                    lods.data(), batch,
+                                    out.data()); // warmup
+
+    for (auto _ : state) {
+        TrilinearSampler::generateBatch(tex, us.data(), vs.data(),
+                                        lods.data(), batch,
+                                        out.data());
+        benchmark::DoNotOptimize(out[0]);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(batch) * 8);
+    state.SetLabel(simd::to_string(kernel));
+    simd::clearForcedKernel();
+}
+BENCHMARK(BM_TrilinearBatchKernel)
+    ->ArgNames({"batch", "kernel"})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Repetitions(kRepetitions)
+    ->ReportAggregatesOnly(true);
+
+void
+BM_RasterCoverageKernel(benchmark::State &state)
+{
+    // The rasterizer's coverage inner loop pinned to one SIMD tier.
+    // A large triangle keeps the benchmark in rowCoverage rather
+    // than in per-fragment interpolation.
+    const auto kernel = simd::Kernel(uint8_t(state.range(0)));
+    if (!simd::forceKernel(kernel)) {
+        state.SkipWithError("kernel unsupported on this host");
+        return;
+    }
+    TexTriangle tri;
+    tri.v[0] = {0, 0, 1.0f, 0.0f, 0.0f};
+    tri.v[1] = {1024, 0, 1.0f, 1.0f, 0.0f};
+    tri.v[2] = {0, 1024, 1.0f, 0.0f, 1.0f};
+    Rect screen(0, 0, 2048, 2048);
+    TriangleRaster raster(tri, 256, 256);
+
+    benchmark::DoNotOptimize(raster.countPixels(screen)); // warmup
+
+    int64_t pixels = 0;
+    for (auto _ : state) {
+        pixels += raster.countPixels(screen);
+        benchmark::DoNotOptimize(pixels);
+    }
+    state.SetItemsProcessed(pixels);
+    state.SetLabel(simd::to_string(kernel));
+    simd::clearForcedKernel();
+}
+BENCHMARK(BM_RasterCoverageKernel)
+    ->ArgNames({"kernel"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Repetitions(kRepetitions)
     ->ReportAggregatesOnly(true);
 

@@ -324,4 +324,66 @@ TwoPhaseFrameEngine::runFrame(
     return res;
 }
 
+FrameEngineResult
+TwoPhaseFrameEngine::runFrameFunctional(const Scene &scene)
+{
+    const size_t ntris = scene.triangles.size();
+    const uint32_t nprocs = uint32_t(nodes.size());
+
+    slots.assign(ntris, TriSlot{});
+    for (WorkerCtx &w : workers) {
+        w.arena.reset();
+        w.entries.clear();
+    }
+    for (Lane &lane : lanes) {
+        lane.stream.clear();
+        lane.starts.clear();
+        lane.next = 0;
+        lane.actions.clear();
+        lane.nextAction = 0;
+    }
+
+    // Phase 0 is identical to the detailed frame: rasterization has
+    // no timing inputs.
+    pool.parallelFor(ntris, [&](uint32_t worker, size_t t) {
+        rasterizeOne(scene, worker, t);
+    });
+
+    // Materialize each node's stream in triangle order — the same
+    // per-node order phase 1 would produce, minus the push ticks,
+    // which the functional drain never reads.
+    FrameEngineResult res;
+    for (size_t t = 0; t < ntris; ++t) {
+        const TriSlot &slot = slots[t];
+        if (slot.kind != TriKind::Normal) {
+            if (slot.kind == TriKind::Degenerate)
+                ++res.degenerateTriangles;
+            else
+                ++res.culledTriangles;
+            continue;
+        }
+        const std::vector<StreamEntry> &entries =
+            workers[slot.worker].entries;
+        const size_t entry_end =
+            size_t(slot.entryBegin) + slot.entryCount;
+        for (size_t e = slot.entryBegin; e < entry_end; ++e) {
+            const StreamEntry &entry = entries[e];
+            lanes[entry.dest].stream.push_back(LaneTri{
+                0, scene.triangles[t].tex, entry.frags,
+                entry.count});
+        }
+        ++res.trianglesDispatched;
+    }
+
+    // Functional drain: one node per task, caches update in detailed
+    // order, clocks stand still.
+    pool.parallelFor(nprocs, [&](uint32_t, size_t p) {
+        Lane &lane = lanes[p];
+        TextureNode &node = *nodes[p];
+        for (const LaneTri &tri : lane.stream)
+            node.functionalScan(tri.tex, tri.frags, tri.count);
+    });
+    return res;
+}
+
 } // namespace texdist

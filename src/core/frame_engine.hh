@@ -101,6 +101,18 @@ class TwoPhaseFrameEngine
         const Scene &scene, Tick frame_start,
         const std::vector<EngineFaultAction> &actions);
 
+    /**
+     * Functional (no-timing) execution of one frame for sampled
+     * warm-up: phase 0 runs unchanged, then every node consumes its
+     * triangle stream in dispatch order through
+     * TextureNode::functionalScan, so each cache sees exactly the
+     * reference sequence a detailed frame would have shown it while
+     * no simulated time passes anywhere. The result carries the
+     * dispatch counters; frameEnd stays 0 and no fault actions are
+     * accepted (sampled runs exclude fault plans).
+     */
+    FrameEngineResult runFrameFunctional(const Scene &scene);
+
     uint32_t jobs() const { return pool.threads(); }
 
   private:

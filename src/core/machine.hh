@@ -97,6 +97,14 @@ struct FrameResult
     /** Fault-injection and recovery counters for the frame. */
     FaultStats faultStats;
 
+    /**
+     * The frame ran functionally for sampled fast-forward (--sample
+     * warm frames): the work and cache counters are exact, but every
+     * timing field is 0. Deliberately not part of the frame digest —
+     * digests are only defined for detailed frames.
+     */
+    bool estimated = false;
+
     /** Human-readable dump. */
     void print(std::ostream &os) const;
 };

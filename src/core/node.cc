@@ -244,6 +244,58 @@ TextureNode::processNext()
         eventq().schedule(&workEvent, cpuTime);
 }
 
+void
+TextureNode::functionalScan(TextureId texid,
+                            const NodeFragment *frags, size_t count)
+{
+    if (_dead || _frozen)
+        texdist_panic(name(), ": functionalScan on a dead or frozen "
+                      "node");
+
+    ++_trianglesReceived;
+    _pixelsDrawn += count;
+    trianglePixels.add(double(count));
+
+    if (cfg.cacheKind == CacheKind::Perfect) {
+        // The detailed scan never consults a perfect cache either.
+        return;
+    }
+
+    const Texture &tex = textures.get(texid);
+    TextureCache *const cache = cache_.get();
+
+    // Same chunked batch address generation as scanFragments, minus
+    // the timing loop: only the cache sees the references.
+    constexpr size_t chunk = 512;
+    const size_t batch = std::min(count, chunk);
+    if (uScratch.size() < batch) {
+        uScratch.resize(batch);
+        vScratch.resize(batch);
+        lodScratch.resize(batch);
+        addrScratch.resize(batch * size_t(texelsPerFragment));
+    }
+
+    for (size_t base = 0; base < count; base += chunk) {
+        const size_t m = std::min(chunk, count - base);
+        for (size_t i = 0; i < m; ++i) {
+            const NodeFragment &frag = frags[base + i];
+            uScratch[i] = frag.u;
+            vScratch[i] = frag.v;
+            lodScratch[i] = frag.lod;
+        }
+        TrilinearSampler::generateBatch(tex, uScratch.data(),
+                                        vScratch.data(),
+                                        lodScratch.data(), m,
+                                        addrScratch.data());
+
+        const uint64_t *addrs = addrScratch.data();
+        for (size_t i = 0; i < m; ++i, addrs += texelsPerFragment) {
+            for (int k = 0; k < texelsPerFragment; ++k)
+                cache->access(addrs[k]);
+        }
+    }
+}
+
 Tick
 TextureNode::consumeDirect(Tick push_tick, TextureId tex,
                            const NodeFragment *frags, size_t count)

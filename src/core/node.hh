@@ -126,6 +126,18 @@ class TextureNode : public SimObject
      */
     void noteFifoHighWater(size_t hw) { fifo.noteOccupancy(hw); }
 
+    /**
+     * Functional (no-timing) execution of one triangle for sampled
+     * warm-up frames: the cache sees every texel reference of every
+     * fragment in exactly the order the detailed scan would issue
+     * them — so tags, LRU state and the access/miss counters evolve
+     * identically — but no simulated time passes: the engine clocks,
+     * prefetch ring, stall/idle accounting and the bus are untouched.
+     * Work counters (triangles, pixels) advance as in detailed mode.
+     */
+    void functionalScan(TextureId tex, const NodeFragment *frags,
+                        size_t count);
+
     /** Tick at which this node has fully finished (idle + retired). */
     Tick finishTime() const;
 

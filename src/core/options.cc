@@ -125,6 +125,94 @@ to_string(OracleMode mode)
     return "?";
 }
 
+std::string
+SampleSpec::describe() const
+{
+    std::ostringstream os;
+    os << "warm:" << warm << ",detail:" << detail << ",ff:" << skip;
+    return os.str();
+}
+
+FrameRole
+frameRole(const SampleSpec &spec, uint32_t frame)
+{
+    if (!spec.enabled())
+        return FrameRole::Detail;
+    // Centered systematic sampling: half the fast-forwarded frames
+    // lead the warm-up so each measurement window sits in the middle
+    // of its period. Start-of-period windows systematically under- or
+    // over-estimate any statistic that drifts across the run (the
+    // window average then sits half a period before the run average);
+    // centering cancels that first-order bias.
+    uint32_t phase = frame % spec.period();
+    const uint32_t lead = spec.skip / 2;
+    if (phase < lead)
+        return FrameRole::Skip;
+    phase -= lead;
+    if (phase < spec.warm)
+        return FrameRole::Warm;
+    if (phase < spec.warm + spec.detail)
+        return FrameRole::Detail;
+    return FrameRole::Skip;
+}
+
+SampleSpec
+parseSampleSpec(const std::string &value)
+{
+    SampleSpec spec;
+    bool seen[3] = {false, false, false};
+    size_t pos = 0;
+    while (pos <= value.size()) {
+        size_t comma = value.find(',', pos);
+        std::string part = value.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        size_t colon = part.find(':');
+        if (colon == std::string::npos)
+            cliFail("sample", ParseRule::Syntax,
+                    "expects key:count pairs "
+                    "(warm:W,detail:D[,ff:F]), got '" +
+                        part + "'");
+        std::string key = part.substr(0, colon);
+        std::string count = part.substr(colon + 1);
+        int slot;
+        uint32_t *field;
+        if (key == "warm") {
+            slot = 0;
+            field = &spec.warm;
+        } else if (key == "detail") {
+            slot = 1;
+            field = &spec.detail;
+        } else if (key == "ff") {
+            slot = 2;
+            field = &spec.skip;
+        } else {
+            cliFail("sample", ParseRule::Unknown,
+                    "unknown component '" + key +
+                        "' (want warm, detail or ff)");
+        }
+        if (seen[slot])
+            cliFail("sample", ParseRule::Duplicate,
+                    "duplicate component '" + key + "'");
+        seen[slot] = true;
+        *field = parseCliU32(count, "sample");
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (!seen[1] || spec.detail == 0)
+        cliFail("sample", ParseRule::Range,
+                "needs a positive detail count, got '" + value +
+                    "'");
+    // A period of 2^32 frames or more cannot index with u32 math and
+    // is a typo, not a sampling plan.
+    if (uint64_t(spec.warm) + spec.detail + spec.skip >
+        std::numeric_limits<uint32_t>::max())
+        cliFail("sample", ParseRule::Range,
+                "period overflows: '" + value + "'");
+    return spec;
+}
+
 uint32_t
 parseHostThreads(const std::string &value, const char *flag)
 {
@@ -193,6 +281,23 @@ SimOptions::usage()
         "                        diagnostic, or kill the culprit "
         "node\n"
         "                        and redistribute (default fail)\n"
+        "\n"
+        "sampled fast-forward (see docs/PERF.md):\n"
+        "  --sample=warm:<W>,detail:<D>[,ff:<F>]\n"
+        "                        SMARTS-style sampling: per period "
+        "run\n"
+        "                        W functional warm-up frames "
+        "(caches\n"
+        "                        update, no timing), D detailed "
+        "frames,\n"
+        "                        then skip F frames outright. Only\n"
+        "                        detailed frames produce timing "
+        "stats,\n"
+        "                        digests and CSV rows; needs "
+        "--frames>1\n"
+        "                        and excludes checkpoint/restore,\n"
+        "                        manifest, replay-verify and the "
+        "oracle\n"
         "\n"
         "multi-frame, checkpointing and replay "
         "(see docs/ROBUSTNESS.md):\n"
@@ -413,6 +518,8 @@ SimOptions::parse(const std::vector<std::string> &args)
             opts.audit = true;
         } else if (match(arg, "oracle", v)) {
             opts.oracle = oracleModeFromString(v);
+        } else if (match(arg, "sample", v)) {
+            opts.sample = parseSampleSpec(v);
         } else if (match(arg, "result-csv", v)) {
             opts.resultCsv = v;
         } else {
@@ -425,6 +532,49 @@ SimOptions::parse(const std::vector<std::string> &args)
     // checkpoint; --checkpoint-every without a file gets a default.
     if (opts.checkpointEvery > 0 && opts.checkpointFile.empty())
         opts.checkpointFile = "texdist.ckpt";
+
+    // A sampled run skips frames, so nothing downstream that demands
+    // every frame's exact state can be combined with it. Reject the
+    // combinations up front rather than diverge silently mid-run.
+    if (opts.sample.enabled()) {
+        auto sampleClash = [](const char *other) {
+            throw ParseError(ParseSurface::Cli, ParseRule::Mismatch,
+                             std::string("--sample cannot be "
+                                         "combined with ") +
+                                 other +
+                                 ": sampled runs do not compute "
+                                 "every frame's exact state")
+                .field("--sample");
+        };
+        if (opts.checkpointEvery > 0)
+            sampleClash("--checkpoint-every");
+        if (!opts.restorePath.empty())
+            sampleClash("--restore");
+        if (!opts.manifestPath.empty())
+            sampleClash("--manifest");
+        if (!opts.replayVerifyPath.empty())
+            sampleClash("--replay-verify");
+        if (opts.oracle != OracleMode::Off)
+            sampleClash("--oracle");
+        if (opts.frames <= 1)
+            throw ParseError(ParseSurface::Cli, ParseRule::Mismatch,
+                             "--sample needs a multi-frame run "
+                             "(--frames greater than 1)")
+                .field("--sample");
+        // The first detailed frame sits after the leading
+        // fast-forward and warm-up of the centered window; a run
+        // shorter than that measures nothing.
+        const uint32_t first_detail =
+            opts.sample.skip / 2 + opts.sample.warm;
+        if (opts.frames <= first_detail)
+            throw ParseError(
+                ParseSurface::Cli, ParseRule::Range,
+                "--sample window never reaches a detailed frame: "
+                "the first one would be frame " +
+                    std::to_string(first_detail) + " but --frames is " +
+                    std::to_string(opts.frames))
+                .field("--sample");
+    }
     return opts;
 }
 

@@ -60,6 +60,58 @@ OracleMode oracleModeFromString(const std::string &s);
 
 const char *to_string(OracleMode mode);
 
+/**
+ * SMARTS-style sampled simulation plan (`--sample=`): the frame
+ * sequence is divided into periods of warm + detail + skip frames.
+ * Warm frames run functionally — every cache access is made in
+ * detailed order (tags and LRU update exactly as in detailed mode)
+ * but no event-queue time passes; detail frames run the full timing
+ * model and are the only frames that produce timing statistics,
+ * digests and CSV rows; skip ("ff") frames are not executed at all.
+ * End-to-end throughput estimates scale the mean detailed frame time
+ * to the whole sequence (docs/PERF.md discusses the error bounds).
+ */
+struct SampleSpec
+{
+    uint32_t warm = 0;   ///< functional warm-up frames per period
+    uint32_t detail = 0; ///< detailed (measured) frames per period
+    uint32_t skip = 0;   ///< fast-forwarded frames per period
+
+    /** True when a --sample plan was given. */
+    bool enabled() const { return detail > 0; }
+
+    uint32_t period() const { return warm + detail + skip; }
+
+    /** The canonical "warm:W,detail:D,ff:F" form. */
+    std::string describe() const;
+};
+
+/** What one frame of a sampled run does. */
+enum class FrameRole
+{
+    Detail, ///< full timing simulation
+    Warm,   ///< functional cache warming, no timing
+    Skip,   ///< fast-forwarded, not executed
+};
+
+/**
+ * Role of frame @p frame (0-based) under @p spec. Each period lays
+ * out half its fast-forward frames, then the warm-up, then the
+ * detailed window, then the remaining fast-forwards: the measurement
+ * window is centered in its period (centered systematic sampling),
+ * which cancels the first-order bias start-of-period windows have
+ * on any statistic that drifts across the run, and the warm-up
+ * immediately precedes the window so it always measures a warm
+ * cache. With a disabled spec every frame is Detail.
+ */
+FrameRole frameRole(const SampleSpec &spec, uint32_t frame);
+
+/**
+ * Parse "warm:W,detail:D[,ff:F]" for `--sample=`. detail must be
+ * positive; duplicate or unknown keys are typed cli ParseErrors.
+ */
+SampleSpec parseSampleSpec(const std::string &value);
+
 /** Parsed options of the texdist_sim driver. */
 struct SimOptions
 {
@@ -112,6 +164,14 @@ struct SimOptions
 
     /** Online invariant oracle level (`--oracle=off|cheap|full`). */
     OracleMode oracle = OracleMode::Off;
+
+    /**
+     * Sampled fast-forward plan (`--sample=warm:W,detail:D[,ff:F]`);
+     * disabled by default. Incompatible with checkpointing, replay,
+     * manifests and the oracle — those all need every frame's exact
+     * state, which a sampled run deliberately does not compute.
+     */
+    SampleSpec sample;
 
     /** Write one machine-readable CSV row per frame here. */
     std::string resultCsv;

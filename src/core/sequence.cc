@@ -99,23 +99,22 @@ SequenceMachine::armFaults(Tick frame_start)
     return actions;
 }
 
-FrameResult
-SequenceMachine::runFrame(const Scene &scene)
+void
+SequenceMachine::checkFrame(const Scene &scene) const
 {
     if (restoreFailed)
-        texdist_panic("SequenceMachine::runFrame after a failed "
+        texdist_panic("SequenceMachine frame after a failed "
                       "restore; the machine holds partial state");
     if (scene.screenWidth != dist->screenWidth() ||
         scene.screenHeight != dist->screenHeight())
         texdist_fatal("frame ", scene.name,
                       " does not match the sequence screen size");
+}
 
-    std::vector<EngineFaultAction> actions = armFaults(frameStart);
-    FrameEngineResult eng =
-        engine->runFrame(scene, frameStart, actions);
-
-    Tick frame_end = std::max(frameStart, eng.frameEnd);
-
+FrameResult
+SequenceMachine::assembleResult(Tick frame_end,
+                                const FrameEngineResult &eng)
+{
     FrameResult out;
     out.frameTime = frame_end - frameStart;
     out.trianglesDispatched = eng.trianglesDispatched;
@@ -172,6 +171,20 @@ SequenceMachine::runFrame(const Scene &scene)
     out.pixelImbalancePercent = imbalancePct(pixel_counts);
     out.meanBusUtilization = bus_util_sum / double(nodes.size());
     out.faultStats.injected = frameFaultsInjected;
+    return out;
+}
+
+FrameResult
+SequenceMachine::runFrame(const Scene &scene)
+{
+    checkFrame(scene);
+
+    std::vector<EngineFaultAction> actions = armFaults(frameStart);
+    FrameEngineResult eng =
+        engine->runFrame(scene, frameStart, actions);
+
+    Tick frame_end = std::max(frameStart, eng.frameEnd);
+    FrameResult out = assembleResult(frame_end, eng);
 
     // A fault recovery action may land after the last node retires;
     // the next frame must still start at or after it.
@@ -180,9 +193,49 @@ SequenceMachine::runFrame(const Scene &scene)
     return out;
 }
 
+FrameResult
+SequenceMachine::runFrameFunctional(const Scene &scene)
+{
+    checkFrame(scene);
+    if (!cfg.faults.faults.empty())
+        texdist_fatal("fault plans are not supported in sampled "
+                      "(functional) frames");
+
+    // From here on the machine's timing state no longer corresponds
+    // to any exact detailed run; refuse to checkpoint it.
+    _sampleTainted = true;
+    frameFaultsInjected = 0;
+
+    FrameEngineResult eng = engine->runFrameFunctional(scene);
+
+    // frame_end == frameStart: no simulated time passes, so the
+    // result's frameTime is 0 and the clock does not advance. The
+    // work and cache deltas are exact (the caches saw the detailed
+    // reference order).
+    FrameResult out = assembleResult(frameStart, eng);
+    out.estimated = true;
+    ++_framesRun;
+    return out;
+}
+
+void
+SequenceMachine::requireExactState() const
+{
+    if (_sampleTainted)
+        throw ParseError(ParseSurface::Checkpoint,
+                         ParseRule::Mismatch,
+                         "cannot checkpoint a sampled run: "
+                         "functional fast-forward frames leave the "
+                         "machine with no exact timing state to "
+                         "resume from")
+            .field("sequence");
+}
+
 void
 SequenceMachine::serialize(CheckpointWriter &w) const
 {
+    requireExactState();
+
     w.section("sequence");
     w.str(cfg.describe());
     w.u64(frameStart);

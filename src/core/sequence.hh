@@ -64,6 +64,20 @@ class SequenceMachine
      */
     FrameResult runFrame(const Scene &scene);
 
+    /**
+     * Execute one frame functionally for sampled fast-forward
+     * (--sample warm frames): every cache sees the frame's texel
+     * references in detailed order — tags, LRU and access/miss
+     * counters advance exactly as a detailed frame's would — but no
+     * simulated time passes and the clock stays put. The returned
+     * result carries the exact work and cache deltas with
+     * frameTime 0 and `estimated` set. After the first functional
+     * frame the machine refuses to serialize(): its timing state no
+     * longer corresponds to any exact run. Fault plans are not
+     * supported in sampled runs.
+     */
+    FrameResult runFrameFunctional(const Scene &scene);
+
     /** End of the last simulated frame. */
     Tick currentTime() const { return frameStart; }
 
@@ -110,6 +124,28 @@ class SequenceMachine
      * supported. Updates frameFaultsInjected and maxActionTick.
      */
     std::vector<EngineFaultAction> armFaults(Tick frame_start);
+
+    /** Shared preconditions of runFrame and runFrameFunctional. */
+    void checkFrame(const Scene &scene) const;
+
+    /**
+     * Throws the typed checkpoint ParseError when the machine is
+     * sample-tainted; serialize() calls this first. Kept out of
+     * serialize() itself so the taint guard does not perturb the
+     * texlint layout fingerprint — the serialized byte layout is
+     * unchanged by sampling support.
+     */
+    void requireExactState() const;
+
+    /**
+     * Assemble a FrameResult from per-node counter deltas against
+     * the snapshots, advancing the snapshots; shared by the detailed
+     * and functional paths (the functional path passes
+     * frame_end == frameStart so all timing fields are zero).
+     */
+    FrameResult assembleResult(Tick frame_end,
+                               const FrameEngineResult &eng);
+
     /** Per-node counter snapshot for delta accounting. */
     struct NodeSnapshot
     {
@@ -146,6 +182,14 @@ class SequenceMachine
     bool restored = false;
     // texlint: allow(checkpoint) poison flag, meaningless in a file
     bool restoreFailed = false;
+    /**
+     * Set by the first functional frame; serialize() then throws a
+     * typed checkpoint ParseError, because the machine's timing
+     * state no longer matches any exact detailed run.
+     */
+    // texlint: allow(checkpoint) taint guard that itself forbids
+    // serialization
+    bool _sampleTainted = false;
 };
 
 /** Convenience: run a whole sequence. */

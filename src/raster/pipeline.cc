@@ -72,14 +72,24 @@ GeometryPipeline::processTriangle(const MeshVertex &a,
                                   const MeshVertex &c, TextureId tex,
                                   std::vector<TexTriangle> &out) const
 {
+    return clipAndEmit({mvp * Vec4(a.pos, 1.0f), a.uv},
+                       {mvp * Vec4(b.pos, 1.0f), b.uv},
+                       {mvp * Vec4(c.pos, 1.0f), c.uv}, tex, out);
+}
+
+int
+GeometryPipeline::clipAndEmit(const ClipVertex &a, const ClipVertex &b,
+                              const ClipVertex &c, TextureId tex,
+                              std::vector<TexTriangle> &out) const
+{
     // Clipping against 7 planes can add at most one vertex each.
     constexpr size_t maxVerts = 3 + numClipPlanes;
     std::array<ClipVertex, maxVerts> poly;
     std::array<ClipVertex, maxVerts> next;
 
-    poly[0] = {mvp * Vec4(a.pos, 1.0f), a.uv};
-    poly[1] = {mvp * Vec4(b.pos, 1.0f), b.uv};
-    poly[2] = {mvp * Vec4(c.pos, 1.0f), c.uv};
+    poly[0] = a;
+    poly[1] = b;
+    poly[2] = c;
     size_t count = 3;
 
     for (int plane = 0; plane < numClipPlanes && count != 0; ++plane) {
@@ -129,11 +139,20 @@ GeometryPipeline::processMesh(const Mesh &mesh,
                               std::vector<TexTriangle> &out) const
 {
     assert(mesh.indices.size() % 3 == 0);
+
+    // Hoist the model-view-projection transform: shared vertices are
+    // referenced by ~6 triangles in a typical closed mesh, and the
+    // 4x4 transform dominates the per-vertex cost of this stage.
+    std::vector<ClipVertex> clipped(mesh.vertices.size());
+    for (size_t i = 0; i < mesh.vertices.size(); ++i) {
+        const MeshVertex &v = mesh.vertices[i];
+        clipped[i] = {mvp * Vec4(v.pos, 1.0f), v.uv};
+    }
+
     for (size_t i = 0; i + 2 < mesh.indices.size(); i += 3) {
-        processTriangle(mesh.vertices[mesh.indices[i]],
-                        mesh.vertices[mesh.indices[i + 1]],
-                        mesh.vertices[mesh.indices[i + 2]], mesh.tex,
-                        out);
+        clipAndEmit(clipped[mesh.indices[i]],
+                    clipped[mesh.indices[i + 1]],
+                    clipped[mesh.indices[i + 2]], mesh.tex, out);
     }
 }
 

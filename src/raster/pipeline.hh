@@ -67,7 +67,13 @@ class GeometryPipeline
                         const MeshVertex &c, TextureId tex,
                         std::vector<TexTriangle> &out) const;
 
-    /** Run a whole mesh through processTriangle(). */
+    /**
+     * Transform, clip and project a whole mesh. Each unique vertex is
+     * transformed once (not once per referencing triangle as a naive
+     * processTriangle() loop would); the emitted triangles are
+     * bit-identical either way because the per-vertex transform is
+     * the same arithmetic.
+     */
     void processMesh(const Mesh &mesh,
                      std::vector<TexTriangle> &out) const;
 
@@ -78,6 +84,11 @@ class GeometryPipeline
         Vec4 clip;
         Vec2 uv;
     };
+
+    /** Clip and fan-triangulate an already-transformed triangle. */
+    int clipAndEmit(const ClipVertex &a, const ClipVertex &b,
+                    const ClipVertex &c, TextureId tex,
+                    std::vector<TexTriangle> &out) const;
 
     /** Signed distance of @p v to clip plane @p plane (>= 0 inside). */
     static float planeDist(const ClipVertex &v, int plane);

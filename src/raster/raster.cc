@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "raster/raster_kernels.hh"
+#include "sim/simd.hh"
 #include "texture/sampler.hh"
 
 namespace texdist
@@ -153,6 +155,39 @@ TriangleRaster::interpolate(int32_t x, int32_t y, Fragment &frag) const
     frag.lod = rho2 > 0.0f ? 0.5f * std::log2(rho2) : -126.0f;
 }
 
+void
+TriangleRaster::rowCoverage(int32_t y, int32_t x0, int32_t n,
+                            uint64_t *bits) const
+{
+    // Fold the tie-break rule into a bias so coverage becomes a pure
+    // sign test: inside(e, v) == (v - bias >= 0) with bias 0 for an
+    // accepting edge and 1 otherwise. The AVX2 kernel reads the sign
+    // bits of the same biased values, so the two paths agree on
+    // every pixel, ties included.
+    detail::RowCoverage rc;
+    for (int e = 0; e < 3; ++e) {
+        rc.edge[e] = edgeAt(e, x0, y) - (edgeAcceptsZero[e] ? 0 : 1);
+        rc.step[e] = stepX[e];
+    }
+
+    if (simd::dispatch() == simd::Kernel::AVX2 &&
+        detail::rowCoverageAvx2(rc, n, bits))
+        return;
+
+    int32_t words = (n + 63) >> 6;
+    for (int32_t w = 0; w < words; ++w)
+        bits[w] = 0;
+    for (int32_t k = 0; k < n; ++k) {
+        // All three biased values non-negative: the sign bit of the
+        // OR is clear exactly then.
+        if ((rc.edge[0] | rc.edge[1] | rc.edge[2]) >= 0)
+            bits[k >> 6] |= uint64_t(1) << (k & 63);
+        rc.edge[0] += rc.step[0];
+        rc.edge[1] += rc.step[1];
+        rc.edge[2] += rc.step[2];
+    }
+}
+
 int64_t
 TriangleRaster::countPixels(const Rect &scissor) const
 {
@@ -163,16 +198,16 @@ TriangleRaster::countPixels(const Rect &scissor) const
         return 0;
 
     int64_t count = 0;
+    uint64_t bits[coverageWords];
+    int32_t width = r.x1 - r.x0;
     for (int32_t y = r.y0; y < r.y1; ++y) {
-        int64_t e0 = edgeAt(0, r.x0, y);
-        int64_t e1 = edgeAt(1, r.x0, y);
-        int64_t e2 = edgeAt(2, r.x0, y);
-        for (int32_t x = r.x0; x < r.x1; ++x) {
-            if (inside(0, e0) && inside(1, e1) && inside(2, e2))
-                ++count;
-            e0 += stepX[0];
-            e1 += stepX[1];
-            e2 += stepX[2];
+        for (int32_t cx = 0; cx < width; cx += coverageSpan) {
+            int32_t n = width - cx < coverageSpan ? width - cx
+                                                  : coverageSpan;
+            rowCoverage(y, r.x0 + cx, n, bits);
+            int32_t words = (n + 63) >> 6;
+            for (int32_t w = 0; w < words; ++w)
+                count += std::popcount(bits[w]);
         }
     }
     return count;

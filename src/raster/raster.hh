@@ -20,6 +20,7 @@
 #ifndef TEXDIST_RASTER_RASTER_HH
 #define TEXDIST_RASTER_RASTER_HH
 
+#include <bit>
 #include <cstdint>
 
 #include "geom/rect.hh"
@@ -66,6 +67,12 @@ class TriangleRaster
      * Scan all pixels whose centre is covered, restricted to
      * @p scissor, emitting fragments in raster order (y-major).
      *
+     * Coverage is computed a span at a time into a bitmask by
+     * rowCoverage() (scalar or AVX2, bit-identical either way) and
+     * then walked bit by bit, so interpolate()/emit() run for
+     * exactly the covered pixels, in exactly the order the
+     * pixel-by-pixel loop produced.
+     *
      * @tparam Emit callable as emit(const Fragment &)
      */
     template <typename Emit>
@@ -79,21 +86,26 @@ class TriangleRaster
             return;
 
         Fragment frag;
+        uint64_t bits[coverageWords];
+        int32_t width = r.x1 - r.x0;
         for (int32_t y = r.y0; y < r.y1; ++y) {
-            // Edge values at the first pixel centre of the row.
-            int64_t e0 = edgeAt(0, r.x0, y);
-            int64_t e1 = edgeAt(1, r.x0, y);
-            int64_t e2 = edgeAt(2, r.x0, y);
-            for (int32_t x = r.x0; x < r.x1; ++x) {
-                if (inside(0, e0) && inside(1, e1) && inside(2, e2)) {
-                    frag.x = x;
-                    frag.y = y;
-                    interpolate(x, y, frag);
-                    emit(frag);
+            for (int32_t cx = 0; cx < width; cx += coverageSpan) {
+                int32_t n = width - cx < coverageSpan
+                                ? width - cx
+                                : coverageSpan;
+                rowCoverage(y, r.x0 + cx, n, bits);
+                int32_t words = (n + 63) >> 6;
+                for (int32_t w = 0; w < words; ++w) {
+                    uint64_t m = bits[w];
+                    while (m) {
+                        int b = std::countr_zero(m);
+                        m &= m - 1;
+                        frag.x = r.x0 + cx + w * 64 + b;
+                        frag.y = y;
+                        interpolate(frag.x, frag.y, frag);
+                        emit(frag);
+                    }
                 }
-                e0 += stepX[0];
-                e1 += stepX[1];
-                e2 += stepX[2];
             }
         }
     }
@@ -102,6 +114,12 @@ class TriangleRaster
     int64_t countPixels(const Rect &scissor) const;
 
   private:
+    /** Pixels per rowCoverage() call (bounds the stack bitmask). */
+    static constexpr int32_t coverageSpan = 512;
+
+    /** 64-bit words needed for one coverage span. */
+    static constexpr int32_t coverageWords = coverageSpan / 64;
+
     /** Edge function value at pixel centre (x + .5, y + .5). */
     int64_t
     edgeAt(int e, int32_t x, int32_t y) const
@@ -117,6 +135,15 @@ class TriangleRaster
     {
         return value > 0 || (value == 0 && edgeAcceptsZero[e]);
     }
+
+    /**
+     * Coverage bits for @p n pixels (at most coverageSpan) starting
+     * at pixel centre (x0 + .5, y + .5), written to ceil(n/64)
+     * little-endian words of @p bits. Dispatches to the AVX2 kernel
+     * when available; scalar and vector results are bit-identical.
+     */
+    void rowCoverage(int32_t y, int32_t x0, int32_t n,
+                     uint64_t *bits) const;
 
     /** Perspective-correct attribute evaluation at a pixel centre. */
     void interpolate(int32_t x, int32_t y, Fragment &frag) const;

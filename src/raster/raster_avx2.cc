@@ -1,0 +1,79 @@
+/**
+ * @file
+ * 4-wide AVX2 kernel for TriangleRaster::rowCoverage. The edge
+ * functions are 64-bit integers (28.4 fixed point over the full
+ * screen), so four pixels per vector is the AVX2 width. Coverage of
+ * a lane is the sign test of the OR of its three biased edge values;
+ * vmovmskpd extracts the four sign bits in one instruction, and the
+ * scalar loop computes exactly the same ORs, so the masks are
+ * bit-identical by construction.
+ *
+ * Built with -mavx2 and reached only through simd::dispatch().
+ */
+
+#include "raster/raster_kernels.hh"
+
+#if defined(__AVX2__) && !defined(TEXDIST_NO_SIMD)
+
+#include <immintrin.h>
+
+namespace texdist
+{
+namespace detail
+{
+
+bool
+rowCoverageAvx2(const RowCoverage &rc, int32_t n, uint64_t *bits)
+{
+    __m256i e[3], step4[3];
+    for (int i = 0; i < 3; ++i) {
+        e[i] = _mm256_setr_epi64x(rc.edge[i],
+                                  rc.edge[i] + rc.step[i],
+                                  rc.edge[i] + 2 * rc.step[i],
+                                  rc.edge[i] + 3 * rc.step[i]);
+        step4[i] = _mm256_set1_epi64x(4 * rc.step[i]);
+    }
+
+    int32_t words = (n + 63) >> 6;
+    for (int32_t w = 0; w < words; ++w) {
+        uint64_t m = 0;
+        int32_t limit = n - w * 64 < 64 ? n - w * 64 : 64;
+        for (int32_t j = 0; j < limit; j += 4) {
+            __m256i ored =
+                _mm256_or_si256(_mm256_or_si256(e[0], e[1]), e[2]);
+            // Sign bit set == outside; invert for coverage.
+            int outside =
+                _mm256_movemask_pd(_mm256_castsi256_pd(ored));
+            uint64_t in4 = uint64_t(outside ^ 0xf);
+            if (limit - j < 4)
+                in4 &= (uint64_t(1) << (limit - j)) - 1;
+            m |= in4 << j;
+            e[0] = _mm256_add_epi64(e[0], step4[0]);
+            e[1] = _mm256_add_epi64(e[1], step4[1]);
+            e[2] = _mm256_add_epi64(e[2], step4[2]);
+        }
+        bits[w] = m;
+    }
+    return true;
+}
+
+} // namespace detail
+} // namespace texdist
+
+#else // !__AVX2__ || TEXDIST_NO_SIMD
+
+namespace texdist
+{
+namespace detail
+{
+
+bool
+rowCoverageAvx2(const RowCoverage &, int32_t, uint64_t *)
+{
+    return false; // simd::dispatch() never selects AVX2 here
+}
+
+} // namespace detail
+} // namespace texdist
+
+#endif

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Internal interface between TriangleRaster::rowCoverage and its
+ * AVX2 kernel. The kernel is bit-identical to the scalar loop: both
+ * evaluate the same bias-adjusted integer edge functions, so the
+ * coverage masks — and therefore the emitted fragments and the
+ * shared-edge tie decisions — cannot differ. There is no SSE2 tier
+ * for coverage: SSE2 lacks a signed 64-bit compare, and the edge
+ * values genuinely need 64 bits, so below AVX2 the scalar loop is
+ * the fast path.
+ */
+
+#ifndef TEXDIST_RASTER_RASTER_KERNELS_HH
+#define TEXDIST_RASTER_RASTER_KERNELS_HH
+
+#include <cstdint>
+
+namespace texdist
+{
+namespace detail
+{
+
+/**
+ * One row's edge state, bias-adjusted so that a pixel is covered
+ * exactly when all three values are non-negative (the tie-break rule
+ * is folded into the bias): edge[e] is E_e at the first pixel centre
+ * minus (acceptsZero ? 0 : 1).
+ */
+struct RowCoverage
+{
+    int64_t edge[3];
+    int64_t step[3]; ///< per-pixel x increment of each edge value
+};
+
+/**
+ * Fill ceil(n/64) little-endian words of coverage bits for n pixels.
+ * False when this build has no AVX2 kernel (caller runs the scalar
+ * loop).
+ */
+bool rowCoverageAvx2(const RowCoverage &rc, int32_t n,
+                     uint64_t *bits);
+
+} // namespace detail
+} // namespace texdist
+
+#endif // TEXDIST_RASTER_RASTER_KERNELS_HH

@@ -1,0 +1,94 @@
+#include "sim/simd.hh"
+
+#include <atomic>
+
+namespace texdist
+{
+namespace simd
+{
+
+namespace
+{
+
+#if defined(__x86_64__) && !defined(TEXDIST_NO_SIMD)
+constexpr bool haveSse2 = true;
+bool
+hostHasAvx2()
+{
+    return __builtin_cpu_supports("avx2") != 0;
+}
+#else
+constexpr bool haveSse2 = false;
+bool
+hostHasAvx2()
+{
+    return false;
+}
+#endif
+
+/** Sentinel meaning "no forced kernel". */
+constexpr uint8_t noForce = 0xff;
+
+std::atomic<uint8_t> g_forced{noForce};
+
+} // namespace
+
+const char *
+to_string(Kernel kernel)
+{
+    switch (kernel) {
+      case Kernel::Scalar: return "scalar";
+      case Kernel::SSE2: return "sse2";
+      case Kernel::AVX2: return "avx2";
+    }
+    return "?";
+}
+
+bool
+kernelSupported(Kernel kernel)
+{
+    switch (kernel) {
+      case Kernel::Scalar: return true;
+      case Kernel::SSE2: return haveSse2;
+      case Kernel::AVX2: return haveSse2 && hostHasAvx2();
+    }
+    return false;
+}
+
+Kernel
+bestSupported()
+{
+    // cpuid answers never change while the process runs; cache it.
+    static const Kernel best = kernelSupported(Kernel::AVX2)
+                                   ? Kernel::AVX2
+                                   : (haveSse2 ? Kernel::SSE2
+                                               : Kernel::Scalar);
+    return best;
+}
+
+Kernel
+dispatch()
+{
+    uint8_t forced = g_forced.load(std::memory_order_relaxed);
+    if (forced != noForce)
+        return Kernel(forced);
+    return bestSupported();
+}
+
+bool
+forceKernel(Kernel kernel)
+{
+    if (!kernelSupported(kernel))
+        return false;
+    g_forced.store(uint8_t(kernel), std::memory_order_relaxed);
+    return true;
+}
+
+void
+clearForcedKernel()
+{
+    g_forced.store(noForce, std::memory_order_relaxed);
+}
+
+} // namespace simd
+} // namespace texdist

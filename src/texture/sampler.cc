@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/simd.hh"
+#include "texture/sampler_kernels.hh"
+
 namespace texdist
 {
 
@@ -30,14 +33,17 @@ namespace
  * The four bilinear addresses of one level, written to out[0..3].
  * This is the one copy of the footprint arithmetic; every public
  * entry point funnels through it so the batched and the one-at-a-
- * time paths cannot drift apart.
+ * time paths cannot drift apart (the SIMD kernels replicate it
+ * vector-wide and are held bit-identical by the parity suite).
+ *
+ * The caller passes the MipLevel so the levels[] lookup is hoisted
+ * out of the per-tap arithmetic: generateBatch resolves each
+ * fragment's level once instead of once per texelAddress call.
  */
 inline void
-quadInto(const Texture &tex, uint32_t level, float u, float v,
+quadInto(const Texture &tex, const MipLevel &lvl, float u, float v,
          uint64_t *out)
 {
-    const MipLevel &lvl = tex.level(level);
-
     // Texel-space sample point; the -0.5 centres the 2x2 footprint
     // on the sample as in the OpenGL specification.
     float tu = u * float(lvl.width) - 0.5f;
@@ -46,25 +52,79 @@ quadInto(const Texture &tex, uint32_t level, float u, float v,
     int32_t x_lo = int32_t(std::floor(tu));
     int32_t y_lo = int32_t(std::floor(tv));
 
-    int32_t xs[2] = {tex.wrapCoord(x_lo, lvl.width),
-                     tex.wrapCoord(x_lo + 1, lvl.width)};
-    int32_t ys[2] = {tex.wrapCoord(y_lo, lvl.height),
-                     tex.wrapCoord(y_lo + 1, lvl.height)};
+    uint32_t xs[2] = {uint32_t(tex.wrapCoord(x_lo, lvl.width)),
+                      uint32_t(tex.wrapCoord(x_lo + 1, lvl.width))};
+    uint32_t ys[2] = {uint32_t(tex.wrapCoord(y_lo, lvl.height)),
+                      uint32_t(tex.wrapCoord(y_lo + 1, lvl.height))};
 
-    out[0] = tex.texelAddress(level, xs[0], ys[0]);
-    out[1] = tex.texelAddress(level, xs[1], ys[0]);
-    out[2] = tex.texelAddress(level, xs[0], ys[1]);
-    out[3] = tex.texelAddress(level, xs[1], ys[1]);
+    // Texture::texelAddress with the level geometry in registers;
+    // identical integer arithmetic, so identical addresses.
+    if (tex.layout() == TexLayout::Linear) {
+        uint64_t row_bytes = uint64_t(lvl.blocksPerRow) * lineBytes;
+        uint64_t origin = tex.baseAddr() + lvl.byteOffset;
+        uint64_t row_lo = origin + uint64_t(ys[0]) * row_bytes;
+        uint64_t row_hi = origin + uint64_t(ys[1]) * row_bytes;
+        out[0] = row_lo + uint64_t(xs[0]) * texelBytes;
+        out[1] = row_lo + uint64_t(xs[1]) * texelBytes;
+        out[2] = row_hi + uint64_t(xs[0]) * texelBytes;
+        out[3] = row_hi + uint64_t(xs[1]) * texelBytes;
+        return;
+    }
+
+    uint64_t origin = tex.baseAddr() + lvl.byteOffset;
+    auto blocked = [&](uint32_t x, uint32_t y) {
+        uint64_t block_index =
+            uint64_t(y / blockDim) * lvl.blocksPerRow + x / blockDim;
+        uint64_t in_block =
+            (uint64_t(y % blockDim) * blockDim + x % blockDim) *
+            texelBytes;
+        return origin + block_index * lineBytes + in_block;
+    };
+    out[0] = blocked(xs[0], ys[0]);
+    out[1] = blocked(xs[1], ys[0]);
+    out[2] = blocked(xs[0], ys[1]);
+    out[3] = blocked(xs[1], ys[1]);
 }
 
 } // namespace
+
+namespace detail
+{
+
+void
+samplerBatchScalar(const Texture &tex, const float *u,
+                   const float *v, const float *lod, size_t count,
+                   uint64_t *out)
+{
+    const uint32_t max_level = tex.maxLevel();
+    const float max_level_f = float(max_level);
+    for (size_t i = 0; i < count; ++i, out += texelsPerFragment) {
+        float clamped = std::clamp(lod[i], 0.0f, max_level_f);
+        uint32_t l0 = uint32_t(clamped);
+        uint32_t l1 = std::min(l0 + 1, max_level);
+        quadInto(tex, tex.level(l0), u[i], v[i], out);
+        if (l1 == l0) {
+            // Fully minified (lod at maxLevel): both quads come from
+            // the same level, so the second is a copy, not a
+            // recomputation — the hardware still makes 8 references.
+            out[4] = out[0];
+            out[5] = out[1];
+            out[6] = out[2];
+            out[7] = out[3];
+        } else {
+            quadInto(tex, tex.level(l1), u[i], v[i], out + 4);
+        }
+    }
+}
+
+} // namespace detail
 
 void
 TrilinearSampler::bilinearQuad(const Texture &tex, uint32_t level,
                                float u, float v, TexelRefs &out,
                                int base)
 {
-    quadInto(tex, level, u, v, out.data() + base);
+    quadInto(tex, tex.level(level), u, v, out.data() + base);
 }
 
 void
@@ -77,8 +137,8 @@ TrilinearSampler::generate(const Texture &tex, float u, float v,
     uint32_t l0 = uint32_t(clamped);
     uint32_t l1 = std::min(l0 + 1, tex.maxLevel());
 
-    quadInto(tex, l0, u, v, out.data());
-    quadInto(tex, l1, u, v, out.data() + 4);
+    quadInto(tex, tex.level(l0), u, v, out.data());
+    quadInto(tex, tex.level(l1), u, v, out.data() + 4);
 }
 
 void
@@ -86,15 +146,19 @@ TrilinearSampler::generateBatch(const Texture &tex, const float *u,
                                 const float *v, const float *lod,
                                 size_t count, uint64_t *out)
 {
-    const uint32_t max_level = tex.maxLevel();
-    const float max_level_f = float(max_level);
-    for (size_t i = 0; i < count; ++i, out += texelsPerFragment) {
-        float clamped = std::clamp(lod[i], 0.0f, max_level_f);
-        uint32_t l0 = uint32_t(clamped);
-        uint32_t l1 = std::min(l0 + 1, max_level);
-        quadInto(tex, l0, u[i], v[i], out);
-        quadInto(tex, l1, u[i], v[i], out + 4);
+    switch (simd::dispatch()) {
+      case simd::Kernel::AVX2:
+        if (detail::samplerBatchAvx2(tex, u, v, lod, count, out))
+            return;
+        break;
+      case simd::Kernel::SSE2:
+        if (detail::samplerBatchSse2(tex, u, v, lod, count, out))
+            return;
+        break;
+      case simd::Kernel::Scalar:
+        break;
     }
+    detail::samplerBatchScalar(tex, u, v, lod, count, out);
 }
 
 } // namespace texdist

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * 8-wide AVX2 kernel for TrilinearSampler::generateBatch. This is
+ * the only translation unit in the texture library built with -mavx2;
+ * it is reached exclusively through simd::dispatch(), which consults
+ * cpuid, so linking it into a baseline binary is safe.
+ *
+ * Bit-identity with the scalar reference (sampler.cc quadInto):
+ *  - per-level constants come from the same LevelLut values the SSE2
+ *    kernel uses, fetched with vpgatherdd instead of scalar loads;
+ *  - u * width - 0.5f is the same IEEE mul + sub pair, uncontracted
+ *    (-mavx2 does not enable FMA and this TU never asks for it);
+ *  - _mm256_floor_ps + cvttps equals int32_t(std::floor(x)) for all
+ *    values the scalar path converts in-range;
+ *  - wrap and address math are exact integer ops.
+ */
+
+#include "texture/sampler_kernels.hh"
+
+#if defined(__AVX2__) && !defined(TEXDIST_NO_SIMD)
+
+#include <immintrin.h>
+
+namespace texdist
+{
+namespace detail
+{
+
+namespace
+{
+
+/**
+ * The vector-wide transliteration of quadInto, one level per lane.
+ * Leaves the four taps' intra-texture byte offsets in @p q as
+ * tap-major vectors (q[k] holds tap k for all 8 lanes); the caller
+ * transposes them to fragment order in registers.
+ */
+inline void
+quad8(const LevelLut &lut, __m256i level, __m256 u, __m256 v,
+      __m256i q[4])
+{
+    __m256 width_f = _mm256_i32gather_ps(lut.widthF, level, 4);
+    __m256 height_f = _mm256_i32gather_ps(lut.heightF, level, 4);
+    __m256i x_mask = _mm256_i32gather_epi32(lut.xMask, level, 4);
+    __m256i y_mask = _mm256_i32gather_epi32(lut.yMask, level, 4);
+    __m256i row_stride = _mm256_i32gather_epi32(
+        reinterpret_cast<const int *>(lut.rowStride), level, 4);
+    __m256i byte_off = _mm256_i32gather_epi32(
+        reinterpret_cast<const int *>(lut.byteOffset), level, 4);
+
+    const __m256 half = _mm256_set1_ps(0.5f);
+    __m256 tu = _mm256_sub_ps(_mm256_mul_ps(u, width_f), half);
+    __m256 tv = _mm256_sub_ps(_mm256_mul_ps(v, height_f), half);
+
+    __m256i x_lo = _mm256_cvttps_epi32(_mm256_floor_ps(tu));
+    __m256i y_lo = _mm256_cvttps_epi32(_mm256_floor_ps(tv));
+    const __m256i one = _mm256_set1_epi32(1);
+    __m256i x_hi = _mm256_add_epi32(x_lo, one);
+    __m256i y_hi = _mm256_add_epi32(y_lo, one);
+
+    if (lut.repeat) {
+        x_lo = _mm256_and_si256(x_lo, x_mask);
+        x_hi = _mm256_and_si256(x_hi, x_mask);
+        y_lo = _mm256_and_si256(y_lo, y_mask);
+        y_hi = _mm256_and_si256(y_hi, y_mask);
+    } else {
+        const __m256i zero = _mm256_setzero_si256();
+        x_lo = _mm256_min_epi32(_mm256_max_epi32(x_lo, zero), x_mask);
+        x_hi = _mm256_min_epi32(_mm256_max_epi32(x_hi, zero), x_mask);
+        y_lo = _mm256_min_epi32(_mm256_max_epi32(y_lo, zero), y_mask);
+        y_hi = _mm256_min_epi32(_mm256_max_epi32(y_hi, zero), y_mask);
+    }
+
+    if (lut.blocked) {
+        const __m256i three = _mm256_set1_epi32(3);
+        auto addr = [&](__m256i x, __m256i y) {
+            __m256i block = _mm256_add_epi32(
+                _mm256_mullo_epi32(_mm256_srli_epi32(y, 2),
+                                   row_stride),
+                _mm256_srli_epi32(x, 2));
+            __m256i in_block = _mm256_slli_epi32(
+                _mm256_or_si256(
+                    _mm256_slli_epi32(_mm256_and_si256(y, three), 2),
+                    _mm256_and_si256(x, three)),
+                2);
+            return _mm256_add_epi32(
+                byte_off,
+                _mm256_add_epi32(_mm256_slli_epi32(block, 6),
+                                 in_block));
+        };
+        q[0] = addr(x_lo, y_lo);
+        q[1] = addr(x_hi, y_lo);
+        q[2] = addr(x_lo, y_hi);
+        q[3] = addr(x_hi, y_hi);
+        return;
+    }
+
+    __m256i row_lo = _mm256_add_epi32(
+        byte_off, _mm256_mullo_epi32(y_lo, row_stride));
+    __m256i row_hi = _mm256_add_epi32(
+        byte_off, _mm256_mullo_epi32(y_hi, row_stride));
+    __m256i bx_lo = _mm256_slli_epi32(x_lo, 2);
+    __m256i bx_hi = _mm256_slli_epi32(x_hi, 2);
+    q[0] = _mm256_add_epi32(row_lo, bx_lo);
+    q[1] = _mm256_add_epi32(row_lo, bx_hi);
+    q[2] = _mm256_add_epi32(row_hi, bx_lo);
+    q[3] = _mm256_add_epi32(row_hi, bx_hi);
+}
+
+} // namespace
+
+bool
+samplerBatchAvx2(const Texture &tex, const float *u, const float *v,
+                 const float *lod, size_t count, uint64_t *out)
+{
+    LevelLut lut;
+    if (!lut.build(tex))
+        return false;
+
+    const __m256 zero_f = _mm256_setzero_ps();
+    const __m256 max_level_f = _mm256_set1_ps(lut.maxLevelF);
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i max_level =
+        _mm256_set1_epi32(int32_t(lut.maxLevel));
+    const __m256i base64 =
+        _mm256_set1_epi64x(int64_t(lut.base));
+
+    // Widen one fragment's 8 intra-texture offsets to absolute
+    // 64-bit texel addresses and store them; the zero-extend plus
+    // 64-bit add is exactly the scalar path's base + offset.
+    auto emit = [&](__m256i frag_off, uint64_t *dst) {
+        __m256i lo = _mm256_cvtepu32_epi64(
+            _mm256_castsi256_si128(frag_off));
+        __m256i hi = _mm256_cvtepu32_epi64(
+            _mm256_extracti128_si256(frag_off, 1));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst),
+                            _mm256_add_epi64(lo, base64));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + 4),
+                            _mm256_add_epi64(hi, base64));
+    };
+
+    size_t i = 0;
+    for (; i + 8 <= count; i += 8, out += 8 * texelsPerFragment) {
+        __m256 uv = _mm256_loadu_ps(u + i);
+        __m256 vv = _mm256_loadu_ps(v + i);
+        __m256 lodv = _mm256_loadu_ps(lod + i);
+
+        __m256 clamped =
+            _mm256_min_ps(_mm256_max_ps(lodv, zero_f), max_level_f);
+        __m256i l0 = _mm256_cvttps_epi32(clamped);
+        __m256i l1 = _mm256_min_epi32(_mm256_add_epi32(l0, one),
+                                      max_level);
+
+        __m256i a[4], b[4];
+        quad8(lut, l0, uv, vv, a);
+        quad8(lut, l1, uv, vv, b);
+
+        // Transpose the tap-major vectors to fragment order in
+        // registers. unpacklo/hi interleave within each 128-bit
+        // half, so pK pairs fragment K (low half) with fragment
+        // K+4 (high half); the cross-lane permute then glues each
+        // fragment's level-0 taps to its level-1 taps.
+        __m256i a01_lo = _mm256_unpacklo_epi32(a[0], a[1]);
+        __m256i a23_lo = _mm256_unpacklo_epi32(a[2], a[3]);
+        __m256i a01_hi = _mm256_unpackhi_epi32(a[0], a[1]);
+        __m256i a23_hi = _mm256_unpackhi_epi32(a[2], a[3]);
+        __m256i p0 = _mm256_unpacklo_epi64(a01_lo, a23_lo);
+        __m256i p1 = _mm256_unpackhi_epi64(a01_lo, a23_lo);
+        __m256i p2 = _mm256_unpacklo_epi64(a01_hi, a23_hi);
+        __m256i p3 = _mm256_unpackhi_epi64(a01_hi, a23_hi);
+
+        __m256i b01_lo = _mm256_unpacklo_epi32(b[0], b[1]);
+        __m256i b23_lo = _mm256_unpacklo_epi32(b[2], b[3]);
+        __m256i b01_hi = _mm256_unpackhi_epi32(b[0], b[1]);
+        __m256i b23_hi = _mm256_unpackhi_epi32(b[2], b[3]);
+        __m256i r0 = _mm256_unpacklo_epi64(b01_lo, b23_lo);
+        __m256i r1 = _mm256_unpackhi_epi64(b01_lo, b23_lo);
+        __m256i r2 = _mm256_unpacklo_epi64(b01_hi, b23_hi);
+        __m256i r3 = _mm256_unpackhi_epi64(b01_hi, b23_hi);
+
+        emit(_mm256_permute2x128_si256(p0, r0, 0x20), out);
+        emit(_mm256_permute2x128_si256(p1, r1, 0x20),
+             out + 1 * texelsPerFragment);
+        emit(_mm256_permute2x128_si256(p2, r2, 0x20),
+             out + 2 * texelsPerFragment);
+        emit(_mm256_permute2x128_si256(p3, r3, 0x20),
+             out + 3 * texelsPerFragment);
+        emit(_mm256_permute2x128_si256(p0, r0, 0x31),
+             out + 4 * texelsPerFragment);
+        emit(_mm256_permute2x128_si256(p1, r1, 0x31),
+             out + 5 * texelsPerFragment);
+        emit(_mm256_permute2x128_si256(p2, r2, 0x31),
+             out + 6 * texelsPerFragment);
+        emit(_mm256_permute2x128_si256(p3, r3, 0x31),
+             out + 7 * texelsPerFragment);
+    }
+    if (i < count)
+        samplerBatchScalar(tex, u + i, v + i, lod + i, count - i,
+                           out);
+    return true;
+}
+
+} // namespace detail
+} // namespace texdist
+
+#else // !__AVX2__ || TEXDIST_NO_SIMD
+
+namespace texdist
+{
+namespace detail
+{
+
+bool
+samplerBatchAvx2(const Texture &, const float *, const float *,
+                 const float *, size_t, uint64_t *)
+{
+    return false; // simd::dispatch() never selects AVX2 here
+}
+
+} // namespace detail
+} // namespace texdist
+
+#endif

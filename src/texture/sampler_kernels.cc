@@ -1,0 +1,246 @@
+/**
+ * @file
+ * 4-wide SSE2 kernel for TrilinearSampler::generateBatch. SSE2 is
+ * part of the x86-64 baseline, so this path needs no runtime CPU
+ * check beyond simd::dispatch()'s policy decision.
+ *
+ * Bit-identity with the scalar reference (sampler.cc quadInto):
+ *  - u * width - 0.5f is one IEEE mul and one IEEE sub in the same
+ *    order as scalar; no FMA contraction (this TU is not built with
+ *    -mfma and GCC does not contract across intrinsics).
+ *  - floorToInt() below returns exactly int32_t(std::floor(x)) for
+ *    every value the scalar path itself converts in-range.
+ *  - Wrap and address arithmetic are integer ops with no rounding.
+ * The per-lane level constants are loaded with scalar code (SSE2 has
+ * no gather); the arithmetic after that is vector-wide.
+ */
+
+#include "texture/sampler_kernels.hh"
+
+#if defined(__SSE2__) && !defined(TEXDIST_NO_SIMD)
+
+#include <emmintrin.h>
+
+namespace texdist
+{
+namespace detail
+{
+
+namespace
+{
+
+/** Lane-wise signed max (SSE2 has no _mm_max_epi32). */
+inline __m128i
+max32(__m128i a, __m128i b)
+{
+    __m128i pick_a = _mm_cmpgt_epi32(a, b);
+    return _mm_or_si128(_mm_and_si128(pick_a, a),
+                        _mm_andnot_si128(pick_a, b));
+}
+
+/** Lane-wise signed min. */
+inline __m128i
+min32(__m128i a, __m128i b)
+{
+    __m128i pick_b = _mm_cmpgt_epi32(a, b);
+    return _mm_or_si128(_mm_and_si128(pick_b, b),
+                        _mm_andnot_si128(pick_b, a));
+}
+
+/** Lane-wise low 32 bits of a*b (SSE2 has no _mm_mullo_epi32). */
+inline __m128i
+mulLo32(__m128i a, __m128i b)
+{
+    __m128i even = _mm_mul_epu32(a, b); // lanes 0 and 2
+    __m128i odd = _mm_mul_epu32(_mm_srli_si128(a, 4),
+                                _mm_srli_si128(b, 4)); // lanes 1, 3
+    __m128i even_lo = _mm_shuffle_epi32(even, _MM_SHUFFLE(0, 0, 2, 0));
+    __m128i odd_lo = _mm_shuffle_epi32(odd, _MM_SHUFFLE(0, 0, 2, 0));
+    return _mm_unpacklo_epi32(even_lo, odd_lo);
+}
+
+/**
+ * int32_t(std::floor(x)) per lane. cvttps truncates toward zero;
+ * subtract one exactly where truncation rounded up (negative
+ * non-integral lanes).
+ */
+inline __m128i
+floorToInt(__m128 x)
+{
+    __m128i t = _mm_cvttps_epi32(x);
+    __m128 ft = _mm_cvtepi32_ps(t);
+    __m128 rounded_up = _mm_cmplt_ps(x, ft); // all-ones == -1
+    return _mm_add_epi32(t, _mm_castps_si128(rounded_up));
+}
+
+/** Intra-texture byte offsets of one level's 2x2 quad, 4 lanes. */
+struct QuadOffsets
+{
+    alignas(16) uint32_t off[4][4]; ///< [tap][lane]
+};
+
+/**
+ * The vector-wide transliteration of quadInto for one mip level per
+ * lane. @p lanes holds the four lane level indices (for the scalar
+ * constant loads); the arithmetic itself is 4-wide.
+ */
+inline void
+quad4(const LevelLut &lut, const int32_t *lanes, __m128 u, __m128 v,
+      QuadOffsets &q)
+{
+    __m128 width_f =
+        _mm_setr_ps(lut.widthF[lanes[0]], lut.widthF[lanes[1]],
+                    lut.widthF[lanes[2]], lut.widthF[lanes[3]]);
+    __m128 height_f =
+        _mm_setr_ps(lut.heightF[lanes[0]], lut.heightF[lanes[1]],
+                    lut.heightF[lanes[2]], lut.heightF[lanes[3]]);
+    __m128i x_mask =
+        _mm_setr_epi32(lut.xMask[lanes[0]], lut.xMask[lanes[1]],
+                       lut.xMask[lanes[2]], lut.xMask[lanes[3]]);
+    __m128i y_mask =
+        _mm_setr_epi32(lut.yMask[lanes[0]], lut.yMask[lanes[1]],
+                       lut.yMask[lanes[2]], lut.yMask[lanes[3]]);
+    __m128i row_stride = _mm_setr_epi32(int32_t(lut.rowStride[lanes[0]]),
+                                        int32_t(lut.rowStride[lanes[1]]),
+                                        int32_t(lut.rowStride[lanes[2]]),
+                                        int32_t(lut.rowStride[lanes[3]]));
+    __m128i byte_off = _mm_setr_epi32(int32_t(lut.byteOffset[lanes[0]]),
+                                      int32_t(lut.byteOffset[lanes[1]]),
+                                      int32_t(lut.byteOffset[lanes[2]]),
+                                      int32_t(lut.byteOffset[lanes[3]]));
+
+    const __m128 half = _mm_set1_ps(0.5f);
+    __m128 tu = _mm_sub_ps(_mm_mul_ps(u, width_f), half);
+    __m128 tv = _mm_sub_ps(_mm_mul_ps(v, height_f), half);
+
+    __m128i x_lo = floorToInt(tu);
+    __m128i y_lo = floorToInt(tv);
+    const __m128i one = _mm_set1_epi32(1);
+    __m128i x_hi = _mm_add_epi32(x_lo, one);
+    __m128i y_hi = _mm_add_epi32(y_lo, one);
+
+    if (lut.repeat) {
+        x_lo = _mm_and_si128(x_lo, x_mask);
+        x_hi = _mm_and_si128(x_hi, x_mask);
+        y_lo = _mm_and_si128(y_lo, y_mask);
+        y_hi = _mm_and_si128(y_hi, y_mask);
+    } else {
+        const __m128i zero = _mm_setzero_si128();
+        x_lo = min32(max32(x_lo, zero), x_mask);
+        x_hi = min32(max32(x_hi, zero), x_mask);
+        y_lo = min32(max32(y_lo, zero), y_mask);
+        y_hi = min32(max32(y_hi, zero), y_mask);
+    }
+
+    if (lut.blocked) {
+        const __m128i three = _mm_set1_epi32(3);
+        auto addr = [&](__m128i x, __m128i y) {
+            __m128i block = _mm_add_epi32(
+                mulLo32(_mm_srli_epi32(y, 2), row_stride),
+                _mm_srli_epi32(x, 2));
+            __m128i in_block = _mm_slli_epi32(
+                _mm_or_si128(
+                    _mm_slli_epi32(_mm_and_si128(y, three), 2),
+                    _mm_and_si128(x, three)),
+                2);
+            return _mm_add_epi32(
+                byte_off,
+                _mm_add_epi32(_mm_slli_epi32(block, 6), in_block));
+        };
+        _mm_store_si128(reinterpret_cast<__m128i *>(q.off[0]),
+                        addr(x_lo, y_lo));
+        _mm_store_si128(reinterpret_cast<__m128i *>(q.off[1]),
+                        addr(x_hi, y_lo));
+        _mm_store_si128(reinterpret_cast<__m128i *>(q.off[2]),
+                        addr(x_lo, y_hi));
+        _mm_store_si128(reinterpret_cast<__m128i *>(q.off[3]),
+                        addr(x_hi, y_hi));
+        return;
+    }
+
+    __m128i row_lo =
+        _mm_add_epi32(byte_off, mulLo32(y_lo, row_stride));
+    __m128i row_hi =
+        _mm_add_epi32(byte_off, mulLo32(y_hi, row_stride));
+    __m128i bx_lo = _mm_slli_epi32(x_lo, 2);
+    __m128i bx_hi = _mm_slli_epi32(x_hi, 2);
+    _mm_store_si128(reinterpret_cast<__m128i *>(q.off[0]),
+                    _mm_add_epi32(row_lo, bx_lo));
+    _mm_store_si128(reinterpret_cast<__m128i *>(q.off[1]),
+                    _mm_add_epi32(row_lo, bx_hi));
+    _mm_store_si128(reinterpret_cast<__m128i *>(q.off[2]),
+                    _mm_add_epi32(row_hi, bx_lo));
+    _mm_store_si128(reinterpret_cast<__m128i *>(q.off[3]),
+                    _mm_add_epi32(row_hi, bx_hi));
+}
+
+} // namespace
+
+bool
+samplerBatchSse2(const Texture &tex, const float *u, const float *v,
+                 const float *lod, size_t count, uint64_t *out)
+{
+    LevelLut lut;
+    if (!lut.build(tex))
+        return false;
+
+    const __m128 zero_f = _mm_setzero_ps();
+    const __m128 max_level_f = _mm_set1_ps(lut.maxLevelF);
+    const __m128i one = _mm_set1_epi32(1);
+    const __m128i max_level = _mm_set1_epi32(int32_t(lut.maxLevel));
+
+    size_t i = 0;
+    for (; i + 4 <= count; i += 4, out += 4 * texelsPerFragment) {
+        __m128 uv = _mm_loadu_ps(u + i);
+        __m128 vv = _mm_loadu_ps(v + i);
+        __m128 lodv = _mm_loadu_ps(lod + i);
+
+        __m128 clamped =
+            _mm_min_ps(_mm_max_ps(lodv, zero_f), max_level_f);
+        __m128i l0 = _mm_cvttps_epi32(clamped);
+        __m128i l1 = min32(_mm_add_epi32(l0, one), max_level);
+
+        alignas(16) int32_t l0_lanes[4];
+        alignas(16) int32_t l1_lanes[4];
+        _mm_store_si128(reinterpret_cast<__m128i *>(l0_lanes), l0);
+        _mm_store_si128(reinterpret_cast<__m128i *>(l1_lanes), l1);
+
+        QuadOffsets q0, q1;
+        quad4(lut, l0_lanes, uv, vv, q0);
+        quad4(lut, l1_lanes, uv, vv, q1);
+
+        for (size_t lane = 0; lane < 4; ++lane) {
+            uint64_t *frag = out + lane * texelsPerFragment;
+            for (size_t k = 0; k < 4; ++k) {
+                frag[k] = lut.base + q0.off[k][lane];
+                frag[4 + k] = lut.base + q1.off[k][lane];
+            }
+        }
+    }
+    if (i < count)
+        samplerBatchScalar(tex, u + i, v + i, lod + i, count - i,
+                           out);
+    return true;
+}
+
+} // namespace detail
+} // namespace texdist
+
+#else // !__SSE2__ || TEXDIST_NO_SIMD
+
+namespace texdist
+{
+namespace detail
+{
+
+bool
+samplerBatchSse2(const Texture &, const float *, const float *,
+                 const float *, size_t, uint64_t *)
+{
+    return false; // simd::dispatch() never selects SSE2 here
+}
+
+} // namespace detail
+} // namespace texdist
+
+#endif

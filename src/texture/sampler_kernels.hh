@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Internal interface between TrilinearSampler::generateBatch and its
+ * SIMD kernels. Each kernel is bit-identical to the scalar reference
+ * path in sampler.cc: identical texel addresses for identical
+ * inputs, enforced by tests/texture/sampler_simd_test.cc and the
+ * per-frame digests. Kernel selection happens in generateBatch via
+ * simd::dispatch(); the kernels themselves make no ISA decisions.
+ *
+ * A kernel returns false when it cannot handle the texture (mip
+ * pyramid deeper than the LUT, or a byte footprint too large for the
+ * 32-bit intra-texture offset fast path); the caller then runs the
+ * scalar path, which handles everything.
+ */
+
+#ifndef TEXDIST_TEXTURE_SAMPLER_KERNELS_HH
+#define TEXDIST_TEXTURE_SAMPLER_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "texture/sampler.hh"
+#include "texture/texture.hh"
+
+namespace texdist
+{
+namespace detail
+{
+
+/**
+ * Per-level constants of one texture, laid out for vector gathers.
+ * All byte offsets are intra-texture and 32-bit: build() refuses
+ * textures of 2 GiB or more, for which the scalar path's 64-bit
+ * arithmetic is the only exact one.
+ */
+struct LevelLut
+{
+    /** Deepest supported pyramid (16k x 16k level 0 has 15 levels). */
+    static constexpr uint32_t maxLut = 24;
+
+    float widthF[maxLut] = {};
+    float heightF[maxLut] = {};
+    int32_t xMask[maxLut] = {};      ///< width - 1 (mask and clamp max)
+    int32_t yMask[maxLut] = {};      ///< height - 1
+    uint32_t rowStride[maxLut] = {}; ///< blocked: blocks/row; linear: bytes/row
+    uint32_t byteOffset[maxLut] = {};
+
+    uint64_t base = 0;
+    uint32_t maxLevel = 0;
+    float maxLevelF = 0.0f;
+    bool repeat = true;
+    bool blocked = true;
+
+    /** Fill from @p tex; false when the texture needs the scalar path. */
+    bool
+    build(const Texture &tex)
+    {
+        if (tex.numLevels() > maxLut)
+            return false;
+        if (tex.byteSize() > uint64_t(INT32_MAX))
+            return false;
+        base = tex.baseAddr();
+        maxLevel = tex.maxLevel();
+        maxLevelF = float(maxLevel);
+        repeat = tex.wrapMode() == WrapMode::Repeat;
+        blocked = tex.layout() == TexLayout::Blocked;
+        for (uint32_t l = 0; l < tex.numLevels(); ++l) {
+            const MipLevel &lvl = tex.level(l);
+            widthF[l] = float(lvl.width);
+            heightF[l] = float(lvl.height);
+            xMask[l] = int32_t(lvl.width - 1);
+            yMask[l] = int32_t(lvl.height - 1);
+            rowStride[l] = blocked
+                               ? lvl.blocksPerRow
+                               : lvl.blocksPerRow * lineBytes;
+            byteOffset[l] = uint32_t(lvl.byteOffset);
+        }
+        return true;
+    }
+};
+
+/**
+ * The scalar reference loop (also handles vector-width tails for the
+ * SIMD kernels). Defined in sampler.cc next to quadInto so the
+ * reference arithmetic has exactly one home.
+ */
+void samplerBatchScalar(const Texture &tex, const float *u,
+                        const float *v, const float *lod,
+                        size_t count, uint64_t *out);
+
+/** 4-wide SSE2 kernel; false when the texture is unsupported. */
+bool samplerBatchSse2(const Texture &tex, const float *u,
+                      const float *v, const float *lod, size_t count,
+                      uint64_t *out);
+
+/** 8-wide AVX2 kernel (gathers); false when unsupported. */
+bool samplerBatchAvx2(const Texture &tex, const float *u,
+                      const float *v, const float *lod, size_t count,
+                      uint64_t *out);
+
+} // namespace detail
+} // namespace texdist
+
+#endif // TEXDIST_TEXTURE_SAMPLER_KERNELS_HH

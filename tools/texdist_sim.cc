@@ -166,12 +166,46 @@ runSequence(const SimOptions &opts, const Scene &base)
     CsvWriter csv(opts.resultCsv);
     frameCsvHeader(csv);
 
+    // Sampled-run accounting (only used when --sample is active).
+    uint32_t detailed_frames = 0;
+    uint32_t warm_frames = 0;
+    uint32_t skipped_frames = 0;
+    Tick detailed_cycles = 0;
+
     for (uint32_t f = first; f < frames; ++f) {
+        const FrameRole role = frameRole(opts.sample, f);
+        if (role == FrameRole::Skip) {
+            // Fast-forward: the frame is not even built. Detailed
+            // windows re-measure the (slightly stale) cache state;
+            // the bench harness bounds the resulting stat error.
+            ++skipped_frames;
+            std::cout << "frame " << f << ": fast-forwarded\n";
+            if (g_signal != 0) {
+                interrupted = true;
+                break;
+            }
+            continue;
+        }
+
         Scene frame =
             f == 0 ? Scene() : translateScene(base,
                                               float(pan_dx * f),
                                               float(pan_dy * f));
         const Scene &scene = f == 0 ? base : frame;
+
+        if (role == FrameRole::Warm) {
+            FrameResult r = machine.runFrameFunctional(scene);
+            ++warm_frames;
+            std::cout << "frame " << f << ": functional warm-up, "
+                      << r.totalPixels << " pixels, "
+                      << r.totalTexelsFetched
+                      << " texels (no timing)\n";
+            if (g_signal != 0) {
+                interrupted = true;
+                break;
+            }
+            continue;
+        }
 
         oracle.beginFrame(f, scene);
         FrameResult r = machine.runFrame(scene);
@@ -180,6 +214,8 @@ runSequence(const SimOptions &opts, const Scene &base)
         uint64_t digest = digestFrame(r);
         digests.push_back(digest);
         frameCsvRow(csv, f, r, digest);
+        ++detailed_frames;
+        detailed_cycles += r.frameTime;
 
         std::cout << "frame " << f << ": " << r.frameTime
                   << " cycles, " << r.totalPixels << " pixels, "
@@ -218,6 +254,21 @@ runSequence(const SimOptions &opts, const Scene &base)
             interrupted = true;
             break;
         }
+    }
+
+    if (opts.sample.enabled() && detailed_frames > 0) {
+        // Estimate the full run's cycle count from the detailed
+        // windows: mean detailed frame time extrapolated over every
+        // frame, skipped or not.
+        double mean_cycles =
+            double(detailed_cycles) / double(detailed_frames);
+        uint64_t estimated =
+            uint64_t(mean_cycles * double(frames - first));
+        std::cout << "sampled run (" << opts.sample.describe()
+                  << "): " << detailed_frames << " detailed, "
+                  << warm_frames << " warm, " << skipped_frames
+                  << " fast-forwarded; estimated total "
+                  << estimated << " cycles\n";
     }
 
     if (interrupted) {
@@ -367,7 +418,7 @@ run(int argc, char **argv)
         opts.frames > 1 || opts.checkpointEvery > 0 ||
         !opts.restorePath.empty() ||
         !opts.replayVerifyPath.empty() || opts.panDx != 0.0 ||
-        opts.panDy != 0.0;
+        opts.panDy != 0.0 || opts.sample.enabled();
 
     if (sequence_mode) {
         if (!opts.statsFile.empty())
