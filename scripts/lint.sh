@@ -1,14 +1,22 @@
 #!/bin/sh
 # One-shot static-analysis wrapper: texlint + clang-tidy + cppcheck.
 #
-#   scripts/lint.sh [build-dir]
+#   scripts/lint.sh [--strict] [build-dir]
 #
 # texlint always runs (it is built from this tree and needs only a
 # compile_commands.json). clang-tidy and cppcheck run when installed
 # and are skipped with a notice otherwise, so the script is useful
 # both in CI (where the job installs them) and in minimal containers.
+# Under --strict a missing tool is an error, not a skip: CI uses it
+# so a broken tool install cannot silently narrow coverage.
 # Exit status is nonzero if any tool that ran reported a problem.
 set -u
+
+STRICT=0
+if [ "${1:-}" = "--strict" ]; then
+    STRICT=1
+    shift
+fi
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD=${1:-$ROOT/build}
@@ -46,6 +54,9 @@ if command -v clang-tidy >/dev/null 2>&1; then
                 FAILED=1
         done
     fi
+elif [ "$STRICT" -eq 1 ]; then
+    echo "== clang-tidy: not installed (strict mode) =="
+    FAILED=1
 else
     echo "== clang-tidy: not installed, skipping =="
 fi
@@ -58,6 +69,9 @@ if command -v cppcheck >/dev/null 2>&1; then
         --suppress=missingIncludeSystem \
         -I "$ROOT/src" \
         "$ROOT/src" "$ROOT/tools" "$ROOT/bench" || FAILED=1
+elif [ "$STRICT" -eq 1 ]; then
+    echo "== cppcheck: not installed (strict mode) =="
+    FAILED=1
 else
     echo "== cppcheck: not installed, skipping =="
 fi

@@ -109,6 +109,8 @@ FrameLab::runBatch(const std::vector<MachineConfig> &configs,
         base[i] = baseline(configs[i]);
 
     std::vector<SpeedupResult> out(configs.size());
+    // texlint: phase(isolated) each task runs a private SequenceMachine
+    // universe; nothing crosses tasks but the per-config result slot
     pool.parallelFor(configs.size(), [&](uint32_t, size_t i) {
         out[i].baselineTime = base[i];
         out[i].frame = run(configs[i]);
@@ -125,6 +127,8 @@ FrameLab::runMany(const std::vector<MachineConfig> &configs,
                   ThreadPool &pool) const
 {
     std::vector<FrameResult> out(configs.size());
+    // texlint: phase(isolated) each task runs a private SequenceMachine
+    // universe; nothing crosses tasks but the per-config result slot
     pool.parallelFor(configs.size(), [&](uint32_t, size_t i) {
         out[i] = run(configs[i]);
     });

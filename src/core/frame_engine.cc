@@ -50,6 +50,8 @@ TwoPhaseFrameEngine::TwoPhaseFrameEngine(
         w.buckets.resize(dist.numProcs());
 }
 
+// texlint: phase(parallel) phase-0 task body: triangle t is this
+// task's private slot; all scratch is indexed by this worker's id
 void
 TwoPhaseFrameEngine::rasterizeOne(const Scene &scene, uint32_t worker,
                                   size_t t)
@@ -104,6 +106,8 @@ TwoPhaseFrameEngine::rasterizeOne(const Scene &scene, uint32_t worker,
     }
 }
 
+// texlint: phase(any) pure lane/node step; phase 1 calls it serially
+// and each phase-2 drain task calls it on its own lane and node
 Tick
 TwoPhaseFrameEngine::consumeOne(Lane &lane, TextureNode &node)
 {
@@ -127,6 +131,7 @@ TwoPhaseFrameEngine::consumeOne(Lane &lane, TextureNode &node)
     return start;
 }
 
+// texlint: phase(any) touches only the task-owned node it is given
 void
 TwoPhaseFrameEngine::applyAction(TextureNode &node,
                                  const EngineFaultAction &action)
@@ -141,6 +146,7 @@ TwoPhaseFrameEngine::applyAction(TextureNode &node,
     }
 }
 
+// texlint: phase(any) pure function of one task-owned lane
 size_t
 TwoPhaseFrameEngine::fifoHighWater(const Lane &lane)
 {
@@ -163,6 +169,8 @@ TwoPhaseFrameEngine::fifoHighWater(const Lane &lane)
     return hw;
 }
 
+// texlint: phase(serial) the phase orchestrator itself: it may write
+// anything, and must never be re-entered from inside a task
 FrameEngineResult
 TwoPhaseFrameEngine::runFrame(
     const Scene &scene, Tick frame_start,
@@ -324,6 +332,7 @@ TwoPhaseFrameEngine::runFrame(
     return res;
 }
 
+// texlint: phase(serial) sampled-mode orchestrator, serial-only
 FrameEngineResult
 TwoPhaseFrameEngine::runFrameFunctional(const Scene &scene)
 {

@@ -123,6 +123,7 @@ class TwoPhaseFrameEngine
      * valid until reset(): blocks never reallocate (inserts stay
      * within reserved capacity) and reset() only rewinds sizes.
      */
+    // texlint: owned-by-task
     class FragmentArena
     {
       public:
@@ -155,6 +156,7 @@ class TwoPhaseFrameEngine
     };
 
     /** Per-worker phase-0 scratch; persists across frames. */
+    // texlint: owned-by-task
     struct WorkerCtx
     {
         FragmentArena arena;
@@ -174,6 +176,7 @@ class TwoPhaseFrameEngine
     };
 
     /** Per-node stream state for phases 1 and 2. */
+    // texlint: owned-by-task
     struct Lane
     {
         std::vector<LaneTri> stream;
@@ -193,13 +196,20 @@ class TwoPhaseFrameEngine
     /** Pop-before-push-at-equal-tick occupancy high-water. */
     static size_t fifoHighWater(const Lane &lane);
 
+    // texlint: shared(immutable machine description, read-only)
     const MachineConfig &cfg;
+    // texlint: shared(immutable screen-ownership map, read-only)
     const Distribution &dist;
+    // texlint: shared(vector shape is fixed before any phase starts)
     std::vector<std::unique_ptr<TextureNode>> &nodes;
+    // texlint: shared(tasks are only ever submitted from serial code)
     ThreadPool pool;
-    std::vector<WorkerCtx> workers;
-    std::vector<TriSlot> slots;
-    std::vector<Lane> lanes;
+    // texlint: owned-by-task
+    std::vector<WorkerCtx> workers; ///< one per worker, by worker id
+    // texlint: owned-by-task
+    std::vector<TriSlot> slots; ///< one per triangle, by task index
+    // texlint: owned-by-task
+    std::vector<Lane> lanes; ///< one per node, by phase-2 task index
 };
 
 } // namespace texdist

@@ -354,6 +354,9 @@ ParallelMachine::dumpStats(std::ostream &os) const
         node->dumpStats(os);
 }
 
+// texlint: phase(serial) builds and runs a whole event-driven
+// machine; must only be called from serial code (or an isolated
+// sweep task that owns its private universe)
 FrameResult
 runFrame(const Scene &scene, const MachineConfig &config)
 {

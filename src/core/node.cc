@@ -244,6 +244,8 @@ TextureNode::processNext()
         eventq().schedule(&workEvent, cpuTime);
 }
 
+// texlint: phase(parallel) runs inside a drain task that owns this
+// node outright; touches no state outside the node
 void
 TextureNode::functionalScan(TextureId texid,
                             const NodeFragment *frags, size_t count)
@@ -296,6 +298,8 @@ TextureNode::functionalScan(TextureId texid,
     }
 }
 
+// texlint: phase(parallel) runs inside a drain task that owns this
+// node outright; touches no state outside the node
 Tick
 TextureNode::consumeDirect(Tick push_tick, TextureId tex,
                            const NodeFragment *frags, size_t count)

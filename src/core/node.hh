@@ -57,6 +57,7 @@ struct TriangleWork
 };
 
 /** A texture-mapping engine plus its cache, bus and triangle FIFO. */
+// texlint: owned-by-task
 class TextureNode : public SimObject
 {
   public:

@@ -174,6 +174,8 @@ SequenceMachine::assembleResult(Tick frame_end,
     return out;
 }
 
+// texlint: phase(serial) top-level per-frame driver; spawns the
+// engine's parallel phases but never runs inside one
 FrameResult
 SequenceMachine::runFrame(const Scene &scene)
 {
@@ -193,6 +195,7 @@ SequenceMachine::runFrame(const Scene &scene)
     return out;
 }
 
+// texlint: phase(serial) sampled-mode per-frame driver, serial-only
 FrameResult
 SequenceMachine::runFrameFunctional(const Scene &scene)
 {

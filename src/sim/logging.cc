@@ -24,6 +24,8 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    // texlint: allow(phase-unsafe-call) diagnostics only: one
+    // pre-formatted line, never feeds simulation state or digests
     std::cerr << "warn: " << msg << std::endl;
 }
 

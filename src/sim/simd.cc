@@ -29,6 +29,8 @@ hostHasAvx2()
 /** Sentinel meaning "no forced kernel". */
 constexpr uint8_t noForce = 0xff;
 
+// texlint: allow(phase-static) host-side kernel pin: forceKernel
+// writes it once at startup before any tasks run; workers only read
 std::atomic<uint8_t> g_forced{noForce};
 
 } // namespace

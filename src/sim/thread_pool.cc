@@ -79,6 +79,8 @@ ThreadPool::workerLoop(uint32_t worker)
     }
 }
 
+// texlint: phase(serial) the task-submission point itself: calling
+// it from inside a task would deadlock on the idle barrier
 void
 ThreadPool::parallelFor(
     size_t count,

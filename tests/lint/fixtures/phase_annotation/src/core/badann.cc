@@ -1,0 +1,39 @@
+// Malformed / dangling phase and ownership annotations: every
+// marker the scanner cannot parse, and every well-formed marker
+// that attaches to nothing, is itself an error.
+#include <cstdint>
+
+namespace fixture
+{
+
+// texlint: phase(bogus) not a phase at all
+void
+mislabeled()
+{
+}
+
+// texlint: phase serial
+void
+unparenthesized()
+{
+}
+
+struct Holder
+{
+    // texlint: shared()
+    uint64_t reasonless = 0;
+    // texlint: owned-by-task(yes)
+    uint64_t argumentative = 0;
+};
+
+void
+orphans()
+{
+    // texlint: phase(parallel) attaches to a statement, not a def
+    uint64_t local = 1;
+    // texlint: shared(attaches to a statement, not a field)
+    local += 2;
+    (void)local;
+}
+
+} // namespace fixture

@@ -1,0 +1,44 @@
+// phase-capture fixture: task lambdas writing through by-ref
+// captures. Writes into a per-task slot (subscripted by a lambda
+// parameter) pass; accumulating into a plain captured local is an
+// error — including inside phase(isolated) sites, whose capture
+// hygiene is still checked.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture
+{
+
+class Pool
+{
+  public:
+    template <class F>
+    void
+    parallelFor(size_t n, F fn)
+    {
+        for (size_t i = 0; i < n; ++i)
+            fn(0u, i);
+    }
+};
+
+uint64_t
+run(Pool &pool, std::vector<uint64_t> &out)
+{
+    uint64_t total = 0;
+    pool.parallelFor(out.size(), [&](uint32_t, size_t i) {
+        out[i] = i * i; // fine: slot i belongs to task i
+        total += i;     // error: cross-task accumulation
+    });
+
+    uint64_t grand = 0;
+    // texlint: phase(isolated) each task owns a private universe
+    pool.parallelFor(4, [&](uint32_t, size_t i) {
+        std::vector<uint64_t> mine(i + 1, 0); // fine: task-owned
+        mine[0] = i;
+        grand += mine[0]; // error: capture hygiene still applies
+    });
+    return total + grand;
+}
+
+} // namespace fixture

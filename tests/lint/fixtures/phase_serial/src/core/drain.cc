@@ -1,0 +1,40 @@
+// phase-serial fixture: a function asserted serial-only is reached
+// from a parallel root; the diagnostic carries the call chain.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture
+{
+
+class Pool
+{
+  public:
+    template <class F>
+    void
+    parallelFor(size_t n, F fn)
+    {
+        for (size_t i = 0; i < n; ++i)
+            fn(0u, i);
+    }
+};
+
+// texlint: phase(serial) reallocates the shared lane arrays
+void
+reallocateLanes()
+{
+}
+
+void
+drainOne(size_t i)
+{
+    if (i == 0)
+        reallocateLanes(); // reached from the task lambda: error
+}
+
+void
+runAll(Pool &pool)
+{
+    pool.parallelFor(4, [&](uint32_t, size_t i) { drainOne(i); });
+}
+
+} // namespace fixture

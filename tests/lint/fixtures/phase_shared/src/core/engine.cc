@@ -1,0 +1,63 @@
+// Rule (a) fixture: writes from parallel-reachable code to fields of
+// a participating class. owned-by-task fields pass; shared(...) and
+// unclassified fields are errors.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture
+{
+
+class Pool
+{
+  public:
+    template <class F>
+    void
+    parallelFor(size_t n, F fn)
+    {
+        for (size_t i = 0; i < n; ++i)
+            fn(0u, i);
+    }
+};
+
+class Engine
+{
+  public:
+    void runFrame();
+    void reset();
+
+  private:
+    void step(size_t t);
+
+    Pool pool;
+    // texlint: owned-by-task
+    std::vector<uint64_t> perTask;
+    // texlint: shared(frame counter read by the UI thread)
+    uint64_t frameCount = 0;
+    uint64_t unclassified = 0;
+};
+
+void
+Engine::step(size_t t)
+{
+    perTask[t] += t;   // fine: task t owns slot t
+    frameCount += 1;   // error: shared state written in parallel
+    unclassified += 1; // error: unclassified in participating class
+}
+
+void
+Engine::runFrame()
+{
+    pool.parallelFor(4, [&](uint32_t, size_t t) { step(t); });
+}
+
+// texlint: phase(serial) frame boundaries only
+void
+Engine::reset()
+{
+    frameCount = 0;    // fine: serial phase may write anything
+    unclassified = 0;
+    perTask.clear();
+}
+
+} // namespace fixture

@@ -1,0 +1,47 @@
+// phase-static fixture: mutable function-local statics in
+// parallel-reachable functions and mutable namespace-scope state in
+// parallel-reachable files are errors; const state and annotated
+// intentional knobs pass.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture
+{
+
+class Pool
+{
+  public:
+    template <class F>
+    void
+    parallelFor(size_t n, F fn)
+    {
+        for (size_t i = 0; i < n; ++i)
+            fn(0u, i);
+    }
+};
+
+constexpr uint64_t kLimit = 64; // fine: immutable
+
+uint64_t g_total = 0; // error: mutable file-scope state
+
+// texlint: allow(phase-static) host-side debug knob, set once at
+// startup before any tasks are dispatched
+uint64_t g_debugLevel = 0; // fine: annotated intentional
+
+void
+countThings(size_t i)
+{
+    static uint64_t calls = 0; // error: cross-task local static
+    static const uint64_t base = 3; // fine: immutable
+    calls += i + base;
+    if (calls > kLimit)
+        calls = 0;
+}
+
+void
+runAll(Pool &pool)
+{
+    pool.parallelFor(4, [&](uint32_t, size_t i) { countThings(i); });
+}
+
+} // namespace fixture

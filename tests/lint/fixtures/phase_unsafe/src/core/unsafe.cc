@@ -1,0 +1,38 @@
+// phase-unsafe-call fixture: stateful libc and unsynchronized
+// stream writes in parallel-reachable code.
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace fixture
+{
+
+class Pool
+{
+  public:
+    template <class F>
+    void
+    parallelFor(size_t n, F fn)
+    {
+        for (size_t i = 0; i < n; ++i)
+            fn(0u, i);
+    }
+};
+
+void
+worker(char *line, size_t i)
+{
+    char *tok = strtok(line, " ");        // error: hidden state
+    int jitter = std::rand();             // error: hidden state
+    std::cout << "task " << i << "\n";    // error: stream write
+    printf("%s %d\n", tok, jitter);       // error: stdio write
+}
+
+void
+runAll(Pool &pool, char *line)
+{
+    pool.parallelFor(4, [&](uint32_t, size_t i) { worker(line, i); });
+}
+
+} // namespace fixture

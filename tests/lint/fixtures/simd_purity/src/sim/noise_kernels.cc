@@ -1,0 +1,24 @@
+// simd-purity fixture: a kernel TU (basename contains "kernels")
+// using FMA intrinsics, libm fma and the FP_CONTRACT pragma — all
+// three break scalar/SIMD bit-identity and are errors.
+#pragma STDC FP_CONTRACT ON
+
+#include <cmath>
+#include <immintrin.h>
+
+namespace fixture
+{
+
+double
+scalarDot(double a, double b, double c)
+{
+    return fma(a, b, c); // error: contracted rounding
+}
+
+__m256
+vectorDot(__m256 x, __m256 y, __m256 z)
+{
+    return _mm256_fmadd_ps(x, y, z); // error: FMA intrinsic
+}
+
+} // namespace fixture

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Machine-readable output determinism: --format=json and
+# --format=sarif must produce byte-identical documents across runs
+# (diagnostics are sorted and deduplicated before emission), and the
+# documents must carry the expected envelope fields.
+#
+# Usage: lint_format_test.sh <texlint-binary> <fixture-dir>
+set -u
+
+TEXLINT=${1:?usage: lint_format_test.sh <texlint> <fixture-dir>}
+FIXTURE=${2:?usage: lint_format_test.sh <texlint> <fixture-dir>}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+UNITS=$(cd "$FIXTURE" && find src tools bench -name '*.cc' \
+    2>/dev/null | sort)
+
+for fmt in json sarif; do
+    ( cd "$FIXTURE" && "$TEXLINT" --root=. --no-layout-check \
+        --format=$fmt $UNITS ) > "$WORK/$fmt.1" 2>/dev/null
+    ( cd "$FIXTURE" && "$TEXLINT" --root=. --no-layout-check \
+        --format=$fmt $UNITS ) > "$WORK/$fmt.2" 2>/dev/null
+    if ! cmp -s "$WORK/$fmt.1" "$WORK/$fmt.2"; then
+        echo "FAIL: --format=$fmt output differs between runs"
+        exit 1
+    fi
+done
+
+grep -q '"tool": "texlint"' "$WORK/json.1" || {
+    echo "FAIL: json output missing tool envelope"; exit 1; }
+grep -q '"diagnostics"' "$WORK/json.1" || {
+    echo "FAIL: json output missing diagnostics array"; exit 1; }
+grep -q '"version": "2.1.0"' "$WORK/sarif.1" || {
+    echo "FAIL: sarif output missing schema version"; exit 1; }
+grep -q '"results"' "$WORK/sarif.1" || {
+    echo "FAIL: sarif output missing results array"; exit 1; }
+
+# The diagnostic payload must agree with the text format: same count
+# of errors in every format.
+TEXT_ERRS=$(cd "$FIXTURE" && "$TEXLINT" --root=. --no-layout-check \
+    $UNITS 2>&1 | grep -c ": error: ")
+JSON_ERRS=$(grep -o '"rule":' "$WORK/json.1" | wc -l)
+SARIF_ERRS=$(grep -o '"ruleId":' "$WORK/sarif.1" | wc -l)
+if [ "$TEXT_ERRS" -ne "$JSON_ERRS" ] ||
+   [ "$TEXT_ERRS" -ne "$SARIF_ERRS" ]; then
+    echo "FAIL: format disagreement: text=$TEXT_ERRS" \
+         "json=$JSON_ERRS sarif=$SARIF_ERRS"
+    exit 1
+fi
+
+echo "PASS: json/sarif output deterministic and consistent" \
+     "($TEXT_ERRS diagnostics)"
+exit 0

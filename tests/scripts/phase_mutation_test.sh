@@ -1,0 +1,61 @@
+#!/bin/sh
+# Phase-safety mutation self-test: copy the real tree, plant a
+# shared-counter write into the engine's phase-0 task body, and
+# require texlint's phase analyzer to catch it. A clean control run
+# on the unmutated copy proves the finding comes from the mutation,
+# not from tree drift.
+#
+# Usage: phase_mutation_test.sh <texlint-binary> <source-root>
+set -u
+
+TEXLINT=${1:?usage: phase_mutation_test.sh <texlint> <source-root>}
+SRC=${2:?usage: phase_mutation_test.sh <texlint> <source-root>}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+cp -r "$SRC/src" "$SRC/tools" "$SRC/bench" "$WORK/"
+UNITS=$(cd "$WORK" && find src tools bench -name '*.cc' | sort)
+
+echo "=== control: unmutated copy must lint clean ==="
+if ! ( cd "$WORK" &&
+       "$TEXLINT" --root=. --no-layout-check $UNITS ); then
+    echo "FAIL: control run is not clean; mutation signal is void"
+    exit 1
+fi
+
+echo "=== mutation: shared counter in the phase-0 task body ==="
+TARGET="$WORK/src/core/frame_engine.cc"
+# Plant a classic race right after rasterizeOne's opening brace: a
+# function-local static bumped by every parallel rasterization task.
+awk '
+    /^TwoPhaseFrameEngine::rasterizeOne/ { inras = 1 }
+    { print }
+    inras && /^\{/ {
+        print "    static uint64_t planted_raster_count = 0;"
+        print "    ++planted_raster_count;"
+        inras = 0
+    }
+' "$TARGET" > "$TARGET.tmp" && mv "$TARGET.tmp" "$TARGET"
+
+if ! grep -q planted_raster_count "$TARGET"; then
+    echo "FAIL: mutation did not apply to $TARGET"
+    exit 1
+fi
+
+OUT=$(cd "$WORK" &&
+      "$TEXLINT" --root=. --no-layout-check $UNITS 2>&1)
+CODE=$?
+echo "$OUT"
+if [ "$CODE" -ne 1 ]; then
+    echo "ESCAPED: texlint exited $CODE on the mutated tree, wanted 1"
+    exit 1
+fi
+if ! echo "$OUT" | grep -q \
+    "\[phase-static\].*planted_raster_count"; then
+    echo "ESCAPED: no phase-static diagnostic for the planted counter"
+    exit 1
+fi
+
+echo "PASS: planted phase-0 shared counter caught by phase-static"
+exit 0

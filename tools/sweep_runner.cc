@@ -1002,6 +1002,8 @@ runSweepInProcess(const RunnerOptions &opts,
 
     ThreadPool pool(opts.threads);
     std::vector<int> codes(configs.size(), exitOk);
+    // texlint: phase(isolated) each task simulates one sweep config in
+    // a private universe; results land in per-config slots
     pool.parallelFor(pending.size(), [&](uint32_t, size_t p) {
         size_t i = pending[p];
         ++configs[i].attempts;

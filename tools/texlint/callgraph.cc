@@ -1,0 +1,594 @@
+#include "callgraph.hh"
+
+#include <deque>
+
+namespace texlint
+{
+
+size_t
+matchParen(const std::vector<Token> &toks, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Punct)
+            continue;
+        if (toks[i].text == "(")
+            ++depth;
+        else if (toks[i].text == ")" && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+size_t
+matchBrace(const std::vector<Token> &toks, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Punct)
+            continue;
+        if (toks[i].text == "{")
+            ++depth;
+        else if (toks[i].text == "}" && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+std::set<std::string>
+filesInUnitsReaching(const Project &proj,
+                     const std::vector<std::string> &headers)
+{
+    std::set<std::string> out;
+    for (const std::string &unit : proj.units) {
+        std::set<std::string> cls = proj.closure(unit);
+        bool hit = false;
+        for (const std::string &h : headers)
+            if (cls.count(h)) {
+                hit = true;
+                break;
+            }
+        if (hit)
+            out.insert(cls.begin(), cls.end());
+    }
+    return out;
+}
+
+std::vector<ClassRange>
+classBodyRanges(const std::vector<Token> &toks)
+{
+    std::vector<ClassRange> out;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Ident ||
+            (t.text != "class" && t.text != "struct"))
+            continue;
+        // `enum class` bodies hold no methods; `template <class T>`
+        // is a parameter, not a definition.
+        if (i > 0 && toks[i - 1].kind == TokKind::Ident &&
+            toks[i - 1].text == "enum")
+            continue;
+        size_t j = i + 1;
+        if (toks[j].kind != TokKind::Ident)
+            continue;
+        ClassRange cr;
+        cr.name = toks[j].text;
+        ++j;
+        // Skip `final`, base clauses and template arguments to the
+        // body brace; a ';', '(' or unbalanced '>' means this was a
+        // forward declaration or template parameter.
+        int depth = 0;
+        bool found = false;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].kind != TokKind::Punct)
+                continue;
+            const std::string &p = toks[j].text;
+            if (p == "<") {
+                ++depth;
+            } else if (p == ">") {
+                if (--depth < 0)
+                    break;
+            } else if (depth == 0 && (p == ";" || p == "(")) {
+                break;
+            } else if (depth == 0 && p == "{") {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            continue;
+        cr.bodyBegin = j;
+        cr.bodyEnd = matchBrace(toks, j);
+        out.push_back(std::move(cr));
+    }
+    return out;
+}
+
+namespace
+{
+
+const std::set<std::string> notACallee = {
+    "if",       "for",     "while",   "switch",   "catch",
+    "return",   "sizeof",  "new",     "delete",   "throw",
+    "case",     "else",    "do",      "co_return", "co_await",
+    "co_yield", "assert",  "static_assert", "alignof", "decltype",
+    "defined",
+};
+
+/** Keywords that can never start a definition's name. */
+bool
+isCallKeyword(const std::string &s)
+{
+    return notACallee.count(s) > 0;
+}
+
+/**
+ * Starting just after a parameter list's ')', skip declaration
+ * trailers (cv, ref-qualifiers, noexcept, override/final, trailing
+ * return types, constructor init lists) to the definition body.
+ *
+ * @return index of the body '{', or tokens.size() when this is not
+ *         a definition (declaration, call, expression, ...)
+ */
+size_t
+findBodyBrace(const std::vector<Token> &toks, size_t after_paren)
+{
+    size_t i = after_paren;
+    bool sawInitList = false;
+    while (i < toks.size()) {
+        const Token &t = toks[i];
+        if (t.kind == TokKind::Ident) {
+            if (t.text == "const" || t.text == "noexcept" ||
+                t.text == "override" || t.text == "final" ||
+                t.text == "mutable" || t.text == "volatile" ||
+                t.text == "try") {
+                ++i;
+                continue;
+            }
+            if (sawInitList) {
+                ++i; // member name inside the init list
+                continue;
+            }
+            return toks.size(); // `Foo(x) bar` — not a definition
+        }
+        if (t.kind != TokKind::Punct)
+            return toks.size();
+        if (t.text == "{")
+            return i;
+        if (t.text == "(") {
+            // noexcept(...) or an init-list member's (args).
+            i = matchParen(toks, i);
+            if (i == toks.size())
+                return toks.size();
+            ++i;
+            continue;
+        }
+        if (t.text == ":") {
+            // Constructor init list: members follow as name(args) or
+            // name{args} separated by commas, then the body brace.
+            sawInitList = true;
+            ++i;
+            continue;
+        }
+        if (t.text == "->") {
+            // Trailing return type: skip type tokens up to '{'/';'.
+            ++i;
+            while (i < toks.size() &&
+                   !(toks[i].kind == TokKind::Punct &&
+                     (toks[i].text == "{" || toks[i].text == ";")))
+                ++i;
+            continue;
+        }
+        if (sawInitList &&
+            (t.text == "," || t.text == "::" || t.text == "<" ||
+             t.text == ">" || t.text == "&" || t.text == "*" ||
+             t.text == "." || t.text == "...")) {
+            ++i;
+            continue;
+        }
+        if (sawInitList && t.text == "{") // unreachable; kept for
+            return i;                     // symmetry
+        if (t.text == "&" || t.text == "&&") {
+            ++i; // ref-qualifier
+            continue;
+        }
+        if (t.text == "=")
+            return toks.size(); // = default / = delete / assignment
+        return toks.size();     // ';' (declaration) or anything else
+    }
+    return toks.size();
+}
+
+/** Lambda parameter names out of the tokens of `( ... )`. */
+std::set<std::string>
+lambdaParamNames(const std::vector<Token> &toks, size_t lp, size_t rp)
+{
+    std::set<std::string> names;
+    size_t start = lp + 1;
+    int depth = 0;
+    std::string last;
+    size_t count = 0;
+    auto flush = [&]() {
+        // A parameter's name is its last identifier — but only when
+        // the parameter has more than one token (an unnamed `uint32_t`
+        // placeholder has no name).
+        if (count >= 2 && !last.empty())
+            names.insert(last);
+        last.clear();
+        count = 0;
+    };
+    for (size_t i = start; i < rp; ++i) {
+        const Token &t = toks[i];
+        if (t.kind == TokKind::Punct) {
+            if (t.text == "(" || t.text == "<" || t.text == "[")
+                ++depth;
+            else if (t.text == ")" || t.text == ">" || t.text == "]")
+                --depth;
+            else if (t.text == "," && depth == 0)
+                flush();
+            continue;
+        }
+        if (t.kind == TokKind::Ident && depth == 0 &&
+            t.text != "const" && t.text != "volatile") {
+            last = t.text;
+            ++count;
+        }
+    }
+    flush();
+    return names;
+}
+
+/**
+ * Parse the parallelFor task lambda beginning at the '[' at @p intro
+ * into @p def (captures, params, body range).
+ *
+ * @return false when no well-formed lambda is found
+ */
+bool
+parseTaskLambda(const std::vector<Token> &toks, size_t intro,
+                FunctionDef &def)
+{
+    // Capture list.
+    size_t close = intro;
+    int depth = 0;
+    for (; close < toks.size(); ++close) {
+        if (toks[close].kind != TokKind::Punct)
+            continue;
+        if (toks[close].text == "[")
+            ++depth;
+        else if (toks[close].text == "]" && --depth == 0)
+            break;
+    }
+    if (close >= toks.size())
+        return false;
+    bool expectName = false;
+    for (size_t i = intro + 1; i < close; ++i) {
+        const Token &t = toks[i];
+        if (t.kind == TokKind::Punct && t.text == "&") {
+            if (i + 1 < close && toks[i + 1].kind == TokKind::Ident)
+                expectName = true;
+            else
+                def.capturesAllByRef = true;
+            continue;
+        }
+        if (t.kind == TokKind::Ident && expectName) {
+            def.refCaptures.insert(t.text);
+            expectName = false;
+        }
+    }
+
+    // Parameter list (optional for lambdas, always present here).
+    size_t lp = close + 1;
+    if (lp < toks.size() && toks[lp].kind == TokKind::Punct &&
+        toks[lp].text == "(") {
+        size_t rp = matchParen(toks, lp);
+        if (rp == toks.size())
+            return false;
+        def.paramNames = lambdaParamNames(toks, lp, rp);
+        lp = rp + 1;
+    }
+    // Skip specifiers (mutable, noexcept, -> ret) to the body.
+    while (lp < toks.size() &&
+           !(toks[lp].kind == TokKind::Punct && toks[lp].text == "{"))
+        ++lp;
+    if (lp >= toks.size())
+        return false;
+    def.bodyBegin = lp;
+    def.bodyEnd = matchBrace(toks, lp);
+    def.line = toks[intro].line;
+    return def.bodyEnd != toks.size();
+}
+
+/** Attach a phase annotation covering any line in [from, to]. */
+Phase
+attachPhase(SourceFile &sf, uint32_t from, uint32_t to)
+{
+    for (PhaseAnn &ann : sf.phaseAnns) {
+        if (ann.phase == Phase::Isolated)
+            continue; // call-site annotation, handled separately
+        for (uint32_t l : ann.lines)
+            if (l >= from && l <= to) {
+                ann.used = true;
+                return ann.phase;
+            }
+    }
+    return Phase::None;
+}
+
+/** Is a parallelFor call at @p line marked phase(isolated)? */
+bool
+isIsolatedSite(SourceFile &sf, uint32_t line)
+{
+    for (PhaseAnn &ann : sf.phaseAnns) {
+        if (ann.phase != Phase::Isolated)
+            continue;
+        for (uint32_t l : ann.lines)
+            if (l == line) {
+                ann.used = true;
+                return true;
+            }
+    }
+    return false;
+}
+
+/**
+ * Collect callee names in [begin, end), skipping the nested task
+ * lambda ranges (they are separate definitions).
+ */
+void
+collectCallees(const std::vector<Token> &toks, FunctionDef &def)
+{
+    size_t i = def.bodyBegin;
+    size_t skip = 0;
+    while (i < def.bodyEnd) {
+        if (skip < def.taskLambdaRanges.size() &&
+            i >= def.taskLambdaRanges[skip].first) {
+            i = def.taskLambdaRanges[skip].second + 1;
+            ++skip;
+            continue;
+        }
+        const Token &t = toks[i];
+        if (t.kind == TokKind::Ident && !isCallKeyword(t.text) &&
+            i + 1 < def.bodyEnd &&
+            toks[i + 1].kind == TokKind::Punct &&
+            toks[i + 1].text == "(") {
+            bool viaReceiver = i > 0 &&
+                               toks[i - 1].kind == TokKind::Punct &&
+                               (toks[i - 1].text == "." ||
+                                toks[i - 1].text == "->");
+            bool viaScope = i >= 2 &&
+                            toks[i - 1].kind == TokKind::Punct &&
+                            toks[i - 1].text == "::" &&
+                            toks[i - 2].kind == TokKind::Ident;
+            if (viaReceiver)
+                def.memberCallees.insert(t.text);
+            else if (viaScope)
+                def.qualifiedCallees.emplace(toks[i - 2].text,
+                                             t.text);
+            else
+                def.callees.insert(t.text);
+        }
+        ++i;
+    }
+}
+
+/**
+ * Scan one file for function definitions and parallelFor task
+ * lambdas, appending FunctionDefs.
+ */
+void
+scanDefs(Project &proj, SourceFile &sf, std::vector<FunctionDef> &out)
+{
+    const std::vector<Token> &toks = sf.lexed.tokens;
+    const std::vector<ClassRange> classes = classBodyRanges(toks);
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Ident || isCallKeyword(t.text))
+            continue;
+        if (toks[i + 1].kind != TokKind::Punct ||
+            toks[i + 1].text != "(")
+            continue;
+        // Member calls and `operator` names never open definitions.
+        if (i > 0 && toks[i - 1].kind == TokKind::Punct &&
+            (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+            continue;
+        if (i > 0 && toks[i - 1].kind == TokKind::Ident &&
+            (toks[i - 1].text == "operator" ||
+             toks[i - 1].text == "case"))
+            continue;
+
+        size_t close = matchParen(toks, i + 1);
+        if (close == toks.size())
+            continue;
+        size_t body = findBodyBrace(toks, close + 1);
+        if (body == toks.size())
+            continue;
+
+        FunctionDef def;
+        def.name = t.text;
+        def.file = sf.path;
+        def.line = t.line;
+        def.bodyBegin = body;
+        def.bodyEnd = matchBrace(toks, body);
+        if (def.bodyEnd == toks.size())
+            continue;
+        if (i >= 2 && toks[i - 1].kind == TokKind::Punct &&
+            toks[i - 1].text == "::" &&
+            toks[i - 2].kind == TokKind::Ident) {
+            def.qualifier = toks[i - 2].text;
+        } else {
+            // Inline method: innermost class body enclosing the name.
+            size_t bestSpan = toks.size() + 1;
+            for (const ClassRange &cr : classes)
+                if (i > cr.bodyBegin && i < cr.bodyEnd &&
+                    cr.bodyEnd - cr.bodyBegin < bestSpan) {
+                    def.qualifier = cr.name;
+                    bestSpan = cr.bodyEnd - cr.bodyBegin;
+                }
+        }
+
+        // The annotation comment precedes the return type, which may
+        // occupy up to two lines above the name (project style puts
+        // the type on its own line).
+        uint32_t from = def.line >= 2 ? def.line - 2 : 1;
+        def.phase = attachPhase(sf, from, def.line);
+
+        // parallelFor task lambdas inside this body become their own
+        // (parallel-rooted) definitions; their ranges are excluded
+        // from this def's body scan.
+        size_t j = def.bodyBegin;
+        while (j < def.bodyEnd) {
+            const Token &u = toks[j];
+            if (u.kind == TokKind::Ident &&
+                u.text == "parallelFor" && j + 1 < def.bodyEnd &&
+                toks[j + 1].kind == TokKind::Punct &&
+                toks[j + 1].text == "(") {
+                size_t argsEnd = matchParen(toks, j + 1);
+                size_t intro = j + 2;
+                while (intro < argsEnd &&
+                       !(toks[intro].kind == TokKind::Punct &&
+                         toks[intro].text == "["))
+                    ++intro;
+                if (intro < argsEnd) {
+                    FunctionDef task;
+                    task.name = "<task>";
+                    task.qualifier = def.qualifier;
+                    task.file = sf.path;
+                    task.isTaskLambda = true;
+                    if (parseTaskLambda(toks, intro, task)) {
+                        task.phase = isIsolatedSite(sf, u.line)
+                                         ? Phase::Isolated
+                                         : Phase::Parallel;
+                        def.taskLambdaRanges.emplace_back(
+                            task.bodyBegin, task.bodyEnd);
+                        collectCallees(toks, task);
+                        out.push_back(std::move(task));
+                        j = argsEnd + 1;
+                        continue;
+                    }
+                }
+                j = argsEnd + 1;
+                continue;
+            }
+            ++j;
+        }
+
+        collectCallees(toks, def);
+        size_t end = def.bodyEnd;
+        out.push_back(std::move(def));
+        i = end;
+    }
+    (void)proj;
+}
+
+} // namespace
+
+std::string
+CallGraph::displayName(size_t def) const
+{
+    const FunctionDef &d = defs[def];
+    if (d.isTaskLambda)
+        return (d.qualifier.empty() ? std::string()
+                                    : d.qualifier + "::") +
+               "<task lambda " + d.file + ":" +
+               std::to_string(d.line) + ">";
+    return d.qualifier.empty() ? d.name : d.qualifier + "::" + d.name;
+}
+
+std::string
+CallGraph::chain(size_t def) const
+{
+    std::vector<std::string> names;
+    size_t cur = def;
+    for (size_t guard = 0; guard < defs.size(); ++guard) {
+        names.push_back(displayName(cur));
+        auto it = parent.find(cur);
+        if (it == parent.end() || it->second == cur)
+            break;
+        cur = it->second;
+    }
+    std::string out;
+    for (size_t i = names.size(); i-- > 0;) {
+        if (!out.empty())
+            out += " -> ";
+        out += names[i];
+    }
+    return out;
+}
+
+CallGraph
+buildCallGraph(Project &proj)
+{
+    CallGraph graph;
+    for (auto &[path, sf] : proj.files)
+        scanDefs(proj, sf, graph.defs);
+
+    for (size_t i = 0; i < graph.defs.size(); ++i)
+        graph.byName[graph.defs[i].name].push_back(i);
+
+    // BFS from parallel roots over name-resolved edges.
+    std::deque<size_t> queue;
+    for (size_t i = 0; i < graph.defs.size(); ++i) {
+        const FunctionDef &d = graph.defs[i];
+        bool root = d.phase == Phase::Parallel || d.phase == Phase::Any;
+        if (root) {
+            graph.parallelSet.insert(i);
+            graph.parent.emplace(i, i);
+            queue.push_back(i);
+        }
+    }
+    while (!queue.empty()) {
+        size_t cur = queue.front();
+        queue.pop_front();
+        // Resolution modes:
+        //   Any        bare call, no own-class definition: every def
+        //   MembersOnly recv.f() / recv->f(): member defs only
+        //   ExactClass bare call hidden by an own-class member:
+        //              only that class's defs (C++ name hiding)
+        //   Scoped     Q::f(): Q's member defs, or free functions
+        //              when Q is a namespace rather than a class
+        enum class Resolve { Any, MembersOnly, ExactClass, Scoped };
+        auto follow = [&](const std::string &callee, Resolve how,
+                          const std::string &cls) {
+            auto it = graph.byName.find(callee);
+            if (it == graph.byName.end())
+                return;
+            if (how == Resolve::Any && !cls.empty()) {
+                for (size_t cand : it->second)
+                    if (graph.defs[cand].qualifier == cls &&
+                        !graph.defs[cand].isTaskLambda) {
+                        how = Resolve::ExactClass;
+                        break;
+                    }
+            }
+            for (size_t next : it->second) {
+                const FunctionDef &d = graph.defs[next];
+                if (d.isTaskLambda)
+                    continue; // lambdas are never called by name
+                if (how == Resolve::MembersOnly &&
+                    d.qualifier.empty())
+                    continue;
+                if (how == Resolve::ExactClass &&
+                    d.qualifier != cls)
+                    continue;
+                if (how == Resolve::Scoped &&
+                    !d.qualifier.empty() && d.qualifier != cls)
+                    continue;
+                if (!graph.parallelSet.insert(next).second)
+                    continue;
+                graph.parent.emplace(next, cur);
+                queue.push_back(next);
+            }
+        };
+        const FunctionDef &curDef = graph.defs[cur];
+        for (const std::string &callee : curDef.callees)
+            follow(callee, Resolve::Any, curDef.qualifier);
+        for (const std::string &callee : curDef.memberCallees)
+            follow(callee, Resolve::MembersOnly, "");
+        for (const auto &[cls, callee] : curDef.qualifiedCallees)
+            follow(callee, Resolve::Scoped, cls);
+    }
+    return graph;
+}
+
+} // namespace texlint

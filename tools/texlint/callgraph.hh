@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Whole-program call graph for texlint's reachability-scoped rules.
+ *
+ * Built token-level from the loaded file set: every out-of-class
+ * member definition (`T::f(...) {`), free-function definition
+ * (`f(...) {`) and thread-pool task lambda (the lambda argument of a
+ * `parallelFor(...)` call) becomes a node; every `name(` inside a
+ * body becomes a name-resolved edge to all in-tree definitions of
+ * that name. Resolution is deliberately conservative (name-based,
+ * no overload or receiver-type analysis): the parallel-reachable
+ * set over-approximates, which is the right direction for a
+ * determinism gate.
+ *
+ * Phase classification comes from phase(...) marker comments:
+ *
+ *   phase(parallel)  the function runs inside a parallel phase —
+ *                    a root of the reachability walk
+ *   phase(any)       callable from both serial and parallel phases;
+ *                    analyzed exactly like a parallel root
+ *   phase(serial)    asserted serial-only: an error if the walk
+ *                    reaches it from any parallel root
+ *   phase(isolated)  on a parallelFor *call site* whose tasks each
+ *                    own a private simulation universe (the sweep
+ *                    fan-out): capture hygiene is still checked but
+ *                    the lambda does not seed engine reachability
+ *
+ * The module also hosts the include-closure traversal the
+ * ordered-iteration rule pioneered (units whose closure reaches a
+ * trigger header), factored here so reachability-style rules share
+ * one implementation.
+ */
+
+#ifndef TEXLINT_CALLGRAPH_HH
+#define TEXLINT_CALLGRAPH_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.hh"
+
+namespace texlint
+{
+
+/** One function definition (or parallelFor task lambda). */
+struct FunctionDef
+{
+    std::string name;      ///< unqualified name ("<task>" for lambdas)
+    std::string qualifier; ///< enclosing class, "" for free functions
+    std::string file;      ///< defining file, root-relative
+    uint32_t line = 0;     ///< line of the name (or lambda intro)
+    size_t bodyBegin = 0;  ///< token index of the body '{'
+    size_t bodyEnd = 0;    ///< token index of the matching '}'
+    Phase phase = Phase::None;
+
+    /** parallelFor task lambda bookkeeping (rule phase-capture). */
+    bool isTaskLambda = false;
+    bool capturesAllByRef = false; ///< [&] default capture
+    std::set<std::string> refCaptures; ///< explicit &name captures
+    std::set<std::string> paramNames;  ///< lambda parameter names
+
+    /** Token ranges of nested task lambdas, excluded from this
+     *  def's own body scan (they are separate FunctionDefs). */
+    std::vector<std::pair<size_t, size_t>> taskLambdaRanges;
+
+    /** Bare `name(` calls. Resolved own-class-first: when the
+     *  enclosing class defines the name, only those definitions
+     *  match (C++ member lookup hides outer names); otherwise every
+     *  in-tree definition of the name does. */
+    std::set<std::string> callees;
+    /** `recv.name(` / `recv->name(` calls: resolved only against
+     *  member definitions, so a receiver call never reaches an
+     *  unrelated free function of the same name. */
+    std::set<std::string> memberCallees;
+    /** `Qual::name(` calls: resolved only against definitions
+     *  qualified by exactly that class. */
+    std::set<std::pair<std::string, std::string>> qualifiedCallees;
+};
+
+struct CallGraph
+{
+    std::vector<FunctionDef> defs;
+    /** name -> indexes into defs. */
+    std::map<std::string, std::vector<size_t>> byName;
+    /** defs reachable from phase(parallel)/phase(any) roots and
+     *  non-isolated task lambdas. */
+    std::set<size_t> parallelSet;
+    /** def index -> BFS parent def index (chain reconstruction);
+     *  roots map to their own index. */
+    std::map<size_t, size_t> parent;
+
+    /** "Root::fn -> ... -> fn" chain for a parallel-reachable def. */
+    std::string chain(size_t def) const;
+    /** Display name "Class::fn" / "fn". */
+    std::string displayName(size_t def) const;
+};
+
+/**
+ * Build the graph over every loaded file and run the reachability
+ * walk. Attaches phase annotations to definitions (marking them
+ * used, so main can diagnose dangling ones).
+ */
+CallGraph buildCallGraph(Project &proj);
+
+/**
+ * Union of the include closures of every unit whose closure contains
+ * at least one of @p headers — the "TUs that can reach this
+ * machinery" traversal shared by ordered-iteration and the
+ * phase-safety rules.
+ */
+std::set<std::string>
+filesInUnitsReaching(const Project &proj,
+                     const std::vector<std::string> &headers);
+
+/** Token range of one class/struct body in a file. */
+struct ClassRange
+{
+    std::string name;
+    size_t bodyBegin = 0; ///< token index of the body '{'
+    size_t bodyEnd = 0;   ///< token index of the matching '}'
+};
+
+/**
+ * Every named class/struct body in @p toks (nested ones included).
+ * Used to infer the enclosing class of inline method definitions and
+ * to tell namespace scope from class scope.
+ */
+std::vector<ClassRange>
+classBodyRanges(const std::vector<Token> &toks);
+
+/** Index of the ')' matching the '(' at @p open (or tokens.size()). */
+size_t matchParen(const std::vector<Token> &toks, size_t open);
+
+/** Index of the '}' matching the '{' at @p open (or tokens.size()). */
+size_t matchBrace(const std::vector<Token> &toks, size_t open);
+
+} // namespace texlint
+
+#endif // TEXLINT_CALLGRAPH_HH

@@ -17,13 +17,22 @@
  *                      checkpointVersion (layout lock)
  *   config-init        *Config / *Options fields always carry
  *                      in-class initializers
+ *   phase-*            the phase-safety family: the two-phase
+ *                      engine's --jobs bit-exactness contract,
+ *                      proven over a whole-program call graph
+ *                      seeded by phase(...) annotations
+ *   simd-purity        no fused multiply-add in SIMD kernel TUs
+ *                      (they must stay bit-identical to scalar)
  *
  * Usage:
  *   texlint --root=DIR [--compile-commands=FILE | files...]
- *           [--layout-lock=FILE] [--no-layout-check]
- *           [--update-layout]
+ *           [--format=text|json|sarif] [--layout-lock=FILE]
+ *           [--no-layout-check] [--update-layout] [--version]
  *
  * Exit codes: 0 clean, 1 diagnostics reported, 2 usage/IO error.
+ * json/sarif reports are deterministic: diagnostics are sorted and
+ * deduplicated, so two runs over the same tree emit byte-identical
+ * documents.
  */
 
 #include <algorithm>
@@ -41,20 +50,124 @@ namespace
 
 using namespace texlint;
 
+constexpr char texlintVersion[] = "0.9.0";
+
+/** Rule inventory: id + one-line summary, sorted by id. */
+const std::pair<const char *, const char *> ruleInventory[] = {
+    {"annotation", "suppression/phase/ownership annotation hygiene"},
+    {"banned-call", "wall clock, libc rand, environment access"},
+    {"bare-assert", "assert() in the simulation core"},
+    {"checkpoint", "serialize/restore completeness and layout lock"},
+    {"config-init", "*Config / *Options in-class initializers"},
+    {"ordered-iteration", "hash-order loops feeding digests/output"},
+    {"phase-capture", "task lambdas writing shared captures"},
+    {"phase-serial", "serial-asserted code reachable in parallel"},
+    {"phase-shared-write", "parallel writes to non-task-owned state"},
+    {"phase-static", "mutable static/global state in parallel TUs"},
+    {"phase-unsafe-call", "stateful libc / stream writes in parallel"},
+    {"simd-purity", "fused multiply-add in SIMD kernel TUs"},
+};
+
 int
 usage()
 {
     std::cerr
         << "usage: texlint --root=DIR "
            "[--compile-commands=FILE | files...]\n"
-           "               [--layout-lock=FILE] [--no-layout-check] "
-           "[--update-layout]\n"
+           "               [--format=text|json|sarif] "
+           "[--layout-lock=FILE]\n"
+           "               [--no-layout-check] [--update-layout] "
+           "[--version]\n"
            "\n"
            "Analyzes the given translation units (default: every "
            "src/, tools/ and\n"
            "bench/ unit in compile_commands.json) plus their in-tree "
            "includes.\n";
     return 2;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+emitJson(const Project &proj)
+{
+    std::cout << "{\n  \"tool\": \"texlint\",\n  \"version\": \""
+              << texlintVersion << "\",\n  \"errors\": "
+              << proj.diags.size() << ",\n  \"diagnostics\": [";
+    for (size_t i = 0; i < proj.diags.size(); ++i) {
+        const Diagnostic &d = proj.diags[i];
+        std::cout << (i ? "," : "") << "\n    {\"file\": \""
+                  << jsonEscape(d.file) << "\", \"line\": " << d.line
+                  << ", \"rule\": \"" << jsonEscape(d.rule)
+                  << "\", \"message\": \"" << jsonEscape(d.message)
+                  << "\"}";
+    }
+    std::cout << (proj.diags.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void
+emitSarif(const Project &proj)
+{
+    std::cout
+        << "{\n"
+           "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+           "  \"version\": \"2.1.0\",\n"
+           "  \"runs\": [{\n"
+           "    \"tool\": {\"driver\": {\"name\": \"texlint\", "
+           "\"version\": \""
+        << texlintVersion << "\", \"rules\": [";
+    size_t n = 0;
+    for (const auto &[id, desc] : ruleInventory)
+        std::cout << (n++ ? "," : "") << "\n      {\"id\": \"" << id
+                  << "\", \"shortDescription\": {\"text\": \""
+                  << jsonEscape(desc) << "\"}}";
+    std::cout << "\n    ]}},\n    \"results\": [";
+    for (size_t i = 0; i < proj.diags.size(); ++i) {
+        const Diagnostic &d = proj.diags[i];
+        std::cout
+            << (i ? "," : "") << "\n      {\"ruleId\": \""
+            << jsonEscape(d.rule)
+            << "\", \"level\": \"error\", \"message\": {\"text\": \""
+            << jsonEscape(d.message)
+            << "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << jsonEscape(d.file)
+            << "\"}, \"region\": {\"startLine\": " << d.line
+            << "}}}]}";
+    }
+    std::cout << (proj.diags.empty() ? "" : "\n    ")
+              << "]\n  }]\n}\n";
 }
 
 bool
@@ -72,6 +185,7 @@ main(int argc, char **argv)
     std::string root = ".";
     std::string compileCommands;
     std::string layoutLock;
+    std::string format = "text";
     bool noLayoutCheck = false;
     bool updateLayout = false;
     std::vector<std::string> explicitFiles;
@@ -93,6 +207,21 @@ main(int argc, char **argv)
             compileCommands = v;
         } else if (valueOf("--layout-lock", v)) {
             layoutLock = v;
+        } else if (valueOf("--format", v)) {
+            if (v != "text" && v != "json" && v != "sarif") {
+                std::cerr << "texlint: unknown format: " << v << "\n";
+                return usage();
+            }
+            format = v;
+        } else if (arg == "--version") {
+            std::cout << "texlint " << texlintVersion << "\n";
+            for (const auto &[id, desc] : ruleInventory) {
+                size_t len = std::string(id).size();
+                std::cout << "  " << id
+                          << std::string(len < 18 ? 19 - len : 1, ' ')
+                          << desc << "\n";
+            }
+            return 0;
         } else if (arg == "--no-layout-check") {
             noLayoutCheck = true;
         } else if (arg == "--update-layout") {
@@ -161,11 +290,18 @@ main(int argc, char **argv)
 
     buildClassRegistry(proj);
 
+    std::map<std::string, std::string> unitCommands;
+    if (!compileCommands.empty())
+        unitCommands =
+            commandsFromCompileCommands(compileCommands, proj.root);
+
     checkBannedCalls(proj);
     checkBareAssert(proj);
     checkOrderedIteration(proj);
     checkConfigInit(proj);
     checkCheckpointCompleteness(proj);
+    checkPhaseSafety(proj);
+    checkSimdPurity(proj, unitCommands);
 
     if (layoutLock.empty())
         layoutLock = proj.root +
@@ -178,8 +314,9 @@ main(int argc, char **argv)
                       << layoutLock << "\n";
             return 2;
         }
-        std::cout << "texlint: layout lock updated: " << layoutLock
-                  << "\n";
+        if (format == "text")
+            std::cout << "texlint: layout lock updated: "
+                      << layoutLock << "\n";
     } else if (!noLayoutCheck &&
                std::filesystem::exists(layoutLock)) {
         checkLayoutLock(proj, layoutLock);
@@ -194,16 +331,25 @@ main(int argc, char **argv)
                                a.message == b.message;
                     }),
         proj.diags.end());
-    for (const Diagnostic &d : proj.diags)
-        std::cout << d.file << ":" << d.line << ": error: [" << d.rule
-                  << "] " << d.message << "\n";
 
-    if (!proj.diags.empty()) {
-        std::cout << "texlint: " << proj.diags.size()
-                  << " error(s)\n";
-        return 1;
+    // json/sarif stdout is exactly the report document (and nothing
+    // else), so two runs over the same tree are byte-identical.
+    if (format == "json")
+        emitJson(proj);
+    else if (format == "sarif")
+        emitSarif(proj);
+
+    if (format == "text") {
+        for (const Diagnostic &d : proj.diags)
+            std::cout << d.file << ":" << d.line << ": error: ["
+                      << d.rule << "] " << d.message << "\n";
+        if (!proj.diags.empty())
+            std::cout << "texlint: " << proj.diags.size()
+                      << " error(s)\n";
+        else
+            std::cout << "texlint: clean (" << proj.files.size()
+                      << " files, " << proj.units.size()
+                      << " units)\n";
     }
-    std::cout << "texlint: clean (" << proj.files.size()
-              << " files, " << proj.units.size() << " units)\n";
-    return 0;
+    return proj.diags.empty() ? 0 : 1;
 }

@@ -19,6 +19,42 @@
 namespace texlint
 {
 
+/** Phase classification carried by a phase(...) marker comment. */
+enum class Phase : uint8_t
+{
+    None,     ///< unannotated
+    Parallel, ///< runs inside a parallel phase (reachability root)
+    Serial,   ///< asserted serial-only; an error if parallel-reachable
+    Any,      ///< callable from both; analyzed as a parallel root
+    Isolated, ///< parallelFor site whose tasks own private universes
+};
+
+/** One `phase(...)` annotation, pending attachment to a function
+ *  definition (or, for Isolated, a parallelFor call site). */
+struct PhaseAnn
+{
+    Phase phase = Phase::None;
+    uint32_t commentLine = 0;
+    std::vector<uint32_t> lines; ///< code lines the comment covers
+    bool used = false;           ///< attached to a definition
+};
+
+/** One `shared(reason)` / `owned-by-task` field or class marking. */
+struct OwnershipAnn
+{
+    enum class Kind : uint8_t
+    {
+        Shared,      ///< cross-task state, read-only in parallel code
+        OwnedByTask, ///< disjoint per task; parallel writes are fine
+    };
+
+    Kind kind = Kind::Shared;
+    std::string reason;
+    uint32_t commentLine = 0;
+    std::vector<uint32_t> lines; ///< code lines the comment covers
+    bool used = false;           ///< attached to a field or class
+};
+
 struct Diagnostic
 {
     std::string file; ///< path relative to the project root
@@ -75,6 +111,13 @@ struct SourceFile
      * that carries code.
      */
     std::map<uint32_t, std::set<std::string>> allows;
+
+    /** phase(...) annotations awaiting attachment (same coverage
+     *  rule as allows: own line plus the next code line). */
+    std::vector<PhaseAnn> phaseAnns;
+
+    /** shared(...)/owned-by-task annotations awaiting attachment. */
+    std::vector<OwnershipAnn> ownership;
 };
 
 class Project

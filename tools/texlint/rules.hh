@@ -17,11 +17,19 @@
  *                     serialized layout changes
  *  config-init        every *Config / *Options field carries an
  *                     in-class initializer (transitively)
+ *  phase-*            the phase-safety family (see rules_phase.cc):
+ *                     statically proves the two-phase engine's
+ *                     --jobs bit-exactness contract over the call
+ *                     graph seeded by phase(...) annotations
+ *  simd-purity        no fused multiply-add (intrinsics, libm fma,
+ *                     FP_CONTRACT pragma, missing -ffp-contract=off)
+ *                     in the SIMD kernel TUs
  */
 
 #ifndef TEXLINT_RULES_HH
 #define TEXLINT_RULES_HH
 
+#include <map>
 #include <string>
 
 #include "model.hh"
@@ -46,6 +54,23 @@ void checkLayoutLock(Project &proj, const std::string &lock_path);
 
 /** Regenerate the lock file. @return false on I/O error. */
 bool writeLayoutLock(Project &proj, const std::string &lock_path);
+
+/**
+ * The phase-safety family: phase-serial, phase-shared-write,
+ * phase-static, phase-capture, phase-unsafe-call, plus dangling
+ * phase/shared/owned-by-task annotations (reported as annotation).
+ */
+void checkPhaseSafety(Project &proj);
+
+/**
+ * simd-purity over kernel TUs. @p unitCommands maps unit paths to
+ * their compile command when compile_commands.json was used (empty
+ * for explicit file lists; the -ffp-contract=off check is skipped
+ * then).
+ */
+void checkSimdPurity(
+    Project &proj,
+    const std::map<std::string, std::string> &unitCommands);
 
 } // namespace texlint
 

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <set>
 
+#include "callgraph.hh"
 #include "rules.hh"
 
 namespace texlint
@@ -71,21 +72,6 @@ collectUnorderedNames(const SourceFile &sf,
         if (p < toks.size() && toks[p].kind == TokKind::Ident)
             names.insert(toks[p].text);
     }
-}
-
-size_t
-matchParen(const std::vector<Token> &toks, size_t open)
-{
-    int depth = 0;
-    for (size_t i = open; i < toks.size(); ++i) {
-        if (toks[i].kind != TokKind::Punct)
-            continue;
-        if (toks[i].text == "(")
-            ++depth;
-        else if (toks[i].text == ")" && --depth == 0)
-            return i;
-    }
-    return toks.size();
 }
 
 /**
@@ -249,18 +235,9 @@ void
 checkOrderedIteration(Project &proj)
 {
     // Which files belong to at least one order-sensitive TU?
-    std::set<std::string> sensitive;
-    for (const std::string &unit : proj.units) {
-        std::set<std::string> cls = proj.closure(unit);
-        bool hit = false;
-        for (const char *h : triggerHeaders)
-            if (cls.count(h)) {
-                hit = true;
-                break;
-            }
-        if (hit)
-            sensitive.insert(cls.begin(), cls.end());
-    }
+    std::set<std::string> sensitive = filesInUnitsReaching(
+        proj, std::vector<std::string>(std::begin(triggerHeaders),
+                                       std::end(triggerHeaders)));
 
     for (const std::string &path : sensitive) {
         auto it = proj.files.find(path);

@@ -1,0 +1,900 @@
+/**
+ * @file
+ * Phase-safety rule family: statically prove the two-phase engine's
+ * `--jobs` bit-exactness contract over the call graph.
+ *
+ *   phase-serial       a phase(serial) function is reachable from a
+ *                      parallel root (diagnosed with the call chain)
+ *   phase-shared-write a parallel-reachable function writes a field
+ *                      that is shared(...) — or unclassified, in a
+ *                      class that participates in phase analysis
+ *   phase-static       mutable function-local static state in a
+ *                      parallel-reachable function, or mutable
+ *                      namespace-scope state in a file that defines
+ *                      parallel-reachable functions
+ *   phase-capture      a thread-pool task lambda writes through a
+ *                      by-ref capture without a per-task subscript
+ *   phase-unsafe-call  a parallel-reachable function calls into a
+ *                      hidden-state libc family or writes an
+ *                      unsynchronized stream
+ *
+ * Soundness posture: reachability over-approximates (name-based call
+ * resolution), write detection under-approximates in two documented
+ * ways — writes through non-const reference parameters are the
+ * caller's responsibility, and writes through raw pointers are not
+ * tracked. Namespace-scope mutable detection recognizes `static` /
+ * `thread_local` declarators, `std::atomic` members and plain
+ * `Type name = init;` / `Type name{init};` definitions.
+ */
+
+#include <algorithm>
+
+#include "callgraph.hh"
+#include "rules.hh"
+
+namespace texlint
+{
+
+namespace
+{
+
+/* ---------------- write-expression classification ---------------- */
+
+const std::set<std::string> assignOps = {
+    "=",  "+=", "-=", "*=",  "/=",  "%=",
+    "&=", "|=", "^=", "<<=", ">>=",
+};
+
+/** Member calls that mutate their receiver. */
+const std::set<std::string> mutators = {
+    "clear",     "resize",  "push_back",    "pop_back", "insert",
+    "erase",     "emplace", "emplace_back", "assign",   "reset",
+    "swap",      "reserve", "store",        "fetch_add", "fetch_sub",
+    "fetch_or",  "fetch_and", "exchange",   "fill",     "append",
+    "push",      "pop",     "shrink_to_fit",
+};
+
+size_t
+matchSquare(const std::vector<Token> &toks, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Punct)
+            continue;
+        if (toks[i].text == "[")
+            ++depth;
+        else if (toks[i].text == "]" && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+struct WriteInfo
+{
+    bool isWrite = false;
+    /** '[' token indexes of subscripts in the access chain. */
+    std::vector<size_t> subscripts;
+};
+
+/**
+ * Does the expression rooted at the identifier at @p i write that
+ * identifier's object? Follows subscript and member chains:
+ * `x[i].y = 1`, `x.clear()`, `++x`, `x->n += 2` are all writes to x.
+ */
+WriteInfo
+classifyWrite(const std::vector<Token> &toks, size_t i, size_t end)
+{
+    WriteInfo w;
+    size_t j = i + 1;
+    std::string lastIdent = toks[i].text;
+    while (j < end && toks[j].kind == TokKind::Punct) {
+        if (toks[j].text == "[") {
+            w.subscripts.push_back(j);
+            j = matchSquare(toks, j);
+            if (j >= end)
+                return w;
+            ++j;
+            continue;
+        }
+        if (toks[j].text == "." || toks[j].text == "->") {
+            if (j + 1 >= end || toks[j + 1].kind != TokKind::Ident)
+                return w;
+            lastIdent = toks[j + 1].text;
+            j += 2;
+            continue;
+        }
+        break;
+    }
+    if (i > 0 && toks[i - 1].kind == TokKind::Punct &&
+        (toks[i - 1].text == "++" || toks[i - 1].text == "--")) {
+        w.isWrite = true;
+        return w;
+    }
+    if (j >= end || toks[j].kind != TokKind::Punct)
+        return w;
+    const std::string &op = toks[j].text;
+    if (assignOps.count(op) || op == "++" || op == "--")
+        w.isWrite = true;
+    else if (op == "(" && lastIdent != toks[i].text &&
+             mutators.count(lastIdent))
+        w.isWrite = true;
+    return w;
+}
+
+/** Walk a body range, skipping nested task-lambda ranges. */
+struct BodyCursor
+{
+    const FunctionDef &def;
+    size_t i;
+    size_t skip = 0;
+
+    explicit BodyCursor(const FunctionDef &d) : def(d), i(d.bodyBegin)
+    {
+    }
+
+    bool
+    next()
+    {
+        ++i;
+        while (skip < def.taskLambdaRanges.size() &&
+               i >= def.taskLambdaRanges[skip].first) {
+            if (i <= def.taskLambdaRanges[skip].second)
+                i = def.taskLambdaRanges[skip].second + 1;
+            ++skip;
+        }
+        return i < def.bodyEnd;
+    }
+};
+
+/** Keywords after which an identifier is not a declared name. */
+const std::set<std::string> notADeclKeyword = {
+    "return", "delete", "new",  "throw",   "case",
+    "goto",   "else",   "do",   "typedef", "using",
+};
+
+bool
+declaresLocal(const std::vector<Token> &toks, size_t i)
+{
+    if (i == 0)
+        return false;
+    const Token &prev = toks[i - 1];
+    if (prev.kind == TokKind::Ident)
+        return !notADeclKeyword.count(prev.text);
+    if (prev.kind == TokKind::Punct &&
+        (prev.text == "&" || prev.text == "*" || prev.text == ">"))
+        return i >= 2 && toks[i - 2].kind != TokKind::Punct
+                   ? true
+                   : i >= 2; // Type& x / Type* x / vector<T> x
+    return false;
+}
+
+/* -------------------- ownership resolution ------------------------ */
+
+struct Ownership
+{
+    /** Class-level kind: covers every field of the class. */
+    std::map<std::string, OwnershipAnn::Kind> classKind;
+    /** Field-level kind, keyed class -> field. */
+    std::map<std::string, std::map<std::string, OwnershipAnn::Kind>>
+        fieldKind;
+    /** Classes that opted into phase analysis (any phase-annotated
+     *  method or any ownership annotation). */
+    std::set<std::string> participating;
+
+    /** Kind for @p field of @p cls; None encoded via found=false. */
+    bool
+    lookup(const std::string &cls, const std::string &field,
+           OwnershipAnn::Kind &kind) const
+    {
+        auto cit = fieldKind.find(cls);
+        if (cit != fieldKind.end()) {
+            auto fit = cit->second.find(field);
+            if (fit != cit->second.end()) {
+                kind = fit->second;
+                return true;
+            }
+        }
+        auto kit = classKind.find(cls);
+        if (kit != classKind.end()) {
+            kind = kit->second;
+            return true;
+        }
+        return false;
+    }
+};
+
+Ownership
+resolveOwnership(Project &proj, const CallGraph &graph)
+{
+    Ownership own;
+    for (const auto &[cname, ci] : proj.classes) {
+        auto fit = proj.files.find(ci.file);
+        if (fit == proj.files.end())
+            continue;
+        for (OwnershipAnn &ann : fit->second.ownership) {
+            for (uint32_t l : ann.lines) {
+                if (l == ci.line) {
+                    own.classKind[cname] = ann.kind;
+                    ann.used = true;
+                }
+                for (const Field &f : ci.fields)
+                    if (l == f.line) {
+                        own.fieldKind[cname][f.name] = ann.kind;
+                        ann.used = true;
+                    }
+            }
+        }
+    }
+    for (const auto &[cname, kind] : own.classKind)
+        own.participating.insert(cname);
+    for (const auto &[cname, fields] : own.fieldKind)
+        own.participating.insert(cname);
+    for (const FunctionDef &d : graph.defs)
+        if (d.phase != Phase::None && !d.qualifier.empty())
+            own.participating.insert(d.qualifier);
+    return own;
+}
+
+/* ------------------------- rule bodies ---------------------------- */
+
+/** phase-serial: serial-asserted functions reached from a root. */
+void
+checkPhaseSerial(Project &proj, const CallGraph &graph)
+{
+    for (size_t i : graph.parallelSet) {
+        const FunctionDef &d = graph.defs[i];
+        if (d.phase != Phase::Serial)
+            continue;
+        proj.report(d.file, d.line, "phase-serial",
+                    "phase(serial) function '" +
+                        graph.displayName(i) +
+                        "' is reachable from a parallel phase: " +
+                        graph.chain(i));
+    }
+}
+
+/**
+ * phase-shared-write (rule a): writes in parallel-reachable
+ * functions to fields that are shared(...) — or unclassified in a
+ * participating class. Per-task containers (owned-by-task) pass.
+ */
+void
+checkSharedWrites(Project &proj, const CallGraph &graph,
+                  const Ownership &own)
+{
+    for (size_t di : graph.parallelSet) {
+        const FunctionDef &def = graph.defs[di];
+        if (def.qualifier.empty())
+            continue;
+        auto cit = proj.classes.find(def.qualifier);
+        if (cit == proj.classes.end())
+            continue;
+        const ClassInfo &ci = cit->second;
+        std::set<std::string> fieldNames;
+        std::map<std::string, bool> fieldConst;
+        for (const Field &f : ci.fields) {
+            fieldNames.insert(f.name);
+            fieldConst[f.name] = f.isConst;
+        }
+
+        auto fit = proj.files.find(def.file);
+        if (fit == proj.files.end())
+            continue;
+        const std::vector<Token> &toks = fit->second.lexed.tokens;
+
+        std::set<std::string> locals = def.paramNames;
+        std::map<std::string, std::string> aliases; // local -> field
+
+        BodyCursor cur(def);
+        do {
+            const Token &t = toks[cur.i];
+            if (t.kind != TokKind::Ident)
+                continue;
+
+            // Local declaration (possibly a reference alias of a
+            // member container: `Lane &lane = lanes[p];`).
+            if (declaresLocal(toks, cur.i) &&
+                !fieldNames.count(toks[cur.i - 1].text) &&
+                cur.i + 1 < def.bodyEnd &&
+                toks[cur.i + 1].kind == TokKind::Punct &&
+                (toks[cur.i + 1].text == "=" ||
+                 toks[cur.i + 1].text == "{" ||
+                 toks[cur.i + 1].text == ";" ||
+                 toks[cur.i + 1].text == ")" ||
+                 toks[cur.i + 1].text == "(")) {
+                locals.insert(t.text);
+                bool isRef = toks[cur.i - 1].kind == TokKind::Punct &&
+                             toks[cur.i - 1].text == "&";
+                if (isRef && toks[cur.i + 1].text == "=") {
+                    for (size_t j = cur.i + 2;
+                         j < def.bodyEnd &&
+                         !(toks[j].kind == TokKind::Punct &&
+                           toks[j].text == ";");
+                         ++j) {
+                        if (toks[j].kind != TokKind::Ident)
+                            continue;
+                        if (toks[j].text == "this")
+                            continue;
+                        if (fieldNames.count(toks[j].text))
+                            aliases[t.text] = toks[j].text;
+                        break;
+                    }
+                }
+                continue;
+            }
+
+            // Resolve the identifier to a member field.
+            std::string field;
+            auto ait = aliases.find(t.text);
+            if (ait != aliases.end()) {
+                field = ait->second;
+            } else if (fieldNames.count(t.text) &&
+                       !locals.count(t.text)) {
+                // Only bare or this-> accesses are our own members.
+                if (cur.i > 0 &&
+                    toks[cur.i - 1].kind == TokKind::Punct &&
+                    (toks[cur.i - 1].text == "." ||
+                     (toks[cur.i - 1].text == "->" &&
+                      !(cur.i >= 2 &&
+                        toks[cur.i - 2].text == "this")))) {
+                    continue;
+                }
+                if (declaresLocal(toks, cur.i))
+                    continue; // shadowing declaration
+                field = t.text;
+            } else {
+                continue;
+            }
+            if (fieldConst[field])
+                continue;
+
+            WriteInfo w = classifyWrite(toks, cur.i, def.bodyEnd);
+            if (!w.isWrite)
+                continue;
+
+            OwnershipAnn::Kind kind;
+            if (!own.lookup(def.qualifier, field, kind)) {
+                if (own.participating.count(def.qualifier))
+                    proj.report(
+                        def.file, t.line, "phase-shared-write",
+                        "write to unclassified field '" + field +
+                            "' of " + def.qualifier +
+                            " in parallel-reachable " +
+                            graph.displayName(di) +
+                            "; mark the field '// texlint: "
+                            "owned-by-task' or '// texlint: "
+                            "shared(<reason>)'");
+                continue;
+            }
+            if (kind == OwnershipAnn::Kind::Shared)
+                proj.report(
+                    def.file, t.line, "phase-shared-write",
+                    "write to shared field '" + field + "' of " +
+                        def.qualifier + " in parallel-reachable " +
+                        graph.displayName(di) +
+                        ": shared state is read-only during "
+                        "parallel phases; make it owned-by-task or "
+                        "move the write to a serial phase");
+        } while (cur.next());
+    }
+}
+
+/** File -> an example parallel-reachable def it defines (the
+ *  lexicographically first display name, for determinism). */
+std::map<std::string, size_t>
+parallelFiles(const CallGraph &graph)
+{
+    std::map<std::string, size_t> out;
+    for (size_t i : graph.parallelSet) {
+        auto [it, fresh] = out.emplace(graph.defs[i].file, i);
+        if (!fresh &&
+            graph.displayName(i) < graph.displayName(it->second))
+            it->second = i;
+    }
+    return out;
+}
+
+/** Mutable function-local statics in parallel-reachable bodies. */
+void
+checkLocalStatics(Project &proj, const CallGraph &graph)
+{
+    for (size_t di : graph.parallelSet) {
+        const FunctionDef &def = graph.defs[di];
+        auto fit = proj.files.find(def.file);
+        if (fit == proj.files.end())
+            continue;
+        const std::vector<Token> &toks = fit->second.lexed.tokens;
+        BodyCursor cur(def);
+        do {
+            const Token &t = toks[cur.i];
+            if (t.kind != TokKind::Ident ||
+                (t.text != "static" && t.text != "thread_local"))
+                continue;
+            if (cur.i + 1 < def.bodyEnd &&
+                toks[cur.i + 1].kind == TokKind::Ident &&
+                (toks[cur.i + 1].text == "const" ||
+                 toks[cur.i + 1].text == "constexpr"))
+                continue;
+            // Name the declared variable: the last identifier
+            // before '=', '{', '(' or ';' of this declaration.
+            std::string var;
+            for (size_t j = cur.i + 1; j < def.bodyEnd; ++j) {
+                if (toks[j].kind == TokKind::Punct &&
+                    (toks[j].text == "=" || toks[j].text == "{" ||
+                     toks[j].text == "(" || toks[j].text == ";"))
+                    break;
+                if (toks[j].kind == TokKind::Ident)
+                    var = toks[j].text;
+            }
+            proj.report(
+                def.file, t.line, "phase-static",
+                "mutable " +
+                    std::string(t.text == "static"
+                                    ? "function-local static"
+                                    : "thread_local") +
+                    " state" +
+                    (var.empty() ? "" : " '" + var + "'") +
+                    " in parallel-reachable " +
+                    graph.displayName(di) +
+                    ": per-process state breaks --jobs "
+                    "bit-exactness; hoist it to a task-owned slot "
+                    "or make it const (call path: " +
+                    graph.chain(di) + ")");
+        } while (cur.next());
+    }
+}
+
+/**
+ * One namespace-scope statement: flag mutable state definitions.
+ * Returns true when a diagnostic (or deliberate pass) consumed it.
+ */
+void
+checkNamespaceStmt(Project &proj, const SourceFile &sf,
+                   const std::string &why,
+                   const std::vector<Token> &stmt)
+{
+    if (stmt.empty())
+        return;
+    size_t b = 0;
+    while (b < stmt.size() && stmt[b].kind == TokKind::Ident &&
+           stmt[b].text == "inline")
+        ++b;
+    if (b >= stmt.size() || stmt[b].kind != TokKind::Ident)
+        return;
+    const std::string &head = stmt[b].text;
+
+    static const std::set<std::string> skipHeads = {
+        "const",    "constexpr", "using",  "typedef", "template",
+        "friend",   "extern",    "struct", "class",   "enum",
+        "namespace", "operator",  "union",  "if",      "return",
+    };
+
+    // Locate a top-level initializer marker and the name before it,
+    // bailing on anything that looks like a function declarator.
+    int angle = 0;
+    size_t marker = stmt.size();
+    std::string markerText;
+    for (size_t i = b; i < stmt.size(); ++i) {
+        const Token &t = stmt[i];
+        if (t.kind != TokKind::Punct)
+            continue;
+        if (t.text == "<") {
+            ++angle;
+        } else if (t.text == ">") {
+            --angle;
+        } else if (angle == 0 &&
+                   (t.text == "(" || t.text == "=" ||
+                    t.text == "{")) {
+            marker = i;
+            markerText = t.text;
+            break;
+        }
+    }
+    bool sawConst = false;
+    for (size_t i = b; i < marker && i < stmt.size(); ++i)
+        if (stmt[i].kind == TokKind::Ident &&
+            (stmt[i].text == "const" || stmt[i].text == "constexpr"))
+            sawConst = true;
+
+    std::string name;
+    uint32_t line = stmt[b].line;
+    if (marker != stmt.size() && marker > b &&
+        stmt[marker - 1].kind == TokKind::Ident) {
+        name = stmt[marker - 1].text;
+        line = stmt[marker - 1].line;
+    }
+
+    bool isAtomic = false;
+    for (size_t i = b; i < marker && i < stmt.size(); ++i)
+        if (stmt[i].kind == TokKind::Ident && stmt[i].text == "atomic")
+            isAtomic = true;
+
+    if (head == "static" || head == "thread_local") {
+        if (sawConst && !isAtomic)
+            return;
+        if (markerText == "(")
+            return; // static function
+        proj.report(sf.path, line, "phase-static",
+                    "mutable namespace-scope state" +
+                        (name.empty() ? std::string()
+                                      : " '" + name + "'") +
+                        " in a parallel-reachable file" + why +
+                        ": cross-task globals break --jobs "
+                        "bit-exactness; make it const, move it "
+                        "into task-owned state, or annotate "
+                        "'// texlint: allow(phase-static) <why>' "
+                        "for an intentional host-side knob");
+        return;
+    }
+    if (skipHeads.count(head))
+        return;
+    if (markerText == "(")
+        return; // function definition/declaration
+    if (isAtomic) {
+        proj.report(sf.path, line, "phase-static",
+                    "mutable namespace-scope atomic" +
+                        (name.empty() ? std::string()
+                                      : " '" + name + "'") +
+                        " in a parallel-reachable file" + why +
+                        ": even atomic cross-task state makes "
+                        "results depend on task interleaving; "
+                        "annotate '// texlint: allow(phase-static) "
+                        "<why>' if this is an intentional "
+                        "host-side knob");
+        return;
+    }
+    if (marker == stmt.size() || sawConst || name.empty())
+        return;
+    // `Type name = init;` / `Type name{init};` — require at least a
+    // type identifier before the name so expressions don't match.
+    bool typed = false;
+    for (size_t i = b; i + 1 < marker; ++i)
+        if (stmt[i].kind == TokKind::Ident)
+            typed = true;
+    if (!typed)
+        return;
+    proj.report(sf.path, line, "phase-static",
+                "mutable namespace-scope state '" + name +
+                    "' in a parallel-reachable file" + why +
+                    ": cross-task globals break --jobs "
+                    "bit-exactness; make it const, move it into "
+                    "task-owned state, or annotate '// texlint: "
+                    "allow(phase-static) <why>' for an intentional "
+                    "host-side knob");
+}
+
+/** Mutable namespace-scope state in parallel-reachable files. */
+void
+checkNamespaceState(Project &proj, const CallGraph &graph)
+{
+    for (const auto &[path, exampleDef] : parallelFiles(graph)) {
+        auto fit = proj.files.find(path);
+        if (fit == proj.files.end())
+            continue;
+        const SourceFile &sf = fit->second;
+        const std::string why = " (defines parallel-reachable " +
+                                graph.displayName(exampleDef) + ")";
+        const std::vector<Token> &toks = sf.lexed.tokens;
+
+        // Ranges to skip: every function body and class body.
+        std::vector<std::pair<size_t, size_t>> skips;
+        for (const FunctionDef &d : graph.defs)
+            if (d.file == path && !d.isTaskLambda)
+                skips.emplace_back(d.bodyBegin, d.bodyEnd);
+        for (const ClassRange &cr : classBodyRanges(toks))
+            skips.emplace_back(cr.bodyBegin, cr.bodyEnd);
+        std::sort(skips.begin(), skips.end());
+
+        std::vector<Token> stmt;
+        size_t i = 0;
+        size_t nextSkip = 0;
+        while (i < toks.size()) {
+            while (nextSkip < skips.size() &&
+                   skips[nextSkip].second < i)
+                ++nextSkip;
+            if (nextSkip < skips.size() &&
+                i >= skips[nextSkip].first &&
+                i <= skips[nextSkip].second) {
+                // A function body ends the declaration statement.
+                checkNamespaceStmt(proj, sf, why, stmt);
+                stmt.clear();
+                i = skips[nextSkip].second + 1;
+                ++nextSkip;
+                continue;
+            }
+            const Token &t = toks[i];
+            if (t.kind == TokKind::PpLine) {
+                ++i;
+                continue;
+            }
+            if (t.kind == TokKind::Punct && t.text == ";") {
+                checkNamespaceStmt(proj, sf, why, stmt);
+                stmt.clear();
+                ++i;
+                continue;
+            }
+            if (t.kind == TokKind::Punct && t.text == "{") {
+                bool scopeBrace =
+                    stmt.empty() ||
+                    (stmt[0].kind == TokKind::Ident &&
+                     (stmt[0].text == "namespace" ||
+                      stmt[0].text == "extern"));
+                if (scopeBrace) {
+                    stmt.clear();
+                    ++i;
+                    continue;
+                }
+                // Brace initializer: keep the marker, skip the body.
+                stmt.push_back(t);
+                i = matchBrace(toks, i);
+                if (i >= toks.size())
+                    break;
+                ++i;
+                continue;
+            }
+            if (t.kind == TokKind::Punct && t.text == "}") {
+                checkNamespaceStmt(proj, sf, why, stmt);
+                stmt.clear();
+                ++i;
+                continue;
+            }
+            stmt.push_back(t);
+            ++i;
+        }
+        checkNamespaceStmt(proj, sf, why, stmt);
+    }
+}
+
+/**
+ * phase-capture (rule c): task lambdas writing through by-ref
+ * captures. Writes at indices derived from a lambda parameter (the
+ * per-task-slot idiom `out[t] = ...`) pass; member fields of the
+ * enclosing class are rule (a)'s responsibility.
+ */
+void
+checkCaptures(Project &proj, const CallGraph &graph)
+{
+    for (size_t di = 0; di < graph.defs.size(); ++di) {
+        const FunctionDef &def = graph.defs[di];
+        if (!def.isTaskLambda)
+            continue;
+        auto fit = proj.files.find(def.file);
+        if (fit == proj.files.end())
+            continue;
+        const std::vector<Token> &toks = fit->second.lexed.tokens;
+
+        std::set<std::string> memberFields;
+        if (!def.qualifier.empty()) {
+            auto cit = proj.classes.find(def.qualifier);
+            if (cit != proj.classes.end())
+                for (const Field &f : cit->second.fields)
+                    memberFields.insert(f.name);
+        }
+
+        // Locals declared inside the lambda are task-owned; a
+        // reference local whose initializer subscripts by a param
+        // (e.g. `auto &slot = out[t];`) is task-owned too, but one
+        // aliasing a capture outright keeps the capture's identity.
+        std::set<std::string> locals;
+        std::map<std::string, std::string> aliases;
+
+        auto subscriptTaskLocal =
+            [&](const std::vector<size_t> &subs) -> bool {
+            for (size_t open : subs) {
+                size_t close = matchSquare(toks, open);
+                for (size_t j = open + 1; j < close; ++j)
+                    if (toks[j].kind == TokKind::Ident &&
+                        (def.paramNames.count(toks[j].text) ||
+                         locals.count(toks[j].text)))
+                        return true;
+            }
+            return false;
+        };
+
+        for (size_t i = def.bodyBegin + 1; i < def.bodyEnd; ++i) {
+            const Token &t = toks[i];
+            if (t.kind != TokKind::Ident)
+                continue;
+
+            if (declaresLocal(toks, i) && i + 1 < def.bodyEnd &&
+                toks[i + 1].kind == TokKind::Punct &&
+                (toks[i + 1].text == "=" || toks[i + 1].text == "{" ||
+                 toks[i + 1].text == ";" || toks[i + 1].text == ")" ||
+                 toks[i + 1].text == "(")) {
+                bool isRef = toks[i - 1].kind == TokKind::Punct &&
+                             toks[i - 1].text == "&";
+                if (isRef && toks[i + 1].text == "=") {
+                    // Task-owned when the initializer indexes by a
+                    // param; otherwise an alias of the base ident.
+                    bool paramIndexed = false;
+                    std::string base;
+                    for (size_t j = i + 2;
+                         j < def.bodyEnd &&
+                         !(toks[j].kind == TokKind::Punct &&
+                           toks[j].text == ";");
+                         ++j) {
+                        if (toks[j].kind == TokKind::Ident) {
+                            if (base.empty() &&
+                                toks[j].text != "this")
+                                base = toks[j].text;
+                            if (def.paramNames.count(toks[j].text) ||
+                                locals.count(toks[j].text))
+                                paramIndexed = true;
+                        }
+                    }
+                    if (!paramIndexed && !base.empty() &&
+                        !locals.count(base))
+                        aliases[t.text] = base;
+                }
+                locals.insert(t.text);
+                continue;
+            }
+
+            std::string target = t.text;
+            auto ait = aliases.find(target);
+            if (ait != aliases.end())
+                target = ait->second;
+            else if (locals.count(target) ||
+                     def.paramNames.count(target))
+                continue;
+            if (memberFields.count(target))
+                continue; // rule (a) territory
+            if (i > 0 && toks[i - 1].kind == TokKind::Punct &&
+                (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+                 toks[i - 1].text == "::"))
+                continue; // member of something else / qualified
+            bool captured = def.refCaptures.count(target) ||
+                            def.capturesAllByRef;
+            if (!captured)
+                continue;
+
+            WriteInfo w = classifyWrite(toks, i, def.bodyEnd);
+            if (!w.isWrite)
+                continue;
+            if (ait == aliases.end() && subscriptTaskLocal(w.subscripts))
+                continue; // per-task slot: out[t] = ...
+            proj.report(
+                def.file, t.line, "phase-capture",
+                "task lambda writes through by-ref capture '" +
+                    target +
+                    "' without a per-task subscript: captured "
+                    "references are shared across tasks; write only "
+                    "at indices derived from the task id (out[t]) "
+                    "or move the state into a task-owned slot");
+        }
+    }
+}
+
+/* phase-unsafe-call (rule d) ---------------------------------------- */
+
+const std::set<std::string> statefulLibc = {
+    "strtok",   "strerror", "asctime",  "ctime",    "gmtime",
+    "localtime", "setlocale", "tmpnam",  "tmpfile",  "getenv",
+    "setenv",   "putenv",   "rand",     "srand",    "random",
+    "srandom",  "drand48",  "lrand48",  "mblen",    "mbtowc",
+    "wctomb",
+};
+
+const std::set<std::string> streamCalls = {
+    "printf", "fprintf", "vfprintf", "puts",
+    "fputs",  "putchar", "fputc",    "perror",
+};
+
+const std::set<std::string> streamObjects = {
+    "cout",
+    "cerr",
+    "clog",
+};
+
+void
+checkUnsafeCallsIn(Project &proj, const CallGraph &graph, size_t di)
+{
+    const FunctionDef &def = graph.defs[di];
+    auto fit = proj.files.find(def.file);
+    if (fit == proj.files.end())
+        return;
+    const std::vector<Token> &toks = fit->second.lexed.tokens;
+    BodyCursor cur(def);
+    do {
+        const Token &t = toks[cur.i];
+        if (t.kind != TokKind::Ident)
+            continue;
+        bool memberAccess = cur.i > 0 &&
+                            toks[cur.i - 1].kind == TokKind::Punct &&
+                            (toks[cur.i - 1].text == "." ||
+                             toks[cur.i - 1].text == "->");
+        if (cur.i + 1 >= def.bodyEnd)
+            continue;
+        const Token &nxt = toks[cur.i + 1];
+        if (!memberAccess && nxt.kind == TokKind::Punct &&
+            nxt.text == "(") {
+            if (statefulLibc.count(t.text))
+                proj.report(
+                    def.file, t.line, "phase-unsafe-call",
+                    "call to '" + t.text +
+                        "' in parallel-reachable " +
+                        graph.displayName(di) + ": '" + t.text +
+                        "' keeps hidden process-wide state and is "
+                        "not safe under --jobs > 1");
+            else if (streamCalls.count(t.text))
+                proj.report(
+                    def.file, t.line, "phase-unsafe-call",
+                    "stdio write via '" + t.text +
+                        "' in parallel-reachable " +
+                        graph.displayName(di) +
+                        ": interleaved output is nondeterministic "
+                        "across --jobs; buffer per task or move it "
+                        "to a serial phase");
+        }
+        if (streamObjects.count(t.text) &&
+            nxt.kind == TokKind::Punct && nxt.text == "<<")
+            proj.report(
+                def.file, t.line, "phase-unsafe-call",
+                "unsynchronized stream write (std::" + t.text +
+                    " <<) in parallel-reachable " +
+                    graph.displayName(di) +
+                    ": interleaved output is nondeterministic "
+                    "across --jobs; buffer per task or move it to "
+                    "a serial phase");
+    } while (cur.next());
+}
+
+void
+checkUnsafeCalls(Project &proj, const CallGraph &graph)
+{
+    for (size_t di : graph.parallelSet)
+        checkUnsafeCallsIn(proj, graph, di);
+    // Isolated task lambdas still run concurrently: their own body
+    // (though not their callees) gets the direct-call check.
+    for (size_t di = 0; di < graph.defs.size(); ++di)
+        if (graph.defs[di].isTaskLambda &&
+            graph.defs[di].phase == Phase::Isolated)
+            checkUnsafeCallsIn(proj, graph, di);
+}
+
+/** Annotations that attached to nothing are themselves errors. */
+void
+checkDanglingAnnotations(Project &proj)
+{
+    for (auto &[path, sf] : proj.files) {
+        for (const PhaseAnn &ann : sf.phaseAnns)
+            if (!ann.used)
+                proj.report(
+                    path, ann.commentLine, "annotation",
+                    ann.phase == Phase::Isolated
+                        ? "phase(isolated) annotation does not "
+                          "attach to a parallelFor call on the next "
+                          "code line"
+                        : "phase annotation does not attach to a "
+                          "function definition on the next code "
+                          "line");
+        for (const OwnershipAnn &ann : sf.ownership)
+            if (!ann.used)
+                proj.report(
+                    path, ann.commentLine, "annotation",
+                    std::string(ann.kind == OwnershipAnn::Kind::Shared
+                                    ? "shared(...)"
+                                    : "owned-by-task") +
+                        " annotation does not attach to a field or "
+                        "class declaration on the next code line");
+    }
+}
+
+} // namespace
+
+void
+checkPhaseSafety(Project &proj)
+{
+    CallGraph graph = buildCallGraph(proj);
+    Ownership own = resolveOwnership(proj, graph);
+
+    checkPhaseSerial(proj, graph);
+    checkSharedWrites(proj, graph, own);
+    checkLocalStatics(proj, graph);
+    checkNamespaceState(proj, graph);
+    checkCaptures(proj, graph);
+    checkUnsafeCalls(proj, graph);
+    checkDanglingAnnotations(proj);
+}
+
+} // namespace texlint

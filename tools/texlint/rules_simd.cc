@@ -1,0 +1,125 @@
+/**
+ * @file
+ * simd-purity: keep the SIMD kernel TUs bit-identical to the scalar
+ * reference path. FMA contracts a*b+c into one rounding where the
+ * scalar path rounds twice, so any fused-multiply-add — explicit
+ * intrinsics, libm fma(), or compiler contraction enabled via
+ * `#pragma STDC FP_CONTRACT ON` — silently breaks the
+ * scalar-vs-SIMD digest equality the differential tests pin down.
+ * When compile_commands.json is available the rule also verifies
+ * each kernel TU is actually built with -ffp-contract=off.
+ */
+
+#include <algorithm>
+#include <cctype>
+
+#include "rules.hh"
+
+namespace texlint
+{
+
+namespace
+{
+
+/** Kernel files: runtime-dispatched SIMD TUs and their headers. */
+bool
+isKernelFile(const std::string &path)
+{
+    if (path.rfind("src/", 0) != 0)
+        return false;
+    size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    return base.find("avx2") != std::string::npos ||
+           base.find("kernels") != std::string::npos ||
+           base.find("simd") != std::string::npos;
+}
+
+bool
+isFmaIntrinsic(const std::string &name)
+{
+    if (name.rfind("_mm", 0) != 0)
+        return false;
+    return name.find("fmadd") != std::string::npos ||
+           name.find("fmsub") != std::string::npos ||
+           name.find("fnmadd") != std::string::npos ||
+           name.find("fnmsub") != std::string::npos;
+}
+
+bool
+isFmaLibm(const std::string &name)
+{
+    return name == "fma" || name == "fmaf" || name == "fmal";
+}
+
+std::string
+upper(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+    });
+    return s;
+}
+
+} // namespace
+
+void
+checkSimdPurity(Project &proj,
+                const std::map<std::string, std::string> &unitCommands)
+{
+    for (auto &[path, sf] : proj.files) {
+        if (!isKernelFile(path))
+            continue;
+        for (const Token &t : sf.lexed.tokens) {
+            if (t.kind == TokKind::Ident) {
+                if (isFmaIntrinsic(t.text))
+                    proj.report(
+                        path, t.line, "simd-purity",
+                        "FMA intrinsic '" + t.text +
+                            "' in a kernel TU: fused multiply-add "
+                            "rounds once where the scalar reference "
+                            "rounds twice, breaking scalar/SIMD "
+                            "bit-identity; use separate mul+add");
+                else if (isFmaLibm(t.text))
+                    proj.report(
+                        path, t.line, "simd-purity",
+                        "libm '" + t.text +
+                            "()' in a kernel TU: fused multiply-add "
+                            "breaks scalar/SIMD bit-identity; use "
+                            "separate mul+add");
+            } else if (t.kind == TokKind::PpLine) {
+                std::string up = upper(t.text);
+                if (up.find("PRAGMA") != std::string::npos &&
+                    up.find("FP_CONTRACT") != std::string::npos &&
+                    up.find("ON") != std::string::npos)
+                    proj.report(
+                        path, t.line, "simd-purity",
+                        "'#pragma STDC FP_CONTRACT ON' in a kernel "
+                        "TU re-enables fused multiply-add "
+                        "contraction and breaks scalar/SIMD "
+                        "bit-identity; kernel TUs build with "
+                        "-ffp-contract=off");
+            }
+        }
+    }
+
+    // With real build flags on hand, prove the -ffp-contract=off
+    // guarantee instead of trusting the CMakeLists comment.
+    for (const std::string &unit : proj.units) {
+        if (!isKernelFile(unit))
+            continue;
+        auto it = unitCommands.find(unit);
+        if (it == unitCommands.end())
+            continue; // explicit file list: no flags to check
+        if (it->second.find("-ffp-contract=off") == std::string::npos)
+            proj.report(
+                unit, 1, "simd-purity",
+                "kernel TU is compiled without -ffp-contract=off: "
+                "the compiler may contract mul+add into FMA and "
+                "break scalar/SIMD bit-identity; add it to the "
+                "TU's COMPILE_OPTIONS in the sibling "
+                "CMakeLists.txt");
+    }
+}
+
+} // namespace texlint

@@ -1,6 +1,7 @@
 #include "scanner.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <deque>
 #include <filesystem>
 #include <fstream>
@@ -68,10 +69,40 @@ trim(const std::string &s)
 }
 
 /**
- * Parse `texlint: allow(rule[, rule]) reason` annotations out of a
- * file's comments. A trailing comment covers its own line; a
- * comment on its own line covers the comment line and the next line
- * that carries a code token.
+ * Lines an annotation comment covers: its own line plus, when the
+ * comment stands alone, the next line that carries a code token.
+ */
+std::vector<uint32_t>
+coveredLines(const SourceFile &sf, const Comment &comment)
+{
+    std::vector<uint32_t> lines = {comment.line};
+    if (comment.ownLine) {
+        for (const Token &t : sf.lexed.tokens) {
+            if (t.line > comment.line) {
+                if (t.line != comment.line)
+                    lines.push_back(t.line);
+                break;
+            }
+        }
+    }
+    return lines;
+}
+
+/**
+ * Parse the texlint annotation vocabulary out of a file's comments:
+ *
+ *   allow(rule[, rule]) reason     suppression
+ *   phase(parallel|serial|any)     function classification
+ *   phase(isolated) reason         parallelFor site whose tasks own
+ *                                  private universes
+ *   shared(reason)                 cross-task field, read-only in
+ *                                  parallel phases
+ *   owned-by-task [reason]         field/class disjoint per task
+ *
+ * A trailing comment covers its own line; a comment on its own line
+ * covers the comment line and the next line that carries a code
+ * token. Malformed annotations are themselves errors and never
+ * suppress or classify anything.
  */
 void
 parseAllows(Project &proj, SourceFile &sf)
@@ -81,10 +112,91 @@ parseAllows(Project &proj, SourceFile &sf)
         if (at == std::string::npos)
             continue;
         std::string rest = trim(comment.text.substr(at + 8));
+
+        if (rest.rfind("phase", 0) == 0 &&
+            (rest.size() == 5 || !std::isalnum(static_cast<unsigned char>(rest[5])))) {
+            size_t open = rest.find('(');
+            size_t close = rest.find(')');
+            if (open == std::string::npos ||
+                close == std::string::npos || close < open) {
+                proj.report(sf.path, comment.line, "annotation",
+                            "malformed phase annotation: expected "
+                            "phase(parallel|serial|any|isolated)");
+                continue;
+            }
+            std::string kind =
+                trim(rest.substr(open + 1, close - open - 1));
+            Phase phase;
+            if (kind == "parallel")
+                phase = Phase::Parallel;
+            else if (kind == "serial")
+                phase = Phase::Serial;
+            else if (kind == "any")
+                phase = Phase::Any;
+            else if (kind == "isolated")
+                phase = Phase::Isolated;
+            else {
+                proj.report(sf.path, comment.line, "annotation",
+                            "unknown phase '" + kind +
+                                "': expected parallel, serial, any "
+                                "or isolated");
+                continue;
+            }
+            PhaseAnn ann;
+            ann.phase = phase;
+            ann.commentLine = comment.line;
+            ann.lines = coveredLines(sf, comment);
+            sf.phaseAnns.push_back(std::move(ann));
+            continue;
+        }
+
+        if (rest.rfind("shared", 0) == 0 &&
+            (rest.size() == 6 || !std::isalnum(static_cast<unsigned char>(rest[6])))) {
+            size_t open = rest.find('(');
+            size_t close = rest.rfind(')');
+            std::string reason;
+            if (open != std::string::npos &&
+                close != std::string::npos && close > open)
+                reason = trim(rest.substr(open + 1, close - open - 1));
+            if (reason.empty()) {
+                proj.report(sf.path, comment.line, "annotation",
+                            "shared annotation without a reason: say "
+                            "why this state may cross tasks, e.g. "
+                            "shared(read-only after construction)");
+                continue;
+            }
+            OwnershipAnn ann;
+            ann.kind = OwnershipAnn::Kind::Shared;
+            ann.reason = reason;
+            ann.commentLine = comment.line;
+            ann.lines = coveredLines(sf, comment);
+            sf.ownership.push_back(std::move(ann));
+            continue;
+        }
+
+        if (rest.rfind("owned-by-task", 0) == 0) {
+            std::string tail = trim(rest.substr(13));
+            if (!tail.empty() && tail[0] == '(') {
+                proj.report(sf.path, comment.line, "annotation",
+                            "owned-by-task takes no argument list; "
+                            "write 'owned-by-task <optional note>'");
+                continue;
+            }
+            OwnershipAnn ann;
+            ann.kind = OwnershipAnn::Kind::OwnedByTask;
+            ann.reason = tail;
+            ann.commentLine = comment.line;
+            ann.lines = coveredLines(sf, comment);
+            sf.ownership.push_back(std::move(ann));
+            continue;
+        }
+
         if (rest.rfind("allow", 0) != 0) {
             proj.report(sf.path, comment.line, "annotation",
                         "unrecognized texlint annotation: '" + rest +
-                            "' (expected 'allow(<rule>) <reason>')");
+                            "' (expected 'allow(<rule>) <reason>', "
+                            "'phase(parallel|serial|any|isolated)', "
+                            "'shared(<reason>)' or 'owned-by-task')");
             continue;
         }
         size_t open = rest.find('(');
@@ -121,20 +233,7 @@ parseAllows(Project &proj, SourceFile &sf)
             continue;
         }
 
-        std::set<uint32_t> lines = {comment.line};
-        if (comment.ownLine) {
-            // Find the next line carrying a code token.
-            uint32_t next = 0;
-            for (const Token &t : sf.lexed.tokens) {
-                if (t.line > comment.line) {
-                    next = t.line;
-                    break;
-                }
-            }
-            if (next)
-                lines.insert(next);
-        }
-        for (uint32_t l : lines)
+        for (uint32_t l : coveredLines(sf, comment))
             sf.allows[l].insert(rules.begin(), rules.end());
     }
 }
@@ -580,6 +679,99 @@ unitsFromCompileCommands(const std::string &json_path,
             out.push_back(rel);
     }
     std::sort(out.begin(), out.end());
+    return out;
+}
+
+namespace
+{
+
+/** Decode a JSON string starting at the opening quote @p i. */
+std::string
+jsonString(const std::string &s, size_t i, size_t &end)
+{
+    std::string out;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            char c = s[i + 1];
+            if (c == 'n')
+                out.push_back('\n');
+            else if (c == 't')
+                out.push_back('\t');
+            else
+                out.push_back(c);
+            i += 2;
+            continue;
+        }
+        out.push_back(s[i++]);
+    }
+    end = i;
+    return out;
+}
+
+} // namespace
+
+std::map<std::string, std::string>
+commandsFromCompileCommands(const std::string &json_path,
+                            const std::string &root)
+{
+    std::map<std::string, std::string> out;
+    auto text = slurp(json_path);
+    if (!text)
+        return out;
+    const std::string &s = *text;
+    std::string prefix = normalizePath(root) + "/";
+
+    // Walk entry objects, collecting string values keyed by the
+    // member name that precedes them; "arguments" arrays are joined
+    // with spaces into the same slot "command" uses.
+    size_t i = 0;
+    while (i < s.size()) {
+        if (s[i] != '{') {
+            ++i;
+            continue;
+        }
+        std::string file, command, key;
+        bool inArguments = false;
+        int depth = 0;
+        for (; i < s.size(); ++i) {
+            char c = s[i];
+            if (c == '{') {
+                ++depth;
+            } else if (c == '}') {
+                if (--depth == 0) {
+                    ++i;
+                    break;
+                }
+            } else if (c == '[') {
+                inArguments = key == "arguments";
+            } else if (c == ']') {
+                inArguments = false;
+            } else if (c == '"') {
+                size_t end = i;
+                std::string val = jsonString(s, i, end);
+                size_t after = end + 1;
+                while (after < s.size() &&
+                       (s[after] == ' ' || s[after] == '\t' ||
+                        s[after] == '\n' || s[after] == '\r'))
+                    ++after;
+                if (after < s.size() && s[after] == ':') {
+                    key = val;
+                } else if (inArguments) {
+                    if (!command.empty())
+                        command.push_back(' ');
+                    command += val;
+                } else if (key == "file") {
+                    file = normalizePath(val);
+                } else if (key == "command") {
+                    command = val;
+                }
+                i = end;
+            }
+        }
+        if (file.rfind(prefix, 0) == 0 && !command.empty())
+            out.emplace(file.substr(prefix.size()), command);
+    }
     return out;
 }
 

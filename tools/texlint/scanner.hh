@@ -39,6 +39,16 @@ std::vector<std::string>
 unitsFromCompileCommands(const std::string &json_path,
                          const std::string &root);
 
+/**
+ * Root-relative unit -> compile command (the "command" value, or the
+ * joined "arguments" array) for every in-root entry of a
+ * compile_commands.json. Lets flag-sensitive rules (simd-purity's
+ * -ffp-contract=off check) prove what the build actually does.
+ */
+std::map<std::string, std::string>
+commandsFromCompileCommands(const std::string &json_path,
+                            const std::string &root);
+
 /** Read a whole file; nullopt if unreadable. */
 std::optional<std::string> slurp(const std::string &path);
 
