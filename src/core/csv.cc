@@ -1,9 +1,6 @@
 #include "core/csv.hh"
 
-#include <cstdio>
-#include <sstream>
-
-#include "sim/checkpoint.hh"
+#include "io/vfs.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -13,10 +10,12 @@ void
 CsvWriter::open(const std::string &path)
 {
     finalPath = path;
-    tmpPath = path + scratchSuffix();
-    os.open(tmpPath, std::ios::trunc);
-    if (!os)
-        texdist_fatal("cannot open CSV output: ", path);
+    // Probe the target directory now: a bad --csv-dir should be
+    // diagnosed before hours of simulation, not at publication.
+    std::string probe = path + scratchSuffix();
+    io::createExclusive(probe, "");
+    io::removeQuiet(probe);
+    _open = true;
 }
 
 CsvWriter::CsvWriter(const std::string &dir, const std::string &name)
@@ -35,38 +34,42 @@ CsvWriter::CsvWriter(const std::string &path)
 
 CsvWriter::~CsvWriter()
 {
-    close();
+    try {
+        close();
+    } catch (const IoError &e) {
+        // A destructor must not throw. Every driver close()s
+        // explicitly and gets the typed failure; this path only
+        // runs when an exception is already unwinding past the
+        // writer.
+        warn("CSV publication failed: ", e.describe());
+    }
 }
 
 void
 CsvWriter::close()
 {
-    if (!os.is_open())
+    if (!_open)
         return;
-    os.flush();
-    if (!os)
-        texdist_fatal("error writing CSV output: ", finalPath);
-    os.close();
-    if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0)
-        texdist_fatal("cannot rename ", tmpPath, " to ", finalPath);
+    _open = false;
+    io::writeFileAtomic(finalPath, buf.str());
 }
 
 void
 CsvWriter::header(const std::vector<std::string> &columns)
 {
-    if (!os.is_open())
+    if (!_open)
         return;
     for (size_t i = 0; i < columns.size(); ++i)
-        os << (i ? "," : "") << columns[i];
-    os << "\n";
+        buf << (i ? "," : "") << columns[i];
+    buf << "\n";
 }
 
 void
 CsvWriter::beginRow(const std::string &x)
 {
-    if (!os.is_open())
+    if (!_open)
         return;
-    os << x;
+    buf << x;
 }
 
 void
@@ -80,25 +83,25 @@ CsvWriter::beginRow(double x)
 void
 CsvWriter::value(double v)
 {
-    if (!os.is_open())
+    if (!_open)
         return;
-    os << "," << v;
+    buf << "," << v;
 }
 
 void
 CsvWriter::value(const std::string &v)
 {
-    if (!os.is_open())
+    if (!_open)
         return;
-    os << "," << v;
+    buf << "," << v;
 }
 
 void
 CsvWriter::endRow()
 {
-    if (!os.is_open())
+    if (!_open)
         return;
-    os << "\n";
+    buf << "\n";
 }
 
 } // namespace texdist

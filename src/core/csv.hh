@@ -6,20 +6,21 @@
  * figure panel: a header row, then one row per x value with one
  * column per series.
  *
- * Writes are crash-safe and multi-process-safe: rows stream into a
- * scratch file named `<path>.tmp.<pid>.<n>` (always a sibling of the
- * target, so the publishing rename never crosses filesystems) and
- * the final name appears only via an atomic rename at close(). A
- * killed harness never leaves a truncated CSV where a complete one
- * is expected, and two processes racing to publish the same target
- * write distinct scratch files — the last rename wins whole, never
- * an interleaving of the two.
+ * Writes are crash-safe and multi-process-safe: rows accumulate in
+ * memory and the file appears only via io::writeFileAtomic at
+ * close() — a scratch sibling named `<path>.tmp.<pid>.<n>` plus an
+ * atomic rename. A killed harness never leaves a truncated CSV
+ * where a complete one is expected, two processes racing to publish
+ * the same target never interleave, and a filesystem failure
+ * (ENOSPC, failed fsync/close/rename) rolls the scratch file back
+ * and surfaces as a typed IoError (exit 14) instead of reporting
+ * success with lost rows.
  */
 
 #ifndef TEXDIST_CORE_CSV_HH
 #define TEXDIST_CORE_CSV_HH
 
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,23 +32,28 @@ class CsvWriter
 {
   public:
     /**
-     * Write @p dir/@p name.csv; fatal on error. An empty @p dir
-     * disables the writer (all calls become no-ops), so harnesses
-     * can call unconditionally.
+     * Write @p dir/@p name.csv. An empty @p dir disables the writer
+     * (all calls become no-ops), so harnesses can call
+     * unconditionally.
      */
     CsvWriter(const std::string &dir, const std::string &name);
 
-    /** Write to an explicit path; empty disables, fatal on error. */
+    /** Write to an explicit path; empty disables. */
     explicit CsvWriter(const std::string &path);
 
-    /** Closes (atomically publishing the file) if still open. */
+    /**
+     * Publishes the file if close() was never called. Unlike an
+     * explicit close() the destructor cannot throw; a publication
+     * failure here is logged and swallowed. Callers that need the
+     * failure typed (every driver does) must close() explicitly.
+     */
     ~CsvWriter();
 
     CsvWriter(const CsvWriter &) = delete;
     CsvWriter &operator=(const CsvWriter &) = delete;
 
     /** True when a file is actually being written. */
-    bool enabled() const { return os.is_open(); }
+    bool enabled() const { return _open; }
 
     /** Write the header row. */
     void header(const std::vector<std::string> &columns);
@@ -64,17 +70,18 @@ class CsvWriter
     void endRow();
 
     /**
-     * Flush and atomically rename the temp file into place; fatal
-     * on I/O errors. Idempotent; the destructor calls it.
+     * Atomically publish the accumulated rows. Throws IoError
+     * (exit 14) on any filesystem failure, leaving no partial
+     * artifact behind. Idempotent; the destructor calls it.
      */
     void close();
 
   private:
     void open(const std::string &path);
 
-    std::ofstream os;
+    bool _open = false;
+    std::ostringstream buf;
     std::string finalPath;
-    std::string tmpPath;
 };
 
 } // namespace texdist

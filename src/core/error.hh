@@ -32,6 +32,9 @@
  *     12  fabric entries quarantined (fsck moved damaged entries)
  *     13  oracle violation (online invariant / metamorphic relation
  *         broken — see src/oracle and docs/ROBUSTNESS.md)
+ *     14  I/O failure (ENOSPC, EIO, failed fsync/rename/close —
+ *         the filesystem, not the bytes; see src/io and
+ *         docs/ROBUSTNESS.md)
  *
  * This header is dependency-free and header-only on purpose: the
  * low-level sim library (checkpoint reader) and the high-level core
@@ -208,6 +211,102 @@ class FabricError : public std::exception
 
 /** The documented exit code for an oracle invariant violation. */
 constexpr int oracleExitCode = 13;
+
+/** The documented exit code for a filesystem-level I/O failure. */
+constexpr int ioErrorExitCode = 14;
+
+/** Which VFS operation an I/O failure struck (src/io). */
+enum class IoOp : uint8_t
+{
+    Open,   ///< open / create (including O_EXCL claims)
+    Read,   ///< read from an open descriptor
+    Write,  ///< write to an open descriptor
+    Fsync,  ///< fsync / fdatasync durability barrier
+    Close,  ///< close (a failed close loses buffered bytes)
+    Rename, ///< atomic-publication rename
+    Mkdir,  ///< directory creation
+    Unlink, ///< file removal (rollback, release)
+    List,   ///< directory enumeration
+};
+
+constexpr const char *
+to_string(IoOp op)
+{
+    switch (op) {
+      case IoOp::Open: return "open";
+      case IoOp::Read: return "read";
+      case IoOp::Write: return "write";
+      case IoOp::Fsync: return "fsync";
+      case IoOp::Close: return "close";
+      case IoOp::Rename: return "rename";
+      case IoOp::Mkdir: return "mkdir";
+      case IoOp::Unlink: return "unlink";
+      case IoOp::List: return "list";
+    }
+    return "?";
+}
+
+/**
+ * A filesystem-level I/O failure: the bytes may be fine, the disk is
+ * not. Distinct from ParseError(rule: Io) — that means "the input we
+ * read is unreadable/short", this means "the operating system failed
+ * the operation" (ENOSPC, EIO, a failed fsync or rename). Carries
+ * the operation, the path and the errno so a supervisor can tell a
+ * full disk from a dying one, plus an `injected` flag set by the
+ * deterministic fault injector so test harnesses can assert a
+ * failure was the scheduled one. Header-only and dependency-free
+ * like ParseError: src/io throws it, every persistence surface above
+ * propagates it, and drivers map it to exit code 14 at main().
+ */
+class IoError : public std::exception
+{
+  public:
+    IoError(IoOp op, std::string path, int errnum,
+            std::string message)
+        : _op(op), _path(std::move(path)), _errno(errnum),
+          _message(std::move(message))
+    {
+        _what = std::string("io error: ") + to_string(_op) + " '" +
+                _path + "': " + _message;
+        if (_errno != 0)
+            _what += std::string(" [errno ") +
+                     std::to_string(_errno) + "]";
+        if (_injected)
+            _what += " [injected]";
+    }
+
+    /** Mark this failure as scheduled by the fault injector. */
+    IoError &
+    injected()
+    {
+        if (!_injected) {
+            _injected = true;
+            _what += " [injected]";
+        }
+        return *this;
+    }
+
+    IoOp op() const { return _op; }
+    const std::string &path() const { return _path; }
+    int errnum() const { return _errno; }
+    const std::string &message() const { return _message; }
+    bool wasInjected() const { return _injected; }
+    int exitCode() const { return ioErrorExitCode; }
+    const std::string &describe() const { return _what; }
+
+    const char *what() const noexcept override
+    {
+        return _what.c_str();
+    }
+
+  private:
+    IoOp _op;
+    std::string _path;
+    int _errno = 0;
+    std::string _message;
+    bool _injected = false;
+    std::string _what;
+};
 
 /**
  * An oracle invariant violation: the simulation produced state that
@@ -419,9 +518,10 @@ tryParse(F &&f) -> Result<decltype(f())>
 }
 
 /**
- * Wrap a driver's main() body: a ParseError escaping the body is
- * printed as a one-line fatal diagnostic and becomes the surface's
- * documented exit code. Everything else propagates unchanged.
+ * Wrap a driver's main() body: a ParseError or IoError escaping the
+ * body is printed as a one-line fatal diagnostic and becomes the
+ * documented exit code (the surface's for a ParseError, 14 for an
+ * IoError). Everything else propagates unchanged.
  */
 template <typename F>
 int
@@ -430,6 +530,9 @@ guardParseErrors(F &&body)
     try {
         return body();
     } catch (const ParseError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.describe().c_str());
+        return e.exitCode();
+    } catch (const IoError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.describe().c_str());
         return e.exitCode();
     }

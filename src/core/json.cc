@@ -3,10 +3,10 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "core/error.hh"
+#include "io/vfs.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -586,19 +586,10 @@ JsonValue::parse(const std::string &text)
 JsonValue
 JsonValue::parseFile(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        throw ParseError(ParseSurface::Json, ParseRule::Io,
-                         "cannot open JSON file")
-            .in(path);
-    std::ostringstream ss;
-    ss << is.rdbuf();
-    if (!is)
-        throw ParseError(ParseSurface::Json, ParseRule::Io,
-                         "error reading JSON file")
-            .in(path);
+    std::string text =
+        io::readFileAs(path, ParseSurface::Json, "JSON file");
     try {
-        return parse(ss.str());
+        return parse(text);
     } catch (ParseError &e) {
         throw e.in(path);
     }

@@ -273,6 +273,21 @@ SimOptions::usage()
         "x=8\n"
         "  --fault-seed=<n>      seed resolving 'rand' victims "
         "(default 0)\n"
+        "  --io-fault=<spec>     inject filesystem faults into "
+        "every\n"
+        "                        persistence surface; repeatable, "
+        "or\n"
+        "                        ';'-separated. spec is\n"
+        "                        kind[:pathsub][,key=<n>|rand]\n"
+        "                        kinds: enospc (after=<bytes>),\n"
+        "                        eio-read / short-write / "
+        "fsync-fail /\n"
+        "                        rename-fail (nth=,count=), eintr\n"
+        "                        (every=,times=); a 'seed:<n>' "
+        "segment\n"
+        "                        resolves 'rand' values\n"
+        "                        e.g. --io-fault=enospc:.ckpt,"
+        "after=4096\n"
         "  --watchdog-ticks=<n>  no-progress detection interval, "
         "0 = off\n"
         "  --watchdog=fail|degrade\n"
@@ -350,7 +365,9 @@ SimOptions::usage()
         "violation,\n"
         "            5 replay divergence, 6 malformed trace,\n"
         "            7 malformed checkpoint, 8 malformed JSON,\n"
-        "            9 malformed result CSV, 13 oracle violation\n";
+        "            9 malformed result CSV, 13 oracle violation,\n"
+        "            14 I/O failure (disk full, failed "
+        "fsync/rename)\n";
 }
 
 uint32_t
@@ -470,6 +487,8 @@ SimOptions::parse(const std::vector<std::string> &args)
             if (opts.machine.geometryCyclesPerTriangle == 0)
                 cliFail("geom-cycles", ParseRule::Range,
                         "must be positive");
+        } else if (match(arg, "io-fault", v)) {
+            opts.ioFault.add(v);
         } else if (match(arg, "fault", v)) {
             opts.machine.faults.add(v);
         } else if (match(arg, "fault-seed", v)) {

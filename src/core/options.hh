@@ -17,6 +17,7 @@
 
 #include "core/config.hh"
 #include "core/error.hh"
+#include "io/fault.hh"
 
 namespace texdist
 {
@@ -175,6 +176,15 @@ struct SimOptions
 
     /** Write one machine-readable CSV row per frame here. */
     std::string resultCsv;
+
+    /**
+     * Deterministic filesystem fault plan (`--io-fault=`), installed
+     * process-wide in the VFS before the run. A host-side knob like
+     * `--jobs`: it perturbs only the persistence surfaces, never the
+     * simulated machine, so it is not part of the machine
+     * configuration or the checkpoint format.
+     */
+    io::IoFaultPlan ioFault;
 
     /** Print the available benchmarks and exit. */
     bool listBenchmarks = false;

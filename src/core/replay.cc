@@ -5,10 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "core/json.hh"
+#include "io/vfs.hh"
 #include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
@@ -419,18 +419,7 @@ namespace
 std::string
 slurpCsv(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        throw ParseError(ParseSurface::Csv, ParseRule::Io,
-                         "cannot open result CSV")
-            .in(path);
-    std::ostringstream ss;
-    ss << is.rdbuf();
-    if (!is)
-        throw ParseError(ParseSurface::Csv, ParseRule::Io,
-                         "error reading result CSV")
-            .in(path);
-    return ss.str();
+    return io::readFileAs(path, ParseSurface::Csv, "result CSV");
 }
 
 } // namespace

@@ -1,52 +1,21 @@
 #include "fabric/lease.hh"
 
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
-
-#include <fcntl.h>
-#include <unistd.h>
-
 #include "core/json.hh"
-#include "sim/checkpoint.hh"
+#include "io/vfs.hh"
 #include "sim/logging.hh"
-
-namespace fs = std::filesystem;
 
 namespace texdist
 {
 namespace fabric
 {
 
-namespace
-{
-
-/** Raw file bytes, or nullopt when absent/unreadable. */
-std::optional<std::string>
-slurpIfPresent(const std::string &path)
-{
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        return std::nullopt;
-    std::ostringstream ss;
-    ss << is.rdbuf();
-    if (!is)
-        return std::nullopt;
-    return ss.str();
-}
-
-} // namespace
-
 LeaseQueue::LeaseQueue(std::string dir, std::string workerId)
     : _dir(std::move(dir)), _worker(std::move(workerId))
 {
-    std::error_code ec;
-    fs::create_directories(_dir, ec);
-    if (ec)
-        texdist_fatal("cannot create lease queue ", _dir, ": ",
-                      ec.message());
+    // An uncreatable queue directory is environmental: propagate as
+    // IoError (exit 14) so a supervisor retries the worker instead
+    // of treating the sweep as failed.
+    io::makeDirs(_dir);
 }
 
 std::string
@@ -74,19 +43,12 @@ bool
 LeaseQueue::tryClaim(const std::string &name)
 {
     ++_generation;
-    std::string content = leaseContent(name, 0, _generation);
-    int fd = ::open(leasePath(name).c_str(),
-                    O_CREAT | O_EXCL | O_WRONLY, 0644);
-    if (fd < 0) {
-        if (errno == EEXIST)
-            return false;
-        texdist_fatal("cannot create lease ", leasePath(name), ": ",
-                      std::strerror(errno));
-    }
-    ssize_t n = ::write(fd, content.data(), content.size());
-    ::close(fd);
-    if (n != ssize_t(content.size()))
-        texdist_fatal("short write to lease ", leasePath(name));
+    // O_EXCL creation arbitrates the claim race; a write or close
+    // failure unlinks the half-written claim before rethrowing, so
+    // a full disk never leaves behind a wedged lease no one owns.
+    if (!io::createExclusive(leasePath(name),
+                             leaseContent(name, 0, _generation)))
+        return false;
     _held[name] = Held{0, _generation};
     return true;
 }
@@ -109,16 +71,23 @@ LeaseQueue::heartbeat(const std::string &name)
     }
     ++it->second.beat;
     // The rewrite is a scratch+rename, so observers never read a
-    // torn heartbeat — they see the old beat or the new one.
-    atomicWriteFile(leasePath(name),
-                    leaseContent(name, it->second.beat,
-                                 it->second.generation));
+    // torn heartbeat — they see the old beat or the new one. A
+    // failed refresh is survivable (peers steal from a worker that
+    // goes silent), so swallow the IoError and keep computing
+    // rather than abandoning useful work.
+    try {
+        atomicWriteFile(leasePath(name),
+                        leaseContent(name, it->second.beat,
+                                     it->second.generation));
+    } catch (const IoError &e) {
+        warn("lease heartbeat failed (continuing): ", e.describe());
+    }
 }
 
 std::optional<LeaseInfo>
 LeaseQueue::read(const std::string &name) const
 {
-    auto bytes = slurpIfPresent(leasePath(name));
+    auto bytes = io::readFileIfPresent(leasePath(name));
     if (!bytes)
         return std::nullopt;
     auto parsed = tryParse([&] {
@@ -152,14 +121,14 @@ void
 LeaseQueue::release(const std::string &name)
 {
     if (owns(name))
-        ::unlink(leasePath(name).c_str());
+        io::removeQuiet(leasePath(name));
     _held.erase(name);
 }
 
 uint64_t
 LeaseQueue::observeUnchanged(const std::string &name)
 {
-    auto bytes = slurpIfPresent(leasePath(name));
+    auto bytes = io::readFileIfPresent(leasePath(name));
     if (!bytes) {
         _observed.erase(name);
         return 0;
@@ -181,20 +150,14 @@ bool
 LeaseQueue::steal(const std::string &name)
 {
     ++_generation;
-    std::string path = leasePath(name);
-    std::string scratch = path + scratchSuffix();
-    {
-        std::ofstream os(scratch, std::ios::binary |
-                                      std::ios::trunc);
-        os << leaseContent(name, 0, _generation);
-        os.flush();
-        if (!os) {
-            ::unlink(scratch.c_str());
-            return false;
-        }
-    }
-    if (std::rename(scratch.c_str(), path.c_str()) != 0) {
-        ::unlink(scratch.c_str());
+    // Scratch + fsync + rename over the stale claim. Any filesystem
+    // failure (writeFileAtomic rolls the scratch back) just means
+    // the steal did not happen — stand down and let the next
+    // observation cycle retry.
+    try {
+        io::writeFileAtomic(leasePath(name),
+                            leaseContent(name, 0, _generation));
+    } catch (const IoError &) {
         return false;
     }
     _held[name] = Held{0, _generation};
@@ -212,7 +175,7 @@ LeaseQueue::steal(const std::string &name)
 bool
 LeaseQueue::isClaimed(const std::string &name) const
 {
-    return slurpIfPresent(leasePath(name)).has_value();
+    return io::readFileIfPresent(leasePath(name)).has_value();
 }
 
 void
@@ -243,7 +206,7 @@ LeaseQueue::markFailed(const std::string &name, int exitCode)
 bool
 LeaseQueue::isDone(const std::string &name) const
 {
-    auto bytes = slurpIfPresent(_dir + "/" + name + ".done");
+    auto bytes = io::readFileIfPresent(_dir + "/" + name + ".done");
     if (!bytes)
         return false;
     // A torn marker is treated as absent: the config re-runs (a
@@ -258,7 +221,8 @@ LeaseQueue::isDone(const std::string &name) const
 bool
 LeaseQueue::isFailed(const std::string &name, int *exitCode) const
 {
-    auto bytes = slurpIfPresent(_dir + "/" + name + ".failed");
+    auto bytes =
+        io::readFileIfPresent(_dir + "/" + name + ".failed");
     if (!bytes)
         return false;
     auto parsed = tryParse([&] {

@@ -1,17 +1,12 @@
 #include "fabric/store.hh"
 
 #include <algorithm>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "core/json.hh"
 #include "core/replay.hh"
+#include "io/vfs.hh"
 #include "sim/checkpoint.hh"
 #include "sim/logging.hh"
-
-namespace fs = std::filesystem;
 
 namespace texdist
 {
@@ -106,15 +101,13 @@ computeStoreKey(const std::vector<std::string> &args,
 uint64_t
 digestFileBytes(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
+    std::optional<std::string> bytes = io::readFileIfPresent(path);
+    if (!bytes)
         throw ParseError(ParseSurface::Fabric, ParseRule::Io,
                          "cannot read trace input for store key")
             .in(path);
-    std::ostringstream ss;
-    ss << is.rdbuf();
     StateDigest d;
-    d.mix(ss.str());
+    d.mix(*bytes);
     return d.value();
 }
 
@@ -188,11 +181,10 @@ decodeStoreEntry(const std::string &image, const std::string &what)
 ResultStore::ResultStore(std::string dir, bool strict)
     : _dir(std::move(dir)), _strict(strict)
 {
-    std::error_code ec;
-    fs::create_directories(_dir, ec);
-    if (ec)
-        texdist_fatal("cannot create result store ", _dir, ": ",
-                      ec.message());
+    // An uncreatable store directory propagates as IoError (exit
+    // 14): environmental, so a supervisor retries instead of
+    // writing the config off as failed.
+    io::makeDirs(_dir);
 }
 
 std::string
@@ -213,15 +205,17 @@ std::optional<std::string>
 ResultStore::fetch(const StoreKey &key)
 {
     std::string path = entryPath(key);
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
+    // Tolerant read: a missing entry is an ordinary miss, and a
+    // read-side EIO is treated the same — the entry is probably
+    // fine, the disk hiccuped, and recompute-and-republish is
+    // always safe (results are content-addressed and idempotent).
+    std::optional<std::string> image = io::readFileIfPresent(path);
+    if (!image) {
         ++_stats.misses;
         return std::nullopt;
     }
-    std::ostringstream ss;
-    ss << is.rdbuf();
     auto parsed =
-        tryParse([&] { return decodeStoreEntry(ss.str(), path); });
+        tryParse([&] { return decodeStoreEntry(*image, path); });
     if (parsed.ok() && parsed.value().key == key) {
         ++_stats.hits;
         return parsed.takeValue().payload;
@@ -243,10 +237,13 @@ ResultStore::fetch(const StoreKey &key)
 void
 ResultStore::quarantine(const std::string &fileName)
 {
-    std::error_code ec;
-    fs::create_directories(_dir + "/quarantine", ec);
-    fs::rename(_dir + "/" + fileName,
-               _dir + "/quarantine/" + fileName, ec);
+    try {
+        io::makeDirs(_dir + "/quarantine");
+    } catch (const IoError &) {
+        // Best effort; the rename below just fails too.
+    }
+    io::renameQuiet(_dir + "/" + fileName,
+                    _dir + "/quarantine/" + fileName);
     // A racing worker may have quarantined (or republished) the
     // entry first; losing that race is fine.
 }
@@ -257,24 +254,15 @@ ResultStore::fsck()
     FsckReport report;
     // Snapshot the listing first: quarantining renames entries out
     // of the directory being walked, and mutating a directory under
-    // an open iterator is implementation-defined.
-    std::vector<std::string> names;
-    std::error_code ec;
-    for (const fs::directory_entry &ent :
-         fs::directory_iterator(_dir, ec)) {
-        std::error_code typeEc;
-        if (ent.is_regular_file(typeEc))
-            names.push_back(ent.path().filename().string());
-    }
-    if (ec)
-        texdist_fatal("cannot scan result store ", _dir, ": ",
-                      ec.message());
-    std::sort(names.begin(), names.end());
+    // an open iterator is implementation-defined. listDir returns
+    // sorted names, so the scan order (and the report) is
+    // deterministic. An unscannable store throws IoError (exit 14).
+    std::vector<std::string> names = io::listDir(_dir);
     for (const std::string &name : names) {
         std::string path = _dir + "/" + name;
         if (name.find(".tmp.") != std::string::npos) {
             // Scratch file from a publisher that died mid-write.
-            fs::remove(path, ec);
+            io::removeQuiet(path);
             ++report.orphanScratch;
             continue;
         }
@@ -282,11 +270,12 @@ ResultStore::fsck()
             name.compare(name.size() - 4, 4, entrySuffix) != 0)
             continue;
         ++report.scanned;
-        std::ifstream is(path, std::ios::binary);
-        std::ostringstream ss;
-        ss << is.rdbuf();
+        // An unreadable entry is indistinguishable from a damaged
+        // one here: quarantine it, the fleet recomputes.
+        std::string image =
+            io::readFileIfPresent(path).value_or("");
         auto parsed =
-            tryParse([&] { return decodeStoreEntry(ss.str(), path); });
+            tryParse([&] { return decodeStoreEntry(image, path); });
         bool misnamed =
             parsed.ok() &&
             parsed.value().key.hex() + entrySuffix != name;

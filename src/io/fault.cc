@@ -1,0 +1,292 @@
+#include "io/fault.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/error.hh"
+
+namespace texdist
+{
+
+namespace io
+{
+
+namespace
+{
+
+/** A CLI-surface ParseError pointing at the --io-fault spec. */
+[[noreturn]] void
+ioFaultFail(const std::string &spec, ParseRule rule, std::string msg)
+{
+    throw ParseError(ParseSurface::Cli, rule,
+                     "io-fault spec '" + spec + "': " +
+                         std::move(msg))
+        .field("--io-fault");
+}
+
+/** Strict decimal u64, or the `rand` sentinel. */
+uint64_t
+parseIoFaultU64(const std::string &value, const char *what,
+                const std::string &spec)
+{
+    if (value == "rand")
+        return ioFaultRandValue;
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        ioFaultFail(spec, ParseRule::Syntax,
+                    std::string(what) +
+                        " expects a non-negative integer or "
+                        "'rand', got '" +
+                        value + "'");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno == ERANGE || v == ioFaultRandValue)
+        ioFaultFail(spec, ParseRule::Range,
+                    std::string(what) + " out of range: '" + value +
+                        "'");
+    return uint64_t(v);
+}
+
+IoFaultKind
+kindFromString(const std::string &name, const std::string &spec)
+{
+    if (name == "enospc")
+        return IoFaultKind::Enospc;
+    if (name == "eio-read")
+        return IoFaultKind::EioRead;
+    if (name == "short-write")
+        return IoFaultKind::ShortWrite;
+    if (name == "fsync-fail")
+        return IoFaultKind::FsyncFail;
+    if (name == "rename-fail")
+        return IoFaultKind::RenameFail;
+    if (name == "eintr")
+        return IoFaultKind::Eintr;
+    ioFaultFail(spec, ParseRule::Unknown,
+                "unknown io-fault kind '" + name +
+                    "' (want enospc, eio-read, short-write, "
+                    "fsync-fail, rename-fail or eintr)");
+}
+
+/** SplitMix64: self-contained seeded value resolution. */
+uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+void
+appendValue(std::ostringstream &os, const char *key, uint64_t v)
+{
+    os << "," << key << "=";
+    if (v == ioFaultRandValue)
+        os << "rand";
+    else
+        os << v;
+}
+
+} // namespace
+
+const char *
+to_string(IoFaultKind kind)
+{
+    switch (kind) {
+      case IoFaultKind::Enospc:
+        return "enospc";
+      case IoFaultKind::EioRead:
+        return "eio-read";
+      case IoFaultKind::ShortWrite:
+        return "short-write";
+      case IoFaultKind::FsyncFail:
+        return "fsync-fail";
+      case IoFaultKind::RenameFail:
+        return "rename-fail";
+      case IoFaultKind::Eintr:
+        return "eintr";
+    }
+    return "?";
+}
+
+std::string
+IoFaultSpec::describe() const
+{
+    std::ostringstream os;
+    os << to_string(kind);
+    if (!pathFilter.empty())
+        os << ":" << pathFilter;
+    switch (kind) {
+      case IoFaultKind::Enospc:
+        appendValue(os, "after", after);
+        break;
+      case IoFaultKind::EioRead:
+      case IoFaultKind::ShortWrite:
+      case IoFaultKind::FsyncFail:
+      case IoFaultKind::RenameFail:
+        appendValue(os, "nth", nth);
+        if (count != 1)
+            appendValue(os, "count", count);
+        break;
+      case IoFaultKind::Eintr:
+        appendValue(os, "every", every);
+        appendValue(os, "times", times);
+        break;
+    }
+    return os.str();
+}
+
+IoFaultSpec
+parseIoFaultSpec(const std::string &spec)
+{
+    IoFaultSpec out;
+
+    // Split "kind[:path]" from the ",key=value" tail. The path
+    // filter may itself contain dots and slashes but not ',' — a
+    // path substring like "checkpoint" or ".res" is the use case.
+    size_t comma = spec.find(',');
+    std::string head = spec.substr(0, comma);
+    size_t colon = head.find(':');
+    out.kind = kindFromString(head.substr(0, colon), spec);
+    if (colon != std::string::npos)
+        out.pathFilter = head.substr(colon + 1);
+
+    std::string tail =
+        comma == std::string::npos ? "" : spec.substr(comma + 1);
+    std::istringstream fields(tail);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+        size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            ioFaultFail(spec, ParseRule::Syntax,
+                        "expected key=value, got '" + field + "'");
+        std::string key = field.substr(0, eq);
+        std::string value = field.substr(eq + 1);
+        if (key == "after") {
+            if (out.kind != IoFaultKind::Enospc)
+                ioFaultFail(spec, ParseRule::Mismatch,
+                            "after= only applies to enospc");
+            out.after = parseIoFaultU64(value, "after", spec);
+        } else if (key == "nth") {
+            if (out.kind == IoFaultKind::Enospc ||
+                out.kind == IoFaultKind::Eintr)
+                ioFaultFail(spec, ParseRule::Mismatch,
+                            "nth= does not apply to " +
+                                std::string(to_string(out.kind)));
+            out.nth = parseIoFaultU64(value, "nth", spec);
+            if (out.nth == 0)
+                ioFaultFail(spec, ParseRule::Range,
+                            "nth= is 1-based and must be positive");
+        } else if (key == "count") {
+            if (out.kind == IoFaultKind::Enospc ||
+                out.kind == IoFaultKind::Eintr)
+                ioFaultFail(spec, ParseRule::Mismatch,
+                            "count= does not apply to " +
+                                std::string(to_string(out.kind)));
+            out.count = parseIoFaultU64(value, "count", spec);
+            if (out.count == 0)
+                ioFaultFail(spec, ParseRule::Range,
+                            "count= must be positive");
+        } else if (key == "every") {
+            if (out.kind != IoFaultKind::Eintr)
+                ioFaultFail(spec, ParseRule::Mismatch,
+                            "every= only applies to eintr");
+            out.every = parseIoFaultU64(value, "every", spec);
+            if (out.every == 0)
+                ioFaultFail(spec, ParseRule::Range,
+                            "every= must be positive");
+        } else if (key == "times") {
+            if (out.kind != IoFaultKind::Eintr)
+                ioFaultFail(spec, ParseRule::Mismatch,
+                            "times= only applies to eintr");
+            out.times = parseIoFaultU64(value, "times", spec);
+            if (out.times == 0)
+                ioFaultFail(spec, ParseRule::Range,
+                            "times= must be positive");
+        } else {
+            ioFaultFail(spec, ParseRule::Unknown,
+                        "unknown key '" + key +
+                            "' (want after, nth, count, every or "
+                            "times)");
+        }
+    }
+    return out;
+}
+
+void
+IoFaultPlan::add(const std::string &text)
+{
+    if (text.empty())
+        ioFaultFail(text, ParseRule::Syntax, "empty io-fault spec");
+    std::istringstream parts(text);
+    std::string one;
+    while (std::getline(parts, one, ';')) {
+        if (one.empty())
+            continue;
+        // A `seed:S` segment sets the plan seed. Accept the ISSUE's
+        // compact `seed:S,spec` shape too: anything after the first
+        // comma is parsed as an ordinary spec.
+        if (one.rfind("seed:", 0) == 0) {
+            size_t comma = one.find(',');
+            std::string value = one.substr(5, comma - 5);
+            seed = parseIoFaultU64(value, "seed", one);
+            if (seed == ioFaultRandValue)
+                ioFaultFail(one, ParseRule::Range,
+                            "seed cannot be 'rand'");
+            if (comma != std::string::npos)
+                faults.push_back(
+                    parseIoFaultSpec(one.substr(comma + 1)));
+            continue;
+        }
+        faults.push_back(parseIoFaultSpec(one));
+    }
+}
+
+IoFaultPlan
+IoFaultPlan::resolve() const
+{
+    // One generator stream for the whole plan: value i of fault j
+    // depends on the seed and position only, so identical plans
+    // schedule identical failures.
+    uint64_t state = seed ^ 0x10fa017b0757edULL;
+    IoFaultPlan out;
+    out.seed = seed;
+    out.faults.reserve(faults.size());
+    for (const IoFaultSpec &spec : faults) {
+        IoFaultSpec r = spec;
+        if (r.after == ioFaultRandValue)
+            r.after = splitmix64(state) % 16385;
+        if (r.nth == ioFaultRandValue)
+            r.nth = 1 + splitmix64(state) % 8;
+        if (r.count == ioFaultRandValue)
+            r.count = 1 + splitmix64(state) % 4;
+        if (r.every == ioFaultRandValue)
+            r.every = 2 + splitmix64(state) % 15;
+        if (r.times == ioFaultRandValue)
+            r.times = 1 + splitmix64(state) % 8;
+        out.faults.push_back(r);
+    }
+    return out;
+}
+
+std::string
+IoFaultPlan::describe() const
+{
+    std::ostringstream os;
+    if (seed != 0)
+        os << "seed:" << seed;
+    for (size_t i = 0; i < faults.size(); ++i) {
+        if (i || seed != 0)
+            os << ";";
+        os << faults[i].describe();
+    }
+    return os.str();
+}
+
+} // namespace io
+
+} // namespace texdist

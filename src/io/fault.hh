@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic filesystem fault injection — the I/O analogue of the
+ * machine-level FaultPlan (src/fault). A plan is parsed from
+ * `--io-fault=seed:S;spec;spec...` where each spec follows the same
+ * `kind[:victim][,key=value...]` shape as `--fault`, except the
+ * victim is a path substring (only operations on matching paths are
+ * struck) instead of a node index:
+ *
+ *   enospc[:path][,after=N]      writes fail with ENOSPC once N
+ *                                bytes have been written (the write
+ *                                crossing the boundary lands
+ *                                partially, like a real full disk)
+ *   eio-read[:path][,nth=N][,count=K]
+ *                                the Nth..(N+K-1)th matching reads
+ *                                fail with EIO
+ *   short-write[:path][,nth=N][,count=K]
+ *                                the Nth matching write accepts only
+ *                                half its bytes (the caller's retry
+ *                                loop must finish the job)
+ *   fsync-fail[:path][,nth=N][,count=K]
+ *                                the Nth matching fsync fails EIO
+ *   rename-fail[:path][,nth=N][,count=K]
+ *                                the Nth matching rename fails EIO
+ *   eintr[:path][,every=M][,times=T]
+ *                                every Mth matching read/write/fsync
+ *                                is interrupted (EINTR), at most T
+ *                                times total
+ *
+ * Numeric values accept `rand`, resolved from the plan seed exactly
+ * like FaultPlan's random victims: identical seed + plan text
+ * schedule identical failures, so any injected failure replays
+ * bit-for-bit. Malformed specs throw a CLI-surface ParseError naming
+ * `--io-fault` (exit 1), which puts this grammar on the fuzzed-
+ * surface set via the texfuzz cli surface.
+ */
+
+#ifndef TEXDIST_IO_FAULT_HH
+#define TEXDIST_IO_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace texdist
+{
+
+namespace io
+{
+
+enum class IoFaultKind : uint8_t
+{
+    Enospc,     ///< disk fills after a byte budget
+    EioRead,    ///< read returns EIO
+    ShortWrite, ///< write accepts fewer bytes than asked
+    FsyncFail,  ///< fsync returns EIO
+    RenameFail, ///< rename returns EIO
+    Eintr,      ///< read/write/fsync interrupted by a signal
+};
+
+const char *to_string(IoFaultKind kind);
+
+/** Sentinel for a `rand` value to be resolved from the plan seed. */
+constexpr uint64_t ioFaultRandValue = ~uint64_t(0);
+
+/** One scheduled filesystem fault. */
+struct IoFaultSpec
+{
+    IoFaultKind kind = IoFaultKind::Enospc;
+
+    /** Only paths containing this substring are struck ("" = all). */
+    std::string pathFilter;
+
+    /** enospc: byte budget before the disk "fills". */
+    uint64_t after = 0;
+
+    /** Ordinal of the first struck call (1-based). */
+    uint64_t nth = 1;
+
+    /** How many consecutive calls are struck. */
+    uint64_t count = 1;
+
+    /** eintr: strike every Mth call... */
+    uint64_t every = 2;
+
+    /** ...at most this many times. */
+    uint64_t times = 1000;
+
+    /** Canonical round-trippable spec text. */
+    std::string describe() const;
+};
+
+/** Parse one `kind[:path][,key=value...]` spec. */
+IoFaultSpec parseIoFaultSpec(const std::string &spec);
+
+/**
+ * A seeded schedule of filesystem faults. Built from repeated
+ * `--io-fault=` values (each may carry several `;`-separated specs
+ * and a `seed:S` segment); installed process-wide with
+ * io::setFaultPlan().
+ */
+struct IoFaultPlan
+{
+    uint64_t seed = 0;
+    std::vector<IoFaultSpec> faults;
+
+    /** Parse and append `[seed:S;]spec[;spec...]`. */
+    void add(const std::string &text);
+
+    bool empty() const { return faults.empty(); }
+
+    /**
+     * Resolve every `rand` value from the seed: after ∈ [0, 16384],
+     * nth ∈ [1, 8], every ∈ [2, 16]. Value i of fault j depends on
+     * the seed and position only, never on the host, so identical
+     * plans replay identically.
+     */
+    IoFaultPlan resolve() const;
+
+    /** Canonical `seed:S;spec;...` text (round-trips through add). */
+    std::string describe() const;
+};
+
+} // namespace io
+
+} // namespace texdist
+
+#endif // TEXDIST_IO_FAULT_HH

@@ -1,0 +1,622 @@
+#include "io/vfs.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace texdist
+{
+
+namespace io
+{
+
+namespace
+{
+
+/** Consecutive EINTR interruptions tolerated per operation. */
+constexpr int eintrLimit = 100;
+
+/** Read/write chunk size. */
+constexpr size_t chunkSize = 1u << 16;
+
+/** One installed fault with its mutable strike counters. */
+struct FaultState
+{
+    IoFaultSpec spec;
+    uint64_t bytes = 0; ///< enospc: bytes admitted so far
+    uint64_t calls = 0; ///< matching calls seen
+    uint64_t fired = 0; ///< strikes delivered
+};
+
+std::mutex g_mu;
+std::vector<FaultState> g_states;
+// texlint: allow(phase-static) host-side --io-fault knob, armed once before the run; persistence runs in serial phases
+bool g_active = false;
+// texlint: allow(phase-static) strike counter for harness assertions, never feeds results or digests
+std::atomic<uint64_t> g_fired{0};
+
+bool
+pathMatches(const IoFaultSpec &spec, const std::string &path)
+{
+    return spec.pathFilter.empty() ||
+           path.find(spec.pathFilter) != std::string::npos;
+}
+
+/**
+ * Deterministic injection diagnostic. fprintf, not sim/logging:
+ * this library sits below sim, and a harness replaying a schedule
+ * diffs these lines verbatim.
+ */
+void
+logStrike(const char *kind, const char *op, const std::string &path,
+          const std::string &detail)
+{
+    g_fired.fetch_add(1, std::memory_order_relaxed);
+    // texlint: allow(phase-unsafe-call) deterministic strike log; persistence (and so injection) happens in serial phases
+    std::fprintf(stderr, "io-fault: %s on %s '%s' (%s)\n", kind, op,
+                 path.c_str(), detail.c_str());
+}
+
+/** errno to inject on a read of @p path, or 0. */
+int
+injectReadError(const std::string &path)
+{
+    if (!g_active)
+        return 0;
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (FaultState &st : g_states) {
+        if (!pathMatches(st.spec, path))
+            continue;
+        if (st.spec.kind == IoFaultKind::Eintr) {
+            ++st.calls;
+            if (st.calls % st.spec.every == 0 &&
+                st.fired < st.spec.times) {
+                ++st.fired;
+                logStrike("eintr", "read", path,
+                          "strike " + std::to_string(st.fired));
+                return EINTR;
+            }
+        } else if (st.spec.kind == IoFaultKind::EioRead) {
+            ++st.calls;
+            if (st.calls >= st.spec.nth &&
+                st.calls < st.spec.nth + st.spec.count) {
+                ++st.fired;
+                logStrike("eio-read", "read", path,
+                          "call " + std::to_string(st.calls));
+                return EIO;
+            }
+        }
+    }
+    return 0;
+}
+
+struct WriteGate
+{
+    int err = 0;        ///< errno to inject, or 0
+    size_t allowed = 0; ///< bytes the "disk" will admit
+};
+
+/** Consult the plan before writing @p want bytes to @p path. */
+WriteGate
+injectWriteGate(const std::string &path, size_t want)
+{
+    WriteGate gate;
+    gate.allowed = want;
+    if (!g_active)
+        return gate;
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (FaultState &st : g_states) {
+        if (!pathMatches(st.spec, path))
+            continue;
+        switch (st.spec.kind) {
+          case IoFaultKind::Eintr:
+            ++st.calls;
+            if (st.calls % st.spec.every == 0 &&
+                st.fired < st.spec.times) {
+                ++st.fired;
+                logStrike("eintr", "write", path,
+                          "strike " + std::to_string(st.fired));
+                gate.err = EINTR;
+                return gate;
+            }
+            break;
+          case IoFaultKind::ShortWrite:
+            ++st.calls;
+            if (st.calls >= st.spec.nth &&
+                st.calls < st.spec.nth + st.spec.count &&
+                want > 1) {
+                ++st.fired;
+                gate.allowed = std::min(gate.allowed, want / 2);
+                logStrike("short-write", "write", path,
+                          "call " + std::to_string(st.calls) + ", " +
+                              std::to_string(want / 2) + "/" +
+                              std::to_string(want) + " bytes");
+            }
+            break;
+          case IoFaultKind::Enospc: {
+            if (st.bytes >= st.spec.after) {
+                ++st.fired;
+                logStrike("enospc", "write", path,
+                          "budget " + std::to_string(st.spec.after) +
+                              " exhausted");
+                gate.err = ENOSPC;
+                return gate;
+            }
+            uint64_t room = st.spec.after - st.bytes;
+            if (room < gate.allowed) {
+                ++st.fired;
+                logStrike("enospc", "write", path,
+                          "short by " +
+                              std::to_string(gate.allowed - room) +
+                              " bytes");
+                gate.allowed = size_t(room);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    // Admit the bytes against every matching byte budget.
+    for (FaultState &st : g_states)
+        if (st.spec.kind == IoFaultKind::Enospc &&
+            pathMatches(st.spec, path))
+            st.bytes += gate.allowed;
+    return gate;
+}
+
+/** errno to inject on an fsync of @p path, or 0. */
+int
+injectFsyncError(const std::string &path)
+{
+    if (!g_active)
+        return 0;
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (FaultState &st : g_states) {
+        if (!pathMatches(st.spec, path))
+            continue;
+        if (st.spec.kind == IoFaultKind::Eintr) {
+            ++st.calls;
+            if (st.calls % st.spec.every == 0 &&
+                st.fired < st.spec.times) {
+                ++st.fired;
+                logStrike("eintr", "fsync", path,
+                          "strike " + std::to_string(st.fired));
+                return EINTR;
+            }
+        } else if (st.spec.kind == IoFaultKind::FsyncFail) {
+            ++st.calls;
+            if (st.calls >= st.spec.nth &&
+                st.calls < st.spec.nth + st.spec.count) {
+                ++st.fired;
+                logStrike("fsync-fail", "fsync", path,
+                          "call " + std::to_string(st.calls));
+                return EIO;
+            }
+        }
+    }
+    return 0;
+}
+
+/** errno to inject on a rename onto @p to, or 0. */
+int
+injectRenameError(const std::string &from, const std::string &to)
+{
+    if (!g_active)
+        return 0;
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (FaultState &st : g_states) {
+        if (st.spec.kind != IoFaultKind::RenameFail)
+            continue;
+        if (!pathMatches(st.spec, from) && !pathMatches(st.spec, to))
+            continue;
+        ++st.calls;
+        if (st.calls >= st.spec.nth &&
+            st.calls < st.spec.nth + st.spec.count) {
+            ++st.fired;
+            logStrike("rename-fail", "rename", to,
+                      "call " + std::to_string(st.calls));
+            return EIO;
+        }
+    }
+    return 0;
+}
+
+[[noreturn]] void
+ioFail(IoOp op, const std::string &path, int errnum, bool injected)
+{
+    IoError e(op, path, errnum,
+              // texlint: allow(phase-unsafe-call) runs once while throwing a fatal typed error, never on the hot path
+              errnum != 0 ? std::strerror(errnum)
+                          : "operation failed");
+    if (injected)
+        e.injected();
+    throw e;
+}
+
+/** RAII fd with the recovery policy baked into every operation. */
+class File
+{
+  public:
+    File(int fd, std::string path) : _fd(fd), _path(std::move(path))
+    {
+    }
+
+    File(const File &) = delete;
+    File &operator=(const File &) = delete;
+
+    File(File &&other) noexcept
+        : _fd(other._fd), _path(std::move(other._path))
+    {
+        other._fd = -1;
+    }
+
+    ~File()
+    {
+        if (_fd >= 0)
+            ::close(_fd); // best effort; close() checks
+    }
+
+    static File
+    createTrunc(const std::string &path)
+    {
+        int fd = -1;
+        do {
+            fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+        } while (fd < 0 && errno == EINTR);
+        if (fd < 0)
+            ioFail(IoOp::Open, path, errno, false);
+        return File(fd, path);
+    }
+
+    static File
+    openRead(const std::string &path)
+    {
+        int fd = -1;
+        do {
+            fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        } while (fd < 0 && errno == EINTR);
+        if (fd < 0)
+            ioFail(IoOp::Open, path, errno, false);
+        return File(fd, path);
+    }
+
+    /**
+     * Write all of @p contents, completing short writes and
+     * retrying (bounded) through EINTR — injected or real.
+     */
+    void
+    writeAll(const std::string &contents)
+    {
+        size_t off = 0;
+        int interruptions = 0;
+        while (off < contents.size()) {
+            size_t want = contents.size() - off;
+            WriteGate gate = injectWriteGate(_path, want);
+            if (gate.err == EINTR) {
+                if (++interruptions > eintrLimit)
+                    ioFail(IoOp::Write, _path, EINTR, true);
+                continue;
+            }
+            if (gate.err != 0 || gate.allowed == 0)
+                ioFail(IoOp::Write, _path,
+                       gate.err != 0 ? gate.err : ENOSPC, true);
+            ssize_t n = ::write(_fd, contents.data() + off,
+                                std::min(gate.allowed, chunkSize));
+            if (n < 0) {
+                if (errno == EINTR) {
+                    if (++interruptions > eintrLimit)
+                        ioFail(IoOp::Write, _path, EINTR, false);
+                    continue;
+                }
+                ioFail(IoOp::Write, _path, errno, false);
+            }
+            off += size_t(n);
+        }
+    }
+
+    /** The whole remaining stream as bytes. */
+    std::string
+    readAll()
+    {
+        std::string out;
+        char buf[chunkSize];
+        int interruptions = 0;
+        for (;;) {
+            int err = injectReadError(_path);
+            if (err == EINTR) {
+                if (++interruptions > eintrLimit)
+                    ioFail(IoOp::Read, _path, EINTR, true);
+                continue;
+            }
+            if (err != 0)
+                ioFail(IoOp::Read, _path, err, true);
+            ssize_t n = ::read(_fd, buf, sizeof buf);
+            if (n < 0) {
+                if (errno == EINTR) {
+                    if (++interruptions > eintrLimit)
+                        ioFail(IoOp::Read, _path, EINTR, false);
+                    continue;
+                }
+                ioFail(IoOp::Read, _path, errno, false);
+            }
+            if (n == 0)
+                return out;
+            out.append(buf, size_t(n));
+        }
+    }
+
+    /** Durability barrier; EINTR retried, anything else throws. */
+    void
+    sync()
+    {
+        int interruptions = 0;
+        for (;;) {
+            int err = injectFsyncError(_path);
+            bool injected = err != 0;
+            if (err == 0 && ::fsync(_fd) != 0)
+                err = errno;
+            if (err == 0)
+                return;
+            if (err == EINTR) {
+                if (++interruptions > eintrLimit)
+                    ioFail(IoOp::Fsync, _path, EINTR, injected);
+                continue;
+            }
+            ioFail(IoOp::Fsync, _path, err, injected);
+        }
+    }
+
+    /**
+     * Close, reporting failure: a failed close on a full disk means
+     * buffered bytes were lost, and "success" would be a lie.
+     */
+    void
+    close()
+    {
+        int fd = _fd;
+        _fd = -1;
+        if (fd < 0)
+            return;
+        // POSIX leaves the fd state unspecified after EINTR; on
+        // Linux the descriptor is gone either way, so EINTR is not
+        // retried (retrying could close somebody else's fd).
+        if (::close(fd) != 0 && errno != EINTR)
+            ioFail(IoOp::Close, _path, errno, false);
+    }
+
+  private:
+    int _fd;
+    std::string _path;
+};
+
+} // namespace
+
+void
+setFaultPlan(const IoFaultPlan &plan)
+{
+    IoFaultPlan resolved = plan.resolve();
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_states.clear();
+    for (const IoFaultSpec &spec : resolved.faults) {
+        FaultState st;
+        st.spec = spec;
+        g_states.push_back(st);
+    }
+    g_fired.store(0, std::memory_order_relaxed);
+    g_active = !g_states.empty();
+}
+
+void
+clearFaultPlan()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_states.clear();
+    g_active = false;
+    g_fired.store(0, std::memory_order_relaxed);
+}
+
+bool
+faultPlanActive()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    return g_active;
+}
+
+uint64_t
+faultInjectionCount()
+{
+    return g_fired.load(std::memory_order_relaxed);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    File f = File::openRead(path);
+    return f.readAll();
+}
+
+std::optional<std::string>
+readFileIfPresent(const std::string &path)
+{
+    try {
+        return readFile(path);
+    } catch (const IoError &) {
+        return std::nullopt;
+    }
+}
+
+std::string
+readFileAs(const std::string &path, ParseSurface surface,
+           const std::string &what)
+{
+    try {
+        return readFile(path);
+    } catch (const IoError &e) {
+        std::string msg = e.op() == IoOp::Open
+                              ? "cannot open " + what
+                              : "error reading " + what;
+        throw ParseError(surface, ParseRule::Io, std::move(msg))
+            .in(path);
+    }
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    std::string tmp = path + scratchSuffix();
+    try {
+        File f = File::createTrunc(tmp);
+        f.writeAll(contents);
+        f.sync();
+        f.close();
+        int err = injectRenameError(tmp, path);
+        if (err != 0)
+            ioFail(IoOp::Rename, path, err, true);
+        if (std::rename(tmp.c_str(), path.c_str()) != 0)
+            ioFail(IoOp::Rename, path, errno, false);
+    } catch (const IoError &) {
+        // Rollback: the scratch file must not survive — a later
+        // fsck would count it as an orphan, and a torn artifact
+        // must never be observable under any failure schedule.
+        removeQuiet(tmp);
+        throw;
+    }
+}
+
+bool
+createExclusive(const std::string &path, const std::string &contents)
+{
+    int fd = -1;
+    do {
+        fd = ::open(path.c_str(),
+                    O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return false;
+        ioFail(IoOp::Open, path, errno, false);
+    }
+    File f(fd, path);
+    try {
+        f.writeAll(contents);
+        f.close();
+    } catch (const IoError &) {
+        // Rollback: a half-written claim left behind would wedge
+        // the queue forever (every later claimant loses to a corpse
+        // that never heartbeats).
+        removeQuiet(path);
+        throw;
+    }
+    return true;
+}
+
+void
+makeDirs(const std::string &path)
+{
+    if (path.empty())
+        return;
+    // Walk the components, creating each missing prefix. EEXIST is
+    // fine at every step: mkdir -p semantics.
+    size_t pos = 0;
+    while (pos != std::string::npos) {
+        pos = path.find('/', pos + 1);
+        std::string prefix =
+            pos == std::string::npos ? path : path.substr(0, pos);
+        if (prefix.empty() || prefix == "/")
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+            ioFail(IoOp::Mkdir, prefix, errno, false);
+    }
+}
+
+void
+renameFile(const std::string &from, const std::string &to)
+{
+    int err = injectRenameError(from, to);
+    if (err != 0)
+        ioFail(IoOp::Rename, to, err, true);
+    if (std::rename(from.c_str(), to.c_str()) != 0)
+        ioFail(IoOp::Rename, to, errno, false);
+}
+
+bool
+renameQuiet(const std::string &from, const std::string &to)
+{
+    if (injectRenameError(from, to) != 0)
+        return false;
+    return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool
+removeQuiet(const std::string &path)
+{
+    return ::unlink(path.c_str()) == 0;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+std::vector<std::string>
+listDir(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        ioFail(IoOp::List, dir, errno, false);
+    std::vector<std::string> names;
+    for (;;) {
+        errno = 0;
+        struct dirent *ent = ::readdir(d);
+        if (ent == nullptr) {
+            int err = errno;
+            ::closedir(d);
+            if (err != 0)
+                ioFail(IoOp::List, dir, err, false);
+            break;
+        }
+        std::string name = ent->d_name;
+        if (name == "." || name == "..")
+            continue;
+        names.push_back(std::move(name));
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace io
+
+std::string
+scratchSuffix()
+{
+    // Unique across processes (pid) and within one (counter). The
+    // caller appends this to the *final* path, so the scratch file
+    // lands on the same filesystem as the target and the publishing
+    // rename stays atomic.
+    // texlint: allow(phase-static) process-scoped scratch naming; the names never reach results, digests or checkpoints
+    static std::atomic<uint64_t> counter{0};
+    uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+    return ".tmp." + std::to_string(getpid()) + "." +
+           std::to_string(n);
+}
+
+void
+atomicWriteFile(const std::string &path, const std::string &contents)
+{
+    io::writeFileAtomic(path, contents);
+}
+
+} // namespace texdist

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The VFS: every byte the simulator persists — checkpoints, store
+ * entries, lease files, CSVs, manifests, traces, framebuffer dumps —
+ * flows through this thin layer instead of raw ofstream/fopen/rename
+ * calls scattered across the tree (the texlint `direct-io` rule
+ * enforces that). Three things live here:
+ *
+ *  1. Typed failure reporting. Filesystem-level failures (ENOSPC,
+ *     EIO, a failed fsync, close or rename) throw IoError (exit 14,
+ *     core/error.hh) carrying the operation, path and errno. Read
+ *     failures on *untrusted input* surfaces stay inside the
+ *     existing ParseError contract (exit 6-9) via readFileAs(), so
+ *     supervisors keep their failure taxonomy.
+ *
+ *  2. Recovery policy. EINTR is retried transparently (bounded);
+ *     short writes are completed by a retry loop; atomic publication
+ *     (writeFileAtomic) stages bytes in a `<path>.tmp.<pid>.<n>`
+ *     sibling, fsyncs, checks close, then renames — and unlinks the
+ *     scratch file on any failure, so a partially written artifact
+ *     is never observable under any failure schedule.
+ *
+ *  3. Deterministic fault injection. An installed IoFaultPlan
+ *     (--io-fault=seed:S;spec, src/io/fault.hh) strikes scheduled
+ *     operations with errno-level failures; each strike logs a
+ *     deterministic `io-fault:` line to stderr so a harness can
+ *     replay and diff the exact failure schedule.
+ *
+ * No wall-clock backoff anywhere: retries are immediate and bounded,
+ * keeping runs bit-reproducible.
+ */
+
+#ifndef TEXDIST_IO_VFS_HH
+#define TEXDIST_IO_VFS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/error.hh"
+#include "io/fault.hh"
+
+namespace texdist
+{
+
+/**
+ * A process-unique scratch-file suffix (".tmp.<pid>.<n>") for
+ * tmp+rename publication. Appending it to the target path keeps the
+ * scratch file a sibling of the target — on the target's filesystem,
+ * which the atomic rename requires regardless of TMPDIR — and two
+ * processes racing to publish the same target stream into distinct
+ * scratch files, so the last rename wins whole, never an
+ * interleaving of the two.
+ */
+std::string scratchSuffix();
+
+/**
+ * Write @p contents to @p path crash-safely: the bytes go to
+ * "<path>.tmp.<pid>.<n>" and are renamed over @p path only after a
+ * successful write-out, fsync and close, so readers never observe a
+ * truncated file — and concurrent writers of the same path never
+ * share a scratch file. On failure the scratch file is unlinked
+ * (rollback) and an IoError (exit 14) propagates.
+ */
+void atomicWriteFile(const std::string &path,
+                     const std::string &contents);
+
+namespace io
+{
+
+// --- fault injection ------------------------------------------------
+
+/** Install @p plan process-wide (resolving `rand` values). */
+void setFaultPlan(const IoFaultPlan &plan);
+
+/** Remove any installed plan and reset injection counters. */
+void clearFaultPlan();
+
+/** True when a non-empty fault plan is installed. */
+bool faultPlanActive();
+
+/** Total faults injected since the plan was installed. */
+uint64_t faultInjectionCount();
+
+// --- reading --------------------------------------------------------
+
+/** The whole file as bytes. Throws IoError on any failure. */
+std::string readFile(const std::string &path);
+
+/**
+ * The whole file, or nullopt when it cannot be opened or read — the
+ * tolerant read for surfaces whose policy is "treat damage as a
+ * miss" (store fetch, lease probes, resume scans).
+ */
+std::optional<std::string> readFileIfPresent(const std::string &path);
+
+/**
+ * The whole file, reported on @p surface's ParseError contract: a
+ * missing or unreadable @p what (e.g. "checkpoint") throws
+ * ParseError(surface, Io) with the surface's documented exit code,
+ * exactly as the parsers always have.
+ */
+std::string readFileAs(const std::string &path, ParseSurface surface,
+                       const std::string &what);
+
+// --- writing --------------------------------------------------------
+
+/** atomicWriteFile under its VFS name. */
+void writeFileAtomic(const std::string &path,
+                     const std::string &contents);
+
+/**
+ * Create @p path with O_EXCL and write @p contents. Returns false
+ * if the file already exists (somebody else won the race). On any
+ * write-out failure the half-created file is unlinked — a failed
+ * claim must never wedge the queue — and IoError propagates.
+ */
+bool createExclusive(const std::string &path,
+                     const std::string &contents);
+
+// --- namespace operations -------------------------------------------
+
+/** mkdir -p. Throws IoError; existing directories are fine. */
+void makeDirs(const std::string &path);
+
+/** Rename, throwing IoError on failure. */
+void renameFile(const std::string &from, const std::string &to);
+
+/** Best-effort rename; false on failure. Never throws. */
+bool renameQuiet(const std::string &from, const std::string &to);
+
+/** Best-effort unlink; false when nothing was removed. */
+bool removeQuiet(const std::string &path);
+
+/** True when @p path exists (any file type). */
+bool fileExists(const std::string &path);
+
+/**
+ * The entry names (not paths) in @p dir, sorted. Throws IoError
+ * when the directory cannot be listed.
+ */
+std::vector<std::string> listDir(const std::string &dir);
+
+} // namespace io
+
+} // namespace texdist
+
+#endif // TEXDIST_IO_VFS_HH

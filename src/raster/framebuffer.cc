@@ -1,7 +1,6 @@
 #include "raster/framebuffer.hh"
 
-#include <fstream>
-
+#include "io/vfs.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -27,16 +26,18 @@ Framebuffer::clear(const Rgba8 &c)
 void
 Framebuffer::writePpm(const std::string &path) const
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        texdist_fatal("cannot open image for writing: ", path);
-    os << "P6\n" << w << " " << h << "\n255\n";
+    // Build the image in memory and publish atomically: a render
+    // interrupted mid-dump never leaves a torn PPM, and a full
+    // disk is a typed IoError (exit 14), not a silent half-image.
+    std::string ppm = "P6\n" + std::to_string(w) + " " +
+                      std::to_string(h) + "\n255\n";
+    ppm.reserve(ppm.size() + color.size() * 3);
     for (const Rgba8 &c : color) {
-        char rgb[3] = {char(c.r), char(c.g), char(c.b)};
-        os.write(rgb, 3);
+        ppm.push_back(char(c.r));
+        ppm.push_back(char(c.g));
+        ppm.push_back(char(c.b));
     }
-    if (!os)
-        texdist_fatal("error writing image: ", path);
+    io::writeFileAtomic(path, ppm);
 }
 
 } // namespace texdist

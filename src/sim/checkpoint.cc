@@ -1,16 +1,10 @@
 #include "sim/checkpoint.hh"
 
 #include <array>
-#include <atomic>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
-
-#include <unistd.h>
 
 #include "core/error.hh"
-#include "sim/logging.hh"
+#include "io/vfs.hh"
 
 namespace texdist
 {
@@ -174,14 +168,11 @@ CheckpointWriter::writeFile(const std::string &path) const
 CheckpointReader::CheckpointReader(const std::string &path)
     : _path(path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        ckptFail(path, ParseRule::Io, "cannot open checkpoint");
-    std::ostringstream ss;
-    ss << is.rdbuf();
-    if (!is)
-        ckptFail(path, ParseRule::Io, "error reading checkpoint");
-    load(ss.str());
+    // Read-side filesystem failures (missing file, EIO) stay on the
+    // checkpoint surface's ParseError contract: exit 7, "cannot
+    // open checkpoint" / "error reading checkpoint".
+    load(io::readFileAs(path, ParseSurface::Checkpoint,
+                        "checkpoint"));
 }
 
 CheckpointReader::CheckpointReader(const std::string &name,
@@ -356,37 +347,6 @@ CheckpointReader::u64vec()
     for (uint64_t i = 0; i < n; ++i)
         v.push_back(u64());
     return v;
-}
-
-std::string
-scratchSuffix()
-{
-    // Unique across processes (pid) and within one (counter). The
-    // caller appends this to the *final* path, so the scratch file
-    // lands on the same filesystem as the target and the publishing
-    // rename stays atomic.
-    static std::atomic<uint64_t> counter{0};
-    uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
-    return ".tmp." + std::to_string(getpid()) + "." +
-           std::to_string(n);
-}
-
-void
-atomicWriteFile(const std::string &path, const std::string &contents)
-{
-    std::string tmp = path + scratchSuffix();
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os)
-            texdist_fatal("cannot open for writing: ", tmp);
-        os.write(contents.data(),
-                 std::streamsize(contents.size()));
-        os.flush();
-        if (!os)
-            texdist_fatal("write failed: ", tmp);
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        texdist_fatal("cannot rename ", tmp, " to ", path);
 }
 
 } // namespace texdist

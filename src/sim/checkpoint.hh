@@ -41,6 +41,11 @@
 #include <string>
 #include <vector>
 
+// Checkpoints persist through the VFS (scratchSuffix/atomicWriteFile
+// live there now); included here so the many existing callers that
+// reach those helpers via this header keep compiling.
+#include "io/vfs.hh"
+
 namespace texdist
 {
 
@@ -86,7 +91,9 @@ class CheckpointWriter
 
     /**
      * Write header + payload to @p path via a temporary file and an
-     * atomic rename. Fatal on any I/O error.
+     * atomic rename (io::writeFileAtomic). A filesystem failure
+     * rolls the scratch file back and throws IoError (exit 14) —
+     * a torn checkpoint is never observable.
      */
     void writeFile(const std::string &path) const;
 
@@ -140,27 +147,6 @@ class CheckpointReader
     std::vector<uint8_t> buf;
     size_t pos = 0;
 };
-
-/**
- * A process-unique scratch-file suffix (".tmp.<pid>.<n>") for
- * tmp+rename publication. Appending it to the target path keeps the
- * scratch file a sibling of the target — on the target's filesystem,
- * which the atomic rename requires regardless of TMPDIR — and two
- * processes racing to publish the same target stream into distinct
- * scratch files, so the last rename wins whole, never an
- * interleaving of the two.
- */
-std::string scratchSuffix();
-
-/**
- * Write @p contents to @p path crash-safely: the bytes go to
- * "<path>.tmp.<pid>.<n>" and are renamed over @p path only after a
- * successful close, so readers never observe a truncated file — and
- * concurrent writers of the same path never share a scratch file.
- * Fatal on error.
- */
-void atomicWriteFile(const std::string &path,
-                     const std::string &contents);
 
 } // namespace texdist
 

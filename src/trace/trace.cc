@@ -3,10 +3,11 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "core/error.hh"
+#include "io/vfs.hh"
 #include "sim/logging.hh"
 
 namespace texdist
@@ -280,22 +281,19 @@ readTrace(std::istream &is)
 void
 writeTraceFile(const Scene &scene, const std::string &path)
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        texdist_fatal("cannot open trace file for writing: ", path);
+    // Serialize in memory, publish atomically: a crashed or
+    // disk-full trace generation never leaves a torn trace file
+    // behind (IoError, exit 14, on filesystem failure).
+    std::ostringstream os;
     writeTrace(scene, os);
-    if (!os)
-        texdist_fatal("error writing trace file: ", path);
+    io::writeFileAtomic(path, os.str());
 }
 
 Scene
 readTraceFile(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        throw ParseError(ParseSurface::Trace, ParseRule::Io,
-                         "cannot open trace file")
-            .in(path);
+    std::istringstream is(
+        io::readFileAs(path, ParseSurface::Trace, "trace file"));
     try {
         return readTrace(is);
     } catch (ParseError &e) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/csv.hh"
+#include "core/error.hh"
 
 namespace texdist
 {
@@ -51,10 +52,19 @@ TEST(CsvWriter, EmptyDirDisables)
     csv.endRow();
 }
 
-TEST(CsvWriterDeath, BadDirectoryFatal)
+TEST(CsvWriter, BadDirectoryThrowsTypedIoError)
 {
-    EXPECT_EXIT(CsvWriter("/nonexistent-dir-texdist", "f"),
-                ::testing::ExitedWithCode(1), "cannot open CSV");
+    // An unwritable target is a typed IoError (exit 14 at main),
+    // raised at construction so a bad --csv-dir is diagnosed
+    // before hours of simulation.
+    try {
+        CsvWriter csv("/nonexistent-dir-texdist", "f");
+        FAIL() << "expected IoError";
+    } catch (const IoError &e) {
+        EXPECT_EQ(e.op(), IoOp::Open);
+        EXPECT_EQ(e.exitCode(), 14);
+        EXPECT_FALSE(e.wasInjected());
+    }
 }
 
 } // namespace

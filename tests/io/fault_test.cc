@@ -1,0 +1,182 @@
+/** @file Tests for the --io-fault spec grammar and seeded plans. */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+#include "io/fault.hh"
+
+namespace texdist
+{
+namespace
+{
+
+using io::IoFaultKind;
+using io::IoFaultPlan;
+using io::IoFaultSpec;
+using io::parseIoFaultSpec;
+
+/**
+ * @p fn must throw a CLI-surface ParseError (exit 1) naming
+ * --io-fault whose diagnostic contains every needle.
+ */
+template <typename Fn>
+void
+expectIoFaultError(Fn &&fn,
+                   std::initializer_list<const char *> needles)
+{
+    try {
+        (void)fn();
+        ADD_FAILURE() << "bad io-fault spec accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Cli) << e.describe();
+        EXPECT_EQ(e.exitCode(), 1);
+        EXPECT_EQ(e.fieldName(), "--io-fault");
+        for (const char *needle : needles)
+            EXPECT_NE(e.describe().find(needle), std::string::npos)
+                << "diagnostic: " << e.describe()
+                << "\n  missing: " << needle;
+    }
+}
+
+TEST(IoFaultSpec, ParseFullSpecs)
+{
+    IoFaultSpec a = parseIoFaultSpec("enospc:.ckpt,after=4096");
+    EXPECT_EQ(a.kind, IoFaultKind::Enospc);
+    EXPECT_EQ(a.pathFilter, ".ckpt");
+    EXPECT_EQ(a.after, 4096u);
+
+    IoFaultSpec b = parseIoFaultSpec("rename-fail:.res,nth=2,count=3");
+    EXPECT_EQ(b.kind, IoFaultKind::RenameFail);
+    EXPECT_EQ(b.pathFilter, ".res");
+    EXPECT_EQ(b.nth, 2u);
+    EXPECT_EQ(b.count, 3u);
+
+    IoFaultSpec c = parseIoFaultSpec("eintr,every=3,times=7");
+    EXPECT_EQ(c.kind, IoFaultKind::Eintr);
+    EXPECT_TRUE(c.pathFilter.empty());
+    EXPECT_EQ(c.every, 3u);
+    EXPECT_EQ(c.times, 7u);
+}
+
+TEST(IoFaultSpec, ParseDefaults)
+{
+    IoFaultSpec f = parseIoFaultSpec("fsync-fail");
+    EXPECT_EQ(f.kind, IoFaultKind::FsyncFail);
+    EXPECT_EQ(f.nth, 1u);
+    EXPECT_EQ(f.count, 1u);
+
+    IoFaultSpec g = parseIoFaultSpec("eio-read,nth=rand");
+    EXPECT_EQ(g.kind, IoFaultKind::EioRead);
+    EXPECT_EQ(g.nth, io::ioFaultRandValue);
+}
+
+TEST(IoFaultSpec, DescribeRoundTrips)
+{
+    for (const char *spec :
+         {"enospc:.ckpt,after=4096", "eio-read:.res,nth=2",
+          "short-write,nth=3,count=2", "fsync-fail,nth=1",
+          "rename-fail:store,nth=rand", "eintr,every=4,times=50"}) {
+        IoFaultSpec a = parseIoFaultSpec(spec);
+        IoFaultSpec b = parseIoFaultSpec(a.describe());
+        EXPECT_EQ(a.kind, b.kind) << spec;
+        EXPECT_EQ(a.pathFilter, b.pathFilter) << spec;
+        EXPECT_EQ(a.after, b.after) << spec;
+        EXPECT_EQ(a.nth, b.nth) << spec;
+        EXPECT_EQ(a.count, b.count) << spec;
+        EXPECT_EQ(a.every, b.every) << spec;
+        EXPECT_EQ(a.times, b.times) << spec;
+    }
+}
+
+TEST(IoFaultPlan, AddSplitsSegmentsAndSeed)
+{
+    IoFaultPlan plan;
+    plan.add("seed:42;enospc,after=100;eintr,every=2,times=5");
+    EXPECT_EQ(plan.seed, 42u);
+    ASSERT_EQ(plan.faults.size(), 2u);
+    EXPECT_EQ(plan.faults[0].kind, IoFaultKind::Enospc);
+    EXPECT_EQ(plan.faults[1].kind, IoFaultKind::Eintr);
+}
+
+TEST(IoFaultPlan, CompactSeedCommaFormAccepted)
+{
+    // The compact `seed:S,spec` shape from the issue text.
+    IoFaultPlan plan;
+    plan.add("seed:7,rename-fail,nth=2");
+    EXPECT_EQ(plan.seed, 7u);
+    ASSERT_EQ(plan.faults.size(), 1u);
+    EXPECT_EQ(plan.faults[0].kind, IoFaultKind::RenameFail);
+    EXPECT_EQ(plan.faults[0].nth, 2u);
+}
+
+TEST(IoFaultPlan, PlanDescribeRoundTrips)
+{
+    IoFaultPlan plan;
+    plan.add("seed:9;short-write:.csv,nth=2,count=4;fsync-fail");
+    IoFaultPlan again;
+    again.add(plan.describe());
+    EXPECT_EQ(again.describe(), plan.describe());
+    EXPECT_EQ(again.seed, 9u);
+    EXPECT_EQ(again.faults.size(), plan.faults.size());
+}
+
+TEST(IoFaultPlan, RandResolvesDeterministicallyFromSeed)
+{
+    IoFaultPlan plan;
+    plan.add("seed:1234;enospc,after=rand;rename-fail,nth=rand");
+    IoFaultPlan a = plan.resolve();
+    IoFaultPlan b = plan.resolve();
+    ASSERT_EQ(a.faults.size(), 2u);
+    EXPECT_LE(a.faults[0].after, 16384u);
+    EXPECT_GE(a.faults[1].nth, 1u);
+    EXPECT_LE(a.faults[1].nth, 8u);
+    EXPECT_EQ(a.faults[0].after, b.faults[0].after);
+    EXPECT_EQ(a.faults[1].nth, b.faults[1].nth);
+
+    // A different seed must schedule a different plan (with 14 bits
+    // of after-range, collision across both values is negligible).
+    IoFaultPlan other;
+    other.add("seed:1235;enospc,after=rand;rename-fail,nth=rand");
+    IoFaultPlan c = other.resolve();
+    EXPECT_TRUE(c.faults[0].after != a.faults[0].after ||
+                c.faults[1].nth != a.faults[1].nth);
+}
+
+TEST(IoFaultPlanError, MalformedSpecsFatal)
+{
+    expectIoFaultError([&] { return parseIoFaultSpec("melt-disk"); },
+                       {"unknown io-fault kind"});
+    expectIoFaultError(
+        [&] { return parseIoFaultSpec("eintr,after=4"); },
+        {"after= only applies to enospc"});
+    expectIoFaultError(
+        [&] { return parseIoFaultSpec("enospc,nth=1"); },
+        {"nth= does not apply"});
+    expectIoFaultError(
+        [&] { return parseIoFaultSpec("fsync-fail,nth=0"); },
+        {"1-based"});
+    expectIoFaultError(
+        [&] { return parseIoFaultSpec("rename-fail,count=0"); },
+        {"positive"});
+    expectIoFaultError(
+        [&] { return parseIoFaultSpec("eintr,every=banana"); },
+        {"non-negative integer"});
+    expectIoFaultError(
+        [&] { return parseIoFaultSpec("short-write,nth"); },
+        {"key=value"});
+    expectIoFaultError(
+        [&] { return parseIoFaultSpec("enospc,badkey=1"); },
+        {"unknown key"});
+    expectIoFaultError([&] { return IoFaultPlan{}.add(""); },
+                       {"empty io-fault spec"});
+    expectIoFaultError([&] {
+        IoFaultPlan p;
+        p.add("seed:rand;enospc");
+        return 0;
+    }, {"seed cannot be 'rand'"});
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,240 @@
+/** @file Tests for the VFS: atomic publication, rollback, recovery. */
+
+#include <algorithm>
+#include <cerrno>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+#include "io/vfs.hh"
+
+namespace texdist
+{
+namespace
+{
+
+/** Per-test scratch dir; clears any installed fault plan on exit. */
+class VfsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _dir = ::testing::TempDir() + "/vfs_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        io::makeDirs(_dir);
+        for (const std::string &name : io::listDir(_dir))
+            io::removeQuiet(_dir + "/" + name);
+    }
+
+    void TearDown() override { io::clearFaultPlan(); }
+
+    std::string
+    path(const char *name) const
+    {
+        return _dir + "/" + name;
+    }
+
+    /** Install a plan parsed from @p text. */
+    void
+    arm(const std::string &text)
+    {
+        io::IoFaultPlan plan;
+        plan.add(text);
+        io::setFaultPlan(plan);
+    }
+
+    std::string _dir;
+};
+
+TEST_F(VfsTest, AtomicWriteRoundTripsAndLeavesNoScratch)
+{
+    std::string p = path("artifact.dat");
+    std::string contents(100000, 'x');
+    contents += "tail";
+    io::writeFileAtomic(p, contents);
+    EXPECT_EQ(io::readFile(p), contents);
+    // The scratch sibling was renamed away, not left behind.
+    std::vector<std::string> names = io::listDir(_dir);
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "artifact.dat");
+}
+
+TEST_F(VfsTest, ReadFileIfPresentIsTolerant)
+{
+    EXPECT_FALSE(io::readFileIfPresent(path("missing")).has_value());
+    io::writeFileAtomic(path("there"), "bytes");
+    EXPECT_EQ(io::readFileIfPresent(path("there")).value(), "bytes");
+}
+
+TEST_F(VfsTest, ReadFileAsMapsOntoParseErrorContract)
+{
+    try {
+        io::readFileAs(path("gone.trc"), ParseSurface::Trace,
+                       "trace");
+        FAIL() << "missing file accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.surface(), ParseSurface::Trace);
+        EXPECT_EQ(e.exitCode(), 6);
+        EXPECT_NE(e.describe().find("cannot open trace"),
+                  std::string::npos)
+            << e.describe();
+    }
+}
+
+TEST_F(VfsTest, EnospcRollsBackAndPreservesPriorArtifact)
+{
+    std::string p = path("artifact.dat");
+    io::writeFileAtomic(p, "good old version");
+
+    arm("enospc:artifact.dat,after=4");
+    try {
+        io::writeFileAtomic(p, std::string(4096, 'y'));
+        FAIL() << "full disk accepted";
+    } catch (const IoError &e) {
+        EXPECT_EQ(e.exitCode(), ioErrorExitCode);
+        EXPECT_EQ(e.errnum(), ENOSPC);
+        EXPECT_TRUE(e.wasInjected()) << e.describe();
+    }
+    io::clearFaultPlan();
+
+    // Rollback: no scratch file survives, and the previous version
+    // is untouched — a torn artifact is never observable.
+    std::vector<std::string> names = io::listDir(_dir);
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "artifact.dat");
+    EXPECT_EQ(io::readFile(p), "good old version");
+}
+
+TEST_F(VfsTest, FsyncFailRollsBack)
+{
+    std::string p = path("artifact.dat");
+    arm("fsync-fail:artifact.dat,nth=1");
+    EXPECT_THROW(io::writeFileAtomic(p, "doomed"), IoError);
+    io::clearFaultPlan();
+    EXPECT_TRUE(io::listDir(_dir).empty());
+    EXPECT_FALSE(io::fileExists(p));
+}
+
+TEST_F(VfsTest, RenameFailRollsBack)
+{
+    std::string p = path("artifact.res");
+    arm("rename-fail:.res,nth=1");
+    try {
+        io::writeFileAtomic(p, "doomed");
+        FAIL() << "failed rename accepted";
+    } catch (const IoError &e) {
+        EXPECT_EQ(e.op(), IoOp::Rename);
+        EXPECT_TRUE(e.wasInjected());
+    }
+    io::clearFaultPlan();
+    EXPECT_TRUE(io::listDir(_dir).empty());
+
+    // The surface recovers once the fault passes: the same write
+    // succeeds and publishes whole.
+    io::writeFileAtomic(p, "published");
+    EXPECT_EQ(io::readFile(p), "published");
+}
+
+TEST_F(VfsTest, ShortWritesAndEintrAreRecoveredTransparently)
+{
+    std::string p = path("artifact.dat");
+    std::string contents;
+    for (int i = 0; i < 5000; ++i)
+        contents += "line " + std::to_string(i) + "\n";
+
+    arm("short-write:artifact.dat,nth=1,count=6;"
+        "eintr:artifact.dat,every=2,times=20");
+    io::writeFileAtomic(p, contents);
+    uint64_t injected = io::faultInjectionCount();
+    io::clearFaultPlan();
+
+    // The faults fired, and the caller never saw them: the published
+    // artifact is byte-complete.
+    EXPECT_GT(injected, 0u);
+    EXPECT_EQ(io::readFile(p), contents);
+}
+
+TEST_F(VfsTest, EintrStormBeyondTheRetryBoundFails)
+{
+    std::string p = path("artifact.dat");
+    arm("eintr:artifact.dat,every=1,times=1000");
+    try {
+        io::writeFileAtomic(p, "never lands");
+        FAIL() << "unbounded EINTR retry";
+    } catch (const IoError &e) {
+        EXPECT_EQ(e.errnum(), EINTR);
+    }
+    io::clearFaultPlan();
+    EXPECT_TRUE(io::listDir(_dir).empty());
+}
+
+TEST_F(VfsTest, CreateExclusiveClaimsOnceAndRollsBack)
+{
+    std::string p = path("claim.lease");
+    EXPECT_TRUE(io::createExclusive(p, "owner=a"));
+    EXPECT_FALSE(io::createExclusive(p, "owner=b")); // lost the race
+    EXPECT_EQ(io::readFile(p), "owner=a");
+
+    // A failed claim must not wedge the queue: the half-created file
+    // is unlinked, so a later claimant succeeds.
+    io::removeQuiet(p);
+    arm("enospc:claim.lease,after=0");
+    EXPECT_THROW(io::createExclusive(p, "owner=c"), IoError);
+    io::clearFaultPlan();
+    EXPECT_FALSE(io::fileExists(p));
+    EXPECT_TRUE(io::createExclusive(p, "owner=d"));
+}
+
+TEST_F(VfsTest, EioReadStrikesThenTolerantReadersTreatAsMiss)
+{
+    std::string p = path("entry.res");
+    io::writeFileAtomic(p, "payload");
+    arm("eio-read:.res,nth=1,count=1");
+    // Tolerant surface policy: damage is a miss, not a crash.
+    EXPECT_FALSE(io::readFileIfPresent(p).has_value());
+    // The strike window has passed; the next read succeeds.
+    EXPECT_EQ(io::readFileIfPresent(p).value(), "payload");
+    io::clearFaultPlan();
+}
+
+TEST_F(VfsTest, MakeDirsIsRecursiveAndIdempotent)
+{
+    std::string nested = _dir + "/a/b/c";
+    io::makeDirs(nested);
+    io::makeDirs(nested); // EEXIST everywhere is fine
+    EXPECT_TRUE(io::fileExists(nested));
+    io::writeFileAtomic(nested + "/leaf", "deep");
+    EXPECT_EQ(io::readFile(nested + "/leaf"), "deep");
+}
+
+TEST_F(VfsTest, ListDirIsSortedAndThrowsOnMissing)
+{
+    io::writeFileAtomic(path("b"), "2");
+    io::writeFileAtomic(path("a"), "1");
+    io::writeFileAtomic(path("c"), "3");
+    std::vector<std::string> names = io::listDir(_dir);
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_THROW(io::listDir(path("no_such_dir")), IoError);
+}
+
+TEST_F(VfsTest, StrikeCountersResetWithThePlan)
+{
+    arm("fsync-fail,nth=1");
+    EXPECT_TRUE(io::faultPlanActive());
+    EXPECT_THROW(io::writeFileAtomic(path("x"), "y"), IoError);
+    EXPECT_EQ(io::faultInjectionCount(), 1u);
+    io::clearFaultPlan();
+    EXPECT_FALSE(io::faultPlanActive());
+    EXPECT_EQ(io::faultInjectionCount(), 0u);
+    io::writeFileAtomic(path("x"), "y"); // no plan, no strikes
+    EXPECT_EQ(io::readFile(path("x")), "y");
+}
+
+} // namespace
+} // namespace texdist

@@ -1,0 +1,63 @@
+// Fixture: raw filesystem access in simulator code that must
+// route through the fault-injectable VFS (src/io).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+namespace texdist
+{
+
+void
+badStreamWrite(const char *path)
+{
+    std::ofstream os(path);
+    os << "torn on a full disk\n";
+}
+
+void
+badStdio(const char *path)
+{
+    FILE *f = fopen(path, "wb");
+    (void)f;
+}
+
+int
+badSyscall(const char *path)
+{
+    return ::open(path, 0);
+}
+
+void
+badRename(const char *from, const char *to)
+{
+    std::rename(from, to);
+    fs::create_directories(from);
+}
+
+void
+allowedProbe(const char *path)
+{
+    // texlint: allow(direct-io) fixture proves the escape hatch works
+    std::ifstream probe(path);
+}
+
+// A member named open/close/write is not a filesystem touch, and an
+// unqualified call to a function named open is not the syscall.
+class Port
+{
+  public:
+    void open(int id);
+    void close();
+    long write(const void *buf, unsigned long n);
+};
+
+void
+memberCallsOk(Port &p)
+{
+    p.open(1);
+    p.close();
+}
+
+} // namespace texdist

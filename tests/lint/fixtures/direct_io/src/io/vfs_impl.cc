@@ -1,0 +1,24 @@
+// Fixture: src/io IS the VFS — raw filesystem access is its
+// implementation, so the direct-io rule must stay quiet here.
+#include <fstream>
+
+namespace texdist
+{
+namespace io
+{
+
+int
+rawOpen(const char *path)
+{
+    return ::open(path, 0);
+}
+
+void
+rawStream(const char *path)
+{
+    std::ofstream os(path);
+    os << "fine inside the VFS layer\n";
+}
+
+} // namespace io
+} // namespace texdist

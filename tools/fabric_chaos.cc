@@ -23,10 +23,22 @@
  * with 100% store hits — zero recomputation — then fscks the store
  * and requires a clean bill.
  *
+ * `--fs-torture=<n>` switches to filesystem-torture mode: instead of
+ * protocol-level faults, every fabric worker runs with a seeded
+ * `--io-fault=` plan (ENOSPC budgets, failing renames/fsyncs, short
+ * writes, EIO reads, EINTR storms) injected into the VFS beneath its
+ * own persistence. n injection seeds are swept against one shared
+ * store; each seed's sweep must converge (final waves run clean) to
+ * a merged sweep.csv byte-identical to the golden run, the shared
+ * store must end 100%-hit warm and fsck-clean, and a single-worker
+ * probe runs the same plan twice asserting the `io-fault:` strike
+ * log replays byte-for-byte — injected failures are deterministic
+ * given the seed.
+ *
  * Usage:
  *   fabric_chaos --sim=<texdist_sim> --runner=<sweep_runner> \
  *                --work=<dir> [--workers=4] [--seed=1] \
- *                [--waves=8] [--bench-out=<json>]
+ *                [--waves=8] [--fs-torture=<n>] [--bench-out=<json>]
  *
  * Prints "PASS: ..." and exits 0 on success; prints "FAIL: ..." and
  * exits 1 on any divergence.
@@ -72,6 +84,7 @@ struct HarnessOptions
     uint32_t workers = 4;
     uint64_t seed = 1;
     uint32_t maxWaves = 8;
+    uint32_t fsTorture = 0; ///< 0 = protocol-chaos mode
     std::string benchOut;
 };
 
@@ -130,6 +143,8 @@ parseArgs(int argc, char **argv)
             opts.seed = parseCliU64(v, "seed");
         else if (match(arg, "waves", v))
             opts.maxWaves = parseCliU32(v, "waves");
+        else if (match(arg, "fs-torture", v))
+            opts.fsTorture = parseCliU32(v, "fs-torture");
         else if (match(arg, "bench-out", v))
             opts.benchOut = v;
         else
@@ -334,6 +349,293 @@ readStats(const std::string &path)
     return JsonValue::parseFile(path);
 }
 
+/**
+ * One seeded `--io-fault=` plan for a torture-wave worker: one or
+ * two segments drawn from the full fault menu, with concrete values
+ * so the schedule is a pure function of the harness seed. One arm
+ * deliberately uses `nth=rand` under a `seed:` segment so the
+ * spec-side deterministic resolution is exercised end to end.
+ */
+std::string
+makeIoFaultSpec(SplitMix64 &rng)
+{
+    auto segment = [&]() -> std::string {
+        switch (rng.below(7)) {
+        case 0:
+            return "enospc,after=" +
+                   std::to_string(4096 + rng.below(65536));
+        case 1:
+            return "rename-fail:.res,nth=" +
+                   std::to_string(1 + rng.below(3));
+        case 2:
+            return "fsync-fail,nth=" +
+                   std::to_string(1 + rng.below(4)) + ",count=" +
+                   std::to_string(1 + rng.below(2));
+        case 3:
+            return "short-write,nth=" +
+                   std::to_string(1 + rng.below(4)) + ",count=" +
+                   std::to_string(1 + rng.below(3));
+        case 4:
+            return "eio-read:.res,nth=" +
+                   std::to_string(1 + rng.below(2));
+        case 5:
+            return "eintr,every=" +
+                   std::to_string(2 + rng.below(4)) + ",times=" +
+                   std::to_string(10 + rng.below(50));
+        default:
+            return "seed:" + std::to_string(rng.below(1u << 20)) +
+                   ";rename-fail,nth=rand";
+        }
+    };
+    std::string spec = segment();
+    if (rng.below(2) == 0)
+        spec += ";" + segment();
+    return spec;
+}
+
+/**
+ * Strip the process-unique scratch suffix (`.tmp.<pid>.<n>`) from an
+ * `io-fault:` strike line so two runs of the same plan compare
+ * byte-identically across different pids.
+ */
+std::string
+scrubScratch(std::string line)
+{
+    size_t at = line.find(".tmp.");
+    if (at != std::string::npos) {
+        size_t quote = line.find('\'', at);
+        if (quote != std::string::npos)
+            line.replace(at, quote - at, ".tmp.X");
+    }
+    return line;
+}
+
+/** The `io-fault:` strike lines of @p logPath, scrubbed, in order. */
+std::string
+ioFaultLines(const std::string &logPath)
+{
+    std::istringstream is(slurp(logPath));
+    std::string line;
+    std::string out;
+    while (std::getline(is, line))
+        if (line.rfind("io-fault:", 0) == 0)
+            out += scrubScratch(line) + "\n";
+    return out;
+}
+
+/**
+ * Run the six-config sweep once, in-process single-threaded, under
+ * @p spec, and return the scrubbed strike log. The probe reuses one
+ * directory (wiped between runs) so both runs perform the identical
+ * I/O sequence and even the paths in the strikes match.
+ */
+std::string
+runProbe(const HarnessOptions &opts, const std::string &spec)
+{
+    std::string dir = opts.workDir + "/probe";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    std::vector<std::string> argv = {
+        opts.runnerPath,
+        "--configs=" + opts.workDir + "/sweep.cfg",
+        "--out=" + dir + "/out",
+        "--threads=1",
+        "--io-fault=" + spec,
+    };
+    appendCommon(argv);
+    int code = await(spawn(argv, dir + "/probe.log"));
+    if (code != 0)
+        failHarness("determinism probe exited " +
+                    std::to_string(code) + " under --io-fault=" +
+                    spec + " (transient faults must be survivable)");
+    return ioFaultLines(dir + "/probe.log");
+}
+
+/**
+ * Filesystem-torture mode: sweep opts.fsTorture injection seeds, all
+ * against one shared store. See the file comment for the contract
+ * each seed must uphold.
+ */
+int
+runTortureHarness(const HarnessOptions &opts)
+{
+    fs::remove_all(opts.workDir);
+    fs::create_directories(opts.workDir);
+    atomicWriteFile(opts.workDir + "/sweep.cfg", sweepConfigText);
+
+    std::string golden = opts.workDir + "/golden";
+    std::string store = opts.workDir + "/store";
+
+    // --- Phase 1: clean single-runner sweep (no store). ----------
+    std::cout << "fabric_chaos: golden single-runner sweep...\n";
+    {
+        std::vector<std::string> argv = runnerArgv(opts, golden);
+        appendCommon(argv);
+        int code = await(spawn(argv, opts.workDir + "/golden.log"));
+        if (code != 0)
+            failHarness("golden sweep exited " +
+                        std::to_string(code) + " (see " +
+                        opts.workDir + "/golden.log)");
+    }
+    std::string goldenCsv = slurp(golden + "/sweep.csv");
+
+    // --- Phase 2: same plan, same strikes — twice. ---------------
+    // Transient-only plan (short writes + an EINTR storm): the run
+    // must survive it, and the strike log must replay exactly.
+    std::cout << "fabric_chaos: io-fault determinism probe...\n";
+    const std::string probeSpec =
+        "seed:5;short-write:.csv,nth=2,count=4;"
+        "eintr,every=3,times=25";
+    std::string first = runProbe(opts, probeSpec);
+    std::string second = runProbe(opts, probeSpec);
+    if (first.empty())
+        failHarness("determinism probe injected no faults (plan " +
+                    probeSpec + " never fired)");
+    if (first != second)
+        failHarness("io-fault strike log is not deterministic: two "
+                    "runs of '" + probeSpec + "' diverged");
+    std::cout << "  probe: strike log of "
+              << size_t(std::count(first.begin(), first.end(),
+                                   '\n'))
+              << " line(s) replayed byte-identically\n";
+
+    // --- Phase 3: seeded torture sweeps on a shared store. -------
+    fs::create_directories(store);
+    uint64_t ioDeaths = 0;
+    uint64_t tortured = 0;
+    uint32_t wavesUsed = 0;
+    for (uint32_t s = 0; s < opts.fsTorture; ++s) {
+        SplitMix64 rng(opts.seed + 0x100ab1ef5ull * (s + 1));
+        std::string out =
+            opts.workDir + "/torture" + std::to_string(s);
+        fs::create_directories(out);
+        bool converged = false;
+        uint32_t wave = 0;
+        for (; wave < opts.maxWaves && !converged; ++wave) {
+            // The last two waves run clean so every seed converges
+            // within the wave budget no matter how hostile the
+            // schedule was.
+            bool clean = wave + 2 >= opts.maxWaves;
+            std::vector<pid_t> pids;
+            for (uint32_t w = 0; w < opts.workers; ++w) {
+                std::vector<std::string> argv =
+                    runnerArgv(opts, out);
+                argv.push_back("--fabric");
+                argv.push_back("--store=" + store);
+                argv.push_back("--worker-id=t" + std::to_string(s) +
+                               "-" + std::to_string(wave) + "-" +
+                               std::to_string(w));
+                argv.push_back("--poll-ms=20");
+                argv.push_back("--lease-ttl-polls=15");
+                if (!clean) {
+                    std::string spec = makeIoFaultSpec(rng);
+                    argv.push_back("--io-fault=" + spec);
+                    ++tortured;
+                }
+                appendCommon(argv);
+                pids.push_back(spawn(
+                    argv, opts.workDir + "/t" + std::to_string(s) +
+                              "-wave" + std::to_string(wave) + "-w" +
+                              std::to_string(w) + ".log"));
+            }
+            for (pid_t pid : pids) {
+                int code = await(pid);
+                if (code == 0)
+                    converged = true;
+                else if (code == ioErrorExitCode)
+                    ++ioDeaths;
+                else if (code != 3)
+                    failHarness(
+                        "torture worker exited " +
+                        std::to_string(code) + " (seed " +
+                        std::to_string(s) + ", wave " +
+                        std::to_string(wave) +
+                        "; only exit 14 deaths are part of the "
+                        "schedule)");
+            }
+        }
+        if (!converged)
+            failHarness("torture seed " + std::to_string(s) +
+                        " did not converge within " +
+                        std::to_string(opts.maxWaves) + " waves");
+        wavesUsed += wave;
+        std::string csv = slurp(out + "/sweep.csv");
+        if (csv != goldenCsv)
+            failHarness("torture seed " + std::to_string(s) +
+                        ": merged sweep.csv differs from the "
+                        "golden run");
+        std::cout << "  seed " << s << ": converged after " << wave
+                  << " wave(s)\n";
+    }
+    std::cout << "fabric_chaos: " << opts.fsTorture
+              << " torture seed(s), " << tortured
+              << " injected plan(s), " << ioDeaths
+              << " worker death(s) on exit 14\n";
+
+    // --- Phase 4: warm re-run must be 100% hits. -----------------
+    std::cout << "fabric_chaos: warm-store re-run...\n";
+    std::string rerun = opts.workDir + "/rerun";
+    {
+        std::vector<std::string> argv = runnerArgv(opts, rerun);
+        argv.push_back("--store=" + store);
+        argv.push_back("--worker-id=rerun");
+        appendCommon(argv);
+        int code = await(spawn(argv, opts.workDir + "/rerun.log"));
+        if (code != 0)
+            failHarness("warm-store re-run exited " +
+                        std::to_string(code));
+    }
+    if (slurp(rerun + "/sweep.csv") != goldenCsv)
+        failHarness("warm-store sweep.csv differs from golden");
+    JsonValue stats = readStats(rerun + "/fabric_stats.rerun.json");
+    uint64_t hits = stats.at("store_hits").asU64();
+    uint64_t misses = stats.at("store_misses").asU64();
+    if (misses != 0 || hits != sweepNames.size())
+        failHarness("warm-store re-run was not 100% hits: " +
+                    std::to_string(hits) + " hit(s), " +
+                    std::to_string(misses) + " miss(es)");
+
+    // --- Phase 5: the store must fsck clean. ---------------------
+    {
+        std::vector<std::string> argv = {opts.runnerPath, "--fsck",
+                                         "--store=" + store};
+        int code = await(spawn(argv, opts.workDir + "/fsck.log"));
+        if (code != 0)
+            failHarness("post-torture fsck exited " +
+                        std::to_string(code) +
+                        " (no injected failure may corrupt the "
+                        "store)");
+    }
+
+    if (!opts.benchOut.empty()) {
+        JsonValue root = JsonValue::makeObject();
+        root.set("format",
+                 JsonValue::makeString("texdist-fs-torture"));
+        root.set("version", JsonValue::makeNumber(1));
+        root.set("workers",
+                 JsonValue::makeNumber(double(opts.workers)));
+        root.set("seed", JsonValue::makeNumber(double(opts.seed)));
+        root.set("torture_seeds",
+                 JsonValue::makeNumber(double(opts.fsTorture)));
+        root.set("waves", JsonValue::makeNumber(double(wavesUsed)));
+        root.set("injected_plans",
+                 JsonValue::makeNumber(double(tortured)));
+        root.set("io_deaths",
+                 JsonValue::makeNumber(double(ioDeaths)));
+        root.set("rerun_store_hits",
+                 JsonValue::makeNumber(double(hits)));
+        atomicWriteFile(opts.benchOut, root.dump());
+    }
+
+    std::cout << "PASS: " << opts.fsTorture
+              << " io-fault seed(s) over a " << opts.workers
+              << "-worker fabric; every merged sweep.csv "
+              << "byte-identical to the clean run, store fsck "
+              << "clean, warm re-run " << hits << "/"
+              << sweepNames.size() << " hits\n";
+    return 0;
+}
+
 int
 runHarness(const HarnessOptions &opts)
 {
@@ -509,7 +811,9 @@ int
 main(int argc, char **argv)
 {
     try {
-        return runHarness(parseArgs(argc, argv));
+        HarnessOptions opts = parseArgs(argc, argv);
+        return opts.fsTorture > 0 ? runTortureHarness(opts)
+                                  : runHarness(opts);
     } catch (const ParseError &e) {
         std::cerr << "FAIL: " << e.describe() << "\n";
         return 1;

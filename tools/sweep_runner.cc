@@ -63,7 +63,8 @@
  * records everything that finished), 8 malformed sweep manifest,
  * 9 malformed result CSV, 10 lease lost (--fabric-lease-strict),
  * 11 corrupt store entry (--fabric-store-strict), 12 fsck
- * quarantined entries (--fsck).
+ * quarantined entries (--fsck), 14 supervisor-side I/O failure
+ * (environmental — relaunch; never retained a partial artifact).
  */
 
 #include <algorithm>
@@ -94,6 +95,7 @@
 #include "core/options.hh"
 #include "core/replay.hh"
 #include "core/sequence.hh"
+#include "io/vfs.hh"
 #include "oracle/oracle.hh"
 #include "fabric/lease.hh"
 #include "fabric/store.hh"
@@ -167,6 +169,12 @@ struct RunnerOptions
     std::string chaosKillPhase; ///< "claim" or "publish"
     uint64_t chaosKillAfter = 0;
 
+    // Deterministic filesystem fault plan installed in THIS process:
+    // the supervisor's own persistence (manifest, store, queue,
+    // merge) runs against the hostile filesystem. Child simulators
+    // get their own plans via `-- --io-fault=...` common args.
+    io::IoFaultPlan ioFault;
+
     std::vector<std::string> commonArgs;
 };
 
@@ -234,6 +242,11 @@ usage()
         "entry\n"
         "  --chaos-kill=<phase>:<n>  (testing) SIGKILL self after\n"
         "                     the n-th claim/publish\n"
+        "  --io-fault=<spec>  (testing) inject filesystem faults "
+        "into\n"
+        "                     this supervisor's own persistence\n"
+        "                     (manifest, store, queue, merge); same\n"
+        "                     grammar as texdist_sim --io-fault\n"
         "  -- <args...>       common arguments passed to every "
         "config\n";
 }
@@ -333,6 +346,8 @@ parseArgs(int argc, char **argv)
                 throw ParseError(ParseSurface::Cli, ParseRule::Range,
                                  "kill count must be at least 1")
                     .field("--chaos-kill");
+        } else if (match(arg, "io-fault", v)) {
+            opts.ioFault.add(v);
         } else if (arg == "--resume") {
             opts.resume = true;
         } else if (arg == "--fabric") {
@@ -486,8 +501,7 @@ bool
 configCsvUsable(const RunnerOptions &opts, const std::string &name)
 {
     std::string csvPath = opts.outDir + "/" + name + ".csv";
-    std::ifstream probe(csvPath);
-    if (!probe)
+    if (!io::fileExists(csvPath))
         return false;
     auto parsed =
         tryParse([&] { return parseFrameCsvFileTolerant(csvPath); });
@@ -521,8 +535,7 @@ void
 mergePriorProgress(const RunnerOptions &opts,
                    std::vector<SweepConfig> &configs)
 {
-    std::ifstream probe(manifestPath(opts));
-    if (!probe) {
+    if (!io::fileExists(manifestPath(opts))) {
         inform("--resume: no manifest at ", manifestPath(opts),
                ", starting fresh");
         return;
@@ -591,6 +604,10 @@ struct Attempt
 bool
 isPermanentExit(int code)
 {
+    // Exit 14 (I/O failure) is deliberately NOT here: a full disk or
+    // flaky mount is environmental — the retry/backoff budget applies
+    // just like a signal death, and the VFS guarantees the failed
+    // attempt left no partial artifact to confuse the retry.
     return code == 1 || (code >= 6 && code <= 9) || code == 11;
 }
 
@@ -890,10 +907,7 @@ configStoreKey(const RunnerOptions &opts, const SweepConfig &cfg,
 std::string
 slurpFile(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    std::ostringstream ss;
-    ss << is.rdbuf();
-    return ss.str();
+    return io::readFileIfPresent(path).value_or("");
 }
 
 /**
@@ -1070,10 +1084,11 @@ mergeResults(const RunnerOptions &opts,
     for (const SweepConfig &cfg : configs) {
         std::string path = opts.outDir + "/" + cfg.name + ".csv";
         parseFrameCsvFile(path);
-        std::ifstream is(path);
-        if (!is)
+        auto bytes = io::readFileIfPresent(path);
+        if (!bytes)
             texdist_fatal("missing result CSV for completed "
                           "config: ", path);
+        std::istringstream is(*bytes);
         std::string line;
         bool first = true;
         while (std::getline(is, line)) {
@@ -1181,8 +1196,7 @@ runSweepFabric(const RunnerOptions &opts,
                 cfg.status = "done";
                 std::string csvPath =
                     opts.outDir + "/" + cfg.name + ".csv";
-                std::ifstream probe(csvPath);
-                if (!probe) {
+                if (!io::fileExists(csvPath)) {
                     // Done marker without a CSV (lost to a torn
                     // write): restore it from the store, or demote
                     // the config back to pending.
@@ -1192,9 +1206,8 @@ runSweepFabric(const RunnerOptions &opts,
                         warn("'", cfg.name, "' marked done but has "
                              "no CSV and no store entry; "
                              "re-running");
-                        ::unlink((opts.outDir + "/queue/" +
-                                  cfg.name + ".done")
-                                     .c_str());
+                        io::removeQuiet(opts.outDir + "/queue/" +
+                                        cfg.name + ".done");
                         cfg.status = "pending";
                         allTerminal = false;
                     }
@@ -1329,12 +1342,17 @@ run(int argc, char **argv)
 {
     RunnerOptions opts = parseArgs(argc, argv);
 
+    // Arm the injector before the first persistence touch so fsck,
+    // store and queue setup all see the hostile filesystem.
+    if (!opts.ioFault.empty()) {
+        io::setFaultPlan(opts.ioFault);
+        inform("io fault plan armed: ", opts.ioFault.describe());
+    }
+
     if (opts.fsckMode)
         return runFsck(opts);
 
-    if (mkdir(opts.outDir.c_str(), 0755) != 0 && errno != EEXIST)
-        texdist_fatal("cannot create output directory ", opts.outDir,
-                      ": ", std::strerror(errno));
+    io::makeDirs(opts.outDir);
 
     std::vector<SweepConfig> configs = loadConfigs(opts.configsPath);
     if (opts.resume && !opts.fabricMode)
@@ -1459,6 +1477,13 @@ main(int argc, char **argv)
             std::cerr << "\n" << usage();
         return e.exitCode();
     } catch (const FabricError &e) {
+        std::cerr << "fatal: " << e.describe() << "\n";
+        return e.exitCode();
+    } catch (const IoError &e) {
+        // Filesystem failure in the supervisor itself. Exit 14 is
+        // environmental: the caller (human or fabric_chaos wave)
+        // relaunches, and the VFS rollback guarantees no partial
+        // manifest/merge/store artifact survived the failure.
         std::cerr << "fatal: " << e.describe() << "\n";
         return e.exitCode();
     }

@@ -28,8 +28,8 @@
  */
 
 #include <csignal>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +41,7 @@
 #include "core/options.hh"
 #include "core/replay.hh"
 #include "core/sequence.hh"
+#include "io/vfs.hh"
 #include "oracle/oracle.hh"
 #include "scene/benchmarks.hh"
 #include "scene/stats.hh"
@@ -142,13 +143,10 @@ runSequence(const SimOptions &opts, const Scene &base)
         }
         // Keep the already-verified digest prefix from a prior
         // manifest so a resumed run still saves a complete one.
-        if (!opts.manifestPath.empty()) {
-            std::ifstream probe(opts.manifestPath);
-            if (probe) {
-                RunManifest prior =
-                    RunManifest::load(opts.manifestPath);
-                digests = prior.digests;
-            }
+        if (!opts.manifestPath.empty() &&
+            io::fileExists(opts.manifestPath)) {
+            RunManifest prior = RunManifest::load(opts.manifestPath);
+            digests = prior.digests;
         }
         if (digests.size() > machine.framesRun())
             digests.resize(machine.framesRun());
@@ -369,14 +367,12 @@ runSingle(const SimOptions &opts, const Scene &scene)
     }
 
     if (!opts.statsFile.empty()) {
-        std::ofstream os(opts.statsFile);
-        if (!os)
-            texdist_fatal("cannot open stats file: ",
-                          opts.statsFile);
+        std::ostringstream os;
         os << "# texdist_sim statistics\n";
         os << "# workload " << scene.name << "\n";
         os << "# machine " << opts.machine.describe() << "\n";
         machine.dumpStats(os);
+        io::writeFileAtomic(opts.statsFile, os.str());
         std::cout << "stats written to " << opts.statsFile << "\n";
     }
     return exit_code;
@@ -403,6 +399,14 @@ run(int argc, char **argv)
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+
+    // Arm the filesystem fault injector before the first persistence
+    // touch (trace read below included) so the whole run sees the
+    // hostile filesystem the plan describes.
+    if (!opts.ioFault.empty()) {
+        io::setFaultPlan(opts.ioFault);
+        inform("io fault plan armed: ", opts.ioFault.describe());
+    }
 
     Scene scene = opts.tracePath.empty()
                       ? makeBenchmark(opts.scene, opts.scale)
@@ -445,6 +449,12 @@ main(int argc, char **argv)
             std::cerr << "\n" << SimOptions::usage();
         return e.exitCode();
     } catch (const OracleError &e) {
+        std::cerr << "fatal: " << e.describe() << "\n";
+        return e.exitCode();
+    } catch (const IoError &e) {
+        // Filesystem failure (real or injected): every partially
+        // written artifact has already been rolled back by the VFS,
+        // so exit 14 guarantees "nothing torn is observable".
         std::cerr << "fatal: " << e.describe() << "\n";
         return e.exitCode();
     }

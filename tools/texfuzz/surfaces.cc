@@ -239,6 +239,11 @@ makeSeeds(ParseSurface surface)
             "--scene=flight\n--scale=0.5\n"
             "--fault=slow-node:rand,at=10000,x=8\n"
             "--fault-seed=99\n--audit",
+            "--scene=quake\n--procs=4\n"
+            "--io-fault=seed:7;enospc:.ckpt,after=4096\n"
+            "--io-fault=rename-fail:.res,nth=rand,count=2\n"
+            "--io-fault=eintr,every=3,times=25\n"
+            "--io-fault=short-write:sweep,nth=1;fsync-fail",
         };
       case ParseSurface::Fabric:
         return {fabricSeed()};

@@ -17,6 +17,8 @@
  *                      checkpointVersion (layout lock)
  *   config-init        *Config / *Options fields always carry
  *                      in-class initializers
+ *   direct-io          no raw filesystem access in src/ outside the
+ *                      fault-injectable VFS layer (src/io)
  *   phase-*            the phase-safety family: the two-phase
  *                      engine's --jobs bit-exactness contract,
  *                      proven over a whole-program call graph
@@ -59,6 +61,7 @@ const std::pair<const char *, const char *> ruleInventory[] = {
     {"bare-assert", "assert() in the simulation core"},
     {"checkpoint", "serialize/restore completeness and layout lock"},
     {"config-init", "*Config / *Options in-class initializers"},
+    {"direct-io", "raw filesystem access outside the src/io VFS"},
     {"ordered-iteration", "hash-order loops feeding digests/output"},
     {"phase-capture", "task lambdas writing shared captures"},
     {"phase-serial", "serial-asserted code reachable in parallel"},
@@ -299,6 +302,7 @@ main(int argc, char **argv)
     checkBareAssert(proj);
     checkOrderedIteration(proj);
     checkConfigInit(proj);
+    checkDirectIo(proj);
     checkCheckpointCompleteness(proj);
     checkPhaseSafety(proj);
     checkSimdPurity(proj, unitCommands);

@@ -17,6 +17,9 @@
  *                     serialized layout changes
  *  config-init        every *Config / *Options field carries an
  *                     in-class initializer (transitively)
+ *  direct-io          raw filesystem access (fstream, fopen, POSIX
+ *                     syscalls, std::filesystem mutation) in src/
+ *                     outside the VFS layer src/io/
  *  phase-*            the phase-safety family (see rules_phase.cc):
  *                     statically proves the two-phase engine's
  *                     --jobs bit-exactness contract over the call
@@ -41,6 +44,13 @@ void checkBannedCalls(Project &proj);
 void checkBareAssert(Project &proj);
 void checkOrderedIteration(Project &proj);
 void checkConfigInit(Project &proj);
+
+/**
+ * direct-io: raw fstream/stdio/POSIX/std::filesystem file access in
+ * src/ outside src/io/ — everything must route through the
+ * fault-injectable VFS (see rules_io.cc).
+ */
+void checkDirectIo(Project &proj);
 
 /** Field-completeness over all serialize/restore pairs. */
 void checkCheckpointCompleteness(Project &proj);

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The direct-io rule: simulator code under src/ must route every
+ * filesystem touch through the fault-injectable VFS (src/io) instead
+ * of opening files itself. Raw streams and raw POSIX calls bypass
+ * the seeded `--io-fault` injector, the atomic scratch+fsync+rename
+ * publication discipline and the typed IoError (exit 14) contract —
+ * an unchecked `ofstream` on a full disk reports success and leaves
+ * a torn artifact the robustness machinery can never see.
+ *
+ * Flagged in src/ outside src/io/:
+ *   - iostream file types on sight: ofstream / ifstream / fstream
+ *   - C stdio file calls: fopen / freopen / tmpfile
+ *   - globally qualified POSIX file syscalls: ::open, ::creat,
+ *     ::write, ::read, ::close, ::fsync, ::fdatasync, ::unlink,
+ *     ::mkdir, ::rmdir, ::rename
+ *   - std::rename / std::remove
+ *   - std::filesystem directory/file ops (create_directories,
+ *     directory_iterator, remove_all, ...) under any fs/filesystem
+ *     qualifier
+ *
+ * src/io/ itself is exempt (it IS the VFS), and a deliberate escape
+ * is spelled `// texlint: allow(direct-io) <why>`.
+ */
+
+#include <set>
+
+#include "rules.hh"
+
+namespace texlint
+{
+
+namespace
+{
+
+/** Stream types banned on sight — construction is the violation. */
+const std::set<std::string> bannedStreamTypes = {
+    "ofstream",
+    "ifstream",
+    "fstream",
+};
+
+/** C stdio calls banned as plain (or std::) calls. */
+const std::set<std::string> bannedStdioCalls = {
+    "fopen",
+    "freopen",
+    "tmpfile",
+};
+
+/**
+ * POSIX file syscalls banned only in globally qualified form
+ * (`::open`): the bare names are far too common as member and local
+ * function names to flag on sight.
+ */
+const std::set<std::string> bannedPosixCalls = {
+    "open",  "creat", "write", "read",  "close",  "fsync",
+    "fdatasync", "unlink", "mkdir", "rmdir", "rename",
+};
+
+/** std::-qualified C library file ops. */
+const std::set<std::string> bannedStdCalls = {
+    "rename",
+    "remove",
+};
+
+/** std::filesystem ops banned under a fs/filesystem qualifier. */
+const std::set<std::string> bannedFsOps = {
+    "create_directories",
+    "create_directory",
+    "directory_iterator",
+    "recursive_directory_iterator",
+    "remove",
+    "remove_all",
+    "rename",
+    "copy_file",
+    "resize_file",
+};
+
+bool
+inVfsScope(const std::string &path)
+{
+    return path.rfind("src/", 0) == 0 &&
+           path.rfind("src/io/", 0) != 0;
+}
+
+std::string
+diagnose(const std::string &what)
+{
+    return "direct filesystem I/O (" + what +
+           ") bypasses the fault-injectable VFS: route it through "
+           "texdist::io (src/io/vfs.hh) so --io-fault injection, "
+           "atomic publication and typed IoError recovery apply "
+           "(annotate a deliberate exception with texlint: "
+           "allow(direct-io) <why>)";
+}
+
+} // namespace
+
+void
+checkDirectIo(Project &proj)
+{
+    for (auto &[path, sf] : proj.files) {
+        if (!inVfsScope(path))
+            continue;
+        const std::vector<Token> &toks = sf.lexed.tokens;
+        for (size_t i = 0; i < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.kind != TokKind::Ident)
+                continue;
+
+            // Member access is somebody else's function/type.
+            const bool member =
+                i > 0 && toks[i - 1].kind == TokKind::Punct &&
+                (toks[i - 1].text == "." ||
+                 toks[i - 1].text == "->");
+            if (member)
+                continue;
+
+            // Qualifier shape: "<qual>::ident" (qual empty for the
+            // global-namespace form "::ident"). The lexer does not
+            // distinguish keywords from identifiers, so `return
+            // ::open(...)` would read `return` as a qualifier —
+            // demand the qualifier token touch the "::" to count.
+            const bool qualified =
+                i > 0 && toks[i - 1].kind == TokKind::Punct &&
+                toks[i - 1].text == "::";
+            std::string qual;
+            bool globalQual = false;
+            if (qualified) {
+                const bool adjacent =
+                    i > 1 && toks[i - 2].kind == TokKind::Ident &&
+                    toks[i - 2].line == toks[i - 1].line &&
+                    toks[i - 2].col + toks[i - 2].text.size() ==
+                        toks[i - 1].col;
+                if (adjacent)
+                    qual = toks[i - 2].text;
+                else
+                    globalQual = true;
+            }
+
+            if (bannedStreamTypes.count(t.text)) {
+                // std::ofstream or unqualified ofstream; any other
+                // namespace is somebody else's type.
+                if (!qualified || qual == "std" || globalQual)
+                    proj.report(path, t.line, "direct-io",
+                                diagnose("std::" + t.text));
+                continue;
+            }
+
+            const bool call = i + 1 < toks.size() &&
+                              toks[i + 1].kind == TokKind::Punct &&
+                              toks[i + 1].text == "(";
+
+            if (bannedStdioCalls.count(t.text) && call) {
+                if (!qualified || qual == "std" || globalQual)
+                    proj.report(path, t.line, "direct-io",
+                                diagnose(t.text + "()"));
+                continue;
+            }
+
+            if (bannedPosixCalls.count(t.text) && call &&
+                globalQual) {
+                proj.report(path, t.line, "direct-io",
+                            diagnose("::" + t.text + "()"));
+                continue;
+            }
+
+            if (bannedStdCalls.count(t.text) && call &&
+                qual == "std") {
+                proj.report(path, t.line, "direct-io",
+                            diagnose("std::" + t.text + "()"));
+                continue;
+            }
+
+            if (bannedFsOps.count(t.text) && qualified &&
+                (qual == "fs" || qual == "filesystem")) {
+                proj.report(path, t.line, "direct-io",
+                            diagnose("std::filesystem::" + t.text));
+                continue;
+            }
+        }
+    }
+}
+
+} // namespace texlint
